@@ -1,0 +1,275 @@
+//! mini-llama.cpp: the LLM-inference case study.
+//!
+//! The analogue of llama.cpp/ggml (Table 1): many dynamically loadable GPU backends,
+//! intrinsics-based CPU kernels for a wide range of ISAs, a BLAS choice, and quantisation
+//! options. Discovery of its specialization points is the paper's generalization test
+//! (Section 6.2: no in-context examples were provided for llama.cpp).
+
+use std::collections::BTreeMap;
+use xaas_buildsys::{
+    BuildOption, OptionCategory, OptionEffects, OptionValue, ProjectSpec, SourceSpec, TargetKind,
+    TargetSpec,
+};
+use xaas_hpcsim::{KernelClass, KernelWork, Workload};
+
+/// Build script of the ggml-like subproject (what discovery parses).
+pub const BUILD_SCRIPT: &str = r#"
+# mini-llama.cpp build configuration (ggml backend options)
+project(mini-llamacpp)
+option(GGML_OPENMP "Use OpenMP for CPU threading" ON)
+option(GGML_NATIVE "Optimize for the build machine (-march=native)" ON)
+option_multichoice(GGML_GPU_BACKEND "GPU backend" OFF OFF CUDA HIP SYCL Vulkan Metal OpenCL CANN MUSA)
+option_multichoice(GGML_BLAS_VENDOR "BLAS vendor" none none OpenBLAS MKL BLIS)
+option_multichoice(GGML_QUANT_DEFAULT "Default quantisation" Q4_K Q4_K Q8_0 F16)
+option(GGML_AVX512 "Enable AVX-512 intrinsics" OFF)
+option(GGML_AMX "Enable AMX tile intrinsics" OFF)
+find_package(OpenMP)
+find_package(MKL)
+"#;
+
+/// Build the mini-llama.cpp project specification.
+pub fn project() -> ProjectSpec {
+    let openmp_on = OptionEffects {
+        definitions: vec!["-DGGML_USE_OPENMP".into()],
+        compile_flags: vec!["-fopenmp".into()],
+        ..Default::default()
+    };
+    let native_on = OptionEffects {
+        compile_flags: vec!["-march=native".into()],
+        ..Default::default()
+    };
+    let gpu = BuildOption::choice(
+        "GGML_GPU_BACKEND",
+        "GPU backend",
+        OptionCategory::GpuBackend,
+        vec![
+            OptionValue::plain("OFF"),
+            OptionValue::plain("CUDA").with_definition("-DGGML_USE_CUDA").with_dependency("cuda").with_tag("backend_cuda"),
+            OptionValue::plain("HIP").with_definition("-DGGML_USE_HIP").with_dependency("rocm").with_tag("backend_hip"),
+            OptionValue::plain("SYCL").with_definition("-DGGML_USE_SYCL").with_dependency("oneapi").with_tag("backend_sycl"),
+            OptionValue::plain("Vulkan").with_definition("-DGGML_USE_VULKAN").with_dependency("vulkan").with_tag("backend_vulkan"),
+            OptionValue::plain("OpenCL").with_definition("-DGGML_USE_OPENCL").with_dependency("opencl").with_tag("backend_opencl"),
+        ],
+        "OFF",
+    );
+    let blas = BuildOption::choice(
+        "GGML_BLAS_VENDOR",
+        "BLAS vendor",
+        OptionCategory::LinearAlgebra,
+        vec![
+            OptionValue::plain("none"),
+            OptionValue::plain("OpenBLAS").with_definition("-DGGML_USE_OPENBLAS").with_dependency("openblas"),
+            OptionValue::plain("MKL").with_definition("-DGGML_USE_MKL").with_dependency("mkl"),
+            OptionValue::plain("BLIS").with_definition("-DGGML_USE_BLIS").with_dependency("blis"),
+        ],
+        "none",
+    );
+    let quant = BuildOption::choice(
+        "GGML_QUANT_DEFAULT",
+        "Default quantisation",
+        OptionCategory::Other,
+        vec![
+            OptionValue::plain("Q4_K").with_definition("-DGGML_QUANT_Q4K"),
+            OptionValue::plain("Q8_0").with_definition("-DGGML_QUANT_Q80"),
+            OptionValue::plain("F16").with_definition("-DGGML_QUANT_F16"),
+        ],
+        "Q4_K",
+    );
+    let avx512 = OptionEffects {
+        definitions: vec!["-DGGML_AVX512".into()],
+        compile_flags: vec!["-mavx512f".into()],
+        ..Default::default()
+    };
+
+    let sources = vec![
+        SourceSpec::new(
+            "src/ggml_matmul.ck",
+            r#"
+// quantised matrix multiplication inner loop
+kernel void matmul_q4(float* out, float* weights, float* activations, int n) {
+    #pragma omp parallel for
+    for (int i = 0; i < n; i = i + 1) {
+        out[i] = out[i] + weights[i] * activations[i];
+    }
+}
+"#,
+        ),
+        SourceSpec::new(
+            "src/ggml_attention.ck",
+            r#"
+// attention softmax and weighted sum
+kernel void attention(float* out, float* scores, float* values, int n) {
+    #pragma omp parallel for
+    for (int i = 0; i < n; i = i + 1) {
+        out[i] = scores[i] * values[i];
+    }
+}
+"#,
+        ),
+        SourceSpec::new(
+            "src/ggml_quantize.ck",
+            r#"
+// weight quantisation / dequantisation
+kernel void dequantize(float* out, int* packed, float scale, int n) {
+    for (int i = 0; i < n; i = i + 1) {
+        out[i] = packed[i] * scale;
+    }
+}
+"#,
+        ),
+        SourceSpec::new(
+            "src/llama_sampler.ck",
+            r#"
+// token sampling — serial control flow
+int argmax(float* logits, int n) {
+    int best = 0;
+    int i = 1;
+    while (i < n) {
+        if (logits[i] > logits[best]) { best = i; }
+        i = i + 1;
+    }
+    return best;
+}
+"#,
+        ),
+        SourceSpec::new(
+            "src/backend_cuda.ck",
+            r#"
+kernel void cuda_matmul_launch(float* out, float* w, int n) {
+    for (int i = 0; i < n; i = i + 1) { out[i] = w[i]; }
+}
+"#,
+        )
+        .with_tag("backend_cuda"),
+        SourceSpec::new(
+            "src/backend_sycl.ck",
+            r#"
+kernel void sycl_matmul_launch(float* out, float* w, int n) {
+    for (int i = 0; i < n; i = i + 1) { out[i] = w[i]; }
+}
+"#,
+        )
+        .with_tag("backend_sycl"),
+        SourceSpec::new(
+            "src/backend_vulkan.ck",
+            r#"
+kernel void vulkan_matmul_launch(float* out, float* w, int n) {
+    for (int i = 0; i < n; i = i + 1) { out[i] = w[i]; }
+}
+"#,
+        )
+        .with_tag("backend_vulkan"),
+    ];
+    let cpu_paths: Vec<String> = sources
+        .iter()
+        .filter(|s| s.required_tags.is_empty())
+        .map(|s| s.path.clone())
+        .collect();
+    let all_paths: Vec<String> = sources.iter().map(|s| s.path.clone()).collect();
+
+    ProjectSpec {
+        name: "mini-llamacpp".into(),
+        version: "b4600".into(),
+        build_script: BUILD_SCRIPT.into(),
+        options: vec![
+            BuildOption::boolean("GGML_OPENMP", "OpenMP threading", OptionCategory::Parallelism, true, openmp_on),
+            BuildOption::boolean("GGML_NATIVE", "-march=native", OptionCategory::Vectorization, true, native_on),
+            BuildOption::boolean("GGML_AVX512", "AVX-512 intrinsics", OptionCategory::Vectorization, false, avx512),
+            gpu,
+            blas,
+            quant,
+        ],
+        sources,
+        headers: BTreeMap::new(),
+        targets: vec![
+            TargetSpec::new("libggml", TargetKind::Library, all_paths),
+            TargetSpec::new("llama-bench", TargetKind::Executable, cpu_paths).linking("libggml"),
+        ],
+        custom_targets: vec![],
+        global_flags: vec!["-O3".into()],
+        mpi_abi: None,
+    }
+}
+
+/// The llama-bench workload: prompt processing + text generation with a 4-bit 13B model.
+pub fn benchmark_workload(prompt_tokens: u32, generated_tokens: u32) -> Workload {
+    // Scalar-reference seconds per token, calibrated so a V100 CUDA build lands near the
+    // ~2.2 s total the paper reports for pp512+tg128 on Ault23.
+    let per_prompt_token = 3.2;
+    let per_generated_token = 7.2;
+    let total =
+        per_prompt_token * f64::from(prompt_tokens) + per_generated_token * f64::from(generated_tokens);
+    Workload {
+        name: format!("llama-bench pp{prompt_tokens} tg{generated_tokens} (13B Q4)"),
+        kernels: vec![
+            KernelWork {
+                name: "matmul".into(),
+                class: KernelClass::LlmMatmul,
+                scalar_reference_seconds: total * 0.9,
+            },
+            KernelWork {
+                name: "attention".into(),
+                class: KernelClass::LlmAttention,
+                scalar_reference_seconds: total * 0.1,
+            },
+        ],
+        io_seconds: 0.8,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xaas_buildsys::{configure, OptionAssignment};
+    use xaas_xir::{CompileFlags, Compiler, Value};
+
+    #[test]
+    fn backends_match_table_1_structure() {
+        let project = project();
+        let gpu = project.option("GGML_GPU_BACKEND").unwrap();
+        assert!(gpu.value_names().len() >= 6);
+        assert!(gpu.accepts("Vulkan"));
+        assert!(project.option("GGML_BLAS_VENDOR").unwrap().accepts("BLIS"));
+    }
+
+    #[test]
+    fn cuda_build_adds_backend_source_only_for_cuda() {
+        let project = project();
+        let cuda = configure(&project, &OptionAssignment::new().with("GGML_GPU_BACKEND", "CUDA"), "/b", None).unwrap();
+        assert!(cuda.enabled_sources.iter().any(|s| s.path == "src/backend_cuda.ck"));
+        assert!(!cuda.enabled_sources.iter().any(|s| s.path == "src/backend_sycl.ck"));
+        let off = configure(&project, &OptionAssignment::new(), "/b", None).unwrap();
+        assert!(!off.enabled_sources.iter().any(|s| s.path.starts_with("src/backend_")));
+    }
+
+    #[test]
+    fn sampler_kernel_runs_argmax_correctly() {
+        let project = project();
+        let source = project.source("src/llama_sampler.ck").unwrap();
+        let compiler = Compiler::new();
+        let module = compiler
+            .compile_to_ir("sampler.ck", &source.content, &CompileFlags::parse(["-O3".to_string()]))
+            .unwrap();
+        let interp = xaas_xir::Interpreter::new(&module);
+        let result = interp
+            .run("argmax", vec![Value::FloatBuffer(vec![0.1, 2.5, 0.3, 1.0]), Value::Int(4)])
+            .unwrap();
+        assert_eq!(result.return_value, Some(Value::Int(1)));
+    }
+
+    #[test]
+    fn workload_is_dominated_by_matmul_and_scales_with_tokens() {
+        let small = benchmark_workload(512, 128);
+        let large = benchmark_workload(1024, 256);
+        assert!(large.scalar_reference_total() > 1.9 * small.scalar_reference_total());
+        let matmul = &small.kernels[0];
+        assert!(matmul.scalar_reference_seconds > 5.0 * small.kernels[1].scalar_reference_seconds);
+    }
+
+    #[test]
+    fn build_script_parses_with_eight_plus_options_like_ggml() {
+        let script = xaas_buildsys::parse_script(BUILD_SCRIPT).unwrap();
+        assert!(script.options().len() >= 7);
+        assert_eq!(script.project_name(), Some("mini-llamacpp"));
+    }
+}

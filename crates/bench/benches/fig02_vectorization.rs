@@ -1,0 +1,44 @@
+//! Figure 2 benchmark: evaluate the vectorization sweep on the MD workload and measure
+//! the execution-model evaluation plus the underlying deployment-time vectoriser.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use xaas::targets::target_isa_for;
+use xaas_apps::gromacs;
+use xaas_bench::{figure2, render};
+use xaas_hpcsim::SimdLevel;
+use xaas_xir::{lower_to_machine, CompileFlags, Compiler};
+
+fn bench_figure2(c: &mut Criterion) {
+    // Print the regenerated figure once so `cargo bench` output contains the data series.
+    println!("{}", render::render_panels("Figure 2: vectorization impact", &figure2()));
+
+    c.bench_function("fig02/execution_model_sweep", |b| {
+        b.iter(|| black_box(figure2()));
+    });
+
+    // The mechanism behind the figure: re-vectorising the same IR for different ISAs.
+    let project = gromacs::project();
+    let source = project.source("src/mdrun/nonbonded.ck").unwrap();
+    let mut compiler = Compiler::new();
+    for (name, content) in &project.headers {
+        compiler.add_header(name.clone(), content.clone());
+    }
+    let flags = CompileFlags::parse(["-O3".to_string(), "-fopenmp".to_string()]);
+    let module = compiler.compile_to_ir(&source.path, &source.content, &flags).unwrap();
+    let mut group = c.benchmark_group("fig02/lower_nonbonded_kernel");
+    for level in [SimdLevel::Sse41, SimdLevel::Avx2_256, SimdLevel::Avx512, SimdLevel::NeonAsimd] {
+        group.bench_with_input(BenchmarkId::from_parameter(level.gmx_name()), &level, |b, &level| {
+            let target = target_isa_for(level);
+            b.iter(|| black_box(lower_to_machine(&module, &target)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_figure2
+}
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Figure 10 benchmark: GROMACS portability — source-container deployment plus the
+//! execution-model comparison against naive/native/Spack baselines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use xaas::prelude::*;
+use xaas_apps::gromacs;
+use xaas_bench::{figure10, render};
+use xaas_buildsys::OptionAssignment;
+use xaas_container::{Architecture, ImageStore};
+use xaas_hpcsim::SystemModel;
+
+fn bench_figure10(c: &mut Criterion) {
+    println!("{}", render::render_panels("Figure 10: GROMACS performance portability", &figure10()));
+
+    c.bench_function("fig10/all_systems", |b| {
+        b.iter(|| black_box(figure10()));
+    });
+
+    // The deployment step itself (discovery → intersection → selection → build) per system.
+    let project = gromacs::project();
+    let mut group = c.benchmark_group("fig10/source_container_deployment");
+    for system in [SystemModel::ault23(), SystemModel::aurora(), SystemModel::clariden()] {
+        group.bench_with_input(BenchmarkId::from_parameter(system.name.clone()), &system, |b, system| {
+            b.iter(|| {
+                let store = ImageStore::new();
+                let image = build_source_container(&project, Architecture::Amd64, &store, "bench:src");
+                black_box(
+                    deploy_source_container(
+                        &project,
+                        &image,
+                        system,
+                        &OptionAssignment::new(),
+                        SelectionPolicy::BestAvailable,
+                        &store,
+                    )
+                    .unwrap(),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_figure10
+}
+criterion_main!(benches);

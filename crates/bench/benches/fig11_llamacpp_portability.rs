@@ -1,0 +1,37 @@
+//! Figure 11 benchmark: llama.cpp portability across the three systems.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use xaas_apps::{llamacpp, llamacpp_baselines, make_executable};
+use xaas_bench::{figure11, render};
+use xaas_hpcsim::{ExecutionEngine, SystemModel};
+
+fn bench_figure11(c: &mut Criterion) {
+    println!("{}", render::render_panels("Figure 11: llama.cpp performance portability", &figure11()));
+
+    c.bench_function("fig11/all_systems", |b| {
+        b.iter(|| black_box(figure11()));
+    });
+
+    let workload = llamacpp::benchmark_workload(512, 128);
+    let mut group = c.benchmark_group("fig11/execution_model_per_system");
+    for system in [SystemModel::ault23(), SystemModel::aurora(), SystemModel::clariden()] {
+        let profiles = make_executable(llamacpp_baselines(&system), &system);
+        group.bench_with_input(BenchmarkId::from_parameter(system.name.clone()), &system, |b, system| {
+            let engine = ExecutionEngine::new(system);
+            b.iter(|| {
+                for profile in &profiles {
+                    black_box(engine.execute(&workload, profile).unwrap());
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_figure11
+}
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Figure 12 benchmark: IR containers on CPU and GPU — build-once, deploy-per-ISA.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use xaas::prelude::*;
+use xaas_apps::gromacs;
+use xaas_bench::{figure12_cpu, figure12_gpu, render};
+use xaas_buildsys::OptionAssignment;
+use xaas_container::ImageStore;
+use xaas_hpcsim::{SimdLevel, SystemModel};
+
+fn bench_figure12(c: &mut Criterion) {
+    println!("{}", render::render_panels("Figure 12 (top): IR containers on CPU", &figure12_cpu()));
+    println!("{}", render::render_panels("Figure 12 (bottom): IR containers on GPU", &figure12_gpu()));
+
+    c.bench_function("fig12/cpu_panels", |b| {
+        b.iter(|| black_box(figure12_cpu()));
+    });
+
+    // Deployment cost per ISA from one prebuilt IR container (the "much faster than a
+    // complete compilation" claim of Section 4.3.1).
+    let project = gromacs::project();
+    let store = ImageStore::new();
+    let pipeline = IrPipelineConfig::sweep_options(&project, &["GMX_SIMD"]).with_values(
+        "GMX_SIMD",
+        &["SSE4.1", "AVX2_128", "AVX_256", "AVX2_256", "AVX_512"],
+    );
+    let build = build_ir_container(&project, &pipeline, &store, "bench:ir").unwrap();
+    let system = SystemModel::ault01_04();
+    let mut group = c.benchmark_group("fig12/deploy_ir_per_isa");
+    for level in [SimdLevel::Sse41, SimdLevel::Avx256, SimdLevel::Avx512] {
+        group.bench_with_input(BenchmarkId::from_parameter(level.gmx_name()), &level, |b, &level| {
+            let selection = OptionAssignment::new().with("GMX_SIMD", level.gmx_name());
+            b.iter(|| {
+                black_box(
+                    deploy_ir_container(&build, &project, &system, &selection, level, &store).unwrap(),
+                )
+            });
+        });
+    }
+    group.finish();
+
+    // Compare against a full from-source deployment (the source-container path).
+    c.bench_function("fig12/deploy_source_full_build", |b| {
+        let image = build_source_container(&project, Architecture::Amd64, &store, "bench:src");
+        b.iter(|| {
+            black_box(
+                deploy_source_container(
+                    &project,
+                    &image,
+                    &system,
+                    &OptionAssignment::new(),
+                    SelectionPolicy::BestAvailable,
+                    &store,
+                )
+                .unwrap(),
+            )
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_figure12
+}
+criterion_main!(benches);

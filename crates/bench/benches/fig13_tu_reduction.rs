@@ -1,0 +1,54 @@
+//! Section 6.4 benchmark: the IR-deduplication pipeline and its stage ablations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use xaas::prelude::*;
+use xaas_apps::{gromacs, lulesh};
+use xaas_bench::{render, tu_reduction};
+use xaas_container::ImageStore;
+
+fn bench_tu_reduction(c: &mut Criterion) {
+    println!("{}", render::render_reduction(&tu_reduction()));
+
+    let gromacs_project = gromacs::project();
+    let lulesh_project = lulesh::project();
+    let store = ImageStore::new();
+
+    let mut group = c.benchmark_group("fig13/pipeline");
+    group.bench_function("gromacs_5_isa_sweep", |b| {
+        let config = IrPipelineConfig::sweep_options(&gromacs_project, &["GMX_SIMD"]).with_values(
+            "GMX_SIMD",
+            &["SSE4.1", "AVX2_128", "AVX_256", "AVX2_256", "AVX_512"],
+        );
+        b.iter(|| black_box(build_ir_container(&gromacs_project, &config, &store, "b:isa").unwrap()));
+    });
+    group.bench_function("lulesh_mpi_openmp_sweep", |b| {
+        let config = IrPipelineConfig::sweep_options(&lulesh_project, &["WITH_MPI", "WITH_OPENMP"]);
+        b.iter(|| black_box(build_ir_container(&lulesh_project, &config, &store, "b:lulesh").unwrap()));
+    });
+    group.finish();
+
+    // Ablation: which stages contribute how much (and what they cost).
+    let mut group = c.benchmark_group("fig13/ablation_stages");
+    for (name, vectorization_delay, openmp_detection) in [
+        ("all_stages", true, true),
+        ("no_vectorization_delay", false, true),
+        ("no_openmp_detection", true, false),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, _| {
+            let mut config = IrPipelineConfig::sweep_options(&gromacs_project, &["GMX_SIMD", "GMX_OPENMP"])
+                .with_values("GMX_SIMD", &["SSE4.1", "AVX_512"]);
+            config.stages.vectorization_delay = vectorization_delay;
+            config.stages.openmp_detection = openmp_detection;
+            b.iter(|| black_box(build_ir_container(&gromacs_project, &config, &store, "b:abl").unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_tu_reduction
+}
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Section 6.5 benchmark: intra-node bandwidth model under different MPI/provider stacks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use xaas_bench::{network, render};
+use xaas_hpcsim::{BandwidthModel, MpiFlavor};
+
+fn bench_network(c: &mut Criterion) {
+    println!("{}", render::render_network(&network()));
+
+    c.bench_function("fig14/summary_rows", |b| {
+        b.iter(|| black_box(network()));
+    });
+
+    let model = BandwidthModel::default();
+    let sizes: Vec<u64> = (10..=30).map(|p| 1u64 << p).collect();
+    let mut group = c.benchmark_group("fig14/bandwidth_sweep");
+    for (label, flavor, containerized, linkx) in [
+        ("bare_metal_shm", MpiFlavor::CrayMpich, false, false),
+        ("container_cxi", MpiFlavor::ContainerOpenMpi, true, false),
+        ("container_linkx", MpiFlavor::ContainerOpenMpi, true, true),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &label, |b, _| {
+            b.iter(|| {
+                let total: f64 = sizes
+                    .iter()
+                    .map(|&s| model.bandwidth_at(flavor, containerized, linkx, s))
+                    .sum();
+                black_box(total)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(50);
+    targets = bench_network
+}
+criterion_main!(benches);

@@ -1,0 +1,12 @@
+//! # xaas-bench
+//!
+//! Experiment drivers that regenerate every table and figure of the paper's evaluation
+//! (Section 6). Each public function returns the data series of one table/figure; the
+//! `reproduce` binary prints them, and the Criterion benches measure the underlying
+//! computations. See `EXPERIMENTS.md` at the repository root for the paper-vs-measured
+//! comparison.
+
+pub mod experiments;
+pub mod render;
+
+pub use experiments::*;

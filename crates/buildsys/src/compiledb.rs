@@ -1,0 +1,220 @@
+//! Compile-command databases (the `compile_commands.json` analogue).
+//!
+//! The behavioural approach of Section 4.2 compares *compilation instructions per
+//! target*, not build-system internals: two configurations whose commands for a target
+//! are identical can share one IR file. This module provides the command representation
+//! plus the normalisation used by that comparison (sorting flags, dropping build-directory
+//! include paths, separating delayed ISA flags).
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use xaas_xir::CompileFlags;
+
+/// One compile command: produce `output` from `file` within `target`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CompileCommand {
+    /// Build directory the command runs in.
+    pub directory: String,
+    /// Target (executable/library) the object belongs to.
+    pub target: String,
+    /// Source file path.
+    pub file: String,
+    /// Output object path.
+    pub output: String,
+    /// Compiler arguments (excluding the compiler executable itself).
+    pub arguments: Vec<String>,
+}
+
+impl CompileCommand {
+    /// The classified view of the arguments.
+    pub fn flags(&self) -> CompileFlags {
+        CompileFlags::parse(self.arguments.iter().cloned())
+    }
+
+    /// The canonical identity of this command for exact comparison: target-relevant
+    /// arguments sorted, with the build directory path normalised away from includes.
+    pub fn canonical_key(&self, strip_build_dir: bool) -> String {
+        let mut args: Vec<String> = self
+            .arguments
+            .iter()
+            .filter(|a| !a.trim().is_empty())
+            .map(|a| {
+                if strip_build_dir {
+                    a.replace(&self.directory, "<build-dir>")
+                } else {
+                    a.clone()
+                }
+            })
+            .collect();
+        args.sort();
+        format!("{}|{}", self.file, args.join(" "))
+    }
+
+    /// The identity used by the XaaS vectorisation stage: like [`Self::canonical_key`]
+    /// but with delayed ISA flags removed (they are applied at deployment instead).
+    pub fn target_independent_key(&self) -> String {
+        let flags = self.flags();
+        let mut args: Vec<String> = self
+            .arguments
+            .iter()
+            .filter(|a| !flags.delayed_target_flags.contains(*a))
+            .map(|a| a.replace(&self.directory, "<build-dir>"))
+            .collect();
+        args.sort();
+        format!("{}|{}", self.file, args.join(" "))
+    }
+}
+
+/// A database of compile commands produced by configuring one build configuration.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CompileDatabase {
+    /// Label of the configuration that produced this database.
+    pub configuration: String,
+    /// The commands.
+    pub commands: Vec<CompileCommand>,
+}
+
+impl CompileDatabase {
+    /// Number of translation units (one command each).
+    pub fn translation_units(&self) -> usize {
+        self.commands.len()
+    }
+
+    /// Commands belonging to one target.
+    pub fn commands_for_target(&self, target: &str) -> Vec<&CompileCommand> {
+        self.commands.iter().filter(|c| c.target == target).collect()
+    }
+
+    /// All distinct target names.
+    pub fn targets(&self) -> Vec<String> {
+        let set: BTreeSet<String> = self.commands.iter().map(|c| c.target.clone()).collect();
+        set.into_iter().collect()
+    }
+
+    /// Serialise in a `compile_commands.json`-like format.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(&self.commands).expect("commands serialise")
+    }
+}
+
+/// Statistics comparing the commands of two configurations (used to report the §6.4
+/// percentages: how many targets have incompatible flags, how many differ only in CPU
+/// tuning, …).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DatabaseComparison {
+    /// Pairs of commands (matched by file+target) that are exactly identical.
+    pub identical: usize,
+    /// Pairs identical once build-directory paths are normalised.
+    pub identical_after_normalization: usize,
+    /// Pairs identical once delayed ISA flags are also removed.
+    pub identical_after_vectorization_delay: usize,
+    /// Pairs that still differ (different definitions or sources).
+    pub different: usize,
+    /// Files present in only one of the two databases.
+    pub unmatched: usize,
+}
+
+/// Compare two databases command-by-command (matching on target + file).
+pub fn compare(a: &CompileDatabase, b: &CompileDatabase) -> DatabaseComparison {
+    let mut result = DatabaseComparison::default();
+    let mut matched_b: BTreeSet<usize> = BTreeSet::new();
+    for cmd_a in &a.commands {
+        let Some((idx, cmd_b)) = b
+            .commands
+            .iter()
+            .enumerate()
+            .find(|(i, c)| !matched_b.contains(i) && c.target == cmd_a.target && c.file == cmd_a.file)
+        else {
+            result.unmatched += 1;
+            continue;
+        };
+        matched_b.insert(idx);
+        if cmd_a.canonical_key(false) == cmd_b.canonical_key(false) {
+            result.identical += 1;
+        } else if cmd_a.canonical_key(true) == cmd_b.canonical_key(true) {
+            result.identical_after_normalization += 1;
+        } else if cmd_a.target_independent_key() == cmd_b.target_independent_key() {
+            result.identical_after_vectorization_delay += 1;
+        } else {
+            result.different += 1;
+        }
+    }
+    result.unmatched += b.commands.len() - matched_b.len();
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn command(dir: &str, file: &str, args: &[&str]) -> CompileCommand {
+        CompileCommand {
+            directory: dir.to_string(),
+            target: "app".to_string(),
+            file: file.to_string(),
+            output: format!("{file}.o"),
+            arguments: args.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    #[test]
+    fn canonical_key_sorts_flags_and_strips_build_dir() {
+        let a = command("/build/cfg1", "a.ck", &["-O3", "-DGMX_MPI", "-I/build/cfg1/include"]);
+        let b = command("/build/cfg2", "a.ck", &["-DGMX_MPI", "-O3", "-I/build/cfg2/include"]);
+        assert_ne!(a.canonical_key(false), b.canonical_key(false));
+        assert_eq!(a.canonical_key(true), b.canonical_key(true));
+    }
+
+    #[test]
+    fn target_independent_key_drops_isa_flags() {
+        let avx = command("/b", "a.ck", &["-O3", "-mavx512f"]);
+        let sse = command("/b", "a.ck", &["-O3", "-msse4.1"]);
+        assert_ne!(avx.canonical_key(true), sse.canonical_key(true));
+        assert_eq!(avx.target_independent_key(), sse.target_independent_key());
+        // Definitions still matter.
+        let with_def = command("/b", "a.ck", &["-O3", "-DGMX_GPU_CUDA", "-mavx512f"]);
+        assert_ne!(avx.target_independent_key(), with_def.target_independent_key());
+    }
+
+    #[test]
+    fn database_queries() {
+        let mut db = CompileDatabase { configuration: "default".into(), commands: vec![] };
+        db.commands.push(command("/b", "a.ck", &["-O3"]));
+        let mut second = command("/b", "b.ck", &["-O3"]);
+        second.target = "lib".into();
+        db.commands.push(second);
+        assert_eq!(db.translation_units(), 2);
+        assert_eq!(db.targets(), vec!["app".to_string(), "lib".to_string()]);
+        assert_eq!(db.commands_for_target("app").len(), 1);
+        assert!(db.to_json().contains("a.ck"));
+    }
+
+    #[test]
+    fn compare_classifies_pairs() {
+        let base = CompileDatabase {
+            configuration: "a".into(),
+            commands: vec![
+                command("/build/a", "same.ck", &["-O3"]),
+                command("/build/a", "dir.ck", &["-O3", "-I/build/a/inc"]),
+                command("/build/a", "vec.ck", &["-O3", "-mavx512f"]),
+                command("/build/a", "def.ck", &["-O3", "-DWITH_MPI"]),
+                command("/build/a", "only_in_a.ck", &["-O3"]),
+            ],
+        };
+        let other = CompileDatabase {
+            configuration: "b".into(),
+            commands: vec![
+                command("/build/a", "same.ck", &["-O3"]),
+                command("/build/b", "dir.ck", &["-O3", "-I/build/b/inc"]),
+                command("/build/a", "vec.ck", &["-O3", "-msse2"]),
+                command("/build/a", "def.ck", &["-O3"]),
+            ],
+        };
+        let cmp = compare(&base, &other);
+        assert_eq!(cmp.identical, 1);
+        assert_eq!(cmp.identical_after_normalization, 1);
+        assert_eq!(cmp.identical_after_vectorization_delay, 1);
+        assert_eq!(cmp.different, 1);
+        assert_eq!(cmp.unmatched, 1);
+    }
+}

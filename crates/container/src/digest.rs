@@ -1,0 +1,349 @@
+//! Content digests for the container substrate.
+//!
+//! OCI images address every blob (layer, config, manifest) by a SHA-256 digest of its
+//! serialized bytes. We implement SHA-256 here directly (FIPS 180-4) so the substrate has
+//! no external cryptography dependency; the values are bit-exact with any other SHA-256
+//! implementation, which the unit tests verify against published test vectors.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// SHA-256 round constants (first 32 bits of the fractional parts of the cube roots of the
+/// first 64 prime numbers).
+const K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+];
+
+/// Initial hash values (first 32 bits of the fractional parts of the square roots of the
+/// first 8 primes).
+const H0: [u32; 8] = [
+    0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
+];
+
+/// Streaming SHA-256 hasher.
+#[derive(Clone)]
+pub struct Sha256 {
+    state: [u32; 8],
+    buffer: [u8; 64],
+    buffered: usize,
+    length_bits: u64,
+}
+
+impl Default for Sha256 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha256 {
+    /// Create a hasher in the initial state.
+    pub fn new() -> Self {
+        Self { state: H0, buffer: [0u8; 64], buffered: 0, length_bits: 0 }
+    }
+
+    /// Feed bytes into the hasher.
+    pub fn update(&mut self, data: &[u8]) {
+        self.length_bits = self.length_bits.wrapping_add((data.len() as u64) * 8);
+        let mut input = data;
+        if self.buffered > 0 {
+            let need = 64 - self.buffered;
+            let take = need.min(input.len());
+            self.buffer[self.buffered..self.buffered + take].copy_from_slice(&input[..take]);
+            self.buffered += take;
+            input = &input[take..];
+            if self.buffered == 64 {
+                let block = self.buffer;
+                self.compress(&block);
+                self.buffered = 0;
+            }
+        }
+        while input.len() >= 64 {
+            let mut block = [0u8; 64];
+            block.copy_from_slice(&input[..64]);
+            self.compress(&block);
+            input = &input[64..];
+        }
+        if !input.is_empty() {
+            self.buffer[..input.len()].copy_from_slice(input);
+            self.buffered = input.len();
+        }
+    }
+
+    /// Finish and produce the 32-byte digest.
+    pub fn finalize(mut self) -> [u8; 32] {
+        let length_bits = self.length_bits;
+        // Append the 0x80 terminator, zero padding, and the 64-bit big-endian length.
+        self.update_padding_byte(0x80);
+        while self.buffered != 56 {
+            self.update_padding_byte(0x00);
+        }
+        let len_bytes = length_bits.to_be_bytes();
+        for b in len_bytes {
+            self.update_padding_byte(b);
+        }
+        debug_assert_eq!(self.buffered, 0);
+        let mut out = [0u8; 32];
+        for (i, word) in self.state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        out
+    }
+
+    /// Push one padding byte without affecting the message length counter.
+    fn update_padding_byte(&mut self, byte: u8) {
+        self.buffer[self.buffered] = byte;
+        self.buffered += 1;
+        if self.buffered == 64 {
+            let block = self.buffer;
+            self.compress(&block);
+            self.buffered = 0;
+        }
+    }
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 64];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+        for i in 0..64 {
+            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ ((!e) & g);
+            let temp1 = h
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(K[i])
+                .wrapping_add(w[i]);
+            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let temp2 = s0.wrapping_add(maj);
+            h = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(temp1);
+            d = c;
+            c = b;
+            b = a;
+            a = temp1.wrapping_add(temp2);
+        }
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+        self.state[4] = self.state[4].wrapping_add(e);
+        self.state[5] = self.state[5].wrapping_add(f);
+        self.state[6] = self.state[6].wrapping_add(g);
+        self.state[7] = self.state[7].wrapping_add(h);
+    }
+}
+
+/// Compute the SHA-256 digest of `data` in one call.
+pub fn sha256(data: &[u8]) -> [u8; 32] {
+    let mut h = Sha256::new();
+    h.update(data);
+    h.finalize()
+}
+
+/// A content digest in the OCI `algorithm:hex` notation, e.g. `sha256:abcd…`.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Digest(String);
+
+impl Digest {
+    /// Digest of raw bytes using SHA-256.
+    pub fn of_bytes(data: &[u8]) -> Self {
+        Digest(format!("sha256:{}", hex(&sha256(data))))
+    }
+
+    /// Digest of a UTF-8 string.
+    pub fn of_str(data: &str) -> Self {
+        Self::of_bytes(data.as_bytes())
+    }
+
+    /// Parse a digest from its textual representation, validating the format.
+    pub fn parse(text: &str) -> Result<Self, DigestError> {
+        let Some((algo, hexpart)) = text.split_once(':') else {
+            return Err(DigestError::MissingSeparator);
+        };
+        if algo != "sha256" {
+            return Err(DigestError::UnsupportedAlgorithm(algo.to_string()));
+        }
+        if hexpart.len() != 64 || !hexpart.chars().all(|c| c.is_ascii_hexdigit()) {
+            return Err(DigestError::InvalidHex);
+        }
+        Ok(Digest(format!("sha256:{}", hexpart.to_ascii_lowercase())))
+    }
+
+    /// The algorithm prefix (always `sha256` in this substrate).
+    pub fn algorithm(&self) -> &str {
+        self.0.split(':').next().unwrap_or_default()
+    }
+
+    /// The hexadecimal payload of the digest.
+    pub fn hex(&self) -> &str {
+        self.0.split(':').nth(1).unwrap_or_default()
+    }
+
+    /// Full `algorithm:hex` form.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// A short (12 hex character) prefix, convenient for image tags and logs.
+    pub fn short(&self) -> &str {
+        &self.hex()[..12.min(self.hex().len())]
+    }
+}
+
+impl fmt::Display for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl fmt::Debug for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Digest({})", self.0)
+    }
+}
+
+/// Errors produced when parsing digests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DigestError {
+    /// The `algorithm:hex` separator is missing.
+    MissingSeparator,
+    /// Only sha256 is supported by this substrate.
+    UnsupportedAlgorithm(String),
+    /// The hexadecimal part is malformed.
+    InvalidHex,
+}
+
+impl fmt::Display for DigestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DigestError::MissingSeparator => write!(f, "digest is missing the ':' separator"),
+            DigestError::UnsupportedAlgorithm(a) => write!(f, "unsupported digest algorithm: {a}"),
+            DigestError::InvalidHex => write!(f, "digest hex payload is malformed"),
+        }
+    }
+}
+
+impl std::error::Error for DigestError {}
+
+/// Hex-encode a byte slice (lowercase).
+pub fn hex(bytes: &[u8]) -> String {
+    const TABLE: &[u8; 16] = b"0123456789abcdef";
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for &b in bytes {
+        out.push(TABLE[(b >> 4) as usize] as char);
+        out.push(TABLE[(b & 0xf) as usize] as char);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sha256_empty_matches_fips_vector() {
+        assert_eq!(
+            hex(&sha256(b"")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+    }
+
+    #[test]
+    fn sha256_abc_matches_fips_vector() {
+        assert_eq!(
+            hex(&sha256(b"abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+    }
+
+    #[test]
+    fn sha256_two_block_message_matches_fips_vector() {
+        let msg = b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq";
+        assert_eq!(
+            hex(&sha256(msg)),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+    }
+
+    #[test]
+    fn sha256_million_a_matches_fips_vector() {
+        let mut h = Sha256::new();
+        let chunk = [b'a'; 1000];
+        for _ in 0..1000 {
+            h.update(&chunk);
+        }
+        assert_eq!(
+            hex(&h.finalize()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+        );
+    }
+
+    #[test]
+    fn incremental_and_oneshot_agree() {
+        let data: Vec<u8> = (0..10_000u32).map(|i| (i % 251) as u8).collect();
+        let oneshot = sha256(&data);
+        for split in [0usize, 1, 63, 64, 65, 127, 4096, 9999, 10_000] {
+            let mut h = Sha256::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finalize(), oneshot, "split at {split} diverged");
+        }
+    }
+
+    #[test]
+    fn digest_format_and_parse_roundtrip() {
+        let d = Digest::of_str("hello world");
+        assert!(d.as_str().starts_with("sha256:"));
+        assert_eq!(d.hex().len(), 64);
+        let parsed = Digest::parse(d.as_str()).unwrap();
+        assert_eq!(parsed, d);
+        assert_eq!(d.algorithm(), "sha256");
+        assert_eq!(d.short().len(), 12);
+    }
+
+    #[test]
+    fn digest_parse_rejects_malformed_inputs() {
+        assert_eq!(Digest::parse("deadbeef"), Err(DigestError::MissingSeparator));
+        assert_eq!(
+            Digest::parse("md5:aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa"),
+            Err(DigestError::UnsupportedAlgorithm("md5".into()))
+        );
+        assert_eq!(Digest::parse("sha256:zzzz"), Err(DigestError::InvalidHex));
+        assert_eq!(Digest::parse("sha256:abcd"), Err(DigestError::InvalidHex));
+    }
+
+    #[test]
+    fn different_content_different_digest() {
+        assert_ne!(Digest::of_str("a"), Digest::of_str("b"));
+        assert_eq!(Digest::of_str("a"), Digest::of_str("a"));
+    }
+
+    #[test]
+    fn digest_serde_is_transparent_string() {
+        let d = Digest::of_str("x");
+        let json = serde_json::to_string(&d).unwrap();
+        assert_eq!(json, format!("\"{}\"", d.as_str()));
+        let back: Digest = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, d);
+    }
+}

@@ -1,0 +1,476 @@
+//! Container images: config, manifest, image index, and an in-memory blob store.
+//!
+//! An [`Image`] owns its layers and metadata; [`ImageStore`] is the content-addressed
+//! store images are committed to. Committing produces the OCI-style manifest chain
+//! (config blob + layer blobs + manifest blob), whose digests are the immutable identity
+//! the paper discusses when it points out that deployment-time rebuilds necessarily
+//! produce a *new* image with a new digest (Section 5.2).
+
+use crate::digest::Digest;
+use crate::layer::{Layer, RootFs};
+use crate::oci::{annotation_keys, Architecture, DeploymentFormat, Descriptor, MediaType, Platform};
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Runtime configuration recorded in the image config blob.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ImageRuntimeConfig {
+    /// Environment variables (`KEY=VALUE`).
+    pub env: Vec<String>,
+    /// Default entrypoint command.
+    pub entrypoint: Vec<String>,
+    /// Default working directory.
+    pub working_dir: Option<String>,
+    /// Labels (image-level annotations stored in the config).
+    pub labels: BTreeMap<String, String>,
+}
+
+/// One history record per layer.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistoryEntry {
+    /// Build step that created the layer (e.g. a Dockerfile-like instruction).
+    pub created_by: String,
+    /// True for metadata-only steps that produced no layer.
+    pub empty_layer: bool,
+}
+
+/// The image configuration blob.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ImageConfig {
+    /// Target platform of the image.
+    pub platform: Platform,
+    /// Runtime configuration.
+    pub config: ImageRuntimeConfig,
+    /// Diff IDs of the layers, bottom to top.
+    pub rootfs_diff_ids: Vec<Digest>,
+    /// History of build steps.
+    pub history: Vec<HistoryEntry>,
+}
+
+/// An image manifest: config descriptor + ordered layer descriptors + annotations.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Manifest {
+    /// Always [`MediaType::ImageManifest`].
+    pub media_type: MediaType,
+    /// Descriptor of the config blob.
+    pub config: Descriptor,
+    /// Descriptors of the layer blobs, bottom to top.
+    pub layers: Vec<Descriptor>,
+    /// Manifest annotations; XaaS stores specialization points here.
+    pub annotations: BTreeMap<String, String>,
+}
+
+/// A multi-platform image index (a "fat manifest").
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ImageIndex {
+    /// Always [`MediaType::ImageIndex`].
+    pub media_type: MediaType,
+    /// Manifest descriptors, one per platform (or per IR dialect for XaaS).
+    pub manifests: Vec<Descriptor>,
+    /// Index-level annotations.
+    pub annotations: BTreeMap<String, String>,
+}
+
+impl ImageIndex {
+    /// Create an empty index.
+    pub fn new() -> Self {
+        Self { media_type: MediaType::ImageIndex, manifests: Vec::new(), annotations: BTreeMap::new() }
+    }
+
+    /// Select the manifest matching an architecture, preferring exact matches and falling
+    /// back to an IR manifest (which can be lowered to any architecture).
+    pub fn select(&self, arch: Architecture) -> Option<&Descriptor> {
+        self.manifests
+            .iter()
+            .find(|d| d.platform.as_ref().is_some_and(|p| p.architecture == arch))
+            .or_else(|| {
+                self.manifests
+                    .iter()
+                    .find(|d| d.platform.as_ref().is_some_and(|p| p.architecture == Architecture::XirIr))
+            })
+    }
+}
+
+impl Default for ImageIndex {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A buildable, mutable image. Committing it to an [`ImageStore`] freezes it into blobs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Image {
+    /// Human-readable reference (`repository:tag`) used when committing.
+    pub reference: String,
+    /// Target platform.
+    pub platform: Platform,
+    /// Layers, bottom to top.
+    pub layers: Vec<Layer>,
+    /// Runtime configuration.
+    pub runtime: ImageRuntimeConfig,
+    /// Manifest annotations.
+    pub annotations: BTreeMap<String, String>,
+}
+
+impl Image {
+    /// Start a new image for `reference` on `platform`.
+    pub fn new(reference: impl Into<String>, platform: Platform) -> Self {
+        Self {
+            reference: reference.into(),
+            platform,
+            layers: Vec::new(),
+            runtime: ImageRuntimeConfig::default(),
+            annotations: BTreeMap::new(),
+        }
+    }
+
+    /// Derive a new image from an existing one (the `FROM` instruction): layers, runtime
+    /// configuration, and annotations are inherited.
+    pub fn derive_from(base: &Image, reference: impl Into<String>) -> Self {
+        Self {
+            reference: reference.into(),
+            platform: base.platform.clone(),
+            layers: base.layers.clone(),
+            runtime: base.runtime.clone(),
+            annotations: base.annotations.clone(),
+        }
+    }
+
+    /// Append a layer.
+    pub fn push_layer(&mut self, layer: Layer) -> &mut Self {
+        self.layers.push(layer);
+        self
+    }
+
+    /// Set an annotation.
+    pub fn annotate(&mut self, key: impl Into<String>, value: impl Into<String>) -> &mut Self {
+        self.annotations.insert(key.into(), value.into());
+        self
+    }
+
+    /// Record the deployment format annotation.
+    pub fn set_deployment_format(&mut self, format: DeploymentFormat) -> &mut Self {
+        self.annotate(annotation_keys::DEPLOYMENT_FORMAT, format.as_str())
+    }
+
+    /// Read back the deployment format annotation, defaulting to `Binary`.
+    pub fn deployment_format(&self) -> DeploymentFormat {
+        self.annotations
+            .get(annotation_keys::DEPLOYMENT_FORMAT)
+            .and_then(|v| DeploymentFormat::parse(v))
+            .unwrap_or(DeploymentFormat::Binary)
+    }
+
+    /// Flatten all layers into a root filesystem.
+    pub fn rootfs(&self) -> RootFs {
+        RootFs::flatten(self.layers.iter())
+    }
+
+    /// Total size of all layers in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.layers.iter().map(|l| l.to_archive().len() as u64).sum()
+    }
+
+    /// Number of layers.
+    pub fn layer_count(&self) -> usize {
+        self.layers.len()
+    }
+}
+
+/// Errors from the image store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ImageError {
+    /// A referenced blob was not present in the store.
+    MissingBlob(Digest),
+    /// A blob could not be decoded as the expected type.
+    Corrupt(String),
+    /// The requested reference does not exist.
+    UnknownReference(String),
+}
+
+impl fmt::Display for ImageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImageError::MissingBlob(d) => write!(f, "blob {d} missing from store"),
+            ImageError::Corrupt(what) => write!(f, "corrupt blob: {what}"),
+            ImageError::UnknownReference(r) => write!(f, "unknown image reference: {r}"),
+        }
+    }
+}
+
+impl std::error::Error for ImageError {}
+
+/// A content-addressed blob store plus a tag table, shared by builders and registries.
+#[derive(Clone, Default)]
+pub struct ImageStore {
+    inner: Arc<RwLock<StoreInner>>,
+}
+
+#[derive(Default)]
+struct StoreInner {
+    blobs: BTreeMap<Digest, Vec<u8>>,
+    tags: BTreeMap<String, Digest>,
+}
+
+impl ImageStore {
+    /// Create an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert a raw blob, returning its digest. Idempotent.
+    pub fn put_blob(&self, bytes: Vec<u8>) -> Digest {
+        let digest = Digest::of_bytes(&bytes);
+        self.inner.write().blobs.entry(digest.clone()).or_insert(bytes);
+        digest
+    }
+
+    /// Fetch a blob by digest.
+    pub fn get_blob(&self, digest: &Digest) -> Result<Vec<u8>, ImageError> {
+        self.inner
+            .read()
+            .blobs
+            .get(digest)
+            .cloned()
+            .ok_or_else(|| ImageError::MissingBlob(digest.clone()))
+    }
+
+    /// Whether the store holds a blob.
+    pub fn has_blob(&self, digest: &Digest) -> bool {
+        self.inner.read().blobs.contains_key(digest)
+    }
+
+    /// Number of stored blobs.
+    pub fn blob_count(&self) -> usize {
+        self.inner.read().blobs.len()
+    }
+
+    /// Total stored bytes (deduplicated by digest).
+    pub fn total_bytes(&self) -> u64 {
+        self.inner.read().blobs.values().map(|b| b.len() as u64).sum()
+    }
+
+    /// Commit an [`Image`]: serialise layers, config, and manifest into blobs, tag the
+    /// manifest with the image reference, and return the manifest descriptor.
+    pub fn commit(&self, image: &Image) -> Descriptor {
+        let mut layer_descriptors = Vec::with_capacity(image.layers.len());
+        let mut diff_ids = Vec::with_capacity(image.layers.len());
+        let mut history = Vec::with_capacity(image.layers.len());
+        for layer in &image.layers {
+            let archive = layer.to_archive();
+            let size = archive.len() as u64;
+            let digest = self.put_blob(archive);
+            diff_ids.push(layer.diff_id());
+            history.push(HistoryEntry { created_by: layer.created_by.clone(), empty_layer: layer.is_empty() });
+            layer_descriptors.push(Descriptor::new(MediaType::Layer, digest, size));
+        }
+        let config = ImageConfig {
+            platform: image.platform.clone(),
+            config: image.runtime.clone(),
+            rootfs_diff_ids: diff_ids,
+            history,
+        };
+        let config_bytes = serde_json::to_vec(&config).expect("config serialises");
+        let config_size = config_bytes.len() as u64;
+        let config_digest = self.put_blob(config_bytes);
+        let manifest = Manifest {
+            media_type: MediaType::ImageManifest,
+            config: Descriptor::new(MediaType::ImageConfig, config_digest, config_size),
+            layers: layer_descriptors,
+            annotations: image.annotations.clone(),
+        };
+        let manifest_bytes = serde_json::to_vec(&manifest).expect("manifest serialises");
+        let manifest_size = manifest_bytes.len() as u64;
+        let manifest_digest = self.put_blob(manifest_bytes);
+        self.inner.write().tags.insert(image.reference.clone(), manifest_digest.clone());
+        Descriptor::new(MediaType::ImageManifest, manifest_digest, manifest_size)
+            .with_platform(image.platform.clone())
+    }
+
+    /// Resolve a reference (tag) to its manifest digest.
+    pub fn resolve(&self, reference: &str) -> Result<Digest, ImageError> {
+        self.inner
+            .read()
+            .tags
+            .get(reference)
+            .cloned()
+            .ok_or_else(|| ImageError::UnknownReference(reference.to_string()))
+    }
+
+    /// List all known references with their manifest digests.
+    pub fn references(&self) -> Vec<(String, Digest)> {
+        self.inner.read().tags.iter().map(|(k, v)| (k.clone(), v.clone())).collect()
+    }
+
+    /// Load a manifest blob.
+    pub fn manifest(&self, digest: &Digest) -> Result<Manifest, ImageError> {
+        let bytes = self.get_blob(digest)?;
+        serde_json::from_slice(&bytes).map_err(|e| ImageError::Corrupt(format!("manifest: {e}")))
+    }
+
+    /// Load a config blob.
+    pub fn config(&self, digest: &Digest) -> Result<ImageConfig, ImageError> {
+        let bytes = self.get_blob(digest)?;
+        serde_json::from_slice(&bytes).map_err(|e| ImageError::Corrupt(format!("config: {e}")))
+    }
+
+    /// Reconstruct a full [`Image`] from a tagged reference.
+    pub fn load(&self, reference: &str) -> Result<Image, ImageError> {
+        let manifest_digest = self.resolve(reference)?;
+        let manifest = self.manifest(&manifest_digest)?;
+        let config = self.config(&manifest.config.digest)?;
+        let mut layers = Vec::with_capacity(manifest.layers.len());
+        for desc in &manifest.layers {
+            let bytes = self.get_blob(&desc.digest)?;
+            let layer = Layer::from_archive(&bytes)
+                .map_err(|e| ImageError::Corrupt(format!("layer {}: {e}", desc.digest)))?;
+            layers.push(layer);
+        }
+        Ok(Image {
+            reference: reference.to_string(),
+            platform: config.platform,
+            layers,
+            runtime: config.config,
+            annotations: manifest.annotations,
+        })
+    }
+
+    /// Commit a multi-platform image index from per-platform manifest descriptors.
+    pub fn commit_index(
+        &self,
+        reference: &str,
+        manifests: Vec<Descriptor>,
+        annotations: BTreeMap<String, String>,
+    ) -> Descriptor {
+        let index = ImageIndex { media_type: MediaType::ImageIndex, manifests, annotations };
+        let bytes = serde_json::to_vec(&index).expect("index serialises");
+        let size = bytes.len() as u64;
+        let digest = self.put_blob(bytes);
+        self.inner.write().tags.insert(reference.to_string(), digest.clone());
+        Descriptor::new(MediaType::ImageIndex, digest, size)
+    }
+
+    /// Load an image index by reference.
+    pub fn load_index(&self, reference: &str) -> Result<ImageIndex, ImageError> {
+        let digest = self.resolve(reference)?;
+        let bytes = self.get_blob(&digest)?;
+        serde_json::from_slice(&bytes).map_err(|e| ImageError::Corrupt(format!("index: {e}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toolchain_image() -> Image {
+        let mut img = Image::new("xaas/toolchain:19", Platform::linux(Architecture::Amd64));
+        let mut base = Layer::new("FROM scratch");
+        base.add_text("/etc/os-release", "ubuntu 22.04");
+        let mut clang = Layer::new("RUN install xirc");
+        clang.add_executable("/usr/bin/xirc", b"xirc-binary".to_vec());
+        img.push_layer(base).push_layer(clang);
+        img.runtime.env.push("PATH=/usr/bin".to_string());
+        img
+    }
+
+    #[test]
+    fn commit_and_load_roundtrip() {
+        let store = ImageStore::new();
+        let img = toolchain_image();
+        let desc = store.commit(&img);
+        assert_eq!(desc.media_type, MediaType::ImageManifest);
+        let loaded = store.load("xaas/toolchain:19").unwrap();
+        assert_eq!(loaded.layers, img.layers);
+        assert_eq!(loaded.runtime, img.runtime);
+        assert_eq!(loaded.platform, img.platform);
+    }
+
+    #[test]
+    fn identical_layers_are_deduplicated_in_the_store() {
+        let store = ImageStore::new();
+        let img = toolchain_image();
+        store.commit(&img);
+        let blobs_before = store.blob_count();
+        // Commit a second image that shares both layers; only config+manifest blobs differ.
+        let mut img2 = Image::derive_from(&img, "xaas/toolchain:19-copy");
+        img2.runtime.env.push("EXTRA=1".to_string());
+        store.commit(&img2);
+        assert_eq!(store.blob_count(), blobs_before + 2);
+    }
+
+    #[test]
+    fn recommitting_same_image_changes_nothing() {
+        let store = ImageStore::new();
+        let img = toolchain_image();
+        let d1 = store.commit(&img);
+        let d2 = store.commit(&img);
+        assert_eq!(d1.digest, d2.digest);
+    }
+
+    #[test]
+    fn derived_image_with_new_layer_gets_new_manifest_digest() {
+        let store = ImageStore::new();
+        let base = toolchain_image();
+        let d1 = store.commit(&base);
+        let mut derived = Image::derive_from(&base, "xaas/app:deployed");
+        let mut l = Layer::new("RUN build app");
+        l.add_executable("/opt/app/bin/md", b"binary".to_vec());
+        derived.push_layer(l);
+        let d2 = store.commit(&derived);
+        assert_ne!(d1.digest, d2.digest);
+        assert_eq!(store.load("xaas/app:deployed").unwrap().layer_count(), 3);
+    }
+
+    #[test]
+    fn unknown_reference_is_an_error() {
+        let store = ImageStore::new();
+        assert!(matches!(store.load("missing:latest"), Err(ImageError::UnknownReference(_))));
+    }
+
+    #[test]
+    fn deployment_format_annotation_roundtrips() {
+        let store = ImageStore::new();
+        let mut img = toolchain_image();
+        img.set_deployment_format(DeploymentFormat::Ir);
+        store.commit(&img);
+        let loaded = store.load("xaas/toolchain:19").unwrap();
+        assert_eq!(loaded.deployment_format(), DeploymentFormat::Ir);
+    }
+
+    #[test]
+    fn image_index_selects_exact_arch_then_falls_back_to_ir() {
+        let store = ImageStore::new();
+        let amd = toolchain_image();
+        let amd_desc = store.commit(&amd);
+        let mut arm = toolchain_image();
+        arm.reference = "xaas/toolchain:19-arm".into();
+        arm.platform = Platform::linux(Architecture::Arm64);
+        let arm_desc = store.commit(&arm);
+        let mut ir = toolchain_image();
+        ir.reference = "xaas/toolchain:19-ir".into();
+        ir.platform = Platform::linux(Architecture::XirIr);
+        let ir_desc = store.commit(&ir);
+
+        store.commit_index(
+            "xaas/toolchain:multi",
+            vec![amd_desc.clone(), arm_desc.clone(), ir_desc.clone()],
+            BTreeMap::new(),
+        );
+        let index = store.load_index("xaas/toolchain:multi").unwrap();
+        assert_eq!(index.select(Architecture::Amd64).unwrap().digest, amd_desc.digest);
+        assert_eq!(index.select(Architecture::Arm64).unwrap().digest, arm_desc.digest);
+        // No ppc64le manifest: fall back to the IR one, which can be lowered at deployment.
+        assert_eq!(index.select(Architecture::Ppc64le).unwrap().digest, ir_desc.digest);
+    }
+
+    #[test]
+    fn rootfs_of_image_reflects_all_layers() {
+        let img = toolchain_image();
+        let root = img.rootfs();
+        assert!(root.get("/usr/bin/xirc").is_some());
+        assert!(root.get("/etc/os-release").is_some());
+    }
+}

@@ -1,0 +1,269 @@
+//! OCI image-spec data model: media types, platforms, descriptors, annotations.
+//!
+//! The paper (Section 5.2) argues that source/IR formats should become an identifying
+//! feature of the image — carried either in the platform `architecture`/`variant`/
+//! `features` fields or in annotations — so that XaaS tools can query specialization
+//! points *before* pulling the image. This module provides those structures.
+
+use crate::digest::Digest;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Media types used by the substrate, mirroring the OCI image spec.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MediaType {
+    /// `application/vnd.oci.image.index.v1+json`
+    ImageIndex,
+    /// `application/vnd.oci.image.manifest.v1+json`
+    ImageManifest,
+    /// `application/vnd.oci.image.config.v1+json`
+    ImageConfig,
+    /// `application/vnd.oci.image.layer.v1.tar`
+    Layer,
+    /// XaaS extension: a layer that stores intermediate representation bitcode.
+    IrLayer,
+    /// XaaS extension: a layer that stores application source and build instructions.
+    SourceLayer,
+}
+
+impl MediaType {
+    /// The wire string for this media type.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            MediaType::ImageIndex => "application/vnd.oci.image.index.v1+json",
+            MediaType::ImageManifest => "application/vnd.oci.image.manifest.v1+json",
+            MediaType::ImageConfig => "application/vnd.oci.image.config.v1+json",
+            MediaType::Layer => "application/vnd.oci.image.layer.v1.tar",
+            MediaType::IrLayer => "application/vnd.xaas.image.layer.v1.ir",
+            MediaType::SourceLayer => "application/vnd.xaas.image.layer.v1.source",
+        }
+    }
+}
+
+impl fmt::Display for MediaType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// CPU architectures recognised by the image platform field.
+///
+/// The paper proposes extending the architecture list with IR formats (e.g. `llvm-ir`)
+/// so registries can treat IR containers as first-class multi-arch variants; the XaaS
+/// equivalent here is [`Architecture::XirIr`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Architecture {
+    /// 64-bit x86.
+    Amd64,
+    /// 64-bit ARM.
+    Arm64,
+    /// IBM POWER (little endian).
+    Ppc64le,
+    /// RISC-V 64-bit.
+    Riscv64,
+    /// XaaS extension: the image payload is architecture-independent XIR bitcode.
+    XirIr,
+}
+
+impl Architecture {
+    /// The wire string used in manifests.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Architecture::Amd64 => "amd64",
+            Architecture::Arm64 => "arm64",
+            Architecture::Ppc64le => "ppc64le",
+            Architecture::Riscv64 => "riscv64",
+            Architecture::XirIr => "xir-ir",
+        }
+    }
+
+    /// Whether a binary built for `self` can run on hardware of `host` without translation.
+    pub fn runs_on(&self, host: Architecture) -> bool {
+        match self {
+            Architecture::XirIr => true, // IR is lowered at deployment, so it "runs" anywhere.
+            other => *other == host,
+        }
+    }
+}
+
+impl fmt::Display for Architecture {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Platform description attached to a manifest descriptor.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Platform {
+    /// CPU architecture (or IR pseudo-architecture).
+    pub architecture: Architecture,
+    /// Operating system; the substrate only models Linux.
+    pub os: String,
+    /// Architecture variant (e.g. `v8` for arm64, or an IR dialect version).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub variant: Option<String>,
+    /// Optional CPU/IR feature strings (the OCI spec reserves this field).
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub features: Vec<String>,
+}
+
+impl Platform {
+    /// A Linux platform for the given architecture.
+    pub fn linux(architecture: Architecture) -> Self {
+        Self { architecture, os: "linux".to_string(), variant: None, features: Vec::new() }
+    }
+
+    /// Attach a variant.
+    pub fn with_variant(mut self, variant: impl Into<String>) -> Self {
+        self.variant = Some(variant.into());
+        self
+    }
+
+    /// Attach a feature string (e.g. `avx512f` or `xir-v1`).
+    pub fn with_feature(mut self, feature: impl Into<String>) -> Self {
+        self.features.push(feature.into());
+        self
+    }
+}
+
+/// A content descriptor: media type + digest + size (+ optional platform and annotations).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Descriptor {
+    /// Media type of the referenced blob.
+    pub media_type: MediaType,
+    /// Digest of the referenced blob.
+    pub digest: Digest,
+    /// Size in bytes of the referenced blob.
+    pub size: u64,
+    /// Platform, present on manifest descriptors inside an image index.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub platform: Option<Platform>,
+    /// Arbitrary key/value annotations.
+    #[serde(default, skip_serializing_if = "BTreeMap::is_empty")]
+    pub annotations: BTreeMap<String, String>,
+}
+
+impl Descriptor {
+    /// Build a descriptor for a blob.
+    pub fn new(media_type: MediaType, digest: Digest, size: u64) -> Self {
+        Self { media_type, digest, size, platform: None, annotations: BTreeMap::new() }
+    }
+
+    /// Attach a platform.
+    pub fn with_platform(mut self, platform: Platform) -> Self {
+        self.platform = Some(platform);
+        self
+    }
+
+    /// Attach one annotation.
+    pub fn with_annotation(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.annotations.insert(key.into(), value.into());
+        self
+    }
+}
+
+/// Well-known annotation keys used by the XaaS tooling.
+pub mod annotation_keys {
+    /// JSON document with the application's specialization points (Section 5.2 proposal).
+    pub const SPECIALIZATION_POINTS: &str = "dev.xaas.specialization-points";
+    /// The deployment format of the image: `binary`, `source`, or `ir`.
+    pub const DEPLOYMENT_FORMAT: &str = "dev.xaas.deployment-format";
+    /// IR dialect and version stored in an IR container (e.g. `xir.v1`).
+    pub const IR_DIALECT: &str = "dev.xaas.ir-dialect";
+    /// The configuration selected when a deployed image was produced.
+    pub const SELECTED_CONFIGURATION: &str = "dev.xaas.selected-configuration";
+    /// The system the deployed image was specialized for.
+    pub const TARGET_SYSTEM: &str = "dev.xaas.target-system";
+    /// OCI standard: image title.
+    pub const TITLE: &str = "org.opencontainers.image.title";
+    /// OCI standard: image revision (source commit).
+    pub const REVISION: &str = "org.opencontainers.image.revision";
+}
+
+/// Deployment format recorded in [`annotation_keys::DEPLOYMENT_FORMAT`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DeploymentFormat {
+    /// Conventional container: fully compiled binaries.
+    Binary,
+    /// XaaS source container: source + toolchain, build at deployment.
+    Source,
+    /// XaaS IR container: deduplicated IR, lowered at deployment.
+    Ir,
+}
+
+impl DeploymentFormat {
+    /// Wire string stored in annotations.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            DeploymentFormat::Binary => "binary",
+            DeploymentFormat::Source => "source",
+            DeploymentFormat::Ir => "ir",
+        }
+    }
+
+    /// Parse from the annotation value.
+    pub fn parse(text: &str) -> Option<Self> {
+        match text {
+            "binary" => Some(DeploymentFormat::Binary),
+            "source" => Some(DeploymentFormat::Source),
+            "ir" => Some(DeploymentFormat::Ir),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for DeploymentFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn media_type_strings_are_stable() {
+        assert_eq!(MediaType::ImageManifest.as_str(), "application/vnd.oci.image.manifest.v1+json");
+        assert_eq!(MediaType::IrLayer.as_str(), "application/vnd.xaas.image.layer.v1.ir");
+    }
+
+    #[test]
+    fn ir_architecture_runs_anywhere_binaries_do_not() {
+        assert!(Architecture::XirIr.runs_on(Architecture::Amd64));
+        assert!(Architecture::XirIr.runs_on(Architecture::Arm64));
+        assert!(Architecture::Amd64.runs_on(Architecture::Amd64));
+        assert!(!Architecture::Amd64.runs_on(Architecture::Arm64));
+        assert!(!Architecture::Arm64.runs_on(Architecture::Amd64));
+    }
+
+    #[test]
+    fn platform_builder_sets_fields() {
+        let p = Platform::linux(Architecture::Arm64).with_variant("v8").with_feature("sve");
+        assert_eq!(p.os, "linux");
+        assert_eq!(p.variant.as_deref(), Some("v8"));
+        assert_eq!(p.features, vec!["sve".to_string()]);
+    }
+
+    #[test]
+    fn descriptor_annotations_roundtrip_through_json() {
+        let d = Descriptor::new(MediaType::Layer, Digest::of_str("blob"), 4)
+            .with_platform(Platform::linux(Architecture::Amd64))
+            .with_annotation(annotation_keys::DEPLOYMENT_FORMAT, DeploymentFormat::Ir.as_str());
+        let json = serde_json::to_string(&d).unwrap();
+        let back: Descriptor = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, d);
+        assert_eq!(
+            DeploymentFormat::parse(&back.annotations[annotation_keys::DEPLOYMENT_FORMAT]),
+            Some(DeploymentFormat::Ir)
+        );
+    }
+
+    #[test]
+    fn deployment_format_parse_rejects_unknown() {
+        assert_eq!(DeploymentFormat::parse("source"), Some(DeploymentFormat::Source));
+        assert_eq!(DeploymentFormat::parse("binary"), Some(DeploymentFormat::Binary));
+        assert_eq!(DeploymentFormat::parse("squashfs"), None);
+    }
+}

@@ -1,0 +1,396 @@
+//! Dockerfile-like build recipes.
+//!
+//! The XaaS deployment step "generates a Dockerfile to create a new image that inherits
+//! from the source container and builds the application with selected options"
+//! (Section 4.1). [`Recipe`] models that generated file; [`RecipeBuilder`] executes it
+//! against an [`ImageStore`], producing one layer per filesystem-mutating instruction.
+//! `RUN` steps do not shell out: the caller supplies a [`RunHandler`] that maps the
+//! command to the files it produces, which is how the XaaS crate plugs the XIR compiler
+//! and the build system into container builds.
+
+use crate::image::{Image, ImageError, ImageStore};
+use crate::layer::{Layer, RootFs};
+use crate::oci::{Architecture, Platform};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One instruction of a recipe.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(missing_docs)] // variant payload fields are documented by the Display impl
+pub enum Instruction {
+    /// `FROM <reference>` — start from a committed base image (or `scratch`).
+    From(String),
+    /// `COPY <dest-path> <content>` — add a file to the image.
+    Copy { dest: String, content: Vec<u8> },
+    /// `RUN <command>` — delegated to the [`RunHandler`].
+    Run(String),
+    /// `ENV KEY=VALUE`.
+    Env(String, String),
+    /// `LABEL key=value` — stored as a manifest annotation.
+    Label(String, String),
+    /// `ENTRYPOINT [..]`.
+    Entrypoint(Vec<String>),
+    /// `WORKDIR <dir>`.
+    Workdir(String),
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instruction::From(r) => write!(f, "FROM {r}"),
+            Instruction::Copy { dest, content } => write!(f, "COPY {dest} ({} bytes)", content.len()),
+            Instruction::Run(cmd) => write!(f, "RUN {cmd}"),
+            Instruction::Env(k, v) => write!(f, "ENV {k}={v}"),
+            Instruction::Label(k, v) => write!(f, "LABEL {k}={v}"),
+            Instruction::Entrypoint(args) => write!(f, "ENTRYPOINT {args:?}"),
+            Instruction::Workdir(d) => write!(f, "WORKDIR {d}"),
+        }
+    }
+}
+
+/// A parsed/constructed recipe.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Recipe {
+    /// Ordered instructions.
+    pub instructions: Vec<Instruction>,
+}
+
+impl Recipe {
+    /// Start an empty recipe.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a `FROM` instruction.
+    pub fn from_image(mut self, reference: impl Into<String>) -> Self {
+        self.instructions.push(Instruction::From(reference.into()));
+        self
+    }
+
+    /// Append a `COPY` with text content.
+    pub fn copy_text(mut self, dest: impl Into<String>, content: impl Into<String>) -> Self {
+        self.instructions
+            .push(Instruction::Copy { dest: dest.into(), content: content.into().into_bytes() });
+        self
+    }
+
+    /// Append a `COPY` with binary content.
+    pub fn copy_bytes(mut self, dest: impl Into<String>, content: Vec<u8>) -> Self {
+        self.instructions.push(Instruction::Copy { dest: dest.into(), content });
+        self
+    }
+
+    /// Append a `RUN`.
+    pub fn run(mut self, command: impl Into<String>) -> Self {
+        self.instructions.push(Instruction::Run(command.into()));
+        self
+    }
+
+    /// Append an `ENV`.
+    pub fn env(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.instructions.push(Instruction::Env(key.into(), value.into()));
+        self
+    }
+
+    /// Append a `LABEL`.
+    pub fn label(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.instructions.push(Instruction::Label(key.into(), value.into()));
+        self
+    }
+
+    /// Append an `ENTRYPOINT`.
+    pub fn entrypoint(mut self, args: Vec<String>) -> Self {
+        self.instructions.push(Instruction::Entrypoint(args));
+        self
+    }
+
+    /// Append a `WORKDIR`.
+    pub fn workdir(mut self, dir: impl Into<String>) -> Self {
+        self.instructions.push(Instruction::Workdir(dir.into()));
+        self
+    }
+
+    /// Render the recipe as Dockerfile-flavoured text (content of COPY elided).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for inst in &self.instructions {
+            out.push_str(&inst.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.instructions.len()
+    }
+
+    /// True if the recipe is empty.
+    pub fn is_empty(&self) -> bool {
+        self.instructions.is_empty()
+    }
+}
+
+/// Outcome of a `RUN` instruction: files produced (path → bytes) plus log output.
+#[derive(Debug, Clone, Default)]
+pub struct RunOutput {
+    /// Files the command created or replaced.
+    pub files: BTreeMap<String, Vec<u8>>,
+    /// Paths the command removed.
+    pub removed: Vec<String>,
+    /// Captured log text.
+    pub log: String,
+}
+
+/// Handler invoked for every `RUN` instruction. Receives the command and a view of the
+/// filesystem accumulated so far.
+pub trait RunHandler {
+    /// Execute `command` against the current root filesystem.
+    fn run(&mut self, command: &str, rootfs: &RootFs) -> Result<RunOutput, BuildError>;
+}
+
+/// A handler that rejects every `RUN` (useful for pure-COPY recipes).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoRunHandler;
+
+impl RunHandler for NoRunHandler {
+    fn run(&mut self, command: &str, _rootfs: &RootFs) -> Result<RunOutput, BuildError> {
+        Err(BuildError::RunFailed { command: command.to_string(), reason: "no RUN handler installed".into() })
+    }
+}
+
+/// A handler backed by a closure.
+pub struct FnRunHandler<F>(pub F);
+
+impl<F> RunHandler for FnRunHandler<F>
+where
+    F: FnMut(&str, &RootFs) -> Result<RunOutput, BuildError>,
+{
+    fn run(&mut self, command: &str, rootfs: &RootFs) -> Result<RunOutput, BuildError> {
+        (self.0)(command, rootfs)
+    }
+}
+
+/// Errors during recipe execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(missing_docs)] // variant payload fields are documented by the Display impl
+pub enum BuildError {
+    /// The first instruction must be FROM.
+    MissingFrom,
+    /// Base image could not be loaded.
+    BaseImage(ImageError),
+    /// A RUN instruction failed.
+    RunFailed { command: String, reason: String },
+    /// Malformed ENV/LABEL value.
+    Malformed(String),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::MissingFrom => write!(f, "recipe must start with FROM"),
+            BuildError::BaseImage(e) => write!(f, "cannot load base image: {e}"),
+            BuildError::RunFailed { command, reason } => write!(f, "RUN `{command}` failed: {reason}"),
+            BuildError::Malformed(what) => write!(f, "malformed instruction: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+impl From<ImageError> for BuildError {
+    fn from(value: ImageError) -> Self {
+        BuildError::BaseImage(value)
+    }
+}
+
+/// Executes recipes against an [`ImageStore`].
+pub struct RecipeBuilder<'a> {
+    store: &'a ImageStore,
+    /// Platform used when building `FROM scratch`.
+    pub scratch_platform: Platform,
+    /// Build log accumulated across RUN steps.
+    pub log: String,
+}
+
+impl<'a> RecipeBuilder<'a> {
+    /// Create a builder over a store.
+    pub fn new(store: &'a ImageStore) -> Self {
+        Self { store, scratch_platform: Platform::linux(Architecture::Amd64), log: String::new() }
+    }
+
+    /// Use a specific platform when the recipe starts `FROM scratch`.
+    pub fn with_scratch_platform(mut self, platform: Platform) -> Self {
+        self.scratch_platform = platform;
+        self
+    }
+
+    /// Execute the recipe, tag the result as `reference`, commit it, and return the image.
+    pub fn build(
+        &mut self,
+        recipe: &Recipe,
+        reference: &str,
+        handler: &mut dyn RunHandler,
+    ) -> Result<Image, BuildError> {
+        let mut instructions = recipe.instructions.iter();
+        let first = instructions.next().ok_or(BuildError::MissingFrom)?;
+        let mut image = match first {
+            Instruction::From(base) if base == "scratch" => {
+                Image::new(reference, self.scratch_platform.clone())
+            }
+            Instruction::From(base) => {
+                let base_image = self.store.load(base)?;
+                Image::derive_from(&base_image, reference)
+            }
+            _ => return Err(BuildError::MissingFrom),
+        };
+
+        for inst in instructions {
+            match inst {
+                Instruction::From(_) => {
+                    return Err(BuildError::Malformed("FROM may only appear first".into()))
+                }
+                Instruction::Copy { dest, content } => {
+                    let mut layer = Layer::new(inst.to_string());
+                    layer.add_file(dest.clone(), content.clone());
+                    image.push_layer(layer);
+                }
+                Instruction::Run(command) => {
+                    let rootfs = image.rootfs();
+                    let output = handler.run(command, &rootfs)?;
+                    self.log.push_str(&output.log);
+                    let mut layer = Layer::new(inst.to_string());
+                    for (path, bytes) in output.files {
+                        layer.add_file(path, bytes);
+                    }
+                    for path in output.removed {
+                        layer.add_whiteout(path);
+                    }
+                    if !layer.is_empty() {
+                        image.push_layer(layer);
+                    }
+                }
+                Instruction::Env(k, v) => {
+                    image.runtime.env.push(format!("{k}={v}"));
+                }
+                Instruction::Label(k, v) => {
+                    image.runtime.labels.insert(k.clone(), v.clone());
+                    image.annotations.insert(k.clone(), v.clone());
+                }
+                Instruction::Entrypoint(args) => {
+                    image.runtime.entrypoint = args.clone();
+                }
+                Instruction::Workdir(dir) => {
+                    image.runtime.working_dir = Some(dir.clone());
+                }
+            }
+        }
+
+        self.store.commit(&image);
+        Ok(image)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_store() -> ImageStore {
+        let store = ImageStore::new();
+        let mut base = Image::new("xaas/base:1", Platform::linux(Architecture::Amd64));
+        let mut l = Layer::new("FROM scratch");
+        l.add_text("/etc/os-release", "ubuntu");
+        base.push_layer(l);
+        store.commit(&base);
+        store
+    }
+
+    #[test]
+    fn build_from_scratch_with_copy_env_label() {
+        let store = ImageStore::new();
+        let recipe = Recipe::new()
+            .from_image("scratch")
+            .copy_text("/app/hello.txt", "hi")
+            .env("OMP_NUM_THREADS", "16")
+            .label("dev.xaas.deployment-format", "source")
+            .entrypoint(vec!["/app/run".into()])
+            .workdir("/app");
+        let mut builder = RecipeBuilder::new(&store);
+        let image = builder.build(&recipe, "out:latest", &mut NoRunHandler).unwrap();
+        assert_eq!(image.rootfs().read_text("/app/hello.txt").unwrap(), "hi");
+        assert!(image.runtime.env.contains(&"OMP_NUM_THREADS=16".to_string()));
+        assert_eq!(image.annotations["dev.xaas.deployment-format"], "source");
+        assert_eq!(image.runtime.working_dir.as_deref(), Some("/app"));
+        assert!(store.load("out:latest").is_ok());
+    }
+
+    #[test]
+    fn build_from_base_inherits_layers() {
+        let store = base_store();
+        let recipe = Recipe::new().from_image("xaas/base:1").copy_text("/app/x", "y");
+        let mut builder = RecipeBuilder::new(&store);
+        let image = builder.build(&recipe, "derived:1", &mut NoRunHandler).unwrap();
+        assert_eq!(image.layer_count(), 2);
+        assert_eq!(image.rootfs().read_text("/etc/os-release").unwrap(), "ubuntu");
+    }
+
+    #[test]
+    fn run_handler_produces_layer_and_sees_previous_files() {
+        let store = base_store();
+        let recipe = Recipe::new()
+            .from_image("xaas/base:1")
+            .copy_text("/src/kernel.ck", "kernel k() {}")
+            .run("xirc /src/kernel.ck -o /build/kernel.o");
+        let mut builder = RecipeBuilder::new(&store);
+        let mut handler = FnRunHandler(|cmd: &str, rootfs: &RootFs| {
+            assert!(cmd.starts_with("xirc"));
+            assert!(rootfs.read_text("/src/kernel.ck").is_some());
+            let mut out = RunOutput::default();
+            out.files.insert("/build/kernel.o".into(), b"object".to_vec());
+            out.log.push_str("compiled 1 file\n");
+            Ok(out)
+        });
+        let image = builder.build(&recipe, "built:1", &mut handler).unwrap();
+        assert!(image.rootfs().get("/build/kernel.o").is_some());
+        assert!(builder.log.contains("compiled 1 file"));
+    }
+
+    #[test]
+    fn run_failure_propagates() {
+        let store = base_store();
+        let recipe = Recipe::new().from_image("xaas/base:1").run("false");
+        let mut builder = RecipeBuilder::new(&store);
+        let err = builder.build(&recipe, "broken:1", &mut NoRunHandler).unwrap_err();
+        assert!(matches!(err, BuildError::RunFailed { .. }));
+    }
+
+    #[test]
+    fn from_must_be_first_and_unique() {
+        let store = base_store();
+        let mut builder = RecipeBuilder::new(&store);
+        let missing = Recipe::new().copy_text("/x", "y");
+        assert_eq!(builder.build(&missing, "a:1", &mut NoRunHandler), Err(BuildError::MissingFrom));
+        let double = Recipe::new().from_image("xaas/base:1").from_image("xaas/base:1");
+        assert!(matches!(
+            builder.build(&double, "a:1", &mut NoRunHandler),
+            Err(BuildError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_base_image_is_reported() {
+        let store = ImageStore::new();
+        let mut builder = RecipeBuilder::new(&store);
+        let recipe = Recipe::new().from_image("missing:1");
+        assert!(matches!(builder.build(&recipe, "x:1", &mut NoRunHandler), Err(BuildError::BaseImage(_))));
+    }
+
+    #[test]
+    fn render_is_humanly_readable() {
+        let recipe = Recipe::new().from_image("scratch").run("make").env("A", "B");
+        let text = recipe.render();
+        assert!(text.contains("FROM scratch"));
+        assert!(text.contains("RUN make"));
+        assert!(text.contains("ENV A=B"));
+    }
+}

@@ -1,0 +1,401 @@
+//! Container runtime with OCI-style hooks.
+//!
+//! HPC container runtimes (Sarus, Podman-HPC, Apptainer) re-specialize images at run time
+//! by *injecting host libraries* — the MPI replacement, GPU driver mounts, and libfabric
+//! swaps of Table 2. This module models that mechanism: a [`ContainerRuntime`] prepares a
+//! container root filesystem from an image plus a list of [`Hook`]s, subject to the ABI
+//! compatibility checks the paper identifies as the core limitation of runtime linking.
+
+use crate::image::Image;
+use crate::layer::{Layer, RootFs};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Identifies the flavour of container runtime. Behaviour differences modelled:
+/// whether MPI hooks are functional (Apptainer-on-Aurora is not, Section 6.5) and
+/// whether images are flattened (losing OCI layers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RuntimeKind {
+    /// Plain Docker: no HPC hooks.
+    Docker,
+    /// Sarus (CSCS): OCI hooks for MPI and GPU injection; flattens images.
+    Sarus,
+    /// Podman / Podman-HPC.
+    Podman,
+    /// Apptainer / Singularity: SIF images, semi-manual MPI binding.
+    Apptainer,
+}
+
+impl RuntimeKind {
+    /// Whether the runtime supports OCI hooks that replace MPI at run time.
+    pub fn supports_mpi_hook(&self) -> bool {
+        matches!(self, RuntimeKind::Sarus | RuntimeKind::Podman)
+    }
+
+    /// Whether the runtime preserves the original OCI layer structure.
+    pub fn preserves_oci_layers(&self) -> bool {
+        matches!(self, RuntimeKind::Docker | RuntimeKind::Podman)
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RuntimeKind::Docker => "Docker",
+            RuntimeKind::Sarus => "Sarus",
+            RuntimeKind::Podman => "Podman",
+            RuntimeKind::Apptainer => "Apptainer",
+        }
+    }
+}
+
+/// A library that a hook wants to inject, together with its ABI identity.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HostLibrary {
+    /// Path inside the container where the library will be placed.
+    pub container_path: String,
+    /// Name of the implementation (e.g. `cray-mpich`, `libcuda`).
+    pub implementation: String,
+    /// ABI family string; replacement requires the container's library to share it
+    /// (e.g. `mpich` ABI vs `openmpi` ABI, or a BLAS/LAPACK Fortran ABI).
+    pub abi: String,
+    /// Version of the host implementation.
+    pub version: String,
+}
+
+/// OCI-style hooks the runtime can apply when creating a container.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Hook {
+    /// Replace an MPI library inside the container with the host implementation,
+    /// contingent on ABI compatibility.
+    MpiReplacement {
+        /// The host MPI to inject.
+        host: HostLibrary,
+    },
+    /// Inject GPU driver libraries and device nodes.
+    GpuInjection {
+        /// Host driver libraries to mount into the container.
+        libraries: Vec<HostLibrary>,
+    },
+    /// Replace the libfabric installation to access a proprietary network provider.
+    LibfabricReplacement {
+        /// The host libfabric build.
+        host: HostLibrary,
+        /// Providers the host build supports (e.g. `cxi`).
+        providers: Vec<String>,
+    },
+    /// Bind-mount an arbitrary host path.
+    BindMount {
+        /// Host path (recorded for provenance only).
+        source: String,
+        /// Path inside the container.
+        destination: String,
+        /// Content placed at the destination.
+        content: String,
+    },
+}
+
+/// The result of preparing a container: its root filesystem plus a record of which hooks
+/// were applied and which were skipped (and why).
+#[derive(Debug, Clone)]
+pub struct PreparedContainer {
+    /// Name assigned at creation.
+    pub name: String,
+    /// The runtime used.
+    pub runtime: RuntimeKind,
+    /// Flattened root filesystem after hook application.
+    pub rootfs: RootFs,
+    /// Environment from the image plus runtime additions.
+    pub env: BTreeMap<String, String>,
+    /// Applied hook descriptions.
+    pub applied_hooks: Vec<String>,
+    /// Skipped hooks with reasons (ABI mismatch, unsupported runtime, …).
+    pub skipped_hooks: Vec<(String, String)>,
+}
+
+impl PreparedContainer {
+    /// Convenience: whether a library implementation is visible at a path.
+    pub fn library_at(&self, path: &str) -> Option<String> {
+        self.rootfs.read_text(path)
+    }
+}
+
+/// Errors when preparing containers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(missing_docs)] // variant payload fields are documented by the Display impl
+pub enum RuntimeError {
+    /// The image targets an architecture the host cannot execute.
+    ArchitectureMismatch { image: String, host: String },
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::ArchitectureMismatch { image, host } => {
+                write!(f, "image architecture {image} cannot run on host {host}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+/// Description of the container declared inside the image that a hook may need to check
+/// against (e.g. which MPI ABI the application was compiled for).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ContainerAbiInfo {
+    /// MPI ABI the application was linked against (e.g. `mpich`), if any.
+    pub mpi_abi: Option<String>,
+    /// Path of the MPI library inside the image.
+    pub mpi_path: Option<String>,
+}
+
+/// The container runtime.
+#[derive(Debug, Clone)]
+pub struct ContainerRuntime {
+    /// Which runtime flavour this models.
+    pub kind: RuntimeKind,
+    /// Host architecture string (must match the image platform unless the image is IR).
+    pub host_architecture: crate::oci::Architecture,
+}
+
+impl ContainerRuntime {
+    /// Create a runtime of the given kind for a host architecture.
+    pub fn new(kind: RuntimeKind, host_architecture: crate::oci::Architecture) -> Self {
+        Self { kind, host_architecture }
+    }
+
+    /// Prepare (instantiate) a container from an image, applying hooks.
+    pub fn prepare(
+        &self,
+        name: impl Into<String>,
+        image: &Image,
+        abi_info: &ContainerAbiInfo,
+        hooks: &[Hook],
+    ) -> Result<PreparedContainer, RuntimeError> {
+        if !image.platform.architecture.runs_on(self.host_architecture) {
+            return Err(RuntimeError::ArchitectureMismatch {
+                image: image.platform.architecture.to_string(),
+                host: self.host_architecture.to_string(),
+            });
+        }
+
+        let mut layers: Vec<Layer> = image.layers.clone();
+        let mut applied = Vec::new();
+        let mut skipped = Vec::new();
+
+        for hook in hooks {
+            match hook {
+                Hook::MpiReplacement { host } => {
+                    if !self.kind.supports_mpi_hook() {
+                        skipped.push((
+                            format!("mpi-replacement({})", host.implementation),
+                            format!("{} does not support MPI hooks", self.kind.name()),
+                        ));
+                        continue;
+                    }
+                    let Some(container_abi) = &abi_info.mpi_abi else {
+                        skipped.push((
+                            format!("mpi-replacement({})", host.implementation),
+                            "container does not use MPI".to_string(),
+                        ));
+                        continue;
+                    };
+                    if container_abi != &host.abi {
+                        skipped.push((
+                            format!("mpi-replacement({})", host.implementation),
+                            format!("ABI mismatch: container={container_abi}, host={}", host.abi),
+                        ));
+                        continue;
+                    }
+                    let path = abi_info
+                        .mpi_path
+                        .clone()
+                        .unwrap_or_else(|| host.container_path.clone());
+                    let mut layer = Layer::new(format!("HOOK mpi-replacement {}", host.implementation));
+                    layer.add_text(path, format!("{} {}", host.implementation, host.version));
+                    layers.push(layer);
+                    applied.push(format!("mpi-replacement({} {})", host.implementation, host.version));
+                }
+                Hook::GpuInjection { libraries } => {
+                    let mut layer = Layer::new("HOOK gpu-injection");
+                    for lib in libraries {
+                        layer.add_text(
+                            lib.container_path.clone(),
+                            format!("{} {}", lib.implementation, lib.version),
+                        );
+                    }
+                    layers.push(layer);
+                    applied.push(format!("gpu-injection({} libraries)", libraries.len()));
+                }
+                Hook::LibfabricReplacement { host, providers } => {
+                    let mut layer = Layer::new("HOOK libfabric-replacement");
+                    layer.add_text(
+                        host.container_path.clone(),
+                        format!("{} {} providers={}", host.implementation, host.version, providers.join(",")),
+                    );
+                    layers.push(layer);
+                    applied.push(format!("libfabric-replacement(providers={})", providers.join(",")));
+                }
+                Hook::BindMount { source, destination, content } => {
+                    let mut layer = Layer::new(format!("HOOK bind-mount {source}"));
+                    layer.add_text(destination.clone(), content.clone());
+                    layers.push(layer);
+                    applied.push(format!("bind-mount({source} -> {destination})"));
+                }
+            }
+        }
+
+        let rootfs = RootFs::flatten(layers.iter());
+        let mut env = BTreeMap::new();
+        for pair in &image.runtime.env {
+            if let Some((k, v)) = pair.split_once('=') {
+                env.insert(k.to_string(), v.to_string());
+            }
+        }
+        Ok(PreparedContainer {
+            name: name.into(),
+            runtime: self.kind,
+            rootfs,
+            env,
+            applied_hooks: applied,
+            skipped_hooks: skipped,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oci::{Architecture, Platform};
+
+    fn mpi_image(arch: Architecture) -> (Image, ContainerAbiInfo) {
+        let mut img = Image::new("spcl/app:mpi", Platform::linux(arch));
+        let mut l = Layer::new("base");
+        l.add_text("/opt/mpi/lib/libmpi.so", "mpich 4.2 (generic)");
+        l.add_text("/opt/app/bin/solver", "application binary");
+        img.push_layer(l);
+        img.runtime.env.push("PATH=/opt/app/bin".to_string());
+        let abi = ContainerAbiInfo {
+            mpi_abi: Some("mpich".to_string()),
+            mpi_path: Some("/opt/mpi/lib/libmpi.so".to_string()),
+        };
+        (img, abi)
+    }
+
+    fn cray_mpich() -> HostLibrary {
+        HostLibrary {
+            container_path: "/opt/mpi/lib/libmpi.so".into(),
+            implementation: "cray-mpich".into(),
+            abi: "mpich".into(),
+            version: "8.1.29".into(),
+        }
+    }
+
+    #[test]
+    fn sarus_applies_mpi_hook_with_matching_abi() {
+        let (img, abi) = mpi_image(Architecture::Amd64);
+        let rt = ContainerRuntime::new(RuntimeKind::Sarus, Architecture::Amd64);
+        let prepared = rt
+            .prepare("job1", &img, &abi, &[Hook::MpiReplacement { host: cray_mpich() }])
+            .unwrap();
+        assert_eq!(prepared.applied_hooks.len(), 1);
+        assert!(prepared.library_at("/opt/mpi/lib/libmpi.so").unwrap().contains("cray-mpich"));
+    }
+
+    #[test]
+    fn abi_mismatch_skips_mpi_hook() {
+        let (img, mut abi) = mpi_image(Architecture::Amd64);
+        abi.mpi_abi = Some("openmpi".to_string());
+        let rt = ContainerRuntime::new(RuntimeKind::Sarus, Architecture::Amd64);
+        let prepared = rt
+            .prepare("job1", &img, &abi, &[Hook::MpiReplacement { host: cray_mpich() }])
+            .unwrap();
+        assert!(prepared.applied_hooks.is_empty());
+        assert_eq!(prepared.skipped_hooks.len(), 1);
+        assert!(prepared.skipped_hooks[0].1.contains("ABI mismatch"));
+        // Original library untouched.
+        assert!(prepared.library_at("/opt/mpi/lib/libmpi.so").unwrap().contains("generic"));
+    }
+
+    #[test]
+    fn apptainer_does_not_support_mpi_hooks() {
+        let (img, abi) = mpi_image(Architecture::Amd64);
+        let rt = ContainerRuntime::new(RuntimeKind::Apptainer, Architecture::Amd64);
+        let prepared = rt
+            .prepare("job1", &img, &abi, &[Hook::MpiReplacement { host: cray_mpich() }])
+            .unwrap();
+        assert!(prepared.applied_hooks.is_empty());
+        assert!(prepared.skipped_hooks[0].1.contains("does not support MPI hooks"));
+    }
+
+    #[test]
+    fn gpu_injection_always_applies() {
+        let (img, abi) = mpi_image(Architecture::Amd64);
+        let rt = ContainerRuntime::new(RuntimeKind::Docker, Architecture::Amd64);
+        let libs = vec![HostLibrary {
+            container_path: "/usr/lib/libcuda.so.1".into(),
+            implementation: "nvidia-driver".into(),
+            abi: "cuda".into(),
+            version: "550.54".into(),
+        }];
+        let prepared = rt
+            .prepare("job1", &img, &abi, &[Hook::GpuInjection { libraries: libs }])
+            .unwrap();
+        assert!(prepared.library_at("/usr/lib/libcuda.so.1").unwrap().contains("nvidia-driver"));
+    }
+
+    #[test]
+    fn architecture_mismatch_is_rejected_but_ir_runs_anywhere() {
+        let (arm_img, abi) = mpi_image(Architecture::Arm64);
+        let rt = ContainerRuntime::new(RuntimeKind::Docker, Architecture::Amd64);
+        assert!(matches!(
+            rt.prepare("job1", &arm_img, &abi, &[]),
+            Err(RuntimeError::ArchitectureMismatch { .. })
+        ));
+        let (ir_img, abi) = mpi_image(Architecture::XirIr);
+        assert!(rt.prepare("job2", &ir_img, &abi, &[]).is_ok());
+    }
+
+    #[test]
+    fn environment_is_parsed_into_map() {
+        let (img, abi) = mpi_image(Architecture::Amd64);
+        let rt = ContainerRuntime::new(RuntimeKind::Podman, Architecture::Amd64);
+        let prepared = rt.prepare("job1", &img, &abi, &[]).unwrap();
+        assert_eq!(prepared.env.get("PATH").map(String::as_str), Some("/opt/app/bin"));
+    }
+
+    #[test]
+    fn libfabric_and_bind_mount_hooks() {
+        let (img, abi) = mpi_image(Architecture::Amd64);
+        let rt = ContainerRuntime::new(RuntimeKind::Sarus, Architecture::Amd64);
+        let hooks = vec![
+            Hook::LibfabricReplacement {
+                host: HostLibrary {
+                    container_path: "/usr/lib/libfabric.so".into(),
+                    implementation: "libfabric-cray".into(),
+                    abi: "libfabric".into(),
+                    version: "2.0".into(),
+                },
+                providers: vec!["cxi".into(), "tcp".into()],
+            },
+            Hook::BindMount {
+                source: "/etc/slurm/slurm.conf".into(),
+                destination: "/etc/slurm/slurm.conf".into(),
+                content: "ClusterName=clariden".into(),
+            },
+        ];
+        let prepared = rt.prepare("job1", &img, &abi, &hooks).unwrap();
+        assert_eq!(prepared.applied_hooks.len(), 2);
+        assert!(prepared.library_at("/usr/lib/libfabric.so").unwrap().contains("cxi"));
+        assert!(prepared.library_at("/etc/slurm/slurm.conf").unwrap().contains("clariden"));
+    }
+
+    #[test]
+    fn runtime_kind_properties() {
+        assert!(RuntimeKind::Sarus.supports_mpi_hook());
+        assert!(!RuntimeKind::Apptainer.supports_mpi_hook());
+        assert!(RuntimeKind::Docker.preserves_oci_layers());
+        assert!(!RuntimeKind::Sarus.preserves_oci_layers());
+    }
+}

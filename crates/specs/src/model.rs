@@ -1,0 +1,279 @@
+//! The specialization-point document: the JSON interchange format of Figure 4(a) and
+//! Appendix B.
+//!
+//! Internally the document is a flat list of [`SpecEntry`] facts (category + name +
+//! build flag + metadata), which makes precision/recall scoring straightforward; the
+//! Appendix-B-shaped JSON rendering groups entries by category.
+
+use serde::{Deserialize, Serialize};
+use serde_json::{json, Value};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Categories of specialization points (the top-level keys of the Appendix B schema).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum SpecCategory {
+    /// GPU build switch / GPU backends.
+    GpuBackend,
+    /// Parallel programming libraries (MPI, OpenMP, thread-MPI, pthreads).
+    Parallelism,
+    /// SIMD vectorization levels.
+    Vectorization,
+    /// Linear algebra libraries.
+    LinearAlgebra,
+    /// FFT libraries.
+    Fft,
+    /// Other external libraries.
+    OtherLibrary,
+    /// Supported compilers.
+    Compiler,
+    /// Supported architectures.
+    Architecture,
+    /// Optimisation-related build flags.
+    Optimization,
+    /// Build system type/version.
+    BuildSystem,
+    /// Libraries the project can build internally.
+    InternalBuild,
+}
+
+impl SpecCategory {
+    /// The JSON key used in the Appendix B schema.
+    pub fn json_key(&self) -> &'static str {
+        match self {
+            SpecCategory::GpuBackend => "gpu_backends",
+            SpecCategory::Parallelism => "parallel_programming_libraries",
+            SpecCategory::Vectorization => "simd_vectorization",
+            SpecCategory::LinearAlgebra => "linear_algebra_libraries",
+            SpecCategory::Fft => "FFT_libraries",
+            SpecCategory::OtherLibrary => "other_external_libraries",
+            SpecCategory::Compiler => "compilers",
+            SpecCategory::Architecture => "architectures",
+            SpecCategory::Optimization => "optimization_build_flags",
+            SpecCategory::BuildSystem => "build_system",
+            SpecCategory::InternalBuild => "internal_build",
+        }
+    }
+
+    /// All categories.
+    pub fn all() -> &'static [SpecCategory] {
+        &[
+            SpecCategory::GpuBackend,
+            SpecCategory::Parallelism,
+            SpecCategory::Vectorization,
+            SpecCategory::LinearAlgebra,
+            SpecCategory::Fft,
+            SpecCategory::OtherLibrary,
+            SpecCategory::Compiler,
+            SpecCategory::Architecture,
+            SpecCategory::Optimization,
+            SpecCategory::BuildSystem,
+            SpecCategory::InternalBuild,
+        ]
+    }
+}
+
+impl fmt::Display for SpecCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.json_key())
+    }
+}
+
+/// One specialization-point fact.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SpecEntry {
+    /// Category.
+    pub category: SpecCategory,
+    /// Name of the option value / backend / library (e.g. `CUDA`, `AVX_512`, `mkl`).
+    pub name: String,
+    /// The build flag enabling it (e.g. `-DGMX_GPU=CUDA`), if any.
+    pub build_flag: Option<String>,
+    /// Whether this is the default choice.
+    pub default: bool,
+    /// Minimum version, if the build system states one.
+    pub minimum_version: Option<String>,
+}
+
+impl SpecEntry {
+    /// Create an entry.
+    pub fn new(category: SpecCategory, name: impl Into<String>) -> Self {
+        Self { category, name: name.into(), build_flag: None, default: false, minimum_version: None }
+    }
+
+    /// Builder: set the build flag.
+    pub fn with_flag(mut self, flag: impl Into<String>) -> Self {
+        self.build_flag = Some(flag.into());
+        self
+    }
+
+    /// Builder: mark as default.
+    pub fn as_default(mut self) -> Self {
+        self.default = true;
+        self
+    }
+
+    /// Builder: set minimum version.
+    pub fn with_min_version(mut self, version: impl Into<String>) -> Self {
+        self.minimum_version = Some(version.into());
+        self
+    }
+}
+
+/// A specialization-point document: the output of discovery for one application.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpecializationDocument {
+    /// The application the document describes.
+    pub application: String,
+    /// Whether the build system supports GPU builds at all.
+    pub gpu_build: bool,
+    /// The flag controlling the GPU build switch.
+    pub gpu_build_flag: Option<String>,
+    /// The build system type (`cmake`, `make`, `undetermined`).
+    pub build_system: String,
+    /// Minimum build-system version, if stated.
+    pub build_system_min_version: Option<String>,
+    /// The individual specialization facts.
+    pub entries: Vec<SpecEntry>,
+}
+
+impl SpecializationDocument {
+    /// Create an empty document for an application.
+    pub fn new(application: impl Into<String>) -> Self {
+        Self { application: application.into(), build_system: "cmake".into(), ..Default::default() }
+    }
+
+    /// Add an entry.
+    pub fn push(&mut self, entry: SpecEntry) -> &mut Self {
+        self.entries.push(entry);
+        self
+    }
+
+    /// All entries of a category.
+    pub fn entries_of(&self, category: SpecCategory) -> Vec<&SpecEntry> {
+        self.entries.iter().filter(|e| e.category == category).collect()
+    }
+
+    /// Find an entry by category and (case-insensitive) name.
+    pub fn find(&self, category: SpecCategory, name: &str) -> Option<&SpecEntry> {
+        self.entries
+            .iter()
+            .find(|e| e.category == category && e.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether there are no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Render the Appendix-B-shaped JSON document.
+    pub fn to_schema_json(&self) -> Value {
+        let mut root = serde_json::Map::new();
+        root.insert(
+            "gpu_build".into(),
+            json!({ "value": self.gpu_build, "build_flag": self.gpu_build_flag }),
+        );
+        root.insert(
+            "build_system".into(),
+            json!({ "type": self.build_system, "minimum_version": self.build_system_min_version }),
+        );
+        for category in SpecCategory::all() {
+            if *category == SpecCategory::BuildSystem {
+                // The build system is rendered as the top-level `build_system` object above.
+                continue;
+            }
+            let entries = self.entries_of(*category);
+            match category {
+                SpecCategory::Architecture | SpecCategory::Optimization => {
+                    let names: Vec<&str> = entries.iter().map(|e| e.name.as_str()).collect();
+                    root.insert(category.json_key().into(), json!(names));
+                }
+                _ => {
+                    let mut map = BTreeMap::new();
+                    for entry in entries {
+                        map.insert(
+                            entry.name.clone(),
+                            json!({
+                                "used_as_default": entry.default,
+                                "build_flag": entry.build_flag,
+                                "minimum_version": entry.minimum_version,
+                            }),
+                        );
+                    }
+                    root.insert(category.json_key().into(), json!(map));
+                }
+            }
+        }
+        Value::Object(root)
+    }
+
+    /// Pretty-printed schema JSON.
+    pub fn to_json_string(&self) -> String {
+        serde_json::to_string_pretty(&self.to_schema_json()).expect("document serialises")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SpecializationDocument {
+        let mut doc = SpecializationDocument::new("mini-gromacs");
+        doc.gpu_build = true;
+        doc.gpu_build_flag = Some("-DGMX_GPU".into());
+        doc.push(SpecEntry::new(SpecCategory::GpuBackend, "CUDA").with_flag("-DGMX_GPU=CUDA").with_min_version("12.1"));
+        doc.push(SpecEntry::new(SpecCategory::GpuBackend, "SYCL").with_flag("-DGMX_GPU=SYCL"));
+        doc.push(SpecEntry::new(SpecCategory::Vectorization, "AVX_512").with_flag("-DGMX_SIMD=AVX_512"));
+        doc.push(SpecEntry::new(SpecCategory::Vectorization, "SSE4.1").with_flag("-DGMX_SIMD=SSE4.1"));
+        doc.push(SpecEntry::new(SpecCategory::Fft, "fftw3").with_flag("-DGMX_FFT_LIBRARY=fftw3").as_default());
+        doc.push(SpecEntry::new(SpecCategory::LinearAlgebra, "mkl").with_flag("-DGMX_BLAS=mkl"));
+        doc.push(SpecEntry::new(SpecCategory::Parallelism, "MPI").with_flag("-DGMX_MPI=ON"));
+        doc.push(SpecEntry::new(SpecCategory::Architecture, "x86_64"));
+        doc
+    }
+
+    #[test]
+    fn entries_by_category_and_lookup() {
+        let doc = sample();
+        assert_eq!(doc.entries_of(SpecCategory::GpuBackend).len(), 2);
+        assert_eq!(doc.entries_of(SpecCategory::Vectorization).len(), 2);
+        assert!(doc.find(SpecCategory::GpuBackend, "cuda").is_some());
+        assert!(doc.find(SpecCategory::GpuBackend, "HIP").is_none());
+        assert_eq!(doc.len(), 8);
+        assert!(!doc.is_empty());
+    }
+
+    #[test]
+    fn schema_json_has_appendix_b_keys() {
+        let doc = sample();
+        let json = doc.to_schema_json();
+        assert_eq!(json["gpu_build"]["value"], json!(true));
+        assert!(json["gpu_backends"].get("CUDA").is_some());
+        assert_eq!(json["gpu_backends"]["CUDA"]["minimum_version"], json!("12.1"));
+        assert_eq!(json["FFT_libraries"]["fftw3"]["used_as_default"], json!(true));
+        assert!(json["simd_vectorization"].get("AVX_512").is_some());
+        assert_eq!(json["architectures"], json!(["x86_64"]));
+        assert_eq!(json["build_system"]["type"], json!("cmake"));
+        // Categories with no entries still appear (schema requires all keys).
+        assert!(json.get("internal_build").is_some());
+    }
+
+    #[test]
+    fn document_serde_roundtrip() {
+        let doc = sample();
+        let text = serde_json::to_string(&doc).unwrap();
+        let back: SpecializationDocument = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, doc);
+    }
+
+    #[test]
+    fn json_string_is_pretty_printed() {
+        let text = sample().to_json_string();
+        assert!(text.contains('\n'));
+        assert!(text.contains("\"gpu_backends\""));
+    }
+}

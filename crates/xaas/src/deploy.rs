@@ -1,0 +1,352 @@
+//! Deployment of IR containers (Section 4.3.1 and Figure 8).
+//!
+//! The user selects one configuration and the target ISA; XaaS then lowers the selected
+//! subset of IR files (applying vectorisation now that the ISA is known), compiles the
+//! system-dependent source files against the system's MPI, lets the build system finish
+//! linking and installation, and commits a new, system-specialized image whose tag
+//! encodes the specialization points.
+
+use crate::ir_container::{paths as ir_paths, IrContainerBuild, UnitAssignment};
+use crate::targets::{derive_build_profile, target_isa_for};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+use xaas_buildsys::{OptionAssignment, ProjectSpec};
+use xaas_container::{annotation_keys, DeploymentFormat, Image, ImageStore, Layer, Platform};
+use xaas_hpcsim::{BuildProfile, SimdLevel, SystemModel};
+use xaas_xir::{lower_to_machine, CompileFlags, Compiler, MachineModule, VectorizationReport};
+
+/// Errors during IR-container deployment.
+#[derive(Debug)]
+#[allow(missing_docs)] // variant payload fields are documented by the Display impl
+pub enum DeployError {
+    /// No manifest matches the requested configuration.
+    UnknownConfiguration(String),
+    /// The requested SIMD level cannot execute on the target system.
+    UnsupportedSimd { level: SimdLevel, system: String },
+    /// A referenced IR unit is missing from the container.
+    MissingUnit(String),
+    /// A system-dependent source failed to compile at deployment.
+    Compile { file: String, error: xaas_xir::CompileError },
+}
+
+impl fmt::Display for DeployError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeployError::UnknownConfiguration(label) => write!(f, "no configuration matches `{label}`"),
+            DeployError::UnsupportedSimd { level, system } => {
+                write!(f, "SIMD level {level} is not supported on {system}")
+            }
+            DeployError::MissingUnit(id) => write!(f, "IR unit {id} missing from the container"),
+            DeployError::Compile { file, error } => write!(f, "compiling {file}: {error}"),
+        }
+    }
+}
+
+impl std::error::Error for DeployError {}
+
+/// Statistics of one deployment.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeploymentStats {
+    /// IR units lowered to machine code.
+    pub lowered_units: usize,
+    /// System-dependent sources compiled from scratch.
+    pub compiled_source_units: usize,
+    /// Loops vectorised at the selected width.
+    pub vectorized_loops: usize,
+    /// Loops left scalar (blocked or scalar target).
+    pub scalar_loops: usize,
+}
+
+/// The result of deploying an IR container.
+#[derive(Debug, Clone)]
+pub struct IrDeployment {
+    /// The new system-specialized image.
+    pub image: Image,
+    /// Reference under which the deployed image was committed.
+    pub reference: String,
+    /// The configuration that was selected.
+    pub assignment: OptionAssignment,
+    /// The SIMD level the IR was lowered for.
+    pub simd: SimdLevel,
+    /// Lowered machine modules keyed by source file.
+    pub machine_modules: BTreeMap<String, MachineModule>,
+    /// Aggregated vectorisation report.
+    pub vectorization: VectorizationReport,
+    /// Deployment statistics.
+    pub stats: DeploymentStats,
+    /// Performance profile of the deployed build.
+    pub build_profile: BuildProfile,
+}
+
+/// Deploy an IR container: select a configuration, lower for the system, link, install.
+pub fn deploy_ir_container(
+    build: &IrContainerBuild,
+    project: &ProjectSpec,
+    system: &SystemModel,
+    selection: &OptionAssignment,
+    simd: SimdLevel,
+    store: &ImageStore,
+) -> Result<IrDeployment, DeployError> {
+    let manifest = build
+        .manifest_for(selection)
+        .ok_or_else(|| DeployError::UnknownConfiguration(selection.label()))?;
+    if !system.cpu.supports(simd) {
+        return Err(DeployError::UnsupportedSimd { level: simd, system: system.name.clone() });
+    }
+    let target = target_isa_for(simd);
+
+    let mut compiler = Compiler::new();
+    for (name, content) in &project.headers {
+        compiler.add_header(name.clone(), content.clone());
+    }
+
+    let mut machine_modules: BTreeMap<String, MachineModule> = BTreeMap::new();
+    let mut vectorization = VectorizationReport::default();
+    let mut stats = DeploymentStats::default();
+
+    for UnitAssignment { file, artifact, .. } in &manifest.units {
+        if let Some(id) = artifact.strip_prefix("ir:") {
+            let unit = build.units.get(id).ok_or_else(|| DeployError::MissingUnit(id.to_string()))?;
+            // Code generation: vectorise and lower the stored IR for the selected ISA.
+            let machine = lower_to_machine(&unit.module, &target);
+            vectorization.loops.extend(machine.vectorization.loops.iter().cloned());
+            stats.lowered_units += 1;
+            machine_modules.insert(file.clone(), machine);
+        } else if let Some(path) = artifact.strip_prefix("src:") {
+            // System-dependent file: full compilation at deployment (against the system MPI).
+            let source = project
+                .source(path)
+                .ok_or_else(|| DeployError::MissingUnit(path.to_string()))?;
+            let mut args = manifest.definitions.clone();
+            args.push("-O3".to_string());
+            args.push("-fopenmp".to_string());
+            let flags = CompileFlags::parse(args);
+            let machine = compiler
+                .compile_to_machine(path, &source.content, &flags, &target)
+                .map_err(|error| DeployError::Compile { file: path.to_string(), error })?;
+            vectorization.loops.extend(machine.vectorization.loops.iter().cloned());
+            stats.compiled_source_units += 1;
+            machine_modules.insert(file.clone(), machine);
+        }
+    }
+    stats.vectorized_loops = vectorization.vectorized_count();
+    stats.scalar_loops = vectorization.scalar_count();
+
+    // Linking and installation: assemble the deployed image from the IR container image.
+    let reference = format!(
+        "{}:{}-{}-{}",
+        project.name,
+        system.name.to_ascii_lowercase(),
+        crate::ir_container::sanitize(&manifest.label).to_ascii_lowercase(),
+        simd.gmx_name().to_ascii_lowercase()
+    );
+    let mut image = Image::derive_from(&build.image, &reference);
+    image.platform = Platform::linux(crate::source_container::architecture_of(system));
+    image.set_deployment_format(DeploymentFormat::Binary);
+    image.annotate(annotation_keys::SELECTED_CONFIGURATION, manifest.label.clone());
+    image.annotate(annotation_keys::TARGET_SYSTEM, system.name.clone());
+    image.annotate("dev.xaas.simd", simd.gmx_name());
+
+    let mut lowered = Layer::new(format!("RUN xaas lower --target {}", target.name));
+    for (file, machine) in &machine_modules {
+        lowered.add_file(
+            format!("/xaas/obj/{}.o", file.replace('/', "_")),
+            serde_json::to_vec(machine).expect("machine module serialises"),
+        );
+    }
+    for target_spec in &project.targets {
+        lowered.add_executable(
+            format!("/opt/app/bin/{}", target_spec.name),
+            format!("linked {} for {} ({})", target_spec.name, system.name, target.name).into_bytes(),
+        );
+    }
+    // Dependency layers are reassembled for the selected configuration only.
+    for dependency in &manifest.dependencies {
+        lowered.add_text(
+            format!("/opt/deps/{dependency}/.provenance"),
+            format!("dependency layer {dependency} for {}", manifest.label),
+        );
+    }
+    image.push_layer(lowered);
+    store.commit(&image);
+
+    let threads = system.cpu.total_cores().min(36);
+    let build_profile = derive_build_profile(
+        format!("XaaS IR ({} {})", system.name, simd.gmx_name()),
+        &manifest.assignment,
+        system,
+        threads,
+    )
+    .with_container_overhead(1.01);
+    let mut build_profile = build_profile;
+    build_profile.simd = simd;
+
+    Ok(IrDeployment {
+        image,
+        reference,
+        assignment: manifest.assignment.clone(),
+        simd,
+        machine_modules,
+        vectorization,
+        stats,
+        build_profile,
+    })
+}
+
+/// Convenience: list the IR blob paths of an IR container image (used by examples/tests
+/// to show what a deployment would pull).
+pub fn ir_blob_paths(image: &Image) -> Vec<String> {
+    image
+        .rootfs()
+        .paths_under(ir_paths::IR_ROOT)
+        .map(str::to_string)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir_container::{build_ir_container, IrPipelineConfig};
+    use xaas_apps::gromacs;
+    use xaas_xir::{Interpreter, Value};
+
+    fn gromacs_ir_build(store: &ImageStore) -> (ProjectSpec, IrContainerBuild) {
+        let project = gromacs::project();
+        let config = IrPipelineConfig::sweep_options(&project, &["GMX_SIMD", "GMX_GPU"])
+            .with_values("GMX_SIMD", &["SSE4.1", "AVX_512"])
+            .with_values("GMX_GPU", &["OFF", "CUDA"]);
+        let build = build_ir_container(&project, &config, store, "spcl/mini-gromacs:ir").unwrap();
+        (project, build)
+    }
+
+    #[test]
+    fn deployment_lowers_ir_for_the_selected_isa() {
+        let store = ImageStore::new();
+        let (project, build) = gromacs_ir_build(&store);
+        let system = SystemModel::ault23();
+        let selection = OptionAssignment::new().with("GMX_SIMD", "AVX_512").with("GMX_GPU", "CUDA");
+        let deployment =
+            deploy_ir_container(&build, &project, &system, &selection, SimdLevel::Avx512, &store).unwrap();
+        assert!(deployment.stats.lowered_units > 5);
+        assert!(deployment.stats.vectorized_loops > 0);
+        assert_eq!(deployment.simd, SimdLevel::Avx512);
+        // Vectorised loops use the AVX-512 width.
+        let widths: Vec<u32> = deployment
+            .machine_modules
+            .values()
+            .flat_map(|m| m.functions.iter().flat_map(|f| f.loop_widths.clone()))
+            .collect();
+        assert!(widths.contains(&16));
+        assert!(store.load(&deployment.reference).is_ok());
+        assert_eq!(deployment.image.deployment_format(), DeploymentFormat::Binary);
+        assert_eq!(deployment.build_profile.gpu_backend, Some(xaas_hpcsim::GpuBackend::Cuda));
+    }
+
+    #[test]
+    fn same_container_deploys_to_different_isas() {
+        let store = ImageStore::new();
+        let (project, build) = gromacs_ir_build(&store);
+        let selection = OptionAssignment::new().with("GMX_SIMD", "SSE4.1").with("GMX_GPU", "OFF");
+        let narrow = deploy_ir_container(
+            &build,
+            &project,
+            &SystemModel::ault01_04(),
+            &selection,
+            SimdLevel::Sse41,
+            &store,
+        )
+        .unwrap();
+        let wide = deploy_ir_container(
+            &build,
+            &project,
+            &SystemModel::ault01_04(),
+            &selection,
+            SimdLevel::Avx512,
+            &store,
+        )
+        .unwrap();
+        let width_of = |d: &IrDeployment| {
+            d.machine_modules
+                .values()
+                .flat_map(|m| m.functions.iter().flat_map(|f| f.loop_widths.clone()))
+                .max()
+                .unwrap_or(1)
+        };
+        assert_eq!(width_of(&narrow), 4);
+        assert_eq!(width_of(&wide), 16);
+        assert_ne!(narrow.reference, wide.reference, "image tags encode the specialization");
+    }
+
+    #[test]
+    fn unsupported_simd_level_is_rejected() {
+        let store = ImageStore::new();
+        let (project, build) = gromacs_ir_build(&store);
+        let selection = OptionAssignment::new().with("GMX_SIMD", "AVX_512").with("GMX_GPU", "OFF");
+        let error = deploy_ir_container(
+            &build,
+            &project,
+            &SystemModel::ault25(), // EPYC 7742: no AVX-512
+            &selection,
+            SimdLevel::Avx512,
+            &store,
+        )
+        .unwrap_err();
+        assert!(matches!(error, DeployError::UnsupportedSimd { .. }));
+    }
+
+    #[test]
+    fn unknown_configuration_is_rejected() {
+        let store = ImageStore::new();
+        let (project, build) = gromacs_ir_build(&store);
+        let selection = OptionAssignment::new().with("GMX_GPU", "HIP");
+        let error = deploy_ir_container(
+            &build,
+            &project,
+            &SystemModel::ault23(),
+            &selection,
+            SimdLevel::Avx512,
+            &store,
+        )
+        .unwrap_err();
+        assert!(matches!(error, DeployError::UnknownConfiguration(_)));
+    }
+
+    #[test]
+    fn deployed_kernels_compute_the_same_results_as_a_direct_build() {
+        let store = ImageStore::new();
+        let (project, build) = gromacs_ir_build(&store);
+        let system = SystemModel::ault23();
+        let selection = OptionAssignment::new().with("GMX_SIMD", "AVX_512").with("GMX_GPU", "OFF");
+        let deployment =
+            deploy_ir_container(&build, &project, &system, &selection, SimdLevel::Avx512, &store).unwrap();
+        let machine = deployment
+            .machine_modules
+            .get("src/mdrun/integrator.ck")
+            .expect("integrator module present");
+        let interp = Interpreter::for_machine(machine);
+        let result = interp
+            .run(
+                "integrate",
+                vec![
+                    Value::FloatBuffer(vec![0.0; 16]),
+                    Value::FloatBuffer(vec![1.0; 16]),
+                    Value::FloatBuffer(vec![2.0; 16]),
+                    Value::Float(0.5),
+                    Value::Int(16),
+                ],
+            )
+            .unwrap();
+        let x = result.buffers["x"].as_float_buffer().unwrap();
+        assert!(x.iter().all(|&v| (v - 1.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn ir_blob_paths_lists_stored_bitcode() {
+        let store = ImageStore::new();
+        let (_project, build) = gromacs_ir_build(&store);
+        let blobs = ir_blob_paths(&build.image);
+        assert_eq!(blobs.len(), build.units.len());
+        assert!(blobs.iter().all(|p| p.ends_with(".xbc")));
+    }
+}

@@ -1,0 +1,68 @@
+//! # xaas
+//!
+//! The core of the XaaS Containers reproduction: performance-portable **source
+//! containers** and **IR containers** that delay performance-critical build decisions
+//! (vectorization ISA, GPU backend, MPI flavour, BLAS/FFT choice) until the target system
+//! is known at deployment time.
+//!
+//! The crate composes the substrates:
+//!
+//! * [`source_container`] — build a source+toolchain image once per architecture, then
+//!   specialise it on the target system (discovery → intersection → selection → build),
+//!   Figure 6;
+//! * [`ir_container`] — the deduplicating pipeline of Figure 7: sweep specialization
+//!   points, hash preprocessed translation units, detect OpenMP relevance, delay
+//!   vectorization flags, and ship one shared set of XIR bitcode files plus per-
+//!   configuration manifests;
+//! * [`deploy`] — deployment of IR containers (Figure 8): lower the selected subset for
+//!   the chosen ISA, compile system-dependent sources, link, install, and commit the
+//!   system-specialized image;
+//! * [`gpu_compat`] — CUDA driver/runtime/PTX/cubin compatibility planning (Figure 9);
+//! * [`hypotheses`] — validation of Hypotheses 1 and 2 (Section 4.2);
+//! * [`portability`] — the Table 2 taxonomy;
+//! * [`targets`] — mapping from paper vocabulary (SIMD levels, option assignments) to
+//!   compiler targets and performance profiles.
+//!
+//! ```
+//! use xaas::prelude::*;
+//! use xaas_apps::lulesh;
+//!
+//! let project = lulesh::project();
+//! let store = ImageStore::new();
+//! let pipeline = IrPipelineConfig::sweep_options(&project, &["WITH_MPI", "WITH_OPENMP"]);
+//! let build = build_ir_container(&project, &pipeline, &store, "spcl/mini-lulesh:ir").unwrap();
+//! assert!(build.stats.ir_files_built() < build.stats.total_translation_units);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod deploy;
+pub mod gpu_compat;
+pub mod hypotheses;
+pub mod ir_container;
+pub mod portability;
+pub mod source_container;
+pub mod targets;
+
+/// Commonly used types re-exported together.
+pub mod prelude {
+    pub use crate::deploy::{deploy_ir_container, DeployError, DeploymentStats, IrDeployment};
+    pub use crate::gpu_compat::{
+        bundle_compatibility, detect_runtime_requirement, plan_bundle, DeviceCodeBundle,
+        RuntimeRequirement,
+    };
+    pub use crate::hypotheses::{hypothesis1, hypothesis2, Hypothesis1Report, Hypothesis2Report};
+    pub use crate::ir_container::{
+        build_ir_container, ConfigurationManifest, IrContainerBuild, IrPipelineConfig,
+        IrPipelineError, IrUnit, PipelineStages, PipelineStats, UnitAssignment,
+    };
+    pub use crate::portability::{table2, PortabilityEntry, PortabilityLevel};
+    pub use crate::source_container::{
+        build_source_container, deploy_source_container, SelectionPolicy, SourceContainerError,
+        SourceDeployment,
+    };
+    pub use crate::targets::{derive_build_profile, library_quality_of, target_isa_for};
+    pub use xaas_container::prelude::*;
+}
+
+pub use prelude::*;

@@ -1,0 +1,358 @@
+//! Lexer for the CK kernel language.
+//!
+//! CK ("compute kernel") is the small C-like language the synthetic HPC applications are
+//! written in. It supports exactly the constructs the XaaS pipeline needs to exercise:
+//! functions over scalars and pointers, `for` loops, `if`/`else`, arithmetic, array
+//! indexing, calls, and `#pragma omp` annotations.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Token {
+    /// Identifier (variable, function, type name).
+    Ident(String),
+    /// Integer literal.
+    IntLit(i64),
+    /// Floating-point literal.
+    FloatLit(f64),
+    /// Keyword.
+    Keyword(Keyword),
+    /// Punctuation / operator.
+    Punct(Punct),
+    /// A `#pragma …` line, carried whole.
+    Pragma(String),
+}
+
+/// Reserved keywords.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Keyword {
+    /// `kernel` — marks an exported function.
+    Kernel,
+    /// `void`
+    Void,
+    /// `int`
+    Int,
+    /// `float`
+    Float,
+    /// `double`
+    Double,
+    /// `for`
+    For,
+    /// `while`
+    While,
+    /// `if`
+    If,
+    /// `else`
+    Else,
+    /// `return`
+    Return,
+}
+
+impl Keyword {
+    fn from_str(s: &str) -> Option<Self> {
+        Some(match s {
+            "kernel" => Keyword::Kernel,
+            "void" => Keyword::Void,
+            "int" => Keyword::Int,
+            "float" => Keyword::Float,
+            "double" => Keyword::Double,
+            "for" => Keyword::For,
+            "while" => Keyword::While,
+            "if" => Keyword::If,
+            "else" => Keyword::Else,
+            "return" => Keyword::Return,
+            _ => return None,
+        })
+    }
+}
+
+/// Punctuation and operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Punct {
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `=`
+    Assign,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Not,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::IntLit(v) => write!(f, "{v}"),
+            Token::FloatLit(v) => write!(f, "{v}"),
+            Token::Keyword(k) => write!(f, "{k:?}"),
+            Token::Punct(p) => write!(f, "{p:?}"),
+            Token::Pragma(p) => write!(f, "#pragma {p}"),
+        }
+    }
+}
+
+/// Lexer errors with line information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Problem description.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenise CK source text (already preprocessed — no `#if`/`#define` directives except
+/// `#pragma`, which is preserved as a token).
+pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
+    let mut tokens = Vec::new();
+    let mut line = 1usize;
+    let bytes: Vec<char> = source.chars().collect();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => {
+                i += 1;
+            }
+            '/' if i + 1 < bytes.len() && bytes[i + 1] == '/' => {
+                while i < bytes.len() && bytes[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if i + 1 < bytes.len() && bytes[i + 1] == '*' => {
+                i += 2;
+                while i + 1 < bytes.len() && !(bytes[i] == '*' && bytes[i + 1] == '/') {
+                    if bytes[i] == '\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+                i = (i + 2).min(bytes.len());
+            }
+            '#' => {
+                // Only #pragma is allowed after preprocessing.
+                let start = i;
+                while i < bytes.len() && bytes[i] != '\n' {
+                    i += 1;
+                }
+                let directive: String = bytes[start..i].iter().collect();
+                let trimmed = directive.trim_start_matches('#').trim();
+                if let Some(rest) = trimmed.strip_prefix("pragma") {
+                    tokens.push(Token::Pragma(rest.trim().to_string()));
+                } else {
+                    return Err(LexError {
+                        line,
+                        message: format!("unexpected preprocessor directive after preprocessing: {directive}"),
+                    });
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_') {
+                    i += 1;
+                }
+                let word: String = bytes[start..i].iter().collect();
+                match Keyword::from_str(&word) {
+                    Some(kw) => tokens.push(Token::Keyword(kw)),
+                    None => tokens.push(Token::Ident(word)),
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                let mut is_float = false;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_digit() || bytes[i] == '.' || bytes[i] == 'e' || bytes[i] == 'E'
+                        || ((bytes[i] == '+' || bytes[i] == '-')
+                            && i > start
+                            && (bytes[i - 1] == 'e' || bytes[i - 1] == 'E')))
+                {
+                    if bytes[i] == '.' || bytes[i] == 'e' || bytes[i] == 'E' {
+                        is_float = true;
+                    }
+                    i += 1;
+                }
+                // Allow a trailing `f` suffix on float literals.
+                let text: String = bytes[start..i].iter().collect();
+                if i < bytes.len() && bytes[i] == 'f' {
+                    is_float = true;
+                    i += 1;
+                }
+                if is_float {
+                    let value = text.parse::<f64>().map_err(|_| LexError {
+                        line,
+                        message: format!("invalid float literal: {text}"),
+                    })?;
+                    tokens.push(Token::FloatLit(value));
+                } else {
+                    let value = text.parse::<i64>().map_err(|_| LexError {
+                        line,
+                        message: format!("invalid integer literal: {text}"),
+                    })?;
+                    tokens.push(Token::IntLit(value));
+                }
+            }
+            _ => {
+                let two: String = bytes[i..(i + 2).min(bytes.len())].iter().collect();
+                let (punct, advance) = match two.as_str() {
+                    "==" => (Punct::Eq, 2),
+                    "!=" => (Punct::Ne, 2),
+                    "<=" => (Punct::Le, 2),
+                    ">=" => (Punct::Ge, 2),
+                    "&&" => (Punct::AndAnd, 2),
+                    "||" => (Punct::OrOr, 2),
+                    _ => {
+                        let single = match c {
+                            '(' => Punct::LParen,
+                            ')' => Punct::RParen,
+                            '{' => Punct::LBrace,
+                            '}' => Punct::RBrace,
+                            '[' => Punct::LBracket,
+                            ']' => Punct::RBracket,
+                            ';' => Punct::Semi,
+                            ',' => Punct::Comma,
+                            '+' => Punct::Plus,
+                            '-' => Punct::Minus,
+                            '*' => Punct::Star,
+                            '/' => Punct::Slash,
+                            '%' => Punct::Percent,
+                            '=' => Punct::Assign,
+                            '<' => Punct::Lt,
+                            '>' => Punct::Gt,
+                            '!' => Punct::Not,
+                            other => {
+                                return Err(LexError {
+                                    line,
+                                    message: format!("unexpected character `{other}`"),
+                                })
+                            }
+                        };
+                        (single, 1)
+                    }
+                };
+                tokens.push(Token::Punct(punct));
+                i += advance;
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_a_simple_kernel() {
+        let src = "kernel void axpy(float* y, float* x, float a, int n) { y[0] = a * x[0]; }";
+        let tokens = lex(src).unwrap();
+        assert_eq!(tokens[0], Token::Keyword(Keyword::Kernel));
+        assert_eq!(tokens[1], Token::Keyword(Keyword::Void));
+        assert_eq!(tokens[2], Token::Ident("axpy".into()));
+        assert!(tokens.contains(&Token::Punct(Punct::Star)));
+        assert!(tokens.contains(&Token::Punct(Punct::LBracket)));
+    }
+
+    #[test]
+    fn lexes_numbers_and_floats() {
+        let tokens = lex("42 3.5 1e-3 2.0f 7").unwrap();
+        assert_eq!(
+            tokens,
+            vec![
+                Token::IntLit(42),
+                Token::FloatLit(3.5),
+                Token::FloatLit(1e-3),
+                Token::FloatLit(2.0),
+                Token::IntLit(7),
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_operators_including_two_char() {
+        let tokens = lex("a <= b && c != d || !e").unwrap();
+        assert!(tokens.contains(&Token::Punct(Punct::Le)));
+        assert!(tokens.contains(&Token::Punct(Punct::AndAnd)));
+        assert!(tokens.contains(&Token::Punct(Punct::Ne)));
+        assert!(tokens.contains(&Token::Punct(Punct::OrOr)));
+        assert!(tokens.contains(&Token::Punct(Punct::Not)));
+    }
+
+    #[test]
+    fn skips_comments_and_counts_lines() {
+        let src = "// comment line\nint a; /* block\ncomment */ int b;";
+        let tokens = lex(src).unwrap();
+        let idents: Vec<_> = tokens
+            .iter()
+            .filter_map(|t| match t {
+                Token::Ident(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(idents, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn keeps_pragmas_as_tokens() {
+        let src = "#pragma omp parallel for\nfor (int i = 0; i < n; i = i + 1) {}";
+        let tokens = lex(src).unwrap();
+        assert_eq!(tokens[0], Token::Pragma("omp parallel for".into()));
+    }
+
+    #[test]
+    fn rejects_unexpected_directives_and_characters() {
+        assert!(lex("#define A 1\nint a;").is_err());
+        assert!(lex("int a @ b;").is_err());
+    }
+}

@@ -1,0 +1,528 @@
+//! Preprocessor for CK source files.
+//!
+//! The IR-container pipeline (Section 4.3) hashes *preprocessed* translation units to
+//! decide whether two build configurations really produce different code: compile-time
+//! definitions (`-DGMX_GPU=CUDA`, `-DHAVE_MKL`, …) select code paths through `#if
+//! defined(...)` blocks, exactly as in the BLAS transpose example of Figure 3. This
+//! module implements the subset of the C preprocessor the synthetic applications use:
+//! object-like macros, conditional compilation, includes, and macro substitution — plus a
+//! stable content hash of the result.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A set of preprocessor definitions (name → optional value).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Definitions {
+    defines: BTreeMap<String, String>,
+}
+
+impl Definitions {
+    /// Empty definition set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Define a macro with a value.
+    pub fn define(&mut self, name: impl Into<String>, value: impl Into<String>) -> &mut Self {
+        self.defines.insert(name.into(), value.into());
+        self
+    }
+
+    /// Define a flag-style macro (value `1`).
+    pub fn define_flag(&mut self, name: impl Into<String>) -> &mut Self {
+        self.define(name, "1")
+    }
+
+    /// Remove a definition.
+    pub fn undefine(&mut self, name: &str) -> &mut Self {
+        self.defines.remove(name);
+        self
+    }
+
+    /// Whether a macro is defined.
+    pub fn is_defined(&self, name: &str) -> bool {
+        self.defines.contains_key(name)
+    }
+
+    /// Value of a macro.
+    pub fn value(&self, name: &str) -> Option<&str> {
+        self.defines.get(name).map(String::as_str)
+    }
+
+    /// Parse `-DNAME` / `-DNAME=VALUE` compiler flags into definitions.
+    pub fn from_flags<'a>(flags: impl IntoIterator<Item = &'a str>) -> Self {
+        let mut defs = Self::new();
+        for flag in flags {
+            if let Some(rest) = flag.strip_prefix("-D") {
+                match rest.split_once('=') {
+                    Some((name, value)) => defs.define(name, value),
+                    None => defs.define_flag(rest),
+                };
+            }
+        }
+        defs
+    }
+
+    /// Iterate over `(name, value)` pairs in sorted order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.defines.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+
+    /// Number of definitions.
+    pub fn len(&self) -> usize {
+        self.defines.len()
+    }
+
+    /// Whether there are no definitions.
+    pub fn is_empty(&self) -> bool {
+        self.defines.is_empty()
+    }
+}
+
+/// Errors raised during preprocessing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(missing_docs)] // variant payload fields are documented by the Display impl
+pub enum PreprocessError {
+    /// An `#include` could not be resolved from the provided header map.
+    MissingInclude { file: String, line: usize },
+    /// `#endif` / `#else` without an opening `#if`.
+    UnbalancedConditional { line: usize },
+    /// An `#if` block was never closed.
+    UnterminatedConditional,
+    /// Unsupported or malformed directive.
+    BadDirective { directive: String, line: usize },
+}
+
+impl fmt::Display for PreprocessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PreprocessError::MissingInclude { file, line } => {
+                write!(f, "line {line}: cannot resolve #include \"{file}\"")
+            }
+            PreprocessError::UnbalancedConditional { line } => {
+                write!(f, "line {line}: #else/#endif without matching #if")
+            }
+            PreprocessError::UnterminatedConditional => write!(f, "unterminated #if block"),
+            PreprocessError::BadDirective { directive, line } => {
+                write!(f, "line {line}: unsupported directive `{directive}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PreprocessError {}
+
+/// The result of preprocessing a file.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PreprocessedUnit {
+    /// Origin file name.
+    pub file: String,
+    /// Preprocessed source text (directives resolved, macros substituted).
+    pub text: String,
+    /// Macros that actually influenced the output (referenced in conditionals or substituted).
+    pub used_definitions: Vec<String>,
+    /// Headers that were included.
+    pub included_headers: Vec<String>,
+}
+
+impl PreprocessedUnit {
+    /// A stable 64-bit FNV-1a hash of the preprocessed text — the identity used by the
+    /// IR pipeline's preprocessing-deduplication stage.
+    pub fn content_hash(&self) -> u64 {
+        fnv1a(self.text.as_bytes())
+    }
+}
+
+/// FNV-1a hash (64-bit) over bytes.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    hash
+}
+
+/// Preprocess `source` with `definitions`, resolving `#include "name"` from `headers`.
+pub fn preprocess(
+    file: &str,
+    source: &str,
+    definitions: &Definitions,
+    headers: &BTreeMap<String, String>,
+) -> Result<PreprocessedUnit, PreprocessError> {
+    let mut output = String::with_capacity(source.len());
+    let mut used = Vec::new();
+    let mut included = Vec::new();
+    let mut working = definitions.clone();
+    process_text(source, &mut working, headers, &mut output, &mut used, &mut included, 0)?;
+    used.sort();
+    used.dedup();
+    included.sort();
+    included.dedup();
+    // Canonicalise whitespace so cosmetic differences do not affect the hash.
+    let canonical: String = output
+        .lines()
+        .map(str::trim_end)
+        .filter(|l| !l.trim().is_empty())
+        .collect::<Vec<_>>()
+        .join("\n");
+    Ok(PreprocessedUnit {
+        file: file.to_string(),
+        text: canonical,
+        used_definitions: used,
+        included_headers: included,
+    })
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum CondState {
+    /// The current branch is emitting lines.
+    Active,
+    /// The current branch is suppressed but a later `#else` might activate.
+    InactivePending,
+    /// Some earlier branch already emitted; all remaining branches suppressed.
+    InactiveDone,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn process_text(
+    source: &str,
+    definitions: &mut Definitions,
+    headers: &BTreeMap<String, String>,
+    output: &mut String,
+    used: &mut Vec<String>,
+    included: &mut Vec<String>,
+    depth: usize,
+) -> Result<(), PreprocessError> {
+    if depth > 32 {
+        return Err(PreprocessError::BadDirective { directive: "#include (nested too deep)".into(), line: 0 });
+    }
+    let mut stack: Vec<CondState> = Vec::new();
+    for (line_index, raw_line) in source.lines().enumerate() {
+        let line_no = line_index + 1;
+        let trimmed = raw_line.trim_start();
+        let emitting = stack.iter().all(|s| *s == CondState::Active);
+        if let Some(directive) = trimmed.strip_prefix('#') {
+            let directive = directive.trim();
+            if directive.starts_with("pragma") {
+                if emitting {
+                    output.push_str(raw_line);
+                    output.push('\n');
+                }
+                continue;
+            }
+            let (keyword, rest) = match directive.split_once(char::is_whitespace) {
+                Some((k, r)) => (k, r.trim()),
+                None => (directive, ""),
+            };
+            match keyword {
+                "include" => {
+                    if emitting {
+                        let name = rest.trim_matches(|c| c == '"' || c == '<' || c == '>').to_string();
+                        let Some(content) = headers.get(&name) else {
+                            return Err(PreprocessError::MissingInclude { file: name, line: line_no });
+                        };
+                        included.push(name);
+                        process_text(content, definitions, headers, output, used, included, depth + 1)?;
+                    }
+                }
+                "define" => {
+                    // In-file object-like macros extend the working definition set (the
+                    // external `-D` flags still dominate IR identity via `used_definitions`).
+                    if emitting {
+                        if let Some(name) = rest.split_whitespace().next() {
+                            let value = rest[name.len()..].trim();
+                            let value = if value.is_empty() { "1" } else { value };
+                            definitions.define(name, value);
+                            used.push(name.to_string());
+                        }
+                    }
+                }
+                "undef" => {
+                    if emitting {
+                        definitions.undefine(rest);
+                        used.push(rest.to_string());
+                    }
+                }
+                "ifdef" => {
+                    used.push(rest.to_string());
+                    stack.push(if definitions.is_defined(rest) {
+                        CondState::Active
+                    } else {
+                        CondState::InactivePending
+                    });
+                }
+                "ifndef" => {
+                    used.push(rest.to_string());
+                    stack.push(if definitions.is_defined(rest) {
+                        CondState::InactivePending
+                    } else {
+                        CondState::Active
+                    });
+                }
+                "if" => {
+                    let value = eval_condition(rest, definitions, used);
+                    stack.push(if value { CondState::Active } else { CondState::InactivePending });
+                }
+                "elif" => {
+                    let Some(top) = stack.last_mut() else {
+                        return Err(PreprocessError::UnbalancedConditional { line: line_no });
+                    };
+                    *top = match *top {
+                        CondState::Active => CondState::InactiveDone,
+                        CondState::InactivePending => {
+                            if eval_condition(rest, definitions, used) {
+                                CondState::Active
+                            } else {
+                                CondState::InactivePending
+                            }
+                        }
+                        CondState::InactiveDone => CondState::InactiveDone,
+                    };
+                }
+                "else" => {
+                    let Some(top) = stack.last_mut() else {
+                        return Err(PreprocessError::UnbalancedConditional { line: line_no });
+                    };
+                    *top = match *top {
+                        CondState::Active => CondState::InactiveDone,
+                        CondState::InactivePending => CondState::Active,
+                        CondState::InactiveDone => CondState::InactiveDone,
+                    };
+                }
+                "endif" => {
+                    if stack.pop().is_none() {
+                        return Err(PreprocessError::UnbalancedConditional { line: line_no });
+                    }
+                }
+                other => {
+                    return Err(PreprocessError::BadDirective { directive: format!("#{other}"), line: line_no })
+                }
+            }
+            continue;
+        }
+        if emitting {
+            output.push_str(&substitute(raw_line, definitions, used));
+            output.push('\n');
+        }
+    }
+    if stack.is_empty() {
+        Ok(())
+    } else {
+        Err(PreprocessError::UnterminatedConditional)
+    }
+}
+
+/// Evaluate `defined(X)`, `!defined(X)`, bare macro names, and `&&`/`||` combinations.
+fn eval_condition(expr: &str, definitions: &Definitions, used: &mut Vec<String>) -> bool {
+    // Split on || first (lowest precedence), then &&.
+    expr.split("||").any(|clause| {
+        clause.split("&&").all(|term| {
+            let term = term.trim();
+            let (negated, term) = match term.strip_prefix('!') {
+                Some(rest) => (true, rest.trim()),
+                None => (false, term),
+            };
+            let name = term
+                .strip_prefix("defined(")
+                .and_then(|t| t.strip_suffix(')'))
+                .or_else(|| term.strip_prefix("defined ").map(str::trim))
+                .unwrap_or(term)
+                .trim();
+            if name.is_empty() {
+                return !negated;
+            }
+            used.push(name.to_string());
+            let mut value = definitions.is_defined(name);
+            // A bare `#if MACRO` with value "0" is false.
+            if !term.starts_with("defined") {
+                value = value && definitions.value(name) != Some("0");
+            }
+            if negated {
+                !value
+            } else {
+                value
+            }
+        })
+    })
+}
+
+/// Substitute object-like macros appearing as whole identifiers in a line.
+fn substitute(line: &str, definitions: &Definitions, used: &mut Vec<String>) -> String {
+    if definitions.is_empty() {
+        return line.to_string();
+    }
+    let mut result = String::with_capacity(line.len());
+    let chars: Vec<char> = line.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            let word: String = chars[start..i].iter().collect();
+            if let Some(value) = definitions.value(&word) {
+                used.push(word);
+                result.push_str(value);
+            } else {
+                result.push_str(&word);
+            }
+        } else {
+            result.push(c);
+            i += 1;
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn no_headers() -> BTreeMap<String, String> {
+        BTreeMap::new()
+    }
+
+    #[test]
+    fn definitions_from_flags() {
+        let defs = Definitions::from_flags(["-DHAVE_MKL", "-DGMX_SIMD=AVX_512", "-O3", "-fopenmp"]);
+        assert!(defs.is_defined("HAVE_MKL"));
+        assert_eq!(defs.value("GMX_SIMD"), Some("AVX_512"));
+        assert!(!defs.is_defined("O3"));
+        assert_eq!(defs.len(), 2);
+    }
+
+    #[test]
+    fn ifdef_selects_branches_like_figure_3() {
+        let source = r#"
+#if defined(HAVE_MKL)
+kernel void transpose(float* b, float* a, int r, int c) { mkl_domatcopy(a, b, r, c); }
+#endif
+#if !defined(HAVE_MKL) && !defined(HAVE_OPENBLAS)
+kernel void transpose(float* b, float* a, int r, int c) {
+    for (int i = 0; i < r; i = i + 1) { b[i] = a[i]; }
+}
+#endif
+"#;
+        let mut with_mkl = Definitions::new();
+        with_mkl.define_flag("HAVE_MKL");
+        let mkl = preprocess("t.ck", source, &with_mkl, &no_headers()).unwrap();
+        assert!(mkl.text.contains("mkl_domatcopy"));
+        assert!(!mkl.text.contains("for (int i"));
+
+        let plain = preprocess("t.ck", source, &Definitions::new(), &no_headers()).unwrap();
+        assert!(!plain.text.contains("mkl_domatcopy"));
+        assert!(plain.text.contains("for (int i"));
+        assert_ne!(mkl.content_hash(), plain.content_hash());
+        assert!(mkl.used_definitions.contains(&"HAVE_MKL".to_string()));
+    }
+
+    #[test]
+    fn irrelevant_definitions_do_not_change_the_hash() {
+        let source = "kernel void f(float* x, int n) { x[0] = 1.0; }\n";
+        let plain = preprocess("f.ck", source, &Definitions::new(), &no_headers()).unwrap();
+        let mut noisy = Definitions::new();
+        noisy.define_flag("GMX_GPU_CUDA");
+        noisy.define("UNRELATED", "42");
+        let with_defs = preprocess("f.ck", source, &noisy, &no_headers()).unwrap();
+        assert_eq!(plain.content_hash(), with_defs.content_hash());
+    }
+
+    #[test]
+    fn else_and_elif_branches() {
+        let source = r#"
+#ifdef USE_CUDA
+int backend = 1;
+#elif defined(USE_HIP)
+int backend = 2;
+#else
+int backend = 0;
+#endif
+"#;
+        let mut cuda = Definitions::new();
+        cuda.define_flag("USE_CUDA");
+        assert!(preprocess("b.ck", source, &cuda, &no_headers()).unwrap().text.contains("backend = 1"));
+        let mut hip = Definitions::new();
+        hip.define_flag("USE_HIP");
+        assert!(preprocess("b.ck", source, &hip, &no_headers()).unwrap().text.contains("backend = 2"));
+        let none = preprocess("b.ck", source, &Definitions::new(), &no_headers()).unwrap();
+        assert!(none.text.contains("backend = 0"));
+    }
+
+    #[test]
+    fn includes_are_resolved_and_recorded() {
+        let mut headers = BTreeMap::new();
+        headers.insert("vec_ops.h".to_string(), "float dot(float* a, float* b, int n) { return 0.0; }\n".to_string());
+        let source = "#include \"vec_ops.h\"\nkernel void f(float* a, float* b, int n) { a[0] = dot(a, b, n); }\n";
+        let unit = preprocess("f.ck", source, &Definitions::new(), &headers).unwrap();
+        assert!(unit.text.contains("float dot"));
+        assert_eq!(unit.included_headers, vec!["vec_ops.h"]);
+        let missing = preprocess("f.ck", "#include \"absent.h\"\n", &Definitions::new(), &no_headers());
+        assert!(matches!(missing, Err(PreprocessError::MissingInclude { .. })));
+    }
+
+    #[test]
+    fn macro_substitution_replaces_whole_identifiers_only() {
+        let mut defs = Definitions::new();
+        defs.define("N", "128");
+        let unit = preprocess("m.ck", "int n = N; int nn = NN;", &defs, &no_headers()).unwrap();
+        assert!(unit.text.contains("int n = 128;"));
+        assert!(unit.text.contains("int nn = NN;"));
+    }
+
+    #[test]
+    fn unbalanced_and_unterminated_conditionals_error() {
+        assert!(matches!(
+            preprocess("x.ck", "#endif\n", &Definitions::new(), &no_headers()),
+            Err(PreprocessError::UnbalancedConditional { .. })
+        ));
+        assert!(matches!(
+            preprocess("x.ck", "#ifdef A\nint x;\n", &Definitions::new(), &no_headers()),
+            Err(PreprocessError::UnterminatedConditional)
+        ));
+    }
+
+    #[test]
+    fn whitespace_canonicalisation_stabilises_hash() {
+        let a = preprocess("a.ck", "int x;   \n\n\nint y;\n", &Definitions::new(), &no_headers()).unwrap();
+        let b = preprocess("a.ck", "int x;\nint y;", &Definitions::new(), &no_headers()).unwrap();
+        assert_eq!(a.content_hash(), b.content_hash());
+    }
+
+    #[test]
+    fn nested_conditionals() {
+        let source = r#"
+#ifdef GPU
+#ifdef CUDA
+int path = 11;
+#else
+int path = 12;
+#endif
+#else
+int path = 0;
+#endif
+"#;
+        let mut both = Definitions::new();
+        both.define_flag("GPU");
+        both.define_flag("CUDA");
+        assert!(preprocess("n.ck", source, &both, &no_headers()).unwrap().text.contains("path = 11"));
+        let mut gpu_only = Definitions::new();
+        gpu_only.define_flag("GPU");
+        assert!(preprocess("n.ck", source, &gpu_only, &no_headers()).unwrap().text.contains("path = 12"));
+        assert!(preprocess("n.ck", source, &Definitions::new(), &no_headers())
+            .unwrap()
+            .text
+            .contains("path = 0"));
+    }
+
+    #[test]
+    fn fnv_hash_is_stable_and_distinguishes_content() {
+        assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
+        assert_ne!(fnv1a(b"a"), fnv1a(b"b"));
+        assert_eq!(fnv1a(b"xaas"), fnv1a(b"xaas"));
+    }
+}

@@ -1,0 +1,53 @@
+//! llama.cpp-style deployment: the same source container specialises to a CUDA system
+//! (Ault23), a SYCL system (Aurora), and a Grace-Hopper system (Clariden), reproducing
+//! the Figure 11 comparison against naive and specialized builds.
+//!
+//! ```sh
+//! cargo run --example llamacpp_source_container
+//! ```
+
+use xaas::prelude::*;
+use xaas_apps::llamacpp;
+use xaas_buildsys::OptionAssignment;
+use xaas_hpcsim::{ExecutionEngine, SystemModel};
+
+fn main() {
+    let project = llamacpp::project();
+    let store = ImageStore::new();
+    let workload = llamacpp::benchmark_workload(512, 128);
+    println!("workload: {}", workload.name);
+
+    for system in [SystemModel::ault23(), SystemModel::aurora(), SystemModel::clariden()] {
+        let image = build_source_container(
+            &project,
+            xaas::source_container::architecture_of(&system),
+            &store,
+            &format!("spcl/mini-llamacpp:src-{}", system.name.to_ascii_lowercase()),
+        );
+        let deployment = deploy_source_container(
+            &project,
+            &image,
+            &system,
+            &OptionAssignment::new(),
+            SelectionPolicy::BestAvailable,
+            &store,
+        )
+        .expect("deployment succeeds");
+
+        let engine = ExecutionEngine::new(&system);
+        let mut rows: Vec<(String, f64, bool)> = Vec::new();
+        for profile in xaas_apps::make_executable(xaas_apps::llamacpp_baselines(&system), &system) {
+            if let Ok(report) = engine.execute(&workload, &profile) {
+                rows.push((profile.label.clone(), report.compute_seconds, report.used_gpu));
+            }
+        }
+        let deployed = engine.execute(&workload, &deployment.build_profile).unwrap();
+        rows.push(("XaaS Source (deployed)".to_string(), deployed.compute_seconds, deployed.used_gpu));
+
+        println!("\n=== {} ===", system.name);
+        println!("  selected configuration: {}", deployment.assignment.label());
+        for (label, seconds, gpu) in rows {
+            println!("  {:<26} {:>8.3} s{}", label, seconds, if gpu { "   [GPU]" } else { "" });
+        }
+    }
+}

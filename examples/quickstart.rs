@@ -1,0 +1,73 @@
+//! Quickstart: build a source container for the mini-GROMACS application, deploy it on
+//! two different systems, and compare the resulting specializations and performance.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use xaas::prelude::*;
+use xaas_apps::gromacs;
+use xaas_buildsys::OptionAssignment;
+use xaas_hpcsim::{ExecutionEngine, SystemModel};
+
+fn main() {
+    // 1. The application and its specialization points (discovered from the project).
+    let project = gromacs::project();
+    println!("application: {} v{}", project.name, project.version);
+    println!("specialization points:");
+    for option in &project.options {
+        println!("  {:<18} [{}] choices: {}", option.name, option.category, option.value_names().join(", "));
+    }
+
+    // 2. Build ONE portable source container (per architecture) and push it to a registry.
+    let local = ImageStore::new();
+    let registry = Registry::new();
+    let image = build_source_container(&project, Architecture::Amd64, &local, "spcl/mini-gromacs:src-x86");
+    registry.push(&local, "spcl/mini-gromacs:src-x86").expect("push succeeds");
+    println!(
+        "\nsource container: {} ({} layers, {} bytes), format = {}",
+        image.reference,
+        image.layer_count(),
+        image.size_bytes(),
+        image.deployment_format()
+    );
+    // Specialization points can be inspected from the registry without pulling the image.
+    let annotations = registry.peek_annotations("spcl/mini-gromacs:src-x86").unwrap();
+    println!("registry annotation keys: {:?}", annotations.keys().collect::<Vec<_>>());
+
+    // 3. Deploy the same container on two systems; XaaS picks the best specialization.
+    for system in [SystemModel::ault23(), SystemModel::clariden()] {
+        let deployment = deploy_source_container(
+            &project,
+            &image,
+            &system,
+            &OptionAssignment::new(),
+            SelectionPolicy::BestAvailable,
+            &local,
+        )
+        .expect("deployment succeeds");
+        println!("\n=== deployment on {} ===", system.name);
+        println!("  selected: {}", deployment.assignment.label());
+        println!("  compiled {} translation units", deployment.compiled_units);
+        for note in &deployment.notes {
+            println!("  note: {note}");
+        }
+
+        // 4. Run the UEABS-like workload under the calibrated execution model and compare
+        //    against a naive build of the same application.
+        let engine = ExecutionEngine::new(&system);
+        let workload = gromacs::workload_test_a(1_000);
+        let deployed = engine.execute(&workload, &deployment.build_profile).unwrap();
+        let baselines = xaas_apps::make_executable(xaas_apps::gromacs_baselines(&system), &system);
+        let naive = engine
+            .execute(&workload, baselines.iter().find(|p| p.label == "Naive Build").unwrap())
+            .unwrap();
+        println!(
+            "  naive build: {:>8.2} s   XaaS deployment: {:>8.2} s   speedup {:.2}x (GPU used: {})",
+            naive.compute_seconds,
+            deployed.compute_seconds,
+            naive.compute_seconds / deployed.compute_seconds,
+            deployed.used_gpu
+        );
+    }
+}

@@ -1,0 +1,126 @@
+//! End-to-end: the full XaaS story on one system — discovery, both container types,
+//! deployment, execution model, and the performance claims of the evaluation section.
+
+use xaas::prelude::*;
+use xaas_apps::gromacs;
+use xaas_buildsys::OptionAssignment;
+use xaas_hpcsim::{BuildProfile, ExecutionEngine, LibraryQuality, SimdLevel, SystemModel};
+
+/// Source container and IR container of the same application, deployed on the same
+/// system, deliver equivalent performance — and both clearly beat the portable container.
+#[test]
+fn source_and_ir_deployments_agree_and_beat_portable_containers() {
+    let project = gromacs::project();
+    let store = ImageStore::new();
+    let system = SystemModel::ault01_04();
+    let workload = gromacs::workload_test_b(200);
+    let engine = ExecutionEngine::new(&system);
+
+    // Source-container path.
+    let source_image = build_source_container(&project, Architecture::Amd64, &store, "e2e:src");
+    let source_deployment = deploy_source_container(
+        &project,
+        &source_image,
+        &system,
+        &OptionAssignment::new().with("GMX_FFT_LIBRARY", "mkl"),
+        SelectionPolicy::BestAvailable,
+        &store,
+    )
+    .unwrap();
+    let source_time = engine
+        .execute(&workload, &source_deployment.build_profile)
+        .unwrap()
+        .compute_seconds;
+
+    // IR-container path, deployed at the same SIMD level with the same FFT choice.
+    let pipeline = IrPipelineConfig::sweep_options(&project, &["GMX_SIMD", "GMX_FFT_LIBRARY"])
+        .with_values("GMX_SIMD", &["SSE4.1", "AVX_512"])
+        .with_values("GMX_FFT_LIBRARY", &["fftw3", "mkl"]);
+    let ir_build = build_ir_container(&project, &pipeline, &store, "e2e:ir").unwrap();
+    let ir_deployment = deploy_ir_container(
+        &ir_build,
+        &project,
+        &system,
+        &OptionAssignment::new().with("GMX_SIMD", "AVX_512").with("GMX_FFT_LIBRARY", "mkl"),
+        SimdLevel::Avx512,
+        &store,
+    )
+    .unwrap();
+    let ir_time = engine.execute(&workload, &ir_deployment.build_profile).unwrap().compute_seconds;
+
+    // Portable, performance-oblivious container (lowest common denominator).
+    let portable = BuildProfile::new("portable", SimdLevel::Sse41, 36)
+        .with_libraries(LibraryQuality::Generic, LibraryQuality::Generic)
+        .with_container_overhead(1.01);
+    let portable_time = engine.execute(&workload, &portable).unwrap().compute_seconds;
+
+    let agreement = (source_time / ir_time - 1.0).abs();
+    assert!(agreement < 0.05, "source {source_time} vs IR {ir_time}");
+    assert!(portable_time / ir_time > 1.4, "specialization should win by >1.4x: {portable_time} vs {ir_time}");
+}
+
+/// The combinatorial-explosion argument: a registry of specialized binary images needs
+/// one image per configuration, while XaaS stores one source image and one IR image and
+/// still serves every configuration.
+#[test]
+fn registry_stores_one_xaas_image_instead_of_one_per_configuration() {
+    let project = gromacs::project();
+    let store = ImageStore::new();
+    let registry = Registry::new();
+
+    // XaaS: one source container + one IR container.
+    build_source_container(&project, Architecture::Amd64, &store, "spcl/gmx:src");
+    registry.push(&store, "spcl/gmx:src").unwrap();
+    let pipeline = IrPipelineConfig::sweep_options(&project, &["GMX_SIMD", "GMX_GPU"])
+        .with_values("GMX_SIMD", &["SSE4.1", "AVX_512"])
+        .with_values("GMX_GPU", &["OFF", "CUDA"]);
+    let ir_build = build_ir_container(&project, &pipeline, &store, "spcl/gmx:ir").unwrap();
+    registry.push(&store, "spcl/gmx:ir").unwrap();
+    assert_eq!(registry.tags_of("spcl/gmx").len(), 2);
+
+    // The IR container alone serves all four configurations on the target system.
+    let system = SystemModel::ault23();
+    for (simd, gpu) in [("SSE4.1", "OFF"), ("SSE4.1", "CUDA"), ("AVX_512", "OFF"), ("AVX_512", "CUDA")] {
+        let selection = OptionAssignment::new().with("GMX_SIMD", simd).with("GMX_GPU", gpu);
+        let level = SimdLevel::parse(simd).unwrap();
+        let deployment =
+            deploy_ir_container(&ir_build, &project, &system, &selection, level, &store).unwrap();
+        assert!(store.load(&deployment.reference).is_ok());
+    }
+    // Four deployed images now exist locally, but the registry still holds only two.
+    assert_eq!(registry.tags_of("spcl/gmx").len(), 2);
+    assert!(store.references().len() >= 6);
+}
+
+/// The deployment-time image is OCI-shaped: committed manifests resolve, layers are
+/// content-addressed, and annotations carry the specialization metadata.
+#[test]
+fn deployed_images_are_oci_consistent() {
+    let project = gromacs::project();
+    let store = ImageStore::new();
+    let system = SystemModel::ault23();
+    let image = build_source_container(&project, Architecture::Amd64, &store, "oci:src");
+    let deployment = deploy_source_container(
+        &project,
+        &image,
+        &system,
+        &OptionAssignment::new(),
+        SelectionPolicy::BestAvailable,
+        &store,
+    )
+    .unwrap();
+
+    let digest = store.resolve(&deployment.reference).unwrap();
+    let manifest = store.manifest(&digest).unwrap();
+    assert_eq!(manifest.layers.len(), deployment.image.layer_count());
+    for layer in &manifest.layers {
+        assert!(store.has_blob(&layer.digest));
+    }
+    let config = store.config(&manifest.config.digest).unwrap();
+    assert_eq!(config.rootfs_diff_ids.len(), manifest.layers.len());
+    assert_eq!(
+        manifest.annotations.get(annotation_keys::TARGET_SYSTEM).map(String::as_str),
+        Some("Ault23")
+    );
+    assert!(manifest.annotations.contains_key(annotation_keys::SELECTED_CONFIGURATION));
+}

@@ -1,0 +1,155 @@
+//! Integration: IR containers — pipeline, deployment, hypotheses, and image structure.
+
+use xaas::prelude::*;
+use xaas_apps::{gromacs, lulesh};
+use xaas_buildsys::OptionAssignment;
+use xaas_hpcsim::{ExecutionEngine, SimdLevel, SystemModel};
+
+/// Build one IR container with a two-dimensional sweep and deploy it to every x86 system
+/// plus the ARM system at their best vectorization level.
+#[test]
+fn one_ir_container_deploys_to_every_system() {
+    let project = gromacs::project();
+    let store = ImageStore::new();
+    let pipeline = IrPipelineConfig::sweep_options(&project, &["GMX_SIMD", "GMX_GPU"])
+        .with_values(
+            "GMX_SIMD",
+            &["SSE4.1", "AVX2_256", "AVX_512", "ARM_NEON_ASIMD"],
+        )
+        .with_values("GMX_GPU", &["OFF", "CUDA"]);
+    let build = build_ir_container(&project, &pipeline, &store, "spcl/mini-gromacs:ir").unwrap();
+    assert!(hypothesis1(&build.stats).holds);
+
+    for system in SystemModel::all_evaluation_systems() {
+        let simd = system.cpu.best_simd();
+        let gpu = if system.has_gpu_backend(xaas_hpcsim::GpuBackend::Cuda) { "CUDA" } else { "OFF" };
+        // Pick a swept SIMD value supported by this system (the IR itself is shared).
+        let simd_value = if system.cpu.supports(SimdLevel::Avx512) {
+            "AVX_512"
+        } else if system.cpu.supports(SimdLevel::Avx2_256) {
+            "AVX2_256"
+        } else {
+            "ARM_NEON_ASIMD"
+        };
+        let selection = OptionAssignment::new().with("GMX_SIMD", simd_value).with("GMX_GPU", gpu);
+        let deployment = deploy_ir_container(&build, &project, &system, &selection, simd, &store)
+            .unwrap_or_else(|e| panic!("{}: {e}", system.name));
+        assert!(deployment.stats.lowered_units > 0, "{}", system.name);
+        assert!(store.load(&deployment.reference).is_ok());
+        let engine = ExecutionEngine::new(&system);
+        let report = engine
+            .execute(&gromacs::workload_test_a(200), &deployment.build_profile)
+            .unwrap();
+        assert!(report.compute_seconds > 0.0);
+    }
+}
+
+/// The IR container is strictly smaller than the union of per-configuration containers
+/// would be: layer content scales with unique IR files, not with ΣTᵢ.
+#[test]
+fn ir_dedup_reduces_stored_bitcode_volume() {
+    let project = gromacs::project();
+    let store = ImageStore::new();
+    let full_sweep = IrPipelineConfig::sweep_options(&project, &["GMX_SIMD"]).with_values(
+        "GMX_SIMD",
+        &["SSE4.1", "AVX2_128", "AVX_256", "AVX2_256", "AVX_512"],
+    );
+    let deduplicated = build_ir_container(&project, &full_sweep, &store, "dedup:ir").unwrap();
+
+    let mut no_sharing = full_sweep.clone();
+    no_sharing.stages.vectorization_delay = false;
+    no_sharing.stages.preprocessing = false;
+    no_sharing.stages.openmp_detection = false;
+    no_sharing.stages.normalize_build_dir = false;
+    let unshared = build_ir_container(&project, &no_sharing, &store, "unshared:ir").unwrap();
+
+    assert!(deduplicated.stats.ir_files_built() < unshared.stats.ir_files_built());
+    assert!(deduplicated.image.size_bytes() < unshared.image.size_bytes());
+    // Both still describe the same set of configurations.
+    assert_eq!(deduplicated.manifests.len(), unshared.manifests.len());
+}
+
+/// Every manifest of an IR container references only artifacts that exist, and every IR
+/// unit is referenced by at least one configuration (no dead blobs).
+#[test]
+fn manifests_and_units_are_mutually_consistent() {
+    let project = gromacs::project();
+    let store = ImageStore::new();
+    let pipeline = IrPipelineConfig::sweep_options(&project, &["GMX_GPU", "GMX_FFT_LIBRARY"]);
+    let build = build_ir_container(&project, &pipeline, &store, "consistency:ir").unwrap();
+
+    let mut referenced = std::collections::BTreeSet::new();
+    for manifest in &build.manifests {
+        for unit in &manifest.units {
+            if let Some(id) = unit.artifact.strip_prefix("ir:") {
+                assert!(build.units.contains_key(id), "{} missing", id);
+                referenced.insert(id.to_string());
+            } else {
+                assert!(unit.artifact.starts_with("src:"));
+            }
+        }
+    }
+    for id in build.units.keys() {
+        assert!(referenced.contains(id), "unit {id} is never referenced");
+    }
+}
+
+/// The LULESH example of Section 4.3: 2 specialization points → 4 configurations, and the
+/// pipeline reduces 20 translation units to fewer IR files, with OpenMP detection
+/// accounting for part of the reduction.
+#[test]
+fn lulesh_section_4_3_walkthrough() {
+    let project = lulesh::project();
+    let store = ImageStore::new();
+    let pipeline = IrPipelineConfig::sweep_options(&project, &["WITH_MPI", "WITH_OPENMP"]);
+    let build = build_ir_container(&project, &pipeline, &store, "lulesh:ir").unwrap();
+    assert_eq!(build.stats.configurations, 4);
+    assert_eq!(build.stats.total_translation_units, 20);
+    assert!(build.stats.unique_after_preprocessing < build.stats.unique_after_generation);
+    assert!(build.stats.unique_after_openmp < build.stats.unique_after_preprocessing);
+    assert_eq!(build.stats.ir_files_built(), 8);
+
+    // Deploy the MPI+OpenMP configuration and check the comm path selected USE_MPI.
+    let selection = OptionAssignment::new().with("WITH_MPI", "ON").with("WITH_OPENMP", "ON");
+    let deployment = deploy_ir_container(
+        &build,
+        &project,
+        &SystemModel::ault01_04(),
+        &selection,
+        SimdLevel::Avx512,
+        &store,
+    )
+    .unwrap();
+    assert!(deployment.machine_modules.contains_key("src/lulesh_comm.ck"));
+    assert_eq!(deployment.stats.lowered_units, 5);
+}
+
+/// Early optimisation of stored IR (the ablation) caps the vector width achieved at
+/// deployment — the reason the paper delays optimisation until the target is known.
+#[test]
+fn premature_optimization_hurts_deployment_vectorization() {
+    let project = gromacs::project();
+    let store = ImageStore::new();
+    let mut delayed = IrPipelineConfig::sweep_options(&project, &["GMX_SIMD"]).with_values("GMX_SIMD", &["AVX_512"]);
+    delayed.optimize_early = false;
+    let mut early = delayed.clone();
+    early.optimize_early = true;
+
+    let system = SystemModel::ault01_04();
+    let selection = OptionAssignment::new().with("GMX_SIMD", "AVX_512");
+    let width_of = |config: &IrPipelineConfig, tag: &str| {
+        let build = build_ir_container(&project, config, &store, tag).unwrap();
+        let deployment =
+            deploy_ir_container(&build, &project, &system, &selection, SimdLevel::Avx512, &store).unwrap();
+        deployment
+            .machine_modules
+            .values()
+            .flat_map(|m| m.functions.iter().flat_map(|f| f.loop_widths.clone()))
+            .max()
+            .unwrap_or(1)
+    };
+    let delayed_width = width_of(&delayed, "delayed:ir");
+    let early_width = width_of(&early, "early:ir");
+    assert_eq!(delayed_width, 16);
+    assert!(early_width <= 2, "early optimisation blocks re-vectorisation, got {early_width}");
+}

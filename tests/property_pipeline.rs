@@ -1,0 +1,168 @@
+//! Property-based tests over the core invariants of the substrates and the pipeline.
+
+use proptest::prelude::*;
+use xaas::prelude::*;
+use xaas_container::digest::{sha256, Digest};
+use xaas_container::{Layer, RootFs};
+use xaas_hpcsim::{BuildProfile, ExecutionEngine, KernelClass, KernelWork, SimdLevel, SystemModel, Workload};
+use xaas_specs::{normalize_name, score, SpecCategory, SpecEntry, SpecializationDocument};
+use xaas_xir::{CompileFlags, Compiler, Interpreter, TargetIsa, Value};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// SHA-256 content addressing: equal content ⇔ equal digest; prefix changes digest.
+    #[test]
+    fn digest_is_deterministic_and_sensitive(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        prop_assert_eq!(sha256(&data), sha256(&data));
+        prop_assert_eq!(Digest::of_bytes(&data), Digest::of_bytes(&data));
+        let mut extended = data.clone();
+        extended.push(0xAB);
+        prop_assert_ne!(Digest::of_bytes(&data), Digest::of_bytes(&extended));
+    }
+
+    /// Layer archives round-trip for arbitrary file sets, and diff IDs are order-independent.
+    #[test]
+    fn layer_roundtrip_and_order_independence(
+        files in proptest::collection::btree_map("[a-z]{1,8}(/[a-z]{1,8}){0,2}", "[ -~]{0,64}", 1..12)
+    ) {
+        let mut forward = Layer::new("forward");
+        for (path, content) in &files {
+            forward.add_text(format!("/{path}"), content.clone());
+        }
+        let mut reverse = Layer::new("forward");
+        for (path, content) in files.iter().rev() {
+            reverse.add_text(format!("/{path}"), content.clone());
+        }
+        prop_assert_eq!(Layer::from_archive(&forward.to_archive()).unwrap(), forward.clone());
+        prop_assert_eq!(forward.diff_id(), reverse.diff_id());
+        let root = RootFs::flatten([&forward]);
+        prop_assert!(root.len() <= files.len());
+    }
+
+    /// The interpreter computes identical results regardless of the vector width chosen at
+    /// lowering time (the correctness half of "delay vectorization until deployment").
+    #[test]
+    fn vector_width_never_changes_results(
+        values in proptest::collection::vec(-1000.0f64..1000.0, 1..40),
+        scale in -8.0f64..8.0,
+        width in prop_oneof![Just(1u32), Just(2), Just(4), Just(8), Just(16)],
+    ) {
+        let source = r#"
+kernel void saxpy(float* y, float* x, float a, int n) {
+    for (int i = 0; i < n; i = i + 1) { y[i] = y[i] + a * x[i]; }
+}
+float sum(float* x, int n) {
+    float acc = 0.0;
+    for (int i = 0; i < n; i = i + 1) { acc = acc + x[i]; }
+    return acc;
+}
+"#;
+        let compiler = Compiler::new();
+        let flags = CompileFlags::parse(["-O3".to_string()]);
+        let module = compiler.compile_to_ir("prop.ck", source, &flags).unwrap();
+        let scalar = xaas_xir::lower_to_machine(&module, &TargetIsa::scalar("none"));
+        let vector = xaas_xir::lower_to_machine(&module, &TargetIsa::vector("t", width, true));
+        let n = values.len() as i64;
+        let run = |machine: &xaas_xir::MachineModule| {
+            let interp = Interpreter::for_machine(machine);
+            interp.run(
+                "saxpy",
+                vec![
+                    Value::FloatBuffer(vec![1.0; values.len()]),
+                    Value::FloatBuffer(values.clone()),
+                    Value::Float(scale),
+                    Value::Int(n),
+                ],
+            ).unwrap()
+        };
+        prop_assert_eq!(run(&scalar).buffers, run(&vector).buffers);
+    }
+
+    /// The execution model is monotone in the obvious knobs: more threads never slows a
+    /// parallel workload down, and a wider SIMD level never slows it down either.
+    #[test]
+    fn execution_model_is_monotone(
+        threads_a in 1u32..64, threads_b in 1u32..64,
+        seconds in 10.0f64..10_000.0,
+    ) {
+        let system = SystemModel::ault23();
+        let engine = ExecutionEngine::new(&system);
+        let workload = Workload {
+            name: "prop".into(),
+            kernels: vec![KernelWork {
+                name: "k".into(),
+                class: KernelClass::MdNonbonded,
+                scalar_reference_seconds: seconds,
+            }],
+            io_seconds: 0.0,
+        };
+        let (low, high) = if threads_a <= threads_b { (threads_a, threads_b) } else { (threads_b, threads_a) };
+        let time_low = engine.execute(&workload, &BuildProfile::new("l", SimdLevel::Avx2_256, low)).unwrap().compute_seconds;
+        let time_high = engine.execute(&workload, &BuildProfile::new("h", SimdLevel::Avx2_256, high)).unwrap().compute_seconds;
+        prop_assert!(time_high <= time_low * 1.0001);
+        let sse = engine.execute(&workload, &BuildProfile::new("s", SimdLevel::Sse2, low)).unwrap().compute_seconds;
+        let avx = engine.execute(&workload, &BuildProfile::new("a", SimdLevel::Avx512, low)).unwrap().compute_seconds;
+        prop_assert!(avx <= sse * 1.0001);
+    }
+
+    /// Scoring invariants: F1 is within [0,1], perfect predictions score 1, and
+    /// normalisation never lowers the score.
+    #[test]
+    fn scoring_is_bounded_and_normalisation_monotone(
+        names in proptest::collection::btree_set("[A-Za-z][A-Za-z0-9_.-]{0,12}", 1..20),
+        drift in proptest::collection::vec(any::<bool>(), 20),
+    ) {
+        let mut truth = SpecializationDocument::new("prop");
+        for name in &names {
+            truth.push(SpecEntry::new(SpecCategory::GpuBackend, name.clone()));
+        }
+        let mut predicted = SpecializationDocument::new("prop");
+        for (index, name) in names.iter().enumerate() {
+            let drifted = if drift[index % drift.len()] { name.replace('_', "-").to_ascii_lowercase() } else { name.clone() };
+            predicted.push(SpecEntry::new(SpecCategory::GpuBackend, drifted));
+        }
+        let strict = score(&predicted, &truth, false);
+        let relaxed = score(&predicted, &truth, true);
+        prop_assert!(strict.f1() >= 0.0 && strict.f1() <= 1.0);
+        prop_assert!(relaxed.f1() + 1e-12 >= strict.f1());
+        let perfect = score(&truth, &truth, false);
+        prop_assert!((perfect.f1() - 1.0).abs() < 1e-12);
+        for name in &names {
+            prop_assert_eq!(normalize_name(name), normalize_name(&name.replace('_', "-")));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Pipeline invariant: for any subset of swept GROMACS options, the number of IR files
+    /// built never exceeds the total translation units, stage counts are monotonically
+    /// non-increasing, and every manifest references only existing artifacts.
+    #[test]
+    fn pipeline_invariants_hold_for_random_sweeps(
+        sweep_simd in proptest::sample::subsequence(vec!["SSE4.1", "AVX_256", "AVX_512"], 1..=3),
+        sweep_gpu in proptest::sample::subsequence(vec!["OFF", "CUDA", "SYCL"], 1..=3),
+    ) {
+        let project = xaas_apps::gromacs::project();
+        let store = ImageStore::new();
+        let config = IrPipelineConfig::sweep_options(&project, &["GMX_SIMD", "GMX_GPU"])
+            .with_values("GMX_SIMD", &sweep_simd)
+            .with_values("GMX_GPU", &sweep_gpu);
+        let build = build_ir_container(&project, &config, &store, "prop:ir").unwrap();
+        let stats = build.stats;
+        prop_assert_eq!(stats.configurations, sweep_simd.len() * sweep_gpu.len());
+        prop_assert!(stats.ir_files_built() + stats.system_dependent_units <= stats.total_translation_units);
+        prop_assert!(stats.unique_after_preprocessing <= stats.unique_after_generation);
+        prop_assert!(stats.unique_after_openmp <= stats.unique_after_preprocessing);
+        prop_assert!(stats.unique_after_vectorization <= stats.unique_after_openmp);
+        for manifest in &build.manifests {
+            for unit in &manifest.units {
+                if let Some(id) = unit.artifact.strip_prefix("ir:") {
+                    prop_assert!(build.units.contains_key(id));
+                }
+            }
+        }
+    }
+}
