@@ -115,10 +115,14 @@ pub fn gromacs_baselines(system: &SystemModel) -> Vec<BuildProfile> {
 /// NVIDIA hardware only through the CUDA plugin, 11–20% slower, one GPU architecture at a
 /// time.
 pub fn gromacs_portable_sycl_container(system: &SystemModel) -> BuildProfile {
-    BuildProfile::new("Portable SYCL Container", system.cpu.best_simd(), gromacs_threads(system))
-        .with_libraries(LibraryQuality::Vendor, LibraryQuality::Vendor)
-        .with_gpu(GpuBackend::Sycl)
-        .with_container_overhead(1.01)
+    BuildProfile::new(
+        "Portable SYCL Container",
+        system.cpu.best_simd(),
+        gromacs_threads(system),
+    )
+    .with_libraries(LibraryQuality::Vendor, LibraryQuality::Vendor)
+    .with_gpu(GpuBackend::Sycl)
+    .with_container_overhead(1.01)
 }
 
 /// llama.cpp baselines for Figure 11 on one system, in plot order.
@@ -188,8 +192,14 @@ mod tests {
 
     #[test]
     fn preferred_backends_per_system() {
-        assert_eq!(preferred_gpu_backend(&SystemModel::ault23()), Some(GpuBackend::Cuda));
-        assert_eq!(preferred_gpu_backend(&SystemModel::aurora()), Some(GpuBackend::Sycl));
+        assert_eq!(
+            preferred_gpu_backend(&SystemModel::ault23()),
+            Some(GpuBackend::Cuda)
+        );
+        assert_eq!(
+            preferred_gpu_backend(&SystemModel::aurora()),
+            Some(GpuBackend::Sycl)
+        );
         assert_eq!(preferred_gpu_backend(&SystemModel::ault01_04()), None);
     }
 
@@ -204,10 +214,19 @@ mod tests {
             let report = engine.execute(&workload, profile).unwrap();
             times.insert(profile.label.clone(), report.compute_seconds);
         }
-        assert!(times["Naive Build"] > 2.0 * times["XaaS Source"], "naive misses the GPU");
-        assert!(times["Spack"] > times["Spack Optimized"], "default Spack picks OpenBLAS");
+        assert!(
+            times["Naive Build"] > 2.0 * times["XaaS Source"],
+            "naive misses the GPU"
+        );
+        assert!(
+            times["Spack"] > times["Spack Optimized"],
+            "default Spack picks OpenBLAS"
+        );
         let ratio = times["XaaS Source"] / times["Native Build"];
-        assert!(ratio < 1.05, "XaaS source matches the native build: {ratio}");
+        assert!(
+            ratio < 1.05,
+            "XaaS source matches the native build: {ratio}"
+        );
     }
 
     #[test]
@@ -216,7 +235,10 @@ mod tests {
         let engine = ExecutionEngine::new(&system);
         let workload = gromacs::workload_test_b(1000);
         let profiles = make_executable(gromacs_baselines(&system), &system);
-        let unfixed = profiles.iter().find(|p| p.label == "XaaS Source (no fix)").unwrap();
+        let unfixed = profiles
+            .iter()
+            .find(|p| p.label == "XaaS Source (no fix)")
+            .unwrap();
         let fixed = profiles.iter().find(|p| p.label == "XaaS Source").unwrap();
         let unfixed_report = engine.execute(&workload, unfixed).unwrap();
         let fixed_report = engine.execute(&workload, fixed).unwrap();
@@ -227,17 +249,27 @@ mod tests {
 
     #[test]
     fn figure_11_naive_is_far_slower_than_gpu_builds_everywhere() {
-        for system in [SystemModel::ault23(), SystemModel::aurora(), SystemModel::clariden()] {
+        for system in [
+            SystemModel::ault23(),
+            SystemModel::aurora(),
+            SystemModel::clariden(),
+        ] {
             let engine = ExecutionEngine::new(&system);
             let workload = llamacpp::benchmark_workload(512, 128);
             let profiles = make_executable(llamacpp_baselines(&system), &system);
             let naive = engine
-                .execute(&workload, profiles.iter().find(|p| p.label == "Naive Build").unwrap())
+                .execute(
+                    &workload,
+                    profiles.iter().find(|p| p.label == "Naive Build").unwrap(),
+                )
                 .unwrap();
             let xaas = engine
                 .execute(
                     &workload,
-                    profiles.iter().find(|p| p.label == "XaaS Source Container").unwrap(),
+                    profiles
+                        .iter()
+                        .find(|p| p.label == "XaaS Source Container")
+                        .unwrap(),
                 )
                 .unwrap();
             assert!(!naive.used_gpu);
@@ -252,7 +284,9 @@ mod tests {
         let system = SystemModel::ault23();
         let engine = ExecutionEngine::new(&system);
         let workload = gromacs::workload_test_a(1000);
-        let portable = engine.execute(&workload, &gromacs_portable_sycl_container(&system)).unwrap();
+        let portable = engine
+            .execute(&workload, &gromacs_portable_sycl_container(&system))
+            .unwrap();
         let xaas = engine
             .execute(
                 &workload,
@@ -263,7 +297,10 @@ mod tests {
             )
             .unwrap();
         let penalty = portable.compute_seconds / xaas.compute_seconds;
-        assert!(penalty > 1.08 && penalty < 1.35, "SYCL portable container 11-20% slower: {penalty}");
+        assert!(
+            penalty > 1.08 && penalty < 1.35,
+            "SYCL portable container 11-20% slower: {penalty}"
+        );
     }
 
     #[test]
@@ -271,7 +308,11 @@ mod tests {
         let system = SystemModel::clariden();
         let profiles = make_executable(llamacpp_baselines(&system), &system);
         for profile in &profiles {
-            assert!(system.cpu.supports(profile.simd), "{} not executable", profile.label);
+            assert!(
+                system.cpu.supports(profile.simd),
+                "{} not executable",
+                profile.label
+            );
         }
     }
 }

@@ -44,11 +44,26 @@ pub fn project() -> ProjectSpec {
         OptionCategory::GpuBackend,
         vec![
             OptionValue::plain("OFF"),
-            OptionValue::plain("CUDA").with_definition("-DGGML_USE_CUDA").with_dependency("cuda").with_tag("backend_cuda"),
-            OptionValue::plain("HIP").with_definition("-DGGML_USE_HIP").with_dependency("rocm").with_tag("backend_hip"),
-            OptionValue::plain("SYCL").with_definition("-DGGML_USE_SYCL").with_dependency("oneapi").with_tag("backend_sycl"),
-            OptionValue::plain("Vulkan").with_definition("-DGGML_USE_VULKAN").with_dependency("vulkan").with_tag("backend_vulkan"),
-            OptionValue::plain("OpenCL").with_definition("-DGGML_USE_OPENCL").with_dependency("opencl").with_tag("backend_opencl"),
+            OptionValue::plain("CUDA")
+                .with_definition("-DGGML_USE_CUDA")
+                .with_dependency("cuda")
+                .with_tag("backend_cuda"),
+            OptionValue::plain("HIP")
+                .with_definition("-DGGML_USE_HIP")
+                .with_dependency("rocm")
+                .with_tag("backend_hip"),
+            OptionValue::plain("SYCL")
+                .with_definition("-DGGML_USE_SYCL")
+                .with_dependency("oneapi")
+                .with_tag("backend_sycl"),
+            OptionValue::plain("Vulkan")
+                .with_definition("-DGGML_USE_VULKAN")
+                .with_dependency("vulkan")
+                .with_tag("backend_vulkan"),
+            OptionValue::plain("OpenCL")
+                .with_definition("-DGGML_USE_OPENCL")
+                .with_dependency("opencl")
+                .with_tag("backend_opencl"),
         ],
         "OFF",
     );
@@ -58,9 +73,15 @@ pub fn project() -> ProjectSpec {
         OptionCategory::LinearAlgebra,
         vec![
             OptionValue::plain("none"),
-            OptionValue::plain("OpenBLAS").with_definition("-DGGML_USE_OPENBLAS").with_dependency("openblas"),
-            OptionValue::plain("MKL").with_definition("-DGGML_USE_MKL").with_dependency("mkl"),
-            OptionValue::plain("BLIS").with_definition("-DGGML_USE_BLIS").with_dependency("blis"),
+            OptionValue::plain("OpenBLAS")
+                .with_definition("-DGGML_USE_OPENBLAS")
+                .with_dependency("openblas"),
+            OptionValue::plain("MKL")
+                .with_definition("-DGGML_USE_MKL")
+                .with_dependency("mkl"),
+            OptionValue::plain("BLIS")
+                .with_definition("-DGGML_USE_BLIS")
+                .with_dependency("blis"),
         ],
         "none",
     );
@@ -172,9 +193,27 @@ kernel void vulkan_matmul_launch(float* out, float* w, int n) {
         version: "b4600".into(),
         build_script: BUILD_SCRIPT.into(),
         options: vec![
-            BuildOption::boolean("GGML_OPENMP", "OpenMP threading", OptionCategory::Parallelism, true, openmp_on),
-            BuildOption::boolean("GGML_NATIVE", "-march=native", OptionCategory::Vectorization, true, native_on),
-            BuildOption::boolean("GGML_AVX512", "AVX-512 intrinsics", OptionCategory::Vectorization, false, avx512),
+            BuildOption::boolean(
+                "GGML_OPENMP",
+                "OpenMP threading",
+                OptionCategory::Parallelism,
+                true,
+                openmp_on,
+            ),
+            BuildOption::boolean(
+                "GGML_NATIVE",
+                "-march=native",
+                OptionCategory::Vectorization,
+                true,
+                native_on,
+            ),
+            BuildOption::boolean(
+                "GGML_AVX512",
+                "AVX-512 intrinsics",
+                OptionCategory::Vectorization,
+                false,
+                avx512,
+            ),
             gpu,
             blas,
             quant,
@@ -197,8 +236,8 @@ pub fn benchmark_workload(prompt_tokens: u32, generated_tokens: u32) -> Workload
     // ~2.2 s total the paper reports for pp512+tg128 on Ault23.
     let per_prompt_token = 3.2;
     let per_generated_token = 7.2;
-    let total =
-        per_prompt_token * f64::from(prompt_tokens) + per_generated_token * f64::from(generated_tokens);
+    let total = per_prompt_token * f64::from(prompt_tokens)
+        + per_generated_token * f64::from(generated_tokens);
     Workload {
         name: format!("llama-bench pp{prompt_tokens} tg{generated_tokens} (13B Q4)"),
         kernels: vec![
@@ -235,11 +274,26 @@ mod tests {
     #[test]
     fn cuda_build_adds_backend_source_only_for_cuda() {
         let project = project();
-        let cuda = configure(&project, &OptionAssignment::new().with("GGML_GPU_BACKEND", "CUDA"), "/b", None).unwrap();
-        assert!(cuda.enabled_sources.iter().any(|s| s.path == "src/backend_cuda.ck"));
-        assert!(!cuda.enabled_sources.iter().any(|s| s.path == "src/backend_sycl.ck"));
+        let cuda = configure(
+            &project,
+            &OptionAssignment::new().with("GGML_GPU_BACKEND", "CUDA"),
+            "/b",
+            None,
+        )
+        .unwrap();
+        assert!(cuda
+            .enabled_sources
+            .iter()
+            .any(|s| s.path == "src/backend_cuda.ck"));
+        assert!(!cuda
+            .enabled_sources
+            .iter()
+            .any(|s| s.path == "src/backend_sycl.ck"));
         let off = configure(&project, &OptionAssignment::new(), "/b", None).unwrap();
-        assert!(!off.enabled_sources.iter().any(|s| s.path.starts_with("src/backend_")));
+        assert!(!off
+            .enabled_sources
+            .iter()
+            .any(|s| s.path.starts_with("src/backend_")));
     }
 
     #[test]
@@ -248,11 +302,18 @@ mod tests {
         let source = project.source("src/llama_sampler.ck").unwrap();
         let compiler = Compiler::new();
         let module = compiler
-            .compile_to_ir("sampler.ck", &source.content, &CompileFlags::parse(["-O3".to_string()]))
+            .compile_to_ir(
+                "sampler.ck",
+                &source.content,
+                &CompileFlags::parse(["-O3".to_string()]),
+            )
             .unwrap();
         let interp = xaas_xir::Interpreter::new(&module);
         let result = interp
-            .run("argmax", vec![Value::FloatBuffer(vec![0.1, 2.5, 0.3, 1.0]), Value::Int(4)])
+            .run(
+                "argmax",
+                vec![Value::FloatBuffer(vec![0.1, 2.5, 0.3, 1.0]), Value::Int(4)],
+            )
             .unwrap();
         assert_eq!(result.return_value, Some(Value::Int(1)));
     }

@@ -104,8 +104,20 @@ kernel void comm_sbn(float* send, float* recv, int n) {
         version: "2.0".into(),
         build_script: BUILD_SCRIPT.into(),
         options: vec![
-            BuildOption::boolean("WITH_MPI", "MPI domain decomposition", OptionCategory::Parallelism, false, mpi_on),
-            BuildOption::boolean("WITH_OPENMP", "OpenMP threading", OptionCategory::Parallelism, true, openmp_on),
+            BuildOption::boolean(
+                "WITH_MPI",
+                "MPI domain decomposition",
+                OptionCategory::Parallelism,
+                false,
+                mpi_on,
+            ),
+            BuildOption::boolean(
+                "WITH_OPENMP",
+                "OpenMP threading",
+                OptionCategory::Parallelism,
+                true,
+                openmp_on,
+            ),
         ],
         sources,
         headers: BTreeMap::new(),
@@ -173,11 +185,19 @@ mod tests {
         let eos = project.source("src/lulesh_eos.ck").unwrap();
         let plain_flags = CompileFlags::parse(["-O3".to_string()]);
         let mpi_flags = CompileFlags::parse(["-O3".to_string(), "-DUSE_MPI=1".to_string()]);
-        let comm_plain = compiler.preprocess_only("comm.ck", &comm.content, &plain_flags).unwrap();
-        let comm_mpi = compiler.preprocess_only("comm.ck", &comm.content, &mpi_flags).unwrap();
+        let comm_plain = compiler
+            .preprocess_only("comm.ck", &comm.content, &plain_flags)
+            .unwrap();
+        let comm_mpi = compiler
+            .preprocess_only("comm.ck", &comm.content, &mpi_flags)
+            .unwrap();
         assert_ne!(comm_plain.content_hash(), comm_mpi.content_hash());
-        let eos_plain = compiler.preprocess_only("eos.ck", &eos.content, &plain_flags).unwrap();
-        let eos_mpi = compiler.preprocess_only("eos.ck", &eos.content, &mpi_flags).unwrap();
+        let eos_plain = compiler
+            .preprocess_only("eos.ck", &eos.content, &plain_flags)
+            .unwrap();
+        let eos_mpi = compiler
+            .preprocess_only("eos.ck", &eos.content, &mpi_flags)
+            .unwrap();
         assert_eq!(eos_plain.content_hash(), eos_mpi.content_hash());
     }
 

@@ -11,7 +11,10 @@ use xaas_xir::{lower_to_machine, CompileFlags, Compiler};
 
 fn bench_figure2(c: &mut Criterion) {
     // Print the regenerated figure once so `cargo bench` output contains the data series.
-    println!("{}", render::render_panels("Figure 2: vectorization impact", &figure2()));
+    println!(
+        "{}",
+        render::render_panels("Figure 2: vectorization impact", &figure2())
+    );
 
     c.bench_function("fig02/execution_model_sweep", |b| {
         b.iter(|| black_box(figure2()));
@@ -25,13 +28,24 @@ fn bench_figure2(c: &mut Criterion) {
         compiler.add_header(name.clone(), content.clone());
     }
     let flags = CompileFlags::parse(["-O3".to_string(), "-fopenmp".to_string()]);
-    let module = compiler.compile_to_ir(&source.path, &source.content, &flags).unwrap();
+    let module = compiler
+        .compile_to_ir(&source.path, &source.content, &flags)
+        .unwrap();
     let mut group = c.benchmark_group("fig02/lower_nonbonded_kernel");
-    for level in [SimdLevel::Sse41, SimdLevel::Avx2_256, SimdLevel::Avx512, SimdLevel::NeonAsimd] {
-        group.bench_with_input(BenchmarkId::from_parameter(level.gmx_name()), &level, |b, &level| {
-            let target = target_isa_for(level);
-            b.iter(|| black_box(lower_to_machine(&module, &target)));
-        });
+    for level in [
+        SimdLevel::Sse41,
+        SimdLevel::Avx2_256,
+        SimdLevel::Avx512,
+        SimdLevel::NeonAsimd,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(level.gmx_name()),
+            &level,
+            |b, &level| {
+                let target = target_isa_for(level);
+                b.iter(|| black_box(lower_to_machine(&module, &target)));
+            },
+        );
     }
     group.finish();
 }

@@ -11,7 +11,10 @@ use xaas_container::{Architecture, ImageStore};
 use xaas_hpcsim::SystemModel;
 
 fn bench_figure10(c: &mut Criterion) {
-    println!("{}", render::render_panels("Figure 10: GROMACS performance portability", &figure10()));
+    println!(
+        "{}",
+        render::render_panels("Figure 10: GROMACS performance portability", &figure10())
+    );
 
     c.bench_function("fig10/all_systems", |b| {
         b.iter(|| black_box(figure10()));
@@ -20,24 +23,33 @@ fn bench_figure10(c: &mut Criterion) {
     // The deployment step itself (discovery → intersection → selection → build) per system.
     let project = gromacs::project();
     let mut group = c.benchmark_group("fig10/source_container_deployment");
-    for system in [SystemModel::ault23(), SystemModel::aurora(), SystemModel::clariden()] {
-        group.bench_with_input(BenchmarkId::from_parameter(system.name.clone()), &system, |b, system| {
-            b.iter(|| {
-                let store = ImageStore::new();
-                let image = build_source_container(&project, Architecture::Amd64, &store, "bench:src");
-                black_box(
-                    deploy_source_container(
-                        &project,
-                        &image,
-                        system,
-                        &OptionAssignment::new(),
-                        SelectionPolicy::BestAvailable,
-                        &store,
+    for system in [
+        SystemModel::ault23(),
+        SystemModel::aurora(),
+        SystemModel::clariden(),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(system.name.clone()),
+            &system,
+            |b, system| {
+                b.iter(|| {
+                    let store = ImageStore::new();
+                    let image =
+                        build_source_container(&project, Architecture::Amd64, &store, "bench:src");
+                    black_box(
+                        deploy_source_container(
+                            &project,
+                            &image,
+                            system,
+                            &OptionAssignment::new(),
+                            SelectionPolicy::BestAvailable,
+                            &store,
+                        )
+                        .unwrap(),
                     )
-                    .unwrap(),
-                )
-            });
-        });
+                });
+            },
+        );
     }
     group.finish();
 }

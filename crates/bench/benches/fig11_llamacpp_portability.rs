@@ -7,7 +7,10 @@ use xaas_bench::{figure11, render};
 use xaas_hpcsim::{ExecutionEngine, SystemModel};
 
 fn bench_figure11(c: &mut Criterion) {
-    println!("{}", render::render_panels("Figure 11: llama.cpp performance portability", &figure11()));
+    println!(
+        "{}",
+        render::render_panels("Figure 11: llama.cpp performance portability", &figure11())
+    );
 
     c.bench_function("fig11/all_systems", |b| {
         b.iter(|| black_box(figure11()));
@@ -15,16 +18,24 @@ fn bench_figure11(c: &mut Criterion) {
 
     let workload = llamacpp::benchmark_workload(512, 128);
     let mut group = c.benchmark_group("fig11/execution_model_per_system");
-    for system in [SystemModel::ault23(), SystemModel::aurora(), SystemModel::clariden()] {
+    for system in [
+        SystemModel::ault23(),
+        SystemModel::aurora(),
+        SystemModel::clariden(),
+    ] {
         let profiles = make_executable(llamacpp_baselines(&system), &system);
-        group.bench_with_input(BenchmarkId::from_parameter(system.name.clone()), &system, |b, system| {
-            let engine = ExecutionEngine::new(system);
-            b.iter(|| {
-                for profile in &profiles {
-                    black_box(engine.execute(&workload, profile).unwrap());
-                }
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(system.name.clone()),
+            &system,
+            |b, system| {
+                let engine = ExecutionEngine::new(system);
+                b.iter(|| {
+                    for profile in &profiles {
+                        black_box(engine.execute(&workload, profile).unwrap());
+                    }
+                });
+            },
+        );
     }
     group.finish();
 }

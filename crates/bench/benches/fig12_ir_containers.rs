@@ -10,8 +10,14 @@ use xaas_container::ImageStore;
 use xaas_hpcsim::{SimdLevel, SystemModel};
 
 fn bench_figure12(c: &mut Criterion) {
-    println!("{}", render::render_panels("Figure 12 (top): IR containers on CPU", &figure12_cpu()));
-    println!("{}", render::render_panels("Figure 12 (bottom): IR containers on GPU", &figure12_gpu()));
+    println!(
+        "{}",
+        render::render_panels("Figure 12 (top): IR containers on CPU", &figure12_cpu())
+    );
+    println!(
+        "{}",
+        render::render_panels("Figure 12 (bottom): IR containers on GPU", &figure12_gpu())
+    );
 
     c.bench_function("fig12/cpu_panels", |b| {
         b.iter(|| black_box(figure12_cpu()));
@@ -29,14 +35,19 @@ fn bench_figure12(c: &mut Criterion) {
     let system = SystemModel::ault01_04();
     let mut group = c.benchmark_group("fig12/deploy_ir_per_isa");
     for level in [SimdLevel::Sse41, SimdLevel::Avx256, SimdLevel::Avx512] {
-        group.bench_with_input(BenchmarkId::from_parameter(level.gmx_name()), &level, |b, &level| {
-            let selection = OptionAssignment::new().with("GMX_SIMD", level.gmx_name());
-            b.iter(|| {
-                black_box(
-                    deploy_ir_container(&build, &project, &system, &selection, level, &store).unwrap(),
-                )
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(level.gmx_name()),
+            &level,
+            |b, &level| {
+                let selection = OptionAssignment::new().with("GMX_SIMD", level.gmx_name());
+                b.iter(|| {
+                    black_box(
+                        deploy_ir_container(&build, &project, &system, &selection, level, &store)
+                            .unwrap(),
+                    )
+                });
+            },
+        );
     }
     group.finish();
 

@@ -20,11 +20,15 @@ fn bench_tu_reduction(c: &mut Criterion) {
             "GMX_SIMD",
             &["SSE4.1", "AVX2_128", "AVX_256", "AVX2_256", "AVX_512"],
         );
-        b.iter(|| black_box(build_ir_container(&gromacs_project, &config, &store, "b:isa").unwrap()));
+        b.iter(|| {
+            black_box(build_ir_container(&gromacs_project, &config, &store, "b:isa").unwrap())
+        });
     });
     group.bench_function("lulesh_mpi_openmp_sweep", |b| {
         let config = IrPipelineConfig::sweep_options(&lulesh_project, &["WITH_MPI", "WITH_OPENMP"]);
-        b.iter(|| black_box(build_ir_container(&lulesh_project, &config, &store, "b:lulesh").unwrap()));
+        b.iter(|| {
+            black_box(build_ir_container(&lulesh_project, &config, &store, "b:lulesh").unwrap())
+        });
     });
     group.finish();
 
@@ -36,11 +40,14 @@ fn bench_tu_reduction(c: &mut Criterion) {
         ("no_openmp_detection", true, false),
     ] {
         group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, _| {
-            let mut config = IrPipelineConfig::sweep_options(&gromacs_project, &["GMX_SIMD", "GMX_OPENMP"])
-                .with_values("GMX_SIMD", &["SSE4.1", "AVX_512"]);
+            let mut config =
+                IrPipelineConfig::sweep_options(&gromacs_project, &["GMX_SIMD", "GMX_OPENMP"])
+                    .with_values("GMX_SIMD", &["SSE4.1", "AVX_512"]);
             config.stages.vectorization_delay = vectorization_delay;
             config.stages.openmp_detection = openmp_detection;
-            b.iter(|| black_box(build_ir_container(&gromacs_project, &config, &store, "b:abl").unwrap()));
+            b.iter(|| {
+                black_box(build_ir_container(&gromacs_project, &config, &store, "b:abl").unwrap())
+            });
         });
     }
     group.finish();

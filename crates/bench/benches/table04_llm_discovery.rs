@@ -8,7 +8,10 @@ use xaas_specs::{analyze, from_project, score, AnalysisConfig, SimulatedLlm};
 
 fn bench_table4(c: &mut Criterion) {
     println!("{}", render::render_table4(&table4(10)));
-    println!("{}", render::render_generalization(&table4_generalization(10)));
+    println!(
+        "{}",
+        render::render_generalization(&table4_generalization(10))
+    );
 
     c.bench_function("table04/full_table_10_runs", |b| {
         b.iter(|| black_box(table4(10)));
@@ -18,14 +21,22 @@ fn bench_table4(c: &mut Criterion) {
     let truth = from_project(&project);
     let config = AnalysisConfig::default();
     let mut group = c.benchmark_group("table04/single_model_run_and_score");
-    for model_name in ["gemini-flash-2-exp", "claude-3-7-sonnet-20250219", "gpt-4o-2024-08-06"] {
+    for model_name in [
+        "gemini-flash-2-exp",
+        "claude-3-7-sonnet-20250219",
+        "gpt-4o-2024-08-06",
+    ] {
         let model = SimulatedLlm::by_name(model_name).unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(model_name), &model, |b, model| {
-            b.iter(|| {
-                let result = analyze(model, &project.build_script, &truth, &config, 0);
-                black_box(score(&result.document, &truth, true))
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(model_name),
+            &model,
+            |b, model| {
+                b.iter(|| {
+                    let result = analyze(model, &project.build_script, &truth, &config, 0);
+                    black_box(score(&result.document, &truth, true))
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -30,7 +30,11 @@ fn print_table1() {
             "  {:<22} {:<18} GPU: {:<38} Parallelism: {:<18} Vectorization: {}",
             entry.name,
             entry.domain,
-            if entry.gpu_acceleration.is_empty() { "-".to_string() } else { entry.gpu_acceleration.join(", ") },
+            if entry.gpu_acceleration.is_empty() {
+                "-".to_string()
+            } else {
+                entry.gpu_acceleration.join(", ")
+            },
             entry.parallelism.join(", "),
             entry.vectorization
         );
@@ -81,41 +85,68 @@ fn print_hypotheses() {
         let report = hypothesis2(&project);
         println!(
             "  H2 [{name}]: |S_I| = {}, |S_D| = {}, independent fraction {:.2} -> holds: {}",
-            report.system_independent, report.system_dependent, report.independent_fraction, report.holds
+            report.system_independent,
+            report.system_dependent,
+            report.independent_fraction,
+            report.holds
         );
     }
 }
 
 fn run(section: &str) {
     match section {
-        "fig2" => print!("{}", render::render_panels("Figure 2: vectorization impact", &experiments::figure2())),
+        "fig2" => print!(
+            "{}",
+            render::render_panels("Figure 2: vectorization impact", &experiments::figure2())
+        ),
         "table1" => print_table1(),
         "table2" => print_table2(),
         "table3" => print_table3(),
         "table4" => print!("{}", render::render_table4(&experiments::table4(10))),
         "table4-generalization" => {
-            print!("{}", render::render_generalization(&experiments::table4_generalization(10)))
+            print!(
+                "{}",
+                render::render_generalization(&experiments::table4_generalization(10))
+            )
         }
         "fig10" => print!(
             "{}",
-            render::render_panels("Figure 10: GROMACS performance portability", &experiments::figure10())
+            render::render_panels(
+                "Figure 10: GROMACS performance portability",
+                &experiments::figure10()
+            )
         ),
         "fig11" => print!(
             "{}",
-            render::render_panels("Figure 11: llama.cpp performance portability", &experiments::figure11())
+            render::render_panels(
+                "Figure 11: llama.cpp performance portability",
+                &experiments::figure11()
+            )
         ),
         "fig12-cpu" => print!(
             "{}",
-            render::render_panels("Figure 12 (top): IR containers on CPU", &experiments::figure12_cpu())
+            render::render_panels(
+                "Figure 12 (top): IR containers on CPU",
+                &experiments::figure12_cpu()
+            )
         ),
         "fig12-gpu" => print!(
             "{}",
-            render::render_panels("Figure 12 (bottom): IR containers on GPU", &experiments::figure12_gpu())
+            render::render_panels(
+                "Figure 12 (bottom): IR containers on GPU",
+                &experiments::figure12_gpu()
+            )
         ),
         "tu-reduction" => print!("{}", render::render_reduction(&experiments::tu_reduction())),
         "network" => print!("{}", render::render_network(&experiments::network())),
-        "gpu-compat" => print!("{}", render::render_gpu_compat(&experiments::gpu_compatibility())),
-        "intersection" => print!("{}", render::render_intersection(&experiments::intersection_summary())),
+        "gpu-compat" => print!(
+            "{}",
+            render::render_gpu_compat(&experiments::gpu_compatibility())
+        ),
+        "intersection" => print!(
+            "{}",
+            render::render_intersection(&experiments::intersection_summary())
+        ),
         "hypotheses" => print_hypotheses(),
         other => {
             eprintln!("unknown section `{other}`; see --help");

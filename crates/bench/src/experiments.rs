@@ -36,17 +36,24 @@ pub struct FigurePanel {
     pub bars: Vec<TimingBar>,
 }
 
-fn run_bars(system: &SystemModel, workload: &Workload, profiles: &[BuildProfile]) -> Vec<TimingBar> {
+fn run_bars(
+    system: &SystemModel,
+    workload: &Workload,
+    profiles: &[BuildProfile],
+) -> Vec<TimingBar> {
     let engine = ExecutionEngine::new(system);
     profiles
         .iter()
         .filter_map(|profile| {
-            engine.execute(workload, profile).ok().map(|report| TimingBar {
-                label: profile.label.clone(),
-                compute_seconds: report.compute_seconds,
-                io_seconds: report.io_seconds,
-                used_gpu: report.used_gpu,
-            })
+            engine
+                .execute(workload, profile)
+                .ok()
+                .map(|report| TimingBar {
+                    label: profile.label.clone(),
+                    compute_seconds: report.compute_seconds,
+                    io_seconds: report.io_seconds,
+                    used_gpu: report.used_gpu,
+                })
         })
         .collect()
 }
@@ -70,7 +77,10 @@ pub fn figure2() -> Vec<FigurePanel> {
         .map(|&level| BuildProfile::new(level.gmx_name(), level, 16))
         .collect();
     panels.push(FigurePanel {
-        title: format!("x86 Execution Time: {} (16 threads, 100 steps)", x86.cpu.name),
+        title: format!(
+            "x86 Execution Time: {} (16 threads, 100 steps)",
+            x86.cpu.name
+        ),
         bars: run_bars(&x86, &workload, &profiles),
     });
 
@@ -81,7 +91,10 @@ pub fn figure2() -> Vec<FigurePanel> {
         .map(|&level| BuildProfile::new(level.gmx_name(), level, 16))
         .collect();
     panels.push(FigurePanel {
-        title: format!("ARM Execution Time: {} (16 threads, 100 steps)", arm.cpu.name),
+        title: format!(
+            "ARM Execution Time: {} (16 threads, 100 steps)",
+            arm.cpu.name
+        ),
         bars: run_bars(&arm, &workload, &profiles),
     });
     panels
@@ -113,7 +126,9 @@ pub struct Table4Row {
 pub fn table4(runs: u64) -> Vec<Table4Row> {
     let project = gromacs::project();
     let truth = from_project(&project);
-    let config = AnalysisConfig { in_context_examples: true };
+    let config = AnalysisConfig {
+        in_context_examples: true,
+    };
     SimulatedLlm::catalog()
         .into_iter()
         .map(|model| {
@@ -166,25 +181,32 @@ pub struct GeneralizationRow {
 pub fn table4_generalization(runs: u64) -> Vec<GeneralizationRow> {
     let project = llamacpp::project();
     let truth = from_project(&project);
-    let config = AnalysisConfig { in_context_examples: false };
-    ["claude-3-7-sonnet-20250219", "gemini-flash-2-exp", "o3-mini-2025-01-31", "gpt-4o-2024-08-06"]
-        .iter()
-        .filter_map(|name| SimulatedLlm::by_name(name))
-        .map(|model| {
-            let mut raw = Vec::new();
-            let mut normalized = Vec::new();
-            for run in 0..runs {
-                let result = analyze(&model, &project.build_script, &truth, &config, run);
-                raw.push(score(&result.document, &truth, false).f1());
-                normalized.push(score(&result.document, &truth, true).f1());
-            }
-            GeneralizationRow {
-                model: model.name.clone(),
-                f1_raw: min_med_max(&raw),
-                f1_normalized: min_med_max(&normalized),
-            }
-        })
-        .collect()
+    let config = AnalysisConfig {
+        in_context_examples: false,
+    };
+    [
+        "claude-3-7-sonnet-20250219",
+        "gemini-flash-2-exp",
+        "o3-mini-2025-01-31",
+        "gpt-4o-2024-08-06",
+    ]
+    .iter()
+    .filter_map(|name| SimulatedLlm::by_name(name))
+    .map(|model| {
+        let mut raw = Vec::new();
+        let mut normalized = Vec::new();
+        for run in 0..runs {
+            let result = analyze(&model, &project.build_script, &truth, &config, run);
+            raw.push(score(&result.document, &truth, false).f1());
+            normalized.push(score(&result.document, &truth, true).f1());
+        }
+        GeneralizationRow {
+            model: model.name.clone(),
+            f1_raw: min_med_max(&raw),
+            f1_normalized: min_med_max(&normalized),
+        }
+    })
+    .collect()
 }
 
 /// **Figure 10**: GROMACS performance portability across Ault23, Aurora, and Clariden.
@@ -215,7 +237,8 @@ pub fn figure10() -> Vec<FigurePanel> {
             &store,
         )
         .expect("source deployment succeeds");
-        let mut profiles = xaas_apps::make_executable(xaas_apps::gromacs_baselines(&system), &system);
+        let mut profiles =
+            xaas_apps::make_executable(xaas_apps::gromacs_baselines(&system), &system);
         // Replace the static "XaaS Source" stand-in with the profile of the real deployment.
         if let Some(slot) = profiles.iter_mut().find(|p| p.label == "XaaS Source") {
             let mut deployed_profile = deployment.build_profile.clone();
@@ -240,16 +263,20 @@ pub fn figure10() -> Vec<FigurePanel> {
 /// **Figure 11**: llama.cpp performance portability across the three systems.
 pub fn figure11() -> Vec<FigurePanel> {
     let workload = llamacpp::benchmark_workload(512, 128);
-    [SystemModel::ault23(), SystemModel::aurora(), SystemModel::clariden()]
-        .into_iter()
-        .map(|system| {
-            let profiles = xaas_apps::make_executable(xaas_apps::llamacpp_baselines(&system), &system);
-            FigurePanel {
-                title: format!("{} — llama-bench pp512/tg128 (13B Q4)", system.name),
-                bars: run_bars(&system, &workload, &profiles),
-            }
-        })
-        .collect()
+    [
+        SystemModel::ault23(),
+        SystemModel::aurora(),
+        SystemModel::clariden(),
+    ]
+    .into_iter()
+    .map(|system| {
+        let profiles = xaas_apps::make_executable(xaas_apps::llamacpp_baselines(&system), &system);
+        FigurePanel {
+            title: format!("{} — llama-bench pp512/tg128 (13B Q4)", system.name),
+            bars: run_bars(&system, &workload, &profiles),
+        }
+    })
+    .collect()
 }
 
 /// **Figure 12 (top)**: IR containers on CPU — the SSE4.1→AVX-512 sweep deployed from a
@@ -287,8 +314,9 @@ pub fn figure12_cpu() -> Vec<FigurePanel> {
         );
         for &level in &levels {
             let selection = OptionAssignment::new().with("GMX_SIMD", level.gmx_name());
-            let deployment = deploy_ir_container(&build, &project, &system, &selection, level, &store)
-                .expect("IR deployment succeeds");
+            let deployment =
+                deploy_ir_container(&build, &project, &system, &selection, level, &store)
+                    .expect("IR deployment succeeds");
             let mut profile = deployment.build_profile.clone();
             profile.label = format!("XaaS IR {}", level.gmx_name());
             profile.threads = threads;
@@ -330,10 +358,13 @@ pub fn figure12_gpu() -> Vec<FigurePanel> {
         let manifest_selection = if build.manifest_for(&selection).is_some() {
             selection
         } else {
-            OptionAssignment::new().with("GMX_SIMD", "SSE4.1").with("GMX_GPU", "CUDA")
+            OptionAssignment::new()
+                .with("GMX_SIMD", "SSE4.1")
+                .with("GMX_GPU", "CUDA")
         };
-        let deployment = deploy_ir_container(&build, &project, &system, &manifest_selection, simd, &store)
-            .expect("GPU deployment succeeds");
+        let deployment =
+            deploy_ir_container(&build, &project, &system, &manifest_selection, simd, &store)
+                .expect("GPU deployment succeeds");
         for (case, steps) in [("A", 20_000u32), ("B", 1_000u32)] {
             let workload = if case == "A" {
                 gromacs::workload_test_a(steps)
@@ -383,27 +414,30 @@ pub fn tu_reduction() -> Vec<ReductionRow> {
     let mut rows = Vec::new();
     let store = ImageStore::new();
 
-    let mut run = |sweep_name: &str, project: &xaas_buildsys::ProjectSpec, config: IrPipelineConfig| {
-        let full = build_ir_container(project, &config, &store, &format!("tu:{sweep_name}"))
-            .expect("pipeline runs");
-        let mut no_vec = config.clone();
-        no_vec.stages.vectorization_delay = false;
-        let without_vec = build_ir_container(project, &no_vec, &store, &format!("tu-novec:{sweep_name}"))
-            .expect("pipeline runs");
-        let mut no_omp = config.clone();
-        no_omp.stages.openmp_detection = false;
-        let without_omp = build_ir_container(project, &no_omp, &store, &format!("tu-noomp:{sweep_name}"))
-            .expect("pipeline runs");
-        rows.push(ReductionRow {
-            sweep: sweep_name.to_string(),
-            configurations: full.stats.configurations,
-            total_translation_units: full.stats.total_translation_units,
-            ir_files_built: full.stats.ir_files_built(),
-            reduction_percent: full.stats.reduction_percent(),
-            without_vectorization_delay: without_vec.stats.ir_files_built(),
-            without_openmp_detection: without_omp.stats.ir_files_built(),
-        });
-    };
+    let mut run =
+        |sweep_name: &str, project: &xaas_buildsys::ProjectSpec, config: IrPipelineConfig| {
+            let full = build_ir_container(project, &config, &store, &format!("tu:{sweep_name}"))
+                .expect("pipeline runs");
+            let mut no_vec = config.clone();
+            no_vec.stages.vectorization_delay = false;
+            let without_vec =
+                build_ir_container(project, &no_vec, &store, &format!("tu-novec:{sweep_name}"))
+                    .expect("pipeline runs");
+            let mut no_omp = config.clone();
+            no_omp.stages.openmp_detection = false;
+            let without_omp =
+                build_ir_container(project, &no_omp, &store, &format!("tu-noomp:{sweep_name}"))
+                    .expect("pipeline runs");
+            rows.push(ReductionRow {
+                sweep: sweep_name.to_string(),
+                configurations: full.stats.configurations,
+                total_translation_units: full.stats.total_translation_units,
+                ir_files_built: full.stats.ir_files_built(),
+                reduction_percent: full.stats.reduction_percent(),
+                without_vectorization_delay: without_vec.stats.ir_files_built(),
+                without_openmp_detection: without_omp.stats.ir_files_built(),
+            });
+        };
 
     let gromacs_project = gromacs::project();
     run(
@@ -453,11 +487,36 @@ pub struct NetworkRow {
 pub fn network() -> Vec<NetworkRow> {
     let model = BandwidthModel::default();
     let configurations = [
-        ("Bare-metal Cray-MPICH (shm)", MpiFlavor::CrayMpich, false, false),
-        ("Container MPICH via cxi", MpiFlavor::ContainerMpich, true, false),
-        ("Container OpenMPI via cxi", MpiFlavor::ContainerOpenMpi, true, false),
-        ("Container MPICH via LinkX", MpiFlavor::ContainerMpich, true, true),
-        ("Container OpenMPI via LinkX", MpiFlavor::ContainerOpenMpi, true, true),
+        (
+            "Bare-metal Cray-MPICH (shm)",
+            MpiFlavor::CrayMpich,
+            false,
+            false,
+        ),
+        (
+            "Container MPICH via cxi",
+            MpiFlavor::ContainerMpich,
+            true,
+            false,
+        ),
+        (
+            "Container OpenMPI via cxi",
+            MpiFlavor::ContainerOpenMpi,
+            true,
+            false,
+        ),
+        (
+            "Container MPICH via LinkX",
+            MpiFlavor::ContainerMpich,
+            true,
+            true,
+        ),
+        (
+            "Container OpenMPI via LinkX",
+            MpiFlavor::ContainerOpenMpi,
+            true,
+            true,
+        ),
     ];
     configurations
         .iter()
@@ -485,7 +544,11 @@ pub struct GpuCompatRow {
 /// **Figure 9 / Section 4.3**: CUDA compatibility of the XaaS device-code bundle.
 pub fn gpu_compatibility() -> Vec<GpuCompatRow> {
     use xaas_hpcsim::{GpuCompatibility, GpuModel, Version};
-    let devices = [GpuModel::nvidia_v100(), GpuModel::nvidia_a100(), GpuModel::nvidia_gh200()];
+    let devices = [
+        GpuModel::nvidia_v100(),
+        GpuModel::nvidia_a100(),
+        GpuModel::nvidia_gh200(),
+    ];
     let bundle = plan_bundle(
         RuntimeRequirement::AnyMinorVersion,
         &[GpuModel::nvidia_v100(), GpuModel::nvidia_a100()],
@@ -500,7 +563,10 @@ pub fn gpu_compatibility() -> Vec<GpuCompatRow> {
                 GpuCompatibility::Incompatible(reason) => format!("incompatible ({reason})"),
             };
             GpuCompatRow {
-                bundle: format!("cubins sm_70+sm_80, PTX compute_80, CUDA {}", bundle.runtime),
+                bundle: format!(
+                    "cubins sm_70+sm_80, PTX compute_80, CUDA {}",
+                    bundle.runtime
+                ),
                 device: device.name.clone(),
                 outcome,
             }
@@ -526,7 +592,10 @@ pub fn intersection_summary() -> BTreeMap<String, Vec<String>> {
             "Vectorization: {}",
             join(common.choices(xaas_specs::SpecCategory::Vectorization))
         ));
-        lines.push(format!("FFT: {}", join(common.choices(xaas_specs::SpecCategory::Fft))));
+        lines.push(format!(
+            "FFT: {}",
+            join(common.choices(xaas_specs::SpecCategory::Fft))
+        ));
         lines.push(format!(
             "Excluded: {}",
             common
@@ -563,11 +632,20 @@ mod tests {
         let panels = figure2();
         assert_eq!(panels.len(), 2);
         let x86 = &panels[0].bars;
-        assert!(x86[0].compute_seconds > 4.0 * x86[1].compute_seconds, "None >> SSE2");
-        assert!(x86.last().unwrap().compute_seconds < x86[1].compute_seconds, "AVX-512 fastest");
+        assert!(
+            x86[0].compute_seconds > 4.0 * x86[1].compute_seconds,
+            "None >> SSE2"
+        );
+        assert!(
+            x86.last().unwrap().compute_seconds < x86[1].compute_seconds,
+            "AVX-512 fastest"
+        );
         let arm = &panels[1].bars;
         assert!(arm[0].compute_seconds > 2.5 * arm[1].compute_seconds);
-        assert!(arm[2].compute_seconds < arm[1].compute_seconds, "NEON beats SVE on Grace");
+        assert!(
+            arm[2].compute_seconds < arm[1].compute_seconds,
+            "NEON beats SVE on Grace"
+        );
     }
 
     #[test]
@@ -579,7 +657,10 @@ mod tests {
             assert!(row.cost_usd > 0.0);
             assert!(row.tokens_in > 0.0);
         }
-        let gemini = rows.iter().find(|r| r.model.contains("gemini-flash-2")).unwrap();
+        let gemini = rows
+            .iter()
+            .find(|r| r.model.contains("gemini-flash-2"))
+            .unwrap();
         let haiku = rows.iter().find(|r| r.model.contains("haiku")).unwrap();
         assert!(gemini.f1.median > haiku.f1.median);
     }
@@ -627,7 +708,11 @@ mod tests {
                 .map(|b| b.compute_seconds)
                 .fold(f64::INFINITY, f64::min);
             let ratio = portable.compute_seconds / best_ir;
-            assert!(ratio > 1.4, "{}: IR specialization should win by >1.4x, got {ratio}", panel.title);
+            assert!(
+                ratio > 1.4,
+                "{}: IR specialization should win by >1.4x, got {ratio}",
+                panel.title
+            );
             // The specialized container and the best IR deployment are equivalent.
             let specialized = panel.bars.last().unwrap().compute_seconds;
             assert!((best_ir / specialized - 1.0).abs() < 0.1, "{}", panel.title);
@@ -651,9 +736,21 @@ mod tests {
         let rows = tu_reduction();
         assert_eq!(rows.len(), 4);
         for row in &rows {
-            assert!(row.ir_files_built < row.total_translation_units, "{}", row.sweep);
-            assert!(row.without_vectorization_delay >= row.ir_files_built, "{}", row.sweep);
-            assert!(row.without_openmp_detection >= row.ir_files_built, "{}", row.sweep);
+            assert!(
+                row.ir_files_built < row.total_translation_units,
+                "{}",
+                row.sweep
+            );
+            assert!(
+                row.without_vectorization_delay >= row.ir_files_built,
+                "{}",
+                row.sweep
+            );
+            assert!(
+                row.without_openmp_detection >= row.ir_files_built,
+                "{}",
+                row.sweep
+            );
         }
         let isa_sweep = &rows[0];
         assert!(isa_sweep.reduction_percent > 60.0);
@@ -662,7 +759,11 @@ mod tests {
     #[test]
     fn network_rows_match_section_6_5() {
         let rows = network();
-        let get = |label: &str| rows.iter().find(|r| r.configuration.contains(label)).unwrap();
+        let get = |label: &str| {
+            rows.iter()
+                .find(|r| r.configuration.contains(label))
+                .unwrap()
+        };
         assert!((get("Bare-metal").peak_bandwidth_gbs - 64.0).abs() < 1e-9);
         assert!((get("OpenMPI via cxi").peak_bandwidth_gbs - 23.5).abs() < 1e-9);
         assert!(get("OpenMPI via LinkX").peak_bandwidth_gbs > 64.0);

@@ -29,11 +29,27 @@ pub fn render_panels(title: &str, panels: &[FigurePanel]) -> String {
 /// Render Table 4.
 pub fn render_table4(rows: &[Table4Row]) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "== Table 4: LLM-assisted specialization discovery (mini-GROMACS) ==");
+    let _ = writeln!(
+        out,
+        "== Table 4: LLM-assisted specialization discovery (mini-GROMACS) =="
+    );
     let _ = writeln!(
         out,
         "{:<28} {:>9} {:>9} {:>8} {:>8}  {:>5} {:>5} {:>5}  {:>5} {:>5} {:>5}  {:>5} {:>5} {:>5}",
-        "Model", "Tok In", "Tok Out", "Time(s)", "Cost($)", "F1mn", "F1md", "F1mx", "Pmn", "Pmd", "Pmx", "Rmn", "Rmd", "Rmx"
+        "Model",
+        "Tok In",
+        "Tok Out",
+        "Time(s)",
+        "Cost($)",
+        "F1mn",
+        "F1md",
+        "F1mx",
+        "Pmn",
+        "Pmd",
+        "Pmx",
+        "Rmn",
+        "Rmd",
+        "Rmx"
     );
     for row in rows {
         let _ = writeln!(
@@ -61,8 +77,15 @@ pub fn render_table4(rows: &[Table4Row]) -> String {
 /// Render the generalization rows.
 pub fn render_generalization(rows: &[GeneralizationRow]) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "== Section 6.2: llama.cpp generalization (no in-context examples) ==");
-    let _ = writeln!(out, "{:<28} {:>18} {:>22}", "Model", "F1 raw (mn/md/mx)", "F1 normalized (mn/md/mx)");
+    let _ = writeln!(
+        out,
+        "== Section 6.2: llama.cpp generalization (no in-context examples) =="
+    );
+    let _ = writeln!(
+        out,
+        "{:<28} {:>18} {:>22}",
+        "Model", "F1 raw (mn/md/mx)", "F1 normalized (mn/md/mx)"
+    );
     for row in rows {
         let _ = writeln!(
             out,
@@ -82,7 +105,10 @@ pub fn render_generalization(rows: &[GeneralizationRow]) -> String {
 /// Render the TU-reduction rows (Section 6.4).
 pub fn render_reduction(rows: &[ReductionRow]) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "== Section 6.4: configurability and system dependency ==");
+    let _ = writeln!(
+        out,
+        "== Section 6.4: configurability and system dependency =="
+    );
     let _ = writeln!(
         out,
         "{:<34} {:>7} {:>8} {:>8} {:>10} {:>10} {:>10}",
@@ -107,13 +133,23 @@ pub fn render_reduction(rows: &[ReductionRow]) -> String {
 /// Render the Section 6.5 network rows.
 pub fn render_network(rows: &[NetworkRow]) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "== Section 6.5: intra-node bandwidth on a GH200 node ==");
-    let _ = writeln!(out, "{:<34} {:>10} {:>12} {:>12}", "Configuration", "Peak GB/s", "1 MiB GB/s", "1 GiB GB/s");
+    let _ = writeln!(
+        out,
+        "== Section 6.5: intra-node bandwidth on a GH200 node =="
+    );
+    let _ = writeln!(
+        out,
+        "{:<34} {:>10} {:>12} {:>12}",
+        "Configuration", "Peak GB/s", "1 MiB GB/s", "1 GiB GB/s"
+    );
     for row in rows {
         let _ = writeln!(
             out,
             "{:<34} {:>10.1} {:>12.1} {:>12.1}",
-            row.configuration, row.peak_bandwidth_gbs, row.bandwidth_1mib_gbs, row.bandwidth_1gib_gbs
+            row.configuration,
+            row.peak_bandwidth_gbs,
+            row.bandwidth_1mib_gbs,
+            row.bandwidth_1gib_gbs
         );
     }
     out
@@ -122,9 +158,16 @@ pub fn render_network(rows: &[NetworkRow]) -> String {
 /// Render the GPU compatibility matrix.
 pub fn render_gpu_compat(rows: &[GpuCompatRow]) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "== Figure 9: CUDA compatibility of the XaaS device-code bundle ==");
+    let _ = writeln!(
+        out,
+        "== Figure 9: CUDA compatibility of the XaaS device-code bundle =="
+    );
     for row in rows {
-        let _ = writeln!(out, "  {:<48} {:<24} {}", row.bundle, row.device, row.outcome);
+        let _ = writeln!(
+            out,
+            "  {:<48} {:<24} {}",
+            row.bundle, row.device, row.outcome
+        );
     }
     out
 }
@@ -132,7 +175,10 @@ pub fn render_gpu_compat(rows: &[GpuCompatRow]) -> String {
 /// Render the per-system intersection summary.
 pub fn render_intersection(summary: &BTreeMap<String, Vec<String>>) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "== Figure 4(c): specialization points ∩ system features (mini-GROMACS) ==");
+    let _ = writeln!(
+        out,
+        "== Figure 4(c): specialization points ∩ system features (mini-GROMACS) =="
+    );
     for (system, lines) in summary {
         let _ = writeln!(out, "\n-- {system} --");
         for line in lines {

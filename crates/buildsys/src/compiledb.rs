@@ -82,7 +82,10 @@ impl CompileDatabase {
 
     /// Commands belonging to one target.
     pub fn commands_for_target(&self, target: &str) -> Vec<&CompileCommand> {
-        self.commands.iter().filter(|c| c.target == target).collect()
+        self.commands
+            .iter()
+            .filter(|c| c.target == target)
+            .collect()
     }
 
     /// All distinct target names.
@@ -119,12 +122,9 @@ pub fn compare(a: &CompileDatabase, b: &CompileDatabase) -> DatabaseComparison {
     let mut result = DatabaseComparison::default();
     let mut matched_b: BTreeSet<usize> = BTreeSet::new();
     for cmd_a in &a.commands {
-        let Some((idx, cmd_b)) = b
-            .commands
-            .iter()
-            .enumerate()
-            .find(|(i, c)| !matched_b.contains(i) && c.target == cmd_a.target && c.file == cmd_a.file)
-        else {
+        let Some((idx, cmd_b)) = b.commands.iter().enumerate().find(|(i, c)| {
+            !matched_b.contains(i) && c.target == cmd_a.target && c.file == cmd_a.file
+        }) else {
             result.unmatched += 1;
             continue;
         };
@@ -159,8 +159,16 @@ mod tests {
 
     #[test]
     fn canonical_key_sorts_flags_and_strips_build_dir() {
-        let a = command("/build/cfg1", "a.ck", &["-O3", "-DGMX_MPI", "-I/build/cfg1/include"]);
-        let b = command("/build/cfg2", "a.ck", &["-DGMX_MPI", "-O3", "-I/build/cfg2/include"]);
+        let a = command(
+            "/build/cfg1",
+            "a.ck",
+            &["-O3", "-DGMX_MPI", "-I/build/cfg1/include"],
+        );
+        let b = command(
+            "/build/cfg2",
+            "a.ck",
+            &["-DGMX_MPI", "-O3", "-I/build/cfg2/include"],
+        );
         assert_ne!(a.canonical_key(false), b.canonical_key(false));
         assert_eq!(a.canonical_key(true), b.canonical_key(true));
     }
@@ -173,12 +181,18 @@ mod tests {
         assert_eq!(avx.target_independent_key(), sse.target_independent_key());
         // Definitions still matter.
         let with_def = command("/b", "a.ck", &["-O3", "-DGMX_GPU_CUDA", "-mavx512f"]);
-        assert_ne!(avx.target_independent_key(), with_def.target_independent_key());
+        assert_ne!(
+            avx.target_independent_key(),
+            with_def.target_independent_key()
+        );
     }
 
     #[test]
     fn database_queries() {
-        let mut db = CompileDatabase { configuration: "default".into(), commands: vec![] };
+        let mut db = CompileDatabase {
+            configuration: "default".into(),
+            commands: vec![],
+        };
         db.commands.push(command("/b", "a.ck", &["-O3"]));
         let mut second = command("/b", "b.ck", &["-O3"]);
         second.target = "lib".into();

@@ -26,7 +26,10 @@ impl fmt::Display for ConfigureError {
         match self {
             ConfigureError::InvalidAssignment(msg) => write!(f, "invalid configuration: {msg}"),
             ConfigureError::MissingDependency { option, dependency } => {
-                write!(f, "option {option} requires dependency `{dependency}` which is not available")
+                write!(
+                    f,
+                    "option {option} requires dependency `{dependency}` which is not available"
+                )
             }
         }
     }
@@ -93,7 +96,9 @@ pub fn configure(
     // Accumulate effects of every selected option value.
     let mut effects = OptionEffects::default();
     for option in &project.options {
-        let value = complete.get(&option.name).expect("completed assignment covers all options");
+        let value = complete
+            .get(&option.name)
+            .expect("completed assignment covers all options");
         let value_effects = option.effects_of(value);
         if let Some(available) = available_dependencies {
             for dependency in &value_effects.dependencies {
@@ -117,9 +122,15 @@ pub fn configure(
     let mut generated: Vec<SourceSpec> = Vec::new();
     for custom in &project.custom_targets {
         let triggered = custom.required_tags.is_empty()
-            || custom.required_tags.iter().all(|t| enabled_tags.contains(t));
+            || custom
+                .required_tags
+                .iter()
+                .all(|t| enabled_tags.contains(t));
         if triggered {
-            generated.push(SourceSpec::new(custom.generates.clone(), custom.content.clone()));
+            generated.push(SourceSpec::new(
+                custom.generates.clone(),
+                custom.content.clone(),
+            ));
         }
     }
 
@@ -158,7 +169,11 @@ pub fn configure(
                 directory: build_dir.to_string(),
                 target: target.name.clone(),
                 file: source.path.clone(),
-                output: format!("{build_dir}/{}/{}.o", target.name, source.path.replace('/', "_")),
+                output: format!(
+                    "{build_dir}/{}/{}.o",
+                    target.name,
+                    source.path.replace('/', "_")
+                ),
                 arguments,
             });
         }
@@ -191,7 +206,10 @@ pub fn configure(
         compile_flags: effects.compile_flags,
         dependencies,
         link_libraries,
-        compile_db: CompileDatabase { configuration: complete.label(), commands },
+        compile_db: CompileDatabase {
+            configuration: complete.label(),
+            commands,
+        },
     })
 }
 
@@ -214,8 +232,12 @@ mod tests {
             "FFT implementation",
             OptionCategory::Fft,
             vec![
-                OptionValue::plain("fftw3").with_dependency("fftw").with_definition("-DHAVE_FFTW"),
-                OptionValue::plain("mkl").with_dependency("mkl").with_definition("-DHAVE_MKL"),
+                OptionValue::plain("fftw3")
+                    .with_dependency("fftw")
+                    .with_definition("-DHAVE_FFTW"),
+                OptionValue::plain("mkl")
+                    .with_dependency("mkl")
+                    .with_definition("-DHAVE_MKL"),
                 OptionValue::plain("builtin").with_tag("own_fft"),
             ],
             "fftw3",
@@ -298,11 +320,17 @@ mod tests {
         let project = project();
         let assignment = OptionAssignment::new().with("FFT_LIBRARY", "builtin");
         let build = configure(&project, &assignment, "/b", None).unwrap();
-        assert!(build.enabled_sources.iter().any(|s| s.path == "generated/own_fft.ck"));
+        assert!(build
+            .enabled_sources
+            .iter()
+            .any(|s| s.path == "generated/own_fft.ck"));
         assert_eq!(build.translation_units(), 2);
         // With fftw3 selected the generated file does not exist and is skipped.
         let default = configure(&project, &OptionAssignment::new(), "/b", None).unwrap();
-        assert!(!default.enabled_sources.iter().any(|s| s.path == "generated/own_fft.ck"));
+        assert!(!default
+            .enabled_sources
+            .iter()
+            .any(|s| s.path == "generated/own_fft.ck"));
     }
 
     #[test]

@@ -71,7 +71,10 @@ pub struct OptionValue {
 impl OptionValue {
     /// A value with no effects.
     pub fn plain(name: impl Into<String>) -> Self {
-        Self { name: name.into(), effects: OptionEffects::default() }
+        Self {
+            name: name.into(),
+            effects: OptionEffects::default(),
+        }
     }
 
     /// Builder: add a preprocessor definition.
@@ -154,7 +157,10 @@ impl BuildOption {
             name,
             description: description.into(),
             category,
-            kind: OptionKind::Bool { default, on_effects },
+            kind: OptionKind::Bool {
+                default,
+                on_effects,
+            },
             flag,
         }
     }
@@ -173,7 +179,10 @@ impl BuildOption {
             name,
             description: description.into(),
             category,
-            kind: OptionKind::Choice { values, default: default.into() },
+            kind: OptionKind::Choice {
+                values,
+                default: default.into(),
+            },
             flag,
         }
     }
@@ -196,7 +205,9 @@ impl BuildOption {
 
     /// Whether `value` is a legal setting for this option.
     pub fn accepts(&self, value: &str) -> bool {
-        self.value_names().iter().any(|v| v.eq_ignore_ascii_case(value))
+        self.value_names()
+            .iter()
+            .any(|v| v.eq_ignore_ascii_case(value))
     }
 
     /// The effects of setting this option to `value` (empty effects for OFF / unknown).
@@ -312,7 +323,9 @@ mod tests {
                     .with_dependency("cuda")
                     .with_tag("gpu_cuda")
                     .with_link_library("cufft"),
-                OptionValue::plain("SYCL").with_definition("-DGMX_GPU_SYCL").with_dependency("oneapi"),
+                OptionValue::plain("SYCL")
+                    .with_definition("-DGMX_GPU_SYCL")
+                    .with_dependency("oneapi"),
             ],
             "OFF",
         )
@@ -325,7 +338,13 @@ mod tests {
             enables_tags: vec!["mpi".into()],
             ..Default::default()
         };
-        BuildOption::boolean("GMX_MPI", "Enable MPI", OptionCategory::Parallelism, false, on)
+        BuildOption::boolean(
+            "GMX_MPI",
+            "Enable MPI",
+            OptionCategory::Parallelism,
+            false,
+            on,
+        )
     }
 
     #[test]
@@ -353,8 +372,12 @@ mod tests {
 
     #[test]
     fn assignment_label_is_sorted_and_stable() {
-        let a = OptionAssignment::new().with("GMX_SIMD", "AVX_512").with("GMX_GPU", "CUDA");
-        let b = OptionAssignment::new().with("GMX_GPU", "CUDA").with("GMX_SIMD", "AVX_512");
+        let a = OptionAssignment::new()
+            .with("GMX_SIMD", "AVX_512")
+            .with("GMX_GPU", "CUDA");
+        let b = OptionAssignment::new()
+            .with("GMX_GPU", "CUDA")
+            .with("GMX_SIMD", "AVX_512");
         assert_eq!(a.label(), b.label());
         assert_eq!(a.label(), "GMX_GPU=CUDA,GMX_SIMD=AVX_512");
         assert_eq!(OptionAssignment::new().label(), "default");
@@ -366,9 +389,17 @@ mod tests {
         let mpi = mpi_option();
         let combos = all_combinations(&[&gpu, &mpi]);
         assert_eq!(combos.len(), 3 * 2);
-        assert!(combos.iter().any(|c| c.get("GMX_GPU") == Some("CUDA") && c.get("GMX_MPI") == Some("ON")));
+        assert!(combos
+            .iter()
+            .any(|c| c.get("GMX_GPU") == Some("CUDA") && c.get("GMX_MPI") == Some("ON")));
         // LULESH example from the paper: two boolean options → four configurations.
-        let omp = BuildOption::boolean("WITH_OPENMP", "OpenMP", OptionCategory::Parallelism, true, OptionEffects::default());
+        let omp = BuildOption::boolean(
+            "WITH_OPENMP",
+            "OpenMP",
+            OptionCategory::Parallelism,
+            true,
+            OptionEffects::default(),
+        );
         let mpi2 = mpi_option();
         assert_eq!(all_combinations(&[&omp, &mpi2]).len(), 4);
     }

@@ -25,7 +25,12 @@ pub struct SourceSpec {
 impl SourceSpec {
     /// An unconditional source file.
     pub fn new(path: impl Into<String>, content: impl Into<String>) -> Self {
-        Self { path: path.into(), content: content.into(), required_tags: Vec::new(), extra_flags: Vec::new() }
+        Self {
+            path: path.into(),
+            content: content.into(),
+            required_tags: Vec::new(),
+            extra_flags: Vec::new(),
+        }
     }
 
     /// Require a tag (source is built only when an enabled option provides it).
@@ -69,7 +74,13 @@ pub struct TargetSpec {
 impl TargetSpec {
     /// Create a target.
     pub fn new(name: impl Into<String>, kind: TargetKind, sources: Vec<String>) -> Self {
-        Self { name: name.into(), kind, sources, link_targets: Vec::new(), extra_flags: Vec::new() }
+        Self {
+            name: name.into(),
+            kind,
+            sources,
+            link_targets: Vec::new(),
+            extra_flags: Vec::new(),
+        }
     }
 
     /// Builder: link against another target.
@@ -240,7 +251,9 @@ mod tests {
     #[test]
     fn assignment_validation() {
         let project = tiny_project();
-        let good = OptionAssignment::new().with("USE_MPI", "ON").with("SIMD", "AVX_512");
+        let good = OptionAssignment::new()
+            .with("USE_MPI", "ON")
+            .with("SIMD", "AVX_512");
         assert!(project.validate_assignment(&good).is_ok());
         let unknown = OptionAssignment::new().with("NOPE", "ON");
         assert!(project.validate_assignment(&unknown).is_err());
@@ -254,10 +267,14 @@ mod tests {
         let tree = project.source_tree();
         assert_eq!(tree.len(), 2);
         assert!(tree["src/comm.ck"].contains("halo"));
-        let spec = SourceSpec::new("a.ck", "x").with_tag("gpu").with_flag("-DF");
+        let spec = SourceSpec::new("a.ck", "x")
+            .with_tag("gpu")
+            .with_flag("-DF");
         assert_eq!(spec.required_tags, vec!["gpu"]);
         assert_eq!(spec.extra_flags, vec!["-DF"]);
-        let target = TargetSpec::new("t", TargetKind::Library, vec![]).linking("core").with_flag("-DLIB");
+        let target = TargetSpec::new("t", TargetKind::Library, vec![])
+            .linking("core")
+            .with_flag("-DLIB");
         assert_eq!(target.link_targets, vec!["core"]);
     }
 

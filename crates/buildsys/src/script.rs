@@ -96,13 +96,21 @@ impl BuildScript {
     pub fn options(&self) -> Vec<&ScriptItem> {
         self.items
             .iter()
-            .filter(|i| matches!(i, ScriptItem::BoolOption { .. } | ScriptItem::ChoiceOption { .. }))
+            .filter(|i| {
+                matches!(
+                    i,
+                    ScriptItem::BoolOption { .. } | ScriptItem::ChoiceOption { .. }
+                )
+            })
             .collect()
     }
 
     /// All `find_package` declarations.
     pub fn packages(&self) -> Vec<&ScriptItem> {
-        self.items.iter().filter(|i| matches!(i, ScriptItem::FindPackage { .. })).collect()
+        self.items
+            .iter()
+            .filter(|i| matches!(i, ScriptItem::FindPackage { .. }))
+            .collect()
     }
 
     /// Rough token count of the script (whitespace-separated words), mirroring the token
@@ -123,7 +131,11 @@ pub struct ScriptError {
 
 impl fmt::Display for ScriptError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "build script error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "build script error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -139,19 +151,29 @@ pub fn parse_script(text: &str) -> Result<BuildScript, ScriptError> {
             continue;
         }
         if let Some(comment) = line.strip_prefix('#') {
-            script.items.push(ScriptItem::Comment(comment.trim().to_string()));
+            script
+                .items
+                .push(ScriptItem::Comment(comment.trim().to_string()));
             continue;
         }
         let Some((command, args_text)) = line.split_once('(') else {
-            return Err(ScriptError { line: line_no, message: format!("expected `command(...)`, got `{line}`") });
+            return Err(ScriptError {
+                line: line_no,
+                message: format!("expected `command(...)`, got `{line}`"),
+            });
         };
         let Some(args_text) = args_text.strip_suffix(')') else {
-            return Err(ScriptError { line: line_no, message: "missing closing parenthesis".into() });
+            return Err(ScriptError {
+                line: line_no,
+                message: "missing closing parenthesis".into(),
+            });
         };
         let args = split_args(args_text);
         let command = command.trim().to_ascii_lowercase();
         let item = match command.as_str() {
-            "project" => ScriptItem::Project { name: arg(&args, 0, line_no, "project name")? },
+            "project" => ScriptItem::Project {
+                name: arg(&args, 0, line_no, "project name")?,
+            },
             "option" => {
                 let name = arg(&args, 0, line_no, "option name")?;
                 let description = args.get(1).cloned().unwrap_or_default();
@@ -159,7 +181,11 @@ pub fn parse_script(text: &str) -> Result<BuildScript, ScriptError> {
                     .get(2)
                     .map(|v| v.eq_ignore_ascii_case("ON"))
                     .unwrap_or(false);
-                ScriptItem::BoolOption { name, description, default }
+                ScriptItem::BoolOption {
+                    name,
+                    description,
+                    default,
+                }
             }
             "option_multichoice" | "gmx_option_multichoice" | "qe_option_multichoice" => {
                 let name = arg(&args, 0, line_no, "option name")?;
@@ -172,7 +198,12 @@ pub fn parse_script(text: &str) -> Result<BuildScript, ScriptError> {
                         message: format!("multichoice option {name} lists no values"),
                     });
                 }
-                ScriptItem::ChoiceOption { name, description, default, values }
+                ScriptItem::ChoiceOption {
+                    name,
+                    description,
+                    default,
+                    values,
+                }
             }
             "set" => ScriptItem::Set {
                 name: arg(&args, 0, line_no, "variable name")?,
@@ -186,15 +217,26 @@ pub fn parse_script(text: &str) -> Result<BuildScript, ScriptError> {
                     .position(|a| a.eq_ignore_ascii_case("VERSION"))
                     .and_then(|i| args.get(i + 1))
                     .cloned()
-                    .or_else(|| args.get(1).filter(|a| a.chars().next().is_some_and(|c| c.is_ascii_digit())).cloned());
-                ScriptItem::FindPackage { name, required, min_version }
+                    .or_else(|| {
+                        args.get(1)
+                            .filter(|a| a.chars().next().is_some_and(|c| c.is_ascii_digit()))
+                            .cloned()
+                    });
+                ScriptItem::FindPackage {
+                    name,
+                    required,
+                    min_version,
+                }
             }
             "internal_build" => ScriptItem::InternalBuild {
                 name: arg(&args, 0, line_no, "library name")?,
                 flag: args.get(1).cloned().unwrap_or_default(),
             },
             other => {
-                return Err(ScriptError { line: line_no, message: format!("unknown command `{other}`") })
+                return Err(ScriptError {
+                    line: line_no,
+                    message: format!("unknown command `{other}`"),
+                })
             }
         };
         script.items.push(item);
@@ -203,9 +245,10 @@ pub fn parse_script(text: &str) -> Result<BuildScript, ScriptError> {
 }
 
 fn arg(args: &[String], index: usize, line: usize, what: &str) -> Result<String, ScriptError> {
-    args.get(index)
-        .cloned()
-        .ok_or_else(|| ScriptError { line, message: format!("missing {what}") })
+    args.get(index).cloned().ok_or_else(|| ScriptError {
+        line,
+        message: format!("missing {what}"),
+    })
 }
 
 /// Split an argument list on whitespace, honouring double quotes.
@@ -254,8 +297,14 @@ internal_build(fftpack -DBUILD_OWN_FFT)
         assert_eq!(script.project_name(), Some("demo"));
         assert_eq!(script.options().len(), 4);
         assert_eq!(script.packages().len(), 2);
-        assert!(script.items.iter().any(|i| matches!(i, ScriptItem::InternalBuild { .. })));
-        assert!(script.items.iter().any(|i| matches!(i, ScriptItem::Comment(_))));
+        assert!(script
+            .items
+            .iter()
+            .any(|i| matches!(i, ScriptItem::InternalBuild { .. })));
+        assert!(script
+            .items
+            .iter()
+            .any(|i| matches!(i, ScriptItem::Comment(_))));
     }
 
     #[test]
@@ -272,9 +321,12 @@ internal_build(fftpack -DBUILD_OWN_FFT)
     fn multichoice_values_and_default() {
         let script = parse_script(SCRIPT).unwrap();
         let simd = script.items.iter().find_map(|i| match i {
-            ScriptItem::ChoiceOption { name, default, values, .. } if name == "SIMD" => {
-                Some((default.clone(), values.clone()))
-            }
+            ScriptItem::ChoiceOption {
+                name,
+                default,
+                values,
+                ..
+            } if name == "SIMD" => Some((default.clone(), values.clone())),
             _ => None,
         });
         let (default, values) = simd.unwrap();
@@ -287,9 +339,11 @@ internal_build(fftpack -DBUILD_OWN_FFT)
     fn find_package_versions_and_required() {
         let script = parse_script(SCRIPT).unwrap();
         let fftw = script.items.iter().find_map(|i| match i {
-            ScriptItem::FindPackage { name, required, min_version } if name == "FFTW3" => {
-                Some((*required, min_version.clone()))
-            }
+            ScriptItem::FindPackage {
+                name,
+                required,
+                min_version,
+            } if name == "FFTW3" => Some((*required, min_version.clone())),
             _ => None,
         });
         assert_eq!(fftw, Some((true, Some("3.3".to_string()))));
@@ -298,7 +352,9 @@ internal_build(fftpack -DBUILD_OWN_FFT)
     #[test]
     fn quoted_descriptions_keep_spaces() {
         let script = parse_script("option(X \"a long description here\" ON)").unwrap();
-        let ScriptItem::BoolOption { description, .. } = &script.items[0] else { panic!() };
+        let ScriptItem::BoolOption { description, .. } = &script.items[0] else {
+            panic!()
+        };
         assert_eq!(description, "a long description here");
     }
 

@@ -45,7 +45,12 @@ impl Default for Sha256 {
 impl Sha256 {
     /// Create a hasher in the initial state.
     pub fn new() -> Self {
-        Self { state: H0, buffer: [0u8; 64], buffered: 0, length_bits: 0 }
+        Self {
+            state: H0,
+            buffer: [0u8; 64],
+            buffered: 0,
+            length_bits: 0,
+        }
     }
 
     /// Feed bytes into the hasher.
@@ -323,7 +328,10 @@ mod tests {
 
     #[test]
     fn digest_parse_rejects_malformed_inputs() {
-        assert_eq!(Digest::parse("deadbeef"), Err(DigestError::MissingSeparator));
+        assert_eq!(
+            Digest::parse("deadbeef"),
+            Err(DigestError::MissingSeparator)
+        );
         assert_eq!(
             Digest::parse("md5:aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa"),
             Err(DigestError::UnsupportedAlgorithm("md5".into()))

@@ -8,7 +8,9 @@
 
 use crate::digest::Digest;
 use crate::layer::{Layer, RootFs};
-use crate::oci::{annotation_keys, Architecture, DeploymentFormat, Descriptor, MediaType, Platform};
+use crate::oci::{
+    annotation_keys, Architecture, DeploymentFormat, Descriptor, MediaType, Platform,
+};
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -77,7 +79,11 @@ pub struct ImageIndex {
 impl ImageIndex {
     /// Create an empty index.
     pub fn new() -> Self {
-        Self { media_type: MediaType::ImageIndex, manifests: Vec::new(), annotations: BTreeMap::new() }
+        Self {
+            media_type: MediaType::ImageIndex,
+            manifests: Vec::new(),
+            annotations: BTreeMap::new(),
+        }
     }
 
     /// Select the manifest matching an architecture, preferring exact matches and falling
@@ -87,9 +93,11 @@ impl ImageIndex {
             .iter()
             .find(|d| d.platform.as_ref().is_some_and(|p| p.architecture == arch))
             .or_else(|| {
-                self.manifests
-                    .iter()
-                    .find(|d| d.platform.as_ref().is_some_and(|p| p.architecture == Architecture::XirIr))
+                self.manifests.iter().find(|d| {
+                    d.platform
+                        .as_ref()
+                        .is_some_and(|p| p.architecture == Architecture::XirIr)
+                })
             })
     }
 }
@@ -171,7 +179,10 @@ impl Image {
 
     /// Total size of all layers in bytes.
     pub fn size_bytes(&self) -> u64 {
-        self.layers.iter().map(|l| l.to_archive().len() as u64).sum()
+        self.layers
+            .iter()
+            .map(|l| l.to_archive().len() as u64)
+            .sum()
     }
 
     /// Number of layers.
@@ -224,7 +235,11 @@ impl ImageStore {
     /// Insert a raw blob, returning its digest. Idempotent.
     pub fn put_blob(&self, bytes: Vec<u8>) -> Digest {
         let digest = Digest::of_bytes(&bytes);
-        self.inner.write().blobs.entry(digest.clone()).or_insert(bytes);
+        self.inner
+            .write()
+            .blobs
+            .entry(digest.clone())
+            .or_insert(bytes);
         digest
     }
 
@@ -250,7 +265,12 @@ impl ImageStore {
 
     /// Total stored bytes (deduplicated by digest).
     pub fn total_bytes(&self) -> u64 {
-        self.inner.read().blobs.values().map(|b| b.len() as u64).sum()
+        self.inner
+            .read()
+            .blobs
+            .values()
+            .map(|b| b.len() as u64)
+            .sum()
     }
 
     /// Commit an [`Image`]: serialise layers, config, and manifest into blobs, tag the
@@ -264,7 +284,10 @@ impl ImageStore {
             let size = archive.len() as u64;
             let digest = self.put_blob(archive);
             diff_ids.push(layer.diff_id());
-            history.push(HistoryEntry { created_by: layer.created_by.clone(), empty_layer: layer.is_empty() });
+            history.push(HistoryEntry {
+                created_by: layer.created_by.clone(),
+                empty_layer: layer.is_empty(),
+            });
             layer_descriptors.push(Descriptor::new(MediaType::Layer, digest, size));
         }
         let config = ImageConfig {
@@ -285,7 +308,10 @@ impl ImageStore {
         let manifest_bytes = serde_json::to_vec(&manifest).expect("manifest serialises");
         let manifest_size = manifest_bytes.len() as u64;
         let manifest_digest = self.put_blob(manifest_bytes);
-        self.inner.write().tags.insert(image.reference.clone(), manifest_digest.clone());
+        self.inner
+            .write()
+            .tags
+            .insert(image.reference.clone(), manifest_digest.clone());
         Descriptor::new(MediaType::ImageManifest, manifest_digest, manifest_size)
             .with_platform(image.platform.clone())
     }
@@ -302,7 +328,12 @@ impl ImageStore {
 
     /// List all known references with their manifest digests.
     pub fn references(&self) -> Vec<(String, Digest)> {
-        self.inner.read().tags.iter().map(|(k, v)| (k.clone(), v.clone())).collect()
+        self.inner
+            .read()
+            .tags
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
     }
 
     /// Load a manifest blob.
@@ -345,11 +376,18 @@ impl ImageStore {
         manifests: Vec<Descriptor>,
         annotations: BTreeMap<String, String>,
     ) -> Descriptor {
-        let index = ImageIndex { media_type: MediaType::ImageIndex, manifests, annotations };
+        let index = ImageIndex {
+            media_type: MediaType::ImageIndex,
+            manifests,
+            annotations,
+        };
         let bytes = serde_json::to_vec(&index).expect("index serialises");
         let size = bytes.len() as u64;
         let digest = self.put_blob(bytes);
-        self.inner.write().tags.insert(reference.to_string(), digest.clone());
+        self.inner
+            .write()
+            .tags
+            .insert(reference.to_string(), digest.clone());
         Descriptor::new(MediaType::ImageIndex, digest, size)
     }
 
@@ -427,7 +465,10 @@ mod tests {
     #[test]
     fn unknown_reference_is_an_error() {
         let store = ImageStore::new();
-        assert!(matches!(store.load("missing:latest"), Err(ImageError::UnknownReference(_))));
+        assert!(matches!(
+            store.load("missing:latest"),
+            Err(ImageError::UnknownReference(_))
+        ));
     }
 
     #[test]
@@ -460,10 +501,19 @@ mod tests {
             BTreeMap::new(),
         );
         let index = store.load_index("xaas/toolchain:multi").unwrap();
-        assert_eq!(index.select(Architecture::Amd64).unwrap().digest, amd_desc.digest);
-        assert_eq!(index.select(Architecture::Arm64).unwrap().digest, arm_desc.digest);
+        assert_eq!(
+            index.select(Architecture::Amd64).unwrap().digest,
+            amd_desc.digest
+        );
+        assert_eq!(
+            index.select(Architecture::Arm64).unwrap().digest,
+            arm_desc.digest
+        );
         // No ppc64le manifest: fall back to the IR one, which can be lowered at deployment.
-        assert_eq!(index.select(Architecture::Ppc64le).unwrap().digest, ir_desc.digest);
+        assert_eq!(
+            index.select(Architecture::Ppc64le).unwrap().digest,
+            ir_desc.digest
+        );
     }
 
     #[test]

@@ -53,13 +53,21 @@ pub struct Layer {
 impl Layer {
     /// Create an empty layer with a `created_by` history note.
     pub fn new(created_by: impl Into<String>) -> Self {
-        Self { created_by: created_by.into(), entries: BTreeMap::new() }
+        Self {
+            created_by: created_by.into(),
+            entries: BTreeMap::new(),
+        }
     }
 
     /// Add (or replace) a regular file.
     pub fn add_file(&mut self, path: impl Into<String>, content: impl Into<Vec<u8>>) -> &mut Self {
-        self.entries
-            .insert(normalize_path(&path.into()), LayerEntry::File { content: content.into(), mode: 0o644 });
+        self.entries.insert(
+            normalize_path(&path.into()),
+            LayerEntry::File {
+                content: content.into(),
+                mode: 0o644,
+            },
+        );
         self
     }
 
@@ -69,8 +77,13 @@ impl Layer {
         path: impl Into<String>,
         content: impl Into<Vec<u8>>,
     ) -> &mut Self {
-        self.entries
-            .insert(normalize_path(&path.into()), LayerEntry::File { content: content.into(), mode: 0o755 });
+        self.entries.insert(
+            normalize_path(&path.into()),
+            LayerEntry::File {
+                content: content.into(),
+                mode: 0o755,
+            },
+        );
         self
     }
 
@@ -81,20 +94,26 @@ impl Layer {
 
     /// Add a directory marker.
     pub fn add_directory(&mut self, path: impl Into<String>) -> &mut Self {
-        self.entries.insert(normalize_path(&path.into()), LayerEntry::Directory);
+        self.entries
+            .insert(normalize_path(&path.into()), LayerEntry::Directory);
         self
     }
 
     /// Add a symlink.
     pub fn add_symlink(&mut self, path: impl Into<String>, target: impl Into<String>) -> &mut Self {
-        self.entries
-            .insert(normalize_path(&path.into()), LayerEntry::Symlink { target: target.into() });
+        self.entries.insert(
+            normalize_path(&path.into()),
+            LayerEntry::Symlink {
+                target: target.into(),
+            },
+        );
         self
     }
 
     /// Record a whiteout (deletion of a path provided by a lower layer).
     pub fn add_whiteout(&mut self, path: impl Into<String>) -> &mut Self {
-        self.entries.insert(normalize_path(&path.into()), LayerEntry::Whiteout);
+        self.entries
+            .insert(normalize_path(&path.into()), LayerEntry::Whiteout);
         self
     }
 
@@ -173,7 +192,9 @@ impl Layer {
                     LayerEntry::File { content, mode }
                 }
                 1 => LayerEntry::Directory,
-                2 => LayerEntry::Symlink { target: cur.read_str()? },
+                2 => LayerEntry::Symlink {
+                    target: cur.read_str()?,
+                },
                 3 => LayerEntry::Whiteout,
                 other => return Err(LayerError::BadEntryTag(other)),
             };
@@ -331,7 +352,9 @@ impl<'a> Cursor<'a> {
     }
     fn read_u64(&mut self) -> Result<u64, LayerError> {
         let b = self.take(8)?;
-        Ok(u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
     }
     fn read_str(&mut self) -> Result<String, LayerError> {
         let len = self.read_u64()? as usize;
@@ -399,7 +422,10 @@ mod tests {
         upper.add_whiteout("/opt/mpi/include");
 
         let root = RootFs::flatten([&base, &upper]);
-        assert_eq!(root.read_text("/opt/mpi/lib/libmpi.so").unwrap(), "cray mpich");
+        assert_eq!(
+            root.read_text("/opt/mpi/lib/libmpi.so").unwrap(),
+            "cray mpich"
+        );
         assert!(root.get("/opt/mpi/include/mpi.h").is_none());
         assert_eq!(root.read_text("/etc/os-release").unwrap(), "ubuntu 22.04");
     }
@@ -418,7 +444,10 @@ mod tests {
         let archive = sample_layer().to_archive();
         let err = Layer::from_archive(&archive[..archive.len() - 3]).unwrap_err();
         assert_eq!(err, LayerError::Truncated);
-        assert_eq!(Layer::from_archive(b"NOTALAYERX"), Err(LayerError::BadMagic));
+        assert_eq!(
+            Layer::from_archive(b"NOTALAYERX"),
+            Err(LayerError::BadMagic)
+        );
     }
 
     #[test]

@@ -111,7 +111,12 @@ pub struct Platform {
 impl Platform {
     /// A Linux platform for the given architecture.
     pub fn linux(architecture: Architecture) -> Self {
-        Self { architecture, os: "linux".to_string(), variant: None, features: Vec::new() }
+        Self {
+            architecture,
+            os: "linux".to_string(),
+            variant: None,
+            features: Vec::new(),
+        }
     }
 
     /// Attach a variant.
@@ -147,7 +152,13 @@ pub struct Descriptor {
 impl Descriptor {
     /// Build a descriptor for a blob.
     pub fn new(media_type: MediaType, digest: Digest, size: u64) -> Self {
-        Self { media_type, digest, size, platform: None, annotations: BTreeMap::new() }
+        Self {
+            media_type,
+            digest,
+            size,
+            platform: None,
+            annotations: BTreeMap::new(),
+        }
     }
 
     /// Attach a platform.
@@ -225,8 +236,14 @@ mod tests {
 
     #[test]
     fn media_type_strings_are_stable() {
-        assert_eq!(MediaType::ImageManifest.as_str(), "application/vnd.oci.image.manifest.v1+json");
-        assert_eq!(MediaType::IrLayer.as_str(), "application/vnd.xaas.image.layer.v1.ir");
+        assert_eq!(
+            MediaType::ImageManifest.as_str(),
+            "application/vnd.oci.image.manifest.v1+json"
+        );
+        assert_eq!(
+            MediaType::IrLayer.as_str(),
+            "application/vnd.xaas.image.layer.v1.ir"
+        );
     }
 
     #[test]
@@ -240,7 +257,9 @@ mod tests {
 
     #[test]
     fn platform_builder_sets_fields() {
-        let p = Platform::linux(Architecture::Arm64).with_variant("v8").with_feature("sve");
+        let p = Platform::linux(Architecture::Arm64)
+            .with_variant("v8")
+            .with_feature("sve");
         assert_eq!(p.os, "linux");
         assert_eq!(p.variant.as_deref(), Some("v8"));
         assert_eq!(p.features, vec!["sve".to_string()]);
@@ -250,7 +269,10 @@ mod tests {
     fn descriptor_annotations_roundtrip_through_json() {
         let d = Descriptor::new(MediaType::Layer, Digest::of_str("blob"), 4)
             .with_platform(Platform::linux(Architecture::Amd64))
-            .with_annotation(annotation_keys::DEPLOYMENT_FORMAT, DeploymentFormat::Ir.as_str());
+            .with_annotation(
+                annotation_keys::DEPLOYMENT_FORMAT,
+                DeploymentFormat::Ir.as_str(),
+            );
         let json = serde_json::to_string(&d).unwrap();
         let back: Descriptor = serde_json::from_str(&json).unwrap();
         assert_eq!(back, d);
@@ -262,8 +284,14 @@ mod tests {
 
     #[test]
     fn deployment_format_parse_rejects_unknown() {
-        assert_eq!(DeploymentFormat::parse("source"), Some(DeploymentFormat::Source));
-        assert_eq!(DeploymentFormat::parse("binary"), Some(DeploymentFormat::Binary));
+        assert_eq!(
+            DeploymentFormat::parse("source"),
+            Some(DeploymentFormat::Source)
+        );
+        assert_eq!(
+            DeploymentFormat::parse("binary"),
+            Some(DeploymentFormat::Binary)
+        );
         assert_eq!(DeploymentFormat::parse("squashfs"), None);
     }
 }

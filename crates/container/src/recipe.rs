@@ -38,7 +38,9 @@ impl fmt::Display for Instruction {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Instruction::From(r) => write!(f, "FROM {r}"),
-            Instruction::Copy { dest, content } => write!(f, "COPY {dest} ({} bytes)", content.len()),
+            Instruction::Copy { dest, content } => {
+                write!(f, "COPY {dest} ({} bytes)", content.len())
+            }
             Instruction::Run(cmd) => write!(f, "RUN {cmd}"),
             Instruction::Env(k, v) => write!(f, "ENV {k}={v}"),
             Instruction::Label(k, v) => write!(f, "LABEL {k}={v}"),
@@ -69,14 +71,19 @@ impl Recipe {
 
     /// Append a `COPY` with text content.
     pub fn copy_text(mut self, dest: impl Into<String>, content: impl Into<String>) -> Self {
-        self.instructions
-            .push(Instruction::Copy { dest: dest.into(), content: content.into().into_bytes() });
+        self.instructions.push(Instruction::Copy {
+            dest: dest.into(),
+            content: content.into().into_bytes(),
+        });
         self
     }
 
     /// Append a `COPY` with binary content.
     pub fn copy_bytes(mut self, dest: impl Into<String>, content: Vec<u8>) -> Self {
-        self.instructions.push(Instruction::Copy { dest: dest.into(), content });
+        self.instructions.push(Instruction::Copy {
+            dest: dest.into(),
+            content,
+        });
         self
     }
 
@@ -88,13 +95,15 @@ impl Recipe {
 
     /// Append an `ENV`.
     pub fn env(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
-        self.instructions.push(Instruction::Env(key.into(), value.into()));
+        self.instructions
+            .push(Instruction::Env(key.into(), value.into()));
         self
     }
 
     /// Append a `LABEL`.
     pub fn label(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
-        self.instructions.push(Instruction::Label(key.into(), value.into()));
+        self.instructions
+            .push(Instruction::Label(key.into(), value.into()));
         self
     }
 
@@ -155,7 +164,10 @@ pub struct NoRunHandler;
 
 impl RunHandler for NoRunHandler {
     fn run(&mut self, command: &str, _rootfs: &RootFs) -> Result<RunOutput, BuildError> {
-        Err(BuildError::RunFailed { command: command.to_string(), reason: "no RUN handler installed".into() })
+        Err(BuildError::RunFailed {
+            command: command.to_string(),
+            reason: "no RUN handler installed".into(),
+        })
     }
 }
 
@@ -190,7 +202,9 @@ impl fmt::Display for BuildError {
         match self {
             BuildError::MissingFrom => write!(f, "recipe must start with FROM"),
             BuildError::BaseImage(e) => write!(f, "cannot load base image: {e}"),
-            BuildError::RunFailed { command, reason } => write!(f, "RUN `{command}` failed: {reason}"),
+            BuildError::RunFailed { command, reason } => {
+                write!(f, "RUN `{command}` failed: {reason}")
+            }
             BuildError::Malformed(what) => write!(f, "malformed instruction: {what}"),
         }
     }
@@ -216,7 +230,11 @@ pub struct RecipeBuilder<'a> {
 impl<'a> RecipeBuilder<'a> {
     /// Create a builder over a store.
     pub fn new(store: &'a ImageStore) -> Self {
-        Self { store, scratch_platform: Platform::linux(Architecture::Amd64), log: String::new() }
+        Self {
+            store,
+            scratch_platform: Platform::linux(Architecture::Amd64),
+            log: String::new(),
+        }
     }
 
     /// Use a specific platform when the recipe starts `FROM scratch`.
@@ -316,9 +334,14 @@ mod tests {
             .entrypoint(vec!["/app/run".into()])
             .workdir("/app");
         let mut builder = RecipeBuilder::new(&store);
-        let image = builder.build(&recipe, "out:latest", &mut NoRunHandler).unwrap();
+        let image = builder
+            .build(&recipe, "out:latest", &mut NoRunHandler)
+            .unwrap();
         assert_eq!(image.rootfs().read_text("/app/hello.txt").unwrap(), "hi");
-        assert!(image.runtime.env.contains(&"OMP_NUM_THREADS=16".to_string()));
+        assert!(image
+            .runtime
+            .env
+            .contains(&"OMP_NUM_THREADS=16".to_string()));
         assert_eq!(image.annotations["dev.xaas.deployment-format"], "source");
         assert_eq!(image.runtime.working_dir.as_deref(), Some("/app"));
         assert!(store.load("out:latest").is_ok());
@@ -327,11 +350,18 @@ mod tests {
     #[test]
     fn build_from_base_inherits_layers() {
         let store = base_store();
-        let recipe = Recipe::new().from_image("xaas/base:1").copy_text("/app/x", "y");
+        let recipe = Recipe::new()
+            .from_image("xaas/base:1")
+            .copy_text("/app/x", "y");
         let mut builder = RecipeBuilder::new(&store);
-        let image = builder.build(&recipe, "derived:1", &mut NoRunHandler).unwrap();
+        let image = builder
+            .build(&recipe, "derived:1", &mut NoRunHandler)
+            .unwrap();
         assert_eq!(image.layer_count(), 2);
-        assert_eq!(image.rootfs().read_text("/etc/os-release").unwrap(), "ubuntu");
+        assert_eq!(
+            image.rootfs().read_text("/etc/os-release").unwrap(),
+            "ubuntu"
+        );
     }
 
     #[test]
@@ -346,7 +376,8 @@ mod tests {
             assert!(cmd.starts_with("xirc"));
             assert!(rootfs.read_text("/src/kernel.ck").is_some());
             let mut out = RunOutput::default();
-            out.files.insert("/build/kernel.o".into(), b"object".to_vec());
+            out.files
+                .insert("/build/kernel.o".into(), b"object".to_vec());
             out.log.push_str("compiled 1 file\n");
             Ok(out)
         });
@@ -360,7 +391,9 @@ mod tests {
         let store = base_store();
         let recipe = Recipe::new().from_image("xaas/base:1").run("false");
         let mut builder = RecipeBuilder::new(&store);
-        let err = builder.build(&recipe, "broken:1", &mut NoRunHandler).unwrap_err();
+        let err = builder
+            .build(&recipe, "broken:1", &mut NoRunHandler)
+            .unwrap_err();
         assert!(matches!(err, BuildError::RunFailed { .. }));
     }
 
@@ -369,8 +402,13 @@ mod tests {
         let store = base_store();
         let mut builder = RecipeBuilder::new(&store);
         let missing = Recipe::new().copy_text("/x", "y");
-        assert_eq!(builder.build(&missing, "a:1", &mut NoRunHandler), Err(BuildError::MissingFrom));
-        let double = Recipe::new().from_image("xaas/base:1").from_image("xaas/base:1");
+        assert_eq!(
+            builder.build(&missing, "a:1", &mut NoRunHandler),
+            Err(BuildError::MissingFrom)
+        );
+        let double = Recipe::new()
+            .from_image("xaas/base:1")
+            .from_image("xaas/base:1");
         assert!(matches!(
             builder.build(&double, "a:1", &mut NoRunHandler),
             Err(BuildError::Malformed(_))
@@ -382,12 +420,18 @@ mod tests {
         let store = ImageStore::new();
         let mut builder = RecipeBuilder::new(&store);
         let recipe = Recipe::new().from_image("missing:1");
-        assert!(matches!(builder.build(&recipe, "x:1", &mut NoRunHandler), Err(BuildError::BaseImage(_))));
+        assert!(matches!(
+            builder.build(&recipe, "x:1", &mut NoRunHandler),
+            Err(BuildError::BaseImage(_))
+        ));
     }
 
     #[test]
     fn render_is_humanly_readable() {
-        let recipe = Recipe::new().from_image("scratch").run("make").env("A", "B");
+        let recipe = Recipe::new()
+            .from_image("scratch")
+            .run("make")
+            .env("A", "B");
         let text = recipe.render();
         assert!(text.contains("FROM scratch"));
         assert!(text.contains("RUN make"));

@@ -32,7 +32,10 @@ impl Reference {
         if repo.is_empty() || tag.is_empty() {
             return Err(RegistryError::InvalidReference(text.to_string()));
         }
-        Ok(Self { repository: repo.to_string(), tag: tag.to_string() })
+        Ok(Self {
+            repository: repo.to_string(),
+            tag: tag.to_string(),
+        })
     }
 
     /// Render back to `repo:tag`.
@@ -107,7 +110,11 @@ impl Registry {
     }
 
     /// Push an image from a local store into the registry.
-    pub fn push(&self, local: &ImageStore, reference: &str) -> Result<TransferStats, RegistryError> {
+    pub fn push(
+        &self,
+        local: &ImageStore,
+        reference: &str,
+    ) -> Result<TransferStats, RegistryError> {
         let reference_parsed = Reference::parse(reference)?;
         let manifest_digest = local.resolve(reference)?;
         let stats = self.copy_manifest_chain(local, &self.store, &manifest_digest)?;
@@ -116,7 +123,11 @@ impl Registry {
     }
 
     /// Pull an image from the registry into a local store, recording pull statistics.
-    pub fn pull(&self, local: &ImageStore, reference: &str) -> Result<(Image, TransferStats), RegistryError> {
+    pub fn pull(
+        &self,
+        local: &ImageStore,
+        reference: &str,
+    ) -> Result<(Image, TransferStats), RegistryError> {
         let reference_parsed = Reference::parse(reference)?;
         let digest = self
             .tags
@@ -174,7 +185,10 @@ impl Registry {
 
     /// Read manifest annotations without pulling layer blobs — this is the query path the
     /// paper proposes for discovering specialization points before a pull (Section 5.2).
-    pub fn peek_annotations(&self, reference: &str) -> Result<BTreeMap<String, String>, RegistryError> {
+    pub fn peek_annotations(
+        &self,
+        reference: &str,
+    ) -> Result<BTreeMap<String, String>, RegistryError> {
         let reference_parsed = Reference::parse(reference)?;
         let digest = self
             .tags
@@ -265,7 +279,10 @@ mod tests {
     fn pull_of_unknown_tag_fails() {
         let registry = Registry::new();
         let local = ImageStore::new();
-        assert!(matches!(registry.pull(&local, "nope:latest"), Err(RegistryError::NotFound(_))));
+        assert!(matches!(
+            registry.pull(&local, "nope:latest"),
+            Err(RegistryError::NotFound(_))
+        ));
     }
 
     #[test]
@@ -296,7 +313,10 @@ mod tests {
         registry.push(&store, "spcl/app:annotated").unwrap();
 
         let ann = registry.peek_annotations("spcl/app:annotated").unwrap();
-        assert_eq!(ann.get("dev.xaas.deployment-format").map(String::as_str), Some("ir"));
+        assert_eq!(
+            ann.get("dev.xaas.deployment-format").map(String::as_str),
+            Some("ir")
+        );
     }
 
     #[test]

@@ -162,7 +162,10 @@ pub struct ContainerRuntime {
 impl ContainerRuntime {
     /// Create a runtime of the given kind for a host architecture.
     pub fn new(kind: RuntimeKind, host_architecture: crate::oci::Architecture) -> Self {
-        Self { kind, host_architecture }
+        Self {
+            kind,
+            host_architecture,
+        }
     }
 
     /// Prepare (instantiate) a container from an image, applying hooks.
@@ -212,10 +215,14 @@ impl ContainerRuntime {
                         .mpi_path
                         .clone()
                         .unwrap_or_else(|| host.container_path.clone());
-                    let mut layer = Layer::new(format!("HOOK mpi-replacement {}", host.implementation));
+                    let mut layer =
+                        Layer::new(format!("HOOK mpi-replacement {}", host.implementation));
                     layer.add_text(path, format!("{} {}", host.implementation, host.version));
                     layers.push(layer);
-                    applied.push(format!("mpi-replacement({} {})", host.implementation, host.version));
+                    applied.push(format!(
+                        "mpi-replacement({} {})",
+                        host.implementation, host.version
+                    ));
                 }
                 Hook::GpuInjection { libraries } => {
                     let mut layer = Layer::new("HOOK gpu-injection");
@@ -232,12 +239,24 @@ impl ContainerRuntime {
                     let mut layer = Layer::new("HOOK libfabric-replacement");
                     layer.add_text(
                         host.container_path.clone(),
-                        format!("{} {} providers={}", host.implementation, host.version, providers.join(",")),
+                        format!(
+                            "{} {} providers={}",
+                            host.implementation,
+                            host.version,
+                            providers.join(",")
+                        ),
                     );
                     layers.push(layer);
-                    applied.push(format!("libfabric-replacement(providers={})", providers.join(",")));
+                    applied.push(format!(
+                        "libfabric-replacement(providers={})",
+                        providers.join(",")
+                    ));
                 }
-                Hook::BindMount { source, destination, content } => {
+                Hook::BindMount {
+                    source,
+                    destination,
+                    content,
+                } => {
                     let mut layer = Layer::new(format!("HOOK bind-mount {source}"));
                     layer.add_text(destination.clone(), content.clone());
                     layers.push(layer);
@@ -297,10 +316,18 @@ mod tests {
         let (img, abi) = mpi_image(Architecture::Amd64);
         let rt = ContainerRuntime::new(RuntimeKind::Sarus, Architecture::Amd64);
         let prepared = rt
-            .prepare("job1", &img, &abi, &[Hook::MpiReplacement { host: cray_mpich() }])
+            .prepare(
+                "job1",
+                &img,
+                &abi,
+                &[Hook::MpiReplacement { host: cray_mpich() }],
+            )
             .unwrap();
         assert_eq!(prepared.applied_hooks.len(), 1);
-        assert!(prepared.library_at("/opt/mpi/lib/libmpi.so").unwrap().contains("cray-mpich"));
+        assert!(prepared
+            .library_at("/opt/mpi/lib/libmpi.so")
+            .unwrap()
+            .contains("cray-mpich"));
     }
 
     #[test]
@@ -309,13 +336,21 @@ mod tests {
         abi.mpi_abi = Some("openmpi".to_string());
         let rt = ContainerRuntime::new(RuntimeKind::Sarus, Architecture::Amd64);
         let prepared = rt
-            .prepare("job1", &img, &abi, &[Hook::MpiReplacement { host: cray_mpich() }])
+            .prepare(
+                "job1",
+                &img,
+                &abi,
+                &[Hook::MpiReplacement { host: cray_mpich() }],
+            )
             .unwrap();
         assert!(prepared.applied_hooks.is_empty());
         assert_eq!(prepared.skipped_hooks.len(), 1);
         assert!(prepared.skipped_hooks[0].1.contains("ABI mismatch"));
         // Original library untouched.
-        assert!(prepared.library_at("/opt/mpi/lib/libmpi.so").unwrap().contains("generic"));
+        assert!(prepared
+            .library_at("/opt/mpi/lib/libmpi.so")
+            .unwrap()
+            .contains("generic"));
     }
 
     #[test]
@@ -323,10 +358,17 @@ mod tests {
         let (img, abi) = mpi_image(Architecture::Amd64);
         let rt = ContainerRuntime::new(RuntimeKind::Apptainer, Architecture::Amd64);
         let prepared = rt
-            .prepare("job1", &img, &abi, &[Hook::MpiReplacement { host: cray_mpich() }])
+            .prepare(
+                "job1",
+                &img,
+                &abi,
+                &[Hook::MpiReplacement { host: cray_mpich() }],
+            )
             .unwrap();
         assert!(prepared.applied_hooks.is_empty());
-        assert!(prepared.skipped_hooks[0].1.contains("does not support MPI hooks"));
+        assert!(prepared.skipped_hooks[0]
+            .1
+            .contains("does not support MPI hooks"));
     }
 
     #[test]
@@ -340,9 +382,17 @@ mod tests {
             version: "550.54".into(),
         }];
         let prepared = rt
-            .prepare("job1", &img, &abi, &[Hook::GpuInjection { libraries: libs }])
+            .prepare(
+                "job1",
+                &img,
+                &abi,
+                &[Hook::GpuInjection { libraries: libs }],
+            )
             .unwrap();
-        assert!(prepared.library_at("/usr/lib/libcuda.so.1").unwrap().contains("nvidia-driver"));
+        assert!(prepared
+            .library_at("/usr/lib/libcuda.so.1")
+            .unwrap()
+            .contains("nvidia-driver"));
     }
 
     #[test]
@@ -362,7 +412,10 @@ mod tests {
         let (img, abi) = mpi_image(Architecture::Amd64);
         let rt = ContainerRuntime::new(RuntimeKind::Podman, Architecture::Amd64);
         let prepared = rt.prepare("job1", &img, &abi, &[]).unwrap();
-        assert_eq!(prepared.env.get("PATH").map(String::as_str), Some("/opt/app/bin"));
+        assert_eq!(
+            prepared.env.get("PATH").map(String::as_str),
+            Some("/opt/app/bin")
+        );
     }
 
     #[test]
@@ -387,8 +440,14 @@ mod tests {
         ];
         let prepared = rt.prepare("job1", &img, &abi, &hooks).unwrap();
         assert_eq!(prepared.applied_hooks.len(), 2);
-        assert!(prepared.library_at("/usr/lib/libfabric.so").unwrap().contains("cxi"));
-        assert!(prepared.library_at("/etc/slurm/slurm.conf").unwrap().contains("clariden"));
+        assert!(prepared
+            .library_at("/usr/lib/libfabric.so")
+            .unwrap()
+            .contains("cxi"));
+        assert!(prepared
+            .library_at("/etc/slurm/slurm.conf")
+            .unwrap()
+            .contains("clariden"));
     }
 
     #[test]

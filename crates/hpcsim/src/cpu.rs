@@ -293,7 +293,13 @@ impl CpuModel {
             clock_ghz: 2.25,
             max_simd: SimdLevel::Avx2_256,
             scalar_throughput: 1.05,
-            feature_flags: vec!["sse2".into(), "sse4_1".into(), "avx".into(), "avx2".into(), "fma".into()],
+            feature_flags: vec![
+                "sse2".into(),
+                "sse4_1".into(),
+                "avx".into(),
+                "avx2".into(),
+                "fma".into(),
+            ],
         }
     }
 
@@ -356,7 +362,10 @@ mod tests {
         assert_eq!(SimdLevel::parse("AVX_512"), Some(SimdLevel::Avx512));
         assert_eq!(SimdLevel::parse("avx-512"), Some(SimdLevel::Avx512));
         assert_eq!(SimdLevel::parse("SSE4.1"), Some(SimdLevel::Sse41));
-        assert_eq!(SimdLevel::parse("ARM_NEON_ASIMD"), Some(SimdLevel::NeonAsimd));
+        assert_eq!(
+            SimdLevel::parse("ARM_NEON_ASIMD"),
+            Some(SimdLevel::NeonAsimd)
+        );
         assert_eq!(SimdLevel::parse("ARM_SVE"), Some(SimdLevel::Sve));
         assert_eq!(SimdLevel::parse("None"), Some(SimdLevel::None));
         assert_eq!(SimdLevel::parse("MMX"), None);
@@ -411,7 +420,10 @@ mod tests {
         assert!(s1 <= s16 && s16 <= s32);
         assert_eq!(s32, s64, "scaling saturates at the physical core count");
         assert!((s1 - 1.0).abs() < 1e-9);
-        assert!(s16 > 10.0 && s16 < 16.0, "16 threads give between 10x and 16x: {s16}");
+        assert!(
+            s16 > 10.0 && s16 < 16.0,
+            "16 threads give between 10x and 16x: {s16}"
+        );
     }
 
     #[test]

@@ -50,12 +50,16 @@ pub struct SystemFeatures {
 impl SystemFeatures {
     /// Whether a GPU backend was discovered (case-insensitive).
     pub fn has_gpu_backend(&self, backend: &str) -> bool {
-        self.gpu_backends.keys().any(|k| k.eq_ignore_ascii_case(backend))
+        self.gpu_backends
+            .keys()
+            .any(|k| k.eq_ignore_ascii_case(backend))
     }
 
     /// Whether the CPU exposes a vectorization flag.
     pub fn has_vector_flag(&self, flag: &str) -> bool {
-        self.vectorization.iter().any(|f| f.eq_ignore_ascii_case(flag))
+        self.vectorization
+            .iter()
+            .any(|f| f.eq_ignore_ascii_case(flag))
     }
 
     /// Serialise the document as pretty JSON (the artifact the deployment step stores).
@@ -89,18 +93,30 @@ pub fn discover(system: &SystemModel) -> SystemFeatures {
         for backend in &gpu.supported_backends {
             let (version, libraries, implied) = match backend {
                 GpuBackend::Cuda => (
-                    system.gpu_runtime_version.map(|v| v.to_string()).unwrap_or_default(),
-                    vec!["/lib/libcuda.so.1".to_string(), "/usr/local/cuda/lib64/libcudart.so".to_string()],
+                    system
+                        .gpu_runtime_version
+                        .map(|v| v.to_string())
+                        .unwrap_or_default(),
+                    vec![
+                        "/lib/libcuda.so.1".to_string(),
+                        "/usr/local/cuda/lib64/libcudart.so".to_string(),
+                    ],
                     // Augmentation rule: CUDA implies cuFFT and cuBLAS.
                     vec!["cuFFT".to_string(), "cuBLAS".to_string()],
                 ),
                 GpuBackend::Hip => (
-                    system.gpu_runtime_version.map(|v| v.to_string()).unwrap_or_default(),
+                    system
+                        .gpu_runtime_version
+                        .map(|v| v.to_string())
+                        .unwrap_or_default(),
                     vec!["/opt/rocm/lib/libamdhip64.so".to_string()],
                     vec!["rocFFT".to_string(), "rocBLAS".to_string()],
                 ),
                 GpuBackend::Sycl => (
-                    system.gpu_runtime_version.map(|v| v.to_string()).unwrap_or_default(),
+                    system
+                        .gpu_runtime_version
+                        .map(|v| v.to_string())
+                        .unwrap_or_default(),
                     vec!["/usr/lib/libze_loader.so".to_string()],
                     vec!["oneMKL".to_string()],
                 ),
@@ -114,20 +130,27 @@ pub fn discover(system: &SystemModel) -> SystemFeatures {
             features
                 .gpu_backends
                 .entry(backend.as_str().to_string())
-                .or_insert(DiscoveredGpuBackend { version, libraries, implied_libraries: implied });
+                .or_insert(DiscoveredGpuBackend {
+                    version,
+                    libraries,
+                    implied_libraries: implied,
+                });
         }
     }
 
     for module in &system.modules {
         match module.kind {
             ModuleKind::Mpi => {
-                features
-                    .mpi
-                    .insert(module.name.clone(), module.abi.clone().unwrap_or_else(|| "unknown".into()));
+                features.mpi.insert(
+                    module.name.clone(),
+                    module.abi.clone().unwrap_or_else(|| "unknown".into()),
+                );
             }
             ModuleKind::Blas => features.linear_algebra.push(module.name.clone()),
             ModuleKind::Fft => features.fft.push(module.name.clone()),
-            ModuleKind::Compiler => features.compilers.push(format!("{} {}", module.name, module.version)),
+            ModuleKind::Compiler => features
+                .compilers
+                .push(format!("{} {}", module.name, module.version)),
             _ => {}
         }
     }
@@ -185,7 +208,10 @@ mod tests {
         assert_eq!(features.architecture, "aarch64");
         assert!(features.has_vector_flag("sve"));
         assert_eq!(features.network_provider, "cxi");
-        assert_eq!(features.mpi.get("cray-mpich").map(String::as_str), Some("mpich"));
+        assert_eq!(
+            features.mpi.get("cray-mpich").map(String::as_str),
+            Some("mpich")
+        );
     }
 
     #[test]

@@ -261,21 +261,13 @@ pub fn check_gpu_compatibility(
     container_runtime: Version,
     code: &DeviceCode,
 ) -> GpuCompatibility {
-    // Driver vs runtime.
+    // Driver vs runtime. CUDA minor version compatibility: any 12.x runtime
+    // works on a 12.y driver, so only the major version constrains admission.
     let max = device.max_runtime_version;
-    let runtime_ok = container_runtime.major < max.major
-        || (container_runtime.major == max.major && container_runtime.minor <= max.minor)
-        // CUDA minor version compatibility: any 12.x runtime works on a 12.y driver.
-        || container_runtime.major == max.major;
     if container_runtime.major > max.major {
         return GpuCompatibility::Incompatible(format!(
             "container runtime {container_runtime} needs a newer driver (max supported major {})",
             max.major
-        ));
-    }
-    if !runtime_ok {
-        return GpuCompatibility::Incompatible(format!(
-            "container runtime {container_runtime} exceeds driver-supported {max}"
         ));
     }
     let dev_cc = device.compute_capability;

@@ -173,25 +173,76 @@ pub fn capability_matrix() -> BTreeMap<Provider, BTreeMap<Feature, Support>> {
     let rows: &[(F, [S; 5])] = &[
         // (feature, [tcp, verbs, cxi, efa, opx])
         (F::Message, [S::Full, S::Full, S::None, S::None, S::None]),
-        (F::ReliableDatagram, [S::Full, S::Partial, S::Full, S::Full, S::Full]),
-        (F::Datagram, [S::None, S::Full, S::None, S::Partial, S::None]),
-        (F::TaggedMessage, [S::Full, S::Partial, S::Full, S::Full, S::Full]),
-        (F::DirectedReceive, [S::Full, S::None, S::Full, S::Full, S::Full]),
-        (F::MultiReceive, [S::Full, S::None, S::Full, S::Full, S::Full]),
-        (F::AtomicOperations, [S::None, S::Partial, S::Full, S::Partial, S::Full]),
+        (
+            F::ReliableDatagram,
+            [S::Full, S::Partial, S::Full, S::Full, S::Full],
+        ),
+        (
+            F::Datagram,
+            [S::None, S::Full, S::None, S::Partial, S::None],
+        ),
+        (
+            F::TaggedMessage,
+            [S::Full, S::Partial, S::Full, S::Full, S::Full],
+        ),
+        (
+            F::DirectedReceive,
+            [S::Full, S::None, S::Full, S::Full, S::Full],
+        ),
+        (
+            F::MultiReceive,
+            [S::Full, S::None, S::Full, S::Full, S::Full],
+        ),
+        (
+            F::AtomicOperations,
+            [S::None, S::Partial, S::Full, S::Partial, S::Full],
+        ),
         (
             F::MemoryRegistration,
-            [S::NotApplicable, S::Mode("Basic"), S::Mode("Scalable"), S::Mode("Local"), S::Mode("Scalable")],
+            [
+                S::NotApplicable,
+                S::Mode("Basic"),
+                S::Mode("Scalable"),
+                S::Mode("Local"),
+                S::Mode("Scalable"),
+            ],
         ),
-        (F::ManualProgress, [S::None, S::None, S::Full, S::Full, S::Full]),
-        (F::AutoProgress, [S::Full, S::Full, S::None, S::None, S::Partial]),
-        (F::WaitObjects, [S::Full, S::Partial, S::Full, S::None, S::Unknown]),
-        (F::CompletionEvents, [S::Full, S::None, S::Full, S::None, S::None]),
-        (F::ResourceManagement, [S::Full, S::Partial, S::Full, S::Partial, S::Full]),
-        (F::ScalableEndpoints, [S::None, S::None, S::None, S::None, S::Full]),
-        (F::TriggerOperations, [S::None, S::None, S::Full, S::None, S::None]),
+        (
+            F::ManualProgress,
+            [S::None, S::None, S::Full, S::Full, S::Full],
+        ),
+        (
+            F::AutoProgress,
+            [S::Full, S::Full, S::None, S::None, S::Partial],
+        ),
+        (
+            F::WaitObjects,
+            [S::Full, S::Partial, S::Full, S::None, S::Unknown],
+        ),
+        (
+            F::CompletionEvents,
+            [S::Full, S::None, S::Full, S::None, S::None],
+        ),
+        (
+            F::ResourceManagement,
+            [S::Full, S::Partial, S::Full, S::Partial, S::Full],
+        ),
+        (
+            F::ScalableEndpoints,
+            [S::None, S::None, S::None, S::None, S::Full],
+        ),
+        (
+            F::TriggerOperations,
+            [S::None, S::None, S::Full, S::None, S::None],
+        ),
     ];
-    let providers = [Provider::Tcp, Provider::Verbs, Provider::Cxi, Provider::Efa, Provider::Opx];
+    let providers = [
+        Provider::Tcp,
+        Provider::Verbs,
+        Provider::Cxi,
+        Provider::Efa,
+        Provider::Opx,
+    ];
     let mut matrix: BTreeMap<Provider, BTreeMap<Feature, Support>> = BTreeMap::new();
     for (pi, provider) in providers.iter().enumerate() {
         let mut row = BTreeMap::new();
@@ -256,13 +307,22 @@ impl Default for BandwidthModel {
         // Calibrated against Section 6.5: bare-metal Cray-MPICH reaches ~64 GB/s on the
         // same socket; co-located containers via cxi reach ~23.5 GB/s; LinkX restores
         // 64 (MPICH) to 70 (OpenMPI) GB/s.
-        Self { shm_peak_gbs: 64.0, nic_loopback_peak_gbs: 23.5, shm_latency_us: 0.35, nic_latency_us: 1.8 }
+        Self {
+            shm_peak_gbs: 64.0,
+            nic_loopback_peak_gbs: 23.5,
+            shm_latency_us: 0.35,
+            nic_latency_us: 1.8,
+        }
     }
 }
 
 impl BandwidthModel {
     /// The transport path used for intra-node, co-located ranks.
-    pub fn intra_node_path(flavor: MpiFlavor, containerized: bool, linkx_enabled: bool) -> IntraNodePath {
+    pub fn intra_node_path(
+        flavor: MpiFlavor,
+        containerized: bool,
+        linkx_enabled: bool,
+    ) -> IntraNodePath {
         if !containerized {
             return IntraNodePath::SharedMemory;
         }
@@ -277,7 +337,12 @@ impl BandwidthModel {
     }
 
     /// Peak intra-node bandwidth for a configuration, in GB/s.
-    pub fn peak_bandwidth(&self, flavor: MpiFlavor, containerized: bool, linkx_enabled: bool) -> f64 {
+    pub fn peak_bandwidth(
+        &self,
+        flavor: MpiFlavor,
+        containerized: bool,
+        linkx_enabled: bool,
+    ) -> f64 {
         match Self::intra_node_path(flavor, containerized, linkx_enabled) {
             IntraNodePath::SharedMemory => self.shm_peak_gbs,
             IntraNodePath::NicLoopback => self.nic_loopback_peak_gbs,
@@ -291,7 +356,13 @@ impl BandwidthModel {
 
     /// Achievable bandwidth (GB/s) for a given message size, using a latency-bandwidth
     /// (Hockney) model: T = latency + bytes / peak.
-    pub fn bandwidth_at(&self, flavor: MpiFlavor, containerized: bool, linkx: bool, message_bytes: u64) -> f64 {
+    pub fn bandwidth_at(
+        &self,
+        flavor: MpiFlavor,
+        containerized: bool,
+        linkx: bool,
+        message_bytes: u64,
+    ) -> f64 {
         let peak = self.peak_bandwidth(flavor, containerized, linkx);
         let latency_s = match Self::intra_node_path(flavor, containerized, linkx) {
             IntraNodePath::SharedMemory | IntraNodePath::LinkX => self.shm_latency_us * 1e-6,
@@ -321,8 +392,14 @@ mod tests {
         let matrix = capability_matrix();
         // cxi does not support plain FI_MSG but supports tagged messages and triggered ops.
         assert_eq!(matrix[&Provider::Cxi][&Feature::Message], Support::None);
-        assert_eq!(matrix[&Provider::Cxi][&Feature::TaggedMessage], Support::Full);
-        assert_eq!(matrix[&Provider::Cxi][&Feature::TriggerOperations], Support::Full);
+        assert_eq!(
+            matrix[&Provider::Cxi][&Feature::TaggedMessage],
+            Support::Full
+        );
+        assert_eq!(
+            matrix[&Provider::Cxi][&Feature::TriggerOperations],
+            Support::Full
+        );
         // Only opx exposes scalable endpoints.
         let scalable: Vec<_> = matrix
             .iter()
@@ -331,10 +408,19 @@ mod tests {
             .collect();
         assert_eq!(scalable, vec![Provider::Opx]);
         // tcp uses auto progress, cxi manual progress.
-        assert_eq!(matrix[&Provider::Tcp][&Feature::AutoProgress], Support::Full);
-        assert_eq!(matrix[&Provider::Cxi][&Feature::ManualProgress], Support::Full);
+        assert_eq!(
+            matrix[&Provider::Tcp][&Feature::AutoProgress],
+            Support::Full
+        );
+        assert_eq!(
+            matrix[&Provider::Cxi][&Feature::ManualProgress],
+            Support::Full
+        );
         // Memory registration cells carry modes.
-        assert_eq!(matrix[&Provider::Cxi][&Feature::MemoryRegistration], Support::Mode("Scalable"));
+        assert_eq!(
+            matrix[&Provider::Cxi][&Feature::MemoryRegistration],
+            Support::Mode("Scalable")
+        );
     }
 
     #[test]
@@ -370,8 +456,14 @@ mod tests {
         let linkx_ompi = model.peak_bandwidth(MpiFlavor::ContainerOpenMpi, true, true);
         assert!((bare - 64.0).abs() < 1e-9);
         assert!((container - 23.5).abs() < 1e-9);
-        assert!(bare / container > 2.5, "containers lose >2.5x intra-node bandwidth");
-        assert!(linkx_mpich >= 63.0 && linkx_ompi >= 68.0, "LinkX restores bandwidth");
+        assert!(
+            bare / container > 2.5,
+            "containers lose >2.5x intra-node bandwidth"
+        );
+        assert!(
+            linkx_mpich >= 63.0 && linkx_ompi >= 68.0,
+            "LinkX restores bandwidth"
+        );
     }
 
     #[test]

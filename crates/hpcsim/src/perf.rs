@@ -303,7 +303,10 @@ pub struct Workload {
 impl Workload {
     /// Total scalar reference time of the compute part.
     pub fn scalar_reference_total(&self) -> f64 {
-        self.kernels.iter().map(|k| k.scalar_reference_seconds).sum()
+        self.kernels
+            .iter()
+            .map(|k| k.scalar_reference_seconds)
+            .sum()
     }
 }
 
@@ -439,11 +442,14 @@ impl<'a> ExecutionEngine<'a> {
                 }
             }
             (Some(backend), None) => {
-                notes.push(format!("GPU backend {backend} enabled but the system has no GPU"));
+                notes.push(format!(
+                    "GPU backend {backend} enabled but the system has no GPU"
+                ));
                 false
             }
             (None, Some(_)) => {
-                notes.push("system has a GPU but the build does not enable any backend".to_string());
+                notes
+                    .push("system has a GPU but the build does not enable any backend".to_string());
                 false
             }
             (None, None) => false,
@@ -471,9 +477,9 @@ impl<'a> ExecutionEngine<'a> {
                 };
                 let library_factor = if profile.library_sensitive {
                     match work.class {
-                        KernelClass::FftTransform | KernelClass::MdPme | KernelClass::HostFftSetup => {
-                            build.fft.factor()
-                        }
+                        KernelClass::FftTransform
+                        | KernelClass::MdPme
+                        | KernelClass::HostFftSetup => build.fft.factor(),
                         _ => build.blas.factor(),
                     }
                 } else {
@@ -558,7 +564,10 @@ mod tests {
         // None is dramatically slower; each step up is at least as fast (within 2%).
         let none = times[0].1;
         let sse2 = times[1].1;
-        assert!(none / sse2 > 4.0, "None -> SSE2 should be >4x: {none} vs {sse2}");
+        assert!(
+            none / sse2 > 4.0,
+            "None -> SSE2 should be >4x: {none} vs {sse2}"
+        );
         for window in times[1..].windows(2) {
             assert!(
                 window[1].1 <= window[0].1 * 1.02,
@@ -569,7 +578,10 @@ mod tests {
         }
         let avx512 = times.last().unwrap().1;
         let ratio = sse2 / avx512;
-        assert!(ratio > 1.3 && ratio < 2.2, "SSE2 -> AVX-512 gain ~1.6x, got {ratio}");
+        assert!(
+            ratio > 1.3 && ratio < 2.2,
+            "SSE2 -> AVX-512 gain ~1.6x, got {ratio}"
+        );
     }
 
     #[test]
@@ -586,10 +598,17 @@ mod tests {
             .unwrap()
             .compute_seconds;
         let neon = engine
-            .execute(&workload, &BuildProfile::new("NEON", SimdLevel::NeonAsimd, 16))
+            .execute(
+                &workload,
+                &BuildProfile::new("NEON", SimdLevel::NeonAsimd, 16),
+            )
             .unwrap()
             .compute_seconds;
-        assert!(none / sve > 2.5 && none / sve < 4.5, "None/SVE ≈ 3.4x, got {}", none / sve);
+        assert!(
+            none / sve > 2.5 && none / sve < 4.5,
+            "None/SVE ≈ 3.4x, got {}",
+            none / sve
+        );
         assert!(neon < sve, "NEON_ASIMD slightly faster than SVE on Grace");
     }
 
@@ -611,15 +630,24 @@ mod tests {
             .execute(&workload, &BuildProfile::new("cpu", SimdLevel::Avx512, 16))
             .unwrap();
         let cuda = engine
-            .execute(&workload, &BuildProfile::new("cuda", SimdLevel::Avx512, 16).with_gpu(GpuBackend::Cuda))
+            .execute(
+                &workload,
+                &BuildProfile::new("cuda", SimdLevel::Avx512, 16).with_gpu(GpuBackend::Cuda),
+            )
             .unwrap();
         let sycl = engine
-            .execute(&workload, &BuildProfile::new("sycl", SimdLevel::Avx512, 16).with_gpu(GpuBackend::Sycl))
+            .execute(
+                &workload,
+                &BuildProfile::new("sycl", SimdLevel::Avx512, 16).with_gpu(GpuBackend::Sycl),
+            )
             .unwrap();
         assert!(cuda.used_gpu && sycl.used_gpu && !cpu_only.used_gpu);
         assert!(cuda.compute_seconds < cpu_only.compute_seconds / 3.0);
         let penalty = sycl.compute_seconds / cuda.compute_seconds;
-        assert!(penalty > 1.05 && penalty < 1.35, "SYCL on CUDA hardware 11-20% slower, got {penalty}");
+        assert!(
+            penalty > 1.05 && penalty < 1.35,
+            "SYCL on CUDA hardware 11-20% slower, got {penalty}"
+        );
     }
 
     #[test]
@@ -649,8 +677,18 @@ mod tests {
             .unwrap();
         assert!(generic.compute_seconds > vendor.compute_seconds);
         // Non-library kernels are identical.
-        let v_nb = vendor.kernels.iter().find(|k| k.name == "nonbonded").unwrap().seconds;
-        let g_nb = generic.kernels.iter().find(|k| k.name == "nonbonded").unwrap().seconds;
+        let v_nb = vendor
+            .kernels
+            .iter()
+            .find(|k| k.name == "nonbonded")
+            .unwrap()
+            .seconds;
+        let g_nb = generic
+            .kernels
+            .iter()
+            .find(|k| k.name == "nonbonded")
+            .unwrap()
+            .seconds;
         assert!((v_nb - g_nb).abs() < 1e-9);
     }
 
@@ -663,7 +701,10 @@ mod tests {
             .execute(&workload, &BuildProfile::new("o3", SimdLevel::Sse2, 16))
             .unwrap();
         let o0 = engine
-            .execute(&workload, &BuildProfile::new("o0", SimdLevel::Sse2, 16).with_opt(OptLevel::O0))
+            .execute(
+                &workload,
+                &BuildProfile::new("o0", SimdLevel::Sse2, 16).with_opt(OptLevel::O0),
+            )
             .unwrap();
         assert!(o0.compute_seconds > 4.0 * o3.compute_seconds);
         let contained = engine
@@ -702,7 +743,10 @@ mod tests {
         let system = SystemModel::ault23();
         let engine = ExecutionEngine::new(&system);
         let report = engine
-            .execute(&md_workload(), &BuildProfile::new("x", SimdLevel::Avx512, 16))
+            .execute(
+                &md_workload(),
+                &BuildProfile::new("x", SimdLevel::Avx512, 16),
+            )
             .unwrap();
         let kernel_sum: f64 = report.kernels.iter().map(|k| k.seconds).sum();
         assert!((report.compute_seconds - kernel_sum).abs() < 1e-9);

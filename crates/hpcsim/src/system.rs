@@ -78,7 +78,12 @@ pub struct SoftwareModule {
 impl SoftwareModule {
     /// Convenience constructor.
     pub fn new(name: &str, version: &str, kind: ModuleKind) -> Self {
-        Self { name: name.into(), version: version.into(), kind, abi: None }
+        Self {
+            name: name.into(),
+            version: version.into(),
+            kind,
+            abi: None,
+        }
     }
 
     /// Attach an ABI family.
@@ -261,7 +266,13 @@ impl SystemModel {
 
     /// All evaluation systems of the paper.
     pub fn all_evaluation_systems() -> Vec<SystemModel> {
-        vec![Self::ault23(), Self::ault25(), Self::ault01_04(), Self::clariden(), Self::aurora()]
+        vec![
+            Self::ault23(),
+            Self::ault25(),
+            Self::ault01_04(),
+            Self::clariden(),
+            Self::aurora(),
+        ]
     }
 }
 
@@ -286,7 +297,11 @@ mod tests {
 
         let aurora = SystemModel::aurora();
         assert_eq!(aurora.container_runtime, ContainerRuntimeFlavor::Apptainer);
-        assert!(aurora.recommended_base_image.as_deref().unwrap().contains("oneapi"));
+        assert!(aurora
+            .recommended_base_image
+            .as_deref()
+            .unwrap()
+            .contains("oneapi"));
         assert!(!aurora.container_runtime.mpi_functional());
     }
 

@@ -105,7 +105,9 @@ pub fn table1() -> Vec<CatalogEntry> {
             domain: "LLM Inference",
             name: "llama.cpp",
             architecture_specialization: "Optimization flags",
-            gpu_acceleration: &["CUDA", "HIP", "SYCL", "Vulkan", "Metal", "OpenCL", "CANN", "MUSA"],
+            gpu_acceleration: &[
+                "CUDA", "HIP", "SYCL", "Vulkan", "Metal", "OpenCL", "CANN", "MUSA",
+            ],
             parallelism: &["OpenMP", "pthreads"],
             vectorization: "Intrinsics (AVX, AVX2, AVX512, AMX, NEON, ...)",
             performance_libraries: &["OpenBLAS", "MKL", "BLIS"],

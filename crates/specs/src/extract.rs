@@ -8,7 +8,9 @@
 //!   baseline a careful human (or a simple tool) could produce without an LLM.
 
 use crate::model::{SpecCategory, SpecEntry, SpecializationDocument};
-use xaas_buildsys::{BuildOption, BuildScript, OptionCategory, OptionKind, ProjectSpec, ScriptItem};
+use xaas_buildsys::{
+    BuildOption, BuildScript, OptionCategory, OptionKind, ProjectSpec, ScriptItem,
+};
 
 /// Map a build-option category to a spec category.
 fn map_category(category: OptionCategory) -> SpecCategory {
@@ -28,13 +30,25 @@ pub fn guess_category(name: &str) -> SpecCategory {
     let upper = name.to_ascii_uppercase();
     if upper.contains("SIMD") || upper.contains("VECTOR") || upper.contains("AVX") {
         SpecCategory::Vectorization
-    } else if upper.contains("GPU") || upper.contains("CUDA") || upper.contains("HIP") || upper.contains("SYCL") {
+    } else if upper.contains("GPU")
+        || upper.contains("CUDA")
+        || upper.contains("HIP")
+        || upper.contains("SYCL")
+    {
         SpecCategory::GpuBackend
-    } else if upper.contains("MPI") || upper.contains("OPENMP") || upper.contains("THREAD") || upper.contains("PTHREAD") {
+    } else if upper.contains("MPI")
+        || upper.contains("OPENMP")
+        || upper.contains("THREAD")
+        || upper.contains("PTHREAD")
+    {
         SpecCategory::Parallelism
     } else if upper.contains("FFT") {
         SpecCategory::Fft
-    } else if upper.contains("BLAS") || upper.contains("LAPACK") || upper.contains("MKL") || upper.starts_with("BLA") {
+    } else if upper.contains("BLAS")
+        || upper.contains("LAPACK")
+        || upper.contains("MKL")
+        || upper.starts_with("BLA")
+    {
         SpecCategory::LinearAlgebra
     } else if upper.contains("QUANT") || upper.contains("TUNE") || upper.contains("OPT") {
         SpecCategory::Optimization
@@ -50,7 +64,10 @@ pub fn from_project(project: &ProjectSpec) -> SpecializationDocument {
     for option in &project.options {
         append_option(&mut doc, option);
     }
-    doc.gpu_build = doc.entries_of(SpecCategory::GpuBackend).iter().any(|e| !e.name.eq_ignore_ascii_case("OFF"));
+    doc.gpu_build = doc
+        .entries_of(SpecCategory::GpuBackend)
+        .iter()
+        .any(|e| !e.name.eq_ignore_ascii_case("OFF"));
     if doc.gpu_build {
         doc.gpu_build_flag = project
             .options
@@ -72,7 +89,8 @@ fn append_option(doc: &mut SpecializationDocument, option: &BuildOption) {
         }
         OptionKind::Choice { values, default } => {
             for value in values {
-                if value.name.eq_ignore_ascii_case("OFF") || value.name.eq_ignore_ascii_case("AUTO") {
+                if value.name.eq_ignore_ascii_case("OFF") || value.name.eq_ignore_ascii_case("AUTO")
+                {
                     continue;
                 }
                 let mut entry = SpecEntry::new(category, value.name.clone())
@@ -107,7 +125,12 @@ pub fn from_script(application: &str, script: &BuildScript) -> SpecializationDoc
                 entry.default = *default;
                 doc.push(entry);
             }
-            ScriptItem::ChoiceOption { name, default, values, .. } => {
+            ScriptItem::ChoiceOption {
+                name,
+                default,
+                values,
+                ..
+            } => {
                 let category = guess_category(name);
                 for value in values {
                     if value.eq_ignore_ascii_case("OFF") || value.eq_ignore_ascii_case("AUTO") {
@@ -123,9 +146,14 @@ pub fn from_script(application: &str, script: &BuildScript) -> SpecializationDoc
                     doc.gpu_build_flag = Some(format!("-D{name}"));
                 }
             }
-            ScriptItem::FindPackage { name, min_version, .. } => {
+            ScriptItem::FindPackage {
+                name, min_version, ..
+            } => {
                 let category = guess_category(name);
-                if matches!(category, SpecCategory::Fft | SpecCategory::LinearAlgebra | SpecCategory::OtherLibrary) {
+                if matches!(
+                    category,
+                    SpecCategory::Fft | SpecCategory::LinearAlgebra | SpecCategory::OtherLibrary
+                ) {
                     let mut entry = SpecEntry::new(category, name.clone());
                     entry.minimum_version = min_version.clone();
                     // Avoid duplicating entries already contributed by a multichoice option.
@@ -135,7 +163,10 @@ pub fn from_script(application: &str, script: &BuildScript) -> SpecializationDoc
                 }
             }
             ScriptItem::InternalBuild { name, flag } => {
-                doc.push(SpecEntry::new(SpecCategory::InternalBuild, name.clone()).with_flag(flag.clone()));
+                doc.push(
+                    SpecEntry::new(SpecCategory::InternalBuild, name.clone())
+                        .with_flag(flag.clone()),
+                );
             }
             _ => {}
         }
@@ -155,7 +186,10 @@ mod tests {
         assert_eq!(guess_category("USE_MPI"), SpecCategory::Parallelism);
         assert_eq!(guess_category("GMX_FFT_LIBRARY"), SpecCategory::Fft);
         assert_eq!(guess_category("BLA_VENDOR"), SpecCategory::LinearAlgebra);
-        assert_eq!(guess_category("LLAMA_QUANT_BITS"), SpecCategory::Optimization);
+        assert_eq!(
+            guess_category("LLAMA_QUANT_BITS"),
+            SpecCategory::Optimization
+        );
         assert_eq!(guess_category("ATLAS"), SpecCategory::OtherLibrary);
     }
 
@@ -177,7 +211,11 @@ mod tests {
                     "GMX_GPU",
                     "GPU",
                     OptionCategory::GpuBackend,
-                    vec![OptionValue::plain("OFF"), OptionValue::plain("CUDA"), OptionValue::plain("SYCL")],
+                    vec![
+                        OptionValue::plain("OFF"),
+                        OptionValue::plain("CUDA"),
+                        OptionValue::plain("SYCL"),
+                    ],
                     "OFF",
                 ),
             ],
@@ -193,7 +231,10 @@ mod tests {
         assert_eq!(doc.entries_of(SpecCategory::GpuBackend).len(), 2);
         assert!(doc.find(SpecCategory::Parallelism, "MPI").is_some());
         assert_eq!(
-            doc.find(SpecCategory::GpuBackend, "CUDA").unwrap().build_flag.as_deref(),
+            doc.find(SpecCategory::GpuBackend, "CUDA")
+                .unwrap()
+                .build_flag
+                .as_deref(),
             Some("-DGMX_GPU=CUDA")
         );
     }

@@ -33,7 +33,11 @@ pub struct CommonSpecialization {
 impl CommonSpecialization {
     /// Names of supported entries for one category (what the user chooses among).
     pub fn choices(&self, category: SpecCategory) -> Vec<&str> {
-        self.common.entries_of(category).iter().map(|e| e.name.as_str()).collect()
+        self.common
+            .entries_of(category)
+            .iter()
+            .map(|e| e.name.as_str())
+            .collect()
     }
 }
 
@@ -55,7 +59,10 @@ fn simd_required_flags(level: &str) -> Vec<&'static str> {
 }
 
 /// Intersect application specialization points with system features.
-pub fn intersect(document: &SpecializationDocument, system: &SystemFeatures) -> CommonSpecialization {
+pub fn intersect(
+    document: &SpecializationDocument,
+    system: &SystemFeatures,
+) -> CommonSpecialization {
     let mut common = SpecializationDocument::new(document.application.clone());
     common.gpu_build = document.gpu_build;
     common.gpu_build_flag = document.gpu_build_flag.clone();
@@ -68,7 +75,10 @@ pub fn intersect(document: &SpecializationDocument, system: &SystemFeatures) -> 
                 if system.has_gpu_backend(&entry.name) {
                     Ok(())
                 } else {
-                    Err(format!("system {} exposes no {} runtime", system.system, entry.name))
+                    Err(format!(
+                        "system {} exposes no {} runtime",
+                        system.system, entry.name
+                    ))
                 }
             }
             SpecCategory::Vectorization => {
@@ -111,7 +121,10 @@ pub fn intersect(document: &SpecializationDocument, system: &SystemFeatures) -> 
                 if available || builtin(&entry.name) {
                     Ok(())
                 } else {
-                    Err(format!("no {} installation on {}", entry.name, system.system))
+                    Err(format!(
+                        "no {} installation on {}",
+                        entry.name, system.system
+                    ))
                 }
             }
             SpecCategory::Architecture => {
@@ -149,7 +162,8 @@ pub fn intersect(document: &SpecializationDocument, system: &SystemFeatures) -> 
 fn lib_matches(available: &str, requested: &str) -> bool {
     let a = available.to_ascii_lowercase();
     let r = requested.to_ascii_lowercase();
-    a.contains(&r) || r.contains(&a)
+    a.contains(&r)
+        || r.contains(&a)
         || (r == "mkl" && a.contains("oneapi"))
         || (r.starts_with("fftw") && a.starts_with("fftw"))
 }
@@ -172,10 +186,16 @@ mod tests {
         doc.gpu_build = true;
         doc.gpu_build_flag = Some("-DGMX_GPU".into());
         for backend in ["CUDA", "SYCL", "HIP", "OpenCL"] {
-            doc.push(SpecEntry::new(SpecCategory::GpuBackend, backend).with_flag(format!("-DGMX_GPU={backend}")));
+            doc.push(
+                SpecEntry::new(SpecCategory::GpuBackend, backend)
+                    .with_flag(format!("-DGMX_GPU={backend}")),
+            );
         }
         for simd in ["SSE4.1", "AVX2_256", "AVX_512", "ARM_NEON_ASIMD"] {
-            doc.push(SpecEntry::new(SpecCategory::Vectorization, simd).with_flag(format!("-DGMX_SIMD={simd}")));
+            doc.push(
+                SpecEntry::new(SpecCategory::Vectorization, simd)
+                    .with_flag(format!("-DGMX_SIMD={simd}")),
+            );
         }
         for fft in ["fftw3", "mkl", "cuFFT", "fftpack"] {
             doc.push(SpecEntry::new(SpecCategory::Fft, fft));
@@ -211,10 +231,16 @@ mod tests {
         let doc = gromacs_like();
         let features = discover(&SystemModel::ault25());
         let result = intersect(&doc, &features);
-        assert!(!result.choices(SpecCategory::Vectorization).contains(&"AVX_512"));
-        assert!(result.choices(SpecCategory::Vectorization).contains(&"AVX2_256"));
+        assert!(!result
+            .choices(SpecCategory::Vectorization)
+            .contains(&"AVX_512"));
+        assert!(result
+            .choices(SpecCategory::Vectorization)
+            .contains(&"AVX2_256"));
         assert!(!result.choices(SpecCategory::LinearAlgebra).contains(&"mkl"));
-        assert!(result.choices(SpecCategory::LinearAlgebra).contains(&"openblas"));
+        assert!(result
+            .choices(SpecCategory::LinearAlgebra)
+            .contains(&"openblas"));
     }
 
     #[test]
@@ -249,7 +275,9 @@ mod tests {
                 "fftpack must be available on {}",
                 system.name
             );
-            assert!(result.choices(SpecCategory::Parallelism).contains(&"OpenMP"));
+            assert!(result
+                .choices(SpecCategory::Parallelism)
+                .contains(&"OpenMP"));
         }
     }
 
@@ -259,7 +287,11 @@ mod tests {
         let result = intersect(&doc, &discover(&SystemModel::ault01_04()));
         assert!(result.choices(SpecCategory::GpuBackend).is_empty());
         assert_eq!(
-            result.excluded.iter().filter(|e| e.category == SpecCategory::GpuBackend).count(),
+            result
+                .excluded
+                .iter()
+                .filter(|e| e.category == SpecCategory::GpuBackend)
+                .count(),
             4
         );
     }

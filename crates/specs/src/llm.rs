@@ -197,7 +197,9 @@ pub struct AnalysisConfig {
 
 impl Default for AnalysisConfig {
     fn default() -> Self {
-        Self { in_context_examples: true }
+        Self {
+            in_context_examples: true,
+        }
     }
 }
 
@@ -230,7 +232,9 @@ pub fn analyze(
     let seed = model
         .name
         .bytes()
-        .fold(0u64, |acc, b| acc.wrapping_mul(131).wrapping_add(u64::from(b)))
+        .fold(0u64, |acc, b| {
+            acc.wrapping_mul(131).wrapping_add(u64::from(b))
+        })
         .wrapping_add(run.wrapping_mul(0x9e3779b97f4a7c15));
     let mut rng = StdRng::seed_from_u64(seed);
 
@@ -265,26 +269,38 @@ pub fn analyze(
     }
 
     // Hallucinations: plausible-but-wrong entries.
-    let hallucinations =
-        (ground_truth.len() as f64 * errors.hallucination_rate).round() as usize;
+    let hallucinations = (ground_truth.len() as f64 * errors.hallucination_rate).round() as usize;
     for index in 0..hallucinations {
-        let (category, name) = HALLUCINATION_POOL[(rng.random::<u64>() as usize + index) % HALLUCINATION_POOL.len()];
+        let (category, name) =
+            HALLUCINATION_POOL[(rng.random::<u64>() as usize + index) % HALLUCINATION_POOL.len()];
         if ground_truth.find(category, name).is_none() {
             document.push(SpecEntry::new(category, name));
         }
     }
 
     let script_tokens = build_script_text.split_whitespace().count() as f64;
-    let prompt_overhead = if config.in_context_examples { 1800.0 } else { 600.0 };
+    let prompt_overhead = if config.in_context_examples {
+        1800.0
+    } else {
+        600.0
+    };
     let tokens_in = ((script_tokens + prompt_overhead) * model.tokenizer_factor).round() as u64;
-    let tokens_out =
-        (model.output_tokens_mean + (rng.random::<f64>() - 0.5) * 2.0 * model.output_tokens_std).max(100.0) as u64;
+    let tokens_out = (model.output_tokens_mean
+        + (rng.random::<f64>() - 0.5) * 2.0 * model.output_tokens_std)
+        .max(100.0) as u64;
     let latency_seconds =
         (model.latency_mean_s + (rng.random::<f64>() - 0.5) * 2.0 * model.latency_std_s).max(1.0);
     let cost_usd = tokens_in as f64 / 1e6 * model.usd_per_mtok_in
         + tokens_out as f64 / 1e6 * model.usd_per_mtok_out;
 
-    LlmRunResult { model: model.name.clone(), document, tokens_in, tokens_out, latency_seconds, cost_usd }
+    LlmRunResult {
+        model: model.name.clone(),
+        document,
+        tokens_in,
+        tokens_out,
+        latency_seconds,
+        cost_usd,
+    }
 }
 
 /// Plausible hallucinations drawn from the HPC ecosystem.
@@ -333,7 +349,16 @@ mod tests {
         for backend in ["CUDA", "SYCL", "HIP", "OpenCL"] {
             doc.push(SpecEntry::new(SpecCategory::GpuBackend, backend));
         }
-        for simd in ["None", "SSE2", "SSE4.1", "AVX2_128", "AVX_256", "AVX2_256", "AVX_512", "ARM_NEON_ASIMD"] {
+        for simd in [
+            "None",
+            "SSE2",
+            "SSE4.1",
+            "AVX2_128",
+            "AVX_256",
+            "AVX2_256",
+            "AVX_512",
+            "ARM_NEON_ASIMD",
+        ] {
             doc.push(SpecEntry::new(SpecCategory::Vectorization, simd));
         }
         for fft in ["fftw3", "mkl", "fftpack", "cuFFT"] {
@@ -377,8 +402,14 @@ mod tests {
         let gemini2 = median_f1("gemini-flash-2-exp");
         let haiku = median_f1("claude-3-5-haiku-20241022");
         let sonnet37 = median_f1("claude-3-7-sonnet-20250219");
-        assert!(gemini2 > 0.9, "gemini flash 2 median F1 high, got {gemini2}");
-        assert!(haiku < 0.8, "claude 3.5 haiku misses many options, got {haiku}");
+        assert!(
+            gemini2 > 0.9,
+            "gemini flash 2 median F1 high, got {gemini2}"
+        );
+        assert!(
+            haiku < 0.8,
+            "claude 3.5 haiku misses many options, got {haiku}"
+        );
         assert!(sonnet37 > haiku, "sonnet 3.7 improves over haiku");
         assert!(gemini2 >= sonnet37 - 0.05, "gemini flash 2 among the best");
     }
@@ -391,8 +422,14 @@ mod tests {
         let sonnet = SimulatedLlm::by_name("claude-3-5-sonnet-20241022").unwrap();
         let g = analyze(&gemini, "a b c", &truth, &config, 0);
         let s = analyze(&sonnet, "a b c", &truth, &config, 0);
-        assert!(g.cost_usd < s.cost_usd, "gemini flash is cheaper than sonnet");
-        assert!(g.tokens_in < s.tokens_in, "anthropic tokenizer yields more tokens");
+        assert!(
+            g.cost_usd < s.cost_usd,
+            "gemini flash is cheaper than sonnet"
+        );
+        assert!(
+            g.tokens_in < s.tokens_in,
+            "anthropic tokenizer yields more tokens"
+        );
         assert!(g.latency_seconds > 0.0 && s.latency_seconds > 0.0);
         assert!(g.tokens_out > 0 && s.tokens_out > 0);
     }
@@ -410,9 +447,16 @@ mod tests {
                 .sum::<f64>()
                 / 10.0
         };
-        let with_examples = average(&AnalysisConfig { in_context_examples: true });
-        let without = average(&AnalysisConfig { in_context_examples: false });
-        assert!(without < with_examples, "without examples: {without} vs {with_examples}");
+        let with_examples = average(&AnalysisConfig {
+            in_context_examples: true,
+        });
+        let without = average(&AnalysisConfig {
+            in_context_examples: false,
+        });
+        assert!(
+            without < with_examples,
+            "without examples: {without} vs {with_examples}"
+        );
     }
 
     #[test]
@@ -420,7 +464,9 @@ mod tests {
         // The Section 6.2 generalization result: normalisation improves F1.
         let truth = gromacs_like_truth();
         let model = SimulatedLlm::by_name("gpt-4o-2024-08-06").unwrap();
-        let config = AnalysisConfig { in_context_examples: false };
+        let config = AnalysisConfig {
+            in_context_examples: false,
+        };
         let mut raw_sum = 0.0;
         let mut normalized_sum = 0.0;
         for run in 0..10 {
@@ -428,7 +474,10 @@ mod tests {
             raw_sum += score(&result.document, &truth, false).f1();
             normalized_sum += score(&result.document, &truth, true).f1();
         }
-        assert!(normalized_sum > raw_sum, "normalisation should help: {normalized_sum} vs {raw_sum}");
+        assert!(
+            normalized_sum > raw_sum,
+            "normalisation should help: {normalized_sum} vs {raw_sum}"
+        );
     }
 
     #[test]

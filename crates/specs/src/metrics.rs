@@ -67,7 +67,13 @@ pub fn normalize_name(name: &str) -> String {
         text = stripped.to_string();
     }
     text.chars()
-        .map(|c| if c == '-' || c == ' ' || c == '.' { '_' } else { c })
+        .map(|c| {
+            if c == '-' || c == ' ' || c == '.' {
+                '_'
+            } else {
+                c
+            }
+        })
         .collect()
 }
 
@@ -76,7 +82,11 @@ pub fn normalize_name(name: &str) -> String {
 /// A predicted entry is a true positive when the truth contains an entry of the same
 /// category whose (optionally normalised) name matches. With `normalize == false`, names
 /// must match exactly (case-sensitive), which is how format drift turns into errors.
-pub fn score(predicted: &SpecializationDocument, truth: &SpecializationDocument, normalize: bool) -> Metrics {
+pub fn score(
+    predicted: &SpecializationDocument,
+    truth: &SpecializationDocument,
+    normalize: bool,
+) -> Metrics {
     let mut metrics = Metrics::default();
     let key = |category: SpecCategory, name: &str| -> (SpecCategory, String) {
         if normalize {
@@ -85,10 +95,16 @@ pub fn score(predicted: &SpecializationDocument, truth: &SpecializationDocument,
             (category, name.to_string())
         }
     };
-    let truth_keys: Vec<(SpecCategory, String)> =
-        truth.entries.iter().map(|e| key(e.category, &e.name)).collect();
-    let predicted_keys: Vec<(SpecCategory, String)> =
-        predicted.entries.iter().map(|e| key(e.category, &e.name)).collect();
+    let truth_keys: Vec<(SpecCategory, String)> = truth
+        .entries
+        .iter()
+        .map(|e| key(e.category, &e.name))
+        .collect();
+    let predicted_keys: Vec<(SpecCategory, String)> = predicted
+        .entries
+        .iter()
+        .map(|e| key(e.category, &e.name))
+        .collect();
 
     let mut matched_truth = vec![false; truth_keys.len()];
     for predicted_key in &predicted_keys {
@@ -131,7 +147,11 @@ pub fn min_med_max(values: &[f64]) -> MinMedMax {
     } else {
         (sorted[sorted.len() / 2 - 1] + sorted[sorted.len() / 2]) / 2.0
     };
-    MinMedMax { min: sorted[0], median, max: *sorted.last().expect("non-empty") }
+    MinMedMax {
+        min: sorted[0],
+        median,
+        max: *sorted.last().expect("non-empty"),
+    }
 }
 
 #[cfg(test)]
@@ -224,8 +244,16 @@ mod tests {
 
     #[test]
     fn metrics_merge_accumulates() {
-        let mut a = Metrics { true_positives: 1, false_positives: 2, false_negatives: 3 };
-        a.merge(&Metrics { true_positives: 4, false_positives: 1, false_negatives: 0 });
+        let mut a = Metrics {
+            true_positives: 1,
+            false_positives: 2,
+            false_negatives: 3,
+        };
+        a.merge(&Metrics {
+            true_positives: 4,
+            false_positives: 1,
+            false_negatives: 0,
+        });
         assert_eq!(a.true_positives, 5);
         assert_eq!(a.false_positives, 3);
         assert_eq!(a.false_negatives, 3);

@@ -97,7 +97,13 @@ pub struct SpecEntry {
 impl SpecEntry {
     /// Create an entry.
     pub fn new(category: SpecCategory, name: impl Into<String>) -> Self {
-        Self { category, name: name.into(), build_flag: None, default: false, minimum_version: None }
+        Self {
+            category,
+            name: name.into(),
+            build_flag: None,
+            default: false,
+            minimum_version: None,
+        }
     }
 
     /// Builder: set the build flag.
@@ -139,7 +145,11 @@ pub struct SpecializationDocument {
 impl SpecializationDocument {
     /// Create an empty document for an application.
     pub fn new(application: impl Into<String>) -> Self {
-        Self { application: application.into(), build_system: "cmake".into(), ..Default::default() }
+        Self {
+            application: application.into(),
+            build_system: "cmake".into(),
+            ..Default::default()
+        }
     }
 
     /// Add an entry.
@@ -150,7 +160,10 @@ impl SpecializationDocument {
 
     /// All entries of a category.
     pub fn entries_of(&self, category: SpecCategory) -> Vec<&SpecEntry> {
-        self.entries.iter().filter(|e| e.category == category).collect()
+        self.entries
+            .iter()
+            .filter(|e| e.category == category)
+            .collect()
     }
 
     /// Find an entry by category and (case-insensitive) name.
@@ -225,11 +238,23 @@ mod tests {
         let mut doc = SpecializationDocument::new("mini-gromacs");
         doc.gpu_build = true;
         doc.gpu_build_flag = Some("-DGMX_GPU".into());
-        doc.push(SpecEntry::new(SpecCategory::GpuBackend, "CUDA").with_flag("-DGMX_GPU=CUDA").with_min_version("12.1"));
+        doc.push(
+            SpecEntry::new(SpecCategory::GpuBackend, "CUDA")
+                .with_flag("-DGMX_GPU=CUDA")
+                .with_min_version("12.1"),
+        );
         doc.push(SpecEntry::new(SpecCategory::GpuBackend, "SYCL").with_flag("-DGMX_GPU=SYCL"));
-        doc.push(SpecEntry::new(SpecCategory::Vectorization, "AVX_512").with_flag("-DGMX_SIMD=AVX_512"));
-        doc.push(SpecEntry::new(SpecCategory::Vectorization, "SSE4.1").with_flag("-DGMX_SIMD=SSE4.1"));
-        doc.push(SpecEntry::new(SpecCategory::Fft, "fftw3").with_flag("-DGMX_FFT_LIBRARY=fftw3").as_default());
+        doc.push(
+            SpecEntry::new(SpecCategory::Vectorization, "AVX_512").with_flag("-DGMX_SIMD=AVX_512"),
+        );
+        doc.push(
+            SpecEntry::new(SpecCategory::Vectorization, "SSE4.1").with_flag("-DGMX_SIMD=SSE4.1"),
+        );
+        doc.push(
+            SpecEntry::new(SpecCategory::Fft, "fftw3")
+                .with_flag("-DGMX_FFT_LIBRARY=fftw3")
+                .as_default(),
+        );
         doc.push(SpecEntry::new(SpecCategory::LinearAlgebra, "mkl").with_flag("-DGMX_BLAS=mkl"));
         doc.push(SpecEntry::new(SpecCategory::Parallelism, "MPI").with_flag("-DGMX_MPI=ON"));
         doc.push(SpecEntry::new(SpecCategory::Architecture, "x86_64"));
@@ -253,8 +278,14 @@ mod tests {
         let json = doc.to_schema_json();
         assert_eq!(json["gpu_build"]["value"], json!(true));
         assert!(json["gpu_backends"].get("CUDA").is_some());
-        assert_eq!(json["gpu_backends"]["CUDA"]["minimum_version"], json!("12.1"));
-        assert_eq!(json["FFT_libraries"]["fftw3"]["used_as_default"], json!(true));
+        assert_eq!(
+            json["gpu_backends"]["CUDA"]["minimum_version"],
+            json!("12.1")
+        );
+        assert_eq!(
+            json["FFT_libraries"]["fftw3"]["used_as_default"],
+            json!(true)
+        );
         assert!(json["simd_vectorization"].get("AVX_512").is_some());
         assert_eq!(json["architectures"], json!(["x86_64"]));
         assert_eq!(json["build_system"]["type"], json!("cmake"));

@@ -27,13 +27,18 @@ pub enum DeployError {
     /// A referenced IR unit is missing from the container.
     MissingUnit(String),
     /// A system-dependent source failed to compile at deployment.
-    Compile { file: String, error: xaas_xir::CompileError },
+    Compile {
+        file: String,
+        error: xaas_xir::CompileError,
+    },
 }
 
 impl fmt::Display for DeployError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            DeployError::UnknownConfiguration(label) => write!(f, "no configuration matches `{label}`"),
+            DeployError::UnknownConfiguration(label) => {
+                write!(f, "no configuration matches `{label}`")
+            }
             DeployError::UnsupportedSimd { level, system } => {
                 write!(f, "SIMD level {level} is not supported on {system}")
             }
@@ -92,7 +97,10 @@ pub fn deploy_ir_container(
         .manifest_for(selection)
         .ok_or_else(|| DeployError::UnknownConfiguration(selection.label()))?;
     if !system.cpu.supports(simd) {
-        return Err(DeployError::UnsupportedSimd { level: simd, system: system.name.clone() });
+        return Err(DeployError::UnsupportedSimd {
+            level: simd,
+            system: system.name.clone(),
+        });
     }
     let target = target_isa_for(simd);
 
@@ -107,10 +115,15 @@ pub fn deploy_ir_container(
 
     for UnitAssignment { file, artifact, .. } in &manifest.units {
         if let Some(id) = artifact.strip_prefix("ir:") {
-            let unit = build.units.get(id).ok_or_else(|| DeployError::MissingUnit(id.to_string()))?;
+            let unit = build
+                .units
+                .get(id)
+                .ok_or_else(|| DeployError::MissingUnit(id.to_string()))?;
             // Code generation: vectorise and lower the stored IR for the selected ISA.
             let machine = lower_to_machine(&unit.module, &target);
-            vectorization.loops.extend(machine.vectorization.loops.iter().cloned());
+            vectorization
+                .loops
+                .extend(machine.vectorization.loops.iter().cloned());
             stats.lowered_units += 1;
             machine_modules.insert(file.clone(), machine);
         } else if let Some(path) = artifact.strip_prefix("src:") {
@@ -124,8 +137,13 @@ pub fn deploy_ir_container(
             let flags = CompileFlags::parse(args);
             let machine = compiler
                 .compile_to_machine(path, &source.content, &flags, &target)
-                .map_err(|error| DeployError::Compile { file: path.to_string(), error })?;
-            vectorization.loops.extend(machine.vectorization.loops.iter().cloned());
+                .map_err(|error| DeployError::Compile {
+                    file: path.to_string(),
+                    error,
+                })?;
+            vectorization
+                .loops
+                .extend(machine.vectorization.loops.iter().cloned());
             stats.compiled_source_units += 1;
             machine_modules.insert(file.clone(), machine);
         }
@@ -144,7 +162,10 @@ pub fn deploy_ir_container(
     let mut image = Image::derive_from(&build.image, &reference);
     image.platform = Platform::linux(crate::source_container::architecture_of(system));
     image.set_deployment_format(DeploymentFormat::Binary);
-    image.annotate(annotation_keys::SELECTED_CONFIGURATION, manifest.label.clone());
+    image.annotate(
+        annotation_keys::SELECTED_CONFIGURATION,
+        manifest.label.clone(),
+    );
     image.annotate(annotation_keys::TARGET_SYSTEM, system.name.clone());
     image.annotate("dev.xaas.simd", simd.gmx_name());
 
@@ -158,7 +179,11 @@ pub fn deploy_ir_container(
     for target_spec in &project.targets {
         lowered.add_executable(
             format!("/opt/app/bin/{}", target_spec.name),
-            format!("linked {} for {} ({})", target_spec.name, system.name, target.name).into_bytes(),
+            format!(
+                "linked {} for {} ({})",
+                target_spec.name, system.name, target.name
+            )
+            .into_bytes(),
         );
     }
     // Dependency layers are reassembled for the selected configuration only.
@@ -225,9 +250,18 @@ mod tests {
         let store = ImageStore::new();
         let (project, build) = gromacs_ir_build(&store);
         let system = SystemModel::ault23();
-        let selection = OptionAssignment::new().with("GMX_SIMD", "AVX_512").with("GMX_GPU", "CUDA");
-        let deployment =
-            deploy_ir_container(&build, &project, &system, &selection, SimdLevel::Avx512, &store).unwrap();
+        let selection = OptionAssignment::new()
+            .with("GMX_SIMD", "AVX_512")
+            .with("GMX_GPU", "CUDA");
+        let deployment = deploy_ir_container(
+            &build,
+            &project,
+            &system,
+            &selection,
+            SimdLevel::Avx512,
+            &store,
+        )
+        .unwrap();
         assert!(deployment.stats.lowered_units > 5);
         assert!(deployment.stats.vectorized_loops > 0);
         assert_eq!(deployment.simd, SimdLevel::Avx512);
@@ -239,15 +273,23 @@ mod tests {
             .collect();
         assert!(widths.contains(&16));
         assert!(store.load(&deployment.reference).is_ok());
-        assert_eq!(deployment.image.deployment_format(), DeploymentFormat::Binary);
-        assert_eq!(deployment.build_profile.gpu_backend, Some(xaas_hpcsim::GpuBackend::Cuda));
+        assert_eq!(
+            deployment.image.deployment_format(),
+            DeploymentFormat::Binary
+        );
+        assert_eq!(
+            deployment.build_profile.gpu_backend,
+            Some(xaas_hpcsim::GpuBackend::Cuda)
+        );
     }
 
     #[test]
     fn same_container_deploys_to_different_isas() {
         let store = ImageStore::new();
         let (project, build) = gromacs_ir_build(&store);
-        let selection = OptionAssignment::new().with("GMX_SIMD", "SSE4.1").with("GMX_GPU", "OFF");
+        let selection = OptionAssignment::new()
+            .with("GMX_SIMD", "SSE4.1")
+            .with("GMX_GPU", "OFF");
         let narrow = deploy_ir_container(
             &build,
             &project,
@@ -275,14 +317,19 @@ mod tests {
         };
         assert_eq!(width_of(&narrow), 4);
         assert_eq!(width_of(&wide), 16);
-        assert_ne!(narrow.reference, wide.reference, "image tags encode the specialization");
+        assert_ne!(
+            narrow.reference, wide.reference,
+            "image tags encode the specialization"
+        );
     }
 
     #[test]
     fn unsupported_simd_level_is_rejected() {
         let store = ImageStore::new();
         let (project, build) = gromacs_ir_build(&store);
-        let selection = OptionAssignment::new().with("GMX_SIMD", "AVX_512").with("GMX_GPU", "OFF");
+        let selection = OptionAssignment::new()
+            .with("GMX_SIMD", "AVX_512")
+            .with("GMX_GPU", "OFF");
         let error = deploy_ir_container(
             &build,
             &project,
@@ -317,9 +364,18 @@ mod tests {
         let store = ImageStore::new();
         let (project, build) = gromacs_ir_build(&store);
         let system = SystemModel::ault23();
-        let selection = OptionAssignment::new().with("GMX_SIMD", "AVX_512").with("GMX_GPU", "OFF");
-        let deployment =
-            deploy_ir_container(&build, &project, &system, &selection, SimdLevel::Avx512, &store).unwrap();
+        let selection = OptionAssignment::new()
+            .with("GMX_SIMD", "AVX_512")
+            .with("GMX_GPU", "OFF");
+        let deployment = deploy_ir_container(
+            &build,
+            &project,
+            &system,
+            &selection,
+            SimdLevel::Avx512,
+            &store,
+        )
+        .unwrap();
         let machine = deployment
             .machine_modules
             .get("src/mdrun/integrator.ck")

@@ -34,8 +34,11 @@ pub struct DeviceCodeBundle {
 impl DeviceCodeBundle {
     /// Device representations in checking order (exact binary first, then PTX).
     pub fn representations(&self) -> Vec<DeviceCode> {
-        let mut reps: Vec<DeviceCode> =
-            self.cubins.iter().map(|cc| DeviceCode::Cubin(*cc)).collect();
+        let mut reps: Vec<DeviceCode> = self
+            .cubins
+            .iter()
+            .map(|cc| DeviceCode::Cubin(*cc))
+            .collect();
         reps.push(DeviceCode::Ptx(self.ptx));
         reps
     }
@@ -70,8 +73,15 @@ pub fn plan_bundle(
         known_devices.iter().map(|d| d.compute_capability).collect();
     cubins.sort();
     cubins.dedup();
-    let ptx = cubins.last().copied().unwrap_or(ComputeCapability::new(7, 0));
-    DeviceCodeBundle { runtime, cubins, ptx }
+    let ptx = cubins
+        .last()
+        .copied()
+        .unwrap_or(ComputeCapability::new(7, 0));
+    DeviceCodeBundle {
+        runtime,
+        cubins,
+        ptx,
+    }
 }
 
 /// Check how a bundle runs on a device: native cubin preferred, PTX JIT as fallback.
@@ -88,7 +98,9 @@ pub fn bundle_compatibility(bundle: &DeviceCodeBundle, device: &GpuModel) -> Gpu
             }
         }
     }
-    best.unwrap_or(GpuCompatibility::Incompatible("no device code shipped".into()))
+    best.unwrap_or(GpuCompatibility::Incompatible(
+        "no device code shipped".into(),
+    ))
 }
 
 /// Scan source text for compile-time checks on the CUDA runtime version (the pessimistic
@@ -116,8 +128,15 @@ mod tests {
 
     #[test]
     fn bundle_includes_cubins_for_known_devices_and_ptx_for_newest() {
-        let bundle = plan_bundle(RuntimeRequirement::AnyMinorVersion, &devices(), Version::new(12, 8));
-        assert_eq!(bundle.cubins, vec![ComputeCapability::new(7, 0), ComputeCapability::new(8, 0)]);
+        let bundle = plan_bundle(
+            RuntimeRequirement::AnyMinorVersion,
+            &devices(),
+            Version::new(12, 8),
+        );
+        assert_eq!(
+            bundle.cubins,
+            vec![ComputeCapability::new(7, 0), ComputeCapability::new(8, 0)]
+        );
         assert_eq!(bundle.ptx, ComputeCapability::new(8, 0));
         // Oldest driver supports 12.4, so that is the chosen runtime.
         assert_eq!(bundle.runtime, Version::new(12, 4));
@@ -135,9 +154,19 @@ mod tests {
 
     #[test]
     fn known_devices_run_natively_newer_devices_jit_from_ptx() {
-        let bundle = plan_bundle(RuntimeRequirement::AnyMinorVersion, &devices(), Version::new(12, 8));
-        assert_eq!(bundle_compatibility(&bundle, &GpuModel::nvidia_v100()), GpuCompatibility::Native);
-        assert_eq!(bundle_compatibility(&bundle, &GpuModel::nvidia_a100()), GpuCompatibility::Native);
+        let bundle = plan_bundle(
+            RuntimeRequirement::AnyMinorVersion,
+            &devices(),
+            Version::new(12, 8),
+        );
+        assert_eq!(
+            bundle_compatibility(&bundle, &GpuModel::nvidia_v100()),
+            GpuCompatibility::Native
+        );
+        assert_eq!(
+            bundle_compatibility(&bundle, &GpuModel::nvidia_a100()),
+            GpuCompatibility::Native
+        );
         // Hopper (GH200) has no cubin in the bundle but can JIT the sm_80 PTX.
         assert_eq!(
             bundle_compatibility(&bundle, &GpuModel::nvidia_gh200()),
@@ -162,8 +191,15 @@ mod tests {
     #[test]
     fn runtime_requirement_detection_is_pessimistic() {
         let plain = ["kernel void f(float* x) { x[0] = 1.0; }"];
-        assert_eq!(detect_runtime_requirement(&plain), RuntimeRequirement::AnyMinorVersion);
-        let conditional = ["#if CUDART_VERSION >= 12060\nkernel void g(float* x) { x[0] = 2.0; }\n#endif"];
-        assert!(matches!(detect_runtime_requirement(&conditional), RuntimeRequirement::AtLeast(_)));
+        assert_eq!(
+            detect_runtime_requirement(&plain),
+            RuntimeRequirement::AnyMinorVersion
+        );
+        let conditional =
+            ["#if CUDART_VERSION >= 12060\nkernel void g(float* x) { x[0] = 2.0; }\n#endif"];
+        assert!(matches!(
+            detect_runtime_requirement(&conditional),
+            RuntimeRequirement::AtLeast(_)
+        ));
     }
 }

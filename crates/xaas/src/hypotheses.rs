@@ -103,7 +103,10 @@ mod tests {
         config.sweep.clear();
         let build = build_ir_container(&project, &config, &store, "l:single").unwrap();
         let report = hypothesis1(&build.stats);
-        assert!(!report.holds, "a single configuration offers nothing to share");
+        assert!(
+            !report.holds,
+            "a single configuration offers nothing to share"
+        );
     }
 
     #[test]
@@ -115,7 +118,10 @@ mod tests {
         ] {
             let report = hypothesis2(&project);
             assert!(report.holds, "{name}: {report:?}");
-            assert!(report.system_independent > report.system_dependent, "{name}");
+            assert!(
+                report.system_independent > report.system_dependent,
+                "{name}"
+            );
         }
     }
 

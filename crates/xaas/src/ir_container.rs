@@ -21,7 +21,9 @@ use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use xaas_buildsys::{configure, ConfigureError, OptionAssignment, ProjectSpec};
-use xaas_container::{annotation_keys, Architecture, DeploymentFormat, Image, ImageStore, Layer, Platform};
+use xaas_container::{
+    annotation_keys, Architecture, DeploymentFormat, Image, ImageStore, Layer, Platform,
+};
 use xaas_specs::from_project;
 use xaas_xir::{bitcode, CompileFlags, Compiler, IrModule};
 
@@ -70,7 +72,11 @@ impl IrPipelineConfig {
     pub fn sweep_options(project: &ProjectSpec, options: &[&str]) -> Self {
         let sweep = options
             .iter()
-            .filter_map(|name| project.option(name).map(|o| (o.name.clone(), o.value_names())))
+            .filter_map(|name| {
+                project
+                    .option(name)
+                    .map(|o| (o.name.clone(), o.value_names()))
+            })
             .collect();
         Self {
             sweep,
@@ -204,7 +210,13 @@ impl IrContainerBuild {
         self.manifests
             .iter()
             .find(|m| m.label == label)
-            .or_else(|| self.manifests.iter().find(|m| assignment.iter().all(|(k, v)| m.assignment.get(k) == Some(v))))
+            .or_else(|| {
+                self.manifests.iter().find(|m| {
+                    assignment
+                        .iter()
+                        .all(|(k, v)| m.assignment.get(k) == Some(v))
+                })
+            })
     }
 }
 
@@ -215,7 +227,10 @@ pub enum IrPipelineError {
     /// A configuration could not be generated.
     Configure(ConfigureError),
     /// Compilation of a representative unit failed.
-    Compile { file: String, error: xaas_xir::CompileError },
+    Compile {
+        file: String,
+        error: xaas_xir::CompileError,
+    },
     /// The sweep referenced an unknown option.
     UnknownOption(String),
 }
@@ -225,7 +240,9 @@ impl fmt::Display for IrPipelineError {
         match self {
             IrPipelineError::Configure(e) => write!(f, "configure: {e}"),
             IrPipelineError::Compile { file, error } => write!(f, "compiling {file}: {error}"),
-            IrPipelineError::UnknownOption(name) => write!(f, "sweep references unknown option {name}"),
+            IrPipelineError::UnknownOption(name) => {
+                write!(f, "sweep references unknown option {name}")
+            }
         }
     }
 }
@@ -284,7 +301,10 @@ pub fn build_ir_container(
         compiler.add_header(name.clone(), content.clone());
     }
 
-    let mut stats = PipelineStats { configurations: assignments.len(), ..Default::default() };
+    let mut stats = PipelineStats {
+        configurations: assignments.len(),
+        ..Default::default()
+    };
     let mut generation_keys: BTreeSet<String> = BTreeSet::new();
     let mut preprocessing_keys: BTreeSet<String> = BTreeSet::new();
     let mut openmp_keys: BTreeSet<String> = BTreeSet::new();
@@ -293,11 +313,13 @@ pub fn build_ir_container(
     let mut sd_files: BTreeSet<String> = BTreeSet::new();
     let mut si_files: BTreeSet<String> = BTreeSet::new();
     // file → (configuration label ordering) not needed; manifests keep per-config mapping.
-    let mut unit_key_by_config: Vec<(usize, Vec<(String, String, String)>)> = Vec::new();
+    // One (target, source file, dedup key) triple per translation unit of a configuration.
+    type UnitKeys = Vec<(String, String, String)>;
+    let mut unit_key_by_config: Vec<(usize, UnitKeys)> = Vec::new();
 
     for (config_index, assignment) in assignments.iter().enumerate() {
         let build = configure(project, assignment, &config.build_dir, None)?;
-        let mut per_config_units: Vec<(String, String, String)> = Vec::new();
+        let mut per_config_units: UnitKeys = Vec::new();
         for command in &build.compile_db.commands {
             stats.total_translation_units += 1;
             let source = build
@@ -326,7 +348,10 @@ pub fn build_ir_container(
             // Stage 2: preprocessed-content identity.
             let preprocessed = compiler
                 .preprocess_only(&command.file, &source.content, &flags)
-                .map_err(|error| IrPipelineError::Compile { file: command.file.clone(), error })?;
+                .map_err(|error| IrPipelineError::Compile {
+                    file: command.file.clone(),
+                    error,
+                })?;
             let delayed = flags.delayed_target_flags.join(" ");
             let preprocess_key = format!(
                 "{}|{:016x}|omp={}|opt={}|isa={}",
@@ -417,7 +442,10 @@ pub fn build_ir_container(
         ir_flags.delayed_target_flags.clear();
         let mut module = compiler
             .compile_to_ir(file, content, &ir_flags)
-            .map_err(|error| IrPipelineError::Compile { file: file.clone(), error })?;
+            .map_err(|error| IrPipelineError::Compile {
+                file: file.clone(),
+                error,
+            })?;
         if config.optimize_early {
             xaas_xir::passes::scalar_unroll(&mut module, 4);
         }
@@ -440,7 +468,11 @@ pub fn build_ir_container(
             } else {
                 key // already `src:<path>` for system-dependent units
             };
-            manifest.units.push(UnitAssignment { target, file, artifact });
+            manifest.units.push(UnitAssignment {
+                target,
+                file,
+                artifact,
+            });
         }
     }
 
@@ -459,12 +491,18 @@ pub fn build_ir_container(
     image.push_layer(toolchain);
 
     let mut sources = Layer::new("COPY source tree (system-dependent files and installation)");
-    sources.add_text(format!("{}/XMakeLists.txt", paths::SOURCE_ROOT), project.build_script.clone());
+    sources.add_text(
+        format!("{}/XMakeLists.txt", paths::SOURCE_ROOT),
+        project.build_script.clone(),
+    );
     for (path, content) in project.source_tree() {
         sources.add_text(format!("{}/{}", paths::SOURCE_ROOT, path), content);
     }
     for (name, content) in &project.headers {
-        sources.add_text(format!("{}/include/{}", paths::SOURCE_ROOT, name), content.clone());
+        sources.add_text(
+            format!("{}/include/{}", paths::SOURCE_ROOT, name),
+            content.clone(),
+        );
     }
     image.push_layer(sources);
 
@@ -484,11 +522,20 @@ pub fn build_ir_container(
             serde_json::to_string_pretty(manifest).expect("manifest serialises"),
         );
     }
-    manifest_layer.add_text(paths::STATS, serde_json::to_string_pretty(&stats).expect("stats serialise"));
+    manifest_layer.add_text(
+        paths::STATS,
+        serde_json::to_string_pretty(&stats).expect("stats serialise"),
+    );
     image.push_layer(manifest_layer);
 
     store.commit(&image);
-    Ok(IrContainerBuild { image, reference: reference.to_string(), stats, manifests, units })
+    Ok(IrContainerBuild {
+        image,
+        reference: reference.to_string(),
+        stats,
+        manifests,
+        units,
+    })
 }
 
 /// Sanitise a configuration label for use as a file name.
@@ -535,15 +582,23 @@ mod tests {
             "GMX_SIMD",
             &["SSE4.1", "AVX2_128", "AVX_256", "AVX2_256", "AVX_512"],
         );
-        let build = build_ir_container(&project, &config, &store, "spcl/mini-gromacs:ir-x86").unwrap();
+        let build =
+            build_ir_container(&project, &config, &store, "spcl/mini-gromacs:ir-x86").unwrap();
         let stats = build.stats;
         assert_eq!(stats.configurations, 5);
         // Five configurations of the same CPU-only file set.
-        assert_eq!(stats.total_translation_units, 5 * (stats.system_independent_files + stats.system_dependent_files));
+        assert_eq!(
+            stats.total_translation_units,
+            5 * (stats.system_independent_files + stats.system_dependent_files)
+        );
         // Without the vectorisation stage every configuration would stay distinct; with it
         // the IR files collapse to one per source file.
         assert_eq!(stats.ir_files_built(), stats.system_independent_files);
-        assert!(stats.reduction_percent() > 60.0, "{}", stats.reduction_percent());
+        assert!(
+            stats.reduction_percent() > 60.0,
+            "{}",
+            stats.reduction_percent()
+        );
         // The image advertises itself as an IR deployment.
         assert_eq!(build.image.deployment_format(), DeploymentFormat::Ir);
         assert_eq!(build.image.platform.architecture, Architecture::XirIr);
@@ -553,10 +608,8 @@ mod tests {
     fn vectorization_stage_ablation_stops_sharing() {
         let project = gromacs::project();
         let store = ImageStore::new();
-        let mut config = IrPipelineConfig::sweep_options(&project, &["GMX_SIMD"]).with_values(
-            "GMX_SIMD",
-            &["SSE4.1", "AVX_512"],
-        );
+        let mut config = IrPipelineConfig::sweep_options(&project, &["GMX_SIMD"])
+            .with_values("GMX_SIMD", &["SSE4.1", "AVX_512"]);
         config.stages.vectorization_delay = false;
         let without = build_ir_container(&project, &config, &store, "a:1").unwrap();
         config.stages.vectorization_delay = true;
@@ -564,7 +617,10 @@ mod tests {
         assert!(without.stats.ir_files_built() > with.stats.ir_files_built());
         // 95%+ of identical targets differ only in CPU tuning (the Section 6.4 finding).
         let share = with.stats.ir_files_built() as f64 / without.stats.ir_files_built() as f64;
-        assert!(share <= 0.55, "vectorization delay should halve the unit count: {share}");
+        assert!(
+            share <= 0.55,
+            "vectorization delay should halve the unit count: {share}"
+        );
     }
 
     #[test]
@@ -578,7 +634,10 @@ mod tests {
         let with = build_ir_container(&project, &config, &store, "l:2").unwrap();
         assert!(with.stats.ir_files_built() < without.stats.ir_files_built());
         // eos, util and comm are OpenMP-free → they collapse across the two configurations.
-        assert_eq!(without.stats.ir_files_built() - with.stats.ir_files_built(), 3);
+        assert_eq!(
+            without.stats.ir_files_built() - with.stats.ir_files_built(),
+            3
+        );
     }
 
     #[test]
@@ -590,11 +649,21 @@ mod tests {
         let mpi_on = build
             .manifest_for(&OptionAssignment::new().with("GMX_MPI", "ON"))
             .expect("manifest for MPI=ON");
-        let mpi_unit = mpi_on.units.iter().find(|u| u.file.contains("mpi_halo")).unwrap();
-        assert!(mpi_unit.artifact.starts_with("src:"), "MPI file ships as source: {mpi_unit:?}");
+        let mpi_unit = mpi_on
+            .units
+            .iter()
+            .find(|u| u.file.contains("mpi_halo"))
+            .unwrap();
+        assert!(
+            mpi_unit.artifact.starts_with("src:"),
+            "MPI file ships as source: {mpi_unit:?}"
+        );
         for unit in &mpi_on.units {
             if let Some(id) = unit.artifact.strip_prefix("ir:") {
-                assert!(build.units.contains_key(id), "artifact {id} missing from unit set");
+                assert!(
+                    build.units.contains_key(id),
+                    "artifact {id} missing from unit set"
+                );
             }
         }
         assert!(build.stats.system_dependent_files >= 1);
@@ -610,7 +679,9 @@ mod tests {
         let root = build.image.rootfs();
         let ir_blobs: Vec<_> = root.paths_under(paths::IR_ROOT).collect();
         assert_eq!(ir_blobs.len(), build.units.len());
-        assert!(root.get(&format!("{}/src/lulesh.ck", paths::SOURCE_ROOT)).is_some());
+        assert!(root
+            .get(&format!("{}/src/lulesh.ck", paths::SOURCE_ROOT))
+            .is_some());
         assert!(root.get(paths::STATS).is_some());
         let manifest_files: Vec<_> = root.paths_under(paths::CONFIG_ROOT).collect();
         assert!(manifest_files.len() >= build.manifests.len());

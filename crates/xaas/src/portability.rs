@@ -106,14 +106,20 @@ mod tests {
             PortabilityLevel::Lowering,
             PortabilityLevel::Emulation,
         ] {
-            assert!(entries.iter().any(|e| e.level == level), "{level:?} missing");
+            assert!(
+                entries.iter().any(|e| e.level == level),
+                "{level:?} missing"
+            );
         }
     }
 
     #[test]
     fn xaas_rows_are_present_at_building_and_lowering() {
         let entries = table2();
-        let xaas: Vec<_> = entries.iter().filter(|e| e.technology.starts_with("XaaS")).collect();
+        let xaas: Vec<_> = entries
+            .iter()
+            .filter(|e| e.technology.starts_with("XaaS"))
+            .collect();
         assert_eq!(xaas.len(), 2);
         assert!(xaas.iter().any(|e| e.level == PortabilityLevel::Building));
         assert!(xaas.iter().any(|e| e.level == PortabilityLevel::Lowering));

@@ -25,9 +25,16 @@ pub enum SourceContainerError {
     /// The selected configuration could not be configured.
     Configure(ConfigureError),
     /// A translation unit failed to compile on the target.
-    Compile { file: String, error: xaas_xir::CompileError },
+    Compile {
+        file: String,
+        error: xaas_xir::CompileError,
+    },
     /// The user preference conflicts with the system's capabilities.
-    UnsupportedPreference { option: String, value: String, reason: String },
+    UnsupportedPreference {
+        option: String,
+        value: String,
+        reason: String,
+    },
     /// Container store failure.
     Store(xaas_container::ImageError),
 }
@@ -37,7 +44,11 @@ impl fmt::Display for SourceContainerError {
         match self {
             SourceContainerError::Configure(e) => write!(f, "configuration failed: {e}"),
             SourceContainerError::Compile { file, error } => write!(f, "compiling {file}: {error}"),
-            SourceContainerError::UnsupportedPreference { option, value, reason } => {
+            SourceContainerError::UnsupportedPreference {
+                option,
+                value,
+                reason,
+            } => {
                 write!(f, "preference {option}={value} is not deployable: {reason}")
             }
             SourceContainerError::Store(e) => write!(f, "image store: {e}"),
@@ -90,7 +101,10 @@ pub fn build_source_container(
     let mut toolchain = Layer::new("ADD xirc toolchain and MPICH-ABI headers");
     toolchain.add_executable(paths::COMPILER, b"xirc-driver".to_vec());
     toolchain.add_text("/opt/mpich/lib/libmpi.so", "mpich 4.2 (ABI: mpich)");
-    toolchain.add_text("/etc/xaas/toolchain.json", r#"{"compiler":"xirc","ir":"xir.v1"}"#);
+    toolchain.add_text(
+        "/etc/xaas/toolchain.json",
+        r#"{"compiler":"xirc","ir":"xir.v1"}"#,
+    );
     image.push_layer(toolchain);
 
     let mut sources = Layer::new(format!("COPY {} source tree", project.name));
@@ -104,7 +118,10 @@ pub fn build_source_container(
     image.push_layer(sources);
 
     let spec_points = from_project(project);
-    image.annotate(annotation_keys::SPECIALIZATION_POINTS, spec_points.to_json_string());
+    image.annotate(
+        annotation_keys::SPECIALIZATION_POINTS,
+        spec_points.to_json_string(),
+    );
     image.annotate(annotation_keys::TITLE, project.name.clone());
     store.commit(&image);
     image
@@ -177,7 +194,12 @@ pub fn deploy_source_container(
 
     // 3. Configure against the dependencies the system (plus the container layers) offers.
     let mut available: BTreeSet<String> = BTreeSet::new();
-    available.extend(["mpich".to_string(), "fftw".to_string(), "openblas".to_string(), "opencl".to_string()]);
+    available.extend([
+        "mpich".to_string(),
+        "fftw".to_string(),
+        "openblas".to_string(),
+        "opencl".to_string(),
+    ]);
     for module in &system.modules {
         let name = module.name.to_ascii_lowercase();
         if name.contains("mkl") || name.contains("oneapi") {
@@ -224,7 +246,9 @@ pub fn deploy_source_container(
 
     let base_reference = match &system.recommended_base_image {
         Some(base) => {
-            notes.push(format!("switching base image to operator-recommended {base}"));
+            notes.push(format!(
+                "switching base image to operator-recommended {base}"
+            ));
             base.clone()
         }
         None => source_image.reference.clone(),
@@ -253,10 +277,18 @@ pub fn deploy_source_container(
         let flags = CompileFlags::parse(command.arguments.iter().cloned());
         let machine = compiler
             .compile_to_machine(&command.file, &source.content, &flags, &target)
-            .map_err(|error| SourceContainerError::Compile { file: command.file.clone(), error })?;
+            .map_err(|error| SourceContainerError::Compile {
+                file: command.file.clone(),
+                error,
+            })?;
         compiled_units += 1;
         build_layer.add_file(
-            format!("{}/{}/{}.o", paths::BUILD_ROOT, command.target, command.file.replace('/', "_")),
+            format!(
+                "{}/{}/{}.o",
+                paths::BUILD_ROOT,
+                command.target,
+                command.file.replace('/', "_")
+            ),
             serde_json::to_vec(&machine).expect("machine module serialises"),
         );
     }
@@ -294,18 +326,29 @@ fn apply_best_available(
     for option in &project.options {
         match option.category {
             OptionCategory::GpuBackend => {
-                let preferred = xaas_apps::preferred_gpu_backend(system).map(|b| b.as_str().to_string());
+                let preferred =
+                    xaas_apps::preferred_gpu_backend(system).map(|b| b.as_str().to_string());
                 let choices = intersection.choices(SpecCategory::GpuBackend);
                 let selected = preferred
-                    .filter(|p| choices.iter().any(|c| c.eq_ignore_ascii_case(p)) && option.accepts(p))
-                    .or_else(|| choices.iter().find(|c| option.accepts(c)).map(|c| c.to_string()));
+                    .filter(|p| {
+                        choices.iter().any(|c| c.eq_ignore_ascii_case(p)) && option.accepts(p)
+                    })
+                    .or_else(|| {
+                        choices
+                            .iter()
+                            .find(|c| option.accepts(c))
+                            .map(|c| c.to_string())
+                    });
                 match selected {
                     Some(value) => {
                         assignment.set(option.name.clone(), value);
                     }
                     None => {
                         assignment.set(option.name.clone(), option.default_value());
-                        notes.push(format!("no usable GPU backend on {}; staying CPU-only", system.name));
+                        notes.push(format!(
+                            "no usable GPU backend on {}; staying CPU-only",
+                            system.name
+                        ));
                     }
                 }
             }
@@ -319,7 +362,10 @@ fn apply_best_available(
             }
             OptionCategory::Fft | OptionCategory::LinearAlgebra => {
                 let vendor_available = system.has_vendor_blas()
-                    || system.modules.iter().any(|m| m.name.to_ascii_lowercase().contains("mkl"));
+                    || system
+                        .modules
+                        .iter()
+                        .any(|m| m.name.to_ascii_lowercase().contains("mkl"));
                 let pick = if vendor_available && option.accepts("mkl") {
                     Some("mkl")
                 } else if option.accepts("fftw3") {
@@ -381,7 +427,12 @@ mod tests {
     fn setup() -> (ProjectSpec, ImageStore, Image) {
         let project = gromacs::project();
         let store = ImageStore::new();
-        let image = build_source_container(&project, Architecture::Amd64, &store, "spcl/mini-gromacs:src-x86");
+        let image = build_source_container(
+            &project,
+            Architecture::Amd64,
+            &store,
+            "spcl/mini-gromacs:src-x86",
+        );
         (project, store, image)
     }
 
@@ -391,8 +442,13 @@ mod tests {
         assert_eq!(image.deployment_format(), DeploymentFormat::Source);
         let root = image.rootfs();
         assert!(root.get(paths::COMPILER).is_some());
-        assert!(root.read_text(paths::BUILD_SCRIPT).unwrap().contains("mini-gromacs"));
-        assert!(root.get(&format!("{}/src/mdrun/nonbonded.ck", paths::SOURCE_ROOT)).is_some());
+        assert!(root
+            .read_text(paths::BUILD_SCRIPT)
+            .unwrap()
+            .contains("mini-gromacs"));
+        assert!(root
+            .get(&format!("{}/src/mdrun/nonbonded.ck", paths::SOURCE_ROOT))
+            .is_some());
         let annotation = &image.annotations[annotation_keys::SPECIALIZATION_POINTS];
         assert!(annotation.contains("gpu_backends"));
         assert!(store.load("spcl/mini-gromacs:src-x86").is_ok());
@@ -439,7 +495,10 @@ mod tests {
             &store,
         )
         .unwrap();
-        assert_eq!(deployment.assignment.get("GMX_SIMD"), Some("ARM_NEON_ASIMD"));
+        assert_eq!(
+            deployment.assignment.get("GMX_SIMD"),
+            Some("ARM_NEON_ASIMD")
+        );
         assert_eq!(deployment.image.platform.architecture, Architecture::Arm64);
         assert_eq!(deployment.assignment.get("GMX_GPU"), Some("CUDA"));
     }
@@ -457,7 +516,11 @@ mod tests {
             &store,
         )
         .unwrap();
-        assert!(deployment.notes.iter().any(|n| n.contains("oneapi")), "{:?}", deployment.notes);
+        assert!(
+            deployment.notes.iter().any(|n| n.contains("oneapi")),
+            "{:?}",
+            deployment.notes
+        );
         assert!(deployment.notes.iter().any(|n| n.contains("thread-MPI")));
         assert_eq!(deployment.assignment.get("GMX_MPI"), Some("OFF"));
         assert_eq!(deployment.assignment.get("GMX_GPU"), Some("SYCL"));
@@ -489,7 +552,10 @@ mod tests {
             &store,
         )
         .unwrap_err();
-        assert!(matches!(error, SourceContainerError::UnsupportedPreference { .. }));
+        assert!(matches!(
+            error,
+            SourceContainerError::UnsupportedPreference { .. }
+        ));
     }
 
     #[test]

@@ -9,12 +9,20 @@ use xaas_xir::TargetIsa;
 pub fn target_isa_for(level: SimdLevel) -> TargetIsa {
     let fma = matches!(
         level,
-        SimdLevel::Avx2_128 | SimdLevel::Avx2_256 | SimdLevel::Avx512 | SimdLevel::NeonAsimd | SimdLevel::Sve
+        SimdLevel::Avx2_128
+            | SimdLevel::Avx2_256
+            | SimdLevel::Avx512
+            | SimdLevel::NeonAsimd
+            | SimdLevel::Sve
     );
     match level {
         SimdLevel::None => TargetIsa::scalar("generic"),
         other => TargetIsa::vector(
-            format!("{}-{}", other.family().as_str(), other.gmx_name().to_ascii_lowercase()),
+            format!(
+                "{}-{}",
+                other.family().as_str(),
+                other.gmx_name().to_ascii_lowercase()
+            ),
             other.width_sp(),
             fma,
         ),
@@ -66,7 +74,11 @@ pub fn derive_build_profile(
 /// Classify a library option value into a quality tier.
 pub fn library_quality_of(value: &str) -> LibraryQuality {
     let lower = value.to_ascii_lowercase();
-    if lower.contains("mkl") || lower.contains("cufft") || lower.contains("onemath") || lower.contains("rocfft") {
+    if lower.contains("mkl")
+        || lower.contains("cufft")
+        || lower.contains("onemath")
+        || lower.contains("rocfft")
+    {
         LibraryQuality::Vendor
     } else if lower.contains("fftw") || lower.contains("openblas") || lower.contains("blis") {
         LibraryQuality::Generic
@@ -86,7 +98,9 @@ mod tests {
         assert_eq!(target_isa_for(SimdLevel::Avx512).vector_width, 16);
         assert!(target_isa_for(SimdLevel::Avx512).fma);
         assert!(!target_isa_for(SimdLevel::Sse2).fma);
-        assert!(target_isa_for(SimdLevel::NeonAsimd).name.contains("aarch64"));
+        assert!(target_isa_for(SimdLevel::NeonAsimd)
+            .name
+            .contains("aarch64"));
     }
 
     #[test]

@@ -81,7 +81,17 @@ pub enum BinOp {
 impl BinOp {
     /// Whether the operator yields a boolean (0/1) result.
     pub fn is_comparison(&self) -> bool {
-        matches!(self, BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::And | BinOp::Or)
+        matches!(
+            self,
+            BinOp::Eq
+                | BinOp::Ne
+                | BinOp::Lt
+                | BinOp::Le
+                | BinOp::Gt
+                | BinOp::Ge
+                | BinOp::And
+                | BinOp::Or
+        )
     }
 }
 
@@ -280,7 +290,11 @@ impl TranslationUnit {
 
     /// Names of all kernel (exported) functions.
     pub fn kernel_names(&self) -> Vec<&str> {
-        self.functions.iter().filter(|f| f.is_kernel).map(|f| f.name.as_str()).collect()
+        self.functions
+            .iter()
+            .filter(|f| f.is_kernel)
+            .map(|f| f.name.as_str())
+            .collect()
     }
 
     /// All external functions called but not defined in this unit.
@@ -309,7 +323,13 @@ fn collect_calls_stmt(stmt: &Stmt, out: &mut Vec<String>) {
                 index.called_functions(out);
             }
         }
-        Stmt::For { init, cond, step, body, .. } => {
+        Stmt::For {
+            init,
+            cond,
+            step,
+            body,
+            ..
+        } => {
             init.called_functions(out);
             cond.called_functions(out);
             step.called_functions(out);
@@ -323,7 +343,11 @@ fn collect_calls_stmt(stmt: &Stmt, out: &mut Vec<String>) {
                 collect_calls_stmt(s, out);
             }
         }
-        Stmt::If { cond, then_body, else_body } => {
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+        } => {
             cond.called_functions(out);
             for s in then_body.iter().chain(else_body) {
                 collect_calls_stmt(s, out);
@@ -347,10 +371,22 @@ mod tests {
                 is_kernel: true,
                 return_type: Type::Void,
                 params: vec![
-                    Param { name: "y".into(), ty: Type::FloatPtr },
-                    Param { name: "x".into(), ty: Type::FloatPtr },
-                    Param { name: "a".into(), ty: Type::Float },
-                    Param { name: "n".into(), ty: Type::Int },
+                    Param {
+                        name: "y".into(),
+                        ty: Type::FloatPtr,
+                    },
+                    Param {
+                        name: "x".into(),
+                        ty: Type::FloatPtr,
+                    },
+                    Param {
+                        name: "a".into(),
+                        ty: Type::Float,
+                    },
+                    Param {
+                        name: "n".into(),
+                        ty: Type::Int,
+                    },
                 ],
                 body: vec![Stmt::For {
                     var: "i".into(),
@@ -366,7 +402,10 @@ mod tests {
                         rhs: Box::new(Expr::IntLit(1)),
                     },
                     body: vec![Stmt::Assign {
-                        target: LValue::Index { base: "y".into(), index: Expr::Var("i".into()) },
+                        target: LValue::Index {
+                            base: "y".into(),
+                            index: Expr::Var("i".into()),
+                        },
                         value: Expr::Binary {
                             op: BinOp::Add,
                             lhs: Box::new(Expr::Index {
@@ -415,7 +454,10 @@ mod tests {
     fn referenced_vars_walks_expressions() {
         let expr = Expr::Binary {
             op: BinOp::Add,
-            lhs: Box::new(Expr::Index { base: "x".into(), index: Box::new(Expr::Var("i".into())) }),
+            lhs: Box::new(Expr::Index {
+                base: "x".into(),
+                index: Box::new(Expr::Var("i".into())),
+            }),
             rhs: Box::new(Expr::Var("a".into())),
         };
         let mut vars = Vec::new();

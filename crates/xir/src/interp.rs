@@ -54,7 +54,11 @@ pub enum InterpError {
     /// A register was read before being written.
     UndefinedRegister(String),
     /// A buffer access was out of bounds.
-    OutOfBounds { buffer: String, index: i64, len: usize },
+    OutOfBounds {
+        buffer: String,
+        index: i64,
+        len: usize,
+    },
     /// A call to a function that is neither defined nor a built-in intrinsic.
     UnknownCallee(String),
     /// Execution exceeded the step budget (runaway loop guard).
@@ -68,9 +72,14 @@ impl fmt::Display for InterpError {
             InterpError::ArgumentMismatch { function, detail } => {
                 write!(f, "argument mismatch calling `{function}`: {detail}")
             }
-            InterpError::UndefinedRegister(name) => write!(f, "register `{name}` read before write"),
+            InterpError::UndefinedRegister(name) => {
+                write!(f, "register `{name}` read before write")
+            }
             InterpError::OutOfBounds { buffer, index, len } => {
-                write!(f, "index {index} out of bounds for buffer `{buffer}` of length {len}")
+                write!(
+                    f,
+                    "index {index} out of bounds for buffer `{buffer}` of length {len}"
+                )
             }
             InterpError::UnknownCallee(name) => write!(f, "call to unknown function `{name}`"),
             InterpError::StepBudgetExceeded => write!(f, "execution exceeded the step budget"),
@@ -148,9 +157,20 @@ impl<'a> Interpreter<'a> {
         let functions = module
             .functions
             .iter()
-            .map(|f| (f.name.clone(), FunctionView { params: &f.params, body: &f.body }))
+            .map(|f| {
+                (
+                    f.name.clone(),
+                    FunctionView {
+                        params: &f.params,
+                        body: &f.body,
+                    },
+                )
+            })
             .collect();
-        Self { functions, step_budget: 200_000_000 }
+        Self {
+            functions,
+            step_budget: 200_000_000,
+        }
     }
 
     /// Build an interpreter over a lowered machine module.
@@ -158,9 +178,20 @@ impl<'a> Interpreter<'a> {
         let functions = module
             .functions
             .iter()
-            .map(|f| (f.name.clone(), FunctionView { params: &f.params, body: &f.body }))
+            .map(|f| {
+                (
+                    f.name.clone(),
+                    FunctionView {
+                        params: &f.params,
+                        body: &f.body,
+                    },
+                )
+            })
             .collect();
-        Self { functions, step_budget: 200_000_000 }
+        Self {
+            functions,
+            step_budget: 200_000_000,
+        }
     }
 
     /// Execute `function` with `args` (must match the parameter list in count and kind).
@@ -172,10 +203,16 @@ impl<'a> Interpreter<'a> {
         if view.params.len() != args.len() {
             return Err(InterpError::ArgumentMismatch {
                 function: function.to_string(),
-                detail: format!("expected {} arguments, got {}", view.params.len(), args.len()),
+                detail: format!(
+                    "expected {} arguments, got {}",
+                    view.params.len(),
+                    args.len()
+                ),
             });
         }
-        let mut frame = Frame { slots: BTreeMap::new() };
+        let mut frame = Frame {
+            slots: BTreeMap::new(),
+        };
         for ((name, ty), value) in view.params.iter().zip(args) {
             let slot = match (ty, value) {
                 (Type::Int, Value::Int(v)) => Slot::Scalar(Scalar::Int(v)),
@@ -216,7 +253,11 @@ impl<'a> Interpreter<'a> {
                 }
             }
         }
-        Ok(RunResult { return_value, buffers, ops_executed })
+        Ok(RunResult {
+            return_value,
+            buffers,
+            ops_executed,
+        })
     }
 
     fn exec_block(
@@ -238,7 +279,9 @@ impl<'a> Interpreter<'a> {
                 IrOp::Bin { dest, op, lhs, rhs } => {
                     let a = self.operand(lhs, frame)?;
                     let b = self.operand(rhs, frame)?;
-                    frame.slots.insert(dest.clone(), Slot::Scalar(apply_bin(*op, a, b)));
+                    frame
+                        .slots
+                        .insert(dest.clone(), Slot::Scalar(apply_bin(*op, a, b)));
                 }
                 IrOp::Un { dest, not, operand } => {
                     let v = self.operand(operand, frame)?;
@@ -281,20 +324,22 @@ impl<'a> Interpreter<'a> {
                     match frame.slots.get_mut(base) {
                         Some(Slot::FloatBuf(buf)) => {
                             let len = buf.len();
-                            let slot = buf.get_mut(idx as usize).ok_or(InterpError::OutOfBounds {
-                                buffer: base.clone(),
-                                index: idx,
-                                len,
-                            })?;
+                            let slot =
+                                buf.get_mut(idx as usize).ok_or(InterpError::OutOfBounds {
+                                    buffer: base.clone(),
+                                    index: idx,
+                                    len,
+                                })?;
                             *slot = v.as_f64();
                         }
                         Some(Slot::IntBuf(buf)) => {
                             let len = buf.len();
-                            let slot = buf.get_mut(idx as usize).ok_or(InterpError::OutOfBounds {
-                                buffer: base.clone(),
-                                index: idx,
-                                len,
-                            })?;
+                            let slot =
+                                buf.get_mut(idx as usize).ok_or(InterpError::OutOfBounds {
+                                    buffer: base.clone(),
+                                    index: idx,
+                                    len,
+                                })?;
                             *slot = v.as_i64();
                         }
                         _ => return Err(InterpError::UndefinedRegister(base.clone())),
@@ -310,12 +355,21 @@ impl<'a> Interpreter<'a> {
                         frame.slots.insert(dest.clone(), Slot::Scalar(value));
                     }
                 }
-                IrOp::Loop { var, start, end, step, body, .. } => {
+                IrOp::Loop {
+                    var,
+                    start,
+                    end,
+                    step,
+                    body,
+                    ..
+                } => {
                     let start_value = self.operand(start, frame)?.as_i64();
                     let end_value = self.operand(end, frame)?.as_i64();
                     let mut i = start_value;
                     while i < end_value {
-                        frame.slots.insert(var.clone(), Slot::Scalar(Scalar::Int(i)));
+                        frame
+                            .slots
+                            .insert(var.clone(), Slot::Scalar(Scalar::Int(i)));
                         match self.exec_block(body, frame, counter)? {
                             Flow::Return(v) => return Ok(Flow::Return(v)),
                             Flow::Continue => {}
@@ -323,7 +377,11 @@ impl<'a> Interpreter<'a> {
                         i += *step;
                     }
                 }
-                IrOp::While { cond_ops, cond, body } => loop {
+                IrOp::While {
+                    cond_ops,
+                    cond,
+                    body,
+                } => loop {
                     match self.exec_block(cond_ops, frame, counter)? {
                         Flow::Return(v) => return Ok(Flow::Return(v)),
                         Flow::Continue => {}
@@ -340,7 +398,11 @@ impl<'a> Interpreter<'a> {
                         Flow::Continue => {}
                     }
                 },
-                IrOp::If { cond, then_body, else_body } => {
+                IrOp::If {
+                    cond,
+                    then_body,
+                    else_body,
+                } => {
                     let value = match frame.slots.get(cond) {
                         Some(Slot::Scalar(s)) => *s,
                         _ => return Err(InterpError::UndefinedRegister(cond.clone())),
@@ -402,7 +464,9 @@ impl<'a> Interpreter<'a> {
                 detail: "nested calls support scalar parameters only".to_string(),
             });
         }
-        let mut frame = Frame { slots: BTreeMap::new() };
+        let mut frame = Frame {
+            slots: BTreeMap::new(),
+        };
         for ((name, ty), value) in view.params.iter().zip(args) {
             let scalar = match ty {
                 Type::Int => Scalar::Int(value.as_i64()),
@@ -481,7 +545,14 @@ mod tests {
 
     fn compile(src: &str) -> IrModule {
         let unit = parse("test.ck", src).unwrap();
-        lower(&unit, &LowerOptions { openmp: true, ..Default::default() }).unwrap()
+        lower(
+            &unit,
+            &LowerOptions {
+                openmp: true,
+                ..Default::default()
+            },
+        )
+        .unwrap()
     }
 
     const AXPY: &str = r#"
@@ -501,7 +572,12 @@ kernel void axpy(float* y, float* x, float a, int n) {
         let result = interp
             .run(
                 "axpy",
-                vec![Value::FloatBuffer(y), Value::FloatBuffer(x), Value::Float(2.0), Value::Int(8)],
+                vec![
+                    Value::FloatBuffer(y),
+                    Value::FloatBuffer(x),
+                    Value::Float(2.0),
+                    Value::Int(8),
+                ],
             )
             .unwrap();
         let y_out = result.buffers["y"].as_float_buffer().unwrap();
@@ -546,7 +622,10 @@ float sum(float* x, int n) {
         let module = compile(src);
         let interp = Interpreter::new(&module);
         let result = interp
-            .run("sum", vec![Value::FloatBuffer(vec![1.5; 10]), Value::Int(10)])
+            .run(
+                "sum",
+                vec![Value::FloatBuffer(vec![1.5; 10]), Value::Int(10)],
+            )
             .unwrap();
         assert_eq!(result.return_value, Some(Value::Float(15.0)));
     }
@@ -598,7 +677,11 @@ int count_above(float* x, int n, float limit) {
         let result = interp
             .run(
                 "count_above",
-                vec![Value::FloatBuffer(vec![0.1, 5.0, 3.0, 0.2]), Value::Int(4), Value::Float(1.0)],
+                vec![
+                    Value::FloatBuffer(vec![0.1, 5.0, 3.0, 0.2]),
+                    Value::Int(4),
+                    Value::Float(1.0),
+                ],
             )
             .unwrap();
         assert_eq!(result.return_value, Some(Value::Int(2)));
@@ -611,7 +694,12 @@ int count_above(float* x, int n, float limit) {
         let err = interp
             .run(
                 "axpy",
-                vec![Value::FloatBuffer(vec![0.0; 2]), Value::FloatBuffer(vec![0.0; 2]), Value::Float(1.0), Value::Int(5)],
+                vec![
+                    Value::FloatBuffer(vec![0.0; 2]),
+                    Value::FloatBuffer(vec![0.0; 2]),
+                    Value::Float(1.0),
+                    Value::Int(5),
+                ],
             )
             .unwrap_err();
         assert!(matches!(err, InterpError::OutOfBounds { .. }));
@@ -627,7 +715,9 @@ int count_above(float* x, int n, float limit) {
         let src = "kernel void f(float* x) { x[0] = mystery(1.0); }";
         let module = compile(src);
         let interp = Interpreter::new(&module);
-        let err = interp.run("f", vec![Value::FloatBuffer(vec![0.0])]).unwrap_err();
+        let err = interp
+            .run("f", vec![Value::FloatBuffer(vec![0.0])])
+            .unwrap_err();
         assert_eq!(err, InterpError::UnknownCallee("mystery".into()));
     }
 

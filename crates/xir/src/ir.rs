@@ -239,7 +239,11 @@ impl IrFunction {
                 .map(|op| match op {
                     IrOp::Loop { body, .. } => 1 + count(body),
                     IrOp::While { cond_ops, body, .. } => 1 + count(cond_ops) + count(body),
-                    IrOp::If { then_body, else_body, .. } => 1 + count(then_body) + count(else_body),
+                    IrOp::If {
+                        then_body,
+                        else_body,
+                        ..
+                    } => 1 + count(then_body) + count(else_body),
                     _ => 1,
                 })
                 .sum()
@@ -262,7 +266,11 @@ impl IrFunction {
                         walk(cond_ops, visitor);
                         walk(body, visitor);
                     }
-                    IrOp::If { then_body, else_body, .. } => {
+                    IrOp::If {
+                        then_body,
+                        else_body,
+                        ..
+                    } => {
                         walk(then_body, visitor);
                         walk(else_body, visitor);
                     }
@@ -286,7 +294,11 @@ impl IrFunction {
                         walk(cond_ops, out);
                         walk(body, out);
                     }
-                    IrOp::If { then_body, else_body, .. } => {
+                    IrOp::If {
+                        then_body,
+                        else_body,
+                        ..
+                    } => {
                         walk(then_body, out);
                         walk(else_body, out);
                     }
@@ -310,7 +322,11 @@ impl IrFunction {
                         walk(cond_ops, out);
                         walk(body, out);
                     }
-                    IrOp::If { then_body, else_body, .. } => {
+                    IrOp::If {
+                        then_body,
+                        else_body,
+                        ..
+                    } => {
                         walk(then_body, out);
                         walk(else_body, out);
                     }
@@ -376,7 +392,10 @@ impl IrModule {
     /// Render a readable textual form (useful in tests and debugging).
     pub fn to_text(&self) -> String {
         let mut out = String::new();
-        out.push_str(&format!("; module {} (from {})\n", self.name, self.source_file));
+        out.push_str(&format!(
+            "; module {} (from {})\n",
+            self.name, self.source_file
+        ));
         for f in &self.functions {
             out.push_str(&format!(
                 "define {} @{}({}) {{\n",
@@ -404,9 +423,10 @@ fn render_ops(ops: &[IrOp], indent: usize, out: &mut String) {
             IrOp::Bin { dest, op, lhs, rhs } => {
                 out.push_str(&format!("{pad}%{dest} = {op:?} {lhs}, {rhs}\n"))
             }
-            IrOp::Un { dest, not, operand } => {
-                out.push_str(&format!("{pad}%{dest} = {} {operand}\n", if *not { "not" } else { "neg" }))
-            }
+            IrOp::Un { dest, not, operand } => out.push_str(&format!(
+                "{pad}%{dest} = {} {operand}\n",
+                if *not { "not" } else { "neg" }
+            )),
             IrOp::Load { dest, base, index } => {
                 out.push_str(&format!("{pad}%{dest} = load {base}[{index}]\n"))
             }
@@ -414,13 +434,26 @@ fn render_ops(ops: &[IrOp], indent: usize, out: &mut String) {
                 out.push_str(&format!("{pad}store {base}[{index}] = {value}\n"))
             }
             IrOp::Call { dest, callee, args } => {
-                let args = args.iter().map(|a| a.to_string()).collect::<Vec<_>>().join(", ");
+                let args = args
+                    .iter()
+                    .map(|a| a.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ");
                 match dest {
                     Some(d) => out.push_str(&format!("{pad}%{d} = call @{callee}({args})\n")),
                     None => out.push_str(&format!("{pad}call @{callee}({args})\n")),
                 }
             }
-            IrOp::Loop { var, start, end, step, parallel, vector_width, body, .. } => {
+            IrOp::Loop {
+                var,
+                start,
+                end,
+                step,
+                parallel,
+                vector_width,
+                body,
+                ..
+            } => {
                 let mut attrs = Vec::new();
                 if *parallel {
                     attrs.push("parallel".to_string());
@@ -430,7 +463,11 @@ fn render_ops(ops: &[IrOp], indent: usize, out: &mut String) {
                 }
                 out.push_str(&format!(
                     "{pad}loop %{var} = {start} .. {end} step {step} {}{{\n",
-                    if attrs.is_empty() { String::new() } else { format!("[{}] ", attrs.join(", ")) }
+                    if attrs.is_empty() {
+                        String::new()
+                    } else {
+                        format!("[{}] ", attrs.join(", "))
+                    }
                 ));
                 render_ops(body, indent + 1, out);
                 out.push_str(&format!("{pad}}}\n"));
@@ -440,7 +477,11 @@ fn render_ops(ops: &[IrOp], indent: usize, out: &mut String) {
                 render_ops(body, indent + 1, out);
                 out.push_str(&format!("{pad}}}\n"));
             }
-            IrOp::If { cond, then_body, else_body } => {
+            IrOp::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
                 out.push_str(&format!("{pad}if %{cond} {{\n"));
                 render_ops(then_body, indent + 1, out);
                 if !else_body.is_empty() {
@@ -486,14 +527,22 @@ mod tests {
                     vector_width: None,
                     prevectorization_blocked: false,
                     body: vec![
-                        IrOp::Load { dest: "t0".into(), base: "x".into(), index: Operand::Reg("i".into()) },
+                        IrOp::Load {
+                            dest: "t0".into(),
+                            base: "x".into(),
+                            index: Operand::Reg("i".into()),
+                        },
                         IrOp::Bin {
                             dest: "t1".into(),
                             op: BinOp::Mul,
                             lhs: Operand::Reg("a".into()),
                             rhs: Operand::Reg("t0".into()),
                         },
-                        IrOp::Load { dest: "t2".into(), base: "y".into(), index: Operand::Reg("i".into()) },
+                        IrOp::Load {
+                            dest: "t2".into(),
+                            base: "y".into(),
+                            index: Operand::Reg("i".into()),
+                        },
                         IrOp::Bin {
                             dest: "t3".into(),
                             op: BinOp::Add,

@@ -194,7 +194,9 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
                 } else {
                     return Err(LexError {
                         line,
-                        message: format!("unexpected preprocessor directive after preprocessing: {directive}"),
+                        message: format!(
+                            "unexpected preprocessor directive after preprocessing: {directive}"
+                        ),
                     });
                 }
             }
@@ -213,7 +215,10 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
                 let start = i;
                 let mut is_float = false;
                 while i < bytes.len()
-                    && (bytes[i].is_ascii_digit() || bytes[i] == '.' || bytes[i] == 'e' || bytes[i] == 'E'
+                    && (bytes[i].is_ascii_digit()
+                        || bytes[i] == '.'
+                        || bytes[i] == 'e'
+                        || bytes[i] == 'E'
                         || ((bytes[i] == '+' || bytes[i] == '-')
                             && i > start
                             && (bytes[i - 1] == 'e' || bytes[i - 1] == 'E')))

@@ -90,9 +90,13 @@ impl CompileFlags {
                 result.definitions.push(flag);
             } else if flag == "-fopenmp" || flag == "-qopenmp" {
                 result.openmp = true;
-            } else if let Some(level) = flag.strip_prefix("-O").and_then(|_| OptLevel::parse(&flag)) {
+            } else if let Some(level) = flag.strip_prefix("-O").and_then(|_| OptLevel::parse(&flag))
+            {
                 result.opt = Some(level);
-            } else if flag.starts_with("-m") || flag.starts_with("-march=") || flag.starts_with("-mtune=") {
+            } else if flag.starts_with("-m")
+                || flag.starts_with("-march=")
+                || flag.starts_with("-mtune=")
+            {
                 result.delayed_target_flags.push(flag);
             } else if flag.starts_with("-I") {
                 result.include_dirs.push(flag);
@@ -192,7 +196,12 @@ impl Compiler {
         source: &str,
         flags: &CompileFlags,
     ) -> Result<PreprocessedUnit, CompileError> {
-        Ok(preprocess::preprocess(file, source, &flags.definition_set(), &self.headers)?)
+        Ok(preprocess::preprocess(
+            file,
+            source,
+            &flags.definition_set(),
+            &self.headers,
+        )?)
     }
 
     /// Parse the preprocessed source into an AST.
@@ -232,7 +241,10 @@ impl Compiler {
             opt_level: flags.opt_level().as_str().to_string(),
             delayed_flags: flags.delayed_target_flags.clone(),
         };
-        let options = lower::LowerOptions { openmp: flags.openmp, metadata };
+        let options = lower::LowerOptions {
+            openmp: flags.openmp,
+            metadata,
+        };
         let mut module = lower::lower(&unit, &options)?;
         passes::optimize(&mut module, flags.opt_level());
         Ok(module)
@@ -276,22 +288,41 @@ kernel void extra(float* x) { x[0] = 1.0; }
     #[test]
     fn flag_classification_delays_isa_flags() {
         let flags = CompileFlags::parse(
-            ["-O3", "-DWITH_EXTRA", "-fopenmp", "-mavx512f", "-march=armv8-a+sve", "-I/usr/include", "-Wall"]
-                .iter()
-                .map(|s| s.to_string()),
+            [
+                "-O3",
+                "-DWITH_EXTRA",
+                "-fopenmp",
+                "-mavx512f",
+                "-march=armv8-a+sve",
+                "-I/usr/include",
+                "-Wall",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
         );
         assert!(flags.openmp);
         assert_eq!(flags.opt, Some(OptLevel::O3));
         assert_eq!(flags.definitions, vec!["-DWITH_EXTRA"]);
-        assert_eq!(flags.delayed_target_flags, vec!["-mavx512f", "-march=armv8-a+sve"]);
+        assert_eq!(
+            flags.delayed_target_flags,
+            vec!["-mavx512f", "-march=armv8-a+sve"]
+        );
         assert_eq!(flags.include_dirs, vec!["-I/usr/include"]);
         assert_eq!(flags.other, vec!["-Wall"]);
     }
 
     #[test]
     fn ir_relevant_key_ignores_target_flags_and_flag_order() {
-        let a = CompileFlags::parse(["-DA", "-DB", "-O3", "-mavx2"].iter().map(|s| s.to_string()));
-        let b = CompileFlags::parse(["-DB", "-DA", "-O3", "-msse4.1"].iter().map(|s| s.to_string()));
+        let a = CompileFlags::parse(
+            ["-DA", "-DB", "-O3", "-mavx2"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        let b = CompileFlags::parse(
+            ["-DB", "-DA", "-O3", "-msse4.1"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
         assert_eq!(a.ir_relevant_key(), b.ir_relevant_key());
         let c = CompileFlags::parse(["-DA", "-O3"].iter().map(|s| s.to_string()));
         assert_ne!(a.ir_relevant_key(), c.ir_relevant_key());
@@ -301,7 +332,11 @@ kernel void extra(float* x) { x[0] = 1.0; }
     fn compile_to_ir_respects_definitions_and_headers() {
         let compiler = compiler();
         let plain = compiler
-            .compile_to_ir("scale.ck", SOURCE, &CompileFlags::parse(["-O2".to_string()]))
+            .compile_to_ir(
+                "scale.ck",
+                SOURCE,
+                &CompileFlags::parse(["-O2".to_string()]),
+            )
             .unwrap();
         assert_eq!(plain.functions.len(), 1);
         let with_extra = compiler
@@ -323,7 +358,8 @@ kernel void extra(float* x) { x[0] = 1.0; }
             .openmp_report("scale.ck", SOURCE, &CompileFlags::default())
             .unwrap();
         assert!(report.uses_openmp());
-        let no_omp_source = "kernel void f(float* x, int n) { for (int i = 0; i < n; i = i + 1) { x[i] = 0.0; } }";
+        let no_omp_source =
+            "kernel void f(float* x, int n) { for (int i = 0; i < n; i = i + 1) { x[i] = 0.0; } }";
         let report = compiler
             .openmp_report("f.ck", no_omp_source, &CompileFlags::default())
             .unwrap();
@@ -335,7 +371,12 @@ kernel void extra(float* x) { x[0] = 1.0; }
         let compiler = compiler();
         let flags = CompileFlags::parse(["-O3", "-fopenmp"].iter().map(|s| s.to_string()));
         let machine = compiler
-            .compile_to_machine("scale.ck", SOURCE, &flags, &TargetIsa::vector("avx2", 8, true))
+            .compile_to_machine(
+                "scale.ck",
+                SOURCE,
+                &flags,
+                &TargetIsa::vector("avx2", 8, true),
+            )
             .unwrap();
         assert_eq!(machine.function("scale").unwrap().loop_widths, vec![8]);
         assert_eq!(machine.vectorization.vectorized_count(), 1);

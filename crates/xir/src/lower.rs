@@ -32,10 +32,16 @@ impl fmt::Display for LowerError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             LowerError::UnsupportedLoopStep { function, variable } => {
-                write!(f, "in {function}: loop over {variable} must step by a positive constant")
+                write!(
+                    f,
+                    "in {function}: loop over {variable} must step by a positive constant"
+                )
             }
             LowerError::UnsupportedLoopCondition { function, variable } => {
-                write!(f, "in {function}: loop over {variable} must use a `<` or `<=` bound")
+                write!(
+                    f,
+                    "in {function}: loop over {variable} must use a `<` or `<=` bound"
+                )
             }
         }
     }
@@ -84,7 +90,11 @@ fn lower_function(function: &Function, options: &LowerOptions) -> Result<IrFunct
         name: function.name.clone(),
         is_kernel: function.is_kernel,
         return_type: function.return_type,
-        params: function.params.iter().map(|p| (p.name.clone(), p.ty)).collect(),
+        params: function
+            .params
+            .iter()
+            .map(|p| (p.name.clone(), p.ty))
+            .collect(),
         body,
     })
 }
@@ -110,26 +120,42 @@ fn lower_stmt(stmt: &Stmt, lowerer: &mut FnLowerer, ops: &mut Vec<IrOp>) -> Resu
                     }
                 }
             };
-            ops.push(IrOp::Move { dest: name.clone(), src: value });
+            ops.push(IrOp::Move {
+                dest: name.clone(),
+                src: value,
+            });
         }
         Stmt::Assign { target, value } => {
             let value_op = lower_expr(value, lowerer, ops);
             match target {
-                LValue::Var(name) => ops.push(IrOp::Move { dest: name.clone(), src: value_op }),
+                LValue::Var(name) => ops.push(IrOp::Move {
+                    dest: name.clone(),
+                    src: value_op,
+                }),
                 LValue::Index { base, index } => {
                     let index_op = lower_expr(index, lowerer, ops);
-                    ops.push(IrOp::Store { base: base.clone(), index: index_op, value: value_op });
+                    ops.push(IrOp::Store {
+                        base: base.clone(),
+                        index: index_op,
+                        value: value_op,
+                    });
                 }
             }
         }
-        Stmt::For { var, init, cond, step, body, pragmas } => {
+        Stmt::For {
+            var,
+            init,
+            cond,
+            step,
+            body,
+            pragmas,
+        } => {
             let start = lower_expr(init, lowerer, ops);
-            let (end, inclusive) = extract_bound(cond, var).ok_or_else(|| {
-                LowerError::UnsupportedLoopCondition {
+            let (end, inclusive) =
+                extract_bound(cond, var).ok_or_else(|| LowerError::UnsupportedLoopCondition {
                     function: lowerer.function_name.clone(),
                     variable: var.clone(),
-                }
-            })?;
+                })?;
             let end_op = {
                 let bound = lower_expr(&end, lowerer, ops);
                 if inclusive {
@@ -146,13 +172,18 @@ fn lower_stmt(stmt: &Stmt, lowerer: &mut FnLowerer, ops: &mut Vec<IrOp>) -> Resu
                     bound
                 }
             };
-            let step_value = extract_step(step, var).ok_or_else(|| LowerError::UnsupportedLoopStep {
-                function: lowerer.function_name.clone(),
-                variable: var.clone(),
-            })?;
+            let step_value =
+                extract_step(step, var).ok_or_else(|| LowerError::UnsupportedLoopStep {
+                    function: lowerer.function_name.clone(),
+                    variable: var.clone(),
+                })?;
             let parallel = lowerer.openmp
-                && pragmas.iter().any(|p| p.contains("omp") && p.contains("parallel"));
-            let simd_hint = pragmas.iter().any(|p| p.contains("omp") && p.contains("simd"));
+                && pragmas
+                    .iter()
+                    .any(|p| p.contains("omp") && p.contains("parallel"));
+            let simd_hint = pragmas
+                .iter()
+                .any(|p| p.contains("omp") && p.contains("simd"));
             let body_ops = lower_block(body, lowerer)?;
             ops.push(IrOp::Loop {
                 var: var.clone(),
@@ -173,26 +204,44 @@ fn lower_stmt(stmt: &Stmt, lowerer: &mut FnLowerer, ops: &mut Vec<IrOp>) -> Resu
                 Operand::Reg(name) => name,
                 imm => {
                     let dest = lowerer.fresh();
-                    cond_ops.push(IrOp::Move { dest: dest.clone(), src: imm });
+                    cond_ops.push(IrOp::Move {
+                        dest: dest.clone(),
+                        src: imm,
+                    });
                     dest
                 }
             };
             let body_ops = lower_block(body, lowerer)?;
-            ops.push(IrOp::While { cond_ops, cond: cond_reg, body: body_ops });
+            ops.push(IrOp::While {
+                cond_ops,
+                cond: cond_reg,
+                body: body_ops,
+            });
         }
-        Stmt::If { cond, then_body, else_body } => {
+        Stmt::If {
+            cond,
+            then_body,
+            else_body,
+        } => {
             let cond_operand = lower_expr(cond, lowerer, ops);
             let cond_reg = match cond_operand {
                 Operand::Reg(name) => name,
                 imm => {
                     let dest = lowerer.fresh();
-                    ops.push(IrOp::Move { dest: dest.clone(), src: imm });
+                    ops.push(IrOp::Move {
+                        dest: dest.clone(),
+                        src: imm,
+                    });
                     dest
                 }
             };
             let then_ops = lower_block(then_body, lowerer)?;
             let else_ops = lower_block(else_body, lowerer)?;
-            ops.push(IrOp::If { cond: cond_reg, then_body: then_ops, else_body: else_ops });
+            ops.push(IrOp::If {
+                cond: cond_reg,
+                then_body: then_ops,
+                else_body: else_ops,
+            });
         }
         Stmt::Return(value) => {
             let operand = value.as_ref().map(|expr| lower_expr(expr, lowerer, ops));
@@ -200,8 +249,13 @@ fn lower_stmt(stmt: &Stmt, lowerer: &mut FnLowerer, ops: &mut Vec<IrOp>) -> Resu
         }
         Stmt::ExprStmt(expr) => {
             if let Expr::Call { callee, args } = expr {
-                let arg_ops: Vec<Operand> = args.iter().map(|a| lower_expr(a, lowerer, ops)).collect();
-                ops.push(IrOp::Call { dest: None, callee: callee.clone(), args: arg_ops });
+                let arg_ops: Vec<Operand> =
+                    args.iter().map(|a| lower_expr(a, lowerer, ops)).collect();
+                ops.push(IrOp::Call {
+                    dest: None,
+                    callee: callee.clone(),
+                    args: arg_ops,
+                });
             } else {
                 let _ = lower_expr(expr, lowerer, ops);
             }
@@ -218,26 +272,43 @@ fn lower_expr(expr: &Expr, lowerer: &mut FnLowerer, ops: &mut Vec<IrOp>) -> Oper
         Expr::Index { base, index } => {
             let index_op = lower_expr(index, lowerer, ops);
             let dest = lowerer.fresh();
-            ops.push(IrOp::Load { dest: dest.clone(), base: base.clone(), index: index_op });
+            ops.push(IrOp::Load {
+                dest: dest.clone(),
+                base: base.clone(),
+                index: index_op,
+            });
             Operand::Reg(dest)
         }
         Expr::Binary { op, lhs, rhs } => {
             let lhs_op = lower_expr(lhs, lowerer, ops);
             let rhs_op = lower_expr(rhs, lowerer, ops);
             let dest = lowerer.fresh();
-            ops.push(IrOp::Bin { dest: dest.clone(), op: *op, lhs: lhs_op, rhs: rhs_op });
+            ops.push(IrOp::Bin {
+                dest: dest.clone(),
+                op: *op,
+                lhs: lhs_op,
+                rhs: rhs_op,
+            });
             Operand::Reg(dest)
         }
         Expr::Unary { not, operand } => {
             let inner = lower_expr(operand, lowerer, ops);
             let dest = lowerer.fresh();
-            ops.push(IrOp::Un { dest: dest.clone(), not: *not, operand: inner });
+            ops.push(IrOp::Un {
+                dest: dest.clone(),
+                not: *not,
+                operand: inner,
+            });
             Operand::Reg(dest)
         }
         Expr::Call { callee, args } => {
             let arg_ops: Vec<Operand> = args.iter().map(|a| lower_expr(a, lowerer, ops)).collect();
             let dest = lowerer.fresh();
-            ops.push(IrOp::Call { dest: Some(dest.clone()), callee: callee.clone(), args: arg_ops });
+            ops.push(IrOp::Call {
+                dest: Some(dest.clone()),
+                callee: callee.clone(),
+                args: arg_ops,
+            });
             Operand::Reg(dest)
         }
     }
@@ -262,7 +333,12 @@ fn extract_bound(cond: &Expr, var: &str) -> Option<(Expr, bool)> {
 
 /// Extract the constant step from `var = var + <const>` (or `<const> + var`).
 fn extract_step(step: &Expr, var: &str) -> Option<i64> {
-    if let Expr::Binary { op: BinOp::Add, lhs, rhs } = step {
+    if let Expr::Binary {
+        op: BinOp::Add,
+        lhs,
+        rhs,
+    } = step
+    {
         let step_value = match (lhs.as_ref(), rhs.as_ref()) {
             (Expr::Var(name), Expr::IntLit(v)) if name == var => Some(*v),
             (Expr::IntLit(v), Expr::Var(name)) if name == var => Some(*v),
@@ -292,10 +368,25 @@ kernel void axpy(float* y, float* x, float a, int n) {
     #[test]
     fn lowers_axpy_to_a_counted_loop() {
         let unit = parse("axpy.ck", AXPY).unwrap();
-        let module = lower(&unit, &LowerOptions { openmp: true, ..Default::default() }).unwrap();
+        let module = lower(
+            &unit,
+            &LowerOptions {
+                openmp: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert_eq!(module.loop_count(), 1);
         let f = module.function("axpy").unwrap();
-        let IrOp::Loop { parallel, step, body, .. } = &f.body[0] else { panic!("expected loop") };
+        let IrOp::Loop {
+            parallel,
+            step,
+            body,
+            ..
+        } = &f.body[0]
+        else {
+            panic!("expected loop")
+        };
         assert!(*parallel);
         assert_eq!(*step, 1);
         assert!(body.iter().any(|op| matches!(op, IrOp::Store { .. })));
@@ -304,32 +395,47 @@ kernel void axpy(float* y, float* x, float a, int n) {
     #[test]
     fn openmp_disabled_ignores_parallel_pragma() {
         let unit = parse("axpy.ck", AXPY).unwrap();
-        let module = lower(&unit, &LowerOptions { openmp: false, ..Default::default() }).unwrap();
+        let module = lower(
+            &unit,
+            &LowerOptions {
+                openmp: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let f = module.function("axpy").unwrap();
-        let IrOp::Loop { parallel, .. } = &f.body[0] else { panic!() };
+        let IrOp::Loop { parallel, .. } = &f.body[0] else {
+            panic!()
+        };
         assert!(!parallel);
         assert!(!module.metadata.openmp);
     }
 
     #[test]
     fn inclusive_bound_becomes_exclusive_plus_one() {
-        let src = "kernel void f(float* x, int n) { for (int i = 0; i <= n; i = i + 1) { x[i] = 0.0; } }";
+        let src =
+            "kernel void f(float* x, int n) { for (int i = 0; i <= n; i = i + 1) { x[i] = 0.0; } }";
         let unit = parse("f.ck", src).unwrap();
         let module = lower(&unit, &LowerOptions::default()).unwrap();
         let f = module.function("f").unwrap();
         // The bound add becomes an explicit Bin op preceding the loop.
-        assert!(f.body.iter().any(|op| matches!(op, IrOp::Bin { op: BinOp::Add, .. })));
+        assert!(f
+            .body
+            .iter()
+            .any(|op| matches!(op, IrOp::Bin { op: BinOp::Add, .. })));
     }
 
     #[test]
     fn non_canonical_loops_are_rejected() {
-        let bad_step = "kernel void f(float* x, int n) { for (int i = 0; i < n; i = i * 2) { x[i] = 0.0; } }";
+        let bad_step =
+            "kernel void f(float* x, int n) { for (int i = 0; i < n; i = i * 2) { x[i] = 0.0; } }";
         let unit = parse("f.ck", bad_step).unwrap();
         assert!(matches!(
             lower(&unit, &LowerOptions::default()),
             Err(LowerError::UnsupportedLoopStep { .. })
         ));
-        let bad_cond = "kernel void f(float* x, int n) { for (int i = 0; i > n; i = i + 1) { x[i] = 0.0; } }";
+        let bad_cond =
+            "kernel void f(float* x, int n) { for (int i = 0; i > n; i = i + 1) { x[i] = 0.0; } }";
         let unit = parse("f.ck", bad_cond).unwrap();
         assert!(matches!(
             lower(&unit, &LowerOptions::default()),
@@ -359,8 +465,14 @@ float reduce(float* x, int n) {
         let module = lower(&unit, &LowerOptions::default()).unwrap();
         let f = module.function("reduce").unwrap();
         assert!(f.body.iter().any(|op| matches!(op, IrOp::While { .. })));
-        assert!(f.body.iter().any(|op| matches!(op, IrOp::Call { dest: None, .. })));
-        assert!(matches!(f.body.last(), Some(IrOp::Return { value: Some(_) })));
+        assert!(f
+            .body
+            .iter()
+            .any(|op| matches!(op, IrOp::Call { dest: None, .. })));
+        assert!(matches!(
+            f.body.last(),
+            Some(IrOp::Return { value: Some(_) })
+        ));
         assert_eq!(f.callees(), vec!["log_value".to_string()]);
     }
 
@@ -373,8 +485,20 @@ kernel void scale(float* x, float a, int n) {
 }
 "#;
         let unit = parse("s.ck", src).unwrap();
-        let module = lower(&unit, &LowerOptions { openmp: false, ..Default::default() }).unwrap();
-        let IrOp::Loop { simd_hint, parallel, .. } = &module.function("scale").unwrap().body[0] else {
+        let module = lower(
+            &unit,
+            &LowerOptions {
+                openmp: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let IrOp::Loop {
+            simd_hint,
+            parallel,
+            ..
+        } = &module.function("scale").unwrap().body[0]
+        else {
             panic!()
         };
         assert!(*simd_hint);

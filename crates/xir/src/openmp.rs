@@ -27,7 +27,10 @@ impl OpenMpReport {
     /// Whether the unit uses OpenMP at all — if not, the `-fopenmp` flag has no effect on
     /// the generated IR and can be dropped when comparing configurations.
     pub fn uses_openmp(&self) -> bool {
-        self.parallel_loops > 0 || self.simd_loops > 0 || self.other_constructs > 0 || self.runtime_calls > 0
+        self.parallel_loops > 0
+            || self.simd_loops > 0
+            || self.other_constructs > 0
+            || self.runtime_calls > 0
     }
 }
 
@@ -55,7 +58,11 @@ fn analyze_block(stmts: &[Stmt], report: &mut OpenMpReport) {
                 analyze_block(body, report);
             }
             Stmt::While { body, .. } => analyze_block(body, report),
-            Stmt::If { then_body, else_body, .. } => {
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
                 analyze_block(then_body, report);
                 analyze_block(else_body, report);
             }

@@ -11,7 +11,11 @@ pub enum ParseError {
     /// Lexing failed.
     Lex(LexError),
     /// Unexpected token (with a description of what was expected).
-    Unexpected { expected: String, found: String, position: usize },
+    Unexpected {
+        expected: String,
+        found: String,
+        position: usize,
+    },
     /// Input ended unexpectedly.
     UnexpectedEof { expected: String },
 }
@@ -20,10 +24,19 @@ impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ParseError::Lex(e) => write!(f, "{e}"),
-            ParseError::Unexpected { expected, found, position } => {
-                write!(f, "parse error at token {position}: expected {expected}, found {found}")
+            ParseError::Unexpected {
+                expected,
+                found,
+                position,
+            } => {
+                write!(
+                    f,
+                    "parse error at token {position}: expected {expected}, found {found}"
+                )
             }
-            ParseError::UnexpectedEof { expected } => write!(f, "unexpected end of input, expected {expected}"),
+            ParseError::UnexpectedEof { expected } => {
+                write!(f, "unexpected end of input, expected {expected}")
+            }
         }
     }
 }
@@ -40,7 +53,10 @@ impl From<LexError> for ParseError {
 pub fn parse(file: &str, source: &str) -> Result<TranslationUnit, ParseError> {
     let tokens = lex(source)?;
     let mut parser = Parser { tokens, pos: 0 };
-    let mut unit = TranslationUnit { file: file.to_string(), functions: Vec::new() };
+    let mut unit = TranslationUnit {
+        file: file.to_string(),
+        functions: Vec::new(),
+    };
     while !parser.at_end() {
         // Pragmas before a function definition are ignored at this level (they attach to loops).
         while matches!(parser.peek(), Some(Token::Pragma(_))) {
@@ -85,7 +101,9 @@ impl Parser {
                 found: t.to_string(),
                 position: self.pos,
             },
-            None => ParseError::UnexpectedEof { expected: expected.to_string() },
+            None => ParseError::UnexpectedEof {
+                expected: expected.to_string(),
+            },
         }
     }
 
@@ -114,7 +132,9 @@ impl Parser {
         let base = match self.peek() {
             Some(Token::Keyword(Keyword::Void)) => Type::Void,
             Some(Token::Keyword(Keyword::Int)) => Type::Int,
-            Some(Token::Keyword(Keyword::Float)) | Some(Token::Keyword(Keyword::Double)) => Type::Float,
+            Some(Token::Keyword(Keyword::Float)) | Some(Token::Keyword(Keyword::Double)) => {
+                Type::Float
+            }
             _ => return Err(self.unexpected("type")),
         };
         self.advance();
@@ -154,7 +174,13 @@ impl Parser {
         }
         self.expect_punct(Punct::RParen)?;
         let body = self.block()?;
-        Ok(Function { name, is_kernel, return_type, params, body })
+        Ok(Function {
+            name,
+            is_kernel,
+            return_type,
+            params,
+            body,
+        })
     }
 
     fn block(&mut self) -> Result<Vec<Stmt>, ParseError> {
@@ -163,7 +189,9 @@ impl Parser {
         let mut pending_pragmas: Vec<String> = Vec::new();
         while !matches!(self.peek(), Some(Token::Punct(Punct::RBrace))) {
             if self.at_end() {
-                return Err(ParseError::UnexpectedEof { expected: "`}`".into() });
+                return Err(ParseError::UnexpectedEof {
+                    expected: "`}`".into(),
+                });
             }
             if let Some(Token::Pragma(p)) = self.peek() {
                 pending_pragmas.push(p.clone());
@@ -200,7 +228,11 @@ impl Parser {
                 } else {
                     Vec::new()
                 };
-                Ok(Stmt::If { cond, then_body, else_body })
+                Ok(Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                })
             }
             Some(Token::Keyword(Keyword::Return)) => {
                 self.advance();
@@ -306,7 +338,14 @@ impl Parser {
         let step = self.expression()?;
         self.expect_punct(Punct::RParen)?;
         let body = self.block()?;
-        Ok(Stmt::For { var, init, cond, step, body, pragmas })
+        Ok(Stmt::For {
+            var,
+            init,
+            cond,
+            step,
+            body,
+            pragmas,
+        })
     }
 
     // Expression parsing with precedence climbing.
@@ -319,7 +358,11 @@ impl Parser {
         while matches!(self.peek(), Some(Token::Punct(Punct::OrOr))) {
             self.advance();
             let rhs = self.parse_and()?;
-            lhs = Expr::Binary { op: BinOp::Or, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Binary {
+                op: BinOp::Or,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
         Ok(lhs)
     }
@@ -329,7 +372,11 @@ impl Parser {
         while matches!(self.peek(), Some(Token::Punct(Punct::AndAnd))) {
             self.advance();
             let rhs = self.parse_comparison()?;
-            lhs = Expr::Binary { op: BinOp::And, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Binary {
+                op: BinOp::And,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
         Ok(lhs)
     }
@@ -348,7 +395,11 @@ impl Parser {
             };
             self.advance();
             let rhs = self.parse_additive()?;
-            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
         Ok(lhs)
     }
@@ -363,7 +414,11 @@ impl Parser {
             };
             self.advance();
             let rhs = self.parse_multiplicative()?;
-            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
         Ok(lhs)
     }
@@ -379,7 +434,11 @@ impl Parser {
             };
             self.advance();
             let rhs = self.parse_unary()?;
-            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
         Ok(lhs)
     }
@@ -389,12 +448,18 @@ impl Parser {
             Some(Token::Punct(Punct::Minus)) => {
                 self.advance();
                 let operand = self.parse_unary()?;
-                Ok(Expr::Unary { not: false, operand: Box::new(operand) })
+                Ok(Expr::Unary {
+                    not: false,
+                    operand: Box::new(operand),
+                })
             }
             Some(Token::Punct(Punct::Not)) => {
                 self.advance();
                 let operand = self.parse_unary()?;
-                Ok(Expr::Unary { not: true, operand: Box::new(operand) })
+                Ok(Expr::Unary {
+                    not: true,
+                    operand: Box::new(operand),
+                })
             }
             _ => self.parse_primary(),
         }
@@ -439,7 +504,10 @@ impl Parser {
                         self.advance();
                         let index = self.expression()?;
                         self.expect_punct(Punct::RBracket)?;
-                        Ok(Expr::Index { base: name, index: Box::new(index) })
+                        Ok(Expr::Index {
+                            base: name,
+                            index: Box::new(index),
+                        })
                     }
                     _ => Ok(Expr::Var(name)),
                 }
@@ -471,7 +539,9 @@ kernel void axpy(float* y, float* x, float a, int n) {
         assert!(f.is_kernel);
         assert_eq!(f.params.len(), 4);
         match &f.body[0] {
-            Stmt::For { var, pragmas, body, .. } => {
+            Stmt::For {
+                var, pragmas, body, ..
+            } => {
                 assert_eq!(var, "i");
                 assert_eq!(pragmas, &vec!["omp parallel for".to_string()]);
                 assert_eq!(body.len(), 1);
@@ -500,8 +570,15 @@ kernel void apply(float* out, float* in, int n) {
     fn operator_precedence_is_respected() {
         let src = "kernel void f(float* o, float a, float b, float c) { o[0] = a + b * c; }";
         let unit = parse("p.ck", src).unwrap();
-        let Stmt::Assign { value, .. } = &unit.functions[0].body[0] else { panic!() };
-        let Expr::Binary { op: BinOp::Add, rhs, .. } = value else {
+        let Stmt::Assign { value, .. } = &unit.functions[0].body[0] else {
+            panic!()
+        };
+        let Expr::Binary {
+            op: BinOp::Add,
+            rhs,
+            ..
+        } = value
+        else {
             panic!("expected add at top level: {value:?}")
         };
         assert!(matches!(**rhs, Expr::Binary { op: BinOp::Mul, .. }));
@@ -543,7 +620,10 @@ int clampsum(int* v, int n, int limit) {
         let err = parse("bad.ck", "kernel void f( { }").unwrap_err();
         assert!(matches!(err, ParseError::Unexpected { .. }));
         let err = parse("bad.ck", "kernel void f()").unwrap_err();
-        assert!(matches!(err, ParseError::UnexpectedEof { .. } | ParseError::Unexpected { .. }));
+        assert!(matches!(
+            err,
+            ParseError::UnexpectedEof { .. } | ParseError::Unexpected { .. }
+        ));
     }
 
     #[test]

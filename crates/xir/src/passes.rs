@@ -73,14 +73,22 @@ pub fn optimize(module: &mut IrModule, level: OptLevel) -> PassStats {
 }
 
 /// Fold binary operations whose operands are immediates. Returns the fold count.
-pub fn fold_constants(ops: &mut Vec<IrOp>) -> usize {
+pub fn fold_constants(ops: &mut [IrOp]) -> usize {
     let mut folded = 0;
     for op in ops.iter_mut() {
         match op {
-            IrOp::Bin { dest, op: bin_op, lhs, rhs } => {
+            IrOp::Bin {
+                dest,
+                op: bin_op,
+                lhs,
+                rhs,
+            } => {
                 if let Some(value) = eval_const(*bin_op, lhs, rhs) {
                     folded += 1;
-                    *op = IrOp::Const { dest: dest.clone(), value };
+                    *op = IrOp::Const {
+                        dest: dest.clone(),
+                        value,
+                    };
                 }
             }
             IrOp::Loop { body, .. } => folded += fold_constants(body),
@@ -88,7 +96,11 @@ pub fn fold_constants(ops: &mut Vec<IrOp>) -> usize {
                 folded += fold_constants(cond_ops);
                 folded += fold_constants(body);
             }
-            IrOp::If { then_body, else_body, .. } => {
+            IrOp::If {
+                then_body,
+                else_body,
+                ..
+            } => {
                 folded += fold_constants(then_body);
                 folded += fold_constants(else_body);
             }
@@ -152,7 +164,11 @@ pub fn eliminate_dead_code(function: &mut IrFunction) -> usize {
                     collect_uses(cond_ops, used);
                     collect_uses(body, used);
                 }
-                IrOp::If { then_body, else_body, .. } => {
+                IrOp::If {
+                    then_body,
+                    else_body,
+                    ..
+                } => {
                     collect_uses(then_body, used);
                     collect_uses(else_body, used);
                 }
@@ -181,7 +197,11 @@ pub fn eliminate_dead_code(function: &mut IrFunction) -> usize {
                     removed += sweep(cond_ops, used);
                     removed += sweep(body, used);
                 }
-                IrOp::If { then_body, else_body, .. } => {
+                IrOp::If {
+                    then_body,
+                    else_body,
+                    ..
+                } => {
                     removed += sweep(then_body, used);
                     removed += sweep(else_body, used);
                 }
@@ -207,7 +227,13 @@ pub fn scalar_unroll(module: &mut IrModule, factor: u32) -> PassStats {
     }
     for function in &mut module.functions {
         function.visit_loops_mut(&mut |op| {
-            if let IrOp::Loop { body, step, prevectorization_blocked, .. } = op {
+            if let IrOp::Loop {
+                body,
+                step,
+                prevectorization_blocked,
+                ..
+            } = op
+            {
                 let is_innermost = !body.iter().any(|o| matches!(o, IrOp::Loop { .. }));
                 if !is_innermost || *prevectorization_blocked {
                     return;
@@ -238,9 +264,7 @@ mod tests {
 
     #[test]
     fn constant_folding_replaces_immediate_arithmetic() {
-        let mut module = compile(
-            "kernel void f(float* x) { float a = 2.0 * 3.0; x[0] = a; }",
-        );
+        let mut module = compile("kernel void f(float* x) { float a = 2.0 * 3.0; x[0] = a; }");
         let stats = optimize(&mut module, OptLevel::O2);
         assert!(stats.constants_folded >= 1);
         let text = module.to_text();
@@ -256,7 +280,13 @@ mod tests {
             rhs: Operand::ImmInt(3),
         }];
         assert_eq!(fold_constants(&mut ops), 1);
-        assert_eq!(ops[0], IrOp::Const { dest: "t".into(), value: Operand::ImmInt(5) });
+        assert_eq!(
+            ops[0],
+            IrOp::Const {
+                dest: "t".into(),
+                value: Operand::ImmInt(5)
+            }
+        );
     }
 
     #[test]
@@ -308,7 +338,14 @@ kernel void f(float* x, int n) {
         assert_eq!(stats.loops_unrolled, 1);
         assert!(module.op_count() > before_ops);
         let f = module.function("f").unwrap();
-        let IrOp::Loop { step, prevectorization_blocked, .. } = &f.body[0] else { panic!() };
+        let IrOp::Loop {
+            step,
+            prevectorization_blocked,
+            ..
+        } = &f.body[0]
+        else {
+            panic!()
+        };
         assert_eq!(*step, 4);
         assert!(*prevectorization_blocked);
         // Unrolling twice does not re-unroll a blocked loop.

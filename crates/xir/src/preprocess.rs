@@ -156,7 +156,15 @@ pub fn preprocess(
     let mut used = Vec::new();
     let mut included = Vec::new();
     let mut working = definitions.clone();
-    process_text(source, &mut working, headers, &mut output, &mut used, &mut included, 0)?;
+    process_text(
+        source,
+        &mut working,
+        headers,
+        &mut output,
+        &mut used,
+        &mut included,
+        0,
+    )?;
     used.sort();
     used.dedup();
     included.sort();
@@ -197,7 +205,10 @@ fn process_text(
     depth: usize,
 ) -> Result<(), PreprocessError> {
     if depth > 32 {
-        return Err(PreprocessError::BadDirective { directive: "#include (nested too deep)".into(), line: 0 });
+        return Err(PreprocessError::BadDirective {
+            directive: "#include (nested too deep)".into(),
+            line: 0,
+        });
     }
     let mut stack: Vec<CondState> = Vec::new();
     for (line_index, raw_line) in source.lines().enumerate() {
@@ -220,12 +231,25 @@ fn process_text(
             match keyword {
                 "include" => {
                     if emitting {
-                        let name = rest.trim_matches(|c| c == '"' || c == '<' || c == '>').to_string();
+                        let name = rest
+                            .trim_matches(|c| c == '"' || c == '<' || c == '>')
+                            .to_string();
                         let Some(content) = headers.get(&name) else {
-                            return Err(PreprocessError::MissingInclude { file: name, line: line_no });
+                            return Err(PreprocessError::MissingInclude {
+                                file: name,
+                                line: line_no,
+                            });
                         };
                         included.push(name);
-                        process_text(content, definitions, headers, output, used, included, depth + 1)?;
+                        process_text(
+                            content,
+                            definitions,
+                            headers,
+                            output,
+                            used,
+                            included,
+                            depth + 1,
+                        )?;
                     }
                 }
                 "define" => {
@@ -264,7 +288,11 @@ fn process_text(
                 }
                 "if" => {
                     let value = eval_condition(rest, definitions, used);
-                    stack.push(if value { CondState::Active } else { CondState::InactivePending });
+                    stack.push(if value {
+                        CondState::Active
+                    } else {
+                        CondState::InactivePending
+                    });
                 }
                 "elif" => {
                     let Some(top) = stack.last_mut() else {
@@ -298,7 +326,10 @@ fn process_text(
                     }
                 }
                 other => {
-                    return Err(PreprocessError::BadDirective { directive: format!("#{other}"), line: line_no })
+                    return Err(PreprocessError::BadDirective {
+                        directive: format!("#{other}"),
+                        line: line_no,
+                    })
                 }
             }
             continue;
@@ -445,10 +476,16 @@ int backend = 0;
 "#;
         let mut cuda = Definitions::new();
         cuda.define_flag("USE_CUDA");
-        assert!(preprocess("b.ck", source, &cuda, &no_headers()).unwrap().text.contains("backend = 1"));
+        assert!(preprocess("b.ck", source, &cuda, &no_headers())
+            .unwrap()
+            .text
+            .contains("backend = 1"));
         let mut hip = Definitions::new();
         hip.define_flag("USE_HIP");
-        assert!(preprocess("b.ck", source, &hip, &no_headers()).unwrap().text.contains("backend = 2"));
+        assert!(preprocess("b.ck", source, &hip, &no_headers())
+            .unwrap()
+            .text
+            .contains("backend = 2"));
         let none = preprocess("b.ck", source, &Definitions::new(), &no_headers()).unwrap();
         assert!(none.text.contains("backend = 0"));
     }
@@ -456,13 +493,24 @@ int backend = 0;
     #[test]
     fn includes_are_resolved_and_recorded() {
         let mut headers = BTreeMap::new();
-        headers.insert("vec_ops.h".to_string(), "float dot(float* a, float* b, int n) { return 0.0; }\n".to_string());
+        headers.insert(
+            "vec_ops.h".to_string(),
+            "float dot(float* a, float* b, int n) { return 0.0; }\n".to_string(),
+        );
         let source = "#include \"vec_ops.h\"\nkernel void f(float* a, float* b, int n) { a[0] = dot(a, b, n); }\n";
         let unit = preprocess("f.ck", source, &Definitions::new(), &headers).unwrap();
         assert!(unit.text.contains("float dot"));
         assert_eq!(unit.included_headers, vec!["vec_ops.h"]);
-        let missing = preprocess("f.ck", "#include \"absent.h\"\n", &Definitions::new(), &no_headers());
-        assert!(matches!(missing, Err(PreprocessError::MissingInclude { .. })));
+        let missing = preprocess(
+            "f.ck",
+            "#include \"absent.h\"\n",
+            &Definitions::new(),
+            &no_headers(),
+        );
+        assert!(matches!(
+            missing,
+            Err(PreprocessError::MissingInclude { .. })
+        ));
     }
 
     #[test]
@@ -481,14 +529,25 @@ int backend = 0;
             Err(PreprocessError::UnbalancedConditional { .. })
         ));
         assert!(matches!(
-            preprocess("x.ck", "#ifdef A\nint x;\n", &Definitions::new(), &no_headers()),
+            preprocess(
+                "x.ck",
+                "#ifdef A\nint x;\n",
+                &Definitions::new(),
+                &no_headers()
+            ),
             Err(PreprocessError::UnterminatedConditional)
         ));
     }
 
     #[test]
     fn whitespace_canonicalisation_stabilises_hash() {
-        let a = preprocess("a.ck", "int x;   \n\n\nint y;\n", &Definitions::new(), &no_headers()).unwrap();
+        let a = preprocess(
+            "a.ck",
+            "int x;   \n\n\nint y;\n",
+            &Definitions::new(),
+            &no_headers(),
+        )
+        .unwrap();
         let b = preprocess("a.ck", "int x;\nint y;", &Definitions::new(), &no_headers()).unwrap();
         assert_eq!(a.content_hash(), b.content_hash());
     }
@@ -509,14 +568,22 @@ int path = 0;
         let mut both = Definitions::new();
         both.define_flag("GPU");
         both.define_flag("CUDA");
-        assert!(preprocess("n.ck", source, &both, &no_headers()).unwrap().text.contains("path = 11"));
-        let mut gpu_only = Definitions::new();
-        gpu_only.define_flag("GPU");
-        assert!(preprocess("n.ck", source, &gpu_only, &no_headers()).unwrap().text.contains("path = 12"));
-        assert!(preprocess("n.ck", source, &Definitions::new(), &no_headers())
+        assert!(preprocess("n.ck", source, &both, &no_headers())
             .unwrap()
             .text
-            .contains("path = 0"));
+            .contains("path = 11"));
+        let mut gpu_only = Definitions::new();
+        gpu_only.define_flag("GPU");
+        assert!(preprocess("n.ck", source, &gpu_only, &no_headers())
+            .unwrap()
+            .text
+            .contains("path = 12"));
+        assert!(
+            preprocess("n.ck", source, &Definitions::new(), &no_headers())
+                .unwrap()
+                .text
+                .contains("path = 0")
+        );
     }
 
     #[test]

@@ -25,12 +25,20 @@ pub struct TargetIsa {
 impl TargetIsa {
     /// A scalar-only target (used by the "None" vectorisation level).
     pub fn scalar(name: impl Into<String>) -> Self {
-        Self { name: name.into(), vector_width: 1, fma: false }
+        Self {
+            name: name.into(),
+            vector_width: 1,
+            fma: false,
+        }
     }
 
     /// Construct a vector target.
     pub fn vector(name: impl Into<String>, vector_width: u32, fma: bool) -> Self {
-        Self { name: name.into(), vector_width: vector_width.max(1), fma }
+        Self {
+            name: name.into(),
+            vector_width: vector_width.max(1),
+            fma,
+        }
     }
 }
 
@@ -94,10 +102,26 @@ pub fn vectorize(module: &mut IrModule, target: &TargetIsa) -> VectorizationRepo
     let mut report = VectorizationReport::default();
     for function in &mut module.functions {
         let fname = function.name.clone();
-        let param_names: BTreeSet<String> = function.params.iter().map(|(n, _)| n.clone()).collect();
+        let param_names: BTreeSet<String> =
+            function.params.iter().map(|(n, _)| n.clone()).collect();
         function.visit_loops_mut(&mut |op| {
-            if let IrOp::Loop { var, step, body, vector_width, prevectorization_blocked, .. } = op {
-                let decision = decide(var, *step, body, *prevectorization_blocked, &param_names, target);
+            if let IrOp::Loop {
+                var,
+                step,
+                body,
+                vector_width,
+                prevectorization_blocked,
+                ..
+            } = op
+            {
+                let decision = decide(
+                    var,
+                    *step,
+                    body,
+                    *prevectorization_blocked,
+                    &param_names,
+                    target,
+                );
                 match decision {
                     Ok(width) => {
                         *vector_width = Some(width);
@@ -138,7 +162,11 @@ fn decide(
     if prevectorization_blocked {
         // The best we can do after premature scalar optimisation is a narrow fallback:
         // the structured trip pattern is gone, so wide re-vectorisation is not possible.
-        return if target.vector_width > 1 { Ok(2.min(target.vector_width)) } else { Ok(1) };
+        return if target.vector_width > 1 {
+            Ok(2.min(target.vector_width))
+        } else {
+            Ok(1)
+        };
     }
     if step != 1 {
         return Err(VectorizationBlock::NonUnitStride);
@@ -150,10 +178,8 @@ fn decide(
     // Inspect the body: reject calls (except intrinsics) and nested control flow.
     for op in body {
         match op {
-            IrOp::Call { callee, .. } => {
-                if !VECTORIZABLE_INTRINSICS.contains(&callee.as_str()) {
-                    return Err(VectorizationBlock::ContainsCall(callee.clone()));
-                }
+            IrOp::Call { callee, .. } if !VECTORIZABLE_INTRINSICS.contains(&callee.as_str()) => {
+                return Err(VectorizationBlock::ContainsCall(callee.clone()));
             }
             IrOp::Loop { .. } | IrOp::While { .. } | IrOp::If { .. } => {
                 return Err(VectorizationBlock::ContainsControlFlow)
@@ -202,11 +228,20 @@ fn is_reduction_of(variable: &str, body: &[IrOp]) -> bool {
             continue;
         }
         let ok = match op {
-            IrOp::Bin { op: BinOp::Add | BinOp::Mul | BinOp::Sub, .. } => reads_variable(op),
-            IrOp::Move { src: Operand::Reg(temp), .. } => match producer(temp) {
-                Some(def @ IrOp::Bin { op: BinOp::Add | BinOp::Mul | BinOp::Sub, .. }) => {
-                    reads_variable(def)
-                }
+            IrOp::Bin {
+                op: BinOp::Add | BinOp::Mul | BinOp::Sub,
+                ..
+            } => reads_variable(op),
+            IrOp::Move {
+                src: Operand::Reg(temp),
+                ..
+            } => match producer(temp) {
+                Some(
+                    def @ IrOp::Bin {
+                        op: BinOp::Add | BinOp::Mul | BinOp::Sub,
+                        ..
+                    },
+                ) => reads_variable(def),
                 _ => false,
             },
             _ => false,
@@ -285,27 +320,38 @@ pub fn lower_to_machine(module: &IrModule, target: &TargetIsa) -> MachineModule 
             }
         })
         .collect();
-    MachineModule { name: module.name.clone(), target: target.clone(), functions, vectorization }
+    MachineModule {
+        name: module.name.clone(),
+        target: target.clone(),
+        functions,
+        vectorization,
+    }
 }
 
 /// Estimate the lowered instruction count: vectorised loop bodies issue one instruction
 /// per `width` lanes, FMA fuses multiply-add pairs.
 fn estimate_instructions(function: &IrFunction, target: &TargetIsa) -> usize {
-    fn count(ops: &[IrOp], width_stack: u32, fma: bool) -> usize {
+    fn count(ops: &[IrOp], fma: bool) -> usize {
         let mut total = 0usize;
         let mut iter = ops.iter().peekable();
         while let Some(op) = iter.next() {
             match op {
-                IrOp::Loop { body, vector_width, .. } => {
+                IrOp::Loop {
+                    body, vector_width, ..
+                } => {
                     let width = vector_width.unwrap_or(1).max(1);
                     total += 2; // loop control
-                    total += count(body, width, fma).div_ceil(width as usize);
+                    total += count(body, fma).div_ceil(width as usize);
                 }
                 IrOp::While { cond_ops, body, .. } => {
-                    total += 2 + count(cond_ops, width_stack, fma) + count(body, width_stack, fma);
+                    total += 2 + count(cond_ops, fma) + count(body, fma);
                 }
-                IrOp::If { then_body, else_body, .. } => {
-                    total += 1 + count(then_body, width_stack, fma) + count(else_body, width_stack, fma);
+                IrOp::If {
+                    then_body,
+                    else_body,
+                    ..
+                } => {
+                    total += 1 + count(then_body, fma) + count(else_body, fma);
                 }
                 IrOp::Bin { op: BinOp::Mul, .. } if fma => {
                     // A multiply immediately followed by a dependent add fuses into one FMA.
@@ -319,7 +365,7 @@ fn estimate_instructions(function: &IrFunction, target: &TargetIsa) -> usize {
         }
         total
     }
-    count(&function.body, 1, target.fma)
+    count(&function.body, target.fma)
 }
 
 #[cfg(test)]
@@ -378,7 +424,10 @@ kernel void f(float* y, float* x, int n) {
         assert_eq!(report.loops.len(), 2);
         assert_eq!(report.loops[0].width, 16);
         assert_eq!(report.loops[1].width, 1);
-        assert!(matches!(report.loops[1].blocked, Some(VectorizationBlock::ContainsCall(_))));
+        assert!(matches!(
+            report.loops[1].blocked,
+            Some(VectorizationBlock::ContainsCall(_))
+        ));
     }
 
     #[test]
@@ -393,7 +442,10 @@ kernel void f(float* y, float* x, int n) {
         let unit = parse("f.ck", src).unwrap();
         let mut module = lower(&unit, &LowerOptions::default()).unwrap();
         let report = vectorize(&mut module, &avx512());
-        assert!(matches!(report.loops[0].blocked, Some(VectorizationBlock::ContainsControlFlow)));
+        assert!(matches!(
+            report.loops[0].blocked,
+            Some(VectorizationBlock::ContainsControlFlow)
+        ));
     }
 
     #[test]
@@ -408,7 +460,11 @@ float sum(float* x, int n) {
         let unit = parse("r.ck", reduction).unwrap();
         let mut module = lower(&unit, &LowerOptions::default()).unwrap();
         let report = vectorize(&mut module, &avx512());
-        assert_eq!(report.loops[0].width, 16, "sum reduction vectorises: {:?}", report.loops[0]);
+        assert_eq!(
+            report.loops[0].width, 16,
+            "sum reduction vectorises: {:?}",
+            report.loops[0]
+        );
 
         let recurrence = r#"
 float scan(float* x, int n) {
@@ -432,7 +488,10 @@ float scan(float* x, int n) {
         let mut early = axpy_module();
         scalar_unroll(&mut early, 4);
         let report_early = vectorize(&mut early, &avx512());
-        assert!(report_early.loops[0].width <= 2, "blocked loops cap at width 2");
+        assert!(
+            report_early.loops[0].width <= 2,
+            "blocked loops cap at width 2"
+        );
 
         let mut delayed = axpy_module();
         let report_delayed = vectorize(&mut delayed, &avx512());
@@ -454,10 +513,14 @@ float scan(float* x, int n) {
 
     #[test]
     fn non_unit_stride_is_rejected() {
-        let src = "kernel void f(float* x, int n) { for (int i = 0; i < n; i = i + 2) { x[i] = 0.0; } }";
+        let src =
+            "kernel void f(float* x, int n) { for (int i = 0; i < n; i = i + 2) { x[i] = 0.0; } }";
         let unit = parse("f.ck", src).unwrap();
         let mut module = lower(&unit, &LowerOptions::default()).unwrap();
         let report = vectorize(&mut module, &avx512());
-        assert!(matches!(report.loops[0].blocked, Some(VectorizationBlock::NonUnitStride)));
+        assert!(matches!(
+            report.loops[0].blocked,
+            Some(VectorizationBlock::NonUnitStride)
+        ));
     }
 }

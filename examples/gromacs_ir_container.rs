@@ -18,7 +18,10 @@ fn main() {
 
     // Build the IR container once, sweeping five x86 vectorization levels (plus CUDA).
     let pipeline = IrPipelineConfig::sweep_options(&project, &["GMX_SIMD", "GMX_GPU"])
-        .with_values("GMX_SIMD", &["SSE4.1", "AVX2_128", "AVX_256", "AVX2_256", "AVX_512"])
+        .with_values(
+            "GMX_SIMD",
+            &["SSE4.1", "AVX2_128", "AVX_256", "AVX2_256", "AVX_512"],
+        )
         .with_values("GMX_GPU", &["OFF", "CUDA"]);
     let build = build_ir_container(&project, &pipeline, &store, "spcl/mini-gromacs:ir-x86")
         .expect("IR container builds");
@@ -38,14 +41,19 @@ fn main() {
     );
     let h1 = hypothesis1(&stats);
     let h2 = hypothesis2(&project);
-    println!("  Hypothesis 1 holds: {}   Hypothesis 2 holds: {} (S_I fraction {:.2})",
-        h1.holds, h2.holds, h2.independent_fraction);
+    println!(
+        "  Hypothesis 1 holds: {}   Hypothesis 2 holds: {} (S_I fraction {:.2})",
+        h1.holds, h2.holds, h2.independent_fraction
+    );
 
     // Deploy the same container at three vectorization levels and compare.
     let system = SystemModel::ault01_04();
     let engine = ExecutionEngine::new(&system);
     let workload = gromacs::workload_test_b(200);
-    println!("\ndeployments on {} (test B, 200 steps, 36 threads):", system.name);
+    println!(
+        "\ndeployments on {} (test B, 200 steps, 36 threads):",
+        system.name
+    );
     let mut reference_output: Option<Vec<f64>> = None;
     for level in [SimdLevel::Sse41, SimdLevel::Avx2_256, SimdLevel::Avx512] {
         let selection = OptionAssignment::new()
@@ -53,7 +61,9 @@ fn main() {
             .with("GMX_GPU", "OFF");
         let deployment = deploy_ir_container(&build, &project, &system, &selection, level, &store)
             .expect("deployment succeeds");
-        let report = engine.execute(&workload, &deployment.build_profile).unwrap();
+        let report = engine
+            .execute(&workload, &deployment.build_profile)
+            .unwrap();
         println!(
             "  {:<10} lowered {:>2} IR units, {:>2} loops vectorised, modelled time {:>7.2} s, image {}",
             level.gmx_name(),

@@ -17,12 +17,19 @@ fn main() {
     let workload = llamacpp::benchmark_workload(512, 128);
     println!("workload: {}", workload.name);
 
-    for system in [SystemModel::ault23(), SystemModel::aurora(), SystemModel::clariden()] {
+    for system in [
+        SystemModel::ault23(),
+        SystemModel::aurora(),
+        SystemModel::clariden(),
+    ] {
         let image = build_source_container(
             &project,
             xaas::source_container::architecture_of(&system),
             &store,
-            &format!("spcl/mini-llamacpp:src-{}", system.name.to_ascii_lowercase()),
+            &format!(
+                "spcl/mini-llamacpp:src-{}",
+                system.name.to_ascii_lowercase()
+            ),
         );
         let deployment = deploy_source_container(
             &project,
@@ -38,16 +45,34 @@ fn main() {
         let mut rows: Vec<(String, f64, bool)> = Vec::new();
         for profile in xaas_apps::make_executable(xaas_apps::llamacpp_baselines(&system), &system) {
             if let Ok(report) = engine.execute(&workload, &profile) {
-                rows.push((profile.label.clone(), report.compute_seconds, report.used_gpu));
+                rows.push((
+                    profile.label.clone(),
+                    report.compute_seconds,
+                    report.used_gpu,
+                ));
             }
         }
-        let deployed = engine.execute(&workload, &deployment.build_profile).unwrap();
-        rows.push(("XaaS Source (deployed)".to_string(), deployed.compute_seconds, deployed.used_gpu));
+        let deployed = engine
+            .execute(&workload, &deployment.build_profile)
+            .unwrap();
+        rows.push((
+            "XaaS Source (deployed)".to_string(),
+            deployed.compute_seconds,
+            deployed.used_gpu,
+        ));
 
         println!("\n=== {} ===", system.name);
-        println!("  selected configuration: {}", deployment.assignment.label());
+        println!(
+            "  selected configuration: {}",
+            deployment.assignment.label()
+        );
         for (label, seconds, gpu) in rows {
-            println!("  {:<26} {:>8.3} s{}", label, seconds, if gpu { "   [GPU]" } else { "" });
+            println!(
+                "  {:<26} {:>8.3} s{}",
+                label,
+                seconds,
+                if gpu { "   [GPU]" } else { "" }
+            );
         }
     }
 }

@@ -16,14 +16,26 @@ fn main() {
     println!("application: {} v{}", project.name, project.version);
     println!("specialization points:");
     for option in &project.options {
-        println!("  {:<18} [{}] choices: {}", option.name, option.category, option.value_names().join(", "));
+        println!(
+            "  {:<18} [{}] choices: {}",
+            option.name,
+            option.category,
+            option.value_names().join(", ")
+        );
     }
 
     // 2. Build ONE portable source container (per architecture) and push it to a registry.
     let local = ImageStore::new();
     let registry = Registry::new();
-    let image = build_source_container(&project, Architecture::Amd64, &local, "spcl/mini-gromacs:src-x86");
-    registry.push(&local, "spcl/mini-gromacs:src-x86").expect("push succeeds");
+    let image = build_source_container(
+        &project,
+        Architecture::Amd64,
+        &local,
+        "spcl/mini-gromacs:src-x86",
+    );
+    registry
+        .push(&local, "spcl/mini-gromacs:src-x86")
+        .expect("push succeeds");
     println!(
         "\nsource container: {} ({} layers, {} bytes), format = {}",
         image.reference,
@@ -32,8 +44,13 @@ fn main() {
         image.deployment_format()
     );
     // Specialization points can be inspected from the registry without pulling the image.
-    let annotations = registry.peek_annotations("spcl/mini-gromacs:src-x86").unwrap();
-    println!("registry annotation keys: {:?}", annotations.keys().collect::<Vec<_>>());
+    let annotations = registry
+        .peek_annotations("spcl/mini-gromacs:src-x86")
+        .unwrap();
+    println!(
+        "registry annotation keys: {:?}",
+        annotations.keys().collect::<Vec<_>>()
+    );
 
     // 3. Deploy the same container on two systems; XaaS picks the best specialization.
     for system in [SystemModel::ault23(), SystemModel::clariden()] {
@@ -57,10 +74,15 @@ fn main() {
         //    against a naive build of the same application.
         let engine = ExecutionEngine::new(&system);
         let workload = gromacs::workload_test_a(1_000);
-        let deployed = engine.execute(&workload, &deployment.build_profile).unwrap();
+        let deployed = engine
+            .execute(&workload, &deployment.build_profile)
+            .unwrap();
         let baselines = xaas_apps::make_executable(xaas_apps::gromacs_baselines(&system), &system);
         let naive = engine
-            .execute(&workload, baselines.iter().find(|p| p.label == "Naive Build").unwrap())
+            .execute(
+                &workload,
+                baselines.iter().find(|p| p.label == "Naive Build").unwrap(),
+            )
             .unwrap();
         println!(
             "  naive build: {:>8.2} s   XaaS deployment: {:>8.2} s   speedup {:.2}x (GPU used: {})",

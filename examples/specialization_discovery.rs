@@ -10,14 +10,18 @@ use xaas_apps::gromacs;
 use xaas_buildsys::parse_script;
 use xaas_hpcsim::{discover, SystemModel};
 use xaas_specs::{
-    analyze, from_project, from_script, intersect, score, AnalysisConfig, SimulatedLlm, SpecCategory,
+    analyze, from_project, from_script, intersect, score, AnalysisConfig, SimulatedLlm,
+    SpecCategory,
 };
 
 fn main() {
     let project = gromacs::project();
     let truth = from_project(&project);
-    println!("ground truth: {} specialization facts in {} categories", truth.len(),
-        SpecCategory::all().len());
+    println!(
+        "ground truth: {} specialization facts in {} categories",
+        truth.len(),
+        SpecCategory::all().len()
+    );
 
     // Rule-based extraction from the build-script text.
     let script = parse_script(&project.build_script).expect("script parses");

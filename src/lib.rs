@@ -1,0 +1,14 @@
+//! Integration surface of the XaaS Containers reproduction.
+//!
+//! This root crate exists to host the cross-crate integration tests
+//! (`tests/`), the property tests, and the runnable examples (`examples/`).
+//! It re-exports the workspace crates so downstream experimentation can depend
+//! on a single package.
+
+pub use xaas;
+pub use xaas_apps as apps;
+pub use xaas_buildsys as buildsys;
+pub use xaas_container as container;
+pub use xaas_hpcsim as hpcsim;
+pub use xaas_specs as specs;
+pub use xaas_xir as xir;

@@ -1,0 +1,40 @@
+//! Smoke test: every example must run to completion with exit code 0.
+//!
+//! The examples are the documented entry points of the reproduction
+//! (`cargo run --example quickstart`, …); this keeps them from rotting.
+//! They are invoked through the same `cargo` that runs the test suite, so a
+//! plain `cargo test` exercises them with no extra CI step. Cargo's target
+//! directory lock serializes the inner builds safely.
+
+use std::process::Command;
+
+const EXAMPLES: &[&str] = &[
+    "quickstart",
+    "specialization_discovery",
+    "gromacs_ir_container",
+    "llamacpp_source_container",
+];
+
+#[test]
+fn all_examples_run_to_completion() {
+    let cargo = env!("CARGO");
+    let manifest_dir = env!("CARGO_MANIFEST_DIR");
+    for example in EXAMPLES {
+        let output = Command::new(cargo)
+            .args(["run", "--quiet", "--offline", "--example", example])
+            .current_dir(manifest_dir)
+            .output()
+            .unwrap_or_else(|e| panic!("failed to spawn cargo for example `{example}`: {e}"));
+        assert!(
+            output.status.success(),
+            "example `{example}` failed with {:?}\n--- stdout ---\n{}\n--- stderr ---\n{}",
+            output.status.code(),
+            String::from_utf8_lossy(&output.stdout),
+            String::from_utf8_lossy(&output.stderr),
+        );
+        assert!(
+            !output.stdout.is_empty(),
+            "example `{example}` produced no output"
+        );
+    }
+}

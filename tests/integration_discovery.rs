@@ -4,7 +4,8 @@ use xaas_apps::{gromacs, llamacpp, lulesh};
 use xaas_buildsys::parse_script;
 use xaas_hpcsim::{discover, SystemModel};
 use xaas_specs::{
-    analyze, from_project, from_script, intersect, score, AnalysisConfig, SimulatedLlm, SpecCategory,
+    analyze, from_project, from_script, intersect, score, AnalysisConfig, SimulatedLlm,
+    SpecCategory,
 };
 
 /// The rule-based extractor recovers most of the ground truth from the build-script text
@@ -20,8 +21,16 @@ fn rule_based_extraction_is_accurate_on_all_applications() {
         let script = parse_script(&project.build_script).unwrap_or_else(|e| panic!("{name}: {e}"));
         let extracted = from_script(&project.name, &script);
         let metrics = score(&extracted, &truth, true);
-        assert!(metrics.recall() > 0.6, "{name}: recall {}", metrics.recall());
-        assert!(metrics.precision() > 0.6, "{name}: precision {}", metrics.precision());
+        assert!(
+            metrics.recall() > 0.6,
+            "{name}: recall {}",
+            metrics.recall()
+        );
+        assert!(
+            metrics.precision() > 0.6,
+            "{name}: precision {}",
+            metrics.precision()
+        );
     }
 }
 
@@ -54,8 +63,14 @@ fn llm_panel_reproduces_table_4_ordering() {
     assert!(gemini15 > 0.85);
     assert!(sonnet37 > 0.8);
     assert!(o3 > 0.8);
-    assert!(sonnet35 < 0.8 && haiku < 0.8, "the 3.5-generation Claude models miss many options");
-    assert!(gemini2 >= sonnet35, "gemini flash 2 outperforms claude 3.5 sonnet");
+    assert!(
+        sonnet35 < 0.8 && haiku < 0.8,
+        "the 3.5-generation Claude models miss many options"
+    );
+    assert!(
+        gemini2 >= sonnet35,
+        "gemini flash 2 outperforms claude 3.5 sonnet"
+    );
 }
 
 /// The discovery-to-selection chain: LLM output, even with its errors, intersected with
@@ -65,7 +80,13 @@ fn llm_discovery_feeds_the_intersection_step() {
     let project = gromacs::project();
     let truth = from_project(&project);
     let model = SimulatedLlm::by_name("gemini-flash-2-exp").unwrap();
-    let result = analyze(&model, &project.build_script, &truth, &AnalysisConfig::default(), 0);
+    let result = analyze(
+        &model,
+        &project.build_script,
+        &truth,
+        &AnalysisConfig::default(),
+        0,
+    );
 
     let features = discover(&SystemModel::ault23());
     let common = intersect(&result.document, &features);
@@ -97,7 +118,11 @@ fn specialization_documents_serialise_in_schema_shape() {
             "simd_vectorization",
             "build_system",
         ] {
-            assert!(json.get(key).is_some(), "{}: missing key {key}", project.name);
+            assert!(
+                json.get(key).is_some(),
+                "{}: missing key {key}",
+                project.name
+            );
         }
     }
 }

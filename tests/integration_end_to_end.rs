@@ -41,22 +41,33 @@ fn source_and_ir_deployments_agree_and_beat_portable_containers() {
         &ir_build,
         &project,
         &system,
-        &OptionAssignment::new().with("GMX_SIMD", "AVX_512").with("GMX_FFT_LIBRARY", "mkl"),
+        &OptionAssignment::new()
+            .with("GMX_SIMD", "AVX_512")
+            .with("GMX_FFT_LIBRARY", "mkl"),
         SimdLevel::Avx512,
         &store,
     )
     .unwrap();
-    let ir_time = engine.execute(&workload, &ir_deployment.build_profile).unwrap().compute_seconds;
+    let ir_time = engine
+        .execute(&workload, &ir_deployment.build_profile)
+        .unwrap()
+        .compute_seconds;
 
     // Portable, performance-oblivious container (lowest common denominator).
     let portable = BuildProfile::new("portable", SimdLevel::Sse41, 36)
         .with_libraries(LibraryQuality::Generic, LibraryQuality::Generic)
         .with_container_overhead(1.01);
-    let portable_time = engine.execute(&workload, &portable).unwrap().compute_seconds;
+    let portable_time = engine
+        .execute(&workload, &portable)
+        .unwrap()
+        .compute_seconds;
 
     let agreement = (source_time / ir_time - 1.0).abs();
     assert!(agreement < 0.05, "source {source_time} vs IR {ir_time}");
-    assert!(portable_time / ir_time > 1.4, "specialization should win by >1.4x: {portable_time} vs {ir_time}");
+    assert!(
+        portable_time / ir_time > 1.4,
+        "specialization should win by >1.4x: {portable_time} vs {ir_time}"
+    );
 }
 
 /// The combinatorial-explosion argument: a registry of specialized binary images needs
@@ -80,8 +91,15 @@ fn registry_stores_one_xaas_image_instead_of_one_per_configuration() {
 
     // The IR container alone serves all four configurations on the target system.
     let system = SystemModel::ault23();
-    for (simd, gpu) in [("SSE4.1", "OFF"), ("SSE4.1", "CUDA"), ("AVX_512", "OFF"), ("AVX_512", "CUDA")] {
-        let selection = OptionAssignment::new().with("GMX_SIMD", simd).with("GMX_GPU", gpu);
+    for (simd, gpu) in [
+        ("SSE4.1", "OFF"),
+        ("SSE4.1", "CUDA"),
+        ("AVX_512", "OFF"),
+        ("AVX_512", "CUDA"),
+    ] {
+        let selection = OptionAssignment::new()
+            .with("GMX_SIMD", simd)
+            .with("GMX_GPU", gpu);
         let level = SimdLevel::parse(simd).unwrap();
         let deployment =
             deploy_ir_container(&ir_build, &project, &system, &selection, level, &store).unwrap();
@@ -119,8 +137,13 @@ fn deployed_images_are_oci_consistent() {
     let config = store.config(&manifest.config.digest).unwrap();
     assert_eq!(config.rootfs_diff_ids.len(), manifest.layers.len());
     assert_eq!(
-        manifest.annotations.get(annotation_keys::TARGET_SYSTEM).map(String::as_str),
+        manifest
+            .annotations
+            .get(annotation_keys::TARGET_SYSTEM)
+            .map(String::as_str),
         Some("Ault23")
     );
-    assert!(manifest.annotations.contains_key(annotation_keys::SELECTED_CONFIGURATION));
+    assert!(manifest
+        .annotations
+        .contains_key(annotation_keys::SELECTED_CONFIGURATION));
 }

@@ -22,7 +22,11 @@ fn one_ir_container_deploys_to_every_system() {
 
     for system in SystemModel::all_evaluation_systems() {
         let simd = system.cpu.best_simd();
-        let gpu = if system.has_gpu_backend(xaas_hpcsim::GpuBackend::Cuda) { "CUDA" } else { "OFF" };
+        let gpu = if system.has_gpu_backend(xaas_hpcsim::GpuBackend::Cuda) {
+            "CUDA"
+        } else {
+            "OFF"
+        };
         // Pick a swept SIMD value supported by this system (the IR itself is shared).
         let simd_value = if system.cpu.supports(SimdLevel::Avx512) {
             "AVX_512"
@@ -31,7 +35,9 @@ fn one_ir_container_deploys_to_every_system() {
         } else {
             "ARM_NEON_ASIMD"
         };
-        let selection = OptionAssignment::new().with("GMX_SIMD", simd_value).with("GMX_GPU", gpu);
+        let selection = OptionAssignment::new()
+            .with("GMX_SIMD", simd_value)
+            .with("GMX_GPU", gpu);
         let deployment = deploy_ir_container(&build, &project, &system, &selection, simd, &store)
             .unwrap_or_else(|e| panic!("{}: {e}", system.name));
         assert!(deployment.stats.lowered_units > 0, "{}", system.name);
@@ -110,7 +116,9 @@ fn lulesh_section_4_3_walkthrough() {
     assert_eq!(build.stats.ir_files_built(), 8);
 
     // Deploy the MPI+OpenMP configuration and check the comm path selected USE_MPI.
-    let selection = OptionAssignment::new().with("WITH_MPI", "ON").with("WITH_OPENMP", "ON");
+    let selection = OptionAssignment::new()
+        .with("WITH_MPI", "ON")
+        .with("WITH_OPENMP", "ON");
     let deployment = deploy_ir_container(
         &build,
         &project,
@@ -120,7 +128,9 @@ fn lulesh_section_4_3_walkthrough() {
         &store,
     )
     .unwrap();
-    assert!(deployment.machine_modules.contains_key("src/lulesh_comm.ck"));
+    assert!(deployment
+        .machine_modules
+        .contains_key("src/lulesh_comm.ck"));
     assert_eq!(deployment.stats.lowered_units, 5);
 }
 
@@ -130,7 +140,8 @@ fn lulesh_section_4_3_walkthrough() {
 fn premature_optimization_hurts_deployment_vectorization() {
     let project = gromacs::project();
     let store = ImageStore::new();
-    let mut delayed = IrPipelineConfig::sweep_options(&project, &["GMX_SIMD"]).with_values("GMX_SIMD", &["AVX_512"]);
+    let mut delayed = IrPipelineConfig::sweep_options(&project, &["GMX_SIMD"])
+        .with_values("GMX_SIMD", &["AVX_512"]);
     delayed.optimize_early = false;
     let mut early = delayed.clone();
     early.optimize_early = true;
@@ -139,8 +150,15 @@ fn premature_optimization_hurts_deployment_vectorization() {
     let selection = OptionAssignment::new().with("GMX_SIMD", "AVX_512");
     let width_of = |config: &IrPipelineConfig, tag: &str| {
         let build = build_ir_container(&project, config, &store, tag).unwrap();
-        let deployment =
-            deploy_ir_container(&build, &project, &system, &selection, SimdLevel::Avx512, &store).unwrap();
+        let deployment = deploy_ir_container(
+            &build,
+            &project,
+            &system,
+            &selection,
+            SimdLevel::Avx512,
+            &store,
+        )
+        .unwrap();
         deployment
             .machine_modules
             .values()
@@ -151,5 +169,8 @@ fn premature_optimization_hurts_deployment_vectorization() {
     let delayed_width = width_of(&delayed, "delayed:ir");
     let early_width = width_of(&early, "early:ir");
     assert_eq!(delayed_width, 16);
-    assert!(early_width <= 2, "early optimisation blocks re-vectorisation, got {early_width}");
+    assert!(
+        early_width <= 2,
+        "early optimisation blocks re-vectorisation, got {early_width}"
+    );
 }

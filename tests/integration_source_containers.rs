@@ -11,12 +11,21 @@ fn publish_pull_and_deploy_on_every_evaluation_system() {
     let project = gromacs::project();
     let build_machine = ImageStore::new();
     let registry = Registry::new();
-    build_source_container(&project, Architecture::Amd64, &build_machine, "spcl/mini-gromacs:src");
-    registry.push(&build_machine, "spcl/mini-gromacs:src").unwrap();
+    build_source_container(
+        &project,
+        Architecture::Amd64,
+        &build_machine,
+        "spcl/mini-gromacs:src",
+    );
+    registry
+        .push(&build_machine, "spcl/mini-gromacs:src")
+        .unwrap();
 
     for system in SystemModel::all_evaluation_systems() {
         let system_store = ImageStore::new();
-        let (pulled, _) = registry.pull(&system_store, "spcl/mini-gromacs:src").unwrap();
+        let (pulled, _) = registry
+            .pull(&system_store, "spcl/mini-gromacs:src")
+            .unwrap();
         assert_eq!(pulled.deployment_format(), DeploymentFormat::Source);
         let deployment = deploy_source_container(
             &project,
@@ -29,19 +38,34 @@ fn publish_pull_and_deploy_on_every_evaluation_system() {
         .unwrap();
         // The deployed image exists on the system store and is tagged per system.
         assert!(system_store.load(&deployment.reference).is_ok());
-        assert!(deployment.reference.contains(&system.name.to_ascii_lowercase()));
+        assert!(deployment
+            .reference
+            .contains(&system.name.to_ascii_lowercase()));
         // The registry image is untouched: deployment produces a *new* image.
-        assert_eq!(registry.pull_count("spcl/mini-gromacs:src") as usize, 1 + SystemModel::all_evaluation_systems().iter().position(|s| s.name == system.name).unwrap());
+        assert_eq!(
+            registry.pull_count("spcl/mini-gromacs:src") as usize,
+            1 + SystemModel::all_evaluation_systems()
+                .iter()
+                .position(|s| s.name == system.name)
+                .unwrap()
+        );
         // Performance: the deployment never loses to the naive build.
         let engine = ExecutionEngine::new(&system);
         let workload = gromacs::workload_test_a(500);
-        let deployed_time = engine.execute(&workload, &deployment.build_profile).unwrap().compute_seconds;
+        let deployed_time = engine
+            .execute(&workload, &deployment.build_profile)
+            .unwrap()
+            .compute_seconds;
         let naive = xaas_apps::make_executable(xaas_apps::gromacs_baselines(&system), &system)
             .into_iter()
             .find(|p| p.label == "Naive Build")
             .unwrap();
         let naive_time = engine.execute(&workload, &naive).unwrap().compute_seconds;
-        assert!(deployed_time <= naive_time * 1.02, "{}: {deployed_time} vs naive {naive_time}", system.name);
+        assert!(
+            deployed_time <= naive_time * 1.02,
+            "{}: {deployed_time} vs naive {naive_time}",
+            system.name
+        );
     }
 }
 
@@ -74,7 +98,11 @@ fn gpu_backend_selection_is_system_specific() {
         )
         .unwrap();
         match expected_backend {
-            Some(backend) => assert_eq!(deployment.assignment.get("GMX_GPU"), Some(backend), "{name}"),
+            Some(backend) => assert_eq!(
+                deployment.assignment.get("GMX_GPU"),
+                Some(backend),
+                "{name}"
+            ),
             None => assert_eq!(deployment.assignment.get("GMX_GPU"), Some("OFF"), "{name}"),
         }
     }
@@ -110,14 +138,28 @@ fn deployed_image_accepts_mpi_hook_only_with_matching_abi() {
         version: "8.1.29".into(),
     };
     let prepared = runtime
-        .prepare("job", &deployment.image, &abi, &[Hook::MpiReplacement { host: cray.clone() }])
+        .prepare(
+            "job",
+            &deployment.image,
+            &abi,
+            &[Hook::MpiReplacement { host: cray.clone() }],
+        )
         .unwrap();
     assert_eq!(prepared.applied_hooks.len(), 1);
 
     // An Open MPI host library is rejected: the container was built against MPICH.
-    let openmpi = HostLibrary { implementation: "openmpi".into(), abi: "openmpi".into(), ..cray };
+    let openmpi = HostLibrary {
+        implementation: "openmpi".into(),
+        abi: "openmpi".into(),
+        ..cray
+    };
     let prepared = runtime
-        .prepare("job", &deployment.image, &abi, &[Hook::MpiReplacement { host: openmpi }])
+        .prepare(
+            "job",
+            &deployment.image,
+            &abi,
+            &[Hook::MpiReplacement { host: openmpi }],
+        )
         .unwrap();
     assert!(prepared.applied_hooks.is_empty());
     assert_eq!(prepared.skipped_hooks.len(), 1);
@@ -128,7 +170,11 @@ fn deployed_image_accepts_mpi_hook_only_with_matching_abi() {
 fn llamacpp_source_deployment_enables_gpu_on_all_three_systems() {
     let project = llamacpp::project();
     let store = ImageStore::new();
-    for system in [SystemModel::ault23(), SystemModel::aurora(), SystemModel::clariden()] {
+    for system in [
+        SystemModel::ault23(),
+        SystemModel::aurora(),
+        SystemModel::clariden(),
+    ] {
         let image = build_source_container(
             &project,
             xaas::source_container::architecture_of(&system),
@@ -144,10 +190,17 @@ fn llamacpp_source_deployment_enables_gpu_on_all_three_systems() {
             &store,
         )
         .unwrap();
-        assert!(deployment.build_profile.gpu_backend.is_some(), "{}", system.name);
+        assert!(
+            deployment.build_profile.gpu_backend.is_some(),
+            "{}",
+            system.name
+        );
         let engine = ExecutionEngine::new(&system);
         let report = engine
-            .execute(&llamacpp::benchmark_workload(512, 128), &deployment.build_profile)
+            .execute(
+                &llamacpp::benchmark_workload(512, 128),
+                &deployment.build_profile,
+            )
             .unwrap();
         assert!(report.used_gpu, "{}", system.name);
     }

@@ -4,7 +4,9 @@ use proptest::prelude::*;
 use xaas::prelude::*;
 use xaas_container::digest::{sha256, Digest};
 use xaas_container::{Layer, RootFs};
-use xaas_hpcsim::{BuildProfile, ExecutionEngine, KernelClass, KernelWork, SimdLevel, SystemModel, Workload};
+use xaas_hpcsim::{
+    BuildProfile, ExecutionEngine, KernelClass, KernelWork, SimdLevel, SystemModel, Workload,
+};
 use xaas_specs::{normalize_name, score, SpecCategory, SpecEntry, SpecializationDocument};
 use xaas_xir::{CompileFlags, Compiler, Interpreter, TargetIsa, Value};
 

@@ -1,0 +1,78 @@
+//! Regression tests for the vendored dependency shims (`vendor/`).
+//!
+//! The shims are hand-rolled stand-ins for crates the offline build cannot
+//! fetch; these tests pin the behaviours the workspace relies on, plus the
+//! edge cases found in review (range-checked integer deserialization, large
+//! `u64` handling).
+
+use serde_json::{json, Value};
+
+#[test]
+fn json_text_round_trips_through_value() {
+    let value = json!({
+        "name": "mini-gromacs",
+        "gpu": true,
+        "simd_width": 16,
+        "scale": 1.5,
+        "backends": ["CUDA", "SYCL"],
+        "none": null
+    });
+    let text = serde_json::to_string(&value).unwrap();
+    let back: Value = serde_json::from_str(&text).unwrap();
+    assert_eq!(back, value);
+    assert_eq!(back["backends"][1], json!("SYCL"));
+    assert_eq!(back["simd_width"], json!(16));
+
+    let pretty = serde_json::to_string_pretty(&value).unwrap();
+    let back_pretty: Value = serde_json::from_str(&pretty).unwrap();
+    assert_eq!(back_pretty, value);
+}
+
+#[test]
+fn integer_deserialization_is_range_checked() {
+    assert!(serde_json::from_str::<u64>("-5").is_err());
+    assert!(serde_json::from_str::<u8>("300").is_err());
+    assert!(serde_json::from_str::<i32>("4000000000").is_err());
+    assert_eq!(serde_json::from_str::<u8>("255").unwrap(), 255);
+    assert_eq!(serde_json::from_str::<i64>("-5").unwrap(), -5);
+}
+
+#[test]
+fn large_u64_values_survive() {
+    let max = u64::MAX;
+    let text = serde_json::to_string(&max).unwrap();
+    assert_eq!(serde_json::from_str::<u64>(&text).unwrap(), max);
+    let value = serde_json::to_value(&max);
+    assert_eq!(value.as_u64(), Some(max));
+    assert_eq!(value.as_i64(), None);
+}
+
+#[test]
+fn huge_integral_floats_are_not_conflated() {
+    let a: Value = serde_json::from_str("1e300").unwrap();
+    let b: Value = serde_json::from_str("2e300").unwrap();
+    assert_ne!(a, b);
+    assert_eq!(a.as_i64(), None);
+    assert_eq!(a.as_u64(), None);
+    assert!(serde_json::from_str::<i64>("1e300").is_err());
+}
+
+#[test]
+fn string_escapes_round_trip() {
+    let tricky = "quote \" backslash \\ newline \n tab \t unicode ✓";
+    let text = serde_json::to_string(&tricky).unwrap();
+    assert_eq!(serde_json::from_str::<String>(&text).unwrap(), tricky);
+}
+
+#[test]
+fn missing_optional_fields_deserialize_as_none() {
+    // Exercised end-to-end through a workspace type that has Option fields
+    // with `skip_serializing_if`: an OCI descriptor without annotations.
+    use xaas_container::prelude::*;
+    let store = ImageStore::new();
+    let image = Image::new("shim/test:1", Platform::linux(Architecture::Amd64));
+    let descriptor = store.commit(&image);
+    let text = serde_json::to_string(&descriptor).unwrap();
+    let back: Descriptor = serde_json::from_str(&text).unwrap();
+    assert_eq!(back, descriptor);
+}

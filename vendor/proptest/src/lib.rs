@@ -1,0 +1,491 @@
+//! Offline shim for the subset of `proptest` this workspace's property tests use.
+//!
+//! Keeps the API shape — the [`proptest!`] macro, [`Strategy`], `any::<T>()`,
+//! `Just`, `prop_oneof!`, `proptest::collection::{vec, btree_map, btree_set}`,
+//! `proptest::sample::subsequence`, pattern-string strategies, and the
+//! `prop_assert*` macros — but samples deterministically (seeded per test
+//! name) and does not shrink failures: a failing case panics with the values
+//! embedded in the assertion message.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::ops::{Range, RangeInclusive};
+
+pub mod pattern;
+
+/// Re-exports matching `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// Per-`proptest!` configuration. Only `cases` is modelled.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` generated inputs per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Deterministic test RNG (SplitMix64, seeded from the test name).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed from a test name so every test has an independent, stable stream.
+    pub fn from_name(name: &str) -> Self {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng { state: hash }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `usize` in `[low, high)`. `high` must exceed `low`.
+    pub fn usize_in(&mut self, low: usize, high: usize) -> usize {
+        debug_assert!(high > low);
+        low + (self.next_u64() % (high - low) as u64) as usize
+    }
+}
+
+/// A value generator. Unlike real proptest there is no shrinking tree; a
+/// strategy simply samples a value.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generate one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (**self).sample(rng)
+    }
+}
+
+/// Always produces a clone of the given value, as in `proptest::strategy::Just`.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Generate an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty)*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8 u16 u32 u64 usize i8 i16 i32 i64 isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Finite, roughly centred values; property tests here only need variety.
+        (rng.unit_f64() - 0.5) * 2e6
+    }
+}
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        char::from_u32(0x20 + (rng.next_u64() % 0x5F) as u32).unwrap()
+    }
+}
+
+/// Strategy produced by [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// The canonical strategy for `T`, as in `proptest::prelude::any`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! range_strategy_int {
+    ($($t:ty)*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.end > self.start, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(end >= start, "empty range strategy");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                (start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+range_strategy_int!(u8 u16 u32 u64 usize i8 i16 i32 i64 isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn sample(&self, rng: &mut TestRng) -> f32 {
+        self.start + (rng.unit_f64() as f32) * (self.end - self.start)
+    }
+}
+
+impl Strategy for &str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        pattern::generate(self, rng)
+    }
+}
+impl Strategy for String {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        pattern::generate(self, rng)
+    }
+}
+
+/// Uniform choice among boxed strategies; built by [`prop_oneof!`].
+pub struct OneOf<T>(pub Vec<Box<dyn Strategy<Value = T>>>);
+
+/// Construct a [`OneOf`] (used by the `prop_oneof!` macro).
+pub fn one_of<T>(options: Vec<Box<dyn Strategy<Value = T>>>) -> OneOf<T> {
+    assert!(
+        !options.is_empty(),
+        "prop_oneof! needs at least one strategy"
+    );
+    OneOf(options)
+}
+
+/// Box a strategy, erasing its concrete type (used by the `prop_oneof!` macro).
+/// A plain `as _` cast would not propagate the value type back into integer
+/// literals, so this helper ties `S::Value` to the target type parameter.
+pub fn boxed<S: Strategy + 'static>(strategy: S) -> Box<dyn Strategy<Value = S::Value>> {
+    Box::new(strategy)
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let index = rng.usize_in(0, self.0.len());
+        self.0[index].sample(rng)
+    }
+}
+
+/// A collection size specification: a fixed size, `a..b`, or `a..=b`.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    low: usize,
+    high_inclusive: usize,
+}
+
+impl SizeRange {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        if self.high_inclusive <= self.low {
+            self.low
+        } else {
+            rng.usize_in(self.low, self.high_inclusive + 1)
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange {
+            low: n,
+            high_inclusive: n,
+        }
+    }
+}
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.end > r.start, "empty size range");
+        SizeRange {
+            low: r.start,
+            high_inclusive: r.end - 1,
+        }
+    }
+}
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        SizeRange {
+            low: *r.start(),
+            high_inclusive: *r.end(),
+        }
+    }
+}
+impl From<Range<i32>> for SizeRange {
+    fn from(r: Range<i32>) -> Self {
+        SizeRange {
+            low: r.start as usize,
+            high_inclusive: (r.end - 1) as usize,
+        }
+    }
+}
+impl From<RangeInclusive<i32>> for SizeRange {
+    fn from(r: RangeInclusive<i32>) -> Self {
+        SizeRange {
+            low: *r.start() as usize,
+            high_inclusive: *r.end() as usize,
+        }
+    }
+}
+
+/// Collection strategies, as in `proptest::collection`.
+pub mod collection {
+    use super::*;
+
+    /// Strategy for `Vec<T>` with sizes drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `proptest::collection::vec`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.size.pick(rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeMap<K, V>` with sizes drawn from `size`.
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: SizeRange,
+    }
+
+    /// `proptest::collection::btree_map`.
+    pub fn btree_map<K: Strategy, V: Strategy>(
+        key: K,
+        value: V,
+        size: impl Into<SizeRange>,
+    ) -> BTreeMapStrategy<K, V> {
+        BTreeMapStrategy {
+            key,
+            value,
+            size: size.into(),
+        }
+    }
+
+    impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let target = self.size.pick(rng);
+            let mut map = BTreeMap::new();
+            // Duplicate keys collapse; retry within a bounded budget so small
+            // key spaces cannot loop forever.
+            for _ in 0..target.max(1) * 64 {
+                if map.len() >= target {
+                    break;
+                }
+                map.insert(self.key.sample(rng), self.value.sample(rng));
+            }
+            map
+        }
+    }
+
+    /// Strategy for `BTreeSet<T>` with sizes drawn from `size`.
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `proptest::collection::btree_set`.
+    pub fn btree_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S> {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let target = self.size.pick(rng);
+            let mut set = BTreeSet::new();
+            for _ in 0..target.max(1) * 64 {
+                if set.len() >= target {
+                    break;
+                }
+                set.insert(self.element.sample(rng));
+            }
+            set
+        }
+    }
+}
+
+/// Sampling strategies, as in `proptest::sample`.
+pub mod sample {
+    use super::*;
+
+    /// Strategy producing order-preserving subsequences of a source vector.
+    pub struct Subsequence<T: Clone> {
+        source: Vec<T>,
+        size: SizeRange,
+    }
+
+    /// `proptest::sample::subsequence`: pick `size` elements preserving order.
+    pub fn subsequence<T: Clone>(source: Vec<T>, size: impl Into<SizeRange>) -> Subsequence<T> {
+        Subsequence {
+            source,
+            size: size.into(),
+        }
+    }
+
+    impl<T: Clone> Strategy for Subsequence<T> {
+        type Value = Vec<T>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<T> {
+            let n = self.source.len();
+            let k = self.size.pick(rng).min(n);
+            // Choose k distinct indices, then emit in source order.
+            let mut indices: Vec<usize> = (0..n).collect();
+            for i in 0..k {
+                let j = rng.usize_in(i, n);
+                indices.swap(i, j);
+            }
+            let mut chosen = indices[..k].to_vec();
+            chosen.sort_unstable();
+            chosen.into_iter().map(|i| self.source[i].clone()).collect()
+        }
+    }
+}
+
+/// Like `assert!`, named to match proptest.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Like `assert_eq!`, named to match proptest.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Like `assert_ne!`, named to match proptest.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::one_of(vec![ $( $crate::boxed($strategy) ),+ ])
+    };
+}
+
+/// Define property tests, as in `proptest::proptest!`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $config;
+                let mut __rng = $crate::TestRng::from_name(stringify!($name));
+                for __case in 0..__config.cases {
+                    $( let $arg = $crate::Strategy::sample(&($strategy), &mut __rng); )+
+                    $body
+                }
+            }
+        )*
+    };
+}

@@ -1,0 +1,148 @@
+//! A tiny regex-shaped string generator.
+//!
+//! Real proptest compiles full regexes into strategies; this shim supports the
+//! subset that appears in string strategies in practice: literal characters,
+//! character classes with ranges (`[A-Za-z0-9_.-]`), groups, and the `{n}`,
+//! `{m,n}`, `?`, `*`, `+` quantifiers.
+
+use super::TestRng;
+
+#[derive(Debug, Clone)]
+enum Node {
+    Literal(char),
+    Class(Vec<char>),
+    Group(Vec<Node>),
+    Repeat(Box<Node>, usize, usize),
+}
+
+/// Generate one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pos = 0;
+    let nodes = parse_sequence(&chars, &mut pos, false);
+    assert_eq!(pos, chars.len(), "unbalanced pattern: {pattern}");
+    let mut out = String::new();
+    for node in &nodes {
+        emit(node, rng, &mut out);
+    }
+    out
+}
+
+fn parse_sequence(chars: &[char], pos: &mut usize, in_group: bool) -> Vec<Node> {
+    let mut nodes = Vec::new();
+    while *pos < chars.len() {
+        let c = chars[*pos];
+        let node = match c {
+            ')' if in_group => {
+                *pos += 1;
+                return nodes;
+            }
+            '(' => {
+                *pos += 1;
+                Node::Group(parse_sequence(chars, pos, true))
+            }
+            '[' => {
+                *pos += 1;
+                Node::Class(parse_class(chars, pos))
+            }
+            '\\' => {
+                *pos += 1;
+                let escaped = chars.get(*pos).copied().expect("dangling escape");
+                *pos += 1;
+                Node::Literal(escaped)
+            }
+            c => {
+                *pos += 1;
+                Node::Literal(c)
+            }
+        };
+        nodes.push(apply_quantifier(node, chars, pos));
+    }
+    assert!(!in_group, "unterminated group in pattern");
+    nodes
+}
+
+fn apply_quantifier(node: Node, chars: &[char], pos: &mut usize) -> Node {
+    match chars.get(*pos) {
+        Some('{') => {
+            *pos += 1;
+            let mut low = String::new();
+            while chars[*pos].is_ascii_digit() {
+                low.push(chars[*pos]);
+                *pos += 1;
+            }
+            let low: usize = low.parse().expect("quantifier lower bound");
+            let high = if chars[*pos] == ',' {
+                *pos += 1;
+                let mut high = String::new();
+                while chars[*pos].is_ascii_digit() {
+                    high.push(chars[*pos]);
+                    *pos += 1;
+                }
+                high.parse().expect("quantifier upper bound")
+            } else {
+                low
+            };
+            assert_eq!(chars[*pos], '}', "unterminated quantifier");
+            *pos += 1;
+            Node::Repeat(Box::new(node), low, high)
+        }
+        Some('?') => {
+            *pos += 1;
+            Node::Repeat(Box::new(node), 0, 1)
+        }
+        Some('*') => {
+            *pos += 1;
+            Node::Repeat(Box::new(node), 0, 8)
+        }
+        Some('+') => {
+            *pos += 1;
+            Node::Repeat(Box::new(node), 1, 8)
+        }
+        _ => node,
+    }
+}
+
+fn parse_class(chars: &[char], pos: &mut usize) -> Vec<char> {
+    let mut options = Vec::new();
+    while chars[*pos] != ']' {
+        let start = chars[*pos];
+        *pos += 1;
+        if chars[*pos] == '-' && chars[*pos + 1] != ']' {
+            let end = chars[*pos + 1];
+            *pos += 2;
+            for code in (start as u32)..=(end as u32) {
+                options.push(char::from_u32(code).expect("valid class range"));
+            }
+        } else {
+            options.push(start);
+        }
+    }
+    *pos += 1; // ']'
+    assert!(!options.is_empty(), "empty character class");
+    options
+}
+
+fn emit(node: &Node, rng: &mut TestRng, out: &mut String) {
+    match node {
+        Node::Literal(c) => out.push(*c),
+        Node::Class(options) => {
+            out.push(options[rng.usize_in(0, options.len())]);
+        }
+        Node::Group(nodes) => {
+            for inner in nodes {
+                emit(inner, rng, out);
+            }
+        }
+        Node::Repeat(inner, low, high) => {
+            let count = if high > low {
+                rng.usize_in(*low, *high + 1)
+            } else {
+                *low
+            };
+            for _ in 0..count {
+                emit(inner, rng, out);
+            }
+        }
+    }
+}

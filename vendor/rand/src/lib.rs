@@ -1,0 +1,97 @@
+//! Offline shim for the subset of `rand` 0.9 this workspace uses:
+//! `StdRng::seed_from_u64` and `Rng::random::<T>()`.
+//!
+//! The generator is SplitMix64 — not cryptographic, but deterministic and
+//! well-distributed, which is all the simulated-LLM error sampling needs.
+
+/// Types that can be drawn from the standard uniform distribution.
+pub trait StandardUniform: Sized {
+    /// Draw a value from `rng`.
+    fn draw(rng: &mut rngs::StdRng) -> Self;
+}
+
+impl StandardUniform for u64 {
+    fn draw(rng: &mut rngs::StdRng) -> Self {
+        rng.next_u64()
+    }
+}
+impl StandardUniform for u32 {
+    fn draw(rng: &mut rngs::StdRng) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+impl StandardUniform for f64 {
+    fn draw(rng: &mut rngs::StdRng) -> Self {
+        // 53 random bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+impl StandardUniform for f32 {
+    fn draw(rng: &mut rngs::StdRng) -> Self {
+        f64::draw(rng) as f32
+    }
+}
+impl StandardUniform for bool {
+    fn draw(rng: &mut rngs::StdRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// The random-generation API surface used by the workspace.
+pub trait Rng {
+    /// The next raw 64-bit output.
+    fn next_u64(&mut self) -> u64;
+
+    /// Draw a uniformly distributed value.
+    fn random<T: StandardUniform>(&mut self) -> T
+    where
+        Self: Sized;
+}
+
+/// Seedable construction, as in `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{Rng, SeedableRng, StandardUniform};
+
+    /// Deterministic standard generator (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl StdRng {
+        pub(crate) fn next_raw(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.next_raw()
+        }
+
+        fn random<T: StandardUniform>(&mut self) -> T {
+            T::draw(self)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut rng = StdRng {
+                state: seed ^ 0x5DEE_CE66_D5A6_F92B,
+            };
+            // Warm up so nearby seeds diverge immediately.
+            rng.next_raw();
+            rng
+        }
+    }
+}

@@ -1,0 +1,450 @@
+//! Minimal, offline, API-compatible subset of `serde` sufficient for this workspace.
+//!
+//! The build environment has no route to a crates registry, so the real `serde`
+//! cannot be fetched. This shim keeps the public surface the workspace uses —
+//! `Serialize`/`Deserialize` traits with derive macros of the same names and the
+//! `#[serde(...)]` field attributes that appear in the codebase (`default`,
+//! `skip_serializing_if`, `transparent`) — but collapses serde's format-generic
+//! architecture to a single self-describing data model: [`Value`], a JSON tree.
+//!
+//! `serde_json` (also vendored) layers text parsing/printing and the `json!`
+//! macro on top of this crate's `Value`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod value;
+pub use value::{Map, Number, Value};
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+use std::fmt;
+
+/// Serialization/deserialization error: a message, as in `serde_json::Error`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub(crate) String);
+
+impl Error {
+    /// Construct an error from a message.
+    pub fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A type that can be represented as a [`Value`] tree.
+pub trait Serialize {
+    /// Convert `self` into the serde data model.
+    fn to_value(&self) -> Value;
+}
+
+/// A type that can be reconstructed from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Reconstruct `Self` from the serde data model.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+
+    /// The value to use when a struct field is absent entirely.
+    ///
+    /// `None` means "absence is an error" (the default); `Option<T>` overrides
+    /// this to `Some(None)`, matching serde's treatment of optional fields.
+    #[doc(hidden)]
+    fn missing() -> Option<Self> {
+        None
+    }
+}
+
+fn type_error<T>(expected: &str, got: &Value) -> Result<T, Error> {
+    Err(Error(format!(
+        "invalid type: expected {expected}, found {}",
+        got.kind()
+    )))
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls
+// ---------------------------------------------------------------------------
+
+macro_rules! ser_int {
+    ($($t:ty)*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::Int(*self as i64))
+            }
+        }
+    )*};
+}
+macro_rules! ser_uint {
+    ($($t:ty)*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::UInt(*self as u64))
+            }
+        }
+    )*};
+}
+ser_int!(i8 i16 i32 i64 isize);
+ser_uint!(u8 u16 u32 u64 usize);
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::Float(*self as f64))
+    }
+}
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::Float(*self))
+    }
+}
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+impl<T: Serialize + ?Sized> Serialize for &mut T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Serialize> Serialize for VecDeque<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Serialize> Serialize for HashSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+/// Render a serialized key as a JSON object key, the way `serde_json` does for
+/// string and integer map keys.
+fn key_string(value: Value) -> String {
+    match value {
+        Value::String(s) => s,
+        Value::Number(n) => n.to_string(),
+        Value::Bool(b) => b.to_string(),
+        other => panic!("map key does not serialize to a string: {other:?}"),
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (key_string(k.to_value()), v.to_value()))
+                .collect(),
+        )
+    }
+}
+impl<K: Serialize, V: Serialize> Serialize for HashMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (key_string(k.to_value()), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+macro_rules! ser_tuple {
+    ($(($($n:tt $t:ident),+))+) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$n.to_value()),+])
+            }
+        }
+    )+};
+}
+ser_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls
+// ---------------------------------------------------------------------------
+
+macro_rules! de_int {
+    ($($t:ty)*) => {$(
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                // Range-checked, as in real serde: out-of-range numbers are
+                // errors, never silent wraps. Floats funnel through i128 (the
+                // cast saturates, so out-of-range values fail `try_from`).
+                let out_of_range =
+                    |v: &dyn fmt::Display| Error(format!("integer `{v}` out of range"));
+                match value {
+                    Value::Number(Number::Int(v)) => {
+                        <$t>::try_from(*v).map_err(|_| out_of_range(v))
+                    }
+                    Value::Number(Number::UInt(v)) => {
+                        <$t>::try_from(*v).map_err(|_| out_of_range(v))
+                    }
+                    Value::Number(Number::Float(v)) if v.fract() == 0.0 => {
+                        <$t>::try_from(*v as i128).map_err(|_| out_of_range(v))
+                    }
+                    // Integer map keys arrive as strings, as in serde_json.
+                    Value::String(s) => s
+                        .parse::<$t>()
+                        .map_err(|e| Error(format!("invalid integer key: {e}"))),
+                    other => type_error("integer", other),
+                }
+            }
+        }
+    )*};
+}
+de_int!(i8 i16 i32 i64 isize u8 u16 u32 u64 usize);
+
+macro_rules! de_float {
+    ($($t:ty)*) => {$(
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::Number(n) => Ok(n.as_f64() as $t),
+                    other => type_error("number", other),
+                }
+            }
+        }
+    )*};
+}
+de_float!(f32 f64);
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => type_error("bool", other),
+        }
+    }
+}
+impl Deserialize for char {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::String(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => type_error("single-character string", other),
+        }
+    }
+}
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::String(s) => Ok(s.clone()),
+            other => type_error("string", other),
+        }
+    }
+}
+impl Deserialize for &'static str {
+    /// Real serde can borrow `&'de str` from its input; this shim deserializes
+    /// owned trees, so `&'static str` is produced by leaking the string. Only
+    /// round-trip tests deserialize such values, so the leak is bounded.
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::String(s) => Ok(Box::leak(s.clone().into_boxed_str())),
+            other => type_error("string", other),
+        }
+    }
+}
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        T::from_value(value).map(Box::new)
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+    fn missing() -> Option<Self> {
+        Some(None)
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => type_error("array", other),
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for VecDeque<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Vec::<T>::from_value(value).map(VecDeque::from)
+    }
+}
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => type_error("array", other),
+        }
+    }
+}
+impl<T: Deserialize + std::hash::Hash + Eq> Deserialize for HashSet<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => type_error("array", other),
+        }
+    }
+}
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Object(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((K::from_value(&Value::String(k.clone()))?, V::from_value(v)?)))
+                .collect(),
+            other => type_error("object", other),
+        }
+    }
+}
+impl<K: Deserialize + std::hash::Hash + Eq, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Object(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((K::from_value(&Value::String(k.clone()))?, V::from_value(v)?)))
+                .collect(),
+            other => type_error("object", other),
+        }
+    }
+}
+
+macro_rules! de_tuple {
+    ($(($len:expr => $($n:tt $t:ident),+))+) => {$(
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::Array(items) if items.len() == $len => {
+                        Ok(($($t::from_value(&items[$n])?,)+))
+                    }
+                    other => type_error("tuple array", other),
+                }
+            }
+        }
+    )+};
+}
+de_tuple! {
+    (1 => 0 A)
+    (2 => 0 A, 1 B)
+    (3 => 0 A, 1 B, 2 C)
+    (4 => 0 A, 1 B, 2 C, 3 D)
+}
+
+// ---------------------------------------------------------------------------
+// Support for derive-generated code
+// ---------------------------------------------------------------------------
+
+/// Helpers called from `serde_derive`-generated code. Not public API.
+#[doc(hidden)]
+pub mod __private {
+    use super::{Deserialize, Error, Map, Value};
+
+    /// Fetch and deserialize a struct field, honouring `Option`-style absence.
+    pub fn field<T: Deserialize>(object: &Map, key: &str) -> Result<T, Error> {
+        match object.get(key) {
+            Some(value) => {
+                T::from_value(value).map_err(|e| Error(format!("field `{key}`: {}", e.0)))
+            }
+            None => T::missing().ok_or_else(|| Error(format!("missing field `{key}`"))),
+        }
+    }
+
+    /// Fetch and deserialize a `#[serde(default)]` struct field.
+    pub fn field_default<T: Deserialize + Default>(object: &Map, key: &str) -> Result<T, Error> {
+        match object.get(key) {
+            Some(value) => {
+                T::from_value(value).map_err(|e| Error(format!("field `{key}`: {}", e.0)))
+            }
+            None => Ok(T::default()),
+        }
+    }
+
+    /// The object backing an externally-tagged enum variant: `{"Variant": ...}`.
+    pub fn variant(value: &Value) -> Result<(&str, &Value), Error> {
+        match value {
+            Value::Object(entries) if entries.len() == 1 => {
+                let (k, v) = entries.iter().next().unwrap();
+                Ok((k.as_str(), v))
+            }
+            other => Err(Error(format!(
+                "invalid type: expected single-key variant object, found {}",
+                other.kind()
+            ))),
+        }
+    }
+}

@@ -1,0 +1,278 @@
+//! The serde data model used by this shim: a JSON value tree.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::ops::Index;
+
+/// JSON object map. `serde_json::Map` is re-exported as this type; unlike the
+/// real crate it is key-ordered rather than insertion-ordered, which only
+/// affects the order keys print in.
+pub type Map = BTreeMap<String, Value>;
+
+/// A JSON number. Mixed-representation comparisons (`Int(3) == UInt(3)`,
+/// `Float(3.0) == Int(3)`) compare numerically, so values survive a
+/// text round-trip even when the parser picks a different representation.
+#[derive(Debug, Clone, Copy)]
+pub enum Number {
+    /// Signed integer.
+    Int(i64),
+    /// Unsigned integer (used for values that don't fit `i64` and by `u64` serialization).
+    UInt(u64),
+    /// Floating point.
+    Float(f64),
+}
+
+impl Number {
+    /// The numeric value as `f64`.
+    pub fn as_f64(&self) -> f64 {
+        match self {
+            Number::Int(v) => *v as f64,
+            Number::UInt(v) => *v as f64,
+            Number::Float(v) => *v,
+        }
+    }
+
+    /// The numeric value as `i64`, if integral.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Number::Int(v) => Some(*v),
+            Number::UInt(v) => i64::try_from(*v).ok(),
+            // Through i128 so out-of-range floats fail `try_from` instead of
+            // saturating (f64 → i128 saturation only kicks in beyond ±2^127,
+            // where try_from fails anyway).
+            Number::Float(v) if v.fract() == 0.0 => i64::try_from(*v as i128).ok(),
+            Number::Float(_) => None,
+        }
+    }
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Self) -> bool {
+        match (self.as_i64(), other.as_i64()) {
+            (Some(a), Some(b)) => a == b,
+            _ => self.as_f64() == other.as_f64(),
+        }
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Number::Int(v) => write!(f, "{v}"),
+            Number::UInt(v) => write!(f, "{v}"),
+            Number::Float(v) if !v.is_finite() => {
+                // JSON has no NaN/inf; real serde_json maps them to null.
+                write!(f, "null")
+            }
+            Number::Float(v) => {
+                if v.fract() == 0.0 && v.abs() < 1e15 {
+                    write!(f, "{v:.1}")
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+        }
+    }
+}
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object.
+    Object(Map),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// A short name for the value's kind, used in error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "boolean",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// The object map, if this is an object.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The array items, if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The number as `f64`, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// The number as `i64`, if this is an integral number.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// The number as `u64`, if this is a non-negative integral number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(Number::UInt(v)) => Some(*v),
+            Value::Number(Number::Int(v)) => u64::try_from(*v).ok(),
+            Value::Number(Number::Float(v)) if v.fract() == 0.0 => u64::try_from(*v as i128).ok(),
+            _ => None,
+        }
+    }
+
+    /// Object member by key, `Null` when absent or not an object (as with
+    /// `serde_json`'s `Index`, but non-panicking via the `get` spelling too).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|m| m.get(key))
+    }
+}
+
+impl Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, index: usize) -> &Value {
+        match self {
+            Value::Array(items) => items.get(index).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_compact(self, f)
+    }
+}
+
+fn write_escaped(s: &str, out: &mut impl fmt::Write) -> fmt::Result {
+    out.write_char('"')?;
+    for c in s.chars() {
+        match c {
+            '"' => out.write_str("\\\"")?,
+            '\\' => out.write_str("\\\\")?,
+            '\n' => out.write_str("\\n")?,
+            '\r' => out.write_str("\\r")?,
+            '\t' => out.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(out, "\\u{:04x}", c as u32)?,
+            c => out.write_char(c)?,
+        }
+    }
+    out.write_char('"')
+}
+
+fn write_compact(value: &Value, out: &mut impl fmt::Write) -> fmt::Result {
+    match value {
+        Value::Null => out.write_str("null"),
+        Value::Bool(b) => write!(out, "{b}"),
+        Value::Number(n) => write!(out, "{n}"),
+        Value::String(s) => write_escaped(s, out),
+        Value::Array(items) => {
+            out.write_char('[')?;
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.write_char(',')?;
+                }
+                write_compact(item, out)?;
+            }
+            out.write_char(']')
+        }
+        Value::Object(entries) => {
+            out.write_char('{')?;
+            for (i, (k, v)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.write_char(',')?;
+                }
+                write_escaped(k, out)?;
+                out.write_char(':')?;
+                write_compact(v, out)?;
+            }
+            out.write_char('}')
+        }
+    }
+}
+
+/// Pretty-print with two-space indentation, like `serde_json::to_string_pretty`.
+pub fn write_pretty(value: &Value, indent: usize, out: &mut impl fmt::Write) -> fmt::Result {
+    let pad = "  ".repeat(indent);
+    let pad_inner = "  ".repeat(indent + 1);
+    match value {
+        Value::Array(items) if !items.is_empty() => {
+            out.write_str("[\n")?;
+            for (i, item) in items.iter().enumerate() {
+                out.write_str(&pad_inner)?;
+                write_pretty(item, indent + 1, out)?;
+                if i + 1 < items.len() {
+                    out.write_char(',')?;
+                }
+                out.write_char('\n')?;
+            }
+            write!(out, "{pad}]")
+        }
+        Value::Object(entries) if !entries.is_empty() => {
+            out.write_str("{\n")?;
+            for (i, (k, v)) in entries.iter().enumerate() {
+                out.write_str(&pad_inner)?;
+                write_escaped(k, out)?;
+                out.write_str(": ")?;
+                write_pretty(v, indent + 1, out)?;
+                if i + 1 < entries.len() {
+                    out.write_char(',')?;
+                }
+                out.write_char('\n')?;
+            }
+            write!(out, "{pad}}}")
+        }
+        other => write_compact(other, out),
+    }
+}

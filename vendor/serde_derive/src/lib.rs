@@ -1,0 +1,565 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the vendored serde shim.
+//!
+//! The real `serde_derive` depends on `syn`/`quote`, which cannot be fetched in
+//! this offline environment, so the item grammar is parsed by hand from the
+//! `proc_macro` token stream. Supported shapes — the ones this workspace uses:
+//!
+//! * structs with named fields (`#[serde(default)]`, `#[serde(skip_serializing_if
+//!   = "path")]`, `#[serde(rename = "name")]` on fields; `#[serde(transparent)]`
+//!   on the container);
+//! * tuple structs (newtypes serialize transparently, wider tuples as arrays);
+//! * unit structs;
+//! * enums with unit, tuple, and struct variants (externally tagged, like serde).
+//!
+//! Generic type parameters are not supported (the workspace derives only on
+//! concrete types).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------------------
+// A tiny item parser over proc_macro token trees
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Default, Clone)]
+struct SerdeAttrs {
+    default: bool,
+    transparent: bool,
+    rename: Option<String>,
+    skip_serializing_if: Option<String>,
+}
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    attrs: SerdeAttrs,
+}
+
+#[derive(Debug)]
+enum Shape {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+#[derive(Debug)]
+struct Item {
+    name: String,
+    attrs: SerdeAttrs,
+    kind: ItemKind,
+}
+
+#[derive(Debug)]
+enum ItemKind {
+    Struct(Shape),
+    Enum(Vec<Variant>),
+}
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_punct(&mut self, c: char) -> bool {
+        if let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() == c {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn eat_ident(&mut self, word: &str) -> bool {
+        if let Some(TokenTree::Ident(i)) = self.peek() {
+            if i.to_string() == word {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_ident(&mut self) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde_derive: expected identifier, found {other:?}"),
+        }
+    }
+
+    /// Collect `#[...]` attributes, folding any `#[serde(...)]` into `attrs`.
+    fn eat_attrs(&mut self, attrs: &mut SerdeAttrs) {
+        loop {
+            let is_attr = matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#');
+            if !is_attr {
+                return;
+            }
+            self.pos += 1; // '#'
+            match self.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                    parse_attr_group(g.stream(), attrs);
+                }
+                other => panic!("serde_derive: malformed attribute, found {other:?}"),
+            }
+        }
+    }
+
+    /// Skip a type (or any token run) until a top-level `,`; consumes the comma.
+    /// Returns true if a comma was consumed (false at end of the group).
+    fn skip_until_comma(&mut self) -> bool {
+        let mut angle_depth = 0i32;
+        let mut prev_dash = false;
+        while let Some(token) = self.peek() {
+            if let TokenTree::Punct(p) = token {
+                let c = p.as_char();
+                match c {
+                    ',' if angle_depth == 0 => {
+                        self.pos += 1;
+                        return true;
+                    }
+                    '<' => angle_depth += 1,
+                    '>' if !prev_dash => angle_depth -= 1,
+                    _ => {}
+                }
+                prev_dash = c == '-';
+            } else {
+                prev_dash = false;
+            }
+            self.pos += 1;
+        }
+        false
+    }
+}
+
+fn parse_attr_group(stream: TokenStream, attrs: &mut SerdeAttrs) {
+    let mut cursor = Cursor::new(stream);
+    let Some(TokenTree::Ident(name)) = cursor.peek() else {
+        return;
+    };
+    if name.to_string() != "serde" {
+        return; // doc comments and other attributes
+    }
+    cursor.pos += 1;
+    let Some(TokenTree::Group(g)) = cursor.next() else {
+        return;
+    };
+    let mut inner = Cursor::new(g.stream());
+    while let Some(token) = inner.next() {
+        let TokenTree::Ident(key) = token else {
+            continue;
+        };
+        match key.to_string().as_str() {
+            "default" => attrs.default = true,
+            "transparent" => attrs.transparent = true,
+            "rename" => attrs.rename = attr_string_value(&mut inner),
+            "skip_serializing_if" => attrs.skip_serializing_if = attr_string_value(&mut inner),
+            other => panic!("serde_derive: unsupported serde attribute `{other}`"),
+        }
+    }
+}
+
+fn attr_string_value(cursor: &mut Cursor) -> Option<String> {
+    if !cursor.eat_punct('=') {
+        return None;
+    }
+    match cursor.next() {
+        Some(TokenTree::Literal(lit)) => {
+            let text = lit.to_string();
+            Some(text.trim_matches('"').to_string())
+        }
+        other => panic!("serde_derive: expected string literal, found {other:?}"),
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut cursor = Cursor::new(stream);
+    let mut fields = Vec::new();
+    loop {
+        let mut attrs = SerdeAttrs::default();
+        cursor.eat_attrs(&mut attrs);
+        if cursor.peek().is_none() {
+            break;
+        }
+        if cursor.eat_ident("pub") {
+            // visibility restriction like pub(crate)
+            if let Some(TokenTree::Group(g)) = cursor.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    cursor.pos += 1;
+                }
+            }
+        }
+        let name = cursor.expect_ident();
+        if !cursor.eat_punct(':') {
+            panic!("serde_derive: expected `:` after field `{name}`");
+        }
+        fields.push(Field { name, attrs });
+        if !cursor.skip_until_comma() {
+            break;
+        }
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut cursor = Cursor::new(stream);
+    let mut count = 0;
+    loop {
+        let mut attrs = SerdeAttrs::default();
+        cursor.eat_attrs(&mut attrs);
+        if cursor.peek().is_none() {
+            break;
+        }
+        count += 1;
+        if !cursor.skip_until_comma() {
+            break;
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut cursor = Cursor::new(stream);
+    let mut variants = Vec::new();
+    loop {
+        let mut attrs = SerdeAttrs::default();
+        cursor.eat_attrs(&mut attrs);
+        if cursor.peek().is_none() {
+            break;
+        }
+        let name = cursor.expect_ident();
+        let shape = match cursor.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                cursor.pos += 1;
+                Shape::Named(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let count = count_tuple_fields(g.stream());
+                cursor.pos += 1;
+                Shape::Tuple(count)
+            }
+            _ => Shape::Unit,
+        };
+        variants.push(Variant { name, shape });
+        // Skip an explicit discriminant (`= expr`) and the trailing comma.
+        if !cursor.skip_until_comma() {
+            break;
+        }
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut cursor = Cursor::new(input);
+    let mut attrs = SerdeAttrs::default();
+    cursor.eat_attrs(&mut attrs);
+    if cursor.eat_ident("pub") {
+        if let Some(TokenTree::Group(g)) = cursor.peek() {
+            if g.delimiter() == Delimiter::Parenthesis {
+                cursor.pos += 1;
+            }
+        }
+    }
+    let is_enum = if cursor.eat_ident("struct") {
+        false
+    } else if cursor.eat_ident("enum") {
+        true
+    } else {
+        panic!("serde_derive: expected `struct` or `enum`");
+    };
+    let name = cursor.expect_ident();
+    if matches!(cursor.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive: generic type `{name}` is not supported by the vendored shim");
+    }
+    let kind = if is_enum {
+        match cursor.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive: expected enum body, found {other:?}"),
+        }
+    } else {
+        match cursor.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::Struct(Shape::Named(parse_named_fields(g.stream())))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                ItemKind::Struct(Shape::Tuple(count_tuple_fields(g.stream())))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => ItemKind::Struct(Shape::Unit),
+            other => panic!("serde_derive: expected struct body, found {other:?}"),
+        }
+    };
+    Item { name, attrs, kind }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation (as source text, parsed back into a TokenStream)
+// ---------------------------------------------------------------------------
+
+fn key_of(field: &Field) -> String {
+    field
+        .attrs
+        .rename
+        .clone()
+        .unwrap_or_else(|| field.name.clone())
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(Shape::Named(fields)) => {
+            if item.attrs.transparent {
+                assert_eq!(
+                    fields.len(),
+                    1,
+                    "serde(transparent) needs exactly one field"
+                );
+                format!("::serde::Serialize::to_value(&self.{})", fields[0].name)
+            } else {
+                let mut out = String::from("let mut __map = ::serde::Map::new();\n");
+                for field in fields {
+                    let key = key_of(field);
+                    let insert = format!(
+                        "__map.insert(\"{key}\".to_string(), ::serde::Serialize::to_value(&self.{}));",
+                        field.name
+                    );
+                    if let Some(skip) = &field.attrs.skip_serializing_if {
+                        out += &format!("if !{skip}(&self.{}) {{ {insert} }}\n", field.name);
+                    } else {
+                        out += &insert;
+                        out.push('\n');
+                    }
+                }
+                out += "::serde::Value::Object(__map)";
+                out
+            }
+        }
+        ItemKind::Struct(Shape::Tuple(1)) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        ItemKind::Struct(Shape::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        ItemKind::Struct(Shape::Unit) => "::serde::Value::Null".to_string(),
+        ItemKind::Enum(variants) => {
+            let mut arms = String::new();
+            for variant in variants {
+                let vname = &variant.name;
+                match &variant.shape {
+                    Shape::Unit => {
+                        arms += &format!(
+                            "{name}::{vname} => ::serde::Value::String(\"{vname}\".to_string()),\n"
+                        );
+                    }
+                    Shape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        arms += &format!(
+                            "{name}::{vname}({}) => {{\n\
+                             let mut __map = ::serde::Map::new();\n\
+                             __map.insert(\"{vname}\".to_string(), {inner});\n\
+                             ::serde::Value::Object(__map)\n}}\n",
+                            binds.join(", ")
+                        );
+                    }
+                    Shape::Named(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let mut inner = String::from("let mut __inner = ::serde::Map::new();\n");
+                        for field in fields {
+                            let key = key_of(field);
+                            inner += &format!(
+                                "__inner.insert(\"{key}\".to_string(), ::serde::Serialize::to_value({}));\n",
+                                field.name
+                            );
+                        }
+                        arms += &format!(
+                            "{name}::{vname} {{ {} }} => {{\n{inner}\
+                             let mut __map = ::serde::Map::new();\n\
+                             __map.insert(\"{vname}\".to_string(), ::serde::Value::Object(__inner));\n\
+                             ::serde::Value::Object(__map)\n}}\n",
+                            binds.join(", ")
+                        );
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    let output = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    );
+    output
+        .parse()
+        .expect("serde_derive: generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(Shape::Named(fields)) => {
+            if item.attrs.transparent {
+                assert_eq!(
+                    fields.len(),
+                    1,
+                    "serde(transparent) needs exactly one field"
+                );
+                format!(
+                    "Ok({name} {{ {}: ::serde::Deserialize::from_value(__value)? }})",
+                    fields[0].name
+                )
+            } else {
+                let mut out = format!(
+                    "let __object = __value.as_object().ok_or_else(|| \
+                     ::serde::Error::custom(\"invalid type: expected object for `{name}`\"))?;\n\
+                     Ok({name} {{\n"
+                );
+                for field in fields {
+                    let key = key_of(field);
+                    let helper = if field.attrs.default {
+                        "field_default"
+                    } else {
+                        "field"
+                    };
+                    out += &format!(
+                        "{}: ::serde::__private::{helper}(__object, \"{key}\")?,\n",
+                        field.name
+                    );
+                }
+                out += "})";
+                out
+            }
+        }
+        ItemKind::Struct(Shape::Tuple(1)) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(__value)?))")
+        }
+        ItemKind::Struct(Shape::Tuple(n)) => {
+            let mut out = format!(
+                "let __items = __value.as_array().ok_or_else(|| \
+                 ::serde::Error::custom(\"invalid type: expected array for `{name}`\"))?;\n\
+                 if __items.len() != {n} {{ return Err(::serde::Error::custom(\
+                 \"wrong tuple length for `{name}`\")); }}\n\
+                 Ok({name}(\n"
+            );
+            for i in 0..*n {
+                out += &format!("::serde::Deserialize::from_value(&__items[{i}])?,\n");
+            }
+            out += "))";
+            out
+        }
+        ItemKind::Struct(Shape::Unit) => format!("Ok({name})"),
+        ItemKind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for variant in variants {
+                let vname = &variant.name;
+                match &variant.shape {
+                    Shape::Unit => {
+                        unit_arms += &format!("\"{vname}\" => Ok({name}::{vname}),\n");
+                    }
+                    Shape::Tuple(1) => {
+                        data_arms += &format!(
+                            "\"{vname}\" => Ok({name}::{vname}(\
+                             ::serde::Deserialize::from_value(__inner)?)),\n"
+                        );
+                    }
+                    Shape::Tuple(n) => {
+                        let mut arm = format!(
+                            "\"{vname}\" => {{\n\
+                             let __items = __inner.as_array().ok_or_else(|| \
+                             ::serde::Error::custom(\"expected array for variant `{vname}`\"))?;\n\
+                             if __items.len() != {n} {{ return Err(::serde::Error::custom(\
+                             \"wrong tuple length for variant `{vname}`\")); }}\n\
+                             Ok({name}::{vname}(\n"
+                        );
+                        for i in 0..*n {
+                            arm += &format!("::serde::Deserialize::from_value(&__items[{i}])?,\n");
+                        }
+                        arm += "))\n}\n";
+                        data_arms += &arm;
+                    }
+                    Shape::Named(fields) => {
+                        let mut arm = format!(
+                            "\"{vname}\" => {{\n\
+                             let __object = __inner.as_object().ok_or_else(|| \
+                             ::serde::Error::custom(\"expected object for variant `{vname}`\"))?;\n\
+                             Ok({name}::{vname} {{\n"
+                        );
+                        for field in fields {
+                            let key = key_of(field);
+                            let helper = if field.attrs.default {
+                                "field_default"
+                            } else {
+                                "field"
+                            };
+                            arm += &format!(
+                                "{}: ::serde::__private::{helper}(__object, \"{key}\")?,\n",
+                                field.name
+                            );
+                        }
+                        arm += "})\n}\n";
+                        data_arms += &arm;
+                    }
+                }
+            }
+            format!(
+                "match __value {{\n\
+                 ::serde::Value::String(__s) => match __s.as_str() {{\n{unit_arms}\
+                 __other => Err(::serde::Error::custom(format!(\
+                 \"unknown variant `{{__other}}` for `{name}`\"))),\n}},\n\
+                 __other => {{\n\
+                 let (__tag, __inner) = ::serde::__private::variant(__other)?;\n\
+                 match __tag {{\n{data_arms}\
+                 __other => Err(::serde::Error::custom(format!(\
+                 \"unknown variant `{{__other}}` for `{name}`\"))),\n}}\n}}\n}}"
+            )
+        }
+    };
+    let output = format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         {body}\n}}\n}}\n"
+    );
+    output
+        .parse()
+        .expect("serde_derive: generated Deserialize impl parses")
+}
