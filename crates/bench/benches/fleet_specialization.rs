@@ -1,0 +1,89 @@
+//! Fleet-specialization benchmark: cold per-system deployments vs the concurrent
+//! `FleetSpecializer` over a shared content-addressed action cache, across the four
+//! paper systems (Ault23, Ault25, Ault01-04, Clariden).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use xaas::prelude::*;
+use xaas_apps::gromacs;
+use xaas_bench::fleet_specialization;
+use xaas_buildsys::OptionAssignment;
+use xaas_container::{ActionCache, ImageStore};
+use xaas_hpcsim::SystemModel;
+
+fn fleet_requests() -> Vec<FleetRequest> {
+    [
+        SystemModel::ault23(),
+        SystemModel::ault25(),
+        SystemModel::ault01_04(),
+        SystemModel::clariden(),
+    ]
+    .into_iter()
+    .map(|system| {
+        let simd = system.cpu.best_simd();
+        FleetRequest::new(
+            system,
+            OptionAssignment::new().with("GMX_SIMD", simd.gmx_name()),
+            simd,
+        )
+    })
+    .collect()
+}
+
+fn bench_fleet(c: &mut Criterion) {
+    // The experiment JSON is the artifact the acceptance criteria ask for: action
+    // counts and cache hit rates of cold vs fleet vs warm-rerun specialization.
+    let experiment = fleet_specialization();
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&experiment).expect("fleet experiment serialises")
+    );
+
+    let project = gromacs::project();
+    let store = ImageStore::new();
+    let pipeline = IrPipelineConfig::sweep_options(&project, &["GMX_SIMD"]).with_values(
+        "GMX_SIMD",
+        &["SSE4.1", "AVX2_256", "AVX_512", "ARM_NEON_ASIMD"],
+    );
+    let build = build_ir_container(&project, &pipeline, &store, "bench:fleet").unwrap();
+    let requests = fleet_requests();
+
+    let mut group = c.benchmark_group("fleet/specialization");
+    group.bench_function("cold_independent_deployments", |b| {
+        b.iter(|| {
+            for request in &requests {
+                black_box(
+                    deploy_ir_container(
+                        &build,
+                        &project,
+                        &request.system,
+                        &request.selection,
+                        request.simd,
+                        &store,
+                    )
+                    .unwrap(),
+                );
+            }
+        });
+    });
+    group.bench_function("fleet_shared_cache", |b| {
+        b.iter(|| {
+            let specializer = FleetSpecializer::new(ActionCache::new(store.clone()));
+            black_box(specializer.specialize_fleet(&build, &project, &requests));
+        });
+    });
+    // Steady state: the cache already holds every action of the fleet.
+    let warm = FleetSpecializer::new(ActionCache::new(store.clone()));
+    warm.specialize_fleet(&build, &project, &requests);
+    group.bench_function("fleet_warm_cache", |b| {
+        b.iter(|| black_box(warm.specialize_fleet(&build, &project, &requests)));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fleet
+}
+criterion_main!(benches);

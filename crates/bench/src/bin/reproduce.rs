@@ -13,6 +13,7 @@
 //! reproduce fig12-cpu           # IR containers, CPU sweep
 //! reproduce fig12-gpu           # IR containers, GPU
 //! reproduce tu-reduction        # Section 6.4 statistics + ablations
+//! reproduce fleet               # fleet specialization: cold vs shared-cache (JSON)
 //! reproduce network             # Section 6.5 bandwidth
 //! reproduce gpu-compat          # Figure 9 compatibility rules
 //! reproduce intersection        # Figure 4(c) feature intersection
@@ -138,6 +139,15 @@ fn run(section: &str) {
             )
         ),
         "tu-reduction" => print!("{}", render::render_reduction(&experiments::tu_reduction())),
+        "fleet" => {
+            // Banner on stderr so stdout stays machine-readable JSON (`reproduce fleet | jq .`).
+            eprintln!("== Fleet specialization: 4 systems from one IR container ==");
+            let experiment = experiments::fleet_specialization();
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&experiment).expect("fleet experiment serialises")
+            );
+        }
         "network" => print!("{}", render::render_network(&experiments::network())),
         "gpu-compat" => print!(
             "{}",
@@ -169,6 +179,7 @@ fn main() {
         "fig12-cpu",
         "fig12-gpu",
         "tu-reduction",
+        "fleet",
         "network",
         "gpu-compat",
         "intersection",

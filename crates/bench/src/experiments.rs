@@ -469,6 +469,146 @@ pub fn tu_reduction() -> Vec<ReductionRow> {
     rows
 }
 
+/// Per-system row of the fleet-specialization experiment.
+#[derive(Debug, Clone, Serialize)]
+pub struct FleetSystemRow {
+    /// System name.
+    pub system: String,
+    /// SIMD level the system was specialized for.
+    pub simd: String,
+    /// Actions this system's *cold* deployment executed (empty per-deployment cache).
+    pub cold_actions: usize,
+    /// Actions this system's deployment executed inside the shared-cache fleet run.
+    pub fleet_actions_executed: usize,
+    /// Actions served from the shared cache for this system during the fleet run.
+    pub fleet_actions_cached: usize,
+}
+
+/// The fleet-specialization experiment: one IR container served to the four paper
+/// systems, comparing independent cold deployments against the concurrent
+/// [`FleetSpecializer`] with a shared content-addressed action cache.
+#[derive(Debug, Clone, Serialize)]
+pub struct FleetExperiment {
+    /// Per-system breakdown.
+    pub systems: Vec<FleetSystemRow>,
+    /// Total compile/lower actions across the four independent cold deployments.
+    pub cold_actions: u64,
+    /// Total actions the fleet run executed (shared-cache misses).
+    pub fleet_actions: u64,
+    /// Hit rate of the shared cache during the fleet run.
+    pub fleet_hit_rate: f64,
+    /// Actions executed when the same fleet is specialized again over the warm cache.
+    pub warm_rerun_actions: u64,
+    /// Hit rate of the warm rerun (1.0 when the cache fully absorbs the fleet).
+    pub warm_rerun_hit_rate: f64,
+    /// Distinct jobs the fleet ran (duplicate requests are deduplicated).
+    pub jobs_executed: usize,
+    /// Requests answered by a deduplicated job.
+    pub jobs_deduplicated: usize,
+    /// Worker threads used by the fleet run.
+    pub workers: usize,
+    /// Bytes the content-addressed store deduplicated across all deployments.
+    pub store_dedup_bytes: u64,
+}
+
+/// **Fleet specialization** (the production shape behind Figures 8 and 12): build the
+/// GROMACS IR container once, then specialize it for Ault23, Ault25, Ault01-04, and
+/// Clariden. Cold = four independent deployments, each with an empty action cache;
+/// fleet = the concurrent work-queue specializer sharing one cache (systems with a
+/// common ISA share every lowered artifact); warm rerun = the same fleet again, fully
+/// served from the cache.
+pub fn fleet_specialization() -> FleetExperiment {
+    let project = gromacs::project();
+    let store = ImageStore::new();
+    let pipeline = IrPipelineConfig::sweep_options(&project, &["GMX_SIMD"]).with_values(
+        "GMX_SIMD",
+        &["SSE4.1", "AVX2_256", "AVX_512", "ARM_NEON_ASIMD"],
+    );
+    let build = build_ir_container(&project, &pipeline, &store, "spcl/mini-gromacs:ir-fleet")
+        .expect("IR container builds");
+
+    let fleet_systems = [
+        SystemModel::ault23(),
+        SystemModel::ault25(),
+        SystemModel::ault01_04(),
+        SystemModel::clariden(),
+    ];
+    let requests: Vec<FleetRequest> = fleet_systems
+        .iter()
+        .map(|system| {
+            let simd = system.cpu.best_simd();
+            FleetRequest::new(
+                system.clone(),
+                OptionAssignment::new().with("GMX_SIMD", simd.gmx_name()),
+                simd,
+            )
+        })
+        .collect();
+
+    // Cold baseline: every system deploys with its own empty action cache.
+    let cold: Vec<IrDeployment> = requests
+        .iter()
+        .map(|request| {
+            deploy_ir_container(
+                &build,
+                &project,
+                &request.system,
+                &request.selection,
+                request.simd,
+                &store,
+            )
+            .expect("cold deployment succeeds")
+        })
+        .collect();
+    let cold_actions: u64 = cold.iter().map(|d| d.actions.executed as u64).sum();
+
+    // Fleet run: shared cache, parallel workers, deduplicated jobs.
+    let cache = ActionCache::new(store.clone());
+    let specializer = FleetSpecializer::new(cache.clone());
+    let report = specializer.specialize_fleet(&build, &project, &requests);
+    assert!(report.all_succeeded(), "fleet specialization succeeds");
+    let fleet_stats = report.cache;
+
+    // Warm rerun: the cache already holds every action of the fleet (report counters
+    // are per-run deltas, so no stat reset is needed).
+    let rerun = specializer.specialize_fleet(&build, &project, &requests);
+    assert!(rerun.all_succeeded(), "warm rerun succeeds");
+    let rerun_stats = rerun.cache;
+
+    let systems = requests
+        .iter()
+        .zip(cold.iter())
+        .zip(report.outcomes.iter())
+        .map(|((request, cold_deployment), outcome)| {
+            let fleet_actions = outcome
+                .deployment
+                .as_ref()
+                .map(|d| d.actions)
+                .unwrap_or_default();
+            FleetSystemRow {
+                system: request.system.name.clone(),
+                simd: request.simd.gmx_name().to_string(),
+                cold_actions: cold_deployment.actions.executed,
+                fleet_actions_executed: fleet_actions.executed,
+                fleet_actions_cached: fleet_actions.cached,
+            }
+        })
+        .collect();
+
+    FleetExperiment {
+        systems,
+        cold_actions,
+        fleet_actions: fleet_stats.misses,
+        fleet_hit_rate: fleet_stats.hit_rate(),
+        warm_rerun_actions: rerun_stats.misses,
+        warm_rerun_hit_rate: rerun_stats.hit_rate(),
+        jobs_executed: report.jobs_executed,
+        jobs_deduplicated: report.jobs_deduplicated,
+        workers: report.workers,
+        store_dedup_bytes: store.dedup_bytes(),
+    }
+}
+
 /// One row of the Section 6.5 network comparison.
 #[derive(Debug, Clone, Serialize)]
 pub struct NetworkRow {
@@ -754,6 +894,35 @@ mod tests {
         }
         let isa_sweep = &rows[0];
         assert!(isa_sweep.reduction_percent > 60.0);
+    }
+
+    #[test]
+    fn fleet_specialization_beats_cold_deployments() {
+        let experiment = fleet_specialization();
+        assert_eq!(experiment.systems.len(), 4);
+        assert!(
+            experiment.fleet_actions < experiment.cold_actions,
+            "shared cache must perform strictly fewer actions: fleet {} vs cold {}",
+            experiment.fleet_actions,
+            experiment.cold_actions
+        );
+        assert!(experiment.fleet_hit_rate > 0.0 && experiment.fleet_hit_rate < 1.0);
+        assert_eq!(
+            experiment.warm_rerun_actions, 0,
+            "warm fleet compiles nothing"
+        );
+        assert!((experiment.warm_rerun_hit_rate - 1.0).abs() < 1e-12);
+        assert_eq!(experiment.jobs_executed, 4);
+        assert_eq!(experiment.jobs_deduplicated, 0);
+        // Ault23 and Ault01-04 share AVX-512: at least one of them is fully cached
+        // except for its system-dependent sources.
+        let avx512: Vec<_> = experiment
+            .systems
+            .iter()
+            .filter(|row| row.simd == "AVX_512")
+            .collect();
+        assert_eq!(avx512.len(), 2);
+        assert!(avx512.iter().any(|row| row.fleet_actions_cached > 0));
     }
 
     #[test]

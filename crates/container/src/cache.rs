@@ -1,0 +1,460 @@
+//! Content-addressed action cache: memoized build steps keyed by input digests.
+//!
+//! The paper's deduplication economics (Figures 7–8, 12–13) come from never redoing a
+//! build step whose inputs were already seen: translation units are deduplicated by the
+//! hash of their *preprocessed* content, and shared IR is lowered once per target ISA.
+//! This module supplies the substrate for that reuse, in the style of Nix/Bazel
+//! derivation stores: a [`BuildKey`] names one build action by the digests of everything
+//! that determines its output, and the [`ActionCache`] maps key digests to output blobs
+//! stored in the content-addressed [`ImageStore`].
+//!
+//! # `BuildKey` derivation
+//!
+//! A key is the canonical tuple
+//!
+//! ```text
+//! (tu_digest, target_isa, options, toolchain)
+//! ```
+//!
+//! * `tu_digest` — content digest of the *preprocessed* translation unit (or of the
+//!   stored IR unit when lowering): two configurations whose definitions do not change
+//!   the token stream share this digest, exactly the stage-2 identity of Figure 7;
+//! * `target_isa` — the code-generation target (`xir.ir` while building
+//!   target-independent IR; the concrete ISA name when lowering at deployment);
+//! * `options` — the IR-relevant option/flag assignment (definitions, OpenMP,
+//!   optimisation level — never the delayed `-m…` flags);
+//! * `toolchain` — an identifier pinning the compiler that runs the action.
+//!
+//! The key digest is the SHA-256 of the canonical rendering, so it is stable across
+//! processes and sessions. Because every component is itself a content digest or a
+//! canonical string, a cache hit is sound: equal keys imply byte-identical outputs.
+//!
+//! The cache is safe for concurrent use and *single-flight*: when several workers race
+//! on the same key (the fleet specializer does this deliberately), exactly one computes
+//! the action and the rest block and reuse its output, so no [`BuildKey`] is ever built
+//! twice.
+
+use crate::digest::Digest;
+use crate::image::{ImageError, ImageStore};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
+
+/// The identity of one memoizable build action. See the module docs for the derivation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct BuildKey {
+    /// Content digest of the preprocessed translation unit or stored IR unit.
+    pub tu_digest: String,
+    /// Code-generation target (`xir.ir` for IR builds, the ISA name for lowering).
+    pub target_isa: String,
+    /// Canonical IR-relevant option assignment (definitions, OpenMP, opt level).
+    pub options: String,
+    /// Toolchain identifier pinning the compiler.
+    pub toolchain: String,
+}
+
+impl BuildKey {
+    /// Build a key from its four components.
+    pub fn new(
+        tu_digest: impl Into<String>,
+        target_isa: impl Into<String>,
+        options: impl Into<String>,
+        toolchain: impl Into<String>,
+    ) -> Self {
+        Self {
+            tu_digest: tu_digest.into(),
+            target_isa: target_isa.into(),
+            options: options.into(),
+            toolchain: toolchain.into(),
+        }
+    }
+
+    /// Canonical textual rendering (field-tagged so components can never collide by
+    /// shifting bytes between fields).
+    pub fn canonical(&self) -> String {
+        format!(
+            "tu={}\nisa={}\nopts={}\ntoolchain={}\n",
+            self.tu_digest, self.target_isa, self.options, self.toolchain
+        )
+    }
+
+    /// The stable SHA-256 digest of the canonical rendering.
+    pub fn digest(&self) -> Digest {
+        Digest::of_str(&self.canonical())
+    }
+}
+
+/// Counters describing cache effectiveness. Snapshots are cheap copies.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to run the action.
+    pub misses: u64,
+    /// Entries dropped to respect the capacity bound.
+    pub evictions: u64,
+    /// Lookups that blocked on a concurrent in-flight computation of the same key and
+    /// then reused its result (counted in `hits` as well).
+    pub coalesced: u64,
+    /// Live entries currently in the cache.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Total number of compile/lower actions actually executed through this cache.
+    pub fn actions_executed(&self) -> u64 {
+        self.misses
+    }
+
+    /// Hit rate in `[0, 1]`; zero when the cache was never consulted.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / total as f64
+    }
+}
+
+/// A cache report combining action-cache counters with the backing store's blob-level
+/// deduplication statistics.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CacheReport {
+    /// Action-cache counters.
+    pub actions: CacheStats,
+    /// Blobs held by the backing content-addressed store.
+    pub blob_count: usize,
+    /// Bytes held by the backing store (deduplicated by digest).
+    pub stored_bytes: u64,
+    /// Bytes that were offered to the store but already present (duplicate puts).
+    pub dedup_bytes: u64,
+}
+
+#[derive(Default)]
+struct CacheInner {
+    entries: BTreeMap<Digest, Digest>,
+    /// Insertion order for FIFO eviction under a capacity bound.
+    order: VecDeque<Digest>,
+    in_flight: BTreeMap<Digest, Arc<Mutex<()>>>,
+    stats: CacheStats,
+}
+
+/// A digest-keyed action cache backed by a content-addressed [`ImageStore`].
+///
+/// Cloning the cache shares its state: builders, deployers, and fleet workers all see
+/// the same memoized actions. The blob payloads live in the (also shared) store, so an
+/// action output and an identical image layer occupy the bytes only once.
+#[derive(Clone)]
+pub struct ActionCache {
+    store: ImageStore,
+    capacity: Option<usize>,
+    inner: Arc<Mutex<CacheInner>>,
+}
+
+impl ActionCache {
+    /// An unbounded cache backed by `store`.
+    pub fn new(store: ImageStore) -> Self {
+        Self {
+            store,
+            capacity: None,
+            inner: Arc::new(Mutex::new(CacheInner::default())),
+        }
+    }
+
+    /// A cache that evicts (FIFO) beyond `capacity` entries.
+    ///
+    /// The bound applies to the key→blob *index* only: eviction drops the memoization
+    /// entry, not the output blob, because the backing store is a shared CAS whose
+    /// blobs may also be referenced by committed image layers. Reclaiming unreferenced
+    /// blobs is a store-level garbage-collection concern, not a cache one.
+    pub fn with_capacity(store: ImageStore, capacity: usize) -> Self {
+        Self {
+            capacity: Some(capacity.max(1)),
+            ..Self::new(store)
+        }
+    }
+
+    /// The backing content-addressed store.
+    pub fn store(&self) -> &ImageStore {
+        &self.store
+    }
+
+    /// Look up an action output without running anything. Does not touch hit/miss
+    /// counters — use [`ActionCache::get_or_compute`] for the accounted path.
+    pub fn peek(&self, key: &BuildKey) -> Option<Vec<u8>> {
+        let digest = key.digest();
+        let blob = self.inner.lock().entries.get(&digest).cloned()?;
+        self.store.get_blob(&blob).ok()
+    }
+
+    /// Whether the cache currently holds an output for `key`.
+    pub fn contains(&self, key: &BuildKey) -> bool {
+        self.inner.lock().entries.contains_key(&key.digest())
+    }
+
+    /// Memoize: return the cached output for `key`, or run `compute`, store its output,
+    /// and return it. The boolean is `true` on a cache hit.
+    ///
+    /// Concurrent callers with the same key are single-flighted: one computes, the
+    /// others block until the result is stored and then read it as a (coalesced) hit.
+    pub fn get_or_compute<E>(
+        &self,
+        key: &BuildKey,
+        compute: impl FnOnce() -> Result<Vec<u8>, E>,
+    ) -> Result<(Vec<u8>, bool), E> {
+        let digest = key.digest();
+        let flight: Arc<Mutex<()>>;
+        let guard;
+        loop {
+            let mut inner = self.inner.lock();
+            if let Some(blob) = inner.entries.get(&digest).cloned() {
+                if let Ok(bytes) = self.store.get_blob(&blob) {
+                    inner.stats.hits += 1;
+                    return Ok((bytes, true));
+                }
+                // The backing blob disappeared (store swapped/garbage-collected):
+                // fall through and recompute.
+                inner.entries.remove(&digest);
+                inner.order.retain(|d| d != &digest);
+                inner.stats.entries = inner.entries.len();
+            }
+            match inner.in_flight.get(&digest).cloned() {
+                Some(existing) => {
+                    // Another worker is computing this key right now. Release the cache
+                    // lock, wait for the computation by acquiring the flight lock, then
+                    // retry the lookup (which will hit).
+                    drop(inner);
+                    drop(existing.lock());
+                    self.inner.lock().stats.coalesced += 1;
+                }
+                None => {
+                    flight = Arc::new(Mutex::new(()));
+                    inner.in_flight.insert(digest.clone(), flight.clone());
+                    // Lock the flight before releasing the cache lock so no waiter can
+                    // acquire it ahead of the computation.
+                    guard = flight.lock();
+                    break;
+                }
+            }
+        }
+
+        // We own the flight: compute while holding its lock so racers block above.
+        let result = compute();
+        let mut inner = self.inner.lock();
+        inner.in_flight.remove(&digest);
+        let bytes = match result {
+            Ok(bytes) => bytes,
+            Err(error) => {
+                drop(guard);
+                return Err(error);
+            }
+        };
+        inner.stats.misses += 1;
+        let blob = self.store.put_blob(bytes.clone());
+        self.record_entry(&mut inner, digest, blob);
+        drop(guard);
+        Ok((bytes, false))
+    }
+
+    /// Insert an action output directly (used when the output was produced elsewhere).
+    pub fn insert(&self, key: &BuildKey, bytes: Vec<u8>) -> Digest {
+        let blob = self.store.put_blob(bytes);
+        let mut inner = self.inner.lock();
+        self.record_entry(&mut inner, key.digest(), blob.clone());
+        blob
+    }
+
+    /// Register `digest → blob` in the index and enforce the capacity bound (shared by
+    /// [`ActionCache::get_or_compute`] and [`ActionCache::insert`]).
+    fn record_entry(&self, inner: &mut CacheInner, digest: Digest, blob: Digest) {
+        if inner.entries.insert(digest.clone(), blob).is_none() {
+            inner.order.push_back(digest);
+        }
+        if let Some(capacity) = self.capacity {
+            while inner.entries.len() > capacity {
+                let Some(oldest) = inner.order.pop_front() else {
+                    break;
+                };
+                inner.entries.remove(&oldest);
+                inner.stats.evictions += 1;
+            }
+        }
+        inner.stats.entries = inner.entries.len();
+    }
+
+    /// A snapshot of the cache counters.
+    pub fn stats(&self) -> CacheStats {
+        self.inner.lock().stats
+    }
+
+    /// Reset the counters (entries are kept) — used to separate warm from cold phases
+    /// in experiments.
+    pub fn reset_stats(&self) {
+        let mut inner = self.inner.lock();
+        let entries = inner.entries.len();
+        inner.stats = CacheStats {
+            entries,
+            ..CacheStats::default()
+        };
+    }
+
+    /// Combined report: action counters plus the backing store's dedup statistics.
+    pub fn report(&self) -> CacheReport {
+        let store_stats = self.store.stats();
+        CacheReport {
+            actions: self.stats(),
+            blob_count: store_stats.blob_count,
+            stored_bytes: store_stats.total_bytes,
+            dedup_bytes: store_stats.dedup_bytes,
+        }
+    }
+
+    /// Convenience for callers that want the raw blob digest of a cached action.
+    pub fn action_blob(&self, key: &BuildKey) -> Result<Digest, ImageError> {
+        self.inner
+            .lock()
+            .entries
+            .get(&key.digest())
+            .cloned()
+            .ok_or_else(|| ImageError::MissingBlob(key.digest()))
+    }
+}
+
+impl std::fmt::Debug for ActionCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("ActionCache")
+            .field("capacity", &self.capacity)
+            .field("stats", &stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn key(n: u32) -> BuildKey {
+        BuildKey::new(
+            format!("tu{n}"),
+            "xir.ir",
+            "defs=;openmp=false;opt=O2",
+            "xirc",
+        )
+    }
+
+    #[test]
+    fn key_digest_is_stable_and_field_sensitive() {
+        let a = key(1);
+        assert_eq!(a.digest(), key(1).digest());
+        let mut b = key(1);
+        b.target_isa = "x86-avx_512".into();
+        assert_ne!(a.digest(), b.digest());
+        // Field-tagged canonical form: moving bytes between fields changes the digest.
+        let c = BuildKey::new("tu1x", "ir", "o", "t");
+        let d = BuildKey::new("tu1", "xir", "o", "t");
+        assert_ne!(c.digest(), d.digest());
+    }
+
+    #[test]
+    fn get_or_compute_memoizes_and_counts() {
+        let cache = ActionCache::new(ImageStore::new());
+        let calls = AtomicUsize::new(0);
+        let compute = || -> Result<Vec<u8>, ()> {
+            calls.fetch_add(1, Ordering::SeqCst);
+            Ok(b"artifact".to_vec())
+        };
+        let (first, hit1) = cache.get_or_compute(&key(1), compute).unwrap();
+        let (second, hit2) = cache
+            .get_or_compute(&key(1), || -> Result<Vec<u8>, ()> {
+                calls.fetch_add(1, Ordering::SeqCst);
+                Ok(b"never-run".to_vec())
+            })
+            .unwrap();
+        assert!(!hit1);
+        assert!(hit2);
+        assert_eq!(first, second);
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn errors_are_not_cached() {
+        let cache = ActionCache::new(ImageStore::new());
+        let failed: Result<(Vec<u8>, bool), &str> = cache.get_or_compute(&key(2), || Err("boom"));
+        assert_eq!(failed.unwrap_err(), "boom");
+        assert_eq!(cache.stats().entries, 0);
+        let (bytes, hit) = cache
+            .get_or_compute(&key(2), || -> Result<Vec<u8>, &str> { Ok(vec![7]) })
+            .unwrap();
+        assert_eq!(bytes, vec![7]);
+        assert!(!hit);
+    }
+
+    #[test]
+    fn capacity_bound_evicts_fifo() {
+        let cache = ActionCache::with_capacity(ImageStore::new(), 2);
+        for n in 0..3 {
+            cache
+                .get_or_compute(&key(n), || -> Result<Vec<u8>, ()> { Ok(vec![n as u8]) })
+                .unwrap();
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.evictions, 1);
+        assert!(!cache.contains(&key(0)), "oldest entry evicted");
+        assert!(cache.contains(&key(2)));
+        // Evicted key recomputes (a second miss), others still hit.
+        let (_, hit) = cache
+            .get_or_compute(&key(0), || -> Result<Vec<u8>, ()> { Ok(vec![0]) })
+            .unwrap();
+        assert!(!hit);
+    }
+
+    #[test]
+    fn concurrent_same_key_builds_once() {
+        let cache = ActionCache::new(ImageStore::new());
+        let calls = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let cache = cache.clone();
+                let calls = calls.clone();
+                scope.spawn(move || {
+                    let (bytes, _) = cache
+                        .get_or_compute(&key(9), || -> Result<Vec<u8>, ()> {
+                            calls.fetch_add(1, Ordering::SeqCst);
+                            // Widen the race window so coalescing is actually exercised.
+                            std::thread::sleep(std::time::Duration::from_millis(20));
+                            Ok(b"once".to_vec())
+                        })
+                        .unwrap();
+                    assert_eq!(bytes, b"once");
+                });
+            }
+        });
+        assert_eq!(calls.load(Ordering::SeqCst), 1, "single-flight");
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 7);
+    }
+
+    #[test]
+    fn report_combines_action_and_store_dedup_stats() {
+        let store = ImageStore::new();
+        let cache = ActionCache::new(store.clone());
+        cache
+            .get_or_compute(&key(1), || -> Result<Vec<u8>, ()> { Ok(vec![1, 2, 3]) })
+            .unwrap();
+        // Same payload offered again directly to the store: dedup_bytes grows.
+        store.put_blob(vec![1, 2, 3]);
+        let report = cache.report();
+        assert_eq!(report.actions.misses, 1);
+        assert_eq!(report.blob_count, 1);
+        assert_eq!(report.stored_bytes, 3);
+        assert_eq!(report.dedup_bytes, 3);
+    }
+}

@@ -224,6 +224,21 @@ pub struct ImageStore {
 struct StoreInner {
     blobs: BTreeMap<Digest, Vec<u8>>,
     tags: BTreeMap<String, Digest>,
+    dedup_hits: u64,
+    dedup_bytes: u64,
+}
+
+/// Blob-level statistics of an [`ImageStore`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StoreStats {
+    /// Distinct blobs held.
+    pub blob_count: usize,
+    /// Bytes held, deduplicated by digest.
+    pub total_bytes: u64,
+    /// Puts that were short-circuited because the digest was already present.
+    pub dedup_hits: u64,
+    /// Bytes of those short-circuited puts — storage the content addressing saved.
+    pub dedup_bytes: u64,
 }
 
 impl ImageStore {
@@ -232,14 +247,18 @@ impl ImageStore {
         Self::default()
     }
 
-    /// Insert a raw blob, returning its digest. Idempotent.
+    /// Insert a raw blob, returning its digest. Idempotent: a duplicate digest is
+    /// short-circuited without storing (the bytes are dropped) and recorded in the
+    /// dedup statistics.
     pub fn put_blob(&self, bytes: Vec<u8>) -> Digest {
         let digest = Digest::of_bytes(&bytes);
-        self.inner
-            .write()
-            .blobs
-            .entry(digest.clone())
-            .or_insert(bytes);
+        let mut inner = self.inner.write();
+        if inner.blobs.contains_key(&digest) {
+            inner.dedup_hits += 1;
+            inner.dedup_bytes += bytes.len() as u64;
+            return digest;
+        }
+        inner.blobs.insert(digest.clone(), bytes);
         digest
     }
 
@@ -271,6 +290,22 @@ impl ImageStore {
             .values()
             .map(|b| b.len() as u64)
             .sum()
+    }
+
+    /// Bytes that were offered via [`ImageStore::put_blob`] but already present.
+    pub fn dedup_bytes(&self) -> u64 {
+        self.inner.read().dedup_bytes
+    }
+
+    /// A snapshot of the blob-level statistics.
+    pub fn stats(&self) -> StoreStats {
+        let inner = self.inner.read();
+        StoreStats {
+            blob_count: inner.blobs.len(),
+            total_bytes: inner.blobs.values().map(|b| b.len() as u64).sum(),
+            dedup_hits: inner.dedup_hits,
+            dedup_bytes: inner.dedup_bytes,
+        }
     }
 
     /// Commit an [`Image`]: serialise layers, config, and manifest into blobs, tag the
@@ -437,6 +472,22 @@ mod tests {
         img2.runtime.env.push("EXTRA=1".to_string());
         store.commit(&img2);
         assert_eq!(store.blob_count(), blobs_before + 2);
+    }
+
+    #[test]
+    fn duplicate_blobs_are_short_circuited_and_counted() {
+        let store = ImageStore::new();
+        let payload = b"shared-layer-bytes".to_vec();
+        let d1 = store.put_blob(payload.clone());
+        assert_eq!(store.stats().dedup_hits, 0);
+        let d2 = store.put_blob(payload.clone());
+        assert_eq!(d1, d2);
+        let stats = store.stats();
+        assert_eq!(stats.blob_count, 1);
+        assert_eq!(stats.total_bytes, payload.len() as u64);
+        assert_eq!(stats.dedup_hits, 1);
+        assert_eq!(stats.dedup_bytes, payload.len() as u64);
+        assert_eq!(store.dedup_bytes(), payload.len() as u64);
     }
 
     #[test]

@@ -28,6 +28,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod digest;
 pub mod image;
 pub mod layer;
@@ -38,8 +39,11 @@ pub mod runtime;
 
 /// Commonly used types re-exported together.
 pub mod prelude {
+    pub use crate::cache::{ActionCache, BuildKey, CacheReport, CacheStats};
     pub use crate::digest::{Digest, Sha256};
-    pub use crate::image::{Image, ImageConfig, ImageError, ImageIndex, ImageStore, Manifest};
+    pub use crate::image::{
+        Image, ImageConfig, ImageError, ImageIndex, ImageStore, Manifest, StoreStats,
+    };
     pub use crate::layer::{Layer, LayerEntry, RootFs};
     pub use crate::oci::{
         annotation_keys, Architecture, DeploymentFormat, Descriptor, MediaType, Platform,

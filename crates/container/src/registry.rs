@@ -160,12 +160,11 @@ impl Registry {
         Ok((image, stats))
     }
 
-    /// How many times a reference has been pulled.
-    pub fn pull_count(&self, reference: &str) -> u64 {
-        Reference::parse(reference)
-            .ok()
-            .and_then(|r| self.pulls.read().get(&r).copied())
-            .unwrap_or(0)
+    /// How many times a reference has been pulled. Takes a parsed [`Reference`] so
+    /// malformed reference strings surface as parse errors at the caller instead of
+    /// silently counting as zero.
+    pub fn pull_count(&self, reference: &Reference) -> u64 {
+        self.pulls.read().get(reference).copied().unwrap_or(0)
     }
 
     /// List repositories and tags.
@@ -272,7 +271,10 @@ mod tests {
         assert_eq!(pulled.rootfs().read_text("/payload").unwrap(), "hello");
         assert_eq!(pulled.platform, img.platform);
         assert!(stats.blobs_transferred >= 3); // layer + config + manifest
-        assert_eq!(registry.pull_count("spcl/app:v1"), 1);
+        assert_eq!(
+            registry.pull_count(&Reference::parse("spcl/app:v1").unwrap()),
+            1
+        );
     }
 
     #[test]
@@ -344,7 +346,18 @@ mod tests {
             let target = ImageStore::new();
             registry.pull(&target, "spcl/app:v1").unwrap();
         }
-        assert_eq!(registry.pull_count("spcl/app:v1"), 3);
-        assert_eq!(registry.pull_count("spcl/app:v2"), 0);
+        assert_eq!(
+            registry.pull_count(&Reference::parse("spcl/app:v1").unwrap()),
+            3
+        );
+        assert_eq!(
+            registry.pull_count(&Reference::parse("spcl/app:v2").unwrap()),
+            0
+        );
+        // An untagged repo name defaults to :latest and counts separately.
+        assert_eq!(
+            registry.pull_count(&Reference::parse("spcl/app").unwrap()),
+            0
+        );
     }
 }

@@ -6,13 +6,17 @@
 //! linking and installation, and commits a new, system-specialized image whose tag
 //! encodes the specialization points.
 
-use crate::ir_container::{paths as ir_paths, IrContainerBuild, UnitAssignment};
+use crate::ir_container::{
+    paths as ir_paths, ActionSummary, IrContainerBuild, UnitAssignment, TOOLCHAIN_ID,
+};
 use crate::targets::{derive_build_profile, target_isa_for};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 use xaas_buildsys::{OptionAssignment, ProjectSpec};
-use xaas_container::{annotation_keys, DeploymentFormat, Image, ImageStore, Layer, Platform};
+use xaas_container::{
+    annotation_keys, ActionCache, BuildKey, DeploymentFormat, Image, ImageStore, Layer, Platform,
+};
 use xaas_hpcsim::{BuildProfile, SimdLevel, SystemModel};
 use xaas_xir::{lower_to_machine, CompileFlags, Compiler, MachineModule, VectorizationReport};
 
@@ -31,6 +35,8 @@ pub enum DeployError {
         file: String,
         error: xaas_xir::CompileError,
     },
+    /// A cached artifact failed to decode (action-cache corruption).
+    Cache(String),
 }
 
 impl fmt::Display for DeployError {
@@ -44,6 +50,7 @@ impl fmt::Display for DeployError {
             }
             DeployError::MissingUnit(id) => write!(f, "IR unit {id} missing from the container"),
             DeployError::Compile { file, error } => write!(f, "compiling {file}: {error}"),
+            DeployError::Cache(detail) => write!(f, "action cache: {detail}"),
         }
     }
 }
@@ -82,9 +89,15 @@ pub struct IrDeployment {
     pub stats: DeploymentStats,
     /// Performance profile of the deployed build.
     pub build_profile: BuildProfile,
+    /// Lower/compile actions executed vs served from the action cache. Reported outside
+    /// [`DeploymentStats`] so warm and cold deployments stay otherwise identical.
+    pub actions: ActionSummary,
 }
 
 /// Deploy an IR container: select a configuration, lower for the system, link, install.
+///
+/// Convenience wrapper around [`deploy_ir_container_cached`] with a private, empty
+/// action cache backed by `store` — every lower/compile action runs.
 pub fn deploy_ir_container(
     build: &IrContainerBuild,
     project: &ProjectSpec,
@@ -93,6 +106,33 @@ pub fn deploy_ir_container(
     simd: SimdLevel,
     store: &ImageStore,
 ) -> Result<IrDeployment, DeployError> {
+    deploy_ir_container_cached(
+        build,
+        project,
+        system,
+        selection,
+        simd,
+        &ActionCache::new(store.clone()),
+    )
+}
+
+/// Deploy an IR container, routing every lower/compile action through `cache`.
+///
+/// Lowering a stored IR unit is keyed on (unit content id, target ISA); compiling a
+/// system-dependent source is keyed on (preprocessed-content digest, IR-relevant flags,
+/// target ISA).
+/// A warm cache therefore serves repeat deployments — and deployments to other systems
+/// sharing the ISA — without running the compiler, while producing byte-identical
+/// artifacts and identical [`DeploymentStats`].
+pub fn deploy_ir_container_cached(
+    build: &IrContainerBuild,
+    project: &ProjectSpec,
+    system: &SystemModel,
+    selection: &OptionAssignment,
+    simd: SimdLevel,
+    cache: &ActionCache,
+) -> Result<IrDeployment, DeployError> {
+    let store: &ImageStore = cache.store();
     let manifest = build
         .manifest_for(selection)
         .ok_or_else(|| DeployError::UnknownConfiguration(selection.label()))?;
@@ -112,6 +152,7 @@ pub fn deploy_ir_container(
     let mut machine_modules: BTreeMap<String, MachineModule> = BTreeMap::new();
     let mut vectorization = VectorizationReport::default();
     let mut stats = DeploymentStats::default();
+    let mut actions = ActionSummary::default();
 
     for UnitAssignment { file, artifact, .. } in &manifest.units {
         if let Some(id) = artifact.strip_prefix("ir:") {
@@ -120,7 +161,22 @@ pub fn deploy_ir_container(
                 .get(id)
                 .ok_or_else(|| DeployError::MissingUnit(id.to_string()))?;
             // Code generation: vectorise and lower the stored IR for the selected ISA.
-            let machine = lower_to_machine(&unit.module, &target);
+            // The unit id *is* the content digest of the IR, so (id, target) fully
+            // determines the lowered artifact.
+            let key = BuildKey::new(id, &target.name, "lower", TOOLCHAIN_ID);
+            let (bytes, hit) = cache.get_or_compute(&key, || {
+                let machine = lower_to_machine(&unit.module, &target);
+                Ok::<_, DeployError>(
+                    serde_json::to_vec(&machine).expect("machine module serialises"),
+                )
+            })?;
+            if hit {
+                actions.cached += 1;
+            } else {
+                actions.executed += 1;
+            }
+            let machine: MachineModule = serde_json::from_slice(&bytes)
+                .map_err(|e| DeployError::Cache(format!("machine module for {file}: {e}")))?;
             vectorization
                 .loops
                 .extend(machine.vectorization.loops.iter().cloned());
@@ -135,12 +191,37 @@ pub fn deploy_ir_container(
             args.push("-O3".to_string());
             args.push("-fopenmp".to_string());
             let flags = CompileFlags::parse(args);
-            let machine = compiler
-                .compile_to_machine(path, &source.content, &flags, &target)
+            // Key on the *preprocessed* content digest (the cache contract): it folds
+            // in the headers the compiler resolves, so caches shared across projects
+            // can never serve code built against different header definitions.
+            let preprocessed = compiler
+                .preprocess_only(path, &source.content, &flags)
                 .map_err(|error| DeployError::Compile {
                     file: path.to_string(),
                     error,
                 })?;
+            let key = BuildKey::new(
+                preprocessed.content_digest(),
+                &target.name,
+                format!("file={path};{}", flags.ir_relevant_key()),
+                TOOLCHAIN_ID,
+            );
+            let (bytes, hit) = cache.get_or_compute(&key, || {
+                let machine = compiler
+                    .compile_to_machine(path, &source.content, &flags, &target)
+                    .map_err(|error| DeployError::Compile {
+                        file: path.to_string(),
+                        error,
+                    })?;
+                Ok(serde_json::to_vec(&machine).expect("machine module serialises"))
+            })?;
+            if hit {
+                actions.cached += 1;
+            } else {
+                actions.executed += 1;
+            }
+            let machine: MachineModule = serde_json::from_slice(&bytes)
+                .map_err(|e| DeployError::Cache(format!("machine module for {path}: {e}")))?;
             vectorization
                 .loops
                 .extend(machine.vectorization.loops.iter().cloned());
@@ -216,6 +297,7 @@ pub fn deploy_ir_container(
         vectorization,
         stats,
         build_profile,
+        actions,
     })
 }
 
@@ -321,6 +403,42 @@ mod tests {
             narrow.reference, wide.reference,
             "image tags encode the specialization"
         );
+    }
+
+    #[test]
+    fn warm_cache_deployment_is_identical_and_runs_no_actions() {
+        let store = ImageStore::new();
+        let (project, build) = gromacs_ir_build(&store);
+        let cache = ActionCache::new(store.clone());
+        let system = SystemModel::ault23();
+        let selection = OptionAssignment::new()
+            .with("GMX_SIMD", "AVX_512")
+            .with("GMX_GPU", "OFF");
+        let cold = deploy_ir_container_cached(
+            &build,
+            &project,
+            &system,
+            &selection,
+            SimdLevel::Avx512,
+            &cache,
+        )
+        .unwrap();
+        assert_eq!(cold.actions.cached, 0);
+        assert!(cold.actions.executed > 0);
+        let warm = deploy_ir_container_cached(
+            &build,
+            &project,
+            &system,
+            &selection,
+            SimdLevel::Avx512,
+            &cache,
+        )
+        .unwrap();
+        assert_eq!(warm.actions.executed, 0, "warm deployment runs no compiler");
+        assert_eq!(warm.actions.cached, cold.actions.executed);
+        assert_eq!(warm.machine_modules, cold.machine_modules);
+        assert_eq!(warm.stats, cold.stats);
+        assert_eq!(warm.image.layers, cold.image.layers);
     }
 
     #[test]

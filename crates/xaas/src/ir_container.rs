@@ -22,10 +22,37 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use xaas_buildsys::{configure, ConfigureError, OptionAssignment, ProjectSpec};
 use xaas_container::{
-    annotation_keys, Architecture, DeploymentFormat, Image, ImageStore, Layer, Platform,
+    annotation_keys, ActionCache, Architecture, BuildKey, DeploymentFormat, Image, ImageStore,
+    Layer, Platform,
 };
 use xaas_specs::from_project;
 use xaas_xir::{bitcode, CompileFlags, Compiler, IrModule};
+
+/// Toolchain identifier pinned into every [`BuildKey`] the pipeline derives. A toolchain
+/// upgrade must change this constant so stale cache entries can never be served.
+pub const TOOLCHAIN_ID: &str = "xirc-19/xir.v1";
+
+/// The pseudo-target used in build keys while producing target-*independent* IR (the
+/// concrete ISA name is used only for deployment-time lowering).
+pub const IR_TARGET: &str = "xir.ir";
+
+/// How many build actions ran versus how many were served from the [`ActionCache`].
+/// Reported next to (never inside) the artifacts, so cached and uncached builds stay
+/// byte-identical.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ActionSummary {
+    /// Actions that actually executed (cache misses).
+    pub executed: usize,
+    /// Actions served from the cache (hits).
+    pub cached: usize,
+}
+
+impl ActionSummary {
+    /// Total actions routed through the cache.
+    pub fn total(&self) -> usize {
+        self.executed + self.cached
+    }
+}
 
 /// Which stages of the dedup pipeline are enabled (all on by default; the ablation
 /// benchmarks switch individual stages off).
@@ -201,6 +228,8 @@ pub struct IrContainerBuild {
     pub manifests: Vec<ConfigurationManifest>,
     /// The deduplicated IR units keyed by content id.
     pub units: BTreeMap<String, IrUnit>,
+    /// Compile actions executed vs served from the action cache during this build.
+    pub actions: ActionSummary,
 }
 
 impl IrContainerBuild {
@@ -233,6 +262,8 @@ pub enum IrPipelineError {
     },
     /// The sweep referenced an unknown option.
     UnknownOption(String),
+    /// A cached artifact failed to decode (action-cache corruption).
+    Cache(String),
 }
 
 impl fmt::Display for IrPipelineError {
@@ -243,6 +274,7 @@ impl fmt::Display for IrPipelineError {
             IrPipelineError::UnknownOption(name) => {
                 write!(f, "sweep references unknown option {name}")
             }
+            IrPipelineError::Cache(detail) => write!(f, "action cache: {detail}"),
         }
     }
 }
@@ -289,12 +321,30 @@ fn enumerate_assignments(
 }
 
 /// Build an IR container for `project`, sweeping the configured specialization points.
+///
+/// Convenience wrapper around [`build_ir_container_cached`] with a private, empty action
+/// cache backed by `store` — every compile action runs.
 pub fn build_ir_container(
     project: &ProjectSpec,
     config: &IrPipelineConfig,
     store: &ImageStore,
     reference: &str,
 ) -> Result<IrContainerBuild, IrPipelineError> {
+    build_ir_container_cached(project, config, &ActionCache::new(store.clone()), reference)
+}
+
+/// Build an IR container, routing every compile action through `cache`.
+///
+/// The resulting image is byte-identical whether actions hit or miss the cache; only
+/// [`IrContainerBuild::actions`] differs. The image is committed to the cache's backing
+/// store.
+pub fn build_ir_container_cached(
+    project: &ProjectSpec,
+    config: &IrPipelineConfig,
+    cache: &ActionCache,
+    reference: &str,
+) -> Result<IrContainerBuild, IrPipelineError> {
+    let store: &ImageStore = cache.store();
     let assignments = enumerate_assignments(project, config)?;
     let mut compiler = Compiler::new();
     for (name, content) in &project.headers {
@@ -308,7 +358,9 @@ pub fn build_ir_container(
     let mut generation_keys: BTreeSet<String> = BTreeSet::new();
     let mut preprocessing_keys: BTreeSet<String> = BTreeSet::new();
     let mut openmp_keys: BTreeSet<String> = BTreeSet::new();
-    let mut final_keys: BTreeMap<String, (String, String, CompileFlags)> = BTreeMap::new();
+    // Key → (file, source content, flags, preprocessed-content digest) of the
+    // representative unit. The digest is what the action-cache key is derived from.
+    let mut final_keys: BTreeMap<String, (String, String, CompileFlags, String)> = BTreeMap::new();
     let mut manifests: Vec<ConfigurationManifest> = Vec::new();
     let mut sd_files: BTreeSet<String> = BTreeSet::new();
     let mut si_files: BTreeSet<String> = BTreeSet::new();
@@ -404,9 +456,14 @@ pub fn build_ir_container(
             } else {
                 stage3_key.clone()
             };
-            final_keys
-                .entry(stage4_key.clone())
-                .or_insert_with(|| (command.file.clone(), source.content.clone(), flags.clone()));
+            final_keys.entry(stage4_key.clone()).or_insert_with(|| {
+                (
+                    command.file.clone(),
+                    source.content.clone(),
+                    flags.clone(),
+                    preprocessed.content_digest(),
+                )
+            });
             per_config_units.push((command.target.clone(), command.file.clone(), stage4_key));
         }
         unit_key_by_config.push((config_index, per_config_units));
@@ -433,28 +490,52 @@ pub fn build_ir_container(
     stats.system_dependent_files = sd_files.len();
     stats.system_independent_files = si_files.len();
 
-    // Compile one representative per final key into IR.
+    // Compile one representative per final key into IR, memoizing each action in the
+    // content-addressed cache: the key is derived from the preprocessed-content digest
+    // and the IR-relevant flags, so a warm cache skips the compile entirely while
+    // producing bit-identical bitcode.
     let mut units: BTreeMap<String, IrUnit> = BTreeMap::new();
     let mut key_to_id: BTreeMap<String, String> = BTreeMap::new();
-    for (key, (file, content, flags)) in &final_keys {
+    let mut actions = ActionSummary::default();
+    for (key, (file, content, flags, tu_digest)) in &final_keys {
         // The IR is compiled without the delayed ISA flags; OpenMP stays as classified.
         let mut ir_flags = flags.clone();
         ir_flags.delayed_target_flags.clear();
-        let mut module = compiler
-            .compile_to_ir(file, content, &ir_flags)
-            .map_err(|error| IrPipelineError::Compile {
-                file: file.clone(),
-                error,
-            })?;
-        if config.optimize_early {
-            xaas_xir::passes::scalar_unroll(&mut module, 4);
+        let build_key = BuildKey::new(
+            tu_digest.clone(),
+            IR_TARGET,
+            format!(
+                "file={file};{};early_opt={}",
+                ir_flags.ir_relevant_key(),
+                config.optimize_early
+            ),
+            TOOLCHAIN_ID,
+        );
+        let (bytes, hit) = cache.get_or_compute(&build_key, || -> Result<_, IrPipelineError> {
+            let mut module = compiler
+                .compile_to_ir(file, content, &ir_flags)
+                .map_err(|error| IrPipelineError::Compile {
+                    file: file.clone(),
+                    error,
+                })?;
+            if config.optimize_early {
+                xaas_xir::passes::scalar_unroll(&mut module, 4);
+            }
+            Ok(bitcode::encode(&module))
+        })?;
+        if hit {
+            actions.cached += 1;
+        } else {
+            actions.executed += 1;
         }
+        let module = bitcode::decode(&bytes)
+            .map_err(|e| IrPipelineError::Cache(format!("bitcode for {file}: {e}")))?;
         let id = bitcode::content_id(&module);
         key_to_id.insert(key.clone(), id.clone());
         units.entry(id.clone()).or_insert(IrUnit {
             id,
             source_file: file.clone(),
-            openmp: ir_flags.openmp,
+            openmp: module.metadata.openmp,
             module,
         });
     }
@@ -535,6 +616,7 @@ pub fn build_ir_container(
         stats,
         manifests,
         units,
+        actions,
     })
 }
 
@@ -692,6 +774,25 @@ mod tests {
             other => panic!("unexpected entry {other:?}"),
         };
         assert!(bitcode::decode(&bytes).is_ok());
+    }
+
+    #[test]
+    fn warm_cache_build_runs_zero_compiles_and_is_byte_identical() {
+        let project = lulesh::project();
+        let store = ImageStore::new();
+        let cache = ActionCache::new(store.clone());
+        let config = IrPipelineConfig::sweep_options(&project, &["WITH_MPI", "WITH_OPENMP"]);
+        let cold = build_ir_container_cached(&project, &config, &cache, "warm:a").unwrap();
+        assert_eq!(cold.actions.cached, 0);
+        assert_eq!(cold.actions.executed, cold.units.len());
+        let warm = build_ir_container_cached(&project, &config, &cache, "warm:b").unwrap();
+        assert_eq!(warm.actions.executed, 0, "warm build compiles nothing");
+        assert_eq!(warm.actions.cached, cold.actions.executed);
+        // Identical artifacts: same units, same stats, same layer bytes.
+        assert_eq!(warm.units, cold.units);
+        assert_eq!(warm.stats, cold.stats);
+        assert_eq!(warm.image.layers, cold.image.layers);
+        assert!(cache.stats().hit_rate() > 0.0);
     }
 
     #[test]

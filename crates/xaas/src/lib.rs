@@ -17,6 +17,8 @@
 //! * [`deploy`] — deployment of IR containers (Figure 8): lower the selected subset for
 //!   the chosen ISA, compile system-dependent sources, link, install, and commit the
 //!   system-specialized image;
+//! * [`scheduler`] — the fleet specializer: one IR container, many systems, a shared
+//!   content-addressed action cache, parallel workers;
 //! * [`gpu_compat`] — CUDA driver/runtime/PTX/cubin compatibility planning (Figure 9);
 //! * [`hypotheses`] — validation of Hypotheses 1 and 2 (Section 4.2);
 //! * [`portability`] — the Table 2 taxonomy;
@@ -41,25 +43,32 @@ pub mod gpu_compat;
 pub mod hypotheses;
 pub mod ir_container;
 pub mod portability;
+pub mod scheduler;
 pub mod source_container;
 pub mod targets;
 
 /// Commonly used types re-exported together.
 pub mod prelude {
-    pub use crate::deploy::{deploy_ir_container, DeployError, DeploymentStats, IrDeployment};
+    pub use crate::deploy::{
+        deploy_ir_container, deploy_ir_container_cached, DeployError, DeploymentStats, IrDeployment,
+    };
     pub use crate::gpu_compat::{
         bundle_compatibility, detect_runtime_requirement, plan_bundle, DeviceCodeBundle,
         RuntimeRequirement,
     };
     pub use crate::hypotheses::{hypothesis1, hypothesis2, Hypothesis1Report, Hypothesis2Report};
     pub use crate::ir_container::{
-        build_ir_container, ConfigurationManifest, IrContainerBuild, IrPipelineConfig,
-        IrPipelineError, IrUnit, PipelineStages, PipelineStats, UnitAssignment,
+        build_ir_container, build_ir_container_cached, ActionSummary, ConfigurationManifest,
+        IrContainerBuild, IrPipelineConfig, IrPipelineError, IrUnit, PipelineStages, PipelineStats,
+        UnitAssignment, IR_TARGET, TOOLCHAIN_ID,
     };
     pub use crate::portability::{table2, PortabilityEntry, PortabilityLevel};
+    pub use crate::scheduler::{
+        FleetError, FleetOutcome, FleetReport, FleetRequest, FleetSpecializer,
+    };
     pub use crate::source_container::{
-        build_source_container, deploy_source_container, SelectionPolicy, SourceContainerError,
-        SourceDeployment,
+        build_source_container, deploy_source_container, deploy_source_container_cached,
+        SelectionPolicy, SourceContainerError, SourceDeployment,
     };
     pub use crate::targets::{derive_build_profile, library_quality_of, target_isa_for};
     pub use xaas_container::prelude::*;

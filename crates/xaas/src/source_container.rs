@@ -6,17 +6,19 @@
 //! selection, and a full build of the selected configuration, producing a *new*,
 //! system-specific image (Figure 6).
 
+use crate::ir_container::{ActionSummary, TOOLCHAIN_ID};
 use crate::targets::{derive_build_profile, target_isa_for};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::fmt;
 use xaas_buildsys::{configure, ConfigureError, OptionAssignment, OptionCategory, ProjectSpec};
 use xaas_container::{
-    annotation_keys, Architecture, DeploymentFormat, Image, ImageStore, Layer, Platform,
+    annotation_keys, ActionCache, Architecture, BuildKey, DeploymentFormat, Image, ImageStore,
+    Layer, Platform,
 };
 use xaas_hpcsim::{discover, BuildProfile, ModuleKind, SimdLevel, SystemModel};
 use xaas_specs::{from_project, intersect, CommonSpecialization, SpecCategory};
-use xaas_xir::{CompileFlags, Compiler};
+use xaas_xir::{CompileFlags, Compiler, MachineModule};
 
 /// Errors during source-container building or deployment.
 #[derive(Debug)]
@@ -37,6 +39,8 @@ pub enum SourceContainerError {
     },
     /// Container store failure.
     Store(xaas_container::ImageError),
+    /// A cached artifact failed to decode (action-cache corruption).
+    Cache(String),
 }
 
 impl fmt::Display for SourceContainerError {
@@ -52,6 +56,7 @@ impl fmt::Display for SourceContainerError {
                 write!(f, "preference {option}={value} is not deployable: {reason}")
             }
             SourceContainerError::Store(e) => write!(f, "image store: {e}"),
+            SourceContainerError::Cache(detail) => write!(f, "action cache: {detail}"),
         }
     }
 }
@@ -144,6 +149,8 @@ pub struct SourceDeployment {
     pub build_profile: BuildProfile,
     /// Human-readable notes (fallbacks, substitutions, base-image switches).
     pub notes: Vec<String>,
+    /// Compile actions executed vs served from the action cache.
+    pub actions: ActionSummary,
 }
 
 /// Selection policy used when the user does not pin a value for a specialization point.
@@ -159,6 +166,9 @@ pub enum SelectionPolicy {
 
 /// Deploy a source container onto a system: discovery → intersection → selection →
 /// configuration → full build → new image (Figure 6).
+///
+/// Convenience wrapper around [`deploy_source_container_cached`] with a private, empty
+/// action cache backed by `store` — every compile action runs.
 pub fn deploy_source_container(
     project: &ProjectSpec,
     source_image: &Image,
@@ -167,6 +177,29 @@ pub fn deploy_source_container(
     policy: SelectionPolicy,
     store: &ImageStore,
 ) -> Result<SourceDeployment, SourceContainerError> {
+    deploy_source_container_cached(
+        project,
+        source_image,
+        system,
+        preferences,
+        policy,
+        &ActionCache::new(store.clone()),
+    )
+}
+
+/// Deploy a source container, routing every translation-unit compile through `cache`.
+/// Keys are derived from the source content digest, the IR-relevant flags, and the
+/// target ISA, so repeat deployments — including deployments of *other* configurations
+/// whose flags do not change a unit — reuse the compiled artifact.
+pub fn deploy_source_container_cached(
+    project: &ProjectSpec,
+    source_image: &Image,
+    system: &SystemModel,
+    preferences: &OptionAssignment,
+    policy: SelectionPolicy,
+    cache: &ActionCache,
+) -> Result<SourceDeployment, SourceContainerError> {
+    let store: &ImageStore = cache.store();
     let mut notes = Vec::new();
 
     // 1. System discovery and feature intersection.
@@ -268,6 +301,7 @@ pub fn deploy_source_container(
 
     let mut build_layer = Layer::new(format!("RUN xmake build ({})", assignment.label()));
     let mut compiled_units = 0usize;
+    let mut actions = ActionSummary::default();
     for command in &build.compile_db.commands {
         let source = build
             .enabled_sources
@@ -275,12 +309,40 @@ pub fn deploy_source_container(
             .find(|s| s.path == command.file)
             .expect("configured command refers to an enabled source");
         let flags = CompileFlags::parse(command.arguments.iter().cloned());
-        let machine = compiler
-            .compile_to_machine(&command.file, &source.content, &flags, &target)
+        // Key on the *preprocessed* content digest (the cache contract): it folds in
+        // the headers the compiler resolves, so caches shared across projects can
+        // never serve code built against different header definitions.
+        let preprocessed = compiler
+            .preprocess_only(&command.file, &source.content, &flags)
             .map_err(|error| SourceContainerError::Compile {
                 file: command.file.clone(),
                 error,
             })?;
+        let key = BuildKey::new(
+            preprocessed.content_digest(),
+            &target.name,
+            format!("file={};{}", command.file, flags.ir_relevant_key()),
+            TOOLCHAIN_ID,
+        );
+        let (bytes, hit) = cache.get_or_compute(&key, || -> Result<_, SourceContainerError> {
+            let machine = compiler
+                .compile_to_machine(&command.file, &source.content, &flags, &target)
+                .map_err(|error| SourceContainerError::Compile {
+                    file: command.file.clone(),
+                    error,
+                })?;
+            Ok(serde_json::to_vec(&machine).expect("machine module serialises"))
+        })?;
+        if hit {
+            actions.cached += 1;
+        } else {
+            actions.executed += 1;
+        }
+        // The cached bytes *are* the canonical object serialisation; decode only to
+        // validate them before shipping.
+        serde_json::from_slice::<MachineModule>(&bytes).map_err(|e| {
+            SourceContainerError::Cache(format!("machine module for {}: {e}", command.file))
+        })?;
         compiled_units += 1;
         build_layer.add_file(
             format!(
@@ -289,7 +351,7 @@ pub fn deploy_source_container(
                 command.target,
                 command.file.replace('/', "_")
             ),
-            serde_json::to_vec(&machine).expect("machine module serialises"),
+            bytes,
         );
     }
     for target_spec in &project.targets {
@@ -311,6 +373,7 @@ pub fn deploy_source_container(
         compiled_units,
         build_profile: final_profile,
         notes,
+        actions,
     })
 }
 

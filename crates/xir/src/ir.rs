@@ -389,6 +389,13 @@ impl IrModule {
         self.functions.iter().map(|f| f.loops().len()).sum()
     }
 
+    /// A stable hexadecimal content digest of the module (identical to the bitcode
+    /// content identity): same module → same digest, across processes and sessions.
+    /// Build caches key lowered artifacts on this without re-encoding the module.
+    pub fn content_digest(&self) -> String {
+        crate::bitcode::content_id(self)
+    }
+
     /// Render a readable textual form (useful in tests and debugging).
     pub fn to_text(&self) -> String {
         let mut out = String::new();

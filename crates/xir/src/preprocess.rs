@@ -133,6 +133,13 @@ impl PreprocessedUnit {
     pub fn content_hash(&self) -> u64 {
         fnv1a(self.text.as_bytes())
     }
+
+    /// The content hash rendered as a stable hexadecimal digest, suitable as the
+    /// `tu_digest` component of a build-cache key: derivable from the preprocessed text
+    /// alone, without parsing, lowering, or compiling anything.
+    pub fn content_digest(&self) -> String {
+        format!("{:016x}", self.content_hash())
+    }
 }
 
 /// FNV-1a hash (64-bit) over bytes.
@@ -584,6 +591,16 @@ int path = 0;
                 .text
                 .contains("path = 0")
         );
+    }
+
+    #[test]
+    fn content_digest_is_hex_of_content_hash() {
+        let unit = preprocess("d.ck", "int x;\n", &Definitions::new(), &no_headers()).unwrap();
+        assert_eq!(
+            unit.content_digest(),
+            format!("{:016x}", unit.content_hash())
+        );
+        assert_eq!(unit.content_digest().len(), 16);
     }
 
     #[test]

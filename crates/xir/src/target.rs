@@ -294,6 +294,13 @@ impl MachineModule {
     pub fn instruction_count(&self) -> usize {
         self.functions.iter().map(|f| f.instruction_count).sum()
     }
+
+    /// A stable hexadecimal content digest of the serialised machine module. The
+    /// serialisation is deterministic, so equal modules always share a digest.
+    pub fn content_digest(&self) -> String {
+        let bytes = serde_json::to_vec(self).expect("machine modules always serialise");
+        format!("{:016x}", crate::preprocess::fnv1a(&bytes))
+    }
 }
 
 /// Lower an IR module to a machine module for `target`: run the vectoriser, then freeze.
@@ -389,6 +396,19 @@ kernel void axpy(float* y, float* x, float a, int n) {
 
     fn avx512() -> TargetIsa {
         TargetIsa::vector("x86-64-avx512", 16, true)
+    }
+
+    #[test]
+    fn machine_module_digest_is_deterministic_and_target_sensitive() {
+        let module = axpy_module();
+        assert_eq!(module.content_digest(), axpy_module().content_digest());
+        let wide = lower_to_machine(&module, &avx512());
+        let narrow = lower_to_machine(&module, &TargetIsa::vector("sse2", 2, false));
+        assert_eq!(
+            wide.content_digest(),
+            lower_to_machine(&module, &avx512()).content_digest()
+        );
+        assert_ne!(wide.content_digest(), narrow.content_digest());
     }
 
     #[test]

@@ -110,6 +110,87 @@ fn registry_stores_one_xaas_image_instead_of_one_per_configuration() {
     assert!(store.references().len() >= 6);
 }
 
+/// The fleet specializer: concurrent specialization of duplicate-heavy request sets
+/// never double-builds a `BuildKey` (every cache miss is a distinct key) and is
+/// deterministic across runs — same requests, same outcomes, same cache totals.
+#[test]
+fn fleet_specializer_never_double_builds_and_is_deterministic() {
+    let project = gromacs::project();
+    let avx512 = OptionAssignment::new().with("GMX_SIMD", "AVX_512");
+    let sse41 = OptionAssignment::new().with("GMX_SIMD", "SSE4.1");
+
+    let run = || {
+        let cache = ActionCache::new(ImageStore::new());
+        let pipeline = IrPipelineConfig::sweep_options(&project, &["GMX_SIMD"])
+            .with_values("GMX_SIMD", &["SSE4.1", "AVX_512"]);
+        let build = build_ir_container_cached(&project, &pipeline, &cache, "fleet:e2e").unwrap();
+        cache.reset_stats();
+        let entries_before_fleet = cache.stats().entries;
+        // 9 requests, heavy on duplicates: 3 distinct jobs, 2 of which share every
+        // lowering key (same ISA on different systems).
+        let mut requests = Vec::new();
+        for _ in 0..3 {
+            requests.push(FleetRequest::new(
+                SystemModel::ault23(),
+                avx512.clone(),
+                SimdLevel::Avx512,
+            ));
+            requests.push(FleetRequest::new(
+                SystemModel::ault01_04(),
+                avx512.clone(),
+                SimdLevel::Avx512,
+            ));
+            requests.push(FleetRequest::new(
+                SystemModel::ault01_04(),
+                sse41.clone(),
+                SimdLevel::Sse41,
+            ));
+        }
+        let report = FleetSpecializer::new(cache.clone())
+            .with_workers(4)
+            .specialize_fleet(&build, &project, &requests);
+        assert!(report.all_succeeded());
+        let new_entries = cache.stats().entries - entries_before_fleet;
+        (report, cache.stats(), new_entries)
+    };
+
+    let (report_a, stats_a, new_entries_a) = run();
+    let (report_b, stats_b, _) = run();
+
+    // Duplicate requests collapse into 3 jobs.
+    assert_eq!(report_a.jobs_executed, 3);
+    assert_eq!(report_a.jobs_deduplicated, 6);
+    // No BuildKey is ever built twice: every executed action created a distinct cache
+    // entry (single-flight), even with 4 workers racing on the shared ISA.
+    assert_eq!(
+        stats_a.misses, new_entries_a as u64,
+        "misses must equal distinct keys built: {stats_a:?}"
+    );
+    // The two AVX-512 systems share every lowering key, so the fleet executes exactly
+    // one ISA's worth of actions per distinct ISA — not one per job.
+    let actions_per_job = report_a.outcomes[0]
+        .deployment
+        .as_ref()
+        .unwrap()
+        .actions
+        .total() as u64;
+    assert_eq!(stats_a.misses, 2 * actions_per_job);
+
+    // Deterministic across runs: same references in the same order, same cache totals
+    // (the coalesced counter is scheduling-dependent and deliberately excluded).
+    let references = |report: &FleetReport| -> Vec<String> {
+        report
+            .outcomes
+            .iter()
+            .map(|o| o.deployment.as_ref().unwrap().reference.clone())
+            .collect()
+    };
+    assert_eq!(references(&report_a), references(&report_b));
+    assert_eq!(stats_a.hits, stats_b.hits);
+    assert_eq!(stats_a.misses, stats_b.misses);
+    assert_eq!(stats_a.entries, stats_b.entries);
+}
+
 /// The deployment-time image is OCI-shaped: committed manifests resolve, layers are
 /// content-addressed, and annotations carry the specialization metadata.
 #[test]

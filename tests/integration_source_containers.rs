@@ -43,7 +43,7 @@ fn publish_pull_and_deploy_on_every_evaluation_system() {
             .contains(&system.name.to_ascii_lowercase()));
         // The registry image is untouched: deployment produces a *new* image.
         assert_eq!(
-            registry.pull_count("spcl/mini-gromacs:src") as usize,
+            registry.pull_count(&Reference::parse("spcl/mini-gromacs:src").unwrap()) as usize,
             1 + SystemModel::all_evaluation_systems()
                 .iter()
                 .position(|s| s.name == system.name)

@@ -2,6 +2,7 @@
 
 use proptest::prelude::*;
 use xaas::prelude::*;
+use xaas_buildsys::OptionAssignment;
 use xaas_container::digest::{sha256, Digest};
 use xaas_container::{Layer, RootFs};
 use xaas_hpcsim::{
@@ -165,6 +166,48 @@ proptest! {
                     prop_assert!(build.units.contains_key(id));
                 }
             }
+        }
+    }
+
+    /// Action-cache soundness: for arbitrary option sweeps, a warm-cache
+    /// `deploy_ir_container` produces byte-identical artifacts and identical
+    /// `DeploymentStats` to a cold build — the cache may only save work, never
+    /// change outputs.
+    #[test]
+    fn warm_cache_deployments_are_byte_identical_to_cold(
+        sweep_simd in proptest::sample::subsequence(vec!["SSE4.1", "AVX_256", "AVX_512"], 1..=3),
+        sweep_fft in proptest::sample::subsequence(vec!["fftw3", "mkl"], 1..=2),
+    ) {
+        let project = xaas_apps::gromacs::project();
+        let store = ImageStore::new();
+        let cache = ActionCache::new(store.clone());
+        let config = IrPipelineConfig::sweep_options(&project, &["GMX_SIMD", "GMX_FFT_LIBRARY"])
+            .with_values("GMX_SIMD", &sweep_simd)
+            .with_values("GMX_FFT_LIBRARY", &sweep_fft);
+        let build = build_ir_container_cached(&project, &config, &cache, "prop:warm").unwrap();
+        let system = SystemModel::ault23();
+        for simd_name in &sweep_simd {
+            let simd = SimdLevel::parse(simd_name).unwrap();
+            let selection = OptionAssignment::new()
+                .with("GMX_SIMD", *simd_name)
+                .with("GMX_FFT_LIBRARY", sweep_fft[0]);
+            // Cold: a fresh, empty action cache. Warm: the shared cache, primed by a
+            // first deployment of the same configuration.
+            let cold =
+                deploy_ir_container(&build, &project, &system, &selection, simd, &store).unwrap();
+            let primed =
+                deploy_ir_container_cached(&build, &project, &system, &selection, simd, &cache)
+                    .unwrap();
+            let warm =
+                deploy_ir_container_cached(&build, &project, &system, &selection, simd, &cache)
+                    .unwrap();
+            prop_assert_eq!(warm.actions.executed, 0, "warm deployment must not compile");
+            prop_assert_eq!(warm.actions.cached, primed.actions.total());
+            prop_assert_eq!(&warm.stats, &cold.stats);
+            prop_assert_eq!(&warm.machine_modules, &cold.machine_modules);
+            prop_assert_eq!(&warm.image.layers, &cold.image.layers);
+            prop_assert_eq!(&warm.reference, &cold.reference);
+            prop_assert_eq!(&warm.vectorization, &cold.vectorization);
         }
     }
 }
