@@ -1,0 +1,63 @@
+//! Action-graph engine benchmark: the same multi-configuration IR-container build
+//! executed serially (1 worker — the pre-engine pipeline's schedule) and with the
+//! work-stealing worker pool, plus the warm-cache steady state.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use xaas::prelude::*;
+use xaas_container::{ActionCache, ImageStore};
+
+fn sweep(project: &xaas_buildsys::ProjectSpec) -> IrPipelineConfig {
+    IrPipelineConfig::sweep_options(project, &["GMX_SIMD", "GMX_GPU"])
+        .with_values("GMX_SIMD", &["SSE4.1", "AVX_512"])
+        .with_values("GMX_GPU", &["OFF", "CUDA"])
+}
+
+fn bench_engine(c: &mut Criterion) {
+    // The experiment JSON is the artifact the acceptance criteria ask for: action
+    // counts, stage depths, and the wall-clock speedup of parallel vs serial builds.
+    let experiment = xaas_bench::engine_parallelism();
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&experiment).expect("engine experiment serialises")
+    );
+
+    let project = xaas_apps::gromacs::project();
+    let pipeline = sweep(&project);
+
+    let mut group = c.benchmark_group("engine/ir_build");
+    group.bench_function("serial_1_worker", |b| {
+        b.iter(|| {
+            let engine = Engine::uncached(&ImageStore::new()).with_workers(1);
+            black_box(
+                build_ir_container_with(&project, &pipeline, &engine, "bench:engine-serial")
+                    .unwrap(),
+            );
+        });
+    });
+    group.bench_function("parallel_4_workers", |b| {
+        b.iter(|| {
+            let engine = Engine::uncached(&ImageStore::new()).with_workers(4);
+            black_box(
+                build_ir_container_with(&project, &pipeline, &engine, "bench:engine-parallel")
+                    .unwrap(),
+            );
+        });
+    });
+    // Steady state: every compile action served from the shared cache.
+    let cache = ActionCache::new(ImageStore::new());
+    let warm_engine = Engine::cached(&cache).with_workers(4);
+    build_ir_container_with(&project, &pipeline, &warm_engine, "bench:engine-warm").unwrap();
+    group.bench_function("parallel_warm_cache", |b| {
+        b.iter(|| {
+            black_box(
+                build_ir_container_with(&project, &pipeline, &warm_engine, "bench:engine-warm")
+                    .unwrap(),
+            );
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

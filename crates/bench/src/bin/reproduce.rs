@@ -14,6 +14,7 @@
 //! reproduce fig12-gpu           # IR containers, GPU
 //! reproduce tu-reduction        # Section 6.4 statistics + ablations
 //! reproduce fleet               # fleet specialization: cold vs shared-cache (JSON)
+//! reproduce engine              # action-graph engine: parallel vs serial build (JSON)
 //! reproduce network             # Section 6.5 bandwidth
 //! reproduce gpu-compat          # Figure 9 compatibility rules
 //! reproduce intersection        # Figure 4(c) feature intersection
@@ -148,6 +149,15 @@ fn run(section: &str) {
                 serde_json::to_string_pretty(&experiment).expect("fleet experiment serialises")
             );
         }
+        "engine" => {
+            // Banner on stderr so stdout stays machine-readable JSON (`reproduce engine | jq .`).
+            eprintln!("== Action-graph engine: parallel vs serial IR-container build ==");
+            let experiment = experiments::engine_parallelism();
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&experiment).expect("engine experiment serialises")
+            );
+        }
         "network" => print!("{}", render::render_network(&experiments::network())),
         "gpu-compat" => print!(
             "{}",
@@ -180,6 +190,7 @@ fn main() {
         "fig12-gpu",
         "tu-reduction",
         "fleet",
+        "engine",
         "network",
         "gpu-compat",
         "intersection",

@@ -609,6 +609,103 @@ pub fn fleet_specialization() -> FleetExperiment {
     }
 }
 
+/// The engine-parallelism experiment: the same multi-configuration IR build executed
+/// by the staged action-graph engine serially (1 worker — the seed path's schedule)
+/// and in parallel.
+#[derive(Debug, Clone, Serialize)]
+pub struct EngineExperiment {
+    /// Configurations in the sweep.
+    pub configurations: usize,
+    /// Total actions the build executed (preprocess through commit).
+    pub actions_total: usize,
+    /// Cache-routed compile actions that executed (cache misses).
+    pub compile_actions_executed: usize,
+    /// Cache-routed compile actions served from the cache.
+    pub compile_actions_cached: usize,
+    /// Actions per pipeline stage.
+    pub actions_by_kind: BTreeMap<String, usize>,
+    /// Serial wall-clock stages of the seed path: every action runs one after the
+    /// other, so this equals `actions_total`.
+    pub serial_stages: usize,
+    /// Serial wall-clock stages the engine's DAG imposes (its critical-path depth):
+    /// with ≥ 2 workers the build completes in this many waves instead.
+    pub parallel_stage_depth: usize,
+    /// Worker threads of the parallel run.
+    pub workers: usize,
+    /// Wall-clock of the single-worker build, in milliseconds.
+    pub serial_ms: f64,
+    /// Wall-clock of the parallel build, in milliseconds.
+    pub parallel_ms: f64,
+    /// `serial_ms / parallel_ms`. With the microsecond-scale simulated compiler,
+    /// thread-coordination overhead can outweigh the parallelism, so the scheduling
+    /// claim is `parallel_stage_depth` vs `serial_stages` (deterministic), not this
+    /// wall-clock ratio (hardware- and load-dependent).
+    pub speedup: f64,
+    /// Whether the parallel image is byte-identical to the serial image (manifest
+    /// digests compared in their respective stores).
+    pub byte_identical: bool,
+    /// Whether the parallel run executed the exact same action set as the serial run.
+    pub same_action_set: bool,
+}
+
+/// **Engine parallelism**: build the GROMACS IR container (a 4-configuration
+/// SIMD × GPU sweep) through the staged action-graph engine with one worker (the
+/// serial schedule the pre-engine pipeline was limited to) and with a parallel worker
+/// pool, over fresh uncached stores. The images must be byte-identical; the parallel
+/// run executes the same actions in `parallel_stage_depth` waves instead of
+/// `serial_stages` sequential steps.
+pub fn engine_parallelism() -> EngineExperiment {
+    let project = gromacs::project();
+    let pipeline = IrPipelineConfig::sweep_options(&project, &["GMX_SIMD", "GMX_GPU"])
+        .with_values("GMX_SIMD", &["SSE4.1", "AVX_512"])
+        .with_values("GMX_GPU", &["OFF", "CUDA"]);
+    let reference = "spcl/mini-gromacs:ir-engine";
+
+    let serial_store = ImageStore::new();
+    let serial_engine = Engine::uncached(&serial_store).with_workers(1);
+    let serial_start = std::time::Instant::now();
+    let serial = build_ir_container_with(&project, &pipeline, &serial_engine, reference)
+        .expect("serial engine build succeeds");
+    let serial_ms = serial_start.elapsed().as_secs_f64() * 1e3;
+
+    let workers = 4;
+    let parallel_store = ImageStore::new();
+    let parallel_engine = Engine::uncached(&parallel_store).with_workers(workers);
+    let parallel_start = std::time::Instant::now();
+    let parallel = build_ir_container_with(&project, &pipeline, &parallel_engine, reference)
+        .expect("parallel engine build succeeds");
+    let parallel_ms = parallel_start.elapsed().as_secs_f64() * 1e3;
+
+    let byte_identical = serial_store.resolve(reference).ok()
+        == parallel_store.resolve(reference).ok()
+        && serial.image.layers == parallel.image.layers;
+    let summary = parallel.actions;
+    EngineExperiment {
+        configurations: parallel.stats.configurations,
+        actions_total: parallel.trace.len(),
+        compile_actions_executed: summary.executed,
+        compile_actions_cached: summary.cached,
+        actions_by_kind: parallel
+            .trace
+            .by_kind()
+            .into_iter()
+            .map(|(kind, count)| (kind.as_str().to_string(), count))
+            .collect(),
+        serial_stages: serial.trace.len(),
+        parallel_stage_depth: parallel.trace.stage_depth,
+        workers,
+        serial_ms,
+        parallel_ms,
+        speedup: if parallel_ms > 0.0 {
+            serial_ms / parallel_ms
+        } else {
+            1.0
+        },
+        byte_identical,
+        same_action_set: serial.trace.action_set() == parallel.trace.action_set(),
+    }
+}
+
 /// One row of the Section 6.5 network comparison.
 #[derive(Debug, Clone, Serialize)]
 pub struct NetworkRow {
@@ -923,6 +1020,27 @@ mod tests {
             .collect();
         assert_eq!(avx512.len(), 2);
         assert!(avx512.iter().any(|row| row.fleet_actions_cached > 0));
+    }
+
+    #[test]
+    fn engine_parallelism_is_byte_identical_with_fewer_serial_stages() {
+        let experiment = engine_parallelism();
+        assert_eq!(experiment.configurations, 4);
+        assert!(experiment.byte_identical, "{experiment:?}");
+        assert!(experiment.same_action_set);
+        assert!(
+            experiment.parallel_stage_depth < experiment.serial_stages,
+            "the DAG must need fewer serial stages than the seed path: {} vs {}",
+            experiment.parallel_stage_depth,
+            experiment.serial_stages
+        );
+        assert!(experiment.compile_actions_executed > 0);
+        assert_eq!(
+            experiment.compile_actions_cached, 0,
+            "uncached engines miss"
+        );
+        assert!(experiment.actions_by_kind.contains_key("ir-lower"));
+        assert_eq!(experiment.actions_by_kind["commit"], 1);
     }
 
     #[test]

@@ -131,6 +131,125 @@ pub struct CacheReport {
     pub dedup_bytes: u64,
 }
 
+/// Marker error returned by [`CacheBackend::get_or_compute_action`] when the compute
+/// closure fails. The closure is expected to capture the *typed* error on the side (the
+/// `xaas::engine` executor does exactly that), so the trait stays object-safe without
+/// erasing error types through `Box<dyn Any>`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ComputeFailed;
+
+impl std::fmt::Display for ComputeFailed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "action computation failed")
+    }
+}
+
+impl std::error::Error for ComputeFailed {}
+
+/// A pluggable action-cache backend: the seam between the `xaas::engine` executor and
+/// artifact storage.
+///
+/// Two implementations ship with the crate: [`ActionCache`] (content-addressed
+/// memoization with single-flight semantics) and [`NoCache`] (always compute — the
+/// honest replacement for the old "private empty cache" trick the uncached pipeline
+/// entry points used). Both are backed by an [`ImageStore`] so the executor can commit
+/// images through the same handle it routes actions through.
+pub trait CacheBackend: Send + Sync {
+    /// The content-addressed store backing this cache (also used to commit images).
+    fn store(&self) -> &ImageStore;
+
+    /// Return the cached output for `key`, or run `compute` and (for memoizing
+    /// backends) store its output. The boolean is `true` on a cache hit.
+    ///
+    /// **Contract:** `compute` is invoked at most once per call, and an
+    /// implementation may only return `Err(ComputeFailed)` when `compute` itself
+    /// returned it — backend-internal failures (a lost blob, a network error for a
+    /// remote cache) must fall back to running `compute`, never fail the action.
+    /// The `xaas::engine` executor relies on this: it captures the typed error
+    /// inside the closure, and treats `Err` without a captured error as a backend
+    /// contract violation (a panic at result collection, not a typed error).
+    fn get_or_compute_action(
+        &self,
+        key: &BuildKey,
+        compute: &mut dyn FnMut() -> Result<Vec<u8>, ComputeFailed>,
+    ) -> Result<(Vec<u8>, bool), ComputeFailed>;
+
+    /// A snapshot of the backend's counters (all zeros for backends that do not track).
+    fn backend_stats(&self) -> CacheStats;
+}
+
+impl CacheBackend for ActionCache {
+    fn store(&self) -> &ImageStore {
+        ActionCache::store(self)
+    }
+
+    fn get_or_compute_action(
+        &self,
+        key: &BuildKey,
+        compute: &mut dyn FnMut() -> Result<Vec<u8>, ComputeFailed>,
+    ) -> Result<(Vec<u8>, bool), ComputeFailed> {
+        self.get_or_compute(key, compute)
+    }
+
+    fn backend_stats(&self) -> CacheStats {
+        self.stats()
+    }
+}
+
+/// A cache backend that never caches: every action executes, nothing is memoized.
+///
+/// This replaces the former pattern of handing the uncached pipeline entry points a
+/// private, empty [`ActionCache`] — the intent ("run everything") is now explicit, and
+/// the executed-action counters stay meaningful.
+#[derive(Clone)]
+pub struct NoCache {
+    store: ImageStore,
+    stats: Arc<Mutex<CacheStats>>,
+}
+
+impl NoCache {
+    /// An always-compute backend whose images and blobs land in `store`.
+    pub fn new(store: ImageStore) -> Self {
+        Self {
+            store,
+            stats: Arc::new(Mutex::new(CacheStats::default())),
+        }
+    }
+
+    /// Counters: every routed action is a miss, hits stay zero.
+    pub fn stats(&self) -> CacheStats {
+        *self.stats.lock()
+    }
+}
+
+impl CacheBackend for NoCache {
+    fn store(&self) -> &ImageStore {
+        &self.store
+    }
+
+    fn get_or_compute_action(
+        &self,
+        _key: &BuildKey,
+        compute: &mut dyn FnMut() -> Result<Vec<u8>, ComputeFailed>,
+    ) -> Result<(Vec<u8>, bool), ComputeFailed> {
+        let bytes = compute()?;
+        self.stats.lock().misses += 1;
+        Ok((bytes, false))
+    }
+
+    fn backend_stats(&self) -> CacheStats {
+        self.stats()
+    }
+}
+
+impl std::fmt::Debug for NoCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NoCache")
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
 #[derive(Default)]
 struct CacheInner {
     entries: BTreeMap<Digest, Digest>,
@@ -440,6 +559,56 @@ mod tests {
         let stats = cache.stats();
         assert_eq!(stats.misses, 1);
         assert_eq!(stats.hits, 7);
+    }
+
+    #[test]
+    fn nocache_always_computes_and_counts_misses() {
+        let backend = NoCache::new(ImageStore::new());
+        let calls = AtomicUsize::new(0);
+        for _ in 0..3 {
+            let (bytes, hit) = backend
+                .get_or_compute_action(&key(1), &mut || {
+                    calls.fetch_add(1, Ordering::SeqCst);
+                    Ok(b"fresh".to_vec())
+                })
+                .unwrap();
+            assert_eq!(bytes, b"fresh");
+            assert!(!hit, "NoCache never reports a hit");
+        }
+        assert_eq!(calls.load(Ordering::SeqCst), 3, "every action executes");
+        let stats = backend.backend_stats();
+        assert_eq!((stats.hits, stats.misses), (0, 3));
+        assert_eq!(stats.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn action_cache_and_nocache_agree_through_the_backend_trait() {
+        let store = ImageStore::new();
+        let cached: &dyn CacheBackend = &ActionCache::new(store.clone());
+        let uncached: &dyn CacheBackend = &NoCache::new(store.clone());
+        for backend in [cached, uncached] {
+            let (bytes, hit) = backend
+                .get_or_compute_action(&key(7), &mut || Ok(vec![7, 7]))
+                .unwrap();
+            assert_eq!(bytes, vec![7, 7]);
+            assert!(!hit);
+        }
+        // Second round: the memoizing backend hits, the no-op backend recomputes.
+        let (_, hit) = cached
+            .get_or_compute_action(&key(7), &mut || Ok(vec![7, 7]))
+            .unwrap();
+        assert!(hit);
+        let (_, hit) = uncached
+            .get_or_compute_action(&key(7), &mut || Ok(vec![7, 7]))
+            .unwrap();
+        assert!(!hit);
+        // Failures pass through as the marker error.
+        assert_eq!(
+            uncached
+                .get_or_compute_action(&key(8), &mut || Err(ComputeFailed))
+                .unwrap_err(),
+            ComputeFailed
+        );
     }
 
     #[test]

@@ -39,7 +39,9 @@ pub mod runtime;
 
 /// Commonly used types re-exported together.
 pub mod prelude {
-    pub use crate::cache::{ActionCache, BuildKey, CacheReport, CacheStats};
+    pub use crate::cache::{
+        ActionCache, BuildKey, CacheBackend, CacheReport, CacheStats, ComputeFailed, NoCache,
+    };
     pub use crate::digest::{Digest, Sha256};
     pub use crate::image::{
         Image, ImageConfig, ImageError, ImageIndex, ImageStore, Manifest, StoreStats,

@@ -6,6 +6,10 @@
 //! linking and installation, and commits a new, system-specialized image whose tag
 //! encodes the specialization points.
 
+use crate::engine::{
+    add_commit_action, ActionGraph, ActionId, ActionKind, ActionTrace, Engine, LinkSlot,
+    PreprocessPlanner,
+};
 use crate::ir_container::{
     paths as ir_paths, ActionSummary, IrContainerBuild, UnitAssignment, TOOLCHAIN_ID,
 };
@@ -92,12 +96,15 @@ pub struct IrDeployment {
     /// Lower/compile actions executed vs served from the action cache. Reported outside
     /// [`DeploymentStats`] so warm and cold deployments stay otherwise identical.
     pub actions: ActionSummary,
+    /// The full, deterministic action trace of the deployment.
+    pub trace: ActionTrace,
 }
 
 /// Deploy an IR container: select a configuration, lower for the system, link, install.
 ///
-/// Convenience wrapper around [`deploy_ir_container_cached`] with a private, empty
-/// action cache backed by `store` — every lower/compile action runs.
+/// Thin shim over [`deploy_ir_container_with`] using an uncached
+/// ([`NoCache`](xaas_container::NoCache)-backed) engine over `store` — every
+/// lower/compile action runs.
 pub fn deploy_ir_container(
     build: &IrContainerBuild,
     project: &ProjectSpec,
@@ -106,24 +113,19 @@ pub fn deploy_ir_container(
     simd: SimdLevel,
     store: &ImageStore,
 ) -> Result<IrDeployment, DeployError> {
-    deploy_ir_container_cached(
+    deploy_ir_container_with(
         build,
         project,
         system,
         selection,
         simd,
-        &ActionCache::new(store.clone()),
+        &Engine::uncached(store),
     )
 }
 
 /// Deploy an IR container, routing every lower/compile action through `cache`.
 ///
-/// Lowering a stored IR unit is keyed on (unit content id, target ISA); compiling a
-/// system-dependent source is keyed on (preprocessed-content digest, IR-relevant flags,
-/// target ISA).
-/// A warm cache therefore serves repeat deployments — and deployments to other systems
-/// sharing the ISA — without running the compiler, while producing byte-identical
-/// artifacts and identical [`DeploymentStats`].
+/// Thin shim over [`deploy_ir_container_with`] with an [`ActionCache`]-backed engine.
 pub fn deploy_ir_container_cached(
     build: &IrContainerBuild,
     project: &ProjectSpec,
@@ -132,7 +134,60 @@ pub fn deploy_ir_container_cached(
     simd: SimdLevel,
     cache: &ActionCache,
 ) -> Result<IrDeployment, DeployError> {
-    let store: &ImageStore = cache.store();
+    deploy_ir_container_with(
+        build,
+        project,
+        system,
+        selection,
+        simd,
+        &Engine::cached(cache),
+    )
+}
+
+/// One planned deployment action: either lower a stored IR unit or compile a
+/// system-dependent source. `files` lists every manifest unit served by the action
+/// (several units can share one deduplicated artifact).
+enum DeployTask<'plan> {
+    Lower {
+        id: &'plan str,
+        files: Vec<&'plan str>,
+    },
+    Compile {
+        path: &'plan str,
+        content: &'plan str,
+        files: Vec<&'plan str>,
+        /// Index of the path's preprocess action in the stage-A graph.
+        preprocess_action: ActionId,
+    },
+}
+
+/// Deploy an IR container by constructing staged action graphs and submitting them to
+/// `engine` (Figure 8 as a DAG):
+///
+/// 1. **select** (driver, serial): resolve the configuration manifest and validate the
+///    SIMD level against the system;
+/// 2. **preprocess** (graph A, parallel): system-dependent sources, producing the
+///    content digests their compile actions are keyed by;
+/// 3. **machine-lower + sd-compile** (graph B, parallel, cache-routed): lowering a
+///    stored IR unit is keyed on (unit content id, target ISA); compiling a
+///    system-dependent source on (preprocessed-content digest, IR-relevant flags,
+///    target ISA) — so repeat deployments, and deployments to other systems sharing
+///    the ISA, are served from the cache;
+/// 4. **link + commit** (graph B tail): assemble and commit the system-specialized
+///    image.
+///
+/// System-dependent compiles honor the selected configuration's
+/// [`compile_flags`](crate::ir_container::ConfigurationManifest::compile_flags)
+/// (optimisation level, OpenMP, …) rather than a hardcoded flag set, so deploy-time
+/// compiles track the sweep options.
+pub fn deploy_ir_container_with(
+    build: &IrContainerBuild,
+    project: &ProjectSpec,
+    system: &SystemModel,
+    selection: &OptionAssignment,
+    simd: SimdLevel,
+    engine: &Engine,
+) -> Result<IrDeployment, DeployError> {
     let manifest = build
         .manifest_for(selection)
         .ok_or_else(|| DeployError::UnknownConfiguration(selection.label()))?;
@@ -148,91 +203,72 @@ pub fn deploy_ir_container_cached(
     for (name, content) in &project.headers {
         compiler.add_header(name.clone(), content.clone());
     }
+    let compiler = compiler;
 
-    let mut machine_modules: BTreeMap<String, MachineModule> = BTreeMap::new();
-    let mut vectorization = VectorizationReport::default();
-    let mut stats = DeploymentStats::default();
-    let mut actions = ActionSummary::default();
+    // System-dependent sources are compiled with the selected configuration's flags
+    // (not a hardcoded set): definitions plus the manifest's non-target compile flags.
+    let mut sd_args = manifest.definitions.clone();
+    sd_args.extend(manifest.compile_flags.iter().cloned());
+    let sd_flags = CompileFlags::parse(sd_args);
 
+    // ---- Plan: one deduplicated task per distinct IR unit / source path ----
+    let mut tasks: Vec<DeployTask<'_>> = Vec::new();
+    let mut task_by_artifact: BTreeMap<&str, usize> = BTreeMap::new();
+    let mut stage_a: ActionGraph<'_, DeployError> = ActionGraph::new();
+    let mut preprocess = PreprocessPlanner::new();
     for UnitAssignment { file, artifact, .. } in &manifest.units {
         if let Some(id) = artifact.strip_prefix("ir:") {
-            let unit = build
-                .units
-                .get(id)
-                .ok_or_else(|| DeployError::MissingUnit(id.to_string()))?;
-            // Code generation: vectorise and lower the stored IR for the selected ISA.
-            // The unit id *is* the content digest of the IR, so (id, target) fully
-            // determines the lowered artifact.
-            let key = BuildKey::new(id, &target.name, "lower", TOOLCHAIN_ID);
-            let (bytes, hit) = cache.get_or_compute(&key, || {
-                let machine = lower_to_machine(&unit.module, &target);
-                Ok::<_, DeployError>(
-                    serde_json::to_vec(&machine).expect("machine module serialises"),
-                )
-            })?;
-            if hit {
-                actions.cached += 1;
-            } else {
-                actions.executed += 1;
+            if !build.units.contains_key(id) {
+                return Err(DeployError::MissingUnit(id.to_string()));
             }
-            let machine: MachineModule = serde_json::from_slice(&bytes)
-                .map_err(|e| DeployError::Cache(format!("machine module for {file}: {e}")))?;
-            vectorization
-                .loops
-                .extend(machine.vectorization.loops.iter().cloned());
-            stats.lowered_units += 1;
-            machine_modules.insert(file.clone(), machine);
+            match task_by_artifact.get(artifact.as_str()) {
+                Some(&index) => match &mut tasks[index] {
+                    DeployTask::Lower { files, .. } => files.push(file),
+                    DeployTask::Compile { .. } => unreachable!("artifact kinds are disjoint"),
+                },
+                None => {
+                    task_by_artifact.insert(artifact, tasks.len());
+                    tasks.push(DeployTask::Lower {
+                        id,
+                        files: vec![file],
+                    });
+                }
+            }
         } else if let Some(path) = artifact.strip_prefix("src:") {
-            // System-dependent file: full compilation at deployment (against the system MPI).
             let source = project
                 .source(path)
                 .ok_or_else(|| DeployError::MissingUnit(path.to_string()))?;
-            let mut args = manifest.definitions.clone();
-            args.push("-O3".to_string());
-            args.push("-fopenmp".to_string());
-            let flags = CompileFlags::parse(args);
-            // Key on the *preprocessed* content digest (the cache contract): it folds
-            // in the headers the compiler resolves, so caches shared across projects
-            // can never serve code built against different header definitions.
-            let preprocessed = compiler
-                .preprocess_only(path, &source.content, &flags)
-                .map_err(|error| DeployError::Compile {
-                    file: path.to_string(),
-                    error,
-                })?;
-            let key = BuildKey::new(
-                preprocessed.content_digest(),
-                &target.name,
-                format!("file={path};{}", flags.ir_relevant_key()),
-                TOOLCHAIN_ID,
-            );
-            let (bytes, hit) = cache.get_or_compute(&key, || {
-                let machine = compiler
-                    .compile_to_machine(path, &source.content, &flags, &target)
-                    .map_err(|error| DeployError::Compile {
-                        file: path.to_string(),
-                        error,
-                    })?;
-                Ok(serde_json::to_vec(&machine).expect("machine module serialises"))
-            })?;
-            if hit {
-                actions.cached += 1;
-            } else {
-                actions.executed += 1;
+            match task_by_artifact.get(artifact.as_str()) {
+                Some(&index) => match &mut tasks[index] {
+                    DeployTask::Compile { files, .. } => files.push(file),
+                    DeployTask::Lower { .. } => unreachable!("artifact kinds are disjoint"),
+                },
+                None => {
+                    let preprocess_action = preprocess.action_for(
+                        &mut stage_a,
+                        &compiler,
+                        path,
+                        &source.content,
+                        &sd_flags,
+                        |file, error| DeployError::Compile { file, error },
+                    );
+                    task_by_artifact.insert(artifact, tasks.len());
+                    tasks.push(DeployTask::Compile {
+                        path,
+                        content: source.content.as_str(),
+                        files: vec![file],
+                        preprocess_action,
+                    });
+                }
             }
-            let machine: MachineModule = serde_json::from_slice(&bytes)
-                .map_err(|e| DeployError::Cache(format!("machine module for {path}: {e}")))?;
-            vectorization
-                .loops
-                .extend(machine.vectorization.loops.iter().cloned());
-            stats.compiled_source_units += 1;
-            machine_modules.insert(file.clone(), machine);
         }
     }
-    stats.vectorized_loops = vectorization.vectorized_count();
-    stats.scalar_loops = vectorization.scalar_count();
 
-    // Linking and installation: assemble the deployed image from the IR container image.
+    // ---- Graph A: preprocess the system-dependent sources ----
+    let run_a = engine.run(stage_a);
+    let (outputs_a, mut trace) = run_a.into_outputs()?;
+
+    // ---- Graph B: lower/compile every deduplicated artifact, then link + commit ----
     let reference = format!(
         "{}:{}-{}-{}",
         project.name,
@@ -240,54 +276,188 @@ pub fn deploy_ir_container_cached(
         crate::ir_container::sanitize(&manifest.label).to_ascii_lowercase(),
         simd.gmx_name().to_ascii_lowercase()
     );
-    let mut image = Image::derive_from(&build.image, &reference);
-    image.platform = Platform::linux(crate::source_container::architecture_of(system));
-    image.set_deployment_format(DeploymentFormat::Binary);
-    image.annotate(
-        annotation_keys::SELECTED_CONFIGURATION,
-        manifest.label.clone(),
-    );
-    image.annotate(annotation_keys::TARGET_SYSTEM, system.name.clone());
-    image.annotate("dev.xaas.simd", simd.gmx_name());
+    struct Assembled {
+        image: Image,
+        machine_modules: BTreeMap<String, MachineModule>,
+        vectorization: VectorizationReport,
+        stats: DeploymentStats,
+    }
+    let assembled: LinkSlot<Assembled> = LinkSlot::new();
+    let mut stage_b: ActionGraph<'_, DeployError> = ActionGraph::new();
+    let mut artifact_actions: Vec<ActionId> = Vec::with_capacity(tasks.len());
+    for task in &tasks {
+        match task {
+            DeployTask::Lower { id, .. } => {
+                let unit = &build.units[*id];
+                // Code generation: vectorise and lower the stored IR for the selected
+                // ISA. The unit id *is* the content digest of the IR, so (id, target)
+                // fully determines the lowered artifact.
+                let key = BuildKey::new(*id, &target.name, "lower", TOOLCHAIN_ID);
+                let target = &target;
+                artifact_actions.push(stage_b.add_cached(
+                    ActionKind::MachineLower,
+                    unit.source_file.clone(),
+                    key,
+                    &[],
+                    move |_| {
+                        let machine = lower_to_machine(&unit.module, target);
+                        Ok(serde_json::to_vec(&machine).expect("machine module serialises"))
+                    },
+                ));
+            }
+            DeployTask::Compile {
+                path,
+                content,
+                preprocess_action,
+                ..
+            } => {
+                // Key on the *preprocessed* content digest (the cache contract): it
+                // folds in the headers the compiler resolves, so caches shared across
+                // projects can never serve code built against different header
+                // definitions.
+                let digest = String::from_utf8_lossy(&outputs_a[*preprocess_action]).into_owned();
+                let key = BuildKey::new(
+                    digest,
+                    &target.name,
+                    format!("file={path};{}", sd_flags.ir_relevant_key()),
+                    TOOLCHAIN_ID,
+                );
+                let compiler = &compiler;
+                let sd_flags = &sd_flags;
+                let target = &target;
+                artifact_actions.push(stage_b.add_cached(
+                    ActionKind::SdCompile,
+                    path.to_string(),
+                    key,
+                    &[],
+                    move |_| {
+                        let machine = compiler
+                            .compile_to_machine(path, content, sd_flags, target)
+                            .map_err(|error| DeployError::Compile {
+                                file: path.to_string(),
+                                error,
+                            })?;
+                        Ok(serde_json::to_vec(&machine).expect("machine module serialises"))
+                    },
+                ));
+            }
+        }
+    }
 
-    let mut lowered = Layer::new(format!("RUN xaas lower --target {}", target.name));
-    for (file, machine) in &machine_modules {
-        lowered.add_file(
-            format!("/xaas/obj/{}.o", file.replace('/', "_")),
-            serde_json::to_vec(machine).expect("machine module serialises"),
-        );
-    }
-    for target_spec in &project.targets {
-        lowered.add_executable(
-            format!("/opt/app/bin/{}", target_spec.name),
-            format!(
-                "linked {} for {} ({})",
-                target_spec.name, system.name, target.name
-            )
-            .into_bytes(),
-        );
-    }
-    // Dependency layers are reassembled for the selected configuration only.
-    for dependency in &manifest.dependencies {
-        lowered.add_text(
-            format!("/opt/deps/{dependency}/.provenance"),
-            format!("dependency layer {dependency} for {}", manifest.label),
-        );
-    }
-    image.push_layer(lowered);
-    store.commit(&image);
+    let link_action = {
+        let assembled = &assembled;
+        let tasks = &tasks;
+        let reference = reference.as_str();
+        let target = &target;
+        stage_b.add(
+            ActionKind::Link,
+            format!("{reference} image"),
+            &artifact_actions,
+            move |inputs| {
+                let mut machine_modules: BTreeMap<String, MachineModule> = BTreeMap::new();
+                let mut vectorization = VectorizationReport::default();
+                let mut stats = DeploymentStats::default();
+                for (index, task) in tasks.iter().enumerate() {
+                    let (label, files, lowered) = match task {
+                        DeployTask::Lower { files, .. } => (files[0], files, true),
+                        DeployTask::Compile { path, files, .. } => (*path, files, false),
+                    };
+                    let machine: MachineModule = serde_json::from_slice(inputs.dep(index))
+                        .map_err(|e| {
+                            DeployError::Cache(format!("machine module for {label}: {e}"))
+                        })?;
+                    for file in files {
+                        vectorization
+                            .loops
+                            .extend(machine.vectorization.loops.iter().cloned());
+                        if lowered {
+                            stats.lowered_units += 1;
+                        } else {
+                            stats.compiled_source_units += 1;
+                        }
+                        machine_modules.insert(file.to_string(), machine.clone());
+                    }
+                }
+                stats.vectorized_loops = vectorization.vectorized_count();
+                stats.scalar_loops = vectorization.scalar_count();
+
+                // Linking and installation: assemble the deployed image from the IR
+                // container image.
+                let mut image = Image::derive_from(&build.image, reference);
+                image.platform = Platform::linux(crate::source_container::architecture_of(system));
+                image.set_deployment_format(DeploymentFormat::Binary);
+                image.annotate(
+                    annotation_keys::SELECTED_CONFIGURATION,
+                    manifest.label.clone(),
+                );
+                image.annotate(annotation_keys::TARGET_SYSTEM, system.name.clone());
+                image.annotate("dev.xaas.simd", simd.gmx_name());
+
+                let mut lowered = Layer::new(format!("RUN xaas lower --target {}", target.name));
+                for (file, machine) in &machine_modules {
+                    lowered.add_file(
+                        format!("/xaas/obj/{}.o", file.replace('/', "_")),
+                        serde_json::to_vec(machine).expect("machine module serialises"),
+                    );
+                }
+                for target_spec in &project.targets {
+                    lowered.add_executable(
+                        format!("/opt/app/bin/{}", target_spec.name),
+                        format!(
+                            "linked {} for {} ({})",
+                            target_spec.name, system.name, target.name
+                        )
+                        .into_bytes(),
+                    );
+                }
+                // Dependency layers are reassembled for the selected configuration only.
+                for dependency in &manifest.dependencies {
+                    lowered.add_text(
+                        format!("/opt/deps/{dependency}/.provenance"),
+                        format!("dependency layer {dependency} for {}", manifest.label),
+                    );
+                }
+                image.push_layer(lowered);
+                assembled.put(Assembled {
+                    image,
+                    machine_modules,
+                    vectorization,
+                    stats,
+                });
+                Ok(Vec::new())
+            },
+        )
+    };
+    add_commit_action(
+        &mut stage_b,
+        format!("{reference} commit"),
+        engine.store(),
+        &assembled,
+        |assembled| &assembled.image,
+        link_action,
+    );
+
+    let run_b = engine.run(stage_b);
+    let (_, trace_b) = run_b.into_outputs()?;
+    trace.merge(trace_b);
+    let Assembled {
+        image,
+        machine_modules,
+        vectorization,
+        stats,
+    } = assembled.into_inner().expect("link action ran");
 
     let threads = system.cpu.total_cores().min(36);
-    let build_profile = derive_build_profile(
+    let mut build_profile = derive_build_profile(
         format!("XaaS IR ({} {})", system.name, simd.gmx_name()),
         &manifest.assignment,
         system,
         threads,
     )
     .with_container_overhead(1.01);
-    let mut build_profile = build_profile;
     build_profile.simd = simd;
 
+    let actions = trace.summary();
     Ok(IrDeployment {
         image,
         reference,
@@ -298,6 +468,7 @@ pub fn deploy_ir_container_cached(
         stats,
         build_profile,
         actions,
+        trace,
     })
 }
 

@@ -1,0 +1,400 @@
+//! The work-stealing executor: runs the ready frontier of an [`ActionGraph`] across
+//! worker threads, routing keyed nodes through the engine's cache backend.
+//!
+//! Scheduling is classic work stealing: each worker owns a deque, finished nodes push
+//! their newly-ready dependents onto the finishing worker's deque (LIFO for cache
+//! locality), and idle workers steal from the back of their peers' deques. A failed
+//! node does **not** cancel the run — independent subgraphs keep executing and only
+//! the failed node's transitive dependents are skipped, which is what lets the fleet
+//! specializer isolate one system's failure from the rest of the fleet.
+//!
+//! Results are assembled in node order, so everything observable from a run —
+//! outputs, trace records, error attribution — is deterministic regardless of how
+//! the workers interleaved.
+
+use super::graph::{ActionFn, ActionGraph, ActionId, ActionInputs};
+use super::trace::{ActionRecord, ActionTrace};
+use parking_lot::Mutex;
+use std::any::Any;
+use std::collections::VecDeque;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
+use xaas_container::{CacheBackend, ComputeFailed};
+
+/// The terminal state of one node after a run.
+#[derive(Debug)]
+pub enum NodeOutcome<E> {
+    /// The node completed (executed or cache-served) with these output bytes.
+    Output(Arc<Vec<u8>>),
+    /// The node's closure returned this error.
+    Failed(E),
+    /// The node was skipped because `root` (a transitive dependency) failed.
+    Skipped {
+        /// The failed ancestor that poisoned this node.
+        root: ActionId,
+    },
+}
+
+impl<E> NodeOutcome<E> {
+    /// The output bytes, if the node completed.
+    pub fn output(&self) -> Option<&[u8]> {
+        match self {
+            NodeOutcome::Output(bytes) => Some(bytes),
+            _ => None,
+        }
+    }
+
+    /// Whether the node completed successfully.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, NodeOutcome::Output(_))
+    }
+}
+
+/// The per-node output blobs of a completed run, in node order.
+pub type ActionOutputs = Vec<Arc<Vec<u8>>>;
+
+/// The result of running one [`ActionGraph`] through the engine.
+#[derive(Debug)]
+pub struct GraphRun<E> {
+    /// Per-node outcomes, indexed by [`ActionId`].
+    pub outcomes: Vec<NodeOutcome<E>>,
+    /// Deterministic trace of the completed actions (node order).
+    pub trace: ActionTrace,
+}
+
+impl<E> GraphRun<E> {
+    /// Whether every node completed.
+    pub fn succeeded(&self) -> bool {
+        self.outcomes.iter().all(NodeOutcome::is_ok)
+    }
+
+    /// The output of one node, if it completed.
+    pub fn output(&self, id: ActionId) -> Option<&[u8]> {
+        self.outcomes.get(id).and_then(NodeOutcome::output)
+    }
+
+    /// All outputs in node order, or the first (lowest node id) error.
+    pub fn into_outputs(self) -> Result<(ActionOutputs, ActionTrace), E> {
+        let mut outputs = Vec::with_capacity(self.outcomes.len());
+        for outcome in self.outcomes {
+            match outcome {
+                NodeOutcome::Output(bytes) => outputs.push(bytes),
+                NodeOutcome::Failed(error) => return Err(error),
+                NodeOutcome::Skipped { root } => {
+                    // Dependencies precede dependents in node order, so a skip's root
+                    // failure is normally returned above. Reaching this arm means a
+                    // cache backend failed a keyed action without invoking its compute
+                    // closure, breaking the CacheBackend contract.
+                    panic!(
+                        "action {root} was skipped without a preceding failure: \
+                         the cache backend failed without running the action"
+                    )
+                }
+            }
+        }
+        Ok((outputs, self.trace))
+    }
+}
+
+enum Slot<E> {
+    Pending,
+    Output(Arc<Vec<u8>>),
+    Failed(E),
+    Skipped { root: ActionId },
+}
+
+struct NodeMeta {
+    kind: super::trace::ActionKind,
+    label: String,
+    cache_key: Option<xaas_container::BuildKey>,
+    deps: Vec<ActionId>,
+}
+
+struct ExecState<'env, E> {
+    metas: Vec<NodeMeta>,
+    tasks: Vec<Mutex<Option<ActionFn<'env, E>>>>,
+    slots: Vec<Mutex<Slot<E>>>,
+    records: Vec<Mutex<Option<ActionRecord>>>,
+    dependents: Vec<Vec<ActionId>>,
+    pending: Vec<AtomicUsize>,
+    queues: Vec<Mutex<VecDeque<ActionId>>>,
+    remaining: AtomicUsize,
+    /// The first caught action panic; re-raised on the caller thread after the run
+    /// completes, so a panicking action behaves like it would on a serial executor
+    /// instead of hanging the worker pool.
+    panic_payload: Mutex<Option<Box<dyn Any + Send>>>,
+    /// Idle workers park here instead of spinning; [`ExecState::schedule`] wakes one.
+    idle: StdMutex<()>,
+    wakeup: Condvar,
+}
+
+impl<'env, E> ExecState<'env, E> {
+    fn pop_task(&self, me: usize) -> Option<ActionId> {
+        if let Some(id) = self.queues[me].lock().pop_front() {
+            return Some(id);
+        }
+        // Steal from the back of a peer's deque (oldest work first).
+        let n = self.queues.len();
+        for offset in 1..n {
+            let victim = (me + offset) % n;
+            if let Some(id) = self.queues[victim].lock().pop_back() {
+                return Some(id);
+            }
+        }
+        None
+    }
+
+    fn schedule(&self, me: usize, id: ActionId) {
+        self.queues[me].lock().push_front(id);
+        // Notify under the idle lock: a parking worker re-checks the queues after
+        // acquiring it, so the notification can never land in the window between a
+        // failed pop and the wait.
+        let _guard = self.idle.lock().unwrap_or_else(|e| e.into_inner());
+        self.wakeup.notify_one();
+    }
+
+    /// Whether any queue currently holds a ready node.
+    fn has_ready_work(&self) -> bool {
+        self.queues.iter().any(|queue| !queue.lock().is_empty())
+    }
+
+    fn finish(&self, me: usize, id: ActionId, slot: Slot<E>, record: Option<ActionRecord>) {
+        *self.slots[id].lock() = slot;
+        if let Some(record) = record {
+            *self.records[id].lock() = Some(record);
+        }
+        for &dependent in &self.dependents[id] {
+            if self.pending[dependent].fetch_sub(1, Ordering::AcqRel) == 1 {
+                self.schedule(me, dependent);
+            }
+        }
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Last node: release every parked worker so the pool can exit (notified
+            // under the idle lock for the same no-lost-wakeup pairing as schedule()).
+            let _guard = self.idle.lock().unwrap_or_else(|e| e.into_inner());
+            self.wakeup.notify_all();
+        }
+    }
+
+    /// Run one node's closure, converting a panic into a recorded payload (first
+    /// panic wins). Returns `None` when the closure panicked.
+    fn run_task(
+        &self,
+        task: ActionFn<'env, E>,
+        inputs: &ActionInputs,
+    ) -> Option<Result<Vec<u8>, E>> {
+        match std::panic::catch_unwind(AssertUnwindSafe(|| task(inputs))) {
+            Ok(result) => Some(result),
+            Err(payload) => {
+                let mut slot = self.panic_payload.lock();
+                if slot.is_none() {
+                    *slot = Some(payload);
+                }
+                None
+            }
+        }
+    }
+}
+
+pub(crate) fn run_graph<'env, E: Send>(
+    graph: ActionGraph<'env, E>,
+    cache: &dyn CacheBackend,
+    workers: usize,
+) -> GraphRun<E> {
+    let node_count = graph.nodes.len();
+    let stage_depth = graph.depth();
+    if node_count == 0 {
+        return GraphRun {
+            outcomes: Vec::new(),
+            trace: ActionTrace::default(),
+        };
+    }
+
+    let workers = workers.clamp(1, node_count.max(1));
+    let mut metas = Vec::with_capacity(node_count);
+    let mut tasks = Vec::with_capacity(node_count);
+    let mut dependents: Vec<Vec<ActionId>> = vec![Vec::new(); node_count];
+    let mut pending = Vec::with_capacity(node_count);
+    for (id, node) in graph.nodes.into_iter().enumerate() {
+        for &dep in &node.deps {
+            dependents[dep].push(id);
+        }
+        pending.push(AtomicUsize::new(node.deps.len()));
+        metas.push(NodeMeta {
+            kind: node.kind,
+            label: node.label,
+            cache_key: node.cache_key,
+            deps: node.deps,
+        });
+        tasks.push(Mutex::new(Some(node.run)));
+    }
+
+    let state = ExecState {
+        metas,
+        tasks,
+        slots: (0..node_count).map(|_| Mutex::new(Slot::Pending)).collect(),
+        records: (0..node_count).map(|_| Mutex::new(None)).collect(),
+        dependents,
+        pending,
+        queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+        remaining: AtomicUsize::new(node_count),
+        panic_payload: Mutex::new(None),
+        idle: StdMutex::new(()),
+        wakeup: Condvar::new(),
+    };
+    // Seed the initial frontier round-robin across the workers.
+    let mut seed_queue = 0;
+    for id in 0..node_count {
+        if state.pending[id].load(Ordering::Relaxed) == 0 {
+            state.queues[seed_queue].lock().push_back(id);
+            seed_queue = (seed_queue + 1) % workers;
+        }
+    }
+
+    if workers == 1 {
+        worker_loop(&state, cache, 0);
+    } else {
+        std::thread::scope(|scope| {
+            for me in 0..workers {
+                let state = &state;
+                scope.spawn(move || worker_loop(state, cache, me));
+            }
+        });
+    }
+
+    let ExecState {
+        slots,
+        records,
+        panic_payload,
+        ..
+    } = state;
+    if let Some(payload) = panic_payload.into_inner() {
+        // Re-raise the first action panic on the caller thread, as a serial
+        // executor would have.
+        std::panic::resume_unwind(payload);
+    }
+    let outcomes = slots
+        .into_iter()
+        .map(|slot| match slot.into_inner() {
+            Slot::Output(bytes) => NodeOutcome::Output(bytes),
+            Slot::Failed(error) => NodeOutcome::Failed(error),
+            Slot::Skipped { root } => NodeOutcome::Skipped { root },
+            Slot::Pending => unreachable!("executor drained every node"),
+        })
+        .collect();
+    let trace = ActionTrace {
+        records: records
+            .into_iter()
+            .filter_map(|record| record.into_inner())
+            .collect(),
+        stage_depth,
+    };
+    GraphRun { outcomes, trace }
+}
+
+fn worker_loop<E: Send>(state: &ExecState<'_, E>, cache: &dyn CacheBackend, me: usize) {
+    loop {
+        if state.remaining.load(Ordering::Acquire) == 0 {
+            break;
+        }
+        match state.pop_task(me) {
+            Some(id) => execute_node(state, cache, me, id),
+            None => {
+                // Nothing runnable right now: another worker holds the frontier.
+                // Park until new work is scheduled. Re-checking readiness under the
+                // idle lock pairs with schedule() notifying under it, so wakeups are
+                // not lost; the timeout is only a backstop.
+                let guard = state.idle.lock().unwrap_or_else(|e| e.into_inner());
+                if state.remaining.load(Ordering::Acquire) != 0 && !state.has_ready_work() {
+                    let _ = state
+                        .wakeup
+                        .wait_timeout(guard, std::time::Duration::from_millis(10));
+                }
+            }
+        }
+    }
+}
+
+fn execute_node<E: Send>(
+    state: &ExecState<'_, E>,
+    cache: &dyn CacheBackend,
+    me: usize,
+    id: ActionId,
+) {
+    let meta = &state.metas[id];
+    // Gather dependency outputs; a poisoned dependency skips this node.
+    let mut inputs = Vec::with_capacity(meta.deps.len());
+    let mut poisoned: Option<ActionId> = None;
+    for &dep in &meta.deps {
+        match &*state.slots[dep].lock() {
+            Slot::Output(bytes) => inputs.push(bytes.clone()),
+            Slot::Failed(_) => {
+                poisoned = Some(dep);
+                break;
+            }
+            Slot::Skipped { root } => {
+                poisoned = Some(*root);
+                break;
+            }
+            Slot::Pending => unreachable!("node scheduled before dependency finished"),
+        }
+    }
+    if let Some(root) = poisoned {
+        state.finish(me, id, Slot::Skipped { root }, None);
+        return;
+    }
+
+    let task = state.tasks[id]
+        .lock()
+        .take()
+        .expect("every node executes exactly once");
+    let inputs = ActionInputs::new(inputs);
+    let record = |cached: bool| ActionRecord {
+        kind: meta.kind,
+        label: meta.label.clone(),
+        key_digest: meta
+            .cache_key
+            .as_ref()
+            .map(|k| k.digest().hex().to_string()),
+        cached,
+    };
+
+    let (slot, completed) = match &meta.cache_key {
+        Some(key) => {
+            let mut task = Some(task);
+            let mut captured: Option<E> = None;
+            let result = cache.get_or_compute_action(key, &mut || {
+                // At most one node per key per graph (the ActionGraph contract), so
+                // the closure runs at most once even under single-flight coalescing.
+                match task.take() {
+                    Some(task) => match state.run_task(task, &inputs) {
+                        Some(Ok(bytes)) => Ok(bytes),
+                        Some(Err(error)) => {
+                            captured = Some(error);
+                            Err(ComputeFailed)
+                        }
+                        // Panicked: the payload is recorded, re-raised after the run.
+                        None => Err(ComputeFailed),
+                    },
+                    None => Err(ComputeFailed),
+                }
+            });
+            match result {
+                Ok((bytes, hit)) => (Slot::Output(Arc::new(bytes)), Some(record(hit))),
+                Err(ComputeFailed) => match captured {
+                    Some(error) => (Slot::Failed(error), None),
+                    // The action panicked, or the backend failed without running
+                    // it; the node poisons its dependents with itself as the root.
+                    None => (Slot::Skipped { root: id }, None),
+                },
+            }
+        }
+        None => match state.run_task(task, &inputs) {
+            Some(Ok(bytes)) => (Slot::Output(Arc::new(bytes)), Some(record(false))),
+            Some(Err(error)) => (Slot::Failed(error), None),
+            None => (Slot::Skipped { root: id }, None),
+        },
+    };
+    state.finish(me, id, slot, completed);
+}

@@ -1,0 +1,194 @@
+//! The action graph: an explicit, staged DAG of build/deploy actions.
+//!
+//! Drivers (the IR-container builder, both deployers, the fleet specializer) describe
+//! one stage of their pipeline as a graph of [`ActionKind`]-tagged nodes with explicit
+//! dependency edges, then submit it to the [`Engine`](crate::engine::Engine). Nodes
+//! are added in topological order (an edge may only point at an already-added node),
+//! which keeps cycle detection trivial and the executor allocation-free on the hot
+//! path.
+
+use super::trace::ActionKind;
+use std::sync::Arc;
+use xaas_container::BuildKey;
+
+/// Index of a node inside one [`ActionGraph`] (valid only for that graph).
+pub type ActionId = usize;
+
+/// The outputs of a node's dependencies, in the order the dependencies were declared.
+#[derive(Debug, Clone, Default)]
+pub struct ActionInputs {
+    outputs: Vec<Arc<Vec<u8>>>,
+}
+
+impl ActionInputs {
+    pub(crate) fn new(outputs: Vec<Arc<Vec<u8>>>) -> Self {
+        Self { outputs }
+    }
+
+    /// The output bytes of the `index`-th declared dependency.
+    pub fn dep(&self, index: usize) -> &[u8] {
+        &self.outputs[index]
+    }
+
+    /// Number of dependency outputs available.
+    pub fn len(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Whether the node declared no dependencies.
+    pub fn is_empty(&self) -> bool {
+        self.outputs.is_empty()
+    }
+
+    /// Iterate over all dependency outputs in declaration order.
+    pub fn iter(&self) -> impl Iterator<Item = &[u8]> {
+        self.outputs.iter().map(|o| o.as_slice())
+    }
+}
+
+pub(crate) type ActionFn<'env, E> =
+    Box<dyn FnOnce(&ActionInputs) -> Result<Vec<u8>, E> + Send + 'env>;
+
+pub(crate) struct ActionNode<'env, E> {
+    pub(crate) kind: ActionKind,
+    pub(crate) label: String,
+    pub(crate) cache_key: Option<BuildKey>,
+    pub(crate) deps: Vec<ActionId>,
+    pub(crate) run: ActionFn<'env, E>,
+}
+
+/// A DAG of actions to submit to the [`Engine`](crate::engine::Engine).
+///
+/// `'env` is the lifetime of the data the node closures borrow (project specs, the
+/// compiler, manifest state); the executor runs the closures on scoped threads, so
+/// borrowing driver locals is free. `E` is the driver's typed error.
+///
+/// At most one node per [`BuildKey`] may be added to a graph: the executor routes
+/// keyed nodes through the cache backend with single-flight semantics, and a second
+/// node with the same key inside one submission would make the hit/miss trace
+/// scheduling-dependent. Drivers deduplicate keys at plan time.
+pub struct ActionGraph<'env, E> {
+    pub(crate) nodes: Vec<ActionNode<'env, E>>,
+}
+
+impl<'env, E> Default for ActionGraph<'env, E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<'env, E> ActionGraph<'env, E> {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Self { nodes: Vec::new() }
+    }
+
+    /// Add an uncached action: it always executes, and its record carries no key.
+    ///
+    /// # Panics
+    /// If a dependency refers to a node that has not been added yet (graphs are
+    /// built in topological order; a forward edge is a driver bug).
+    pub fn add(
+        &mut self,
+        kind: ActionKind,
+        label: impl Into<String>,
+        deps: &[ActionId],
+        run: impl FnOnce(&ActionInputs) -> Result<Vec<u8>, E> + Send + 'env,
+    ) -> ActionId {
+        self.push(kind, label.into(), None, deps, Box::new(run))
+    }
+
+    /// Add a cache-routed action: the executor consults the engine's cache backend
+    /// for `key` and only runs the closure on a miss.
+    ///
+    /// # Panics
+    /// If a dependency refers to a node that has not been added yet.
+    pub fn add_cached(
+        &mut self,
+        kind: ActionKind,
+        label: impl Into<String>,
+        key: BuildKey,
+        deps: &[ActionId],
+        run: impl FnOnce(&ActionInputs) -> Result<Vec<u8>, E> + Send + 'env,
+    ) -> ActionId {
+        self.push(kind, label.into(), Some(key), deps, Box::new(run))
+    }
+
+    fn push(
+        &mut self,
+        kind: ActionKind,
+        label: String,
+        cache_key: Option<BuildKey>,
+        deps: &[ActionId],
+        run: ActionFn<'env, E>,
+    ) -> ActionId {
+        let id = self.nodes.len();
+        for &dep in deps {
+            assert!(
+                dep < id,
+                "action {id} ({label}) depends on not-yet-added node {dep}"
+            );
+        }
+        self.nodes.push(ActionNode {
+            kind,
+            label,
+            cache_key,
+            deps: deps.to_vec(),
+            run,
+        });
+        id
+    }
+
+    /// Number of nodes in the graph.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The critical-path depth: the minimal number of serial waves an executor with
+    /// unbounded workers needs. A serial executor needs [`len`](Self::len) steps.
+    pub fn depth(&self) -> usize {
+        let mut depth = vec![0usize; self.nodes.len()];
+        for (id, node) in self.nodes.iter().enumerate() {
+            depth[id] = 1 + node.deps.iter().map(|&d| depth[d]).max().unwrap_or(0);
+        }
+        depth.into_iter().max().unwrap_or(0)
+    }
+}
+
+impl<E> std::fmt::Debug for ActionGraph<'_, E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ActionGraph")
+            .field("nodes", &self.nodes.len())
+            .field("depth", &self.depth())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn depth_follows_the_longest_dependency_chain() {
+        let mut graph: ActionGraph<'_, ()> = ActionGraph::new();
+        let a = graph.add(ActionKind::Preprocess, "a", &[], |_| Ok(vec![]));
+        let b = graph.add(ActionKind::Preprocess, "b", &[], |_| Ok(vec![]));
+        let c = graph.add(ActionKind::Link, "c", &[a, b], |_| Ok(vec![]));
+        let _d = graph.add(ActionKind::Commit, "d", &[c], |_| Ok(vec![]));
+        assert_eq!(graph.len(), 4);
+        assert_eq!(graph.depth(), 3, "a/b parallel, then c, then d");
+        assert_eq!(ActionGraph::<()>::new().depth(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "depends on not-yet-added node")]
+    fn forward_edges_are_rejected() {
+        let mut graph: ActionGraph<'_, ()> = ActionGraph::new();
+        graph.add(ActionKind::Link, "broken", &[3], |_| Ok(vec![]));
+    }
+}

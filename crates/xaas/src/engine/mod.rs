@@ -1,0 +1,314 @@
+//! The staged action-graph engine: one executor for every XaaS pipeline.
+//!
+//! The paper's source and IR containers are two points on one pipeline —
+//! preprocess → (OpenMP-aware dedup) → lower-to-IR → specialize → link — and this
+//! module makes that pipeline an explicit, cache-aware artifact instead of three
+//! near-duplicate monolithic functions. The pieces:
+//!
+//! * [`graph`] — [`ActionGraph`]: a DAG of [`ActionKind`]-tagged nodes with explicit
+//!   dependency edges, built stage by stage by the pipeline drivers;
+//! * [`executor`] — a work-stealing executor that runs the ready frontier across
+//!   worker threads, routes keyed nodes through a
+//!   [`CacheBackend`](xaas_container::CacheBackend) (an
+//!   [`ActionCache`](xaas_container::ActionCache) or the always-compute
+//!   [`NoCache`](xaas_container::NoCache)), and isolates failures to the failed
+//!   node's transitive dependents;
+//! * [`trace`] — [`ActionTrace`]: a deterministic, node-ordered record of what ran
+//!   and what the cache absorbed, from which the historical [`ActionSummary`]
+//!   counters are derived.
+//!
+//! The drivers in [`ir_container`](crate::ir_container), [`deploy`](crate::deploy),
+//! [`source_container`](crate::source_container), and
+//! [`scheduler`](crate::scheduler) all construct graphs and submit them to one
+//! shared [`Engine`]; intra-build parallelism (compiling the translation units of a
+//! configuration sweep concurrently) falls out of the executor rather than being
+//! special-cased per pipeline.
+//!
+//! ```
+//! use xaas::engine::{ActionGraph, ActionKind, Engine};
+//! use xaas_container::{ImageStore, NoCache};
+//! use std::sync::Arc;
+//!
+//! let engine = Engine::new(Arc::new(NoCache::new(ImageStore::new())));
+//! let mut graph: ActionGraph<'_, std::convert::Infallible> = ActionGraph::new();
+//! let hello = graph.add(ActionKind::Preprocess, "hello", &[], |_| Ok(b"hi".to_vec()));
+//! let shout = graph.add(ActionKind::Link, "shout", &[hello], |inputs| {
+//!     Ok(inputs.dep(0).to_ascii_uppercase())
+//! });
+//! let run = engine.run(graph);
+//! assert_eq!(run.output(shout), Some(&b"HI"[..]));
+//! ```
+
+pub mod executor;
+pub mod graph;
+pub mod plan;
+pub mod trace;
+
+pub use executor::{ActionOutputs, GraphRun, NodeOutcome};
+pub use graph::{ActionGraph, ActionId, ActionInputs};
+pub use plan::{add_commit_action, LinkSlot, PreprocessPlanner};
+pub use trace::{ActionKind, ActionRecord, ActionSummary, ActionTrace};
+
+use std::sync::Arc;
+use xaas_container::{ActionCache, CacheBackend, CacheStats, ImageStore, NoCache};
+
+/// The shared execution engine: a worker pool plus a cache backend.
+///
+/// Cloning is cheap (the backend is shared); every pipeline entry point of the crate
+/// ultimately executes through an `Engine`.
+#[derive(Clone)]
+pub struct Engine {
+    cache: Arc<dyn CacheBackend>,
+    workers: usize,
+}
+
+impl Engine {
+    /// An engine over `cache` with a worker count derived from the host parallelism
+    /// (clamped to `[2, 8]` — actions are small compile steps).
+    pub fn new(cache: Arc<dyn CacheBackend>) -> Self {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .clamp(2, 8);
+        Self { cache, workers }
+    }
+
+    /// An engine that memoizes every keyed action in `cache`.
+    pub fn cached(cache: &ActionCache) -> Self {
+        Self::new(Arc::new(cache.clone()))
+    }
+
+    /// An engine that never caches: every action executes, artifacts and images land
+    /// in `store`. This is the explicit replacement for handing the pipelines a
+    /// private empty [`ActionCache`].
+    pub fn uncached(store: &ImageStore) -> Self {
+        Self::new(Arc::new(NoCache::new(store.clone())))
+    }
+
+    /// Override the worker count (at least 1). One worker executes the graph with no
+    /// concurrency — the reference schedule the property tests compare parallel runs
+    /// against. (Even then, execution order is dependency-driven, not node order;
+    /// outputs and traces are assembled in node order regardless of schedule.)
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// The configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The cache backend every keyed action routes through.
+    pub fn cache(&self) -> &dyn CacheBackend {
+        self.cache.as_ref()
+    }
+
+    /// The backend's counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.backend_stats()
+    }
+
+    /// The content-addressed store behind the cache (images are committed here).
+    pub fn store(&self) -> &ImageStore {
+        self.cache.store()
+    }
+
+    /// Execute `graph`: run the ready frontier across the worker pool, route keyed
+    /// nodes through the cache, record a deterministic [`ActionTrace`], and isolate
+    /// failures to their transitive dependents.
+    pub fn run<'env, E: Send>(&self, graph: ActionGraph<'env, E>) -> GraphRun<E> {
+        executor::run_graph(graph, self.cache.as_ref(), self.workers)
+    }
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("workers", &self.workers)
+            .field("cache", &self.cache.backend_stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use xaas_container::BuildKey;
+
+    fn key(name: &str) -> BuildKey {
+        BuildKey::new(name, "xir.ir", "opts", "toolchain-test")
+    }
+
+    #[test]
+    fn diamond_graph_delivers_dependency_outputs_in_order() {
+        let engine = Engine::uncached(&ImageStore::new()).with_workers(4);
+        let mut graph: ActionGraph<'_, std::convert::Infallible> = ActionGraph::new();
+        let left = graph.add(ActionKind::Preprocess, "left", &[], |_| Ok(b"L".to_vec()));
+        let right = graph.add(ActionKind::Preprocess, "right", &[], |_| Ok(b"R".to_vec()));
+        let join = graph.add(ActionKind::Link, "join", &[left, right], |inputs| {
+            let mut combined = inputs.dep(0).to_vec();
+            combined.extend_from_slice(inputs.dep(1));
+            Ok(combined)
+        });
+        let commit = graph.add(ActionKind::Commit, "commit", &[join], |inputs| {
+            assert_eq!(inputs.len(), 1);
+            Ok(inputs.dep(0).to_vec())
+        });
+        let run = engine.run(graph);
+        assert!(run.succeeded());
+        assert_eq!(run.output(commit), Some(&b"LR"[..]));
+        // Trace is in node order with the declared kinds, regardless of scheduling.
+        let kinds: Vec<ActionKind> = run.trace.records.iter().map(|r| r.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                ActionKind::Preprocess,
+                ActionKind::Preprocess,
+                ActionKind::Link,
+                ActionKind::Commit
+            ]
+        );
+        assert_eq!(run.trace.stage_depth, 3);
+    }
+
+    #[test]
+    fn failures_skip_dependents_but_not_independent_work() {
+        let engine = Engine::uncached(&ImageStore::new()).with_workers(2);
+        let mut graph: ActionGraph<'_, String> = ActionGraph::new();
+        let bad = graph.add(ActionKind::Preprocess, "bad", &[], |_| {
+            Err("boom".to_string())
+        });
+        let downstream = graph.add(ActionKind::Link, "downstream", &[bad], |_| Ok(vec![]));
+        let independent = graph.add(ActionKind::Preprocess, "independent", &[], |_| {
+            Ok(b"fine".to_vec())
+        });
+        let run = engine.run(graph);
+        assert!(!run.succeeded());
+        assert!(matches!(&run.outcomes[bad], NodeOutcome::Failed(e) if e == "boom"));
+        assert!(matches!(
+            run.outcomes[downstream],
+            NodeOutcome::Skipped { root } if root == bad
+        ));
+        assert_eq!(run.output(independent), Some(&b"fine"[..]));
+        // into_outputs surfaces the typed error of the failing node.
+        assert_eq!(run.into_outputs().unwrap_err(), "boom");
+    }
+
+    #[test]
+    fn panicking_actions_propagate_to_the_caller_instead_of_hanging() {
+        let engine = Engine::uncached(&ImageStore::new()).with_workers(3);
+        let mut graph: ActionGraph<'_, String> = ActionGraph::new();
+        graph.add(ActionKind::Preprocess, "fine", &[], |_| Ok(vec![1]));
+        let boom = graph.add(ActionKind::Preprocess, "boom", &[], |_| {
+            panic!("kaboom in action")
+        });
+        graph.add(ActionKind::Link, "downstream", &[boom], |_| Ok(vec![]));
+        let payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| engine.run(graph)))
+            .expect_err("the action panic must re-raise on the caller thread");
+        assert_eq!(
+            payload.downcast_ref::<&str>().copied(),
+            Some("kaboom in action")
+        );
+
+        // Keyed actions behave the same: the panic crosses the cache backend.
+        let mut keyed: ActionGraph<'_, String> = ActionGraph::new();
+        keyed.add_cached(ActionKind::IrLower, "boom", key("p"), &[], |_| {
+            panic!("keyed kaboom")
+        });
+        let payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| engine.run(keyed)))
+            .expect_err("keyed action panic must re-raise");
+        assert_eq!(
+            payload.downcast_ref::<&str>().copied(),
+            Some("keyed kaboom")
+        );
+    }
+
+    #[test]
+    fn keyed_actions_route_through_the_cache_backend() {
+        let store = ImageStore::new();
+        let cache = ActionCache::new(store.clone());
+        let engine = Engine::cached(&cache).with_workers(3);
+        let calls = AtomicUsize::new(0);
+
+        fn build<'env>(
+            label: &str,
+            calls: &'env AtomicUsize,
+        ) -> ActionGraph<'env, std::convert::Infallible> {
+            let mut graph = ActionGraph::new();
+            for unit in ["a", "b", "c"] {
+                graph.add_cached(
+                    ActionKind::IrLower,
+                    format!("{label}:{unit}"),
+                    key(unit),
+                    &[],
+                    move |_| {
+                        calls.fetch_add(1, Ordering::SeqCst);
+                        Ok(format!("ir:{unit}").into_bytes())
+                    },
+                );
+            }
+            graph
+        }
+        let cold = engine.run(build("cold", &calls));
+        assert!(cold.succeeded());
+        assert_eq!(
+            cold.trace.summary(),
+            ActionSummary {
+                executed: 3,
+                cached: 0
+            }
+        );
+        let warm = engine.run(build("warm", &calls));
+        assert_eq!(
+            warm.trace.summary(),
+            ActionSummary {
+                executed: 0,
+                cached: 3
+            }
+        );
+        assert_eq!(calls.load(Ordering::SeqCst), 3, "warm run computes nothing");
+        assert_eq!(warm.output(0), cold.output(0));
+        // Identity sets agree even though the cached flags differ.
+        assert_ne!(cold.trace.records[0].label, warm.trace.records[0].label);
+        assert_eq!(
+            cold.trace.records[0].key_digest,
+            warm.trace.records[0].key_digest
+        );
+    }
+
+    #[test]
+    fn parallel_and_serial_runs_produce_identical_outputs_and_traces() {
+        fn build_graph(counter: &AtomicUsize) -> ActionGraph<'_, std::convert::Infallible> {
+            let mut graph = ActionGraph::new();
+            let mut lowers = Vec::new();
+            for unit in 0..24 {
+                let id = graph.add(
+                    ActionKind::IrLower,
+                    format!("unit{unit:02}"),
+                    &[],
+                    move |_| Ok(vec![unit as u8; 4]),
+                );
+                lowers.push(id);
+            }
+            graph.add(ActionKind::Link, "link", &lowers, move |inputs| {
+                counter.fetch_add(1, Ordering::SeqCst);
+                Ok(inputs.iter().flat_map(|b| b.to_vec()).collect())
+            });
+            graph
+        }
+        let counter = AtomicUsize::new(0);
+        let serial = Engine::uncached(&ImageStore::new())
+            .with_workers(1)
+            .run(build_graph(&counter));
+        let parallel = Engine::uncached(&ImageStore::new())
+            .with_workers(8)
+            .run(build_graph(&counter));
+        assert_eq!(counter.load(Ordering::SeqCst), 2);
+        assert_eq!(serial.trace, parallel.trace);
+        assert_eq!(serial.output(24), parallel.output(24));
+        assert_eq!(serial.trace.stage_depth, 2);
+        assert_eq!(serial.trace.len(), 25);
+    }
+}

@@ -1,0 +1,223 @@
+//! Per-build action traces: what the engine ran, what the cache absorbed.
+//!
+//! Every node of an [`ActionGraph`](crate::engine::ActionGraph) that completes
+//! successfully leaves one [`ActionRecord`] behind, assembled in node order so the
+//! trace is deterministic regardless of how the work-stealing executor interleaved
+//! the actions. Two builds of the same inputs therefore produce *equal* traces (up
+//! to the `cached` flags, which depend on the cache's starting state) — the
+//! property tests lean on this to prove that parallel and serial builds execute the
+//! same action set.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+/// The pipeline stage an action belongs to. One variant per stage of the paper's
+/// build/deploy pipeline (Figures 7–8), plus the image-assembly tail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ActionKind {
+    /// Run the preprocessor over one translation unit (stage 2 identity input).
+    Preprocess,
+    /// AST-level OpenMP construct detection (stage 3).
+    OpenMpDetect,
+    /// Compile a deduplicated translation unit to target-independent IR (stage 4).
+    IrLower,
+    /// Lower a stored IR unit to machine code for a concrete ISA (deployment).
+    MachineLower,
+    /// Compile a system-dependent source from scratch at deployment.
+    SdCompile,
+    /// Assemble the output image's layers from the produced artifacts.
+    Link,
+    /// Commit the assembled image to the content-addressed store.
+    Commit,
+}
+
+impl ActionKind {
+    /// Stable lowercase name (used in action-set identities and JSON reports).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ActionKind::Preprocess => "preprocess",
+            ActionKind::OpenMpDetect => "openmp-detect",
+            ActionKind::IrLower => "ir-lower",
+            ActionKind::MachineLower => "machine-lower",
+            ActionKind::SdCompile => "sd-compile",
+            ActionKind::Link => "link",
+            ActionKind::Commit => "commit",
+        }
+    }
+}
+
+impl std::fmt::Display for ActionKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One successfully executed (or cache-served) action.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ActionRecord {
+    /// The pipeline stage.
+    pub kind: ActionKind,
+    /// Human-readable identity (usually the file or unit the action worked on).
+    pub label: String,
+    /// Hex digest of the [`BuildKey`](xaas_container::BuildKey) for cache-routed
+    /// actions; `None` for actions that never touch the cache (preprocess, link, …).
+    pub key_digest: Option<String>,
+    /// Whether the action was served from the cache instead of executing.
+    pub cached: bool,
+}
+
+impl ActionRecord {
+    /// The cache-independent identity of the action: `kind|label|key`. Two runs of
+    /// the same build produce the same identity set whether or not the cache was
+    /// warm — only the `cached` flags differ.
+    pub fn identity(&self) -> String {
+        format!(
+            "{}|{}|{}",
+            self.kind.as_str(),
+            self.label,
+            self.key_digest.as_deref().unwrap_or("-")
+        )
+    }
+}
+
+/// How many cache-routed actions ran versus how many were served from the cache.
+/// Reported next to (never inside) the artifacts, so cached and uncached builds stay
+/// byte-identical.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ActionSummary {
+    /// Actions that actually executed (cache misses).
+    pub executed: usize,
+    /// Actions served from the cache (hits).
+    pub cached: usize,
+}
+
+impl ActionSummary {
+    /// Total actions routed through the cache.
+    pub fn total(&self) -> usize {
+        self.executed + self.cached
+    }
+}
+
+/// The complete, deterministic record of one build's trip through the engine.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ActionTrace {
+    /// One record per completed action, in graph-node order (scheduling-independent).
+    pub records: Vec<ActionRecord>,
+    /// The minimal number of serial stages the submitted graphs impose: the sum of
+    /// the graphs' critical-path depths. A single-threaded executor runs
+    /// `records.len()` serial steps; a parallel one needs only `stage_depth` waves.
+    pub stage_depth: usize,
+}
+
+impl ActionTrace {
+    /// Number of recorded actions (what a fully serial pipeline executes one by one).
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Append another trace (a later staged submission of the same build).
+    pub fn merge(&mut self, other: ActionTrace) {
+        self.records.extend(other.records);
+        self.stage_depth += other.stage_depth;
+    }
+
+    /// Executed-vs-cached counts over the *cache-routed* actions only, matching the
+    /// pipeline's historical [`ActionSummary`] reporting.
+    pub fn summary(&self) -> ActionSummary {
+        let mut summary = ActionSummary::default();
+        for record in self.records.iter().filter(|r| r.key_digest.is_some()) {
+            if record.cached {
+                summary.cached += 1;
+            } else {
+                summary.executed += 1;
+            }
+        }
+        summary
+    }
+
+    /// The cache-independent action identities. Equal for warm and cold runs of the
+    /// same build, and for serial and parallel runs — the property tests assert both.
+    pub fn action_set(&self) -> BTreeSet<String> {
+        self.records.iter().map(ActionRecord::identity).collect()
+    }
+
+    /// Actions per [`ActionKind`] (for stats/reporting).
+    pub fn by_kind(&self) -> BTreeMap<ActionKind, usize> {
+        let mut counts = BTreeMap::new();
+        for record in &self.records {
+            *counts.entry(record.kind).or_insert(0) += 1;
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(kind: ActionKind, label: &str, key: Option<&str>, cached: bool) -> ActionRecord {
+        ActionRecord {
+            kind,
+            label: label.to_string(),
+            key_digest: key.map(str::to_string),
+            cached,
+        }
+    }
+
+    #[test]
+    fn summary_counts_only_cache_routed_actions() {
+        let trace = ActionTrace {
+            records: vec![
+                record(ActionKind::Preprocess, "a.ck", None, false),
+                record(ActionKind::IrLower, "a.ck", Some("ab12"), false),
+                record(ActionKind::IrLower, "b.ck", Some("cd34"), true),
+                record(ActionKind::Commit, "img", None, false),
+            ],
+            stage_depth: 3,
+        };
+        assert_eq!(
+            trace.summary(),
+            ActionSummary {
+                executed: 1,
+                cached: 1
+            }
+        );
+        assert_eq!(trace.summary().total(), 2);
+        assert_eq!(trace.len(), 4);
+    }
+
+    #[test]
+    fn action_set_is_cache_state_independent() {
+        let cold = ActionTrace {
+            records: vec![record(ActionKind::IrLower, "a.ck", Some("ab12"), false)],
+            stage_depth: 1,
+        };
+        let warm = ActionTrace {
+            records: vec![record(ActionKind::IrLower, "a.ck", Some("ab12"), true)],
+            stage_depth: 1,
+        };
+        assert_ne!(cold, warm, "cached flags differ");
+        assert_eq!(cold.action_set(), warm.action_set());
+    }
+
+    #[test]
+    fn merge_accumulates_records_and_depth() {
+        let mut trace = ActionTrace {
+            records: vec![record(ActionKind::Preprocess, "a.ck", None, false)],
+            stage_depth: 1,
+        };
+        trace.merge(ActionTrace {
+            records: vec![record(ActionKind::Link, "img", None, false)],
+            stage_depth: 2,
+        });
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace.stage_depth, 3);
+        assert_eq!(trace.by_kind()[&ActionKind::Link], 1);
+    }
+}

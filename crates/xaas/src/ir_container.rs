@@ -17,6 +17,10 @@
 //! source instead of IR. Everything else (`S_I`) is compiled once per unique identity and
 //! stored as XIR bitcode in the image.
 
+use crate::engine::{
+    add_commit_action, ActionGraph, ActionId, ActionKind, ActionTrace, Engine, LinkSlot,
+    PreprocessPlanner,
+};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
@@ -28,6 +32,8 @@ use xaas_container::{
 use xaas_specs::from_project;
 use xaas_xir::{bitcode, CompileFlags, Compiler, IrModule};
 
+pub use crate::engine::ActionSummary;
+
 /// Toolchain identifier pinned into every [`BuildKey`] the pipeline derives. A toolchain
 /// upgrade must change this constant so stale cache entries can never be served.
 pub const TOOLCHAIN_ID: &str = "xirc-19/xir.v1";
@@ -35,24 +41,6 @@ pub const TOOLCHAIN_ID: &str = "xirc-19/xir.v1";
 /// The pseudo-target used in build keys while producing target-*independent* IR (the
 /// concrete ISA name is used only for deployment-time lowering).
 pub const IR_TARGET: &str = "xir.ir";
-
-/// How many build actions ran versus how many were served from the [`ActionCache`].
-/// Reported next to (never inside) the artifacts, so cached and uncached builds stay
-/// byte-identical.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
-pub struct ActionSummary {
-    /// Actions that actually executed (cache misses).
-    pub executed: usize,
-    /// Actions served from the cache (hits).
-    pub cached: usize,
-}
-
-impl ActionSummary {
-    /// Total actions routed through the cache.
-    pub fn total(&self) -> usize {
-        self.executed + self.cached
-    }
-}
 
 /// Which stages of the dedup pipeline are enabled (all on by default; the ablation
 /// benchmarks switch individual stages off).
@@ -198,6 +186,9 @@ pub struct ConfigurationManifest {
     pub dependencies: Vec<String>,
     /// Per-unit artifacts.
     pub units: Vec<UnitAssignment>,
+    /// Non-target compile flags of the configuration (optimisation level, OpenMP, …)
+    /// that deployment-time compiles of system-dependent sources must honor.
+    pub compile_flags: Vec<String>,
     /// ISA/tuning flags that were delayed and must be applied at deployment.
     pub delayed_flags: Vec<String>,
 }
@@ -230,6 +221,8 @@ pub struct IrContainerBuild {
     pub units: BTreeMap<String, IrUnit>,
     /// Compile actions executed vs served from the action cache during this build.
     pub actions: ActionSummary,
+    /// The full, deterministic action trace of the build (preprocess through commit).
+    pub trace: ActionTrace,
 }
 
 impl IrContainerBuild {
@@ -262,6 +255,9 @@ pub enum IrPipelineError {
     },
     /// The sweep referenced an unknown option.
     UnknownOption(String),
+    /// A compile command referenced a source that is not enabled in its
+    /// configuration (a malformed compile database).
+    UnknownSource { file: String },
     /// A cached artifact failed to decode (action-cache corruption).
     Cache(String),
 }
@@ -273,6 +269,12 @@ impl fmt::Display for IrPipelineError {
             IrPipelineError::Compile { file, error } => write!(f, "compiling {file}: {error}"),
             IrPipelineError::UnknownOption(name) => {
                 write!(f, "sweep references unknown option {name}")
+            }
+            IrPipelineError::UnknownSource { file } => {
+                write!(
+                    f,
+                    "compile database references {file}, which is not an enabled source"
+                )
             }
             IrPipelineError::Cache(detail) => write!(f, "action cache: {detail}"),
         }
@@ -322,53 +324,97 @@ fn enumerate_assignments(
 
 /// Build an IR container for `project`, sweeping the configured specialization points.
 ///
-/// Convenience wrapper around [`build_ir_container_cached`] with a private, empty action
-/// cache backed by `store` — every compile action runs.
+/// Thin shim over [`build_ir_container_with`] using an uncached
+/// ([`NoCache`](xaas_container::NoCache)-backed) engine over `store` — every compile
+/// action runs.
 pub fn build_ir_container(
     project: &ProjectSpec,
     config: &IrPipelineConfig,
     store: &ImageStore,
     reference: &str,
 ) -> Result<IrContainerBuild, IrPipelineError> {
-    build_ir_container_cached(project, config, &ActionCache::new(store.clone()), reference)
+    build_ir_container_with(project, config, &Engine::uncached(store), reference)
 }
 
 /// Build an IR container, routing every compile action through `cache`.
 ///
-/// The resulting image is byte-identical whether actions hit or miss the cache; only
-/// [`IrContainerBuild::actions`] differs. The image is committed to the cache's backing
-/// store.
+/// Thin shim over [`build_ir_container_with`] with an [`ActionCache`]-backed engine.
 pub fn build_ir_container_cached(
     project: &ProjectSpec,
     config: &IrPipelineConfig,
     cache: &ActionCache,
     reference: &str,
 ) -> Result<IrContainerBuild, IrPipelineError> {
-    let store: &ImageStore = cache.store();
+    build_ir_container_with(project, config, &Engine::cached(cache), reference)
+}
+
+/// One system-independent translation-unit occurrence discovered during configuration
+/// (the driver's plan entry between the configure stage and the preprocess stage).
+struct TuOccurrence {
+    config_index: usize,
+    target: String,
+    file: String,
+    /// Source text, shared per file across configurations (copied once per file).
+    content: std::sync::Arc<str>,
+    flags: CompileFlags,
+    generation_key: String,
+    /// Index of this unit's preprocess action in the stage-A graph.
+    preprocess_action: ActionId,
+    /// Index of this unit's OpenMP-detection action, when one was scheduled.
+    openmp_action: Option<ActionId>,
+}
+
+/// Build an IR container by constructing staged action graphs and submitting them to
+/// `engine`.
+///
+/// The build runs as an explicit pipeline over the engine's worker pool:
+///
+/// 1. **configure** (driver, serial — cheap): enumerate the sweep, emit compile DBs,
+///    split system-dependent from system-independent units;
+/// 2. **preprocess + openmp-detect** (graph A, parallel): one deduplicated action per
+///    distinct (file, definitions) pair;
+/// 3. **ir-lower** (graph B, parallel, cache-routed): one action per deduplicated
+///    translation unit, keyed by the preprocessed-content digest;
+/// 4. **link + commit** (graph B tail): assemble the image layers from the lowered
+///    units and commit it to the engine's store.
+///
+/// The resulting image is byte-identical for any worker count and whether actions hit
+/// or miss the cache; only [`IrContainerBuild::actions`]/[`IrContainerBuild::trace`]
+/// differ in their `cached` flags.
+pub fn build_ir_container_with(
+    project: &ProjectSpec,
+    config: &IrPipelineConfig,
+    engine: &Engine,
+    reference: &str,
+) -> Result<IrContainerBuild, IrPipelineError> {
     let assignments = enumerate_assignments(project, config)?;
     let mut compiler = Compiler::new();
     for (name, content) in &project.headers {
         compiler.add_header(name.clone(), content.clone());
     }
+    let compiler = compiler; // frozen: shared immutably by the graph actions
 
     let mut stats = PipelineStats {
         configurations: assignments.len(),
         ..Default::default()
     };
-    let mut generation_keys: BTreeSet<String> = BTreeSet::new();
-    let mut preprocessing_keys: BTreeSet<String> = BTreeSet::new();
-    let mut openmp_keys: BTreeSet<String> = BTreeSet::new();
-    // Key → (file, source content, flags, preprocessed-content digest) of the
-    // representative unit. The digest is what the action-cache key is derived from.
-    let mut final_keys: BTreeMap<String, (String, String, CompileFlags, String)> = BTreeMap::new();
     let mut manifests: Vec<ConfigurationManifest> = Vec::new();
     let mut sd_files: BTreeSet<String> = BTreeSet::new();
     let mut si_files: BTreeSet<String> = BTreeSet::new();
-    // file → (configuration label ordering) not needed; manifests keep per-config mapping.
     // One (target, source file, dedup key) triple per translation unit of a configuration.
     type UnitKeys = Vec<(String, String, String)>;
-    let mut unit_key_by_config: Vec<(usize, UnitKeys)> = Vec::new();
+    let mut unit_key_by_config: Vec<UnitKeys> = Vec::new();
+    let mut occurrences: Vec<TuOccurrence> = Vec::new();
+    // Source text shared per file: every configuration re-lists the same content.
+    let mut content_by_file: BTreeMap<String, std::sync::Arc<str>> = BTreeMap::new();
 
+    // ---- Stage 1 (driver, serial): configure every assignment and classify units ----
+    let mut stage_a: ActionGraph<'_, IrPipelineError> = ActionGraph::new();
+    // Preprocessing and OpenMP detection depend only on (file, definition set):
+    // deduplicate the actions across configurations so the graph does each distinct
+    // piece of work once.
+    let mut preprocess = PreprocessPlanner::new();
+    let mut openmp_actions: BTreeMap<(String, String), ActionId> = BTreeMap::new();
     for (config_index, assignment) in assignments.iter().enumerate() {
         let build = configure(project, assignment, &config.build_dir, None)?;
         let mut per_config_units: UnitKeys = Vec::new();
@@ -378,7 +424,9 @@ pub fn build_ir_container_cached(
                 .enabled_sources
                 .iter()
                 .find(|s| s.path == command.file)
-                .expect("command refers to an enabled source");
+                .ok_or_else(|| IrPipelineError::UnknownSource {
+                    file: command.file.clone(),
+                })?;
             let is_system_dependent = source.required_tags.iter().any(|t| t == "mpi");
             if is_system_dependent {
                 stats.system_dependent_units += 1;
@@ -391,82 +439,70 @@ pub fn build_ir_container_cached(
                 continue;
             }
             si_files.insert(source.path.clone());
+            let content = content_by_file
+                .entry(source.path.clone())
+                .or_insert_with(|| std::sync::Arc::from(source.content.as_str()))
+                .clone();
 
             let flags = command.flags();
-            // Stage 1: exact command identity (optionally normalising the build directory).
             let generation_key = command.canonical_key(config.stages.normalize_build_dir);
-            generation_keys.insert(format!("{}|{}", command.file, generation_key));
+            let dedup_key = PreprocessPlanner::identity(&command.file, &flags);
 
-            // Stage 2: preprocessed-content identity.
-            let preprocessed = compiler
-                .preprocess_only(&command.file, &source.content, &flags)
-                .map_err(|error| IrPipelineError::Compile {
-                    file: command.file.clone(),
-                    error,
-                })?;
-            let delayed = flags.delayed_target_flags.join(" ");
-            let preprocess_key = format!(
-                "{}|{:016x}|omp={}|opt={}|isa={}",
-                command.file,
-                preprocessed.content_hash(),
-                flags.openmp,
-                flags.opt_level().as_str(),
-                delayed
+            let preprocess_action = preprocess.action_for(
+                &mut stage_a,
+                &compiler,
+                &command.file,
+                &content,
+                &flags,
+                |file, error| IrPipelineError::Compile { file, error },
             );
-            let stage2_key = if config.stages.preprocessing {
-                preprocess_key.clone()
+            // OpenMP detection only matters for units carrying `-fopenmp`: units
+            // without it can never have OpenMP in effect, whatever the AST says.
+            let openmp_action = if config.stages.openmp_detection && flags.openmp {
+                Some(match openmp_actions.get(&dedup_key) {
+                    Some(&id) => id,
+                    None => {
+                        let compiler = &compiler;
+                        let file = command.file.clone();
+                        let content = content.clone();
+                        let flags = flags.clone();
+                        let id = stage_a.add(
+                            ActionKind::OpenMpDetect,
+                            command.file.clone(),
+                            &[],
+                            move |_| {
+                                // Analysis failures conservatively keep OpenMP in the
+                                // identity (matching the historical behaviour).
+                                let matters = compiler
+                                    .openmp_report(&file, &content, &flags)
+                                    .map(|r| r.uses_openmp())
+                                    .unwrap_or(true);
+                                Ok(vec![u8::from(matters)])
+                            },
+                        );
+                        openmp_actions.insert(dedup_key, id);
+                        id
+                    }
+                })
             } else {
-                format!("{}|{}", command.file, generation_key)
+                None
             };
-            preprocessing_keys.insert(stage2_key.clone());
-
-            // Stage 3: OpenMP-irrelevance merging.
-            let openmp_matters = if config.stages.openmp_detection {
-                compiler
-                    .openmp_report(&command.file, &source.content, &flags)
-                    .map(|r| r.uses_openmp())
-                    .unwrap_or(true)
-            } else {
-                true
-            };
-            let effective_openmp = flags.openmp && openmp_matters;
-            let stage3_key = if config.stages.openmp_detection {
-                format!(
-                    "{}|{:016x}|omp={}|opt={}|isa={}",
-                    command.file,
-                    preprocessed.content_hash(),
-                    effective_openmp,
-                    flags.opt_level().as_str(),
-                    delayed
-                )
-            } else {
-                stage2_key.clone()
-            };
-            openmp_keys.insert(stage3_key.clone());
-
-            // Stage 4: vectorization delay — drop the ISA flags from the identity.
-            let stage4_key = if config.stages.vectorization_delay {
-                format!(
-                    "{}|{:016x}|omp={}|opt={}",
-                    command.file,
-                    preprocessed.content_hash(),
-                    effective_openmp,
-                    flags.opt_level().as_str()
-                )
-            } else {
-                stage3_key.clone()
-            };
-            final_keys.entry(stage4_key.clone()).or_insert_with(|| {
-                (
-                    command.file.clone(),
-                    source.content.clone(),
-                    flags.clone(),
-                    preprocessed.content_digest(),
-                )
+            occurrences.push(TuOccurrence {
+                config_index,
+                target: command.target.clone(),
+                file: command.file.clone(),
+                content,
+                flags,
+                generation_key,
+                preprocess_action,
+                openmp_action,
             });
-            per_config_units.push((command.target.clone(), command.file.clone(), stage4_key));
         }
-        unit_key_by_config.push((config_index, per_config_units));
+        unit_key_by_config.push(per_config_units);
+        let mut common_flags: Vec<String> = project.global_flags.clone();
+        common_flags.extend(build.compile_flags.iter().cloned());
+        let (delayed_flags, compile_flags): (Vec<String>, Vec<String>) =
+            common_flags.into_iter().partition(|f| f.starts_with("-m"));
         manifests.push(ConfigurationManifest {
             label: build.assignment.label(),
             assignment: build.assignment.clone(),
@@ -474,13 +510,79 @@ pub fn build_ir_container_cached(
             definitions: build.definitions.clone(),
             dependencies: build.dependencies.clone(),
             units: Vec::new(),
-            delayed_flags: build
-                .compile_flags
-                .iter()
-                .filter(|f| f.starts_with("-m") || f.starts_with("-march"))
-                .cloned()
-                .collect(),
+            compile_flags,
+            delayed_flags,
         });
+    }
+
+    // ---- Stage 2+3 (graph A): preprocess and OpenMP-detect, in parallel ----
+    let run_a = engine.run(stage_a);
+    let (outputs_a, mut trace) = run_a.into_outputs()?;
+    let digest_of =
+        |id: ActionId| -> String { String::from_utf8_lossy(&outputs_a[id]).into_owned() };
+    let matters_of = |id: ActionId| -> bool { outputs_a[id].first().copied().unwrap_or(1) != 0 };
+
+    // ---- Stage 4 (driver, serial): derive the dedup identities of Figure 7 ----
+    let mut generation_keys: BTreeSet<String> = BTreeSet::new();
+    let mut preprocessing_keys: BTreeSet<String> = BTreeSet::new();
+    let mut openmp_keys: BTreeSet<String> = BTreeSet::new();
+    // Key → (file, source content, flags, preprocessed-content digest) of the
+    // representative unit. The digest is what the action-cache key is derived from.
+    let mut final_keys: BTreeMap<String, (String, std::sync::Arc<str>, CompileFlags, String)> =
+        BTreeMap::new();
+    for occurrence in &occurrences {
+        let TuOccurrence {
+            config_index,
+            target,
+            file,
+            content,
+            flags,
+            generation_key,
+            preprocess_action,
+            openmp_action,
+        } = occurrence;
+        let digest = digest_of(*preprocess_action);
+        let delayed = flags.delayed_target_flags.join(" ");
+        generation_keys.insert(format!("{file}|{generation_key}"));
+
+        // Stage 2: preprocessed-content identity.
+        let preprocess_key = format!(
+            "{file}|{digest}|omp={}|opt={}|isa={delayed}",
+            flags.openmp,
+            flags.opt_level().as_str(),
+        );
+        let stage2_key = if config.stages.preprocessing {
+            preprocess_key.clone()
+        } else {
+            format!("{file}|{generation_key}")
+        };
+        preprocessing_keys.insert(stage2_key.clone());
+
+        // Stage 3: OpenMP-irrelevance merging.
+        let effective_openmp = flags.openmp && openmp_action.map(&matters_of).unwrap_or(true);
+        let stage3_key = if config.stages.openmp_detection {
+            format!(
+                "{file}|{digest}|omp={effective_openmp}|opt={}|isa={delayed}",
+                flags.opt_level().as_str(),
+            )
+        } else {
+            stage2_key.clone()
+        };
+        openmp_keys.insert(stage3_key.clone());
+
+        // Stage 4: vectorization delay — drop the ISA flags from the identity.
+        let stage4_key = if config.stages.vectorization_delay {
+            format!(
+                "{file}|{digest}|omp={effective_openmp}|opt={}",
+                flags.opt_level().as_str(),
+            )
+        } else {
+            stage3_key.clone()
+        };
+        final_keys
+            .entry(stage4_key.clone())
+            .or_insert_with(|| (file.clone(), content.clone(), flags.clone(), digest));
+        unit_key_by_config[*config_index].push((target.clone(), file.clone(), stage4_key));
     }
 
     stats.unique_after_generation = generation_keys.len();
@@ -490,17 +592,30 @@ pub fn build_ir_container_cached(
     stats.system_dependent_files = sd_files.len();
     stats.system_independent_files = si_files.len();
 
+    // ---- Stage 5 (graph B): ir-lower per deduplicated unit, then link + commit ----
     // Compile one representative per final key into IR, memoizing each action in the
     // content-addressed cache: the key is derived from the preprocessed-content digest
     // and the IR-relevant flags, so a warm cache skips the compile entirely while
     // producing bit-identical bitcode.
-    let mut units: BTreeMap<String, IrUnit> = BTreeMap::new();
-    let mut key_to_id: BTreeMap<String, String> = BTreeMap::new();
-    let mut actions = ActionSummary::default();
-    for (key, (file, content, flags, tu_digest)) in &final_keys {
+    // Declared before the graph: the graph's closures borrow these, so they must
+    // outlive it (drop order is reverse declaration order).
+    struct Assembled {
+        image: Image,
+        units: BTreeMap<String, IrUnit>,
+        manifests: Vec<ConfigurationManifest>,
+    }
+    let assembled: LinkSlot<Assembled> = LinkSlot::new();
+    // Position (within `lower_actions`) of the action producing each ordered key's
+    // bitcode. Distinct stage-4 keys normally map to distinct BuildKeys, but the graph
+    // contract is one node per key, so identical BuildKeys share one action.
+    let mut key_positions: Vec<usize> = Vec::with_capacity(final_keys.len());
+    let ordered_keys: Vec<&String> = final_keys.keys().collect();
+    let mut stage_b: ActionGraph<'_, IrPipelineError> = ActionGraph::new();
+    let mut lower_actions: Vec<ActionId> = Vec::new();
+    let mut position_by_build_key: BTreeMap<String, usize> = BTreeMap::new();
+    for (file, content, flags, tu_digest) in final_keys.values() {
         // The IR is compiled without the delayed ISA flags; OpenMP stays as classified.
-        let mut ir_flags = flags.clone();
-        ir_flags.delayed_target_flags.clear();
+        let ir_flags = flags.without_delayed_target_flags();
         let build_key = BuildKey::new(
             tu_digest.clone(),
             IR_TARGET,
@@ -511,105 +626,166 @@ pub fn build_ir_container_cached(
             ),
             TOOLCHAIN_ID,
         );
-        let (bytes, hit) = cache.get_or_compute(&build_key, || -> Result<_, IrPipelineError> {
-            let mut module = compiler
-                .compile_to_ir(file, content, &ir_flags)
-                .map_err(|error| IrPipelineError::Compile {
-                    file: file.clone(),
-                    error,
-                })?;
-            if config.optimize_early {
-                xaas_xir::passes::scalar_unroll(&mut module, 4);
-            }
-            Ok(bitcode::encode(&module))
-        })?;
-        if hit {
-            actions.cached += 1;
-        } else {
-            actions.executed += 1;
+        let key_digest = build_key.digest().as_str().to_string();
+        if let Some(&position) = position_by_build_key.get(&key_digest) {
+            key_positions.push(position);
+            continue;
         }
-        let module = bitcode::decode(&bytes)
-            .map_err(|e| IrPipelineError::Cache(format!("bitcode for {file}: {e}")))?;
-        let id = bitcode::content_id(&module);
-        key_to_id.insert(key.clone(), id.clone());
-        units.entry(id.clone()).or_insert(IrUnit {
-            id,
-            source_file: file.clone(),
-            openmp: module.metadata.openmp,
-            module,
-        });
+        let compiler = &compiler;
+        let optimize_early = config.optimize_early;
+        let id = stage_b.add_cached(
+            ActionKind::IrLower,
+            file.clone(),
+            build_key,
+            &[],
+            move |_| {
+                let mut module =
+                    compiler
+                        .compile_to_ir(file, content, &ir_flags)
+                        .map_err(|error| IrPipelineError::Compile {
+                            file: file.clone(),
+                            error,
+                        })?;
+                if optimize_early {
+                    xaas_xir::passes::scalar_unroll(&mut module, 4);
+                }
+                Ok(bitcode::encode(&module))
+            },
+        );
+        position_by_build_key.insert(key_digest, lower_actions.len());
+        key_positions.push(lower_actions.len());
+        lower_actions.push(id);
     }
 
-    // Fill manifests with artifact references.
-    for (config_index, per_config_units) in unit_key_by_config {
-        let manifest = &mut manifests[config_index];
-        for (target, file, key) in per_config_units {
-            let artifact = if let Some(id) = key_to_id.get(&key) {
-                format!("ir:{id}")
-            } else {
-                key // already `src:<path>` for system-dependent units
-            };
-            manifest.units.push(UnitAssignment {
-                target,
-                file,
-                artifact,
-            });
-        }
-    }
+    // Link: decode the lowered units, resolve manifests, and assemble the image. The
+    // assembled pieces travel to the driver through the `assembled` slot (they are
+    // typed, not bytes).
+    let link_action = {
+        let assembled = &assembled;
+        let ordered_keys = &ordered_keys;
+        let key_positions = &key_positions;
+        let final_keys = &final_keys;
+        let stats = &stats;
+        stage_b.add(
+            ActionKind::Link,
+            format!("{reference} image"),
+            &lower_actions,
+            move |inputs| {
+                let mut manifests = manifests;
+                let mut units: BTreeMap<String, IrUnit> = BTreeMap::new();
+                let mut key_to_id: BTreeMap<String, String> = BTreeMap::new();
+                for (index, key) in ordered_keys.iter().enumerate() {
+                    let (file, ..) = &final_keys[*key];
+                    let module = bitcode::decode(inputs.dep(key_positions[index]))
+                        .map_err(|e| IrPipelineError::Cache(format!("bitcode for {file}: {e}")))?;
+                    let id = bitcode::content_id(&module);
+                    key_to_id.insert((*key).clone(), id.clone());
+                    units.entry(id.clone()).or_insert(IrUnit {
+                        id,
+                        source_file: file.clone(),
+                        openmp: module.metadata.openmp,
+                        module,
+                    });
+                }
 
-    // Assemble the container image.
-    let mut image = Image::new(reference, Platform::linux(Architecture::XirIr));
-    image.set_deployment_format(DeploymentFormat::Ir);
-    image.annotate(annotation_keys::IR_DIALECT, "xir.v1");
-    image.annotate(annotation_keys::TITLE, project.name.clone());
-    image.annotate(
-        annotation_keys::SPECIALIZATION_POINTS,
-        from_project(project).to_json_string(),
+                // Fill manifests with artifact references.
+                for (config_index, per_config_units) in unit_key_by_config.into_iter().enumerate() {
+                    let manifest = &mut manifests[config_index];
+                    for (target, file, key) in per_config_units {
+                        let artifact = if let Some(id) = key_to_id.get(&key) {
+                            format!("ir:{id}")
+                        } else {
+                            key // already `src:<path>` for system-dependent units
+                        };
+                        manifest.units.push(UnitAssignment {
+                            target,
+                            file,
+                            artifact,
+                        });
+                    }
+                }
+
+                // Assemble the container image.
+                let mut image = Image::new(reference, Platform::linux(Architecture::XirIr));
+                image.set_deployment_format(DeploymentFormat::Ir);
+                image.annotate(annotation_keys::IR_DIALECT, "xir.v1");
+                image.annotate(annotation_keys::TITLE, project.name.clone());
+                image.annotate(
+                    annotation_keys::SPECIALIZATION_POINTS,
+                    from_project(project).to_json_string(),
+                );
+
+                let mut toolchain = Layer::new("ADD xirc toolchain");
+                toolchain.add_executable("/usr/bin/xirc", b"xirc-driver".to_vec());
+                image.push_layer(toolchain);
+
+                let mut sources =
+                    Layer::new("COPY source tree (system-dependent files and installation)");
+                sources.add_text(
+                    format!("{}/XMakeLists.txt", paths::SOURCE_ROOT),
+                    project.build_script.clone(),
+                );
+                for (path, content) in project.source_tree() {
+                    sources.add_text(format!("{}/{}", paths::SOURCE_ROOT, path), content);
+                }
+                for (name, content) in &project.headers {
+                    sources.add_text(
+                        format!("{}/include/{}", paths::SOURCE_ROOT, name),
+                        content.clone(),
+                    );
+                }
+                image.push_layer(sources);
+
+                let mut ir_layer = Layer::new(format!("ADD {} deduplicated IR files", units.len()));
+                for unit in units.values() {
+                    ir_layer.add_file(
+                        format!("{}/{}.xbc", paths::IR_ROOT, unit.id),
+                        bitcode::encode(&unit.module),
+                    );
+                }
+                image.push_layer(ir_layer);
+
+                let mut manifest_layer =
+                    Layer::new(format!("ADD {} configuration manifests", manifests.len()));
+                for manifest in &manifests {
+                    manifest_layer.add_text(
+                        format!("{}/{}.json", paths::CONFIG_ROOT, sanitize(&manifest.label)),
+                        serde_json::to_string_pretty(manifest).expect("manifest serialises"),
+                    );
+                }
+                manifest_layer.add_text(
+                    paths::STATS,
+                    serde_json::to_string_pretty(stats).expect("stats serialise"),
+                );
+                image.push_layer(manifest_layer);
+
+                assembled.put(Assembled {
+                    image,
+                    units,
+                    manifests,
+                });
+                Ok(Vec::new())
+            },
+        )
+    };
+    add_commit_action(
+        &mut stage_b,
+        format!("{reference} commit"),
+        engine.store(),
+        &assembled,
+        |assembled| &assembled.image,
+        link_action,
     );
 
-    let mut toolchain = Layer::new("ADD xirc toolchain");
-    toolchain.add_executable("/usr/bin/xirc", b"xirc-driver".to_vec());
-    image.push_layer(toolchain);
-
-    let mut sources = Layer::new("COPY source tree (system-dependent files and installation)");
-    sources.add_text(
-        format!("{}/XMakeLists.txt", paths::SOURCE_ROOT),
-        project.build_script.clone(),
-    );
-    for (path, content) in project.source_tree() {
-        sources.add_text(format!("{}/{}", paths::SOURCE_ROOT, path), content);
-    }
-    for (name, content) in &project.headers {
-        sources.add_text(
-            format!("{}/include/{}", paths::SOURCE_ROOT, name),
-            content.clone(),
-        );
-    }
-    image.push_layer(sources);
-
-    let mut ir_layer = Layer::new(format!("ADD {} deduplicated IR files", units.len()));
-    for unit in units.values() {
-        ir_layer.add_file(
-            format!("{}/{}.xbc", paths::IR_ROOT, unit.id),
-            bitcode::encode(&unit.module),
-        );
-    }
-    image.push_layer(ir_layer);
-
-    let mut manifest_layer = Layer::new(format!("ADD {} configuration manifests", manifests.len()));
-    for manifest in &manifests {
-        manifest_layer.add_text(
-            format!("{}/{}.json", paths::CONFIG_ROOT, sanitize(&manifest.label)),
-            serde_json::to_string_pretty(manifest).expect("manifest serialises"),
-        );
-    }
-    manifest_layer.add_text(
-        paths::STATS,
-        serde_json::to_string_pretty(&stats).expect("stats serialise"),
-    );
-    image.push_layer(manifest_layer);
-
-    store.commit(&image);
+    let run_b = engine.run(stage_b);
+    let (_, trace_b) = run_b.into_outputs()?;
+    trace.merge(trace_b);
+    let Assembled {
+        image,
+        units,
+        manifests,
+    } = assembled.into_inner().expect("link action ran");
+    let actions = trace.summary();
     Ok(IrContainerBuild {
         image,
         reference: reference.to_string(),
@@ -617,6 +793,7 @@ pub fn build_ir_container_cached(
         manifests,
         units,
         actions,
+        trace,
     })
 }
 

@@ -17,8 +17,12 @@
 //! * [`deploy`] — deployment of IR containers (Figure 8): lower the selected subset for
 //!   the chosen ISA, compile system-dependent sources, link, install, and commit the
 //!   system-specialized image;
+//! * [`engine`] — the staged action-graph engine all of the above execute through: an
+//!   explicit DAG of preprocess/openmp-detect/ir-lower/machine-lower/sd-compile/link/
+//!   commit actions, a work-stealing executor, transparent action-cache routing, and a
+//!   deterministic per-build [`ActionTrace`](engine::ActionTrace);
 //! * [`scheduler`] — the fleet specializer: one IR container, many systems, a shared
-//!   content-addressed action cache, parallel workers;
+//!   content-addressed action cache, one shared engine;
 //! * [`gpu_compat`] — CUDA driver/runtime/PTX/cubin compatibility planning (Figure 9);
 //! * [`hypotheses`] — validation of Hypotheses 1 and 2 (Section 4.2);
 //! * [`portability`] — the Table 2 taxonomy;
@@ -39,6 +43,7 @@
 #![warn(missing_docs)]
 
 pub mod deploy;
+pub mod engine;
 pub mod gpu_compat;
 pub mod hypotheses;
 pub mod ir_container;
@@ -50,7 +55,12 @@ pub mod targets;
 /// Commonly used types re-exported together.
 pub mod prelude {
     pub use crate::deploy::{
-        deploy_ir_container, deploy_ir_container_cached, DeployError, DeploymentStats, IrDeployment,
+        deploy_ir_container, deploy_ir_container_cached, deploy_ir_container_with, DeployError,
+        DeploymentStats, IrDeployment,
+    };
+    pub use crate::engine::{
+        ActionGraph, ActionId, ActionInputs, ActionKind, ActionRecord, ActionTrace, Engine,
+        GraphRun, NodeOutcome,
     };
     pub use crate::gpu_compat::{
         bundle_compatibility, detect_runtime_requirement, plan_bundle, DeviceCodeBundle,
@@ -58,9 +68,9 @@ pub mod prelude {
     };
     pub use crate::hypotheses::{hypothesis1, hypothesis2, Hypothesis1Report, Hypothesis2Report};
     pub use crate::ir_container::{
-        build_ir_container, build_ir_container_cached, ActionSummary, ConfigurationManifest,
-        IrContainerBuild, IrPipelineConfig, IrPipelineError, IrUnit, PipelineStages, PipelineStats,
-        UnitAssignment, IR_TARGET, TOOLCHAIN_ID,
+        build_ir_container, build_ir_container_cached, build_ir_container_with, ActionSummary,
+        ConfigurationManifest, IrContainerBuild, IrPipelineConfig, IrPipelineError, IrUnit,
+        PipelineStages, PipelineStats, UnitAssignment, IR_TARGET, TOOLCHAIN_ID,
     };
     pub use crate::portability::{table2, PortabilityEntry, PortabilityLevel};
     pub use crate::scheduler::{
@@ -68,7 +78,7 @@ pub mod prelude {
     };
     pub use crate::source_container::{
         build_source_container, deploy_source_container, deploy_source_container_cached,
-        SelectionPolicy, SourceContainerError, SourceDeployment,
+        deploy_source_container_with, SelectionPolicy, SourceContainerError, SourceDeployment,
     };
     pub use crate::targets::{derive_build_profile, library_quality_of, target_isa_for};
     pub use xaas_container::prelude::*;

@@ -3,20 +3,23 @@
 //! The paper's deployment story (Figures 8, 12–13) specializes one target system at a
 //! time. A production registry faces the other shape: one IR container and a *fleet* of
 //! heterogeneous systems (the paper's Ault 23/25, Ault 01–04, Clariden, …) all asking
-//! for specialized images at once. The [`FleetSpecializer`] turns that into a work
-//! queue: duplicate requests are deduplicated up front, workers drain the queue in
-//! parallel, and every lower/compile action goes through the shared
-//! [`ActionCache`](xaas_container::ActionCache) — so systems that share an ISA share the
-//! lowered artifacts, and no [`BuildKey`](xaas_container::BuildKey) is ever built twice
-//! (the cache is single-flight even across racing workers).
+//! for specialized images at once. The [`FleetSpecializer`] is a thin driver over the
+//! shared [`Engine`](crate::engine::Engine): duplicate requests are deduplicated up
+//! front, each distinct job submits its deployment graph to the engine — so the
+//! parallelism is *intra-build* (the lower/compile actions of one deployment fan out
+//! across the engine's workers) rather than special-cased per job — and every action
+//! goes through the shared [`ActionCache`](xaas_container::ActionCache). Systems that
+//! share an ISA share the lowered artifacts, and no
+//! [`BuildKey`](xaas_container::BuildKey) is ever built twice (the cache is
+//! single-flight even across racing workers).
 //!
 //! The result is deterministic: outcomes are reported in request order, and the cache's
 //! hit/miss totals depend only on the request set, not on scheduling.
 
-use crate::deploy::{deploy_ir_container_cached, IrDeployment};
+use crate::deploy::{deploy_ir_container_with, IrDeployment};
+use crate::engine::Engine;
 use crate::ir_container::IrContainerBuild;
-use parking_lot::Mutex;
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
 use xaas_buildsys::{OptionAssignment, ProjectSpec};
@@ -107,7 +110,7 @@ pub struct FleetReport {
     pub jobs_executed: usize,
     /// Requests answered by an identical in-flight job.
     pub jobs_deduplicated: usize,
-    /// Worker threads used.
+    /// Engine worker threads the deployments' actions fanned out across.
     pub workers: usize,
     /// Action-cache counters for *this run only* (deltas over the `specialize_fleet`
     /// call, so earlier use of the shared cache never inflates them); `entries` is the
@@ -138,8 +141,17 @@ impl FleetReport {
 /// The shared result of one deployment job.
 type JobResult = Result<Arc<IrDeployment>, FleetError>;
 
-/// A work-queue–based specializer that deploys one IR container to a fleet of systems
-/// in parallel, sharing one [`ActionCache`] across all workers.
+/// A specializer that deploys one IR container to a fleet of systems through one
+/// shared [`Engine`], with one [`ActionCache`] across all jobs.
+///
+/// Each distinct job is a thin driver: it constructs its deployment graph and submits
+/// it to the engine, whose work-stealing executor fans the job's lower/compile actions
+/// out across the worker threads. Parallelism therefore lives at *action* granularity
+/// — the same executor path a single build uses — instead of being special-cased in
+/// the fleet. The deliberate trade: jobs submit sequentially, so a fleet of many
+/// tiny deployments no longer overlaps across jobs (in exchange, per-job action
+/// attribution and cache counters are deterministic); merging all jobs into one
+/// union graph recovers cross-job overlap and is tracked as a ROADMAP open item.
 #[derive(Debug, Clone)]
 pub struct FleetSpecializer {
     cache: ActionCache,
@@ -148,7 +160,7 @@ pub struct FleetSpecializer {
 
 impl FleetSpecializer {
     /// A specializer over `cache` with a worker count derived from the host parallelism
-    /// (clamped to `[2, 8]` — the jobs are coarse-grained).
+    /// (clamped to `[2, 8]`).
     pub fn new(cache: ActionCache) -> Self {
         let workers = std::thread::available_parallelism()
             .map(|n| n.get())
@@ -157,7 +169,7 @@ impl FleetSpecializer {
         Self { cache, workers }
     }
 
-    /// Override the worker count (at least 1).
+    /// Override the engine worker count (at least 1).
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.workers = workers.max(1);
         self
@@ -168,9 +180,15 @@ impl FleetSpecializer {
         &self.cache
     }
 
-    /// Deploy `build` for every request, deduplicating identical requests and running
-    /// distinct jobs on the worker pool. Outcomes are returned in request order; a
-    /// failed job fails only the requests that map to it.
+    /// The engine the fleet's deployment graphs are submitted to.
+    pub fn engine(&self) -> Engine {
+        Engine::cached(&self.cache).with_workers(self.workers)
+    }
+
+    /// Deploy `build` for every request, deduplicating identical requests and
+    /// submitting each distinct job's deployment graph to the shared engine. Outcomes
+    /// are returned in request order; a failed job fails only the requests that map
+    /// to it.
     pub fn specialize_fleet(
         &self,
         build: &IrContainerBuild,
@@ -193,41 +211,27 @@ impl FleetSpecializer {
             }
         }
 
-        let workers = self.workers.min(jobs.len()).max(1);
+        let engine = self.engine();
         let stats_before = self.cache.stats();
-        let queue: Mutex<VecDeque<usize>> = Mutex::new((0..jobs.len()).collect());
-        let results: Vec<Mutex<Option<JobResult>>> =
-            jobs.iter().map(|_| Mutex::new(None)).collect();
-
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let Some(job_index) = queue.lock().pop_front() else {
-                        break;
-                    };
-                    let job = jobs[job_index];
-                    let result = deploy_ir_container_cached(
-                        build,
-                        project,
-                        &job.system,
-                        &job.selection,
-                        job.simd,
-                        &self.cache,
-                    )
-                    .map(Arc::new)
-                    .map_err(|error| FleetError {
-                        system: job.system.name.clone(),
-                        message: error.to_string(),
-                    });
-                    *results[job_index].lock() = Some(result);
-                });
-            }
-        });
-
-        let results: Vec<JobResult> = results
-            .into_iter()
-            .map(|slot| slot.into_inner().expect("every queued job ran"))
+        let results: Vec<JobResult> = jobs
+            .iter()
+            .map(|job| {
+                deploy_ir_container_with(
+                    build,
+                    project,
+                    &job.system,
+                    &job.selection,
+                    job.simd,
+                    &engine,
+                )
+                .map(Arc::new)
+                .map_err(|error| FleetError {
+                    system: job.system.name.clone(),
+                    message: error.to_string(),
+                })
+            })
             .collect();
+
         let outcomes = requests
             .iter()
             .zip(&job_of_request)
@@ -244,7 +248,7 @@ impl FleetSpecializer {
             outcomes,
             jobs_executed: jobs.len(),
             jobs_deduplicated: requests.len() - jobs.len(),
-            workers,
+            workers: engine.workers(),
             cache: CacheStats {
                 hits: stats_after.hits - stats_before.hits,
                 misses: stats_after.misses - stats_before.misses,

@@ -6,10 +6,14 @@
 //! selection, and a full build of the selected configuration, producing a *new*,
 //! system-specific image (Figure 6).
 
+use crate::engine::{
+    add_commit_action, ActionGraph, ActionId, ActionKind, ActionTrace, Engine, LinkSlot,
+    PreprocessPlanner,
+};
 use crate::ir_container::{ActionSummary, TOOLCHAIN_ID};
 use crate::targets::{derive_build_profile, target_isa_for};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use xaas_buildsys::{configure, ConfigureError, OptionAssignment, OptionCategory, ProjectSpec};
 use xaas_container::{
@@ -39,6 +43,9 @@ pub enum SourceContainerError {
     },
     /// Container store failure.
     Store(xaas_container::ImageError),
+    /// A compile command referenced a source that is not enabled in the
+    /// configuration (a malformed compile database).
+    UnknownSource { file: String },
     /// A cached artifact failed to decode (action-cache corruption).
     Cache(String),
 }
@@ -56,6 +63,12 @@ impl fmt::Display for SourceContainerError {
                 write!(f, "preference {option}={value} is not deployable: {reason}")
             }
             SourceContainerError::Store(e) => write!(f, "image store: {e}"),
+            SourceContainerError::UnknownSource { file } => {
+                write!(
+                    f,
+                    "compile database references {file}, which is not an enabled source"
+                )
+            }
             SourceContainerError::Cache(detail) => write!(f, "action cache: {detail}"),
         }
     }
@@ -151,6 +164,8 @@ pub struct SourceDeployment {
     pub notes: Vec<String>,
     /// Compile actions executed vs served from the action cache.
     pub actions: ActionSummary,
+    /// The full, deterministic action trace of the deployment.
+    pub trace: ActionTrace,
 }
 
 /// Selection policy used when the user does not pin a value for a specialization point.
@@ -167,8 +182,9 @@ pub enum SelectionPolicy {
 /// Deploy a source container onto a system: discovery → intersection → selection →
 /// configuration → full build → new image (Figure 6).
 ///
-/// Convenience wrapper around [`deploy_source_container_cached`] with a private, empty
-/// action cache backed by `store` — every compile action runs.
+/// Thin shim over [`deploy_source_container_with`] using an uncached
+/// ([`NoCache`](xaas_container::NoCache)-backed) engine over `store` — every compile
+/// action runs.
 pub fn deploy_source_container(
     project: &ProjectSpec,
     source_image: &Image,
@@ -177,20 +193,20 @@ pub fn deploy_source_container(
     policy: SelectionPolicy,
     store: &ImageStore,
 ) -> Result<SourceDeployment, SourceContainerError> {
-    deploy_source_container_cached(
+    deploy_source_container_with(
         project,
         source_image,
         system,
         preferences,
         policy,
-        &ActionCache::new(store.clone()),
+        &Engine::uncached(store),
     )
 }
 
 /// Deploy a source container, routing every translation-unit compile through `cache`.
-/// Keys are derived from the source content digest, the IR-relevant flags, and the
-/// target ISA, so repeat deployments — including deployments of *other* configurations
-/// whose flags do not change a unit — reuse the compiled artifact.
+///
+/// Thin shim over [`deploy_source_container_with`] with an
+/// [`ActionCache`]-backed engine.
 pub fn deploy_source_container_cached(
     project: &ProjectSpec,
     source_image: &Image,
@@ -199,7 +215,34 @@ pub fn deploy_source_container_cached(
     policy: SelectionPolicy,
     cache: &ActionCache,
 ) -> Result<SourceDeployment, SourceContainerError> {
-    let store: &ImageStore = cache.store();
+    deploy_source_container_with(
+        project,
+        source_image,
+        system,
+        preferences,
+        policy,
+        &Engine::cached(cache),
+    )
+}
+
+/// Deploy a source container by constructing staged action graphs and submitting them
+/// to `engine`.
+///
+/// Selection and configuration run serially in the driver (they are cheap and
+/// inherently sequential); the full on-target build then executes as two graphs:
+/// **preprocess** every enabled translation unit in parallel, then **sd-compile** each
+/// deduplicated unit (cache keys derive from the preprocessed-content digest, the
+/// IR-relevant flags, and the target ISA, so repeat deployments — including
+/// deployments of *other* configurations whose flags do not change a unit — reuse the
+/// compiled artifact), and finally **link + commit** the system-specialized image.
+pub fn deploy_source_container_with(
+    project: &ProjectSpec,
+    source_image: &Image,
+    system: &SystemModel,
+    preferences: &OptionAssignment,
+    policy: SelectionPolicy,
+    engine: &Engine,
+) -> Result<SourceDeployment, SourceContainerError> {
     let mut notes = Vec::new();
 
     // 1. System discovery and feature intersection.
@@ -292,79 +335,171 @@ pub fn deploy_source_container_cached(
         system.name.to_ascii_lowercase(),
         assignment_tag(&assignment)
     );
-    let mut deployed = Image::derive_from(source_image, &reference);
-    deployed.platform = Platform::linux(architecture_of(system));
-    deployed.set_deployment_format(DeploymentFormat::Binary);
-    deployed.annotate(annotation_keys::SELECTED_CONFIGURATION, assignment.label());
-    deployed.annotate(annotation_keys::TARGET_SYSTEM, system.name.clone());
-    deployed.annotate("dev.xaas.base-image", base_reference);
 
-    let mut build_layer = Layer::new(format!("RUN xmake build ({})", assignment.label()));
-    let mut compiled_units = 0usize;
-    let mut actions = ActionSummary::default();
+    // ---- Graph A: preprocess every enabled translation unit, in parallel ----
+    // Preprocessing depends only on (file, definition set); deduplicate across the
+    // compile commands (two targets can compile the same file with the same flags).
+    struct CommandPlan<'plan> {
+        target: &'plan str,
+        file: &'plan str,
+        content: &'plan str,
+        flags: CompileFlags,
+        preprocess_action: ActionId,
+    }
+    let mut plans: Vec<CommandPlan<'_>> = Vec::new();
+    let mut stage_a: ActionGraph<'_, SourceContainerError> = ActionGraph::new();
+    let mut preprocess = PreprocessPlanner::new();
     for command in &build.compile_db.commands {
         let source = build
             .enabled_sources
             .iter()
             .find(|s| s.path == command.file)
-            .expect("configured command refers to an enabled source");
-        let flags = CompileFlags::parse(command.arguments.iter().cloned());
-        // Key on the *preprocessed* content digest (the cache contract): it folds in
-        // the headers the compiler resolves, so caches shared across projects can
-        // never serve code built against different header definitions.
-        let preprocessed = compiler
-            .preprocess_only(&command.file, &source.content, &flags)
-            .map_err(|error| SourceContainerError::Compile {
+            .ok_or_else(|| SourceContainerError::UnknownSource {
                 file: command.file.clone(),
-                error,
             })?;
+        let flags = CompileFlags::parse(command.arguments.iter().cloned());
+        // The preprocess output is the *preprocessed-content* digest (the cache
+        // contract): it folds in the headers the compiler resolves, so caches shared
+        // across projects can never serve code built against different header
+        // definitions.
+        let preprocess_action = preprocess.action_for(
+            &mut stage_a,
+            &compiler,
+            &command.file,
+            &source.content,
+            &flags,
+            |file, error| SourceContainerError::Compile { file, error },
+        );
+        plans.push(CommandPlan {
+            target: command.target.as_str(),
+            file: command.file.as_str(),
+            content: source.content.as_str(),
+            flags,
+            preprocess_action,
+        });
+    }
+    let run_a = engine.run(stage_a);
+    let (outputs_a, mut trace) = run_a.into_outputs()?;
+
+    // ---- Graph B: compile each deduplicated unit, then link + commit ----
+    // Declared before the graph: its closures borrow these.
+    let assembled: LinkSlot<Image> = LinkSlot::new();
+    // Per-command position of its compile action within `compile_actions` (identical
+    // BuildKeys share one action — the graph contract is one node per key).
+    let mut command_positions: Vec<usize> = Vec::with_capacity(plans.len());
+    // One representative source file per compile action (for decode error messages).
+    let mut representative_files: Vec<&str> = Vec::new();
+    let mut stage_b: ActionGraph<'_, SourceContainerError> = ActionGraph::new();
+    let mut compile_actions: Vec<ActionId> = Vec::new();
+    let mut position_by_build_key: BTreeMap<String, usize> = BTreeMap::new();
+    for plan in &plans {
+        let digest = String::from_utf8_lossy(&outputs_a[plan.preprocess_action]).into_owned();
         let key = BuildKey::new(
-            preprocessed.content_digest(),
+            digest,
             &target.name,
-            format!("file={};{}", command.file, flags.ir_relevant_key()),
+            format!("file={};{}", plan.file, plan.flags.ir_relevant_key()),
             TOOLCHAIN_ID,
         );
-        let (bytes, hit) = cache.get_or_compute(&key, || -> Result<_, SourceContainerError> {
-            let machine = compiler
-                .compile_to_machine(&command.file, &source.content, &flags, &target)
-                .map_err(|error| SourceContainerError::Compile {
-                    file: command.file.clone(),
-                    error,
-                })?;
-            Ok(serde_json::to_vec(&machine).expect("machine module serialises"))
-        })?;
-        if hit {
-            actions.cached += 1;
-        } else {
-            actions.executed += 1;
+        let key_digest = key.digest().as_str().to_string();
+        if let Some(&position) = position_by_build_key.get(&key_digest) {
+            command_positions.push(position);
+            continue;
         }
-        // The cached bytes *are* the canonical object serialisation; decode only to
-        // validate them before shipping.
-        serde_json::from_slice::<MachineModule>(&bytes).map_err(|e| {
-            SourceContainerError::Cache(format!("machine module for {}: {e}", command.file))
-        })?;
-        compiled_units += 1;
-        build_layer.add_file(
-            format!(
-                "{}/{}/{}.o",
-                paths::BUILD_ROOT,
-                command.target,
-                command.file.replace('/', "_")
-            ),
-            bytes,
+        let compiler = &compiler;
+        let target = &target;
+        let (file, content, flags) = (plan.file, plan.content, &plan.flags);
+        let id = stage_b.add_cached(
+            ActionKind::SdCompile,
+            file.to_string(),
+            key,
+            &[],
+            move |_| {
+                let machine = compiler
+                    .compile_to_machine(file, content, flags, target)
+                    .map_err(|error| SourceContainerError::Compile {
+                        file: file.to_string(),
+                        error,
+                    })?;
+                Ok(serde_json::to_vec(&machine).expect("machine module serialises"))
+            },
         );
+        position_by_build_key.insert(key_digest, compile_actions.len());
+        command_positions.push(compile_actions.len());
+        representative_files.push(plan.file);
+        compile_actions.push(id);
     }
-    for target_spec in &project.targets {
-        build_layer.add_executable(
-            format!("{}/bin/{}", paths::INSTALL_ROOT, target_spec.name),
-            format!("linked for {} ({})", system.name, target.name).into_bytes(),
-        );
-    }
-    deployed.push_layer(build_layer);
-    store.commit(&deployed);
+
+    let link_action = {
+        let assembled = &assembled;
+        let plans = &plans;
+        let command_positions = &command_positions;
+        let representative_files = &representative_files;
+        let reference = reference.as_str();
+        let assignment = &assignment;
+        let target = &target;
+        stage_b.add(
+            ActionKind::Link,
+            format!("{reference} image"),
+            &compile_actions,
+            move |inputs| {
+                // The cached bytes *are* the canonical object serialisation; decode
+                // only to validate them before shipping.
+                for (position, file) in representative_files.iter().enumerate() {
+                    serde_json::from_slice::<MachineModule>(inputs.dep(position)).map_err(|e| {
+                        SourceContainerError::Cache(format!("machine module for {file}: {e}"))
+                    })?;
+                }
+
+                let mut deployed = Image::derive_from(source_image, reference);
+                deployed.platform = Platform::linux(architecture_of(system));
+                deployed.set_deployment_format(DeploymentFormat::Binary);
+                deployed.annotate(annotation_keys::SELECTED_CONFIGURATION, assignment.label());
+                deployed.annotate(annotation_keys::TARGET_SYSTEM, system.name.clone());
+                deployed.annotate("dev.xaas.base-image", base_reference);
+
+                let mut build_layer =
+                    Layer::new(format!("RUN xmake build ({})", assignment.label()));
+                for (plan, &position) in plans.iter().zip(command_positions) {
+                    build_layer.add_file(
+                        format!(
+                            "{}/{}/{}.o",
+                            paths::BUILD_ROOT,
+                            plan.target,
+                            plan.file.replace('/', "_")
+                        ),
+                        inputs.dep(position).to_vec(),
+                    );
+                }
+                for target_spec in &project.targets {
+                    build_layer.add_executable(
+                        format!("{}/bin/{}", paths::INSTALL_ROOT, target_spec.name),
+                        format!("linked for {} ({})", system.name, target.name).into_bytes(),
+                    );
+                }
+                deployed.push_layer(build_layer);
+                assembled.put(deployed);
+                Ok(Vec::new())
+            },
+        )
+    };
+    add_commit_action(
+        &mut stage_b,
+        format!("{reference} commit"),
+        engine.store(),
+        &assembled,
+        |image| image,
+        link_action,
+    );
+
+    let run_b = engine.run(stage_b);
+    let (_, trace_b) = run_b.into_outputs()?;
+    trace.merge(trace_b);
+    let deployed = assembled.into_inner().expect("link action ran");
+    let compiled_units = plans.len();
 
     let mut final_profile = build_profile;
     final_profile.simd = simd;
+    let actions = trace.summary();
     Ok(SourceDeployment {
         image: deployed,
         reference,
@@ -374,6 +509,7 @@ pub fn deploy_source_container_cached(
         build_profile: final_profile,
         notes,
         actions,
+        trace,
     })
 }
 

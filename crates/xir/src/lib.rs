@@ -125,6 +125,15 @@ impl CompileFlags {
         self.opt.unwrap_or(OptLevel::O2)
     }
 
+    /// A copy of the flags with the delayed ISA/tuning flags removed — the flag set a
+    /// target-independent IR compile actually uses (the delayed flags are applied at
+    /// deployment-time lowering instead).
+    pub fn without_delayed_target_flags(&self) -> CompileFlags {
+        let mut flags = self.clone();
+        flags.delayed_target_flags.clear();
+        flags
+    }
+
     /// Definitions as a [`Definitions`] set.
     pub fn definition_set(&self) -> Definitions {
         Definitions::from_flags(self.definitions.iter().map(String::as_str))
@@ -410,5 +419,19 @@ kernel void extra(float* x) { x[0] = 1.0; }
     fn default_opt_level_is_o2() {
         let flags = CompileFlags::default();
         assert_eq!(flags.opt_level(), OptLevel::O2);
+    }
+
+    #[test]
+    fn without_delayed_target_flags_keeps_ir_relevant_flags() {
+        let flags = CompileFlags::parse(
+            ["-O3", "-DA", "-fopenmp", "-mavx512f"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        let stripped = flags.without_delayed_target_flags();
+        assert!(stripped.delayed_target_flags.is_empty());
+        assert_eq!(stripped.ir_relevant_key(), flags.ir_relevant_key());
+        assert_eq!(stripped.definitions, flags.definitions);
+        assert!(stripped.openmp);
     }
 }

@@ -1,0 +1,228 @@
+//! Integration tests of the staged action-graph engine: every pipeline entry point
+//! executes through one shared executor, parallel and serial schedules produce
+//! byte-identical artifacts, and cache backends only change *when* work runs — never
+//! what it produces.
+
+use std::sync::Arc;
+use xaas::engine::ActionKind;
+use xaas::prelude::*;
+use xaas_apps::{gromacs, lulesh};
+use xaas_buildsys::OptionAssignment;
+use xaas_container::{ActionCache, ImageStore};
+use xaas_hpcsim::{SimdLevel, SystemModel};
+
+fn gromacs_sweep(project: &xaas_buildsys::ProjectSpec) -> IrPipelineConfig {
+    IrPipelineConfig::sweep_options(project, &["GMX_SIMD", "GMX_GPU"])
+        .with_values("GMX_SIMD", &["SSE4.1", "AVX_512"])
+        .with_values("GMX_GPU", &["OFF", "CUDA"])
+}
+
+/// A multi-configuration IR build with ≥ 2 workers is byte-identical to the
+/// single-threaded run — same image, same store digest, same trace — while the DAG
+/// needs far fewer serial wall-clock stages than the seed path's one-action-at-a-time
+/// schedule.
+#[test]
+fn parallel_ir_build_is_byte_identical_to_serial_with_fewer_serial_stages() {
+    let project = gromacs::project();
+    let pipeline = gromacs_sweep(&project);
+    let reference = "engine:parallel-vs-serial";
+
+    let serial_store = ImageStore::new();
+    let serial_engine = Engine::uncached(&serial_store).with_workers(1);
+    let serial = build_ir_container_with(&project, &pipeline, &serial_engine, reference).unwrap();
+
+    let parallel_store = ImageStore::new();
+    let parallel_engine = Engine::uncached(&parallel_store).with_workers(4);
+    let parallel =
+        build_ir_container_with(&project, &pipeline, &parallel_engine, reference).unwrap();
+
+    // Byte identity: layers, units, stats, and the committed manifest digest.
+    assert_eq!(parallel.image.layers, serial.image.layers);
+    assert_eq!(parallel.units, serial.units);
+    assert_eq!(parallel.stats, serial.stats);
+    assert_eq!(
+        serial_store.resolve(reference).unwrap(),
+        parallel_store.resolve(reference).unwrap()
+    );
+    // The traces are equal record for record (node order is scheduling-independent).
+    assert_eq!(parallel.trace, serial.trace);
+    assert_eq!(parallel.trace.action_set(), serial.trace.action_set());
+    // The engine's DAG collapses the seed path's serial schedule into a few waves.
+    assert!(
+        parallel.trace.stage_depth >= 3,
+        "preprocess → lower → link → commit"
+    );
+    assert!(
+        parallel.trace.stage_depth < serial.trace.len() / 4,
+        "stage depth {} should be far below the {} serial actions",
+        parallel.trace.stage_depth,
+        serial.trace.len()
+    );
+}
+
+/// `NoCache` and a warm `ActionCache` produce identical images: the cache may only
+/// save work, never change outputs.
+#[test]
+fn nocache_and_warm_action_cache_builds_are_identical() {
+    let project = lulesh::project();
+    let pipeline = IrPipelineConfig::sweep_options(&project, &["WITH_MPI", "WITH_OPENMP"]);
+    let reference = "engine:nocache-vs-warm";
+
+    let uncached_store = ImageStore::new();
+    let uncached = build_ir_container_with(
+        &project,
+        &pipeline,
+        &Engine::uncached(&uncached_store),
+        reference,
+    )
+    .unwrap();
+
+    let cached_store = ImageStore::new();
+    let cache = ActionCache::new(cached_store.clone());
+    let engine = Engine::cached(&cache);
+    let cold = build_ir_container_with(&project, &pipeline, &engine, reference).unwrap();
+    let warm = build_ir_container_with(&project, &pipeline, &engine, reference).unwrap();
+
+    assert_eq!(warm.actions.executed, 0, "warm build compiles nothing");
+    assert_eq!(warm.actions.cached, cold.actions.executed);
+    assert_eq!(uncached.actions.cached, 0, "NoCache never hits");
+    assert_eq!(uncached.actions.executed, cold.actions.executed);
+    for other in [&cold, &warm] {
+        assert_eq!(other.image.layers, uncached.image.layers);
+        assert_eq!(other.units, uncached.units);
+        assert_eq!(other.stats, uncached.stats);
+    }
+    assert_eq!(
+        uncached_store.resolve(reference).unwrap(),
+        cached_store.resolve(reference).unwrap()
+    );
+    // Identical action sets; only the `cached` flags differ between cold and warm.
+    assert_eq!(cold.trace.action_set(), warm.trace.action_set());
+    assert_eq!(uncached.trace.action_set(), cold.trace.action_set());
+    assert_ne!(cold.trace, warm.trace);
+}
+
+/// Every pipeline — IR build, IR deploy, source deploy — leaves a trace with the
+/// pipeline's stages, ending in link + commit, and the deployment traces are
+/// identical across worker counts.
+#[test]
+fn all_pipelines_execute_through_the_engine_with_staged_traces() {
+    let project = gromacs::project();
+    let store = ImageStore::new();
+    let pipeline = gromacs_sweep(&project);
+    let build = build_ir_container(&project, &pipeline, &store, "engine:stages").unwrap();
+    let kinds = build.trace.by_kind();
+    for kind in [
+        ActionKind::Preprocess,
+        ActionKind::OpenMpDetect,
+        ActionKind::IrLower,
+        ActionKind::Link,
+        ActionKind::Commit,
+    ] {
+        assert!(kinds.contains_key(&kind), "build trace misses {kind}");
+    }
+    assert_eq!(kinds[&ActionKind::Link], 1);
+    assert_eq!(kinds[&ActionKind::Commit], 1);
+
+    let system = SystemModel::ault23();
+    let selection = OptionAssignment::new()
+        .with("GMX_SIMD", "AVX_512")
+        .with("GMX_GPU", "OFF");
+    let deploy_serial = deploy_ir_container_with(
+        &build,
+        &project,
+        &system,
+        &selection,
+        SimdLevel::Avx512,
+        &Engine::uncached(&ImageStore::new()).with_workers(1),
+    )
+    .unwrap();
+    let deploy_parallel = deploy_ir_container_with(
+        &build,
+        &project,
+        &system,
+        &selection,
+        SimdLevel::Avx512,
+        &Engine::uncached(&ImageStore::new()).with_workers(4),
+    )
+    .unwrap();
+    assert_eq!(deploy_parallel.trace, deploy_serial.trace);
+    assert_eq!(deploy_parallel.image.layers, deploy_serial.image.layers);
+    assert!(deploy_parallel.trace.by_kind()[&ActionKind::MachineLower] > 0);
+
+    let source_image = build_source_container(&project, Architecture::Amd64, &store, "engine:src");
+    let source_deploy = deploy_source_container_with(
+        &project,
+        &source_image,
+        &system,
+        &OptionAssignment::new(),
+        SelectionPolicy::BestAvailable,
+        &Engine::uncached(&ImageStore::new()).with_workers(3),
+    )
+    .unwrap();
+    let source_kinds = source_deploy.trace.by_kind();
+    assert!(source_kinds[&ActionKind::Preprocess] > 0);
+    assert!(source_kinds[&ActionKind::SdCompile] > 0);
+    assert_eq!(source_kinds[&ActionKind::Commit], 1);
+}
+
+/// The fleet specializer submits every job to the shared engine: systems sharing an
+/// ISA share every machine-lower action through the one cache, and the per-job traces
+/// carry the engine's stages.
+#[test]
+fn fleet_jobs_flow_through_the_shared_engine() {
+    let project = gromacs::project();
+    let cache = ActionCache::new(ImageStore::new());
+    let pipeline = IrPipelineConfig::sweep_options(&project, &["GMX_SIMD"])
+        .with_values("GMX_SIMD", &["SSE4.1", "AVX_512"]);
+    let build = build_ir_container_cached(&project, &pipeline, &cache, "engine:fleet").unwrap();
+    let selection = OptionAssignment::new().with("GMX_SIMD", "AVX_512");
+    let requests = vec![
+        FleetRequest::new(SystemModel::ault23(), selection.clone(), SimdLevel::Avx512),
+        FleetRequest::new(SystemModel::ault01_04(), selection, SimdLevel::Avx512),
+    ];
+    let specializer = FleetSpecializer::new(cache).with_workers(4);
+    let report = specializer.specialize_fleet(&build, &project, &requests);
+    assert!(report.all_succeeded());
+    let deployments: Vec<_> = report.deployments().collect();
+    assert_eq!(deployments.len(), 2);
+    // Same ISA ⇒ identical lower/compile action identities (link/commit identities
+    // differ: they carry the system-specific image reference), second job all-cached.
+    let keyed = |deployment: &IrDeployment| -> std::collections::BTreeSet<String> {
+        deployment
+            .trace
+            .records
+            .iter()
+            .filter(|r| r.key_digest.is_some())
+            .map(|r| r.identity())
+            .collect()
+    };
+    assert_eq!(keyed(deployments[0]), keyed(deployments[1]));
+    assert_eq!(deployments[1].actions.executed, 0);
+    assert_eq!(
+        deployments[1].actions.cached,
+        deployments[0].actions.total()
+    );
+    for deployment in deployments {
+        assert_eq!(deployment.trace.by_kind()[&ActionKind::Commit], 1);
+    }
+}
+
+/// The engine is usable directly for ad-hoc staged work, sharing the cache with the
+/// pipelines (a sanity check that the public graph API composes).
+#[test]
+fn ad_hoc_graphs_share_the_pipeline_cache() {
+    let store = ImageStore::new();
+    let cache = ActionCache::new(store.clone());
+    let engine = Engine::new(Arc::new(cache.clone())).with_workers(2);
+    let mut graph: ActionGraph<'_, std::convert::Infallible> = ActionGraph::new();
+    let key = xaas_container::BuildKey::new("tu-adhoc", "xir.ir", "opts", TOOLCHAIN_ID);
+    let first = graph.add_cached(ActionKind::IrLower, "adhoc", key.clone(), &[], |_| {
+        Ok(b"artifact".to_vec())
+    });
+    let run = engine.run(graph);
+    assert_eq!(run.output(first), Some(&b"artifact"[..]));
+    // The artifact is now visible to any pipeline sharing the cache.
+    assert!(cache.contains(&key));
+    assert_eq!(cache.peek(&key).unwrap(), b"artifact");
+}

@@ -169,6 +169,86 @@ proptest! {
         }
     }
 
+    /// Engine-schedule independence: for arbitrary option sweeps and worker counts,
+    /// the parallel engine build is byte-identical to the single-threaded run — same
+    /// committed image digest, same `ActionTrace` (records *and* action set), same
+    /// units and stats. Parallelism may only change wall-clock, never outputs.
+    #[test]
+    fn parallel_engine_builds_match_single_threaded_runs(
+        sweep_simd in proptest::sample::subsequence(vec!["SSE4.1", "AVX_256", "AVX_512"], 1..=3),
+        sweep_gpu in proptest::sample::subsequence(vec!["OFF", "CUDA"], 1..=2),
+        workers in 2usize..6,
+    ) {
+        let project = xaas_apps::gromacs::project();
+        let config = IrPipelineConfig::sweep_options(&project, &["GMX_SIMD", "GMX_GPU"])
+            .with_values("GMX_SIMD", &sweep_simd)
+            .with_values("GMX_GPU", &sweep_gpu);
+        let reference = "prop:engine";
+        let serial_store = ImageStore::new();
+        let serial = build_ir_container_with(
+            &project,
+            &config,
+            &Engine::uncached(&serial_store).with_workers(1),
+            reference,
+        )
+        .unwrap();
+        let parallel_store = ImageStore::new();
+        let parallel = build_ir_container_with(
+            &project,
+            &config,
+            &Engine::uncached(&parallel_store).with_workers(workers),
+            reference,
+        )
+        .unwrap();
+        prop_assert_eq!(
+            serial_store.resolve(reference).unwrap(),
+            parallel_store.resolve(reference).unwrap()
+        );
+        prop_assert_eq!(&parallel.image.layers, &serial.image.layers);
+        prop_assert_eq!(&parallel.units, &serial.units);
+        prop_assert_eq!(&parallel.stats, &serial.stats);
+        prop_assert_eq!(&parallel.trace, &serial.trace);
+        prop_assert_eq!(parallel.trace.action_set(), serial.trace.action_set());
+        prop_assert!(parallel.trace.stage_depth < serial.trace.len());
+    }
+
+    /// Cache-backend independence: a `NoCache` build and a warm `ActionCache` build
+    /// of the same sweep produce identical images (and identical action sets — only
+    /// the cached flags differ).
+    #[test]
+    fn nocache_and_warm_cache_builds_produce_identical_images(
+        sweep_simd in proptest::sample::subsequence(vec!["SSE4.1", "AVX2_128", "AVX_512"], 1..=3),
+    ) {
+        let project = xaas_apps::gromacs::project();
+        let config = IrPipelineConfig::sweep_options(&project, &["GMX_SIMD"])
+            .with_values("GMX_SIMD", &sweep_simd);
+        let reference = "prop:backends";
+        let uncached_store = ImageStore::new();
+        let uncached = build_ir_container_with(
+            &project,
+            &config,
+            &Engine::uncached(&uncached_store),
+            reference,
+        )
+        .unwrap();
+        let cached_store = ImageStore::new();
+        let cache = ActionCache::new(cached_store.clone());
+        let engine = Engine::cached(&cache);
+        let cold = build_ir_container_with(&project, &config, &engine, reference).unwrap();
+        let warm = build_ir_container_with(&project, &config, &engine, reference).unwrap();
+        prop_assert_eq!(warm.actions.executed, 0);
+        prop_assert_eq!(warm.actions.cached, cold.actions.executed);
+        prop_assert_eq!(uncached.actions.cached, 0);
+        prop_assert_eq!(&cold.image.layers, &uncached.image.layers);
+        prop_assert_eq!(&warm.image.layers, &uncached.image.layers);
+        prop_assert_eq!(
+            uncached_store.resolve(reference).unwrap(),
+            cached_store.resolve(reference).unwrap()
+        );
+        prop_assert_eq!(warm.trace.action_set(), cold.trace.action_set());
+        prop_assert_eq!(uncached.trace.action_set(), cold.trace.action_set());
+    }
+
     /// Action-cache soundness: for arbitrary option sweeps, a warm-cache
     /// `deploy_ir_container` produces byte-identical artifacts and identical
     /// `DeploymentStats` to a cold build — the cache may only save work, never
