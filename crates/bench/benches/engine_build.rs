@@ -1,11 +1,14 @@
 //! Action-graph engine benchmark: the same multi-configuration IR-container build
 //! executed serially (1 worker — the pre-engine pipeline's schedule) and with the
-//! work-stealing worker pool, plus the warm-cache steady state.
+//! worker pool, plus the warm-cache steady state, and a `Fifo` vs
+//! `CriticalPathFirst` scheduling-policy comparison on the GROMACS deployment.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use xaas::engine::ActionKind;
 use xaas::prelude::*;
 use xaas_container::{ActionCache, ImageStore};
+use xaas_hpcsim::{SimdLevel, SystemModel};
 
 fn sweep(project: &xaas_buildsys::ProjectSpec) -> IrPipelineConfig {
     IrPipelineConfig::sweep_options(project, &["GMX_SIMD", "GMX_GPU"])
@@ -15,7 +18,8 @@ fn sweep(project: &xaas_buildsys::ProjectSpec) -> IrPipelineConfig {
 
 fn bench_engine(c: &mut Criterion) {
     // The experiment JSON is the artifact the acceptance criteria ask for: action
-    // counts, stage depths, and the wall-clock speedup of parallel vs serial builds.
+    // counts, stage depths, the wall-clock speedup of parallel vs serial builds,
+    // and the Fifo vs CriticalPathFirst comparison.
     let experiment = xaas_bench::engine_parallelism();
     println!(
         "{}",
@@ -28,30 +32,94 @@ fn bench_engine(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine/ir_build");
     group.bench_function("serial_1_worker", |b| {
         b.iter(|| {
-            let engine = Engine::uncached(&ImageStore::new()).with_workers(1);
+            let orch = Orchestrator::builder()
+                .uncached(ImageStore::new())
+                .workers(1)
+                .build();
             black_box(
-                build_ir_container_with(&project, &pipeline, &engine, "bench:engine-serial")
+                IrBuildRequest::new(&project, &pipeline)
+                    .reference("bench:engine-serial")
+                    .submit(&orch)
                     .unwrap(),
             );
         });
     });
     group.bench_function("parallel_4_workers", |b| {
         b.iter(|| {
-            let engine = Engine::uncached(&ImageStore::new()).with_workers(4);
+            let orch = Orchestrator::builder()
+                .uncached(ImageStore::new())
+                .workers(4)
+                .build();
             black_box(
-                build_ir_container_with(&project, &pipeline, &engine, "bench:engine-parallel")
+                IrBuildRequest::new(&project, &pipeline)
+                    .reference("bench:engine-parallel")
+                    .submit(&orch)
                     .unwrap(),
             );
         });
     });
     // Steady state: every compile action served from the shared cache.
     let cache = ActionCache::new(ImageStore::new());
-    let warm_engine = Engine::cached(&cache).with_workers(4);
-    build_ir_container_with(&project, &pipeline, &warm_engine, "bench:engine-warm").unwrap();
+    let warm_orch = Orchestrator::builder()
+        .action_cache(cache)
+        .workers(4)
+        .build();
+    IrBuildRequest::new(&project, &pipeline)
+        .reference("bench:engine-warm")
+        .submit(&warm_orch)
+        .unwrap();
     group.bench_function("parallel_warm_cache", |b| {
         b.iter(|| {
             black_box(
-                build_ir_container_with(&project, &pipeline, &warm_engine, "bench:engine-warm")
+                IrBuildRequest::new(&project, &pipeline)
+                    .reference("bench:engine-warm")
+                    .submit(&warm_orch)
+                    .unwrap(),
+            );
+        });
+    });
+    group.finish();
+
+    // Scheduling policies on the deployment graph (mixed machine-lower/sd-compile
+    // frontier): Fifo vs CriticalPathFirst with one bounded sd-compile slot.
+    let mpi_pipeline = IrPipelineConfig::sweep_options(&project, &["GMX_SIMD", "GMX_MPI"])
+        .with_values("GMX_SIMD", &["SSE4.1", "AVX_512"]);
+    let build_orch = Orchestrator::new();
+    let build = IrBuildRequest::new(&project, &mpi_pipeline)
+        .reference("bench:policy-ir")
+        .submit(&build_orch)
+        .unwrap();
+    let system = SystemModel::ault23();
+    let mut group = c.benchmark_group("engine/scheduling_policy");
+    group.bench_function("deploy_fifo", |b| {
+        b.iter(|| {
+            let orch = Orchestrator::builder()
+                .uncached(ImageStore::new())
+                .workers(4)
+                .build();
+            black_box(
+                IrDeployRequest::new(&build, &project, &system)
+                    .select("GMX_SIMD", "AVX_512")
+                    .select("GMX_MPI", "ON")
+                    .simd(SimdLevel::Avx512)
+                    .submit(&orch)
+                    .unwrap(),
+            );
+        });
+    });
+    group.bench_function("deploy_critical_path_first_capped_sd", |b| {
+        b.iter(|| {
+            let orch = Orchestrator::builder()
+                .uncached(ImageStore::new())
+                .workers(4)
+                .policy(CriticalPathFirst::new().with_cap(ActionKind::SdCompile, 1))
+                .build();
+            black_box(
+                IrDeployRequest::new(&build, &project, &system)
+                    .select("GMX_SIMD", "AVX_512")
+                    .select("GMX_MPI", "ON")
+                    .simd(SimdLevel::Avx512)
+                    .submit(&orch)
                     .unwrap(),
             );
         });

@@ -6,7 +6,6 @@ use std::hint::black_box;
 use xaas::prelude::*;
 use xaas_apps::gromacs;
 use xaas_bench::{figure10, render};
-use xaas_buildsys::OptionAssignment;
 use xaas_container::{Architecture, ImageStore};
 use xaas_hpcsim::SystemModel;
 
@@ -34,18 +33,13 @@ fn bench_figure10(c: &mut Criterion) {
             |b, system| {
                 b.iter(|| {
                     let store = ImageStore::new();
+                    let orch = Orchestrator::uncached(&store);
                     let image =
                         build_source_container(&project, Architecture::Amd64, &store, "bench:src");
                     black_box(
-                        deploy_source_container(
-                            &project,
-                            &image,
-                            system,
-                            &OptionAssignment::new(),
-                            SelectionPolicy::BestAvailable,
-                            &store,
-                        )
-                        .unwrap(),
+                        SourceDeployRequest::new(&project, &image, system)
+                            .submit(&orch)
+                            .unwrap(),
                     )
                 });
             },

@@ -31,7 +31,11 @@ fn bench_figure12(c: &mut Criterion) {
         "GMX_SIMD",
         &["SSE4.1", "AVX2_128", "AVX_256", "AVX2_256", "AVX_512"],
     );
-    let build = build_ir_container(&project, &pipeline, &store, "bench:ir").unwrap();
+    let orch = Orchestrator::uncached(&store);
+    let build = IrBuildRequest::new(&project, &pipeline)
+        .reference("bench:ir")
+        .submit(&orch)
+        .unwrap();
     let system = SystemModel::ault01_04();
     let mut group = c.benchmark_group("fig12/deploy_ir_per_isa");
     for level in [SimdLevel::Sse41, SimdLevel::Avx256, SimdLevel::Avx512] {
@@ -42,7 +46,10 @@ fn bench_figure12(c: &mut Criterion) {
                 let selection = OptionAssignment::new().with("GMX_SIMD", level.gmx_name());
                 b.iter(|| {
                     black_box(
-                        deploy_ir_container(&build, &project, &system, &selection, level, &store)
+                        IrDeployRequest::new(&build, &project, &system)
+                            .selection(selection.clone())
+                            .simd(level)
+                            .submit(&orch)
                             .unwrap(),
                     )
                 });
@@ -56,15 +63,9 @@ fn bench_figure12(c: &mut Criterion) {
         let image = build_source_container(&project, Architecture::Amd64, &store, "bench:src");
         b.iter(|| {
             black_box(
-                deploy_source_container(
-                    &project,
-                    &image,
-                    &system,
-                    &OptionAssignment::new(),
-                    SelectionPolicy::BestAvailable,
-                    &store,
-                )
-                .unwrap(),
+                SourceDeployRequest::new(&project, &image, &system)
+                    .submit(&orch)
+                    .unwrap(),
             )
         });
     });

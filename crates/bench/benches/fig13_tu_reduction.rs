@@ -13,6 +13,7 @@ fn bench_tu_reduction(c: &mut Criterion) {
     let gromacs_project = gromacs::project();
     let lulesh_project = lulesh::project();
     let store = ImageStore::new();
+    let orch = Orchestrator::uncached(&store);
 
     let mut group = c.benchmark_group("fig13/pipeline");
     group.bench_function("gromacs_5_isa_sweep", |b| {
@@ -21,13 +22,23 @@ fn bench_tu_reduction(c: &mut Criterion) {
             &["SSE4.1", "AVX2_128", "AVX_256", "AVX2_256", "AVX_512"],
         );
         b.iter(|| {
-            black_box(build_ir_container(&gromacs_project, &config, &store, "b:isa").unwrap())
+            black_box(
+                IrBuildRequest::new(&gromacs_project, &config)
+                    .reference("b:isa")
+                    .submit(&orch)
+                    .unwrap(),
+            )
         });
     });
     group.bench_function("lulesh_mpi_openmp_sweep", |b| {
         let config = IrPipelineConfig::sweep_options(&lulesh_project, &["WITH_MPI", "WITH_OPENMP"]);
         b.iter(|| {
-            black_box(build_ir_container(&lulesh_project, &config, &store, "b:lulesh").unwrap())
+            black_box(
+                IrBuildRequest::new(&lulesh_project, &config)
+                    .reference("b:lulesh")
+                    .submit(&orch)
+                    .unwrap(),
+            )
         });
     });
     group.finish();
@@ -46,7 +57,12 @@ fn bench_tu_reduction(c: &mut Criterion) {
             config.stages.vectorization_delay = vectorization_delay;
             config.stages.openmp_detection = openmp_detection;
             b.iter(|| {
-                black_box(build_ir_container(&gromacs_project, &config, &store, "b:abl").unwrap())
+                black_box(
+                    IrBuildRequest::new(&gromacs_project, &config)
+                        .reference("b:abl")
+                        .submit(&orch)
+                        .unwrap(),
+                )
             });
         });
     }

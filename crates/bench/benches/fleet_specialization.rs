@@ -1,5 +1,5 @@
 //! Fleet-specialization benchmark: cold per-system deployments vs the concurrent
-//! `FleetSpecializer` over a shared content-addressed action cache, across the four
+//! fleet request over a shared content-addressed action cache, across the four
 //! paper systems (Ault23, Ault25, Ault01-04, Clariden).
 
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -11,7 +11,7 @@ use xaas_buildsys::OptionAssignment;
 use xaas_container::{ActionCache, ImageStore};
 use xaas_hpcsim::SystemModel;
 
-fn fleet_requests() -> Vec<FleetRequest> {
+fn fleet_targets() -> Vec<FleetTarget> {
     [
         SystemModel::ault23(),
         SystemModel::ault25(),
@@ -21,7 +21,7 @@ fn fleet_requests() -> Vec<FleetRequest> {
     .into_iter()
     .map(|system| {
         let simd = system.cpu.best_simd();
-        FleetRequest::new(
+        FleetTarget::new(
             system,
             OptionAssignment::new().with("GMX_SIMD", simd.gmx_name()),
             simd,
@@ -41,42 +41,54 @@ fn bench_fleet(c: &mut Criterion) {
 
     let project = gromacs::project();
     let store = ImageStore::new();
+    let orch = Orchestrator::uncached(&store);
     let pipeline = IrPipelineConfig::sweep_options(&project, &["GMX_SIMD"]).with_values(
         "GMX_SIMD",
         &["SSE4.1", "AVX2_256", "AVX_512", "ARM_NEON_ASIMD"],
     );
-    let build = build_ir_container(&project, &pipeline, &store, "bench:fleet").unwrap();
-    let requests = fleet_requests();
+    let build = IrBuildRequest::new(&project, &pipeline)
+        .reference("bench:fleet")
+        .submit(&orch)
+        .unwrap();
+    let targets = fleet_targets();
 
     let mut group = c.benchmark_group("fleet/specialization");
     group.bench_function("cold_independent_deployments", |b| {
         b.iter(|| {
-            for request in &requests {
+            for target in &targets {
                 black_box(
-                    deploy_ir_container(
-                        &build,
-                        &project,
-                        &request.system,
-                        &request.selection,
-                        request.simd,
-                        &store,
-                    )
-                    .unwrap(),
+                    IrDeployRequest::new(&build, &project, &target.system)
+                        .selection(target.selection.clone())
+                        .simd(target.simd)
+                        .submit(&orch)
+                        .unwrap(),
                 );
             }
         });
     });
     group.bench_function("fleet_shared_cache", |b| {
         b.iter(|| {
-            let specializer = FleetSpecializer::new(ActionCache::new(store.clone()));
-            black_box(specializer.specialize_fleet(&build, &project, &requests));
+            let session = Orchestrator::with_cache(&ActionCache::new(store.clone()));
+            black_box(
+                FleetRequest::new(&build, &project)
+                    .targets(targets.iter().cloned())
+                    .submit(&session),
+            );
         });
     });
     // Steady state: the cache already holds every action of the fleet.
-    let warm = FleetSpecializer::new(ActionCache::new(store.clone()));
-    warm.specialize_fleet(&build, &project, &requests);
+    let warm = Orchestrator::with_cache(&ActionCache::new(store.clone()));
+    FleetRequest::new(&build, &project)
+        .targets(targets.iter().cloned())
+        .submit(&warm);
     group.bench_function("fleet_warm_cache", |b| {
-        b.iter(|| black_box(warm.specialize_fleet(&build, &project, &requests)));
+        b.iter(|| {
+            black_box(
+                FleetRequest::new(&build, &project)
+                    .targets(targets.iter().cloned())
+                    .submit(&warm),
+            )
+        });
     });
     group.finish();
 }

@@ -36,6 +36,34 @@ pub struct FigurePanel {
     pub bars: Vec<TimingBar>,
 }
 
+/// Build an IR container through a fresh uncached orchestrator session over `store`
+/// (the historical free-function shape of the experiments).
+fn ir_build(
+    project: &xaas_buildsys::ProjectSpec,
+    config: &IrPipelineConfig,
+    store: &ImageStore,
+    reference: &str,
+) -> Result<IrContainerBuild, IrPipelineError> {
+    IrBuildRequest::new(project, config)
+        .reference(reference)
+        .submit(&Orchestrator::uncached(store))
+}
+
+/// Deploy an IR container through a fresh uncached orchestrator session over `store`.
+fn ir_deploy(
+    build: &IrContainerBuild,
+    project: &xaas_buildsys::ProjectSpec,
+    system: &SystemModel,
+    selection: &OptionAssignment,
+    simd: SimdLevel,
+    store: &ImageStore,
+) -> Result<IrDeployment, DeployError> {
+    IrDeployRequest::new(build, project, system)
+        .selection(selection.clone())
+        .simd(simd)
+        .submit(&Orchestrator::uncached(store))
+}
+
 fn run_bars(
     system: &SystemModel,
     workload: &Workload,
@@ -228,15 +256,9 @@ pub fn figure10() -> Vec<FigurePanel> {
             &store,
             &format!("spcl/mini-gromacs:src-{}", system.name.to_ascii_lowercase()),
         );
-        let deployment = deploy_source_container(
-            &project,
-            &source_image,
-            &system,
-            &OptionAssignment::new(),
-            SelectionPolicy::BestAvailable,
-            &store,
-        )
-        .expect("source deployment succeeds");
+        let deployment = SourceDeployRequest::new(&project, &source_image, &system)
+            .submit(&Orchestrator::uncached(&store))
+            .expect("source deployment succeeds");
         let mut profiles =
             xaas_apps::make_executable(xaas_apps::gromacs_baselines(&system), &system);
         // Replace the static "XaaS Source" stand-in with the profile of the real deployment.
@@ -289,7 +311,7 @@ pub fn figure12_cpu() -> Vec<FigurePanel> {
         "GMX_SIMD",
         &["SSE4.1", "AVX2_128", "AVX_256", "AVX2_256", "AVX_512"],
     );
-    let build = build_ir_container(&project, &pipeline, &store, "spcl/mini-gromacs:ir-x86")
+    let build = ir_build(&project, &pipeline, &store, "spcl/mini-gromacs:ir-x86")
         .expect("IR container builds");
     let levels = [
         SimdLevel::Sse41,
@@ -314,9 +336,8 @@ pub fn figure12_cpu() -> Vec<FigurePanel> {
         );
         for &level in &levels {
             let selection = OptionAssignment::new().with("GMX_SIMD", level.gmx_name());
-            let deployment =
-                deploy_ir_container(&build, &project, &system, &selection, level, &store)
-                    .expect("IR deployment succeeds");
+            let deployment = ir_deploy(&build, &project, &system, &selection, level, &store)
+                .expect("IR deployment succeeds");
             let mut profile = deployment.build_profile.clone();
             profile.label = format!("XaaS IR {}", level.gmx_name());
             profile.threads = threads;
@@ -344,7 +365,7 @@ pub fn figure12_gpu() -> Vec<FigurePanel> {
     let pipeline = IrPipelineConfig::sweep_options(&project, &["GMX_SIMD", "GMX_GPU"])
         .with_values("GMX_SIMD", &["SSE4.1", "AVX_512"])
         .with_values("GMX_GPU", &["CUDA"]);
-    let build = build_ir_container(&project, &pipeline, &store, "spcl/mini-gromacs:ir-cuda")
+    let build = ir_build(&project, &pipeline, &store, "spcl/mini-gromacs:ir-cuda")
         .expect("IR container builds");
     let mut panels = Vec::new();
     for system in [SystemModel::ault23(), SystemModel::ault25()] {
@@ -362,9 +383,8 @@ pub fn figure12_gpu() -> Vec<FigurePanel> {
                 .with("GMX_SIMD", "SSE4.1")
                 .with("GMX_GPU", "CUDA")
         };
-        let deployment =
-            deploy_ir_container(&build, &project, &system, &manifest_selection, simd, &store)
-                .expect("GPU deployment succeeds");
+        let deployment = ir_deploy(&build, &project, &system, &manifest_selection, simd, &store)
+            .expect("GPU deployment succeeds");
         for (case, steps) in [("A", 20_000u32), ("B", 1_000u32)] {
             let workload = if case == "A" {
                 gromacs::workload_test_a(steps)
@@ -416,18 +436,16 @@ pub fn tu_reduction() -> Vec<ReductionRow> {
 
     let mut run =
         |sweep_name: &str, project: &xaas_buildsys::ProjectSpec, config: IrPipelineConfig| {
-            let full = build_ir_container(project, &config, &store, &format!("tu:{sweep_name}"))
+            let full = ir_build(project, &config, &store, &format!("tu:{sweep_name}"))
                 .expect("pipeline runs");
             let mut no_vec = config.clone();
             no_vec.stages.vectorization_delay = false;
-            let without_vec =
-                build_ir_container(project, &no_vec, &store, &format!("tu-novec:{sweep_name}"))
-                    .expect("pipeline runs");
+            let without_vec = ir_build(project, &no_vec, &store, &format!("tu-novec:{sweep_name}"))
+                .expect("pipeline runs");
             let mut no_omp = config.clone();
             no_omp.stages.openmp_detection = false;
-            let without_omp =
-                build_ir_container(project, &no_omp, &store, &format!("tu-noomp:{sweep_name}"))
-                    .expect("pipeline runs");
+            let without_omp = ir_build(project, &no_omp, &store, &format!("tu-noomp:{sweep_name}"))
+                .expect("pipeline runs");
             rows.push(ReductionRow {
                 sweep: sweep_name.to_string(),
                 configurations: full.stats.configurations,
@@ -524,7 +542,7 @@ pub fn fleet_specialization() -> FleetExperiment {
         "GMX_SIMD",
         &["SSE4.1", "AVX2_256", "AVX_512", "ARM_NEON_ASIMD"],
     );
-    let build = build_ir_container(&project, &pipeline, &store, "spcl/mini-gromacs:ir-fleet")
+    let build = ir_build(&project, &pipeline, &store, "spcl/mini-gromacs:ir-fleet")
         .expect("IR container builds");
 
     let fleet_systems = [
@@ -533,11 +551,11 @@ pub fn fleet_specialization() -> FleetExperiment {
         SystemModel::ault01_04(),
         SystemModel::clariden(),
     ];
-    let requests: Vec<FleetRequest> = fleet_systems
+    let requests: Vec<FleetTarget> = fleet_systems
         .iter()
         .map(|system| {
             let simd = system.cpu.best_simd();
-            FleetRequest::new(
+            FleetTarget::new(
                 system.clone(),
                 OptionAssignment::new().with("GMX_SIMD", simd.gmx_name()),
                 simd,
@@ -549,7 +567,7 @@ pub fn fleet_specialization() -> FleetExperiment {
     let cold: Vec<IrDeployment> = requests
         .iter()
         .map(|request| {
-            deploy_ir_container(
+            ir_deploy(
                 &build,
                 &project,
                 &request.system,
@@ -646,14 +664,41 @@ pub struct EngineExperiment {
     pub byte_identical: bool,
     /// Whether the parallel run executed the exact same action set as the serial run.
     pub same_action_set: bool,
+    /// `Fifo` vs `CriticalPathFirst` on the GROMACS deployment (the graph with mixed
+    /// machine-lower/sd-compile frontiers, where policy effects are visible).
+    pub policy_comparison: Vec<PolicyRun>,
+}
+
+/// One scheduling-policy run of the GROMACS-sweep deployment comparison.
+#[derive(Debug, Clone, Serialize)]
+pub struct PolicyRun {
+    /// Policy name (`fifo`, `critical-path-first`).
+    pub policy: String,
+    /// Bounded `sd-compile` slots (modelling a licensed system toolchain), if any.
+    pub sd_compile_cap: Option<usize>,
+    /// Deployment wall-clock in milliseconds.
+    pub wall_ms: f64,
+    /// Total ready-queue wait per action kind, in microseconds.
+    pub queue_wait_micros_by_kind: BTreeMap<String, u64>,
+    /// Identity of the first dispatched lower/compile action (FIFO starts with the
+    /// manifest-order `sd-compile`; critical-path-first starts with the heaviest
+    /// `machine-lower`).
+    pub first_dispatched: String,
+    /// Whether this run dispatched actions in the same order as the FIFO run.
+    pub same_order_as_fifo: bool,
+    /// Whether the deployed image is byte-identical to the FIFO run's image.
+    pub byte_identical_to_fifo: bool,
 }
 
 /// **Engine parallelism**: build the GROMACS IR container (a 4-configuration
 /// SIMD × GPU sweep) through the staged action-graph engine with one worker (the
 /// serial schedule the pre-engine pipeline was limited to) and with a parallel worker
-/// pool, over fresh uncached stores. The images must be byte-identical; the parallel
-/// run executes the same actions in `parallel_stage_depth` waves instead of
-/// `serial_stages` sequential steps.
+/// pool, over fresh uncached orchestrator sessions. The images must be
+/// byte-identical; the parallel run executes the same actions in
+/// `parallel_stage_depth` waves instead of `serial_stages` sequential steps.
+/// `policy_comparison` then deploys a GROMACS SIMD × MPI sweep under `Fifo` and
+/// under `CriticalPathFirst` with a bounded `sd-compile` slot: the dispatch order
+/// differs, the artifacts do not.
 pub fn engine_parallelism() -> EngineExperiment {
     let project = gromacs::project();
     let pipeline = IrPipelineConfig::sweep_options(&project, &["GMX_SIMD", "GMX_GPU"])
@@ -662,17 +707,27 @@ pub fn engine_parallelism() -> EngineExperiment {
     let reference = "spcl/mini-gromacs:ir-engine";
 
     let serial_store = ImageStore::new();
-    let serial_engine = Engine::uncached(&serial_store).with_workers(1);
+    let serial_orch = Orchestrator::builder()
+        .uncached(serial_store.clone())
+        .workers(1)
+        .build();
     let serial_start = std::time::Instant::now();
-    let serial = build_ir_container_with(&project, &pipeline, &serial_engine, reference)
+    let serial = IrBuildRequest::new(&project, &pipeline)
+        .reference(reference)
+        .submit(&serial_orch)
         .expect("serial engine build succeeds");
     let serial_ms = serial_start.elapsed().as_secs_f64() * 1e3;
 
     let workers = 4;
     let parallel_store = ImageStore::new();
-    let parallel_engine = Engine::uncached(&parallel_store).with_workers(workers);
+    let parallel_orch = Orchestrator::builder()
+        .uncached(parallel_store.clone())
+        .workers(workers)
+        .build();
     let parallel_start = std::time::Instant::now();
-    let parallel = build_ir_container_with(&project, &pipeline, &parallel_engine, reference)
+    let parallel = IrBuildRequest::new(&project, &pipeline)
+        .reference(reference)
+        .submit(&parallel_orch)
         .expect("parallel engine build succeeds");
     let parallel_ms = parallel_start.elapsed().as_secs_f64() * 1e3;
 
@@ -703,7 +758,77 @@ pub fn engine_parallelism() -> EngineExperiment {
         },
         byte_identical,
         same_action_set: serial.trace.action_set() == parallel.trace.action_set(),
+        policy_comparison: policy_comparison(),
     }
+}
+
+/// `Fifo` vs `CriticalPathFirst` (with a bounded `sd-compile` slot) deploying the
+/// same GROMACS SIMD × MPI sweep: the MPI halo file ships as source, so the
+/// deployment graph mixes `machine-lower` and `sd-compile` actions and the two
+/// policies dispatch them in different orders while committing byte-identical
+/// images.
+fn policy_comparison() -> Vec<PolicyRun> {
+    let project = gromacs::project();
+    let pipeline = IrPipelineConfig::sweep_options(&project, &["GMX_SIMD", "GMX_MPI"])
+        .with_values("GMX_SIMD", &["SSE4.1", "AVX_512"]);
+    let build_store = ImageStore::new();
+    let build = ir_build(&project, &pipeline, &build_store, "policy:ir").expect("build succeeds");
+    let system = SystemModel::ault23();
+    let selection = OptionAssignment::new()
+        .with("GMX_SIMD", "AVX_512")
+        .with("GMX_MPI", "ON");
+
+    let sd_cap = 1usize;
+    let mut runs = Vec::new();
+    let mut fifo_order: Vec<String> = Vec::new();
+    let mut fifo_layers = Vec::new();
+    for policy_name in ["fifo", "critical-path-first"] {
+        let mut builder = Orchestrator::builder()
+            .uncached(ImageStore::new())
+            .workers(4);
+        let cap = if policy_name == "fifo" {
+            None
+        } else {
+            builder = builder.policy(
+                CriticalPathFirst::new().with_cap(xaas::engine::ActionKind::SdCompile, sd_cap),
+            );
+            Some(sd_cap)
+        };
+        let orch = builder.build();
+        let start = std::time::Instant::now();
+        let deployment = IrDeployRequest::new(&build, &project, &system)
+            .selection(selection.clone())
+            .simd(SimdLevel::Avx512)
+            .submit(&orch)
+            .expect("policy deployment succeeds");
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        let order = deployment.trace.execution_order();
+        if policy_name == "fifo" {
+            fifo_order = order.clone();
+            fifo_layers = deployment.image.layers.clone();
+        }
+        runs.push(PolicyRun {
+            policy: deployment.trace.policy.clone(),
+            sd_compile_cap: cap,
+            wall_ms,
+            queue_wait_micros_by_kind: deployment
+                .trace
+                .queue_wait_micros_by_kind()
+                .into_iter()
+                .map(|(kind, micros)| (kind.as_str().to_string(), micros))
+                .collect(),
+            first_dispatched: order
+                .iter()
+                .find(|identity| {
+                    identity.starts_with("machine-lower") || identity.starts_with("sd-compile")
+                })
+                .cloned()
+                .unwrap_or_default(),
+            same_order_as_fifo: order == fifo_order,
+            byte_identical_to_fifo: deployment.image.layers == fifo_layers,
+        });
+    }
+    runs
 }
 
 /// One row of the Section 6.5 network comparison.

@@ -7,7 +7,7 @@
 //!   combinatorial sweeps;
 //! * [`project`] — project descriptions: CK sources (optionally conditional on option
 //!   tags), headers, targets, custom source-generating targets;
-//! * [`configure`] — the configuration step that resolves an option assignment into
+//! * [`configure`](mod@configure) — the configuration step that resolves an option assignment into
 //!   enabled sources, global definitions/flags, dependencies, and a compile-command
 //!   database;
 //! * [`compiledb`] — compile commands plus the canonicalisation/comparison used by the

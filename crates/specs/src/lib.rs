@@ -9,7 +9,7 @@
 //! * [`llm`] — simulated LLM discovery with per-model error/latency/cost profiles,
 //!   reproducing Table 4 and the llama.cpp generalization experiment deterministically;
 //! * [`metrics`] — precision/recall/F1 scoring with the normalisation ablation;
-//! * [`intersect`] — intersection of application specialization points with discovered
+//! * [`intersect`](mod@intersect) — intersection of application specialization points with discovered
 //!   system features (Figure 4c);
 //! * [`catalog`] — the Table 1 application catalogue.
 

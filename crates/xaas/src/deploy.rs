@@ -41,6 +41,8 @@ pub enum DeployError {
     },
     /// A cached artifact failed to decode (action-cache corruption).
     Cache(String),
+    /// The orchestrator's scheduling policy is invalid (e.g. a zero concurrency cap).
+    Policy(crate::engine::PolicyError),
 }
 
 impl fmt::Display for DeployError {
@@ -55,6 +57,7 @@ impl fmt::Display for DeployError {
             DeployError::MissingUnit(id) => write!(f, "IR unit {id} missing from the container"),
             DeployError::Compile { file, error } => write!(f, "compiling {file}: {error}"),
             DeployError::Cache(detail) => write!(f, "action cache: {detail}"),
+            DeployError::Policy(error) => write!(f, "{error}"),
         }
     }
 }
@@ -100,11 +103,12 @@ pub struct IrDeployment {
     pub trace: ActionTrace,
 }
 
-/// Deploy an IR container: select a configuration, lower for the system, link, install.
-///
-/// Thin shim over [`deploy_ir_container_with`] using an uncached
-/// ([`NoCache`](xaas_container::NoCache)-backed) engine over `store` — every
-/// lower/compile action runs.
+/// Deploy an IR container over an uncached ([`NoCache`](xaas_container::NoCache)-backed)
+/// orchestrator — every lower/compile action runs.
+#[deprecated(
+    since = "0.2.0",
+    note = "use xaas::orchestrator::IrDeployRequest with Orchestrator::uncached(store)"
+)]
 pub fn deploy_ir_container(
     build: &IrContainerBuild,
     project: &ProjectSpec,
@@ -113,19 +117,17 @@ pub fn deploy_ir_container(
     simd: SimdLevel,
     store: &ImageStore,
 ) -> Result<IrDeployment, DeployError> {
-    deploy_ir_container_with(
-        build,
-        project,
-        system,
-        selection,
-        simd,
-        &Engine::uncached(store),
-    )
+    crate::orchestrator::IrDeployRequest::new(build, project, system)
+        .selection(selection.clone())
+        .simd(simd)
+        .submit(&crate::orchestrator::Orchestrator::uncached(store))
 }
 
 /// Deploy an IR container, routing every lower/compile action through `cache`.
-///
-/// Thin shim over [`deploy_ir_container_with`] with an [`ActionCache`]-backed engine.
+#[deprecated(
+    since = "0.2.0",
+    note = "use xaas::orchestrator::IrDeployRequest with Orchestrator::with_cache(cache)"
+)]
 pub fn deploy_ir_container_cached(
     build: &IrContainerBuild,
     project: &ProjectSpec,
@@ -134,14 +136,10 @@ pub fn deploy_ir_container_cached(
     simd: SimdLevel,
     cache: &ActionCache,
 ) -> Result<IrDeployment, DeployError> {
-    deploy_ir_container_with(
-        build,
-        project,
-        system,
-        selection,
-        simd,
-        &Engine::cached(cache),
-    )
+    crate::orchestrator::IrDeployRequest::new(build, project, system)
+        .selection(selection.clone())
+        .simd(simd)
+        .submit(&crate::orchestrator::Orchestrator::with_cache(cache))
 }
 
 /// One planned deployment action: either lower a stored IR unit or compile a
@@ -161,8 +159,30 @@ enum DeployTask<'plan> {
     },
 }
 
+/// Deploy an IR container through an explicitly configured `engine`.
+#[deprecated(
+    since = "0.2.0",
+    note = "use xaas::orchestrator::IrDeployRequest with Orchestrator::from_engine(engine)"
+)]
+pub fn deploy_ir_container_with(
+    build: &IrContainerBuild,
+    project: &ProjectSpec,
+    system: &SystemModel,
+    selection: &OptionAssignment,
+    simd: SimdLevel,
+    engine: &Engine,
+) -> Result<IrDeployment, DeployError> {
+    crate::orchestrator::IrDeployRequest::new(build, project, system)
+        .selection(selection.clone())
+        .simd(simd)
+        .submit(&crate::orchestrator::Orchestrator::from_engine(
+            engine.clone(),
+        ))
+}
+
 /// Deploy an IR container by constructing staged action graphs and submitting them to
-/// `engine` (Figure 8 as a DAG):
+/// `engine` (Figure 8 as a DAG; the driver behind
+/// [`IrDeployRequest`](crate::orchestrator::IrDeployRequest)):
 ///
 /// 1. **select** (driver, serial): resolve the configuration manifest and validate the
 ///    SIMD level against the system;
@@ -180,7 +200,7 @@ enum DeployTask<'plan> {
 /// [`compile_flags`](crate::ir_container::ConfigurationManifest::compile_flags)
 /// (optimisation level, OpenMP, …) rather than a hardcoded flag set, so deploy-time
 /// compiles track the sweep options.
-pub fn deploy_ir_container_with(
+pub(crate) fn run_ir_deploy(
     build: &IrContainerBuild,
     project: &ProjectSpec,
     system: &SystemModel,
@@ -485,16 +505,50 @@ pub fn ir_blob_paths(image: &Image) -> Vec<String> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ir_container::{build_ir_container, IrPipelineConfig};
+    use crate::ir_container::IrPipelineConfig;
+    use crate::orchestrator::{IrBuildRequest, IrDeployRequest, Orchestrator};
     use xaas_apps::gromacs;
     use xaas_xir::{Interpreter, Value};
+
+    /// Old free-function deployment shape, routed through the orchestrator (uncached).
+    fn deploy(
+        build: &IrContainerBuild,
+        project: &ProjectSpec,
+        system: &SystemModel,
+        selection: &OptionAssignment,
+        simd: SimdLevel,
+        store: &ImageStore,
+    ) -> Result<IrDeployment, DeployError> {
+        IrDeployRequest::new(build, project, system)
+            .selection(selection.clone())
+            .simd(simd)
+            .submit(&Orchestrator::uncached(store))
+    }
+
+    /// Old `_cached` deployment shape, routed through the orchestrator (shared cache).
+    fn deploy_cached(
+        build: &IrContainerBuild,
+        project: &ProjectSpec,
+        system: &SystemModel,
+        selection: &OptionAssignment,
+        simd: SimdLevel,
+        cache: &ActionCache,
+    ) -> Result<IrDeployment, DeployError> {
+        IrDeployRequest::new(build, project, system)
+            .selection(selection.clone())
+            .simd(simd)
+            .submit(&Orchestrator::with_cache(cache))
+    }
 
     fn gromacs_ir_build(store: &ImageStore) -> (ProjectSpec, IrContainerBuild) {
         let project = gromacs::project();
         let config = IrPipelineConfig::sweep_options(&project, &["GMX_SIMD", "GMX_GPU"])
             .with_values("GMX_SIMD", &["SSE4.1", "AVX_512"])
             .with_values("GMX_GPU", &["OFF", "CUDA"]);
-        let build = build_ir_container(&project, &config, store, "spcl/mini-gromacs:ir").unwrap();
+        let build = IrBuildRequest::new(&project, &config)
+            .reference("spcl/mini-gromacs:ir")
+            .submit(&Orchestrator::uncached(store))
+            .unwrap();
         (project, build)
     }
 
@@ -506,7 +560,7 @@ mod tests {
         let selection = OptionAssignment::new()
             .with("GMX_SIMD", "AVX_512")
             .with("GMX_GPU", "CUDA");
-        let deployment = deploy_ir_container(
+        let deployment = deploy(
             &build,
             &project,
             &system,
@@ -543,7 +597,7 @@ mod tests {
         let selection = OptionAssignment::new()
             .with("GMX_SIMD", "SSE4.1")
             .with("GMX_GPU", "OFF");
-        let narrow = deploy_ir_container(
+        let narrow = deploy(
             &build,
             &project,
             &SystemModel::ault01_04(),
@@ -552,7 +606,7 @@ mod tests {
             &store,
         )
         .unwrap();
-        let wide = deploy_ir_container(
+        let wide = deploy(
             &build,
             &project,
             &SystemModel::ault01_04(),
@@ -585,7 +639,7 @@ mod tests {
         let selection = OptionAssignment::new()
             .with("GMX_SIMD", "AVX_512")
             .with("GMX_GPU", "OFF");
-        let cold = deploy_ir_container_cached(
+        let cold = deploy_cached(
             &build,
             &project,
             &system,
@@ -596,7 +650,7 @@ mod tests {
         .unwrap();
         assert_eq!(cold.actions.cached, 0);
         assert!(cold.actions.executed > 0);
-        let warm = deploy_ir_container_cached(
+        let warm = deploy_cached(
             &build,
             &project,
             &system,
@@ -619,7 +673,7 @@ mod tests {
         let selection = OptionAssignment::new()
             .with("GMX_SIMD", "AVX_512")
             .with("GMX_GPU", "OFF");
-        let error = deploy_ir_container(
+        let error = deploy(
             &build,
             &project,
             &SystemModel::ault25(), // EPYC 7742: no AVX-512
@@ -636,7 +690,7 @@ mod tests {
         let store = ImageStore::new();
         let (project, build) = gromacs_ir_build(&store);
         let selection = OptionAssignment::new().with("GMX_GPU", "HIP");
-        let error = deploy_ir_container(
+        let error = deploy(
             &build,
             &project,
             &SystemModel::ault23(),
@@ -656,7 +710,7 @@ mod tests {
         let selection = OptionAssignment::new()
             .with("GMX_SIMD", "AVX_512")
             .with("GMX_GPU", "OFF");
-        let deployment = deploy_ir_container(
+        let deployment = deploy(
             &build,
             &project,
             &system,

@@ -1,26 +1,39 @@
-//! The work-stealing executor: runs the ready frontier of an [`ActionGraph`] across
-//! worker threads, routing keyed nodes through the engine's cache backend.
+//! The executor: runs the ready frontier of an [`ActionGraph`] across worker
+//! threads, routing keyed nodes through the engine's cache backend.
 //!
-//! Scheduling is classic work stealing: each worker owns a deque, finished nodes push
-//! their newly-ready dependents onto the finishing worker's deque (LIFO for cache
-//! locality), and idle workers steal from the back of their peers' deques. A failed
-//! node does **not** cancel the run — independent subgraphs keep executing and only
-//! the failed node's transitive dependents are skipped, which is what lets the fleet
-//! specializer isolate one system's failure from the rest of the fleet.
+//! Scheduling goes through one shared, policy-driven ready queue: finished nodes
+//! push their newly-ready dependents, and free workers pop the next node the
+//! engine's [`SchedulingPolicy`] selects — readiness order under
+//! [`Fifo`](super::policy::Fifo), descending critical-path weight under
+//! [`CriticalPathFirst`](super::policy::CriticalPathFirst) — subject to the
+//! policy's
+//! per-kind concurrency caps (a node whose kind is at its cap is parked and
+//! re-admitted when a slot frees). A failed node does **not** cancel the run —
+//! independent subgraphs keep executing and only the failed node's transitive
+//! dependents are skipped, which is what lets the fleet specializer isolate one
+//! system's failure from the rest of the fleet.
 //!
 //! Results are assembled in node order, so everything observable from a run —
 //! outputs, trace records, error attribution — is deterministic regardless of how
-//! the workers interleaved.
+//! the workers interleaved. The *schedule itself* is additionally observable (and
+//! policy-dependent) through each record's `schedule_seq` and `queue_wait_micros`
+//! diagnostics, which are deliberately excluded from trace equality.
 
 use super::graph::{ActionFn, ActionGraph, ActionId, ActionInputs};
-use super::trace::{ActionRecord, ActionTrace};
+use super::policy::SchedulingPolicy;
+use super::trace::{ActionKind, ActionRecord, ActionTrace};
 use parking_lot::Mutex;
 use std::any::Any;
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex as StdMutex};
+use std::time::Instant;
 use xaas_container::{CacheBackend, ComputeFailed};
+
+/// Number of distinct [`ActionKind`]s (dense per-kind accounting arrays).
+const KINDS: usize = ActionKind::ALL.len();
 
 /// The terminal state of one node after a run.
 #[derive(Debug)]
@@ -105,10 +118,52 @@ enum Slot<E> {
 }
 
 struct NodeMeta {
-    kind: super::trace::ActionKind,
+    kind: ActionKind,
     label: String,
     cache_key: Option<xaas_container::BuildKey>,
     deps: Vec<ActionId>,
+}
+
+/// The ordering half of the ready queue: FIFO or priority-by-weight.
+enum ReadyOrder {
+    Fifo(VecDeque<ActionId>),
+    /// Max-heap on (critical-path weight, lowest node id wins ties).
+    Weighted(BinaryHeap<(u64, Reverse<ActionId>)>),
+}
+
+impl ReadyOrder {
+    fn push(&mut self, id: ActionId, weight: u64) {
+        match self {
+            ReadyOrder::Fifo(queue) => queue.push_back(id),
+            ReadyOrder::Weighted(heap) => heap.push((weight, Reverse(id))),
+        }
+    }
+
+    fn pop(&mut self) -> Option<ActionId> {
+        match self {
+            ReadyOrder::Fifo(queue) => queue.pop_front(),
+            ReadyOrder::Weighted(heap) => heap.pop().map(|(_, Reverse(id))| id),
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        match self {
+            ReadyOrder::Fifo(queue) => queue.is_empty(),
+            ReadyOrder::Weighted(heap) => heap.is_empty(),
+        }
+    }
+}
+
+/// The shared ready queue: policy ordering, per-kind admission, queue-wait clocks.
+struct Ready {
+    order: ReadyOrder,
+    /// Nodes popped while their kind was at its concurrency cap; re-admitted when an
+    /// in-flight action of that kind finishes.
+    deferred: [Vec<ActionId>; KINDS],
+    /// In-flight actions per kind.
+    in_flight: [usize; KINDS],
+    /// When each node entered the ready queue (for `queue_wait_micros`).
+    enqueued_at: Vec<Option<Instant>>,
 }
 
 struct ExecState<'env, E> {
@@ -118,62 +173,90 @@ struct ExecState<'env, E> {
     records: Vec<Mutex<Option<ActionRecord>>>,
     dependents: Vec<Vec<ActionId>>,
     pending: Vec<AtomicUsize>,
-    queues: Vec<Mutex<VecDeque<ActionId>>>,
+    ready: Mutex<Ready>,
+    /// Critical-path weight per node (policy cost of the heaviest chain to a sink);
+    /// all zeros under FIFO ordering.
+    weights: Vec<u64>,
+    /// Per-kind concurrency caps from the policy (`usize::MAX` = unbounded, zero
+    /// clamped to one — the executor refuses to deadlock; the orchestrator turns a
+    /// zero cap into a typed error before a graph ever gets here).
+    caps: [usize; KINDS],
+    /// Engine-global dispatch counter; assigned under the ready lock so the relative
+    /// order of `schedule_seq` values equals the policy's pop order.
+    seq: Arc<AtomicU64>,
     remaining: AtomicUsize,
     /// The first caught action panic; re-raised on the caller thread after the run
     /// completes, so a panicking action behaves like it would on a serial executor
     /// instead of hanging the worker pool.
     panic_payload: Mutex<Option<Box<dyn Any + Send>>>,
-    /// Idle workers park here instead of spinning; [`ExecState::schedule`] wakes one.
+    /// Idle workers park here instead of spinning; a finishing node wakes them.
     idle: StdMutex<()>,
     wakeup: Condvar,
 }
 
 impl<'env, E> ExecState<'env, E> {
-    fn pop_task(&self, me: usize) -> Option<ActionId> {
-        if let Some(id) = self.queues[me].lock().pop_front() {
-            return Some(id);
-        }
-        // Steal from the back of a peer's deque (oldest work first).
-        let n = self.queues.len();
-        for offset in 1..n {
-            let victim = (me + offset) % n;
-            if let Some(id) = self.queues[victim].lock().pop_back() {
-                return Some(id);
+    /// Pop the next runnable node per the policy: skip (and defer) ready nodes whose
+    /// kind is at its concurrency cap. Returns the node, its queue wait, and its
+    /// dispatch sequence number.
+    fn pop_task(&self) -> Option<(ActionId, u64, u64)> {
+        let mut ready = self.ready.lock();
+        loop {
+            let id = ready.order.pop()?;
+            let kind = self.metas[id].kind.index();
+            if ready.in_flight[kind] < self.caps[kind] {
+                ready.in_flight[kind] += 1;
+                let wait_micros = ready.enqueued_at[id]
+                    .map(|t| t.elapsed().as_micros() as u64)
+                    .unwrap_or(0);
+                let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+                return Some((id, wait_micros, seq));
             }
+            ready.deferred[kind].push(id);
         }
-        None
     }
 
-    fn schedule(&self, me: usize, id: ActionId) {
-        self.queues[me].lock().push_front(id);
-        // Notify under the idle lock: a parking worker re-checks the queues after
-        // acquiring it, so the notification can never land in the window between a
-        // failed pop and the wait.
-        let _guard = self.idle.lock().unwrap_or_else(|e| e.into_inner());
-        self.wakeup.notify_one();
-    }
-
-    /// Whether any queue currently holds a ready node.
+    /// Whether any queue entry is currently poppable (deferred nodes only come back
+    /// through `finish`, which notifies, so checking the order queue suffices).
     fn has_ready_work(&self) -> bool {
-        self.queues.iter().any(|queue| !queue.lock().is_empty())
+        !self.ready.lock().order.is_empty()
     }
 
-    fn finish(&self, me: usize, id: ActionId, slot: Slot<E>, record: Option<ActionRecord>) {
+    fn finish(&self, id: ActionId, slot: Slot<E>, record: Option<ActionRecord>) {
         *self.slots[id].lock() = slot;
         if let Some(record) = record {
             *self.records[id].lock() = Some(record);
         }
-        for &dependent in &self.dependents[id] {
-            if self.pending[dependent].fetch_sub(1, Ordering::AcqRel) == 1 {
-                self.schedule(me, dependent);
+        let mut made_ready = 0usize;
+        {
+            let mut ready = self.ready.lock();
+            let kind = self.metas[id].kind.index();
+            ready.in_flight[kind] -= 1;
+            // A freed slot re-admits every deferred node of this kind; only one can
+            // claim the slot, the rest simply defer again on their next pop.
+            let deferred = std::mem::take(&mut ready.deferred[kind]);
+            made_ready += deferred.len();
+            for deferred_id in deferred {
+                ready.order.push(deferred_id, self.weights[deferred_id]);
+            }
+            for &dependent in &self.dependents[id] {
+                if self.pending[dependent].fetch_sub(1, Ordering::AcqRel) == 1 {
+                    ready.enqueued_at[dependent] = Some(Instant::now());
+                    ready.order.push(dependent, self.weights[dependent]);
+                    made_ready += 1;
+                }
             }
         }
-        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
-            // Last node: release every parked worker so the pool can exit (notified
-            // under the idle lock for the same no-lost-wakeup pairing as schedule()).
+        let last = self.remaining.fetch_sub(1, Ordering::AcqRel) == 1;
+        if last || made_ready > 0 {
+            // Notify under the idle lock: a parking worker re-checks the queue after
+            // acquiring it, so the notification can never land in the window between
+            // a failed pop and the wait. The last node releases the whole pool.
             let _guard = self.idle.lock().unwrap_or_else(|e| e.into_inner());
-            self.wakeup.notify_all();
+            if last || made_ready > 1 {
+                self.wakeup.notify_all();
+            } else {
+                self.wakeup.notify_one();
+            }
         }
     }
 
@@ -201,13 +284,18 @@ pub(crate) fn run_graph<'env, E: Send>(
     graph: ActionGraph<'env, E>,
     cache: &dyn CacheBackend,
     workers: usize,
+    policy: &dyn SchedulingPolicy,
+    seq: Arc<AtomicU64>,
 ) -> GraphRun<E> {
     let node_count = graph.nodes.len();
     let stage_depth = graph.depth();
     if node_count == 0 {
         return GraphRun {
             outcomes: Vec::new(),
-            trace: ActionTrace::default(),
+            trace: ActionTrace {
+                policy: policy.name().to_string(),
+                ..ActionTrace::default()
+            },
         };
     }
 
@@ -230,6 +318,36 @@ pub(crate) fn run_graph<'env, E: Send>(
         tasks.push(Mutex::new(Some(node.run)));
     }
 
+    // Critical-path weights: the policy cost of the heaviest chain from each node to
+    // a sink (computed bottom-up; dependents always have higher ids than their deps).
+    let weights = if policy.critical_path_first() {
+        let mut weights = vec![0u64; node_count];
+        for id in (0..node_count).rev() {
+            let downstream = dependents[id]
+                .iter()
+                .map(|&d| weights[d])
+                .max()
+                .unwrap_or(0);
+            weights[id] = policy.action_cost(metas[id].kind) + downstream;
+        }
+        weights
+    } else {
+        vec![0u64; node_count]
+    };
+    let mut caps = [usize::MAX; KINDS];
+    for kind in ActionKind::ALL {
+        if let Some(cap) = policy.concurrency_cap(kind) {
+            // A zero cap would deadlock; the Orchestrator rejects it as a typed
+            // PolicyError before submission, the raw executor clamps defensively.
+            caps[kind.index()] = cap.max(1);
+        }
+    }
+
+    let order = if policy.critical_path_first() {
+        ReadyOrder::Weighted(BinaryHeap::with_capacity(node_count))
+    } else {
+        ReadyOrder::Fifo(VecDeque::with_capacity(node_count))
+    };
     let state = ExecState {
         metas,
         tasks,
@@ -237,28 +355,39 @@ pub(crate) fn run_graph<'env, E: Send>(
         records: (0..node_count).map(|_| Mutex::new(None)).collect(),
         dependents,
         pending,
-        queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+        ready: Mutex::new(Ready {
+            order,
+            deferred: std::array::from_fn(|_| Vec::new()),
+            in_flight: [0; KINDS],
+            enqueued_at: vec![None; node_count],
+        }),
+        weights,
+        caps,
+        seq,
         remaining: AtomicUsize::new(node_count),
         panic_payload: Mutex::new(None),
         idle: StdMutex::new(()),
         wakeup: Condvar::new(),
     };
-    // Seed the initial frontier round-robin across the workers.
-    let mut seed_queue = 0;
-    for id in 0..node_count {
-        if state.pending[id].load(Ordering::Relaxed) == 0 {
-            state.queues[seed_queue].lock().push_back(id);
-            seed_queue = (seed_queue + 1) % workers;
+    // Seed the initial frontier in node order.
+    {
+        let mut ready = state.ready.lock();
+        let now = Instant::now();
+        for id in 0..node_count {
+            if state.pending[id].load(Ordering::Relaxed) == 0 {
+                ready.enqueued_at[id] = Some(now);
+                ready.order.push(id, state.weights[id]);
+            }
         }
     }
 
     if workers == 1 {
-        worker_loop(&state, cache, 0);
+        worker_loop(&state, cache);
     } else {
         std::thread::scope(|scope| {
-            for me in 0..workers {
+            for _ in 0..workers {
                 let state = &state;
-                scope.spawn(move || worker_loop(state, cache, me));
+                scope.spawn(move || worker_loop(state, cache));
             }
         });
     }
@@ -289,22 +418,24 @@ pub(crate) fn run_graph<'env, E: Send>(
             .filter_map(|record| record.into_inner())
             .collect(),
         stage_depth,
+        policy: policy.name().to_string(),
     };
     GraphRun { outcomes, trace }
 }
 
-fn worker_loop<E: Send>(state: &ExecState<'_, E>, cache: &dyn CacheBackend, me: usize) {
+fn worker_loop<E: Send>(state: &ExecState<'_, E>, cache: &dyn CacheBackend) {
     loop {
         if state.remaining.load(Ordering::Acquire) == 0 {
             break;
         }
-        match state.pop_task(me) {
-            Some(id) => execute_node(state, cache, me, id),
+        match state.pop_task() {
+            Some((id, wait_micros, seq)) => execute_node(state, cache, id, wait_micros, seq),
             None => {
-                // Nothing runnable right now: another worker holds the frontier.
-                // Park until new work is scheduled. Re-checking readiness under the
-                // idle lock pairs with schedule() notifying under it, so wakeups are
-                // not lost; the timeout is only a backstop.
+                // Nothing runnable right now: other workers hold the frontier (or
+                // every ready node's kind is at its cap). Park until new work is
+                // admitted. Re-checking readiness under the idle lock pairs with
+                // finish() notifying under it, so wakeups are not lost; the timeout
+                // is only a backstop.
                 let guard = state.idle.lock().unwrap_or_else(|e| e.into_inner());
                 if state.remaining.load(Ordering::Acquire) != 0 && !state.has_ready_work() {
                     let _ = state
@@ -319,8 +450,9 @@ fn worker_loop<E: Send>(state: &ExecState<'_, E>, cache: &dyn CacheBackend, me: 
 fn execute_node<E: Send>(
     state: &ExecState<'_, E>,
     cache: &dyn CacheBackend,
-    me: usize,
     id: ActionId,
+    wait_micros: u64,
+    seq: u64,
 ) {
     let meta = &state.metas[id];
     // Gather dependency outputs; a poisoned dependency skips this node.
@@ -341,7 +473,7 @@ fn execute_node<E: Send>(
         }
     }
     if let Some(root) = poisoned {
-        state.finish(me, id, Slot::Skipped { root }, None);
+        state.finish(id, Slot::Skipped { root }, None);
         return;
     }
 
@@ -350,17 +482,9 @@ fn execute_node<E: Send>(
         .take()
         .expect("every node executes exactly once");
     let inputs = ActionInputs::new(inputs);
-    let record = |cached: bool| ActionRecord {
-        kind: meta.kind,
-        label: meta.label.clone(),
-        key_digest: meta
-            .cache_key
-            .as_ref()
-            .map(|k| k.digest().hex().to_string()),
-        cached,
-    };
+    let started = Instant::now();
 
-    let (slot, completed) = match &meta.cache_key {
+    let (slot, completed): (Slot<E>, Option<bool>) = match &meta.cache_key {
         Some(key) => {
             let mut task = Some(task);
             let mut captured: Option<E> = None;
@@ -381,7 +505,7 @@ fn execute_node<E: Send>(
                 }
             });
             match result {
-                Ok((bytes, hit)) => (Slot::Output(Arc::new(bytes)), Some(record(hit))),
+                Ok((bytes, hit)) => (Slot::Output(Arc::new(bytes)), Some(hit)),
                 Err(ComputeFailed) => match captured {
                     Some(error) => (Slot::Failed(error), None),
                     // The action panicked, or the backend failed without running
@@ -391,10 +515,22 @@ fn execute_node<E: Send>(
             }
         }
         None => match state.run_task(task, &inputs) {
-            Some(Ok(bytes)) => (Slot::Output(Arc::new(bytes)), Some(record(false))),
+            Some(Ok(bytes)) => (Slot::Output(Arc::new(bytes)), Some(false)),
             Some(Err(error)) => (Slot::Failed(error), None),
             None => (Slot::Skipped { root: id }, None),
         },
     };
-    state.finish(me, id, slot, completed);
+    let record = completed.map(|cached| ActionRecord {
+        kind: meta.kind,
+        label: meta.label.clone(),
+        key_digest: meta
+            .cache_key
+            .as_ref()
+            .map(|k| k.digest().hex().to_string()),
+        cached,
+        queue_wait_micros: wait_micros,
+        exec_micros: started.elapsed().as_micros() as u64,
+        schedule_seq: seq,
+    });
+    state.finish(id, slot, record);
 }

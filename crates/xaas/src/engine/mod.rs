@@ -7,22 +7,25 @@
 //!
 //! * [`graph`] — [`ActionGraph`]: a DAG of [`ActionKind`]-tagged nodes with explicit
 //!   dependency edges, built stage by stage by the pipeline drivers;
-//! * [`executor`] — a work-stealing executor that runs the ready frontier across
-//!   worker threads, routes keyed nodes through a
-//!   [`CacheBackend`](xaas_container::CacheBackend) (an
-//!   [`ActionCache`](xaas_container::ActionCache) or the always-compute
-//!   [`NoCache`](xaas_container::NoCache)), and isolates failures to the failed
+//! * [`executor`] — a worker pool that runs the ready frontier across threads,
+//!   routes keyed nodes through a [`CacheBackend`]
+//!   (an [`ActionCache`] or the always-compute
+//!   [`NoCache`]), and isolates failures to the failed
 //!   node's transitive dependents;
+//! * [`policy`] — pluggable [`SchedulingPolicy`]s deciding dispatch order and
+//!   per-kind concurrency: [`Fifo`] (default) or [`CriticalPathFirst`] (weight
+//!   nodes by per-kind cost, optionally bound e.g. `sd-compile` slots);
 //! * [`trace`] — [`ActionTrace`]: a deterministic, node-ordered record of what ran
 //!   and what the cache absorbed, from which the historical [`ActionSummary`]
 //!   counters are derived.
 //!
-//! The drivers in [`ir_container`](crate::ir_container), [`deploy`](crate::deploy),
-//! [`source_container`](crate::source_container), and
+//! The drivers behind [`ir_container`](crate::ir_container),
+//! [`deploy`](crate::deploy), [`source_container`](crate::source_container), and
 //! [`scheduler`](crate::scheduler) all construct graphs and submit them to one
-//! shared [`Engine`]; intra-build parallelism (compiling the translation units of a
-//! configuration sweep concurrently) falls out of the executor rather than being
-//! special-cased per pipeline.
+//! shared [`Engine`] — owned, in the public API, by an
+//! [`Orchestrator`](crate::orchestrator::Orchestrator); intra-build parallelism
+//! (compiling the translation units of a configuration sweep concurrently) falls
+//! out of the executor rather than being special-cased per pipeline.
 //!
 //! ```
 //! use xaas::engine::{ActionGraph, ActionKind, Engine};
@@ -42,35 +45,49 @@
 pub mod executor;
 pub mod graph;
 pub mod plan;
+pub mod policy;
 pub mod trace;
 
 pub use executor::{ActionOutputs, GraphRun, NodeOutcome};
 pub use graph::{ActionGraph, ActionId, ActionInputs};
-pub use plan::{add_commit_action, LinkSlot, PreprocessPlanner};
+pub use plan::{add_commit_action, KeyedActionPlanner, LinkSlot, PreprocessPlanner};
+pub use policy::{CriticalPathFirst, Fifo, PolicyError, SchedulingPolicy};
 pub use trace::{ActionKind, ActionRecord, ActionSummary, ActionTrace};
 
+use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 use xaas_container::{ActionCache, CacheBackend, CacheStats, ImageStore, NoCache};
 
-/// The shared execution engine: a worker pool plus a cache backend.
+/// The shared execution engine: a worker pool, a cache backend, and a
+/// [`SchedulingPolicy`].
 ///
-/// Cloning is cheap (the backend is shared); every pipeline entry point of the crate
-/// ultimately executes through an `Engine`.
+/// Cloning is cheap (the backend, policy, and dispatch counter are shared); every
+/// pipeline entry point of the crate ultimately executes through an `Engine`.
 #[derive(Clone)]
 pub struct Engine {
     cache: Arc<dyn CacheBackend>,
     workers: usize,
+    policy: Arc<dyn SchedulingPolicy>,
+    /// Dispatch counter shared across runs (and clones), so `schedule_seq` values in
+    /// merged traces preserve the global execution order.
+    seq: Arc<AtomicU64>,
 }
 
 impl Engine {
     /// An engine over `cache` with a worker count derived from the host parallelism
-    /// (clamped to `[2, 8]` — actions are small compile steps).
+    /// (clamped to `[2, 8]` — actions are small compile steps) and the default
+    /// [`Fifo`] policy.
     pub fn new(cache: Arc<dyn CacheBackend>) -> Self {
         let workers = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(4)
             .clamp(2, 8);
-        Self { cache, workers }
+        Self {
+            cache,
+            workers,
+            policy: Arc::new(Fifo),
+            seq: Arc::new(AtomicU64::new(0)),
+        }
     }
 
     /// An engine that memoizes every keyed action in `cache`.
@@ -94,9 +111,30 @@ impl Engine {
         self
     }
 
+    /// Replace the scheduling policy (dispatch order and per-kind concurrency caps
+    /// of the ready queue). The policy changes *when* actions run, never what they
+    /// produce. Note the raw engine clamps zero concurrency caps to one rather than
+    /// deadlock; submit through an
+    /// [`Orchestrator`](crate::orchestrator::Orchestrator) to have invalid policies
+    /// rejected as typed errors instead.
+    pub fn with_policy(self, policy: impl SchedulingPolicy + 'static) -> Self {
+        self.with_policy_arc(Arc::new(policy))
+    }
+
+    /// [`with_policy`](Self::with_policy) for an already-shared policy.
+    pub fn with_policy_arc(mut self, policy: Arc<dyn SchedulingPolicy>) -> Self {
+        self.policy = policy;
+        self
+    }
+
     /// The configured worker count.
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// The scheduling policy runs execute under.
+    pub fn policy(&self) -> &dyn SchedulingPolicy {
+        self.policy.as_ref()
     }
 
     /// The cache backend every keyed action routes through.
@@ -114,11 +152,18 @@ impl Engine {
         self.cache.store()
     }
 
-    /// Execute `graph`: run the ready frontier across the worker pool, route keyed
-    /// nodes through the cache, record a deterministic [`ActionTrace`], and isolate
-    /// failures to their transitive dependents.
+    /// Execute `graph`: run the ready frontier across the worker pool under the
+    /// engine's scheduling policy, route keyed nodes through the cache, record a
+    /// deterministic [`ActionTrace`], and isolate failures to their transitive
+    /// dependents.
     pub fn run<'env, E: Send>(&self, graph: ActionGraph<'env, E>) -> GraphRun<E> {
-        executor::run_graph(graph, self.cache.as_ref(), self.workers)
+        executor::run_graph(
+            graph,
+            self.cache.as_ref(),
+            self.workers,
+            self.policy.as_ref(),
+            self.seq.clone(),
+        )
     }
 }
 
@@ -126,6 +171,7 @@ impl std::fmt::Debug for Engine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Engine")
             .field("workers", &self.workers)
+            .field("policy", &self.policy.name())
             .field("cache", &self.cache.backend_stats())
             .finish()
     }
@@ -276,6 +322,86 @@ mod tests {
             cold.trace.records[0].key_digest,
             warm.trace.records[0].key_digest
         );
+    }
+
+    #[test]
+    fn critical_path_first_dispatches_heavy_chains_before_light_ones() {
+        // Two chains from an empty frontier: a heavy ir-lower chain added *after* a
+        // cheap preprocess node. FIFO dispatches in node order; critical-path-first
+        // must invert it. One worker keeps the dispatch order fully deterministic.
+        fn build() -> ActionGraph<'static, std::convert::Infallible> {
+            let mut graph = ActionGraph::new();
+            let cheap = graph.add(ActionKind::Preprocess, "cheap", &[], |_| Ok(vec![1]));
+            let heavy = graph.add(ActionKind::IrLower, "heavy", &[], |_| Ok(vec![2]));
+            graph.add(ActionKind::Link, "tail", &[cheap, heavy], |_| Ok(vec![3]));
+            graph
+        }
+        let fifo = Engine::uncached(&ImageStore::new()).with_workers(1);
+        let fifo_run = fifo.run(build());
+        let cpf = Engine::uncached(&ImageStore::new())
+            .with_workers(1)
+            .with_policy(CriticalPathFirst::new());
+        let cpf_run = cpf.run(build());
+        // Same node-ordered trace records and outputs...
+        assert_eq!(fifo_run.trace.records, cpf_run.trace.records);
+        assert_eq!(fifo_run.output(2), cpf_run.output(2));
+        // ...but the observable dispatch order differs and names the policy.
+        assert_eq!(fifo_run.trace.policy, "fifo");
+        assert_eq!(cpf_run.trace.policy, "critical-path-first");
+        let first = |run: &GraphRun<std::convert::Infallible>| {
+            run.trace.execution_order().first().cloned().unwrap()
+        };
+        assert!(first(&fifo_run).starts_with("preprocess|cheap"));
+        assert!(first(&cpf_run).starts_with("ir-lower|heavy"));
+    }
+
+    #[test]
+    fn concurrency_caps_bound_in_flight_actions_without_changing_outputs() {
+        use std::sync::atomic::AtomicUsize;
+        let in_flight = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        let mut graph: ActionGraph<'_, std::convert::Infallible> = ActionGraph::new();
+        for unit in 0..12 {
+            let in_flight = &in_flight;
+            let peak = &peak;
+            graph.add(
+                ActionKind::SdCompile,
+                format!("sd{unit:02}"),
+                &[],
+                move |_| {
+                    let now = in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                    in_flight.fetch_sub(1, Ordering::SeqCst);
+                    Ok(vec![unit as u8])
+                },
+            );
+        }
+        let engine = Engine::uncached(&ImageStore::new())
+            .with_workers(6)
+            .with_policy(CriticalPathFirst::new().with_cap(ActionKind::SdCompile, 2));
+        let run = engine.run(graph);
+        assert!(run.succeeded());
+        assert!(
+            peak.load(Ordering::SeqCst) <= 2,
+            "cap of 2 exceeded: {} sd-compiles in flight",
+            peak.load(Ordering::SeqCst)
+        );
+        assert_eq!(run.trace.len(), 12);
+        // Deferred nodes accumulate queue wait, and every record carries its seq.
+        let waits = run.trace.queue_wait_micros_by_kind();
+        assert!(waits[&ActionKind::SdCompile] > 0);
+    }
+
+    #[test]
+    fn zero_caps_are_clamped_to_one_instead_of_deadlocking() {
+        let mut graph: ActionGraph<'_, std::convert::Infallible> = ActionGraph::new();
+        graph.add(ActionKind::SdCompile, "sd", &[], |_| Ok(vec![1]));
+        let engine = Engine::uncached(&ImageStore::new())
+            .with_workers(2)
+            .with_policy(CriticalPathFirst::new().with_cap(ActionKind::SdCompile, 0));
+        let run = engine.run(graph);
+        assert!(run.succeeded(), "the raw engine must refuse to deadlock");
     }
 
     #[test]

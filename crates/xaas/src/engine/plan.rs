@@ -72,6 +72,52 @@ impl PreprocessPlanner {
     }
 }
 
+/// Schedules deduplicated cache-keyed actions on a graph.
+///
+/// The [`ActionGraph`] contract allows at most one node per
+/// [`BuildKey`](xaas_container::BuildKey) per submission, so drivers plan one
+/// representative action per distinct key and remember, for every logical unit,
+/// the *position* of its key's action among the scheduled ones (the index of its
+/// output in a downstream Link node's inputs). Both the IR-build (`ir-lower`) and
+/// source-deploy (`sd-compile`) drivers plan with this.
+#[derive(Default)]
+pub struct KeyedActionPlanner {
+    position_by_key: BTreeMap<String, usize>,
+    actions: Vec<ActionId>,
+}
+
+impl KeyedActionPlanner {
+    /// An empty planner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The position of `key`'s action among the scheduled actions, calling
+    /// `schedule` (which must `add_cached` one node for `key` on `graph`) only the
+    /// first time the key is seen.
+    pub fn position_for<'env, E>(
+        &mut self,
+        graph: &mut ActionGraph<'env, E>,
+        key: xaas_container::BuildKey,
+        schedule: impl FnOnce(&mut ActionGraph<'env, E>, xaas_container::BuildKey) -> ActionId,
+    ) -> usize {
+        let key_digest = key.digest().as_str().to_string();
+        if let Some(&position) = self.position_by_key.get(&key_digest) {
+            return position;
+        }
+        let position = self.actions.len();
+        let id = schedule(graph, key);
+        self.position_by_key.insert(key_digest, position);
+        self.actions.push(id);
+        position
+    }
+
+    /// The scheduled action ids, in planning order (a Link node's dependency list).
+    pub fn into_actions(self) -> Vec<ActionId> {
+        self.actions
+    }
+}
+
 /// A typed slot a Link action uses to hand its assembled result to the driver.
 ///
 /// Graph nodes exchange bytes; the assembled `Image` (plus whatever typed pieces the

@@ -1,0 +1,234 @@
+//! Engine-level scheduling policies: who runs next, and how many at once.
+//!
+//! The executor treats the ready frontier as a policy question. A
+//! [`SchedulingPolicy`] answers it twice per node: *ordering* (which ready action a
+//! free worker dispatches next) and *admission* (how many actions of one
+//! [`ActionKind`] may be in flight simultaneously). Two policies ship:
+//!
+//! * [`Fifo`] — the default: dispatch in readiness order, no per-kind caps. This is
+//!   the schedule the engine has always produced.
+//! * [`CriticalPathFirst`] — weight every node by the per-kind cost of the longest
+//!   downstream chain it sits on (preprocess ≪ ir-lower, per the paper's stage
+//!   economics) and dispatch the heaviest first, optionally bounding per-kind
+//!   concurrency — e.g. a small number of `sd-compile` slots to model a licensed
+//!   system toolchain that only admits N concurrent compiles.
+//!
+//! Policies change *when* actions run, never *what* they produce: artifacts stay
+//! byte-identical under every policy (the schedule-independence property tests
+//! cover this), and the chosen policy plus its observable effects — dispatch order,
+//! per-kind queue-wait — are recorded in the run's
+//! [`ActionTrace`](crate::engine::ActionTrace).
+
+use super::trace::ActionKind;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A pluggable scheduling policy for the engine's ready queue.
+///
+/// Implementations must be cheap: the executor consults the policy once per node at
+/// graph-admission time (costs) and holds no lock while doing so.
+pub trait SchedulingPolicy: Send + Sync + fmt::Debug {
+    /// Stable policy name, recorded in [`ActionTrace::policy`](crate::engine::ActionTrace::policy).
+    fn name(&self) -> &str;
+
+    /// Relative cost of one action of `kind`, used to weight critical paths when
+    /// [`critical_path_first`](Self::critical_path_first) is on. The default treats
+    /// every kind as equally expensive.
+    fn action_cost(&self, _kind: ActionKind) -> u64 {
+        1
+    }
+
+    /// Maximum number of actions of `kind` allowed in flight at once; `None` means
+    /// unbounded. A cap of **zero is invalid**: the
+    /// [`Orchestrator`](crate::orchestrator::Orchestrator) rejects it up front with
+    /// [`PolicyError::ZeroCap`], and the raw executor — which cannot fabricate a
+    /// driver-typed error — clamps it to one rather than deadlock.
+    fn concurrency_cap(&self, _kind: ActionKind) -> Option<usize> {
+        None
+    }
+
+    /// Whether the ready queue dispatches by descending critical-path weight
+    /// (`true`) instead of readiness order (`false`).
+    fn critical_path_first(&self) -> bool {
+        false
+    }
+
+    /// Check the policy for configurations the executor cannot honor (currently:
+    /// zero concurrency caps, which would make nodes of that kind unrunnable).
+    fn validate(&self) -> Result<(), PolicyError> {
+        for kind in ActionKind::ALL {
+            if self.concurrency_cap(kind) == Some(0) {
+                return Err(PolicyError::ZeroCap { kind });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// An invalid scheduling-policy configuration, surfaced as a typed error by the
+/// orchestrator before any action runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyError {
+    /// The policy caps `kind` at zero concurrent actions, which would leave every
+    /// node of that kind unrunnable.
+    ZeroCap {
+        /// The action kind with the zero cap.
+        kind: ActionKind,
+    },
+}
+
+impl fmt::Display for PolicyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PolicyError::ZeroCap { kind } => {
+                write!(
+                    f,
+                    "scheduling policy caps `{kind}` at zero concurrent actions; \
+                     a cap must be at least 1"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for PolicyError {}
+
+/// The default policy: dispatch ready actions in readiness order, unbounded
+/// per-kind concurrency.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Fifo;
+
+impl SchedulingPolicy for Fifo {
+    fn name(&self) -> &str {
+        "fifo"
+    }
+}
+
+/// Critical-path-first scheduling with optional per-kind concurrency caps.
+///
+/// Node priority is the cost-weighted length of the longest chain from the node to
+/// a graph sink, using [`action_cost`](SchedulingPolicy::action_cost) per kind; a
+/// free worker always dispatches the heaviest ready node. The default cost table
+/// reflects the measured shape of the pipeline: preprocessing and OpenMP detection
+/// are cheap AST passes, IR/machine lowering dominate (they run codegen over whole
+/// modules), deployment-time system-dependent compiles sit in between, and
+/// link/commit are cheap tails.
+#[derive(Debug, Clone)]
+pub struct CriticalPathFirst {
+    costs: BTreeMap<ActionKind, u64>,
+    caps: BTreeMap<ActionKind, usize>,
+}
+
+impl CriticalPathFirst {
+    /// The policy with its default cost table and no concurrency caps.
+    pub fn new() -> Self {
+        let costs = [
+            (ActionKind::Preprocess, 1),
+            (ActionKind::OpenMpDetect, 2),
+            (ActionKind::IrLower, 8),
+            (ActionKind::MachineLower, 8),
+            (ActionKind::SdCompile, 6),
+            (ActionKind::Link, 4),
+            (ActionKind::Commit, 2),
+        ]
+        .into_iter()
+        .collect();
+        Self {
+            costs,
+            caps: BTreeMap::new(),
+        }
+    }
+
+    /// Override the relative cost of `kind`.
+    pub fn with_cost(mut self, kind: ActionKind, cost: u64) -> Self {
+        self.costs.insert(kind, cost);
+        self
+    }
+
+    /// Bound the number of in-flight actions of `kind` (e.g. limited `sd-compile`
+    /// slots modelling a licensed toolchain). A cap of zero is rejected by
+    /// [`SchedulingPolicy::validate`].
+    pub fn with_cap(mut self, kind: ActionKind, cap: usize) -> Self {
+        self.caps.insert(kind, cap);
+        self
+    }
+}
+
+impl Default for CriticalPathFirst {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SchedulingPolicy for CriticalPathFirst {
+    fn name(&self) -> &str {
+        "critical-path-first"
+    }
+
+    fn action_cost(&self, kind: ActionKind) -> u64 {
+        self.costs.get(&kind).copied().unwrap_or(1)
+    }
+
+    fn concurrency_cap(&self, kind: ActionKind) -> Option<usize> {
+        self.caps.get(&kind).copied()
+    }
+
+    fn critical_path_first(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_is_unbounded_and_unit_cost() {
+        let policy = Fifo;
+        assert_eq!(policy.name(), "fifo");
+        assert!(!policy.critical_path_first());
+        for kind in ActionKind::ALL {
+            assert_eq!(policy.action_cost(kind), 1);
+            assert_eq!(policy.concurrency_cap(kind), None);
+        }
+        assert!(policy.validate().is_ok());
+    }
+
+    #[test]
+    fn critical_path_first_defaults_make_lowering_dominate() {
+        let policy = CriticalPathFirst::new();
+        assert!(policy.critical_path_first());
+        assert!(
+            policy.action_cost(ActionKind::IrLower) > policy.action_cost(ActionKind::Preprocess)
+        );
+        assert!(
+            policy.action_cost(ActionKind::MachineLower)
+                > policy.action_cost(ActionKind::SdCompile),
+            "lowering stored IR outweighs the few system-dependent glue compiles"
+        );
+        assert!(policy.validate().is_ok());
+    }
+
+    #[test]
+    fn builders_override_costs_and_caps() {
+        let policy = CriticalPathFirst::new()
+            .with_cost(ActionKind::SdCompile, 99)
+            .with_cap(ActionKind::SdCompile, 2);
+        assert_eq!(policy.action_cost(ActionKind::SdCompile), 99);
+        assert_eq!(policy.concurrency_cap(ActionKind::SdCompile), Some(2));
+        assert_eq!(policy.concurrency_cap(ActionKind::Link), None);
+    }
+
+    #[test]
+    fn zero_caps_fail_validation_with_the_offending_kind() {
+        let policy = CriticalPathFirst::new().with_cap(ActionKind::SdCompile, 0);
+        let error = policy.validate().unwrap_err();
+        assert_eq!(
+            error,
+            PolicyError::ZeroCap {
+                kind: ActionKind::SdCompile
+            }
+        );
+        assert!(error.to_string().contains("sd-compile"));
+    }
+}

@@ -2,7 +2,7 @@
 //!
 //! Every node of an [`ActionGraph`](crate::engine::ActionGraph) that completes
 //! successfully leaves one [`ActionRecord`] behind, assembled in node order so the
-//! trace is deterministic regardless of how the work-stealing executor interleaved
+//! trace is deterministic regardless of how the executor's worker pool interleaved
 //! the actions. Two builds of the same inputs therefore produce *equal* traces (up
 //! to the `cached` flags, which depend on the cache's starting state) — the
 //! property tests lean on this to prove that parallel and serial builds execute the
@@ -33,6 +33,32 @@ pub enum ActionKind {
 }
 
 impl ActionKind {
+    /// Every action kind, in pipeline order. Scheduling policies iterate this to
+    /// declare per-kind costs and concurrency caps.
+    pub const ALL: [ActionKind; 7] = [
+        ActionKind::Preprocess,
+        ActionKind::OpenMpDetect,
+        ActionKind::IrLower,
+        ActionKind::MachineLower,
+        ActionKind::SdCompile,
+        ActionKind::Link,
+        ActionKind::Commit,
+    ];
+
+    /// Dense index of the kind inside [`ActionKind::ALL`] (used for per-kind
+    /// concurrency accounting in the executor).
+    pub fn index(self) -> usize {
+        match self {
+            ActionKind::Preprocess => 0,
+            ActionKind::OpenMpDetect => 1,
+            ActionKind::IrLower => 2,
+            ActionKind::MachineLower => 3,
+            ActionKind::SdCompile => 4,
+            ActionKind::Link => 5,
+            ActionKind::Commit => 6,
+        }
+    }
+
     /// Stable lowercase name (used in action-set identities and JSON reports).
     pub fn as_str(&self) -> &'static str {
         match self {
@@ -54,7 +80,12 @@ impl std::fmt::Display for ActionKind {
 }
 
 /// One successfully executed (or cache-served) action.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Equality deliberately ignores the timing/scheduling diagnostics
+/// (`queue_wait_micros`, `exec_micros`, `schedule_seq`): two runs of the same build
+/// produce *equal* traces even though their wall-clock behaviour differs, which is
+/// what the schedule-independence property tests assert.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ActionRecord {
     /// The pipeline stage.
     pub kind: ActionKind,
@@ -65,7 +96,31 @@ pub struct ActionRecord {
     pub key_digest: Option<String>,
     /// Whether the action was served from the cache instead of executing.
     pub cached: bool,
+    /// Microseconds the action spent in the ready queue (from becoming runnable —
+    /// dependencies satisfied — to a worker dispatching it). Scheduling-policy
+    /// effects (priorities, per-kind concurrency caps) show up here.
+    #[serde(default)]
+    pub queue_wait_micros: u64,
+    /// Microseconds the action spent executing (or being served from the cache).
+    #[serde(default)]
+    pub exec_micros: u64,
+    /// Global dispatch index assigned when a worker popped the action from the
+    /// engine's ready queue — the observable execution order the scheduling policy
+    /// produced. Monotone across successive submissions to the same engine.
+    #[serde(default)]
+    pub schedule_seq: u64,
 }
+
+impl PartialEq for ActionRecord {
+    fn eq(&self, other: &Self) -> bool {
+        self.kind == other.kind
+            && self.label == other.label
+            && self.key_digest == other.key_digest
+            && self.cached == other.cached
+    }
+}
+
+impl Eq for ActionRecord {}
 
 impl ActionRecord {
     /// The cache-independent identity of the action: `kind|label|key`. Two runs of
@@ -108,6 +163,10 @@ pub struct ActionTrace {
     /// the graphs' critical-path depths. A single-threaded executor runs
     /// `records.len()` serial steps; a parallel one needs only `stage_depth` waves.
     pub stage_depth: usize,
+    /// Name of the [`SchedulingPolicy`](crate::engine::SchedulingPolicy) the engine
+    /// scheduled the run under (`"fifo"`, `"critical-path-first"`, …).
+    #[serde(default)]
+    pub policy: String,
 }
 
 impl ActionTrace {
@@ -125,6 +184,9 @@ impl ActionTrace {
     pub fn merge(&mut self, other: ActionTrace) {
         self.records.extend(other.records);
         self.stage_depth += other.stage_depth;
+        if self.policy.is_empty() {
+            self.policy = other.policy;
+        }
     }
 
     /// Executed-vs-cached counts over the *cache-routed* actions only, matching the
@@ -155,6 +217,28 @@ impl ActionTrace {
         }
         counts
     }
+
+    /// Total ready-queue wait per [`ActionKind`], in microseconds. This is where
+    /// scheduling-policy effects (per-kind concurrency caps, priority inversion)
+    /// become visible and assertable.
+    pub fn queue_wait_micros_by_kind(&self) -> BTreeMap<ActionKind, u64> {
+        let mut waits = BTreeMap::new();
+        for record in &self.records {
+            *waits.entry(record.kind).or_insert(0) += record.queue_wait_micros;
+        }
+        waits
+    }
+
+    /// Action identities in the order the scheduling policy dispatched them
+    /// (ascending [`ActionRecord::schedule_seq`]). Unlike [`records`](Self::records)
+    /// — which are always in node order — this order *does* depend on the policy:
+    /// `Fifo` and `CriticalPathFirst` runs of the same graph differ here while
+    /// producing byte-identical artifacts.
+    pub fn execution_order(&self) -> Vec<String> {
+        let mut ordered: Vec<&ActionRecord> = self.records.iter().collect();
+        ordered.sort_by_key(|r| r.schedule_seq);
+        ordered.into_iter().map(ActionRecord::identity).collect()
+    }
 }
 
 #[cfg(test)]
@@ -167,6 +251,9 @@ mod tests {
             label: label.to_string(),
             key_digest: key.map(str::to_string),
             cached,
+            queue_wait_micros: 0,
+            exec_micros: 0,
+            schedule_seq: 0,
         }
     }
 
@@ -180,6 +267,7 @@ mod tests {
                 record(ActionKind::Commit, "img", None, false),
             ],
             stage_depth: 3,
+            policy: String::new(),
         };
         assert_eq!(
             trace.summary(),
@@ -197,10 +285,12 @@ mod tests {
         let cold = ActionTrace {
             records: vec![record(ActionKind::IrLower, "a.ck", Some("ab12"), false)],
             stage_depth: 1,
+            policy: String::new(),
         };
         let warm = ActionTrace {
             records: vec![record(ActionKind::IrLower, "a.ck", Some("ab12"), true)],
             stage_depth: 1,
+            policy: String::new(),
         };
         assert_ne!(cold, warm, "cached flags differ");
         assert_eq!(cold.action_set(), warm.action_set());
@@ -211,10 +301,12 @@ mod tests {
         let mut trace = ActionTrace {
             records: vec![record(ActionKind::Preprocess, "a.ck", None, false)],
             stage_depth: 1,
+            policy: String::new(),
         };
         trace.merge(ActionTrace {
             records: vec![record(ActionKind::Link, "img", None, false)],
             stage_depth: 2,
+            policy: String::new(),
         });
         assert_eq!(trace.len(), 2);
         assert_eq!(trace.stage_depth, 3);

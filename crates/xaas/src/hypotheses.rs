@@ -79,7 +79,8 @@ pub fn hypothesis2(project: &ProjectSpec) -> Hypothesis2Report {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ir_container::{build_ir_container, IrPipelineConfig};
+    use crate::ir_container::IrPipelineConfig;
+    use crate::orchestrator::{IrBuildRequest, Orchestrator};
     use xaas_apps::{gromacs, llamacpp, lulesh};
     use xaas_container::ImageStore;
 
@@ -88,7 +89,10 @@ mod tests {
         let project = lulesh::project();
         let store = ImageStore::new();
         let config = IrPipelineConfig::sweep_options(&project, &["WITH_MPI", "WITH_OPENMP"]);
-        let build = build_ir_container(&project, &config, &store, "l:ir").unwrap();
+        let build = IrBuildRequest::new(&project, &config)
+            .reference("l:ir")
+            .submit(&Orchestrator::uncached(&store))
+            .unwrap();
         let report = hypothesis1(&build.stats);
         assert!(report.holds);
         assert!(report.reduction_percent > 30.0);
@@ -101,7 +105,10 @@ mod tests {
         let store = ImageStore::new();
         let mut config = IrPipelineConfig::sweep_options(&project, &[]);
         config.sweep.clear();
-        let build = build_ir_container(&project, &config, &store, "l:single").unwrap();
+        let build = IrBuildRequest::new(&project, &config)
+            .reference("l:single")
+            .submit(&Orchestrator::uncached(&store))
+            .unwrap();
         let report = hypothesis1(&build.stats);
         assert!(
             !report.holds,

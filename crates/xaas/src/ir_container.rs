@@ -18,8 +18,8 @@
 //! stored as XIR bitcode in the image.
 
 use crate::engine::{
-    add_commit_action, ActionGraph, ActionId, ActionKind, ActionTrace, Engine, LinkSlot,
-    PreprocessPlanner,
+    add_commit_action, ActionGraph, ActionId, ActionKind, ActionTrace, Engine, KeyedActionPlanner,
+    LinkSlot, PreprocessPlanner,
 };
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
@@ -255,11 +255,14 @@ pub enum IrPipelineError {
     },
     /// The sweep referenced an unknown option.
     UnknownOption(String),
-    /// A compile command referenced a source that is not enabled in its
-    /// configuration (a malformed compile database).
+    /// A target (or the generated compile database) references a source file the
+    /// project does not provide — neither as a source spec nor as a custom-target
+    /// product (a malformed project).
     UnknownSource { file: String },
     /// A cached artifact failed to decode (action-cache corruption).
     Cache(String),
+    /// The orchestrator's scheduling policy is invalid (e.g. a zero concurrency cap).
+    Policy(crate::engine::PolicyError),
 }
 
 impl fmt::Display for IrPipelineError {
@@ -277,6 +280,7 @@ impl fmt::Display for IrPipelineError {
                 )
             }
             IrPipelineError::Cache(detail) => write!(f, "action cache: {detail}"),
+            IrPipelineError::Policy(error) => write!(f, "{error}"),
         }
     }
 }
@@ -322,30 +326,38 @@ fn enumerate_assignments(
     Ok(assignments)
 }
 
-/// Build an IR container for `project`, sweeping the configured specialization points.
-///
-/// Thin shim over [`build_ir_container_with`] using an uncached
-/// ([`NoCache`](xaas_container::NoCache)-backed) engine over `store` — every compile
-/// action runs.
+/// Build an IR container for `project`, sweeping the configured specialization points,
+/// over an uncached ([`NoCache`](xaas_container::NoCache)-backed) orchestrator —
+/// every compile action runs.
+#[deprecated(
+    since = "0.2.0",
+    note = "use xaas::orchestrator::IrBuildRequest with Orchestrator::uncached(store)"
+)]
 pub fn build_ir_container(
     project: &ProjectSpec,
     config: &IrPipelineConfig,
     store: &ImageStore,
     reference: &str,
 ) -> Result<IrContainerBuild, IrPipelineError> {
-    build_ir_container_with(project, config, &Engine::uncached(store), reference)
+    crate::orchestrator::IrBuildRequest::new(project, config)
+        .reference(reference)
+        .submit(&crate::orchestrator::Orchestrator::uncached(store))
 }
 
 /// Build an IR container, routing every compile action through `cache`.
-///
-/// Thin shim over [`build_ir_container_with`] with an [`ActionCache`]-backed engine.
+#[deprecated(
+    since = "0.2.0",
+    note = "use xaas::orchestrator::IrBuildRequest with Orchestrator::with_cache(cache)"
+)]
 pub fn build_ir_container_cached(
     project: &ProjectSpec,
     config: &IrPipelineConfig,
     cache: &ActionCache,
     reference: &str,
 ) -> Result<IrContainerBuild, IrPipelineError> {
-    build_ir_container_with(project, config, &Engine::cached(cache), reference)
+    crate::orchestrator::IrBuildRequest::new(project, config)
+        .reference(reference)
+        .submit(&crate::orchestrator::Orchestrator::with_cache(cache))
 }
 
 /// One system-independent translation-unit occurrence discovered during configuration
@@ -364,8 +376,46 @@ struct TuOccurrence {
     openmp_action: Option<ActionId>,
 }
 
+/// Build an IR container through an explicitly configured `engine`.
+#[deprecated(
+    since = "0.2.0",
+    note = "use xaas::orchestrator::IrBuildRequest with Orchestrator::from_engine(engine)"
+)]
+pub fn build_ir_container_with(
+    project: &ProjectSpec,
+    config: &IrPipelineConfig,
+    engine: &Engine,
+    reference: &str,
+) -> Result<IrContainerBuild, IrPipelineError> {
+    crate::orchestrator::IrBuildRequest::new(project, config)
+        .reference(reference)
+        .submit(&crate::orchestrator::Orchestrator::from_engine(
+            engine.clone(),
+        ))
+}
+
+/// Every source path the project can legitimately compile: declared sources plus
+/// custom-target products. A target referencing anything else is malformed — the
+/// drivers surface it as a typed `UnknownSource` error instead of silently skipping
+/// the unit.
+pub(crate) fn unknown_target_source(project: &ProjectSpec) -> Option<String> {
+    let known: BTreeSet<&str> = project
+        .sources
+        .iter()
+        .map(|s| s.path.as_str())
+        .chain(project.custom_targets.iter().map(|c| c.generates.as_str()))
+        .collect();
+    project
+        .targets
+        .iter()
+        .flat_map(|target| &target.sources)
+        .find(|path| !known.contains(path.as_str()))
+        .cloned()
+}
+
 /// Build an IR container by constructing staged action graphs and submitting them to
-/// `engine`.
+/// `engine` (the driver behind
+/// [`IrBuildRequest`](crate::orchestrator::IrBuildRequest)).
 ///
 /// The build runs as an explicit pipeline over the engine's worker pool:
 ///
@@ -378,15 +428,19 @@ struct TuOccurrence {
 /// 4. **link + commit** (graph B tail): assemble the image layers from the lowered
 ///    units and commit it to the engine's store.
 ///
-/// The resulting image is byte-identical for any worker count and whether actions hit
-/// or miss the cache; only [`IrContainerBuild::actions`]/[`IrContainerBuild::trace`]
-/// differ in their `cached` flags.
-pub fn build_ir_container_with(
+/// The resulting image is byte-identical for any worker count, scheduling policy,
+/// and whether actions hit or miss the cache; only
+/// [`IrContainerBuild::actions`]/[`IrContainerBuild::trace`] differ in their
+/// `cached` flags.
+pub(crate) fn run_ir_build(
     project: &ProjectSpec,
     config: &IrPipelineConfig,
     engine: &Engine,
     reference: &str,
 ) -> Result<IrContainerBuild, IrPipelineError> {
+    if let Some(file) = unknown_target_source(project) {
+        return Err(IrPipelineError::UnknownSource { file });
+    }
     let assignments = enumerate_assignments(project, config)?;
     let mut compiler = Compiler::new();
     for (name, content) in &project.headers {
@@ -605,14 +659,14 @@ pub fn build_ir_container_with(
         manifests: Vec<ConfigurationManifest>,
     }
     let assembled: LinkSlot<Assembled> = LinkSlot::new();
-    // Position (within `lower_actions`) of the action producing each ordered key's
-    // bitcode. Distinct stage-4 keys normally map to distinct BuildKeys, but the graph
-    // contract is one node per key, so identical BuildKeys share one action.
+    // Position (within the planned lower actions) of the action producing each
+    // ordered key's bitcode. Distinct stage-4 keys normally map to distinct
+    // BuildKeys, but the graph contract is one node per key, so identical BuildKeys
+    // share one action (the KeyedActionPlanner enforces this).
     let mut key_positions: Vec<usize> = Vec::with_capacity(final_keys.len());
     let ordered_keys: Vec<&String> = final_keys.keys().collect();
     let mut stage_b: ActionGraph<'_, IrPipelineError> = ActionGraph::new();
-    let mut lower_actions: Vec<ActionId> = Vec::new();
-    let mut position_by_build_key: BTreeMap<String, usize> = BTreeMap::new();
+    let mut lower_plan = KeyedActionPlanner::new();
     for (file, content, flags, tu_digest) in final_keys.values() {
         // The IR is compiled without the delayed ISA flags; OpenMP stays as classified.
         let ir_flags = flags.without_delayed_target_flags();
@@ -626,19 +680,10 @@ pub fn build_ir_container_with(
             ),
             TOOLCHAIN_ID,
         );
-        let key_digest = build_key.digest().as_str().to_string();
-        if let Some(&position) = position_by_build_key.get(&key_digest) {
-            key_positions.push(position);
-            continue;
-        }
         let compiler = &compiler;
         let optimize_early = config.optimize_early;
-        let id = stage_b.add_cached(
-            ActionKind::IrLower,
-            file.clone(),
-            build_key,
-            &[],
-            move |_| {
+        let position = lower_plan.position_for(&mut stage_b, build_key, |graph, key| {
+            graph.add_cached(ActionKind::IrLower, file.clone(), key, &[], move |_| {
                 let mut module =
                     compiler
                         .compile_to_ir(file, content, &ir_flags)
@@ -650,12 +695,11 @@ pub fn build_ir_container_with(
                     xaas_xir::passes::scalar_unroll(&mut module, 4);
                 }
                 Ok(bitcode::encode(&module))
-            },
-        );
-        position_by_build_key.insert(key_digest, lower_actions.len());
-        key_positions.push(lower_actions.len());
-        lower_actions.push(id);
+            })
+        });
+        key_positions.push(position);
     }
+    let lower_actions = lower_plan.into_actions();
 
     // Link: decode the lowered units, resolve manifests, and assemble the image. The
     // assembled pieces travel to the driver through the `assembled` slot (they are
@@ -808,7 +852,32 @@ pub fn sanitize(label: &str) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::orchestrator::{IrBuildRequest, Orchestrator};
     use xaas_apps::{gromacs, lulesh};
+
+    /// Old free-function shape, routed through the orchestrator (uncached).
+    fn build(
+        project: &ProjectSpec,
+        config: &IrPipelineConfig,
+        store: &ImageStore,
+        reference: &str,
+    ) -> Result<IrContainerBuild, IrPipelineError> {
+        IrBuildRequest::new(project, config)
+            .reference(reference)
+            .submit(&Orchestrator::uncached(store))
+    }
+
+    /// Old `_cached` shape, routed through the orchestrator (shared cache).
+    fn build_cached(
+        project: &ProjectSpec,
+        config: &IrPipelineConfig,
+        cache: &ActionCache,
+        reference: &str,
+    ) -> Result<IrContainerBuild, IrPipelineError> {
+        IrBuildRequest::new(project, config)
+            .reference(reference)
+            .submit(&Orchestrator::with_cache(cache))
+    }
 
     #[test]
     fn lulesh_pipeline_reproduces_the_20_to_14_reduction_structure() {
@@ -819,7 +888,7 @@ mod tests {
         let project = lulesh::project();
         let store = ImageStore::new();
         let config = IrPipelineConfig::sweep_options(&project, &["WITH_MPI", "WITH_OPENMP"]);
-        let build = build_ir_container(&project, &config, &store, "spcl/mini-lulesh:ir").unwrap();
+        let build = build(&project, &config, &store, "spcl/mini-lulesh:ir").unwrap();
         let stats = build.stats;
         assert_eq!(stats.configurations, 4);
         assert_eq!(stats.total_translation_units, 20);
@@ -841,8 +910,7 @@ mod tests {
             "GMX_SIMD",
             &["SSE4.1", "AVX2_128", "AVX_256", "AVX2_256", "AVX_512"],
         );
-        let build =
-            build_ir_container(&project, &config, &store, "spcl/mini-gromacs:ir-x86").unwrap();
+        let build = build(&project, &config, &store, "spcl/mini-gromacs:ir-x86").unwrap();
         let stats = build.stats;
         assert_eq!(stats.configurations, 5);
         // Five configurations of the same CPU-only file set.
@@ -870,9 +938,9 @@ mod tests {
         let mut config = IrPipelineConfig::sweep_options(&project, &["GMX_SIMD"])
             .with_values("GMX_SIMD", &["SSE4.1", "AVX_512"]);
         config.stages.vectorization_delay = false;
-        let without = build_ir_container(&project, &config, &store, "a:1").unwrap();
+        let without = build(&project, &config, &store, "a:1").unwrap();
         config.stages.vectorization_delay = true;
-        let with = build_ir_container(&project, &config, &store, "a:2").unwrap();
+        let with = build(&project, &config, &store, "a:2").unwrap();
         assert!(without.stats.ir_files_built() > with.stats.ir_files_built());
         // 95%+ of identical targets differ only in CPU tuning (the Section 6.4 finding).
         let share = with.stats.ir_files_built() as f64 / without.stats.ir_files_built() as f64;
@@ -888,9 +956,9 @@ mod tests {
         let store = ImageStore::new();
         let mut config = IrPipelineConfig::sweep_options(&project, &["WITH_OPENMP"]);
         config.stages.openmp_detection = false;
-        let without = build_ir_container(&project, &config, &store, "l:1").unwrap();
+        let without = build(&project, &config, &store, "l:1").unwrap();
         config.stages.openmp_detection = true;
-        let with = build_ir_container(&project, &config, &store, "l:2").unwrap();
+        let with = build(&project, &config, &store, "l:2").unwrap();
         assert!(with.stats.ir_files_built() < without.stats.ir_files_built());
         // eos, util and comm are OpenMP-free → they collapse across the two configurations.
         assert_eq!(
@@ -904,7 +972,7 @@ mod tests {
         let project = gromacs::project();
         let store = ImageStore::new();
         let config = IrPipelineConfig::sweep_options(&project, &["GMX_MPI"]);
-        let build = build_ir_container(&project, &config, &store, "g:mpi").unwrap();
+        let build = build(&project, &config, &store, "g:mpi").unwrap();
         let mpi_on = build
             .manifest_for(&OptionAssignment::new().with("GMX_MPI", "ON"))
             .expect("manifest for MPI=ON");
@@ -934,7 +1002,7 @@ mod tests {
         let project = lulesh::project();
         let store = ImageStore::new();
         let config = IrPipelineConfig::sweep_options(&project, &["WITH_OPENMP"]);
-        let build = build_ir_container(&project, &config, &store, "spcl/lulesh:ir").unwrap();
+        let build = build(&project, &config, &store, "spcl/lulesh:ir").unwrap();
         let root = build.image.rootfs();
         let ir_blobs: Vec<_> = root.paths_under(paths::IR_ROOT).collect();
         assert_eq!(ir_blobs.len(), build.units.len());
@@ -959,10 +1027,10 @@ mod tests {
         let store = ImageStore::new();
         let cache = ActionCache::new(store.clone());
         let config = IrPipelineConfig::sweep_options(&project, &["WITH_MPI", "WITH_OPENMP"]);
-        let cold = build_ir_container_cached(&project, &config, &cache, "warm:a").unwrap();
+        let cold = build_cached(&project, &config, &cache, "warm:a").unwrap();
         assert_eq!(cold.actions.cached, 0);
         assert_eq!(cold.actions.executed, cold.units.len());
-        let warm = build_ir_container_cached(&project, &config, &cache, "warm:b").unwrap();
+        let warm = build_cached(&project, &config, &cache, "warm:b").unwrap();
         assert_eq!(warm.actions.executed, 0, "warm build compiles nothing");
         assert_eq!(warm.actions.cached, cold.actions.executed);
         // Identical artifacts: same units, same stats, same layer bytes.
@@ -983,7 +1051,7 @@ mod tests {
             optimize_early: false,
         };
         assert!(matches!(
-            build_ir_container(&project, &config, &store, "x:1"),
+            build(&project, &config, &store, "x:1"),
             Err(IrPipelineError::UnknownOption(_))
         ));
     }

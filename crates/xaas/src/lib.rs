@@ -7,6 +7,10 @@
 //!
 //! The crate composes the substrates:
 //!
+//! * [`orchestrator`] — **the front door**: an [`Orchestrator`] session owning the
+//!   engine, cache, store, and scheduling policy, with typed request builders
+//!   ([`IrBuildRequest`], [`IrDeployRequest`], [`SourceDeployRequest`],
+//!   [`FleetRequest`]) for every pipeline;
 //! * [`source_container`] — build a source+toolchain image once per architecture, then
 //!   specialise it on the target system (discovery → intersection → selection → build),
 //!   Figure 6;
@@ -19,8 +23,9 @@
 //!   system-specialized image;
 //! * [`engine`] — the staged action-graph engine all of the above execute through: an
 //!   explicit DAG of preprocess/openmp-detect/ir-lower/machine-lower/sd-compile/link/
-//!   commit actions, a work-stealing executor, transparent action-cache routing, and a
-//!   deterministic per-build [`ActionTrace`](engine::ActionTrace);
+//!   commit actions, a policy-scheduled worker-pool executor, transparent action-cache
+//!   routing, and a
+//!   deterministic per-build [`ActionTrace`];
 //! * [`scheduler`] — the fleet specializer: one IR container, many systems, a shared
 //!   content-addressed action cache, one shared engine;
 //! * [`gpu_compat`] — CUDA driver/runtime/PTX/cubin compatibility planning (Figure 9);
@@ -34,9 +39,12 @@
 //! use xaas_apps::lulesh;
 //!
 //! let project = lulesh::project();
-//! let store = ImageStore::new();
 //! let pipeline = IrPipelineConfig::sweep_options(&project, &["WITH_MPI", "WITH_OPENMP"]);
-//! let build = build_ir_container(&project, &pipeline, &store, "spcl/mini-lulesh:ir").unwrap();
+//! let orch = Orchestrator::new();
+//! let build = IrBuildRequest::new(&project, &pipeline)
+//!     .reference("spcl/mini-lulesh:ir")
+//!     .submit(&orch)
+//!     .unwrap();
 //! assert!(build.stats.ir_files_built() < build.stats.total_translation_units);
 //! ```
 
@@ -47,38 +55,49 @@ pub mod engine;
 pub mod gpu_compat;
 pub mod hypotheses;
 pub mod ir_container;
+pub mod orchestrator;
 pub mod portability;
 pub mod scheduler;
 pub mod source_container;
 pub mod targets;
 
 /// Commonly used types re-exported together.
+///
+/// Since the orchestrator redesign this exports the session API — [`Orchestrator`],
+/// its builder, and the typed request types — plus result/error types and the
+/// engine vocabulary. The deprecated free-function entry points
+/// (`build_ir_container`, `deploy_ir_container`, `deploy_source_container`) are
+/// still re-exported for discoverability of the migration notes, but their
+/// `_cached`/`_with` variants are reachable only at their module paths.
 pub mod prelude {
-    pub use crate::deploy::{
-        deploy_ir_container, deploy_ir_container_cached, deploy_ir_container_with, DeployError,
-        DeploymentStats, IrDeployment,
-    };
+    #[allow(deprecated)]
+    pub use crate::deploy::deploy_ir_container;
+    pub use crate::deploy::{DeployError, DeploymentStats, IrDeployment};
     pub use crate::engine::{
-        ActionGraph, ActionId, ActionInputs, ActionKind, ActionRecord, ActionTrace, Engine,
-        GraphRun, NodeOutcome,
+        ActionGraph, ActionId, ActionInputs, ActionKind, ActionRecord, ActionTrace,
+        CriticalPathFirst, Engine, Fifo, GraphRun, NodeOutcome, PolicyError, SchedulingPolicy,
     };
     pub use crate::gpu_compat::{
         bundle_compatibility, detect_runtime_requirement, plan_bundle, DeviceCodeBundle,
         RuntimeRequirement,
     };
     pub use crate::hypotheses::{hypothesis1, hypothesis2, Hypothesis1Report, Hypothesis2Report};
+    #[allow(deprecated)]
+    pub use crate::ir_container::build_ir_container;
     pub use crate::ir_container::{
-        build_ir_container, build_ir_container_cached, build_ir_container_with, ActionSummary,
-        ConfigurationManifest, IrContainerBuild, IrPipelineConfig, IrPipelineError, IrUnit,
-        PipelineStages, PipelineStats, UnitAssignment, IR_TARGET, TOOLCHAIN_ID,
+        ActionSummary, ConfigurationManifest, IrContainerBuild, IrPipelineConfig, IrPipelineError,
+        IrUnit, PipelineStages, PipelineStats, UnitAssignment, IR_TARGET, TOOLCHAIN_ID,
+    };
+    pub use crate::orchestrator::{
+        FleetError, FleetOutcome, FleetReport, FleetRequest, FleetTarget, IrBuildRequest,
+        IrDeployRequest, Orchestrator, OrchestratorBuilder, SourceDeployRequest,
     };
     pub use crate::portability::{table2, PortabilityEntry, PortabilityLevel};
-    pub use crate::scheduler::{
-        FleetError, FleetOutcome, FleetReport, FleetRequest, FleetSpecializer,
-    };
+    pub use crate::scheduler::FleetSpecializer;
+    #[allow(deprecated)]
+    pub use crate::source_container::deploy_source_container;
     pub use crate::source_container::{
-        build_source_container, deploy_source_container, deploy_source_container_cached,
-        deploy_source_container_with, SelectionPolicy, SourceContainerError, SourceDeployment,
+        build_source_container, SelectionPolicy, SourceContainerError, SourceDeployment,
     };
     pub use crate::targets::{derive_build_profile, library_quality_of, target_isa_for};
     pub use xaas_container::prelude::*;

@@ -1,0 +1,767 @@
+//! One front door: the [`Orchestrator`] session API.
+//!
+//! The paper's premise is that *one* container representation serves many
+//! deployment decisions made late; this module is the API shape of that premise.
+//! Instead of nine overlapping free functions that each re-wire store + cache +
+//! engine by hand, an `Orchestrator` **owns** the execution stack — the
+//! [`Engine`], its [`CacheBackend`], the backing [`ImageStore`], and a
+//! [`SchedulingPolicy`] — and every pipeline is a typed request submitted to it:
+//!
+//! * [`IrBuildRequest`] — build a deduplicated IR container (Figure 7);
+//! * [`IrDeployRequest`] — specialize an IR container for one system (Figure 8);
+//! * [`SourceDeployRequest`] — specialize a source container (Figure 6);
+//! * [`FleetRequest`] — specialize one IR container for a whole fleet of
+//!   [`FleetTarget`]s through the shared cache.
+//!
+//! ```
+//! use xaas::orchestrator::{IrBuildRequest, IrDeployRequest, Orchestrator};
+//! use xaas_hpcsim::{SimdLevel, SystemModel};
+//!
+//! let project = xaas_apps::lulesh::project();
+//! let config = xaas::ir_container::IrPipelineConfig::sweep_options(
+//!     &project,
+//!     &["WITH_MPI", "WITH_OPENMP"],
+//! );
+//! let orch = Orchestrator::new();
+//! let build = IrBuildRequest::new(&project, &config)
+//!     .reference("spcl/mini-lulesh:ir")
+//!     .submit(&orch)
+//!     .unwrap();
+//! let deployment = IrDeployRequest::new(&build, &project, &SystemModel::ault23())
+//!     .select("WITH_MPI", "ON")
+//!     .select("WITH_OPENMP", "ON")
+//!     .simd(SimdLevel::Avx512)
+//!     .submit(&orch)
+//!     .unwrap();
+//! assert!(deployment.stats.lowered_units > 0);
+//! assert!(orch.store().load(&deployment.reference).is_ok());
+//! ```
+//!
+//! Requests return the same result types the historical free functions did
+//! ([`IrContainerBuild`], [`IrDeployment`], [`SourceDeployment`], [`FleetReport`]),
+//! each carrying the run's [`ActionTrace`]. The orchestrator validates its
+//! scheduling policy up front, so an invalid configuration (e.g. a zero
+//! `sd-compile` concurrency cap) surfaces as a typed error before any action runs
+//! — never as a panic or a deadlock.
+
+use crate::deploy::{DeployError, IrDeployment};
+use crate::engine::{ActionTrace, Engine, SchedulingPolicy};
+use crate::ir_container::{IrContainerBuild, IrPipelineConfig, IrPipelineError};
+use crate::source_container::{SelectionPolicy, SourceContainerError, SourceDeployment};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+use xaas_buildsys::{OptionAssignment, ProjectSpec};
+use xaas_container::{ActionCache, CacheBackend, CacheStats, Digest, Image, ImageStore, NoCache};
+use xaas_hpcsim::{SimdLevel, SystemModel};
+
+/// The session object every pipeline goes through: one engine, one cache backend,
+/// one store, one scheduling policy.
+///
+/// Construct the common shapes directly ([`Orchestrator::new`],
+/// [`Orchestrator::uncached`], [`Orchestrator::with_cache`]) or configure all the
+/// knobs through [`Orchestrator::builder`]. Cloning is cheap and shares the whole
+/// stack (cache, store, policy, dispatch counter).
+#[derive(Debug, Clone)]
+pub struct Orchestrator {
+    engine: Engine,
+}
+
+impl Orchestrator {
+    /// A fully-configured builder (workers, cache choice, scheduling policy).
+    pub fn builder() -> OrchestratorBuilder {
+        OrchestratorBuilder::default()
+    }
+
+    /// The production default: a fresh content-addressed [`ImageStore`] fronted by
+    /// an [`ActionCache`], default workers, [`Fifo`](crate::engine::Fifo) policy.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        Self::builder().build()
+    }
+
+    /// An orchestrator that never caches: every action executes, artifacts and
+    /// images land in `store`.
+    pub fn uncached(store: &ImageStore) -> Self {
+        Self::from_engine(Engine::uncached(store))
+    }
+
+    /// An orchestrator memoizing every keyed action in `cache` (shared with any
+    /// other orchestrator or engine over the same cache).
+    pub fn with_cache(cache: &ActionCache) -> Self {
+        Self::from_engine(Engine::cached(cache))
+    }
+
+    /// Wrap an explicitly-configured [`Engine`] (worker count, cache backend,
+    /// scheduling policy are taken as-is).
+    pub fn from_engine(engine: Engine) -> Self {
+        Self { engine }
+    }
+
+    /// The engine requests execute on.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// The content-addressed store behind the cache (images are committed here).
+    pub fn store(&self) -> &ImageStore {
+        self.engine.store()
+    }
+
+    /// The cache backend's counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.engine.cache_stats()
+    }
+
+    /// The scheduling policy requests run under.
+    pub fn policy(&self) -> &dyn SchedulingPolicy {
+        self.engine.policy()
+    }
+
+    /// The engine's worker count.
+    pub fn workers(&self) -> usize {
+        self.engine.workers()
+    }
+
+    /// Validate the scheduling policy; called by every request before running.
+    fn checked_engine(&self) -> Result<&Engine, crate::engine::PolicyError> {
+        self.engine.policy().validate()?;
+        Ok(&self.engine)
+    }
+}
+
+/// Cache configuration of an [`OrchestratorBuilder`].
+enum CacheChoice {
+    /// Fresh store + fresh [`ActionCache`] (the default).
+    FreshCached,
+    /// Share an existing [`ActionCache`].
+    Cached(ActionCache),
+    /// Never cache; commit into this store.
+    Uncached(ImageStore),
+    /// An arbitrary backend (e.g. a future distributed cache).
+    Custom(Arc<dyn CacheBackend>),
+}
+
+/// Fluent construction of an [`Orchestrator`]: worker count, cache choice, and
+/// scheduling policy.
+///
+/// ```
+/// use xaas::engine::{ActionKind, CriticalPathFirst};
+/// use xaas::orchestrator::Orchestrator;
+///
+/// let orch = Orchestrator::builder()
+///     .workers(4)
+///     .policy(CriticalPathFirst::new().with_cap(ActionKind::SdCompile, 2))
+///     .build();
+/// assert_eq!(orch.workers(), 4);
+/// assert_eq!(orch.policy().name(), "critical-path-first");
+/// ```
+pub struct OrchestratorBuilder {
+    workers: Option<usize>,
+    policy: Option<Arc<dyn SchedulingPolicy>>,
+    cache: CacheChoice,
+}
+
+impl Default for OrchestratorBuilder {
+    fn default() -> Self {
+        Self {
+            workers: None,
+            policy: None,
+            cache: CacheChoice::FreshCached,
+        }
+    }
+}
+
+impl OrchestratorBuilder {
+    /// Fix the engine worker count (default: host parallelism clamped to `[2, 8]`).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers);
+        self
+    }
+
+    /// Route every keyed action through an existing shared [`ActionCache`].
+    pub fn action_cache(mut self, cache: ActionCache) -> Self {
+        self.cache = CacheChoice::Cached(cache);
+        self
+    }
+
+    /// Never cache: every action executes, artifacts and images land in `store`.
+    pub fn uncached(mut self, store: ImageStore) -> Self {
+        self.cache = CacheChoice::Uncached(store);
+        self
+    }
+
+    /// Use an arbitrary [`CacheBackend`] (the seam for the distributed-cache
+    /// follow-on).
+    pub fn cache_backend(mut self, backend: Arc<dyn CacheBackend>) -> Self {
+        self.cache = CacheChoice::Custom(backend);
+        self
+    }
+
+    /// Set the scheduling policy (default: [`Fifo`](crate::engine::Fifo)). Invalid
+    /// policies are accepted here and rejected with a typed error when a request is
+    /// submitted.
+    pub fn policy(mut self, policy: impl SchedulingPolicy + 'static) -> Self {
+        self.policy = Some(Arc::new(policy));
+        self
+    }
+
+    /// Build the orchestrator.
+    pub fn build(self) -> Orchestrator {
+        let mut engine = match self.cache {
+            CacheChoice::FreshCached => Engine::cached(&ActionCache::new(ImageStore::new())),
+            CacheChoice::Cached(cache) => Engine::cached(&cache),
+            CacheChoice::Uncached(store) => Engine::new(Arc::new(NoCache::new(store))),
+            CacheChoice::Custom(backend) => Engine::new(backend),
+        };
+        if let Some(workers) = self.workers {
+            engine = engine.with_workers(workers);
+        }
+        if let Some(policy) = self.policy {
+            engine = engine.with_policy_arc(policy);
+        }
+        Orchestrator { engine }
+    }
+}
+
+impl fmt::Debug for OrchestratorBuilder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("OrchestratorBuilder")
+            .field("workers", &self.workers)
+            .field(
+                "policy",
+                &self.policy.as_ref().map(|p| p.name().to_string()),
+            )
+            .finish()
+    }
+}
+
+/// Typed request: build a deduplicated IR container (Figure 7).
+///
+/// Returns [`IrContainerBuild`] — image, dedup statistics, manifests, units, and
+/// the [`ActionTrace`].
+#[derive(Debug, Clone)]
+pub struct IrBuildRequest<'a> {
+    project: &'a ProjectSpec,
+    config: &'a IrPipelineConfig,
+    reference: String,
+}
+
+impl<'a> IrBuildRequest<'a> {
+    /// A request for `project` under `config`, committed as
+    /// `<project-name>:ir` unless [`reference`](Self::reference) overrides it.
+    pub fn new(project: &'a ProjectSpec, config: &'a IrPipelineConfig) -> Self {
+        Self {
+            project,
+            config,
+            reference: format!("{}:ir", project.name),
+        }
+    }
+
+    /// Commit the built image under `reference`.
+    pub fn reference(mut self, reference: impl Into<String>) -> Self {
+        self.reference = reference.into();
+        self
+    }
+
+    /// Execute the build on the orchestrator's engine.
+    pub fn submit(self, orch: &Orchestrator) -> Result<IrContainerBuild, IrPipelineError> {
+        let engine = orch.checked_engine().map_err(IrPipelineError::Policy)?;
+        crate::ir_container::run_ir_build(self.project, self.config, engine, &self.reference)
+    }
+}
+
+/// Typed request: deploy (specialize) an IR container onto one system (Figure 8).
+///
+/// Returns [`IrDeployment`] — the system-specialized image, machine modules,
+/// vectorization report, and the [`ActionTrace`].
+#[derive(Debug, Clone)]
+pub struct IrDeployRequest<'a> {
+    build: &'a IrContainerBuild,
+    project: &'a ProjectSpec,
+    system: &'a SystemModel,
+    selection: OptionAssignment,
+    simd: Option<SimdLevel>,
+}
+
+impl<'a> IrDeployRequest<'a> {
+    /// A request to specialize `build` for `system`. With no further calls the
+    /// default configuration is selected and the IR is lowered for the best SIMD
+    /// level the system supports.
+    pub fn new(
+        build: &'a IrContainerBuild,
+        project: &'a ProjectSpec,
+        system: &'a SystemModel,
+    ) -> Self {
+        Self {
+            build,
+            project,
+            system,
+            selection: OptionAssignment::new(),
+            simd: None,
+        }
+    }
+
+    /// Select `option = value` in the deployed configuration (repeatable).
+    pub fn select(mut self, option: impl Into<String>, value: impl Into<String>) -> Self {
+        self.selection.set(option.into(), value.into());
+        self
+    }
+
+    /// Replace the whole configuration selection.
+    pub fn selection(mut self, selection: OptionAssignment) -> Self {
+        self.selection = selection;
+        self
+    }
+
+    /// Lower the IR for this SIMD level (default: the system's best level).
+    pub fn simd(mut self, simd: SimdLevel) -> Self {
+        self.simd = Some(simd);
+        self
+    }
+
+    /// Execute the deployment on the orchestrator's engine.
+    pub fn submit(self, orch: &Orchestrator) -> Result<IrDeployment, DeployError> {
+        let engine = orch.checked_engine().map_err(DeployError::Policy)?;
+        let simd = self.simd.unwrap_or_else(|| self.system.cpu.best_simd());
+        crate::deploy::run_ir_deploy(
+            self.build,
+            self.project,
+            self.system,
+            &self.selection,
+            simd,
+            engine,
+        )
+    }
+}
+
+/// Typed request: deploy (specialize) a source container onto one system
+/// (Figure 6): discovery → intersection → selection → full on-target build.
+///
+/// Returns [`SourceDeployment`] with the [`ActionTrace`].
+#[derive(Debug, Clone)]
+pub struct SourceDeployRequest<'a> {
+    project: &'a ProjectSpec,
+    source_image: &'a Image,
+    system: &'a SystemModel,
+    preferences: OptionAssignment,
+    selection_policy: SelectionPolicy,
+}
+
+impl<'a> SourceDeployRequest<'a> {
+    /// A request to specialize `source_image` for `system` under the
+    /// [`SelectionPolicy::BestAvailable`] policy and no user preferences.
+    pub fn new(project: &'a ProjectSpec, source_image: &'a Image, system: &'a SystemModel) -> Self {
+        Self {
+            project,
+            source_image,
+            system,
+            preferences: OptionAssignment::new(),
+            selection_policy: SelectionPolicy::BestAvailable,
+        }
+    }
+
+    /// Pin `option = value` regardless of what the policy would choose (repeatable).
+    pub fn prefer(mut self, option: impl Into<String>, value: impl Into<String>) -> Self {
+        self.preferences.set(option.into(), value.into());
+        self
+    }
+
+    /// Replace the whole preference set.
+    pub fn preferences(mut self, preferences: OptionAssignment) -> Self {
+        self.preferences = preferences;
+        self
+    }
+
+    /// How unpinned specialization points are chosen (default:
+    /// [`SelectionPolicy::BestAvailable`]).
+    pub fn selection_policy(mut self, policy: SelectionPolicy) -> Self {
+        self.selection_policy = policy;
+        self
+    }
+
+    /// Execute the deployment on the orchestrator's engine.
+    pub fn submit(self, orch: &Orchestrator) -> Result<SourceDeployment, SourceContainerError> {
+        let engine = orch
+            .checked_engine()
+            .map_err(SourceContainerError::Policy)?;
+        crate::source_container::run_source_deploy(
+            self.project,
+            self.source_image,
+            self.system,
+            &self.preferences,
+            self.selection_policy,
+            engine,
+        )
+    }
+}
+
+/// One fleet member: deploy the IR container's `selection` configuration onto
+/// `system`, lowered for `simd`.
+#[derive(Debug, Clone)]
+pub struct FleetTarget {
+    /// The target system.
+    pub system: SystemModel,
+    /// The configuration to select from the IR container.
+    pub selection: OptionAssignment,
+    /// The SIMD level to lower for.
+    pub simd: SimdLevel,
+}
+
+impl FleetTarget {
+    /// A target for an explicit SIMD level.
+    pub fn new(system: SystemModel, selection: OptionAssignment, simd: SimdLevel) -> Self {
+        Self {
+            system,
+            selection,
+            simd,
+        }
+    }
+
+    /// A target lowered for the best SIMD level the system supports.
+    pub fn best_for(system: SystemModel, selection: OptionAssignment) -> Self {
+        let simd = system.cpu.best_simd();
+        Self::new(system, selection, simd)
+    }
+
+    /// The deduplication identity of the target: two targets with the same job key
+    /// are served by a single deployment job. The key digests the *entire* system
+    /// model (not just its name), so differently-configured systems that happen to
+    /// share a name never alias.
+    pub fn job_key(&self) -> String {
+        let system = serde_json::to_vec(&self.system).expect("system models serialise");
+        format!(
+            "{}|{}|{}",
+            Digest::of_bytes(&system),
+            self.selection.label(),
+            self.simd.gmx_name()
+        )
+    }
+}
+
+/// A failed fleet job (cloneable so deduplicated targets can share it).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetError {
+    /// The system the job targeted.
+    pub system: String,
+    /// Rendered deployment error.
+    pub message: String,
+}
+
+impl fmt::Display for FleetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "specializing for {}: {}", self.system, self.message)
+    }
+}
+
+impl std::error::Error for FleetError {}
+
+/// The per-target outcome of a fleet run, in request order.
+#[derive(Debug, Clone)]
+pub struct FleetOutcome {
+    /// System name of the target.
+    pub system: String,
+    /// Configuration label of the target.
+    pub label: String,
+    /// Requested SIMD level.
+    pub simd: SimdLevel,
+    /// The deployment (shared with any deduplicated duplicates) or the error.
+    pub deployment: Result<Arc<IrDeployment>, FleetError>,
+    /// Whether this target was served by another target's job.
+    pub deduplicated: bool,
+}
+
+/// The result of a fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// One outcome per target, in request order.
+    pub outcomes: Vec<FleetOutcome>,
+    /// Distinct jobs that ran.
+    pub jobs_executed: usize,
+    /// Targets answered by an identical in-flight job.
+    pub jobs_deduplicated: usize,
+    /// Engine worker threads the deployments' actions fanned out across.
+    pub workers: usize,
+    /// Action-cache counters for *this run only* (deltas over the fleet submission,
+    /// so earlier use of the shared cache never inflates them); `entries` is the
+    /// live entry count after the run. `misses` is the number of compile/lower
+    /// actions the fleet actually executed.
+    pub cache: CacheStats,
+    /// The merged [`ActionTrace`] of every distinct job, in job order.
+    pub trace: ActionTrace,
+}
+
+impl FleetReport {
+    /// Whether every target produced a deployment.
+    pub fn all_succeeded(&self) -> bool {
+        self.outcomes.iter().all(|o| o.deployment.is_ok())
+    }
+
+    /// The successful deployments, in request order.
+    pub fn deployments(&self) -> impl Iterator<Item = &IrDeployment> {
+        self.outcomes
+            .iter()
+            .filter_map(|o| o.deployment.as_ref().ok().map(Arc::as_ref))
+    }
+
+    /// Compile/lower actions the fleet executed (cache misses).
+    pub fn actions_executed(&self) -> u64 {
+        self.cache.misses
+    }
+}
+
+/// Typed request: specialize one IR container for a fleet of systems through the
+/// orchestrator's shared cache.
+///
+/// Duplicate targets are deduplicated up front; each distinct job submits its
+/// deployment graph to the shared engine, so systems sharing an ISA share every
+/// lowered artifact and no [`BuildKey`](xaas_container::BuildKey) is ever built
+/// twice. A failed job fails only the targets that map to it.
+#[derive(Debug, Clone)]
+pub struct FleetRequest<'a> {
+    build: &'a IrContainerBuild,
+    project: &'a ProjectSpec,
+    targets: Vec<FleetTarget>,
+}
+
+impl<'a> FleetRequest<'a> {
+    /// An empty fleet over `build`.
+    pub fn new(build: &'a IrContainerBuild, project: &'a ProjectSpec) -> Self {
+        Self {
+            build,
+            project,
+            targets: Vec::new(),
+        }
+    }
+
+    /// Add one target (repeatable).
+    pub fn target(mut self, target: FleetTarget) -> Self {
+        self.targets.push(target);
+        self
+    }
+
+    /// Add many targets.
+    pub fn targets(mut self, targets: impl IntoIterator<Item = FleetTarget>) -> Self {
+        self.targets.extend(targets);
+        self
+    }
+
+    /// Execute the fleet on the orchestrator's engine. Outcomes are returned in
+    /// request order; per-job failures (including an invalid scheduling policy,
+    /// which fails every job before any action runs) are reported per outcome, so
+    /// the report itself is always produced.
+    pub fn submit(self, orch: &Orchestrator) -> FleetReport {
+        // Deduplicate identical targets up front: one job per distinct job key.
+        let mut job_of_target: Vec<(usize, bool)> = Vec::with_capacity(self.targets.len());
+        let mut job_index_by_key: BTreeMap<String, usize> = BTreeMap::new();
+        let mut jobs: Vec<&FleetTarget> = Vec::new();
+        for target in &self.targets {
+            let key = target.job_key();
+            match job_index_by_key.get(&key) {
+                Some(&index) => job_of_target.push((index, true)),
+                None => {
+                    let index = jobs.len();
+                    job_index_by_key.insert(key, index);
+                    jobs.push(target);
+                    job_of_target.push((index, false));
+                }
+            }
+        }
+
+        let stats_before = orch.cache_stats();
+        let mut trace = ActionTrace::default();
+        let results: Vec<Result<Arc<IrDeployment>, FleetError>> = match orch.checked_engine() {
+            Ok(engine) => jobs
+                .iter()
+                .map(|job| {
+                    crate::deploy::run_ir_deploy(
+                        self.build,
+                        self.project,
+                        &job.system,
+                        &job.selection,
+                        job.simd,
+                        engine,
+                    )
+                    .map(|deployment| {
+                        trace.merge(deployment.trace.clone());
+                        Arc::new(deployment)
+                    })
+                    .map_err(|error| FleetError {
+                        system: job.system.name.clone(),
+                        message: error.to_string(),
+                    })
+                })
+                .collect(),
+            Err(policy_error) => jobs
+                .iter()
+                .map(|job| {
+                    Err(FleetError {
+                        system: job.system.name.clone(),
+                        message: policy_error.to_string(),
+                    })
+                })
+                .collect(),
+        };
+
+        let outcomes = self
+            .targets
+            .iter()
+            .zip(&job_of_target)
+            .map(|(target, &(job_index, deduplicated))| FleetOutcome {
+                system: target.system.name.clone(),
+                label: target.selection.label(),
+                simd: target.simd,
+                deployment: results[job_index].clone(),
+                deduplicated,
+            })
+            .collect();
+        let stats_after = orch.cache_stats();
+        FleetReport {
+            outcomes,
+            jobs_executed: jobs.len(),
+            jobs_deduplicated: self.targets.len() - jobs.len(),
+            workers: orch.workers(),
+            cache: CacheStats {
+                hits: stats_after.hits - stats_before.hits,
+                misses: stats_after.misses - stats_before.misses,
+                evictions: stats_after.evictions - stats_before.evictions,
+                coalesced: stats_after.coalesced - stats_before.coalesced,
+                entries: stats_after.entries,
+            },
+            trace,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{ActionKind, CriticalPathFirst};
+    use xaas_apps::lulesh;
+
+    fn lulesh_sweep() -> (ProjectSpec, IrPipelineConfig) {
+        let project = lulesh::project();
+        let config = IrPipelineConfig::sweep_options(&project, &["WITH_MPI", "WITH_OPENMP"]);
+        (project, config)
+    }
+
+    #[test]
+    fn default_orchestrator_caches_and_warm_resubmits_run_nothing() {
+        let (project, config) = lulesh_sweep();
+        let orch = Orchestrator::new();
+        let cold = IrBuildRequest::new(&project, &config)
+            .reference("orch:ir")
+            .submit(&orch)
+            .unwrap();
+        assert_eq!(cold.actions.cached, 0);
+        assert!(cold.actions.executed > 0);
+        let warm = IrBuildRequest::new(&project, &config)
+            .reference("orch:ir-warm")
+            .submit(&orch)
+            .unwrap();
+        assert_eq!(warm.actions.executed, 0, "default session memoizes");
+        assert_eq!(warm.image.layers, cold.image.layers);
+        assert!(orch.cache_stats().hits > 0);
+    }
+
+    #[test]
+    fn default_reference_derives_from_the_project_name() {
+        let (project, config) = lulesh_sweep();
+        let orch = Orchestrator::new();
+        let build = IrBuildRequest::new(&project, &config)
+            .submit(&orch)
+            .unwrap();
+        assert_eq!(build.reference, format!("{}:ir", project.name));
+        assert!(orch.store().load(&build.reference).is_ok());
+    }
+
+    #[test]
+    fn deploy_request_defaults_to_the_best_supported_simd_level() {
+        let (project, config) = lulesh_sweep();
+        let orch = Orchestrator::new();
+        let build = IrBuildRequest::new(&project, &config)
+            .submit(&orch)
+            .unwrap();
+        let system = SystemModel::ault23();
+        let deployment = IrDeployRequest::new(&build, &project, &system)
+            .select("WITH_MPI", "OFF")
+            .select("WITH_OPENMP", "ON")
+            .submit(&orch)
+            .unwrap();
+        assert_eq!(deployment.simd, system.cpu.best_simd());
+        assert!(deployment.trace.by_kind()[&ActionKind::MachineLower] > 0);
+    }
+
+    #[test]
+    fn zero_cap_policy_is_a_typed_error_on_every_request_type() {
+        let (project, config) = lulesh_sweep();
+        let valid = Orchestrator::new();
+        let build = IrBuildRequest::new(&project, &config)
+            .submit(&valid)
+            .unwrap();
+
+        let broken = Orchestrator::builder()
+            .policy(CriticalPathFirst::new().with_cap(ActionKind::SdCompile, 0))
+            .build();
+        let build_error = IrBuildRequest::new(&project, &config)
+            .submit(&broken)
+            .unwrap_err();
+        assert!(matches!(build_error, IrPipelineError::Policy(_)));
+
+        let system = SystemModel::ault23();
+        let deploy_error = IrDeployRequest::new(&build, &project, &system)
+            .select("WITH_MPI", "OFF")
+            .select("WITH_OPENMP", "OFF")
+            .submit(&broken)
+            .unwrap_err();
+        assert!(matches!(deploy_error, DeployError::Policy(_)));
+
+        let source_image = crate::source_container::build_source_container(
+            &project,
+            xaas_container::Architecture::Amd64,
+            valid.store(),
+            "orch:src",
+        );
+        let source_error = SourceDeployRequest::new(&project, &source_image, &system)
+            .submit(&broken)
+            .unwrap_err();
+        assert!(matches!(source_error, SourceContainerError::Policy(_)));
+
+        let report = FleetRequest::new(&build, &project)
+            .target(FleetTarget::best_for(
+                system.clone(),
+                OptionAssignment::new()
+                    .with("WITH_MPI", "OFF")
+                    .with("WITH_OPENMP", "OFF"),
+            ))
+            .submit(&broken);
+        assert!(!report.all_succeeded());
+        let error = report.outcomes[0].deployment.as_ref().unwrap_err();
+        assert!(error.message.contains("zero"), "{error}");
+    }
+
+    #[test]
+    fn fleet_request_carries_a_merged_trace_in_job_order() {
+        let (project, config) = lulesh_sweep();
+        let orch = Orchestrator::builder().workers(2).build();
+        let build = IrBuildRequest::new(&project, &config)
+            .submit(&orch)
+            .unwrap();
+        let selection = OptionAssignment::new()
+            .with("WITH_MPI", "ON")
+            .with("WITH_OPENMP", "ON");
+        let report = FleetRequest::new(&build, &project)
+            .target(FleetTarget::best_for(
+                SystemModel::ault23(),
+                selection.clone(),
+            ))
+            .target(FleetTarget::best_for(SystemModel::ault23(), selection)) // duplicate
+            .submit(&orch);
+        assert!(report.all_succeeded());
+        assert_eq!(report.jobs_executed, 1);
+        assert_eq!(report.jobs_deduplicated, 1);
+        let job_trace = &report.outcomes[0].deployment.as_ref().unwrap().trace;
+        assert_eq!(report.trace.len(), job_trace.len());
+        assert_eq!(report.trace.action_set(), job_trace.action_set());
+    }
+}

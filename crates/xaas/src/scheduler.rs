@@ -1,157 +1,42 @@
 //! Fleet specialization: serve many systems from one IR container, concurrently.
 //!
-//! The paper's deployment story (Figures 8, 12–13) specializes one target system at a
-//! time. A production registry faces the other shape: one IR container and a *fleet* of
-//! heterogeneous systems (the paper's Ault 23/25, Ault 01–04, Clariden, …) all asking
-//! for specialized images at once. The [`FleetSpecializer`] is a thin driver over the
-//! shared [`Engine`](crate::engine::Engine): duplicate requests are deduplicated up
-//! front, each distinct job submits its deployment graph to the engine — so the
-//! parallelism is *intra-build* (the lower/compile actions of one deployment fan out
-//! across the engine's workers) rather than special-cased per job — and every action
-//! goes through the shared [`ActionCache`](xaas_container::ActionCache). Systems that
-//! share an ISA share the lowered artifacts, and no
+//! The paper's deployment story (Figures 8, 12–13) specializes one target system at
+//! a time. A production registry faces the other shape: one IR container and a
+//! *fleet* of heterogeneous systems (the paper's Ault 23/25, Ault 01–04,
+//! Clariden, …) all asking for specialized images at once. Since the orchestrator
+//! redesign, the fleet pipeline *is* a typed request —
+//! `FleetRequest` submitted to an
+//! [`Orchestrator`] — and the
+//! [`FleetSpecializer`] kept here is a thin convenience wrapper binding one shared
+//! [`ActionCache`] and worker count to repeated fleet submissions: duplicate
+//! targets are deduplicated up front, each distinct job's deployment graph goes
+//! through the shared engine (parallelism is *intra-build*, at action
+//! granularity), systems that share an ISA share the lowered artifacts, and no
 //! [`BuildKey`](xaas_container::BuildKey) is ever built twice (the cache is
 //! single-flight even across racing workers).
 //!
-//! The result is deterministic: outcomes are reported in request order, and the cache's
-//! hit/miss totals depend only on the request set, not on scheduling.
+//! The result is deterministic: outcomes are reported in request order, and the
+//! cache's hit/miss totals depend only on the request set, not on scheduling.
 
-use crate::deploy::{deploy_ir_container_with, IrDeployment};
 use crate::engine::Engine;
 use crate::ir_container::IrContainerBuild;
-use std::collections::BTreeMap;
-use std::fmt;
-use std::sync::Arc;
-use xaas_buildsys::{OptionAssignment, ProjectSpec};
-use xaas_container::{ActionCache, CacheStats, Digest};
-use xaas_hpcsim::{SimdLevel, SystemModel};
+use crate::orchestrator::Orchestrator;
+use xaas_buildsys::ProjectSpec;
+use xaas_container::ActionCache;
 
-/// One specialization request: deploy the IR container's `selection` configuration onto
-/// `system`, lowered for `simd`.
-#[derive(Debug, Clone)]
-pub struct FleetRequest {
-    /// The target system.
-    pub system: SystemModel,
-    /// The configuration to select from the IR container.
-    pub selection: OptionAssignment,
-    /// The SIMD level to lower for.
-    pub simd: SimdLevel,
-}
+pub use crate::orchestrator::{FleetError, FleetOutcome, FleetReport, FleetTarget};
 
-impl FleetRequest {
-    /// A request for an explicit SIMD level.
-    pub fn new(system: SystemModel, selection: OptionAssignment, simd: SimdLevel) -> Self {
-        Self {
-            system,
-            selection,
-            simd,
-        }
-    }
-
-    /// A request lowered for the best SIMD level the system supports.
-    pub fn best_for(system: SystemModel, selection: OptionAssignment) -> Self {
-        let simd = system.cpu.best_simd();
-        Self::new(system, selection, simd)
-    }
-
-    /// The deduplication identity of the request: two requests with the same job key
-    /// are served by a single deployment job. The key digests the *entire* system
-    /// model (not just its name), so differently-configured systems that happen to
-    /// share a name never alias.
-    pub fn job_key(&self) -> String {
-        let system = serde_json::to_vec(&self.system).expect("system models serialise");
-        format!(
-            "{}|{}|{}",
-            Digest::of_bytes(&system),
-            self.selection.label(),
-            self.simd.gmx_name()
-        )
-    }
-}
-
-/// A failed fleet job (cloneable so deduplicated requests can share it).
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct FleetError {
-    /// The system the job targeted.
-    pub system: String,
-    /// Rendered deployment error.
-    pub message: String,
-}
-
-impl fmt::Display for FleetError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "specializing for {}: {}", self.system, self.message)
-    }
-}
-
-impl std::error::Error for FleetError {}
-
-/// The per-request outcome, in input order.
-#[derive(Debug, Clone)]
-pub struct FleetOutcome {
-    /// System name of the request.
-    pub system: String,
-    /// Configuration label of the request.
-    pub label: String,
-    /// Requested SIMD level.
-    pub simd: SimdLevel,
-    /// The deployment (shared with any deduplicated duplicates) or the error.
-    pub deployment: Result<Arc<IrDeployment>, FleetError>,
-    /// Whether this request was served by another request's job.
-    pub deduplicated: bool,
-}
-
-/// The result of a fleet run.
-#[derive(Debug, Clone)]
-pub struct FleetReport {
-    /// One outcome per request, in request order.
-    pub outcomes: Vec<FleetOutcome>,
-    /// Distinct jobs that ran.
-    pub jobs_executed: usize,
-    /// Requests answered by an identical in-flight job.
-    pub jobs_deduplicated: usize,
-    /// Engine worker threads the deployments' actions fanned out across.
-    pub workers: usize,
-    /// Action-cache counters for *this run only* (deltas over the `specialize_fleet`
-    /// call, so earlier use of the shared cache never inflates them); `entries` is the
-    /// live entry count after the run. `misses` is the number of compile/lower actions
-    /// the fleet actually executed.
-    pub cache: CacheStats,
-}
-
-impl FleetReport {
-    /// Whether every request produced a deployment.
-    pub fn all_succeeded(&self) -> bool {
-        self.outcomes.iter().all(|o| o.deployment.is_ok())
-    }
-
-    /// The successful deployments, in request order.
-    pub fn deployments(&self) -> impl Iterator<Item = &IrDeployment> {
-        self.outcomes
-            .iter()
-            .filter_map(|o| o.deployment.as_ref().ok().map(Arc::as_ref))
-    }
-
-    /// Compile/lower actions the fleet executed (cache misses).
-    pub fn actions_executed(&self) -> u64 {
-        self.cache.misses
-    }
-}
-
-/// The shared result of one deployment job.
-type JobResult = Result<Arc<IrDeployment>, FleetError>;
+/// Historical name of [`FleetTarget`]: one per-system specialization request.
+#[deprecated(since = "0.2.0", note = "use xaas::orchestrator::FleetTarget")]
+pub type FleetRequest = FleetTarget;
 
 /// A specializer that deploys one IR container to a fleet of systems through one
-/// shared [`Engine`], with one [`ActionCache`] across all jobs.
+/// shared engine, with one [`ActionCache`] across all jobs.
 ///
-/// Each distinct job is a thin driver: it constructs its deployment graph and submits
-/// it to the engine, whose work-stealing executor fans the job's lower/compile actions
-/// out across the worker threads. Parallelism therefore lives at *action* granularity
-/// — the same executor path a single build uses — instead of being special-cased in
-/// the fleet. The deliberate trade: jobs submit sequentially, so a fleet of many
-/// tiny deployments no longer overlaps across jobs (in exchange, per-job action
-/// attribution and cache counters are deterministic); merging all jobs into one
-/// union graph recovers cross-job overlap and is tracked as a ROADMAP open item.
+/// This is a thin wrapper over
+/// [`FleetRequest`](crate::orchestrator::FleetRequest): it owns the cache and
+/// worker count, builds the orchestrator, and submits. Use the request type
+/// directly when you already have an [`Orchestrator`] session.
 #[derive(Debug, Clone)]
 pub struct FleetSpecializer {
     cache: ActionCache,
@@ -185,92 +70,45 @@ impl FleetSpecializer {
         Engine::cached(&self.cache).with_workers(self.workers)
     }
 
-    /// Deploy `build` for every request, deduplicating identical requests and
-    /// submitting each distinct job's deployment graph to the shared engine. Outcomes
-    /// are returned in request order; a failed job fails only the requests that map
-    /// to it.
+    /// The orchestrator session a fleet submission runs on.
+    pub fn orchestrator(&self) -> Orchestrator {
+        Orchestrator::from_engine(self.engine())
+    }
+
+    /// Deploy `build` for every target, deduplicating identical targets and
+    /// submitting each distinct job's deployment graph to the shared engine.
+    /// Outcomes are returned in request order; a failed job fails only the targets
+    /// that map to it.
     pub fn specialize_fleet(
         &self,
         build: &IrContainerBuild,
         project: &ProjectSpec,
-        requests: &[FleetRequest],
+        targets: &[FleetTarget],
     ) -> FleetReport {
-        // Deduplicate identical requests up front: one job per distinct job key.
-        let mut job_of_request: Vec<(usize, bool)> = Vec::with_capacity(requests.len());
-        let mut job_index_by_key: BTreeMap<String, usize> = BTreeMap::new();
-        let mut jobs: Vec<&FleetRequest> = Vec::new();
-        for request in requests {
-            match job_index_by_key.get(&request.job_key()) {
-                Some(&index) => job_of_request.push((index, true)),
-                None => {
-                    let index = jobs.len();
-                    job_index_by_key.insert(request.job_key(), index);
-                    jobs.push(request);
-                    job_of_request.push((index, false));
-                }
-            }
-        }
-
-        let engine = self.engine();
-        let stats_before = self.cache.stats();
-        let results: Vec<JobResult> = jobs
-            .iter()
-            .map(|job| {
-                deploy_ir_container_with(
-                    build,
-                    project,
-                    &job.system,
-                    &job.selection,
-                    job.simd,
-                    &engine,
-                )
-                .map(Arc::new)
-                .map_err(|error| FleetError {
-                    system: job.system.name.clone(),
-                    message: error.to_string(),
-                })
-            })
-            .collect();
-
-        let outcomes = requests
-            .iter()
-            .zip(&job_of_request)
-            .map(|(request, &(job_index, deduplicated))| FleetOutcome {
-                system: request.system.name.clone(),
-                label: request.selection.label(),
-                simd: request.simd,
-                deployment: results[job_index].clone(),
-                deduplicated,
-            })
-            .collect();
-        let stats_after = self.cache.stats();
-        FleetReport {
-            outcomes,
-            jobs_executed: jobs.len(),
-            jobs_deduplicated: requests.len() - jobs.len(),
-            workers: engine.workers(),
-            cache: CacheStats {
-                hits: stats_after.hits - stats_before.hits,
-                misses: stats_after.misses - stats_before.misses,
-                evictions: stats_after.evictions - stats_before.evictions,
-                coalesced: stats_after.coalesced - stats_before.coalesced,
-                entries: stats_after.entries,
-            },
-        }
+        crate::orchestrator::FleetRequest::new(build, project)
+            .targets(targets.iter().cloned())
+            .submit(&self.orchestrator())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ir_container::{build_ir_container_cached, IrPipelineConfig};
+    use crate::ir_container::{IrPipelineConfig, TOOLCHAIN_ID};
+    use crate::orchestrator::IrBuildRequest;
+    use std::sync::Arc;
+    use xaas_buildsys::OptionAssignment;
     use xaas_container::ImageStore;
+    use xaas_hpcsim::{SimdLevel, SystemModel};
 
     fn fleet_build(cache: &ActionCache) -> (ProjectSpec, IrContainerBuild) {
         let project = xaas_apps::gromacs::project();
         let config = IrPipelineConfig::sweep_options(&project, &["GMX_SIMD"])
             .with_values("GMX_SIMD", &["SSE4.1", "AVX_512"]);
-        let build = build_ir_container_cached(&project, &config, cache, "fleet:ir").unwrap();
+        let build = IrBuildRequest::new(&project, &config)
+            .reference("fleet:ir")
+            .submit(&Orchestrator::with_cache(cache))
+            .unwrap();
         (project, build)
     }
 
@@ -282,19 +120,19 @@ mod tests {
     fn fleet_outcomes_keep_request_order_and_dedup_duplicates() {
         let cache = ActionCache::new(ImageStore::new());
         let (project, build) = fleet_build(&cache);
-        let requests = vec![
-            FleetRequest::new(
+        let targets = vec![
+            FleetTarget::new(
                 SystemModel::ault23(),
                 selection("AVX_512"),
                 SimdLevel::Avx512,
             ),
-            // Exact duplicate of the first request: must not become a second job.
-            FleetRequest::new(
+            // Exact duplicate of the first target: must not become a second job.
+            FleetTarget::new(
                 SystemModel::ault23(),
                 selection("AVX_512"),
                 SimdLevel::Avx512,
             ),
-            FleetRequest::new(
+            FleetTarget::new(
                 SystemModel::ault01_04(),
                 selection("SSE4.1"),
                 SimdLevel::Sse41,
@@ -302,14 +140,14 @@ mod tests {
         ];
         let report = FleetSpecializer::new(cache.clone())
             .with_workers(3)
-            .specialize_fleet(&build, &project, &requests);
+            .specialize_fleet(&build, &project, &targets);
         assert!(report.all_succeeded());
         assert_eq!(report.outcomes.len(), 3);
         assert_eq!(report.jobs_executed, 2);
         assert_eq!(report.jobs_deduplicated, 1);
         assert!(report.outcomes[1].deduplicated);
         assert!(!report.outcomes[0].deduplicated);
-        // Deduplicated requests share the very same deployment.
+        // Deduplicated targets share the very same deployment.
         let first = report.outcomes[0].deployment.as_ref().unwrap();
         let second = report.outcomes[1].deployment.as_ref().unwrap();
         assert!(Arc::ptr_eq(first, second));
@@ -321,21 +159,21 @@ mod tests {
     fn fleet_failures_are_isolated_per_job() {
         let cache = ActionCache::new(ImageStore::new());
         let (project, build) = fleet_build(&cache);
-        let requests = vec![
-            FleetRequest::new(
+        let targets = vec![
+            FleetTarget::new(
                 SystemModel::ault23(),
                 selection("AVX_512"),
                 SimdLevel::Avx512,
             ),
             // Ault25 (EPYC 7742) has no AVX-512: this job must fail without
             // affecting the first one.
-            FleetRequest::new(
+            FleetTarget::new(
                 SystemModel::ault25(),
                 selection("AVX_512"),
                 SimdLevel::Avx512,
             ),
         ];
-        let report = FleetSpecializer::new(cache).specialize_fleet(&build, &project, &requests);
+        let report = FleetSpecializer::new(cache).specialize_fleet(&build, &project, &targets);
         assert!(!report.all_succeeded());
         assert!(report.outcomes[0].deployment.is_ok());
         let error = report.outcomes[1].deployment.as_ref().unwrap_err();
@@ -349,13 +187,13 @@ mod tests {
         let cache = ActionCache::new(ImageStore::new());
         let (project, build) = fleet_build(&cache);
         // Two different systems, same ISA: the second system's lowering is all hits.
-        let requests = vec![
-            FleetRequest::new(
+        let targets = vec![
+            FleetTarget::new(
                 SystemModel::ault23(),
                 selection("AVX_512"),
                 SimdLevel::Avx512,
             ),
-            FleetRequest::new(
+            FleetTarget::new(
                 SystemModel::ault01_04(),
                 selection("AVX_512"),
                 SimdLevel::Avx512,
@@ -363,7 +201,7 @@ mod tests {
         ];
         let report = FleetSpecializer::new(cache)
             .with_workers(2)
-            .specialize_fleet(&build, &project, &requests);
+            .specialize_fleet(&build, &project, &targets);
         assert!(report.all_succeeded());
         let per_system: u64 = report.outcomes[0]
             .deployment
@@ -376,5 +214,17 @@ mod tests {
             "every action of the second system is served from the cache"
         );
         assert_eq!(report.cache.hits, per_system);
+    }
+
+    #[test]
+    fn deprecated_fleet_request_alias_still_names_targets() {
+        #[allow(deprecated)]
+        let target: super::FleetRequest = FleetTarget::best_for(
+            SystemModel::ault23(),
+            OptionAssignment::new().with("GMX_SIMD", "AVX_512"),
+        );
+        assert_eq!(target.simd, SimdLevel::Avx512);
+        // The shared toolchain id pins cache keys across the fleet.
+        assert!(TOOLCHAIN_ID.contains("xir"));
     }
 }

@@ -7,13 +7,13 @@
 //! system-specific image (Figure 6).
 
 use crate::engine::{
-    add_commit_action, ActionGraph, ActionId, ActionKind, ActionTrace, Engine, LinkSlot,
-    PreprocessPlanner,
+    add_commit_action, ActionGraph, ActionId, ActionKind, ActionTrace, Engine, KeyedActionPlanner,
+    LinkSlot, PreprocessPlanner,
 };
 use crate::ir_container::{ActionSummary, TOOLCHAIN_ID};
 use crate::targets::{derive_build_profile, target_isa_for};
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 use std::fmt;
 use xaas_buildsys::{configure, ConfigureError, OptionAssignment, OptionCategory, ProjectSpec};
 use xaas_container::{
@@ -43,11 +43,14 @@ pub enum SourceContainerError {
     },
     /// Container store failure.
     Store(xaas_container::ImageError),
-    /// A compile command referenced a source that is not enabled in the
-    /// configuration (a malformed compile database).
+    /// A target (or the generated compile database) references a source file the
+    /// project does not provide — neither as a source spec nor as a custom-target
+    /// product (a malformed project).
     UnknownSource { file: String },
     /// A cached artifact failed to decode (action-cache corruption).
     Cache(String),
+    /// The orchestrator's scheduling policy is invalid (e.g. a zero concurrency cap).
+    Policy(crate::engine::PolicyError),
 }
 
 impl fmt::Display for SourceContainerError {
@@ -70,6 +73,7 @@ impl fmt::Display for SourceContainerError {
                 )
             }
             SourceContainerError::Cache(detail) => write!(f, "action cache: {detail}"),
+            SourceContainerError::Policy(error) => write!(f, "{error}"),
         }
     }
 }
@@ -179,12 +183,13 @@ pub enum SelectionPolicy {
     Conservative,
 }
 
-/// Deploy a source container onto a system: discovery → intersection → selection →
-/// configuration → full build → new image (Figure 6).
-///
-/// Thin shim over [`deploy_source_container_with`] using an uncached
-/// ([`NoCache`](xaas_container::NoCache)-backed) engine over `store` — every compile
-/// action runs.
+/// Deploy a source container onto a system over an uncached
+/// ([`NoCache`](xaas_container::NoCache)-backed) orchestrator — every compile action
+/// runs.
+#[deprecated(
+    since = "0.2.0",
+    note = "use xaas::orchestrator::SourceDeployRequest with Orchestrator::uncached(store)"
+)]
 pub fn deploy_source_container(
     project: &ProjectSpec,
     source_image: &Image,
@@ -193,20 +198,17 @@ pub fn deploy_source_container(
     policy: SelectionPolicy,
     store: &ImageStore,
 ) -> Result<SourceDeployment, SourceContainerError> {
-    deploy_source_container_with(
-        project,
-        source_image,
-        system,
-        preferences,
-        policy,
-        &Engine::uncached(store),
-    )
+    crate::orchestrator::SourceDeployRequest::new(project, source_image, system)
+        .preferences(preferences.clone())
+        .selection_policy(policy)
+        .submit(&crate::orchestrator::Orchestrator::uncached(store))
 }
 
 /// Deploy a source container, routing every translation-unit compile through `cache`.
-///
-/// Thin shim over [`deploy_source_container_with`] with an
-/// [`ActionCache`]-backed engine.
+#[deprecated(
+    since = "0.2.0",
+    note = "use xaas::orchestrator::SourceDeployRequest with Orchestrator::with_cache(cache)"
+)]
 pub fn deploy_source_container_cached(
     project: &ProjectSpec,
     source_image: &Image,
@@ -215,26 +217,17 @@ pub fn deploy_source_container_cached(
     policy: SelectionPolicy,
     cache: &ActionCache,
 ) -> Result<SourceDeployment, SourceContainerError> {
-    deploy_source_container_with(
-        project,
-        source_image,
-        system,
-        preferences,
-        policy,
-        &Engine::cached(cache),
-    )
+    crate::orchestrator::SourceDeployRequest::new(project, source_image, system)
+        .preferences(preferences.clone())
+        .selection_policy(policy)
+        .submit(&crate::orchestrator::Orchestrator::with_cache(cache))
 }
 
-/// Deploy a source container by constructing staged action graphs and submitting them
-/// to `engine`.
-///
-/// Selection and configuration run serially in the driver (they are cheap and
-/// inherently sequential); the full on-target build then executes as two graphs:
-/// **preprocess** every enabled translation unit in parallel, then **sd-compile** each
-/// deduplicated unit (cache keys derive from the preprocessed-content digest, the
-/// IR-relevant flags, and the target ISA, so repeat deployments — including
-/// deployments of *other* configurations whose flags do not change a unit — reuse the
-/// compiled artifact), and finally **link + commit** the system-specialized image.
+/// Deploy a source container through an explicitly configured `engine`.
+#[deprecated(
+    since = "0.2.0",
+    note = "use xaas::orchestrator::SourceDeployRequest with Orchestrator::from_engine(engine)"
+)]
 pub fn deploy_source_container_with(
     project: &ProjectSpec,
     source_image: &Image,
@@ -243,6 +236,36 @@ pub fn deploy_source_container_with(
     policy: SelectionPolicy,
     engine: &Engine,
 ) -> Result<SourceDeployment, SourceContainerError> {
+    crate::orchestrator::SourceDeployRequest::new(project, source_image, system)
+        .preferences(preferences.clone())
+        .selection_policy(policy)
+        .submit(&crate::orchestrator::Orchestrator::from_engine(
+            engine.clone(),
+        ))
+}
+
+/// Deploy a source container by constructing staged action graphs and submitting them
+/// to `engine` (Figure 6 as a DAG; the driver behind
+/// [`SourceDeployRequest`](crate::orchestrator::SourceDeployRequest)).
+///
+/// Selection and configuration run serially in the driver (they are cheap and
+/// inherently sequential); the full on-target build then executes as two graphs:
+/// **preprocess** every enabled translation unit in parallel, then **sd-compile** each
+/// deduplicated unit (cache keys derive from the preprocessed-content digest, the
+/// IR-relevant flags, and the target ISA, so repeat deployments — including
+/// deployments of *other* configurations whose flags do not change a unit — reuse the
+/// compiled artifact), and finally **link + commit** the system-specialized image.
+pub(crate) fn run_source_deploy(
+    project: &ProjectSpec,
+    source_image: &Image,
+    system: &SystemModel,
+    preferences: &OptionAssignment,
+    policy: SelectionPolicy,
+    engine: &Engine,
+) -> Result<SourceDeployment, SourceContainerError> {
+    if let Some(file) = crate::ir_container::unknown_target_source(project) {
+        return Err(SourceContainerError::UnknownSource { file });
+    }
     let mut notes = Vec::new();
 
     // 1. System discovery and feature intersection.
@@ -384,14 +407,14 @@ pub fn deploy_source_container_with(
     // ---- Graph B: compile each deduplicated unit, then link + commit ----
     // Declared before the graph: its closures borrow these.
     let assembled: LinkSlot<Image> = LinkSlot::new();
-    // Per-command position of its compile action within `compile_actions` (identical
-    // BuildKeys share one action — the graph contract is one node per key).
+    // Per-command position of its compile action among the planned ones (identical
+    // BuildKeys share one action — the KeyedActionPlanner enforces the graph's
+    // one-node-per-key contract).
     let mut command_positions: Vec<usize> = Vec::with_capacity(plans.len());
     // One representative source file per compile action (for decode error messages).
     let mut representative_files: Vec<&str> = Vec::new();
     let mut stage_b: ActionGraph<'_, SourceContainerError> = ActionGraph::new();
-    let mut compile_actions: Vec<ActionId> = Vec::new();
-    let mut position_by_build_key: BTreeMap<String, usize> = BTreeMap::new();
+    let mut compile_plan = KeyedActionPlanner::new();
     for plan in &plans {
         let digest = String::from_utf8_lossy(&outputs_a[plan.preprocess_action]).into_owned();
         let key = BuildKey::new(
@@ -400,34 +423,32 @@ pub fn deploy_source_container_with(
             format!("file={};{}", plan.file, plan.flags.ir_relevant_key()),
             TOOLCHAIN_ID,
         );
-        let key_digest = key.digest().as_str().to_string();
-        if let Some(&position) = position_by_build_key.get(&key_digest) {
-            command_positions.push(position);
-            continue;
-        }
         let compiler = &compiler;
         let target = &target;
         let (file, content, flags) = (plan.file, plan.content, &plan.flags);
-        let id = stage_b.add_cached(
-            ActionKind::SdCompile,
-            file.to_string(),
-            key,
-            &[],
-            move |_| {
-                let machine = compiler
-                    .compile_to_machine(file, content, flags, target)
-                    .map_err(|error| SourceContainerError::Compile {
-                        file: file.to_string(),
-                        error,
-                    })?;
-                Ok(serde_json::to_vec(&machine).expect("machine module serialises"))
-            },
-        );
-        position_by_build_key.insert(key_digest, compile_actions.len());
-        command_positions.push(compile_actions.len());
-        representative_files.push(plan.file);
-        compile_actions.push(id);
+        let position = compile_plan.position_for(&mut stage_b, key, |graph, key| {
+            graph.add_cached(
+                ActionKind::SdCompile,
+                file.to_string(),
+                key,
+                &[],
+                move |_| {
+                    let machine = compiler
+                        .compile_to_machine(file, content, flags, target)
+                        .map_err(|error| SourceContainerError::Compile {
+                            file: file.to_string(),
+                            error,
+                        })?;
+                    Ok(serde_json::to_vec(&machine).expect("machine module serialises"))
+                },
+            )
+        });
+        if position == representative_files.len() {
+            representative_files.push(plan.file);
+        }
+        command_positions.push(position);
     }
+    let compile_actions = compile_plan.into_actions();
 
     let link_action = {
         let assembled = &assembled;
@@ -621,7 +642,23 @@ pub fn architecture_of(system: &SystemModel) -> Architecture {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::orchestrator::{Orchestrator, SourceDeployRequest};
     use xaas_apps::gromacs;
+
+    /// Old free-function shape, routed through the orchestrator (uncached).
+    fn deploy_source(
+        project: &ProjectSpec,
+        source_image: &Image,
+        system: &SystemModel,
+        preferences: &OptionAssignment,
+        policy: SelectionPolicy,
+        store: &ImageStore,
+    ) -> Result<SourceDeployment, SourceContainerError> {
+        SourceDeployRequest::new(project, source_image, system)
+            .preferences(preferences.clone())
+            .selection_policy(policy)
+            .submit(&Orchestrator::uncached(store))
+    }
 
     fn setup() -> (ProjectSpec, ImageStore, Image) {
         let project = gromacs::project();
@@ -658,7 +695,7 @@ mod tests {
     fn deployment_on_ault23_selects_cuda_avx512_and_mkl() {
         let (project, store, image) = setup();
         let system = SystemModel::ault23();
-        let deployment = deploy_source_container(
+        let deployment = deploy_source(
             &project,
             &image,
             &system,
@@ -685,7 +722,7 @@ mod tests {
     fn deployment_on_clariden_is_arm_with_neon() {
         let (project, store, image) = setup();
         let system = SystemModel::clariden();
-        let deployment = deploy_source_container(
+        let deployment = deploy_source(
             &project,
             &image,
             &system,
@@ -706,7 +743,7 @@ mod tests {
     fn aurora_switches_base_image_and_disables_real_mpi() {
         let (project, store, image) = setup();
         let system = SystemModel::aurora();
-        let deployment = deploy_source_container(
+        let deployment = deploy_source(
             &project,
             &image,
             &system,
@@ -730,7 +767,7 @@ mod tests {
         let (project, store, image) = setup();
         let system = SystemModel::ault23();
         let preference = OptionAssignment::new().with("GMX_FFT_LIBRARY", "fftw3");
-        let deployment = deploy_source_container(
+        let deployment = deploy_source(
             &project,
             &image,
             &system,
@@ -742,7 +779,7 @@ mod tests {
         assert_eq!(deployment.assignment.get("GMX_FFT_LIBRARY"), Some("fftw3"));
 
         let bad = OptionAssignment::new().with("GMX_SIMD", "AVX_9000");
-        let error = deploy_source_container(
+        let error = deploy_source(
             &project,
             &image,
             &system,
@@ -761,7 +798,7 @@ mod tests {
     fn cpu_only_system_deploys_without_gpu() {
         let (project, store, image) = setup();
         let system = SystemModel::ault01_04();
-        let deployment = deploy_source_container(
+        let deployment = deploy_source(
             &project,
             &image,
             &system,

@@ -23,7 +23,10 @@ fn main() {
             &["SSE4.1", "AVX2_128", "AVX_256", "AVX2_256", "AVX_512"],
         )
         .with_values("GMX_GPU", &["OFF", "CUDA"]);
-    let build = build_ir_container(&project, &pipeline, &store, "spcl/mini-gromacs:ir-x86")
+    let orch = Orchestrator::uncached(&store);
+    let build = IrBuildRequest::new(&project, &pipeline)
+        .reference("spcl/mini-gromacs:ir-x86")
+        .submit(&orch)
         .expect("IR container builds");
 
     let stats = build.stats;
@@ -59,7 +62,10 @@ fn main() {
         let selection = OptionAssignment::new()
             .with("GMX_SIMD", level.gmx_name())
             .with("GMX_GPU", "OFF");
-        let deployment = deploy_ir_container(&build, &project, &system, &selection, level, &store)
+        let deployment = IrDeployRequest::new(&build, &project, &system)
+            .selection(selection)
+            .simd(level)
+            .submit(&orch)
             .expect("deployment succeeds");
         let report = engine
             .execute(&workload, &deployment.build_profile)

@@ -8,7 +8,6 @@
 
 use xaas::prelude::*;
 use xaas_apps::llamacpp;
-use xaas_buildsys::OptionAssignment;
 use xaas_hpcsim::{ExecutionEngine, SystemModel};
 
 fn main() {
@@ -31,15 +30,9 @@ fn main() {
                 system.name.to_ascii_lowercase()
             ),
         );
-        let deployment = deploy_source_container(
-            &project,
-            &image,
-            &system,
-            &OptionAssignment::new(),
-            SelectionPolicy::BestAvailable,
-            &store,
-        )
-        .expect("deployment succeeds");
+        let deployment = SourceDeployRequest::new(&project, &image, &system)
+            .submit(&Orchestrator::uncached(&store))
+            .expect("deployment succeeds");
 
         let engine = ExecutionEngine::new(&system);
         let mut rows: Vec<(String, f64, bool)> = Vec::new();

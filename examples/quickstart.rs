@@ -7,7 +7,6 @@
 
 use xaas::prelude::*;
 use xaas_apps::gromacs;
-use xaas_buildsys::OptionAssignment;
 use xaas_hpcsim::{ExecutionEngine, SystemModel};
 
 fn main() {
@@ -26,6 +25,8 @@ fn main() {
 
     // 2. Build ONE portable source container (per architecture) and push it to a registry.
     let local = ImageStore::new();
+    // One orchestrator session is the front door for every deployment below.
+    let orch = Orchestrator::uncached(&local);
     let registry = Registry::new();
     let image = build_source_container(
         &project,
@@ -54,15 +55,9 @@ fn main() {
 
     // 3. Deploy the same container on two systems; XaaS picks the best specialization.
     for system in [SystemModel::ault23(), SystemModel::clariden()] {
-        let deployment = deploy_source_container(
-            &project,
-            &image,
-            &system,
-            &OptionAssignment::new(),
-            SelectionPolicy::BestAvailable,
-            &local,
-        )
-        .expect("deployment succeeds");
+        let deployment = SourceDeployRequest::new(&project, &image, &system)
+            .submit(&orch)
+            .expect("deployment succeeds");
         println!("\n=== deployment on {} ===", system.name);
         println!("  selected: {}", deployment.assignment.label());
         println!("  compiled {} translation units", deployment.compiled_units);

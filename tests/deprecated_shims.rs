@@ -1,0 +1,114 @@
+//! Deprecation-shim compile check: the nine legacy free functions
+//! (`build_ir_container{,_cached,_with}`, `deploy_ir_container{,_cached,_with}`,
+//! `deploy_source_container{,_cached,_with}`) plus the old `FleetRequest` name must
+//! keep compiling with their historical signatures and produce results identical to
+//! the orchestrator requests they now shim. CI runs this file explicitly, so
+//! breaking an old signature fails the build even if no other test touches it.
+#![allow(deprecated)]
+
+use xaas::deploy::{deploy_ir_container, deploy_ir_container_cached, deploy_ir_container_with};
+use xaas::ir_container::{build_ir_container, build_ir_container_cached, build_ir_container_with};
+use xaas::prelude::*;
+use xaas::source_container::{
+    deploy_source_container, deploy_source_container_cached, deploy_source_container_with,
+};
+use xaas_buildsys::OptionAssignment;
+use xaas_container::{ActionCache, ImageStore};
+use xaas_hpcsim::{SimdLevel, SystemModel};
+
+#[test]
+fn all_nine_legacy_entry_points_still_compile_and_match_the_orchestrator() {
+    let project = xaas_apps::lulesh::project();
+    let config = IrPipelineConfig::sweep_options(&project, &["WITH_MPI", "WITH_OPENMP"]);
+    let store = ImageStore::new();
+    let cache = ActionCache::new(store.clone());
+    let engine = Engine::uncached(&store).with_workers(2);
+    let system = SystemModel::ault23();
+    let selection = OptionAssignment::new()
+        .with("WITH_MPI", "ON")
+        .with("WITH_OPENMP", "ON");
+
+    // IR build: plain, cached, with-engine.
+    let build = build_ir_container(&project, &config, &store, "shim:ir").unwrap();
+    let cached = build_ir_container_cached(&project, &config, &cache, "shim:ir-cached").unwrap();
+    let with = build_ir_container_with(&project, &config, &engine, "shim:ir-with").unwrap();
+    assert_eq!(build.image.layers, cached.image.layers);
+    assert_eq!(build.image.layers, with.image.layers);
+
+    // Orchestrator equivalence: the shim and the request produce identical images.
+    let via_request = IrBuildRequest::new(&project, &config)
+        .reference("shim:ir-request")
+        .submit(&Orchestrator::uncached(&store))
+        .unwrap();
+    assert_eq!(via_request.image.layers, build.image.layers);
+    assert_eq!(via_request.units, build.units);
+
+    // IR deploy: plain, cached, with-engine.
+    let deployed = deploy_ir_container(
+        &build,
+        &project,
+        &system,
+        &selection,
+        SimdLevel::Avx512,
+        &store,
+    )
+    .unwrap();
+    let deployed_cached = deploy_ir_container_cached(
+        &build,
+        &project,
+        &system,
+        &selection,
+        SimdLevel::Avx512,
+        &cache,
+    )
+    .unwrap();
+    let deployed_with = deploy_ir_container_with(
+        &build,
+        &project,
+        &system,
+        &selection,
+        SimdLevel::Avx512,
+        &engine,
+    )
+    .unwrap();
+    assert_eq!(deployed.image.layers, deployed_cached.image.layers);
+    assert_eq!(deployed.image.layers, deployed_with.image.layers);
+
+    // Source deploy: plain, cached, with-engine.
+    let source_image = build_source_container(&project, Architecture::Amd64, &store, "shim:src");
+    let source = deploy_source_container(
+        &project,
+        &source_image,
+        &system,
+        &OptionAssignment::new(),
+        SelectionPolicy::BestAvailable,
+        &store,
+    )
+    .unwrap();
+    let source_cached = deploy_source_container_cached(
+        &project,
+        &source_image,
+        &system,
+        &OptionAssignment::new(),
+        SelectionPolicy::BestAvailable,
+        &cache,
+    )
+    .unwrap();
+    let source_with = deploy_source_container_with(
+        &project,
+        &source_image,
+        &system,
+        &OptionAssignment::new(),
+        SelectionPolicy::BestAvailable,
+        &engine,
+    )
+    .unwrap();
+    assert_eq!(source.image.layers, source_cached.image.layers);
+    assert_eq!(source.image.layers, source_with.image.layers);
+
+    // The old scheduler::FleetRequest name still denotes a per-system target.
+    let legacy: xaas::scheduler::FleetRequest =
+        xaas::scheduler::FleetRequest::new(system, selection, SimdLevel::Avx512);
+    let report = FleetSpecializer::new(cache).specialize_fleet(&build, &project, &[legacy]);
+    assert!(report.all_succeeded());
+}

@@ -16,17 +16,13 @@ fn source_and_ir_deployments_agree_and_beat_portable_containers() {
     let workload = gromacs::workload_test_b(200);
     let engine = ExecutionEngine::new(&system);
 
+    let orch = Orchestrator::uncached(&store);
     // Source-container path.
     let source_image = build_source_container(&project, Architecture::Amd64, &store, "e2e:src");
-    let source_deployment = deploy_source_container(
-        &project,
-        &source_image,
-        &system,
-        &OptionAssignment::new().with("GMX_FFT_LIBRARY", "mkl"),
-        SelectionPolicy::BestAvailable,
-        &store,
-    )
-    .unwrap();
+    let source_deployment = SourceDeployRequest::new(&project, &source_image, &system)
+        .prefer("GMX_FFT_LIBRARY", "mkl")
+        .submit(&orch)
+        .unwrap();
     let source_time = engine
         .execute(&workload, &source_deployment.build_profile)
         .unwrap()
@@ -36,18 +32,16 @@ fn source_and_ir_deployments_agree_and_beat_portable_containers() {
     let pipeline = IrPipelineConfig::sweep_options(&project, &["GMX_SIMD", "GMX_FFT_LIBRARY"])
         .with_values("GMX_SIMD", &["SSE4.1", "AVX_512"])
         .with_values("GMX_FFT_LIBRARY", &["fftw3", "mkl"]);
-    let ir_build = build_ir_container(&project, &pipeline, &store, "e2e:ir").unwrap();
-    let ir_deployment = deploy_ir_container(
-        &ir_build,
-        &project,
-        &system,
-        &OptionAssignment::new()
-            .with("GMX_SIMD", "AVX_512")
-            .with("GMX_FFT_LIBRARY", "mkl"),
-        SimdLevel::Avx512,
-        &store,
-    )
-    .unwrap();
+    let ir_build = IrBuildRequest::new(&project, &pipeline)
+        .reference("e2e:ir")
+        .submit(&orch)
+        .unwrap();
+    let ir_deployment = IrDeployRequest::new(&ir_build, &project, &system)
+        .select("GMX_SIMD", "AVX_512")
+        .select("GMX_FFT_LIBRARY", "mkl")
+        .simd(SimdLevel::Avx512)
+        .submit(&orch)
+        .unwrap();
     let ir_time = engine
         .execute(&workload, &ir_deployment.build_profile)
         .unwrap()
@@ -85,7 +79,10 @@ fn registry_stores_one_xaas_image_instead_of_one_per_configuration() {
     let pipeline = IrPipelineConfig::sweep_options(&project, &["GMX_SIMD", "GMX_GPU"])
         .with_values("GMX_SIMD", &["SSE4.1", "AVX_512"])
         .with_values("GMX_GPU", &["OFF", "CUDA"]);
-    let ir_build = build_ir_container(&project, &pipeline, &store, "spcl/gmx:ir").unwrap();
+    let ir_build = IrBuildRequest::new(&project, &pipeline)
+        .reference("spcl/gmx:ir")
+        .submit(&Orchestrator::uncached(&store))
+        .unwrap();
     registry.push(&store, "spcl/gmx:ir").unwrap();
     assert_eq!(registry.tags_of("spcl/gmx").len(), 2);
 
@@ -101,8 +98,11 @@ fn registry_stores_one_xaas_image_instead_of_one_per_configuration() {
             .with("GMX_SIMD", simd)
             .with("GMX_GPU", gpu);
         let level = SimdLevel::parse(simd).unwrap();
-        let deployment =
-            deploy_ir_container(&ir_build, &project, &system, &selection, level, &store).unwrap();
+        let deployment = IrDeployRequest::new(&ir_build, &project, &system)
+            .selection(selection)
+            .simd(level)
+            .submit(&Orchestrator::uncached(&store))
+            .unwrap();
         assert!(store.load(&deployment.reference).is_ok());
     }
     // Four deployed images now exist locally, but the registry still holds only two.
@@ -123,24 +123,27 @@ fn fleet_specializer_never_double_builds_and_is_deterministic() {
         let cache = ActionCache::new(ImageStore::new());
         let pipeline = IrPipelineConfig::sweep_options(&project, &["GMX_SIMD"])
             .with_values("GMX_SIMD", &["SSE4.1", "AVX_512"]);
-        let build = build_ir_container_cached(&project, &pipeline, &cache, "fleet:e2e").unwrap();
+        let build = IrBuildRequest::new(&project, &pipeline)
+            .reference("fleet:e2e")
+            .submit(&Orchestrator::with_cache(&cache))
+            .unwrap();
         cache.reset_stats();
         let entries_before_fleet = cache.stats().entries;
-        // 9 requests, heavy on duplicates: 3 distinct jobs, 2 of which share every
+        // 9 targets, heavy on duplicates: 3 distinct jobs, 2 of which share every
         // lowering key (same ISA on different systems).
-        let mut requests = Vec::new();
+        let mut targets = Vec::new();
         for _ in 0..3 {
-            requests.push(FleetRequest::new(
+            targets.push(FleetTarget::new(
                 SystemModel::ault23(),
                 avx512.clone(),
                 SimdLevel::Avx512,
             ));
-            requests.push(FleetRequest::new(
+            targets.push(FleetTarget::new(
                 SystemModel::ault01_04(),
                 avx512.clone(),
                 SimdLevel::Avx512,
             ));
-            requests.push(FleetRequest::new(
+            targets.push(FleetTarget::new(
                 SystemModel::ault01_04(),
                 sse41.clone(),
                 SimdLevel::Sse41,
@@ -148,7 +151,7 @@ fn fleet_specializer_never_double_builds_and_is_deterministic() {
         }
         let report = FleetSpecializer::new(cache.clone())
             .with_workers(4)
-            .specialize_fleet(&build, &project, &requests);
+            .specialize_fleet(&build, &project, &targets);
         assert!(report.all_succeeded());
         let new_entries = cache.stats().entries - entries_before_fleet;
         (report, cache.stats(), new_entries)
@@ -199,15 +202,9 @@ fn deployed_images_are_oci_consistent() {
     let store = ImageStore::new();
     let system = SystemModel::ault23();
     let image = build_source_container(&project, Architecture::Amd64, &store, "oci:src");
-    let deployment = deploy_source_container(
-        &project,
-        &image,
-        &system,
-        &OptionAssignment::new(),
-        SelectionPolicy::BestAvailable,
-        &store,
-    )
-    .unwrap();
+    let deployment = SourceDeployRequest::new(&project, &image, &system)
+        .submit(&Orchestrator::uncached(&store))
+        .unwrap();
 
     let digest = store.resolve(&deployment.reference).unwrap();
     let manifest = store.manifest(&digest).unwrap();

@@ -1,7 +1,7 @@
-//! Integration tests of the staged action-graph engine: every pipeline entry point
-//! executes through one shared executor, parallel and serial schedules produce
-//! byte-identical artifacts, and cache backends only change *when* work runs — never
-//! what it produces.
+//! Integration tests of the staged action-graph engine behind the orchestrator:
+//! every pipeline request executes through one shared executor, parallel and serial
+//! schedules produce byte-identical artifacts, and cache backends and scheduling
+//! policies only change *when* work runs — never what it produces.
 
 use std::sync::Arc;
 use xaas::engine::ActionKind;
@@ -28,13 +28,24 @@ fn parallel_ir_build_is_byte_identical_to_serial_with_fewer_serial_stages() {
     let reference = "engine:parallel-vs-serial";
 
     let serial_store = ImageStore::new();
-    let serial_engine = Engine::uncached(&serial_store).with_workers(1);
-    let serial = build_ir_container_with(&project, &pipeline, &serial_engine, reference).unwrap();
+    let serial_orch = Orchestrator::builder()
+        .uncached(serial_store.clone())
+        .workers(1)
+        .build();
+    let serial = IrBuildRequest::new(&project, &pipeline)
+        .reference(reference)
+        .submit(&serial_orch)
+        .unwrap();
 
     let parallel_store = ImageStore::new();
-    let parallel_engine = Engine::uncached(&parallel_store).with_workers(4);
-    let parallel =
-        build_ir_container_with(&project, &pipeline, &parallel_engine, reference).unwrap();
+    let parallel_orch = Orchestrator::builder()
+        .uncached(parallel_store.clone())
+        .workers(4)
+        .build();
+    let parallel = IrBuildRequest::new(&project, &pipeline)
+        .reference(reference)
+        .submit(&parallel_orch)
+        .unwrap();
 
     // Byte identity: layers, units, stats, and the committed manifest digest.
     assert_eq!(parallel.image.layers, serial.image.layers);
@@ -69,19 +80,22 @@ fn nocache_and_warm_action_cache_builds_are_identical() {
     let reference = "engine:nocache-vs-warm";
 
     let uncached_store = ImageStore::new();
-    let uncached = build_ir_container_with(
-        &project,
-        &pipeline,
-        &Engine::uncached(&uncached_store),
-        reference,
-    )
-    .unwrap();
+    let uncached = IrBuildRequest::new(&project, &pipeline)
+        .reference(reference)
+        .submit(&Orchestrator::uncached(&uncached_store))
+        .unwrap();
 
     let cached_store = ImageStore::new();
     let cache = ActionCache::new(cached_store.clone());
-    let engine = Engine::cached(&cache);
-    let cold = build_ir_container_with(&project, &pipeline, &engine, reference).unwrap();
-    let warm = build_ir_container_with(&project, &pipeline, &engine, reference).unwrap();
+    let session = Orchestrator::with_cache(&cache);
+    let cold = IrBuildRequest::new(&project, &pipeline)
+        .reference(reference)
+        .submit(&session)
+        .unwrap();
+    let warm = IrBuildRequest::new(&project, &pipeline)
+        .reference(reference)
+        .submit(&session)
+        .unwrap();
 
     assert_eq!(warm.actions.executed, 0, "warm build compiles nothing");
     assert_eq!(warm.actions.cached, cold.actions.executed);
@@ -102,15 +116,19 @@ fn nocache_and_warm_action_cache_builds_are_identical() {
     assert_ne!(cold.trace, warm.trace);
 }
 
-/// Every pipeline — IR build, IR deploy, source deploy — leaves a trace with the
-/// pipeline's stages, ending in link + commit, and the deployment traces are
+/// Every pipeline request — IR build, IR deploy, source deploy — leaves a trace with
+/// the pipeline's stages, ending in link + commit, and the deployment traces are
 /// identical across worker counts.
 #[test]
 fn all_pipelines_execute_through_the_engine_with_staged_traces() {
     let project = gromacs::project();
     let store = ImageStore::new();
+    let orch = Orchestrator::uncached(&store);
     let pipeline = gromacs_sweep(&project);
-    let build = build_ir_container(&project, &pipeline, &store, "engine:stages").unwrap();
+    let build = IrBuildRequest::new(&project, &pipeline)
+        .reference("engine:stages")
+        .submit(&orch)
+        .unwrap();
     let kinds = build.trace.by_kind();
     for kind in [
         ActionKind::Preprocess,
@@ -123,66 +141,78 @@ fn all_pipelines_execute_through_the_engine_with_staged_traces() {
     }
     assert_eq!(kinds[&ActionKind::Link], 1);
     assert_eq!(kinds[&ActionKind::Commit], 1);
+    assert_eq!(build.trace.policy, "fifo");
 
     let system = SystemModel::ault23();
     let selection = OptionAssignment::new()
         .with("GMX_SIMD", "AVX_512")
         .with("GMX_GPU", "OFF");
-    let deploy_serial = deploy_ir_container_with(
-        &build,
-        &project,
-        &system,
-        &selection,
-        SimdLevel::Avx512,
-        &Engine::uncached(&ImageStore::new()).with_workers(1),
-    )
-    .unwrap();
-    let deploy_parallel = deploy_ir_container_with(
-        &build,
-        &project,
-        &system,
-        &selection,
-        SimdLevel::Avx512,
-        &Engine::uncached(&ImageStore::new()).with_workers(4),
-    )
-    .unwrap();
+    let serial_orch = Orchestrator::builder()
+        .uncached(ImageStore::new())
+        .workers(1)
+        .build();
+    let deploy_serial = IrDeployRequest::new(&build, &project, &system)
+        .selection(selection.clone())
+        .simd(SimdLevel::Avx512)
+        .submit(&serial_orch)
+        .unwrap();
+    let parallel_orch = Orchestrator::builder()
+        .uncached(ImageStore::new())
+        .workers(4)
+        .build();
+    let deploy_parallel = IrDeployRequest::new(&build, &project, &system)
+        .selection(selection)
+        .simd(SimdLevel::Avx512)
+        .submit(&parallel_orch)
+        .unwrap();
     assert_eq!(deploy_parallel.trace, deploy_serial.trace);
     assert_eq!(deploy_parallel.image.layers, deploy_serial.image.layers);
     assert!(deploy_parallel.trace.by_kind()[&ActionKind::MachineLower] > 0);
 
     let source_image = build_source_container(&project, Architecture::Amd64, &store, "engine:src");
-    let source_deploy = deploy_source_container_with(
-        &project,
-        &source_image,
-        &system,
-        &OptionAssignment::new(),
-        SelectionPolicy::BestAvailable,
-        &Engine::uncached(&ImageStore::new()).with_workers(3),
-    )
-    .unwrap();
+    let source_orch = Orchestrator::builder()
+        .uncached(ImageStore::new())
+        .workers(3)
+        .build();
+    let source_deploy = SourceDeployRequest::new(&project, &source_image, &system)
+        .submit(&source_orch)
+        .unwrap();
     let source_kinds = source_deploy.trace.by_kind();
     assert!(source_kinds[&ActionKind::Preprocess] > 0);
     assert!(source_kinds[&ActionKind::SdCompile] > 0);
     assert_eq!(source_kinds[&ActionKind::Commit], 1);
 }
 
-/// The fleet specializer submits every job to the shared engine: systems sharing an
+/// The fleet request submits every job to the shared engine: systems sharing an
 /// ISA share every machine-lower action through the one cache, and the per-job traces
 /// carry the engine's stages.
 #[test]
 fn fleet_jobs_flow_through_the_shared_engine() {
     let project = gromacs::project();
     let cache = ActionCache::new(ImageStore::new());
+    let session = Orchestrator::builder()
+        .action_cache(cache)
+        .workers(4)
+        .build();
     let pipeline = IrPipelineConfig::sweep_options(&project, &["GMX_SIMD"])
         .with_values("GMX_SIMD", &["SSE4.1", "AVX_512"]);
-    let build = build_ir_container_cached(&project, &pipeline, &cache, "engine:fleet").unwrap();
+    let build = IrBuildRequest::new(&project, &pipeline)
+        .reference("engine:fleet")
+        .submit(&session)
+        .unwrap();
     let selection = OptionAssignment::new().with("GMX_SIMD", "AVX_512");
-    let requests = vec![
-        FleetRequest::new(SystemModel::ault23(), selection.clone(), SimdLevel::Avx512),
-        FleetRequest::new(SystemModel::ault01_04(), selection, SimdLevel::Avx512),
-    ];
-    let specializer = FleetSpecializer::new(cache).with_workers(4);
-    let report = specializer.specialize_fleet(&build, &project, &requests);
+    let report = FleetRequest::new(&build, &project)
+        .target(FleetTarget::new(
+            SystemModel::ault23(),
+            selection.clone(),
+            SimdLevel::Avx512,
+        ))
+        .target(FleetTarget::new(
+            SystemModel::ault01_04(),
+            selection,
+            SimdLevel::Avx512,
+        ))
+        .submit(&session);
     assert!(report.all_succeeded());
     let deployments: Vec<_> = report.deployments().collect();
     assert_eq!(deployments.len(), 2);
@@ -206,6 +236,11 @@ fn fleet_jobs_flow_through_the_shared_engine() {
     for deployment in deployments {
         assert_eq!(deployment.trace.by_kind()[&ActionKind::Commit], 1);
     }
+    // The report's merged trace covers both jobs.
+    assert_eq!(
+        report.trace.len(),
+        report.deployments().map(|d| d.trace.len()).sum::<usize>()
+    );
 }
 
 /// The engine is usable directly for ad-hoc staged work, sharing the cache with the
@@ -225,4 +260,59 @@ fn ad_hoc_graphs_share_the_pipeline_cache() {
     // The artifact is now visible to any pipeline sharing the cache.
     assert!(cache.contains(&key));
     assert_eq!(cache.peek(&key).unwrap(), b"artifact");
+}
+
+/// Scheduling policies reorder the dispatch of ready actions (observable through
+/// `schedule_seq`) and bound per-kind concurrency, but never change artifacts: a
+/// `CriticalPathFirst` deployment with one bounded `sd-compile` slot commits the
+/// byte-identical image a `Fifo` deployment commits.
+#[test]
+fn scheduling_policies_reorder_dispatch_without_changing_artifacts() {
+    let project = gromacs::project();
+    // Sweep MPI too: the MPI halo file ships as source, so the deployment graph has
+    // a mixed machine-lower/sd-compile frontier for the policies to reorder.
+    let pipeline = IrPipelineConfig::sweep_options(&project, &["GMX_SIMD", "GMX_MPI"])
+        .with_values("GMX_SIMD", &["SSE4.1", "AVX_512"]);
+    let build = IrBuildRequest::new(&project, &pipeline)
+        .submit(&Orchestrator::new())
+        .unwrap();
+    let system = SystemModel::ault23();
+
+    let deploy = |orch: &Orchestrator| {
+        IrDeployRequest::new(&build, &project, &system)
+            .select("GMX_SIMD", "AVX_512")
+            .select("GMX_MPI", "ON")
+            .simd(SimdLevel::Avx512)
+            .submit(orch)
+            .unwrap()
+    };
+    let fifo_store = ImageStore::new();
+    let fifo = deploy(
+        &Orchestrator::builder()
+            .uncached(fifo_store.clone())
+            .workers(4)
+            .build(),
+    );
+    let cpf_store = ImageStore::new();
+    let cpf = deploy(
+        &Orchestrator::builder()
+            .uncached(cpf_store.clone())
+            .workers(4)
+            .policy(CriticalPathFirst::new().with_cap(ActionKind::SdCompile, 1))
+            .build(),
+    );
+
+    assert!(cpf.stats.compiled_source_units > 0, "sd-compiles present");
+    assert_eq!(fifo.trace.policy, "fifo");
+    assert_eq!(cpf.trace.policy, "critical-path-first");
+    // Different dispatch order (FIFO starts stage B with the manifest-order
+    // sd-compile; critical-path-first with the heaviest machine-lower)...
+    assert_ne!(fifo.trace.execution_order(), cpf.trace.execution_order());
+    // ...but identical records, artifacts, and committed digests.
+    assert_eq!(fifo.trace.records, cpf.trace.records);
+    assert_eq!(fifo.image.layers, cpf.image.layers);
+    assert_eq!(
+        fifo_store.resolve(&fifo.reference).unwrap(),
+        cpf_store.resolve(&cpf.reference).unwrap()
+    );
 }

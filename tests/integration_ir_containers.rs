@@ -1,4 +1,5 @@
-//! Integration: IR containers — pipeline, deployment, hypotheses, and image structure.
+//! Integration: IR containers — pipeline, deployment, hypotheses, and image structure
+//! — all through the `Orchestrator` session API.
 
 use xaas::prelude::*;
 use xaas_apps::{gromacs, lulesh};
@@ -17,7 +18,11 @@ fn one_ir_container_deploys_to_every_system() {
             &["SSE4.1", "AVX2_256", "AVX_512", "ARM_NEON_ASIMD"],
         )
         .with_values("GMX_GPU", &["OFF", "CUDA"]);
-    let build = build_ir_container(&project, &pipeline, &store, "spcl/mini-gromacs:ir").unwrap();
+    let orch = Orchestrator::uncached(&store);
+    let build = IrBuildRequest::new(&project, &pipeline)
+        .reference("spcl/mini-gromacs:ir")
+        .submit(&orch)
+        .unwrap();
     assert!(hypothesis1(&build.stats).holds);
 
     for system in SystemModel::all_evaluation_systems() {
@@ -38,7 +43,10 @@ fn one_ir_container_deploys_to_every_system() {
         let selection = OptionAssignment::new()
             .with("GMX_SIMD", simd_value)
             .with("GMX_GPU", gpu);
-        let deployment = deploy_ir_container(&build, &project, &system, &selection, simd, &store)
+        let deployment = IrDeployRequest::new(&build, &project, &system)
+            .selection(selection)
+            .simd(simd)
+            .submit(&orch)
             .unwrap_or_else(|e| panic!("{}: {e}", system.name));
         assert!(deployment.stats.lowered_units > 0, "{}", system.name);
         assert!(store.load(&deployment.reference).is_ok());
@@ -60,14 +68,21 @@ fn ir_dedup_reduces_stored_bitcode_volume() {
         "GMX_SIMD",
         &["SSE4.1", "AVX2_128", "AVX_256", "AVX2_256", "AVX_512"],
     );
-    let deduplicated = build_ir_container(&project, &full_sweep, &store, "dedup:ir").unwrap();
+    let orch = Orchestrator::uncached(&store);
+    let deduplicated = IrBuildRequest::new(&project, &full_sweep)
+        .reference("dedup:ir")
+        .submit(&orch)
+        .unwrap();
 
     let mut no_sharing = full_sweep.clone();
     no_sharing.stages.vectorization_delay = false;
     no_sharing.stages.preprocessing = false;
     no_sharing.stages.openmp_detection = false;
     no_sharing.stages.normalize_build_dir = false;
-    let unshared = build_ir_container(&project, &no_sharing, &store, "unshared:ir").unwrap();
+    let unshared = IrBuildRequest::new(&project, &no_sharing)
+        .reference("unshared:ir")
+        .submit(&orch)
+        .unwrap();
 
     assert!(deduplicated.stats.ir_files_built() < unshared.stats.ir_files_built());
     assert!(deduplicated.image.size_bytes() < unshared.image.size_bytes());
@@ -82,7 +97,10 @@ fn manifests_and_units_are_mutually_consistent() {
     let project = gromacs::project();
     let store = ImageStore::new();
     let pipeline = IrPipelineConfig::sweep_options(&project, &["GMX_GPU", "GMX_FFT_LIBRARY"]);
-    let build = build_ir_container(&project, &pipeline, &store, "consistency:ir").unwrap();
+    let build = IrBuildRequest::new(&project, &pipeline)
+        .reference("consistency:ir")
+        .submit(&Orchestrator::uncached(&store))
+        .unwrap();
 
     let mut referenced = std::collections::BTreeSet::new();
     for manifest in &build.manifests {
@@ -108,7 +126,11 @@ fn lulesh_section_4_3_walkthrough() {
     let project = lulesh::project();
     let store = ImageStore::new();
     let pipeline = IrPipelineConfig::sweep_options(&project, &["WITH_MPI", "WITH_OPENMP"]);
-    let build = build_ir_container(&project, &pipeline, &store, "lulesh:ir").unwrap();
+    let orch = Orchestrator::uncached(&store);
+    let build = IrBuildRequest::new(&project, &pipeline)
+        .reference("lulesh:ir")
+        .submit(&orch)
+        .unwrap();
     assert_eq!(build.stats.configurations, 4);
     assert_eq!(build.stats.total_translation_units, 20);
     assert!(build.stats.unique_after_preprocessing < build.stats.unique_after_generation);
@@ -119,15 +141,11 @@ fn lulesh_section_4_3_walkthrough() {
     let selection = OptionAssignment::new()
         .with("WITH_MPI", "ON")
         .with("WITH_OPENMP", "ON");
-    let deployment = deploy_ir_container(
-        &build,
-        &project,
-        &SystemModel::ault01_04(),
-        &selection,
-        SimdLevel::Avx512,
-        &store,
-    )
-    .unwrap();
+    let deployment = IrDeployRequest::new(&build, &project, &SystemModel::ault01_04())
+        .selection(selection)
+        .simd(SimdLevel::Avx512)
+        .submit(&orch)
+        .unwrap();
     assert!(deployment
         .machine_modules
         .contains_key("src/lulesh_comm.ck"));
@@ -148,17 +166,17 @@ fn premature_optimization_hurts_deployment_vectorization() {
 
     let system = SystemModel::ault01_04();
     let selection = OptionAssignment::new().with("GMX_SIMD", "AVX_512");
+    let orch = Orchestrator::uncached(&store);
     let width_of = |config: &IrPipelineConfig, tag: &str| {
-        let build = build_ir_container(&project, config, &store, tag).unwrap();
-        let deployment = deploy_ir_container(
-            &build,
-            &project,
-            &system,
-            &selection,
-            SimdLevel::Avx512,
-            &store,
-        )
-        .unwrap();
+        let build = IrBuildRequest::new(&project, config)
+            .reference(tag)
+            .submit(&orch)
+            .unwrap();
+        let deployment = IrDeployRequest::new(&build, &project, &system)
+            .selection(selection.clone())
+            .simd(SimdLevel::Avx512)
+            .submit(&orch)
+            .unwrap();
         deployment
             .machine_modules
             .values()

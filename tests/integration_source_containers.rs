@@ -1,8 +1,8 @@
-//! Integration: source containers across registries, systems, and runtime hooks.
+//! Integration: source containers across registries, systems, and runtime hooks,
+//! deployed through the `Orchestrator` session API.
 
 use xaas::prelude::*;
 use xaas_apps::{gromacs, llamacpp};
-use xaas_buildsys::OptionAssignment;
 use xaas_hpcsim::{ExecutionEngine, SystemModel};
 
 /// The full paper workflow of Figure 6: build once, publish, pull on the system, deploy.
@@ -27,15 +27,9 @@ fn publish_pull_and_deploy_on_every_evaluation_system() {
             .pull(&system_store, "spcl/mini-gromacs:src")
             .unwrap();
         assert_eq!(pulled.deployment_format(), DeploymentFormat::Source);
-        let deployment = deploy_source_container(
-            &project,
-            &pulled,
-            &system,
-            &OptionAssignment::new(),
-            SelectionPolicy::BestAvailable,
-            &system_store,
-        )
-        .unwrap();
+        let deployment = SourceDeployRequest::new(&project, &pulled, &system)
+            .submit(&Orchestrator::uncached(&system_store))
+            .unwrap();
         // The deployed image exists on the system store and is tagged per system.
         assert!(system_store.load(&deployment.reference).is_ok());
         assert!(deployment
@@ -88,15 +82,9 @@ fn gpu_backend_selection_is_system_specific() {
             .into_iter()
             .find(|s| s.name == name)
             .unwrap();
-        let deployment = deploy_source_container(
-            &project,
-            &image,
-            &system,
-            &OptionAssignment::new(),
-            SelectionPolicy::BestAvailable,
-            &store,
-        )
-        .unwrap();
+        let deployment = SourceDeployRequest::new(&project, &image, &system)
+            .submit(&Orchestrator::uncached(&store))
+            .unwrap();
         match expected_backend {
             Some(backend) => assert_eq!(
                 deployment.assignment.get("GMX_GPU"),
@@ -116,15 +104,10 @@ fn deployed_image_accepts_mpi_hook_only_with_matching_abi() {
     let store = ImageStore::new();
     let image = build_source_container(&project, Architecture::Amd64, &store, "g:src");
     let system = SystemModel::clariden();
-    let deployment = deploy_source_container(
-        &project,
-        &image,
-        &system,
-        &OptionAssignment::new().with("GMX_MPI", "ON"),
-        SelectionPolicy::BestAvailable,
-        &store,
-    )
-    .unwrap();
+    let deployment = SourceDeployRequest::new(&project, &image, &system)
+        .prefer("GMX_MPI", "ON")
+        .submit(&Orchestrator::uncached(&store))
+        .unwrap();
 
     let runtime = ContainerRuntime::new(RuntimeKind::Podman, Architecture::Arm64);
     let abi = ContainerAbiInfo {
@@ -181,15 +164,9 @@ fn llamacpp_source_deployment_enables_gpu_on_all_three_systems() {
             &store,
             &format!("l:src-{}", system.name),
         );
-        let deployment = deploy_source_container(
-            &project,
-            &image,
-            &system,
-            &OptionAssignment::new(),
-            SelectionPolicy::BestAvailable,
-            &store,
-        )
-        .unwrap();
+        let deployment = SourceDeployRequest::new(&project, &image, &system)
+            .submit(&Orchestrator::uncached(&store))
+            .unwrap();
         assert!(
             deployment.build_profile.gpu_backend.is_some(),
             "{}",

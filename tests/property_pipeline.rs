@@ -153,7 +153,10 @@ proptest! {
         let config = IrPipelineConfig::sweep_options(&project, &["GMX_SIMD", "GMX_GPU"])
             .with_values("GMX_SIMD", &sweep_simd)
             .with_values("GMX_GPU", &sweep_gpu);
-        let build = build_ir_container(&project, &config, &store, "prop:ir").unwrap();
+        let build = IrBuildRequest::new(&project, &config)
+            .reference("prop:ir")
+            .submit(&Orchestrator::uncached(&store))
+            .unwrap();
         let stats = build.stats;
         prop_assert_eq!(stats.configurations, sweep_simd.len() * sweep_gpu.len());
         prop_assert!(stats.ir_files_built() + stats.system_dependent_units <= stats.total_translation_units);
@@ -185,21 +188,23 @@ proptest! {
             .with_values("GMX_GPU", &sweep_gpu);
         let reference = "prop:engine";
         let serial_store = ImageStore::new();
-        let serial = build_ir_container_with(
-            &project,
-            &config,
-            &Engine::uncached(&serial_store).with_workers(1),
-            reference,
-        )
-        .unwrap();
+        let serial_orch = Orchestrator::builder()
+            .uncached(serial_store.clone())
+            .workers(1)
+            .build();
+        let serial = IrBuildRequest::new(&project, &config)
+            .reference(reference)
+            .submit(&serial_orch)
+            .unwrap();
         let parallel_store = ImageStore::new();
-        let parallel = build_ir_container_with(
-            &project,
-            &config,
-            &Engine::uncached(&parallel_store).with_workers(workers),
-            reference,
-        )
-        .unwrap();
+        let parallel_orch = Orchestrator::builder()
+            .uncached(parallel_store.clone())
+            .workers(workers)
+            .build();
+        let parallel = IrBuildRequest::new(&project, &config)
+            .reference(reference)
+            .submit(&parallel_orch)
+            .unwrap();
         prop_assert_eq!(
             serial_store.resolve(reference).unwrap(),
             parallel_store.resolve(reference).unwrap()
@@ -224,18 +229,21 @@ proptest! {
             .with_values("GMX_SIMD", &sweep_simd);
         let reference = "prop:backends";
         let uncached_store = ImageStore::new();
-        let uncached = build_ir_container_with(
-            &project,
-            &config,
-            &Engine::uncached(&uncached_store),
-            reference,
-        )
-        .unwrap();
+        let uncached = IrBuildRequest::new(&project, &config)
+            .reference(reference)
+            .submit(&Orchestrator::uncached(&uncached_store))
+            .unwrap();
         let cached_store = ImageStore::new();
         let cache = ActionCache::new(cached_store.clone());
-        let engine = Engine::cached(&cache);
-        let cold = build_ir_container_with(&project, &config, &engine, reference).unwrap();
-        let warm = build_ir_container_with(&project, &config, &engine, reference).unwrap();
+        let session = Orchestrator::with_cache(&cache);
+        let cold = IrBuildRequest::new(&project, &config)
+            .reference(reference)
+            .submit(&session)
+            .unwrap();
+        let warm = IrBuildRequest::new(&project, &config)
+            .reference(reference)
+            .submit(&session)
+            .unwrap();
         prop_assert_eq!(warm.actions.executed, 0);
         prop_assert_eq!(warm.actions.cached, cold.actions.executed);
         prop_assert_eq!(uncached.actions.cached, 0);
@@ -249,8 +257,70 @@ proptest! {
         prop_assert_eq!(uncached.trace.action_set(), cold.trace.action_set());
     }
 
+    /// Scheduling-policy soundness (the orchestrator acceptance property): for
+    /// arbitrary SIMD sweeps and worker counts, deploying the GROMACS MPI sweep
+    /// under `CriticalPathFirst` with a bounded `sd-compile` slot produces a valid
+    /// `ActionTrace` whose dispatch order differs from `Fifo` (FIFO starts the
+    /// artifact frontier with the manifest-order sd-compile; critical-path-first
+    /// with the heaviest machine-lower) while the final images stay byte-identical.
+    #[test]
+    fn critical_path_first_reorders_dispatch_but_images_stay_byte_identical(
+        sweep_simd in proptest::sample::subsequence(vec!["SSE4.1", "AVX_256", "AVX_512"], 1..=3),
+        workers in 1usize..6,
+        sd_cap in 1usize..3,
+    ) {
+        let project = xaas_apps::gromacs::project();
+        // Sweep MPI too: the MPI halo file ships as source, giving the deployment
+        // graph the mixed machine-lower/sd-compile frontier the policies reorder.
+        let config = IrPipelineConfig::sweep_options(&project, &["GMX_SIMD", "GMX_MPI"])
+            .with_values("GMX_SIMD", &sweep_simd);
+        let build = IrBuildRequest::new(&project, &config)
+            .reference("prop:policy")
+            .submit(&Orchestrator::new())
+            .unwrap();
+        let system = SystemModel::ault23();
+        let selection = OptionAssignment::new()
+            .with("GMX_SIMD", *sweep_simd.last().unwrap())
+            .with("GMX_MPI", "ON");
+        let deploy = |orch: &Orchestrator| {
+            IrDeployRequest::new(&build, &project, &system)
+                .selection(selection.clone())
+                .simd(SimdLevel::parse(sweep_simd.last().unwrap()).unwrap())
+                .submit(orch)
+                .unwrap()
+        };
+        let fifo_store = ImageStore::new();
+        let fifo = deploy(
+            &Orchestrator::builder()
+                .uncached(fifo_store.clone())
+                .workers(workers)
+                .build(),
+        );
+        let cpf_store = ImageStore::new();
+        let cpf = deploy(
+            &Orchestrator::builder()
+                .uncached(cpf_store.clone())
+                .workers(workers)
+                .policy(CriticalPathFirst::new().with_cap(ActionKind::SdCompile, sd_cap))
+                .build(),
+        );
+        prop_assert!(cpf.stats.compiled_source_units > 0, "sd-compiles present");
+        // Valid trace: same records (node order, identities) under both policies.
+        prop_assert_eq!(&cpf.trace.records, &fifo.trace.records);
+        prop_assert_eq!(cpf.trace.action_set(), fifo.trace.action_set());
+        prop_assert_eq!(&cpf.trace.policy, "critical-path-first");
+        // The dispatch order differs...
+        prop_assert_ne!(fifo.trace.execution_order(), cpf.trace.execution_order());
+        // ...but the committed images are byte-identical.
+        prop_assert_eq!(&cpf.image.layers, &fifo.image.layers);
+        prop_assert_eq!(
+            fifo_store.resolve(&fifo.reference).unwrap(),
+            cpf_store.resolve(&cpf.reference).unwrap()
+        );
+    }
+
     /// Action-cache soundness: for arbitrary option sweeps, a warm-cache
-    /// `deploy_ir_container` produces byte-identical artifacts and identical
+    /// `IrDeployRequest` produces byte-identical artifacts and identical
     /// `DeploymentStats` to a cold build — the cache may only save work, never
     /// change outputs.
     #[test]
@@ -264,23 +334,34 @@ proptest! {
         let config = IrPipelineConfig::sweep_options(&project, &["GMX_SIMD", "GMX_FFT_LIBRARY"])
             .with_values("GMX_SIMD", &sweep_simd)
             .with_values("GMX_FFT_LIBRARY", &sweep_fft);
-        let build = build_ir_container_cached(&project, &config, &cache, "prop:warm").unwrap();
+        let session = Orchestrator::with_cache(&cache);
+        let build = IrBuildRequest::new(&project, &config)
+            .reference("prop:warm")
+            .submit(&session)
+            .unwrap();
         let system = SystemModel::ault23();
         for simd_name in &sweep_simd {
             let simd = SimdLevel::parse(simd_name).unwrap();
             let selection = OptionAssignment::new()
                 .with("GMX_SIMD", *simd_name)
                 .with("GMX_FFT_LIBRARY", sweep_fft[0]);
-            // Cold: a fresh, empty action cache. Warm: the shared cache, primed by a
+            // Cold: a fresh, uncached session. Warm: the shared cache, primed by a
             // first deployment of the same configuration.
-            let cold =
-                deploy_ir_container(&build, &project, &system, &selection, simd, &store).unwrap();
-            let primed =
-                deploy_ir_container_cached(&build, &project, &system, &selection, simd, &cache)
-                    .unwrap();
-            let warm =
-                deploy_ir_container_cached(&build, &project, &system, &selection, simd, &cache)
-                    .unwrap();
+            let cold = IrDeployRequest::new(&build, &project, &system)
+                .selection(selection.clone())
+                .simd(simd)
+                .submit(&Orchestrator::uncached(&store))
+                .unwrap();
+            let primed = IrDeployRequest::new(&build, &project, &system)
+                .selection(selection.clone())
+                .simd(simd)
+                .submit(&session)
+                .unwrap();
+            let warm = IrDeployRequest::new(&build, &project, &system)
+                .selection(selection.clone())
+                .simd(simd)
+                .submit(&session)
+                .unwrap();
             prop_assert_eq!(warm.actions.executed, 0, "warm deployment must not compile");
             prop_assert_eq!(warm.actions.cached, primed.actions.total());
             prop_assert_eq!(&warm.stats, &cold.stats);
