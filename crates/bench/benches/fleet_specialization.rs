@@ -1,6 +1,8 @@
 //! Fleet-specialization benchmark: cold per-system deployments vs the concurrent
 //! fleet request over a shared content-addressed action cache, across the four
-//! paper systems (Ault23, Ault25, Ault01-04, Clariden).
+//! paper systems (Ault23, Ault25, Ault01-04, Clariden) — plus the strategy A/B:
+//! one union `ActionGraph` per wave (a single engine submission interleaving all
+//! systems) vs the sequential per-job submissions.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -66,9 +68,29 @@ fn bench_fleet(c: &mut Criterion) {
             }
         });
     });
-    group.bench_function("fleet_shared_cache", |b| {
+    // Strategy A/B on a cold shared cache per iteration: the union graph submits
+    // the whole wave to the engine once; the sequential strategy submits one
+    // graph per job. Byte-identity between the two is pinned by the
+    // `fleet_union` test suite; here the comparison is wall-clock.
+    group.bench_function("fleet_union_graph_cold", |b| {
         b.iter(|| {
-            let session = Orchestrator::with_cache(&ActionCache::new(store.clone()));
+            let session = Orchestrator::builder()
+                .action_cache(ActionCache::new(store.clone()))
+                .fleet_strategy(FleetStrategy::UnionGraph)
+                .build();
+            black_box(
+                FleetRequest::new(&build, &project)
+                    .targets(targets.iter().cloned())
+                    .submit(&session),
+            );
+        });
+    });
+    group.bench_function("fleet_sequential_cold", |b| {
+        b.iter(|| {
+            let session = Orchestrator::builder()
+                .action_cache(ActionCache::new(store.clone()))
+                .fleet_strategy(FleetStrategy::Sequential)
+                .build();
             black_box(
                 FleetRequest::new(&build, &project)
                     .targets(targets.iter().cloned())

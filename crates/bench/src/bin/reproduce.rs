@@ -13,7 +13,7 @@
 //! reproduce fig12-cpu           # IR containers, CPU sweep
 //! reproduce fig12-gpu           # IR containers, GPU
 //! reproduce tu-reduction        # Section 6.4 statistics + ablations
-//! reproduce fleet               # fleet specialization: cold vs shared-cache (JSON)
+//! reproduce fleet               # fleet specialization: cold vs shared-cache, union vs sequential (JSON)
 //! reproduce engine              # action-graph engine: parallel vs serial build (JSON)
 //! reproduce network             # Section 6.5 bandwidth
 //! reproduce gpu-compat          # Figure 9 compatibility rules

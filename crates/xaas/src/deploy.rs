@@ -11,7 +11,8 @@ use crate::engine::{
     PreprocessPlanner,
 };
 use crate::ir_container::{
-    paths as ir_paths, ActionSummary, IrContainerBuild, UnitAssignment, TOOLCHAIN_ID,
+    paths as ir_paths, ActionSummary, ConfigurationManifest, IrContainerBuild, UnitAssignment,
+    TOOLCHAIN_ID,
 };
 use crate::targets::{derive_build_profile, target_isa_for};
 use serde::{Deserialize, Serialize};
@@ -22,7 +23,9 @@ use xaas_container::{
     annotation_keys, ActionCache, BuildKey, DeploymentFormat, Image, ImageStore, Layer, Platform,
 };
 use xaas_hpcsim::{BuildProfile, SimdLevel, SystemModel};
-use xaas_xir::{lower_to_machine, CompileFlags, Compiler, MachineModule, VectorizationReport};
+use xaas_xir::{
+    lower_to_machine, CompileFlags, Compiler, MachineModule, TargetIsa, VectorizationReport,
+};
 
 /// Errors during IR-container deployment.
 #[derive(Debug)]
@@ -154,8 +157,6 @@ enum DeployTask<'plan> {
         path: &'plan str,
         content: &'plan str,
         files: Vec<&'plan str>,
-        /// Index of the path's preprocess action in the stage-A graph.
-        preprocess_action: ActionId,
     },
 }
 
@@ -180,34 +181,66 @@ pub fn deploy_ir_container_with(
         ))
 }
 
-/// Deploy an IR container by constructing staged action graphs and submitting them to
-/// `engine` (Figure 8 as a DAG; the driver behind
-/// [`IrDeployRequest`](crate::orchestrator::IrDeployRequest)):
-///
-/// 1. **select** (driver, serial): resolve the configuration manifest and validate the
-///    SIMD level against the system;
-/// 2. **preprocess** (graph A, parallel): system-dependent sources, producing the
-///    content digests their compile actions are keyed by;
-/// 3. **machine-lower + sd-compile** (graph B, parallel, cache-routed): lowering a
-///    stored IR unit is keyed on (unit content id, target ISA); compiling a
-///    system-dependent source on (preprocessed-content digest, IR-relevant flags,
-///    target ISA) — so repeat deployments, and deployments to other systems sharing
-///    the ISA, are served from the cache;
-/// 4. **link + commit** (graph B tail): assemble and commit the system-specialized
-///    image.
-///
-/// System-dependent compiles honor the selected configuration's
-/// [`compile_flags`](crate::ir_container::ConfigurationManifest::compile_flags)
-/// (optimisation level, OpenMP, …) rather than a hardcoded flag set, so deploy-time
-/// compiles track the sweep options.
-pub(crate) fn run_ir_deploy(
-    build: &IrContainerBuild,
-    project: &ProjectSpec,
-    system: &SystemModel,
+/// The typed pieces a deployment's Link action assembles for the driver.
+struct Assembled {
+    image: Image,
+    machine_modules: BTreeMap<String, MachineModule>,
+    vectorization: VectorizationReport,
+    stats: DeploymentStats,
+}
+
+/// The plan phase of one IR deployment: everything validated and owned, but no
+/// graph built yet. Produced by [`plan_ir_deploy`], turned into graph nodes by
+/// [`graft_ir_deploy`] (into a private graph for a standalone deployment, or into
+/// the fleet's union graph), and consumed by [`finish_ir_deploy`] once the nodes
+/// have run.
+pub(crate) struct DeployPlan<'a> {
+    build: &'a IrContainerBuild,
+    project: &'a ProjectSpec,
+    pub(crate) system: &'a SystemModel,
+    manifest: &'a ConfigurationManifest,
+    pub(crate) simd: SimdLevel,
+    target: TargetIsa,
+    compiler: Compiler,
+    sd_flags: CompileFlags,
+    tasks: Vec<DeployTask<'a>>,
+    reference: String,
+    assembled: LinkSlot<Assembled>,
+}
+
+/// Cross-job index of already-grafted keyed artifact nodes, shared by every job of
+/// one union-graph wave. A job whose artifact identity is already present grafts a
+/// *cache-probe alias* — a keyed node ordered after the identity's first node by a
+/// dependency edge — instead of a second compute node: the expensive closure
+/// exists once per wave, and the alias deterministically replays the cache hit the
+/// sequential strategy would have observed, keeping per-job traces and hit/miss
+/// deltas strategy-independent.
+#[derive(Default)]
+pub(crate) struct SharedDeployArtifacts {
+    primaries: BTreeMap<String, ActionId>,
+}
+
+/// What [`graft_ir_deploy`] reports back about the job's subgraph.
+pub(crate) struct GraftedDeploy {
+    /// Critical-path depth of the job's own nodes (cross-job alias edges
+    /// excluded) — exactly the `stage_depth` the job's standalone submission
+    /// would record, so union-graph per-job traces stay comparable.
+    pub(crate) stage_depth: usize,
+}
+
+/// Validate one deployment and plan its deduplicated tasks (Figure 8's *select*
+/// step): resolve the configuration manifest, check the SIMD level against the
+/// system, split the manifest's units into one lower/compile task per distinct
+/// artifact, and derive the system-dependent compile flags from the selected
+/// configuration's [`compile_flags`](crate::ir_container::ConfigurationManifest::compile_flags)
+/// (optimisation level, OpenMP, …) rather than a hardcoded flag set.
+pub(crate) fn plan_ir_deploy<'a>(
+    build: &'a IrContainerBuild,
+    project: &'a ProjectSpec,
+    system: &'a SystemModel,
     selection: &OptionAssignment,
     simd: SimdLevel,
-    engine: &Engine,
-) -> Result<IrDeployment, DeployError> {
+) -> Result<DeployPlan<'a>, DeployError> {
     let manifest = build
         .manifest_for(selection)
         .ok_or_else(|| DeployError::UnknownConfiguration(selection.label()))?;
@@ -223,7 +256,6 @@ pub(crate) fn run_ir_deploy(
     for (name, content) in &project.headers {
         compiler.add_header(name.clone(), content.clone());
     }
-    let compiler = compiler;
 
     // System-dependent sources are compiled with the selected configuration's flags
     // (not a hardcoded set): definitions plus the manifest's non-target compile flags.
@@ -231,11 +263,9 @@ pub(crate) fn run_ir_deploy(
     sd_args.extend(manifest.compile_flags.iter().cloned());
     let sd_flags = CompileFlags::parse(sd_args);
 
-    // ---- Plan: one deduplicated task per distinct IR unit / source path ----
-    let mut tasks: Vec<DeployTask<'_>> = Vec::new();
+    // One deduplicated task per distinct IR unit / source path.
+    let mut tasks: Vec<DeployTask<'a>> = Vec::new();
     let mut task_by_artifact: BTreeMap<&str, usize> = BTreeMap::new();
-    let mut stage_a: ActionGraph<'_, DeployError> = ActionGraph::new();
-    let mut preprocess = PreprocessPlanner::new();
     for UnitAssignment { file, artifact, .. } in &manifest.units {
         if let Some(id) = artifact.strip_prefix("ir:") {
             if !build.units.contains_key(id) {
@@ -264,31 +294,17 @@ pub(crate) fn run_ir_deploy(
                     DeployTask::Lower { .. } => unreachable!("artifact kinds are disjoint"),
                 },
                 None => {
-                    let preprocess_action = preprocess.action_for(
-                        &mut stage_a,
-                        &compiler,
-                        path,
-                        &source.content,
-                        &sd_flags,
-                        |file, error| DeployError::Compile { file, error },
-                    );
                     task_by_artifact.insert(artifact, tasks.len());
                     tasks.push(DeployTask::Compile {
                         path,
                         content: source.content.as_str(),
                         files: vec![file],
-                        preprocess_action,
                     });
                 }
             }
         }
     }
 
-    // ---- Graph A: preprocess the system-dependent sources ----
-    let run_a = engine.run(stage_a);
-    let (outputs_a, mut trace) = run_a.into_outputs()?;
-
-    // ---- Graph B: lower/compile every deduplicated artifact, then link + commit ----
     let reference = format!(
         "{}:{}-{}-{}",
         project.name,
@@ -296,80 +312,179 @@ pub(crate) fn run_ir_deploy(
         crate::ir_container::sanitize(&manifest.label).to_ascii_lowercase(),
         simd.gmx_name().to_ascii_lowercase()
     );
-    struct Assembled {
-        image: Image,
-        machine_modules: BTreeMap<String, MachineModule>,
-        vectorization: VectorizationReport,
-        stats: DeploymentStats,
+    Ok(DeployPlan {
+        build,
+        project,
+        system,
+        manifest,
+        simd,
+        target,
+        compiler,
+        sd_flags,
+        tasks,
+        reference,
+        assembled: LinkSlot::new(),
+    })
+}
+
+/// Graft one planned deployment onto `graph` as a self-contained subgraph —
+/// Figure 8 as a DAG, in **one** submission:
+///
+/// 1. **preprocess** (parallel): system-dependent sources, producing the content
+///    digests their compile actions are keyed by;
+/// 2. **machine-lower + sd-compile** (parallel, cache-routed): lowering a stored
+///    IR unit is keyed on (unit content id, target ISA); compiling a
+///    system-dependent source on (preprocessed-content digest, IR-relevant flags,
+///    target ISA) — the `sd-compile` key is *derived* from its preprocess
+///    dependency's output at dispatch time
+///    ([`ActionGraph::add_cached_derived`]), which is what collapses the historic
+///    two-submission deploy into one graph;
+/// 3. **link + commit**: assemble and commit the system-specialized image.
+///
+/// With `shared` (the fleet's union-graph wave index), keyed artifacts another job
+/// already planned become cache-probe aliases instead of second compute nodes:
+/// the shared `BuildKey` executes once per wave and fans out to every consuming
+/// job's Link.
+pub(crate) fn graft_ir_deploy<'env>(
+    plan: &'env DeployPlan<'env>,
+    graph: &mut ActionGraph<'env, DeployError>,
+    store: &'env ImageStore,
+    mut shared: Option<&mut SharedDeployArtifacts>,
+) -> GraftedDeploy {
+    // Preprocess nodes first, in task order — the same record layout the
+    // two-submission driver produced (all preprocess records precede artifacts).
+    let mut preprocess = PreprocessPlanner::new();
+    let mut preprocess_actions: Vec<Option<ActionId>> = Vec::with_capacity(plan.tasks.len());
+    for task in &plan.tasks {
+        preprocess_actions.push(match task {
+            DeployTask::Compile { path, content, .. } => Some(preprocess.action_for(
+                graph,
+                &plan.compiler,
+                path,
+                content,
+                &plan.sd_flags,
+                |file, error| DeployError::Compile { file, error },
+            )),
+            DeployTask::Lower { .. } => None,
+        });
     }
-    let assembled: LinkSlot<Assembled> = LinkSlot::new();
-    let mut stage_b: ActionGraph<'_, DeployError> = ActionGraph::new();
-    let mut artifact_actions: Vec<ActionId> = Vec::with_capacity(tasks.len());
-    for task in &tasks {
+
+    let mut artifact_actions: Vec<ActionId> = Vec::with_capacity(plan.tasks.len());
+    let mut artifact_depth = 0usize;
+    for (task, preprocess_action) in plan.tasks.iter().zip(&preprocess_actions) {
         match task {
             DeployTask::Lower { id, .. } => {
-                let unit = &build.units[*id];
+                let unit = &plan.build.units[*id];
                 // Code generation: vectorise and lower the stored IR for the selected
                 // ISA. The unit id *is* the content digest of the IR, so (id, target)
                 // fully determines the lowered artifact.
-                let key = BuildKey::new(*id, &target.name, "lower", TOOLCHAIN_ID);
-                let target = &target;
-                artifact_actions.push(stage_b.add_cached(
-                    ActionKind::MachineLower,
-                    unit.source_file.clone(),
-                    key,
-                    &[],
-                    move |_| {
-                        let machine = lower_to_machine(&unit.module, target);
-                        Ok(serde_json::to_vec(&machine).expect("machine module serialises"))
-                    },
-                ));
+                let key = BuildKey::new(*id, &plan.target.name, "lower", TOOLCHAIN_ID);
+                let identity = format!("lower|{}", key.digest().as_str());
+                let primary = shared
+                    .as_ref()
+                    .and_then(|s| s.primaries.get(&identity).copied());
+                let action = match primary {
+                    Some(primary) => graph.add_cached(
+                        ActionKind::MachineLower,
+                        unit.source_file.clone(),
+                        key,
+                        &[primary],
+                        move |inputs| Ok(inputs.dep(0).to_vec()),
+                    ),
+                    None => {
+                        let target = &plan.target;
+                        let action =
+                            graph.add_cached(
+                                ActionKind::MachineLower,
+                                unit.source_file.clone(),
+                                key,
+                                &[],
+                                move |_| {
+                                    let machine = lower_to_machine(&unit.module, target);
+                                    Ok(serde_json::to_vec(&machine)
+                                        .expect("machine module serialises"))
+                                },
+                            );
+                        if let Some(shared) = shared.as_mut() {
+                            shared.primaries.insert(identity, action);
+                        }
+                        action
+                    }
+                };
+                artifact_actions.push(action);
+                artifact_depth = artifact_depth.max(1);
             }
-            DeployTask::Compile {
-                path,
-                content,
-                preprocess_action,
-                ..
-            } => {
-                // Key on the *preprocessed* content digest (the cache contract): it
-                // folds in the headers the compiler resolves, so caches shared across
-                // projects can never serve code built against different header
-                // definitions.
-                let digest = String::from_utf8_lossy(&outputs_a[*preprocess_action]).into_owned();
-                let key = BuildKey::new(
-                    digest,
-                    &target.name,
-                    format!("file={path};{}", sd_flags.ir_relevant_key()),
-                    TOOLCHAIN_ID,
+            DeployTask::Compile { path, content, .. } => {
+                let preprocess_action =
+                    preprocess_action.expect("compile tasks plan a preprocess action");
+                // The key folds in the *preprocessed* content digest (the cache
+                // contract): it covers the headers the compiler resolves, so caches
+                // shared across projects can never serve code built against
+                // different header definitions. The digest is the preprocess
+                // dependency's output, so the key is derived at dispatch time.
+                let (_, definitions) = PreprocessPlanner::identity(path, &plan.sd_flags);
+                let identity = format!(
+                    "sd|{path}|{definitions}|{}|{}",
+                    plan.sd_flags.ir_relevant_key(),
+                    plan.target.name
                 );
-                let compiler = &compiler;
-                let sd_flags = &sd_flags;
-                let target = &target;
-                artifact_actions.push(stage_b.add_cached(
-                    ActionKind::SdCompile,
-                    path.to_string(),
-                    key,
-                    &[],
-                    move |_| {
-                        let machine = compiler
-                            .compile_to_machine(path, content, sd_flags, target)
-                            .map_err(|error| DeployError::Compile {
-                                file: path.to_string(),
-                                error,
-                            })?;
-                        Ok(serde_json::to_vec(&machine).expect("machine module serialises"))
-                    },
-                ));
+                let target = &plan.target;
+                let sd_flags = &plan.sd_flags;
+                let path = *path;
+                let key_of = move |inputs: &crate::engine::ActionInputs| {
+                    BuildKey::new(
+                        String::from_utf8_lossy(inputs.dep(0)).into_owned(),
+                        &target.name,
+                        format!("file={path};{}", sd_flags.ir_relevant_key()),
+                        TOOLCHAIN_ID,
+                    )
+                };
+                let primary = shared
+                    .as_ref()
+                    .and_then(|s| s.primaries.get(&identity).copied());
+                let action = match primary {
+                    Some(primary) => graph.add_cached_derived(
+                        ActionKind::SdCompile,
+                        path.to_string(),
+                        key_of,
+                        &[preprocess_action, primary],
+                        move |inputs| Ok(inputs.dep(1).to_vec()),
+                    ),
+                    None => {
+                        let compiler = &plan.compiler;
+                        let content = *content;
+                        let action =
+                            graph.add_cached_derived(
+                                ActionKind::SdCompile,
+                                path.to_string(),
+                                key_of,
+                                &[preprocess_action],
+                                move |_| {
+                                    let machine = compiler
+                                        .compile_to_machine(path, content, sd_flags, target)
+                                        .map_err(|error| DeployError::Compile {
+                                            file: path.to_string(),
+                                            error,
+                                        })?;
+                                    Ok(serde_json::to_vec(&machine)
+                                        .expect("machine module serialises"))
+                                },
+                            );
+                        if let Some(shared) = shared.as_mut() {
+                            shared.primaries.insert(identity, action);
+                        }
+                        action
+                    }
+                };
+                artifact_actions.push(action);
+                artifact_depth = artifact_depth.max(2);
             }
         }
     }
 
     let link_action = {
-        let assembled = &assembled;
-        let tasks = &tasks;
-        let reference = reference.as_str();
-        let target = &target;
-        stage_b.add(
+        let reference = plan.reference.as_str();
+        graph.add(
             ActionKind::Link,
             format!("{reference} image"),
             &artifact_actions,
@@ -377,7 +492,7 @@ pub(crate) fn run_ir_deploy(
                 let mut machine_modules: BTreeMap<String, MachineModule> = BTreeMap::new();
                 let mut vectorization = VectorizationReport::default();
                 let mut stats = DeploymentStats::default();
-                for (index, task) in tasks.iter().enumerate() {
+                for (index, task) in plan.tasks.iter().enumerate() {
                     let (label, files, lowered) = match task {
                         DeployTask::Lower { files, .. } => (files[0], files, true),
                         DeployTask::Compile { path, files, .. } => (*path, files, false),
@@ -403,42 +518,44 @@ pub(crate) fn run_ir_deploy(
 
                 // Linking and installation: assemble the deployed image from the IR
                 // container image.
-                let mut image = Image::derive_from(&build.image, reference);
-                image.platform = Platform::linux(crate::source_container::architecture_of(system));
+                let mut image = Image::derive_from(&plan.build.image, reference);
+                image.platform =
+                    Platform::linux(crate::source_container::architecture_of(plan.system));
                 image.set_deployment_format(DeploymentFormat::Binary);
                 image.annotate(
                     annotation_keys::SELECTED_CONFIGURATION,
-                    manifest.label.clone(),
+                    plan.manifest.label.clone(),
                 );
-                image.annotate(annotation_keys::TARGET_SYSTEM, system.name.clone());
-                image.annotate("dev.xaas.simd", simd.gmx_name());
+                image.annotate(annotation_keys::TARGET_SYSTEM, plan.system.name.clone());
+                image.annotate("dev.xaas.simd", plan.simd.gmx_name());
 
-                let mut lowered = Layer::new(format!("RUN xaas lower --target {}", target.name));
+                let mut lowered =
+                    Layer::new(format!("RUN xaas lower --target {}", plan.target.name));
                 for (file, machine) in &machine_modules {
                     lowered.add_file(
                         format!("/xaas/obj/{}.o", file.replace('/', "_")),
                         serde_json::to_vec(machine).expect("machine module serialises"),
                     );
                 }
-                for target_spec in &project.targets {
+                for target_spec in &plan.project.targets {
                     lowered.add_executable(
                         format!("/opt/app/bin/{}", target_spec.name),
                         format!(
                             "linked {} for {} ({})",
-                            target_spec.name, system.name, target.name
+                            target_spec.name, plan.system.name, plan.target.name
                         )
                         .into_bytes(),
                     );
                 }
                 // Dependency layers are reassembled for the selected configuration only.
-                for dependency in &manifest.dependencies {
+                for dependency in &plan.manifest.dependencies {
                     lowered.add_text(
                         format!("/opt/deps/{dependency}/.provenance"),
-                        format!("dependency layer {dependency} for {}", manifest.label),
+                        format!("dependency layer {dependency} for {}", plan.manifest.label),
                     );
                 }
                 image.push_layer(lowered);
-                assembled.put(Assembled {
+                plan.assembled.put(Assembled {
                     image,
                     machine_modules,
                     vectorization,
@@ -449,40 +566,50 @@ pub(crate) fn run_ir_deploy(
         )
     };
     add_commit_action(
-        &mut stage_b,
-        format!("{reference} commit"),
-        engine.store(),
-        &assembled,
+        graph,
+        format!("{} commit", plan.reference),
+        store,
+        &plan.assembled,
         |assembled| &assembled.image,
         link_action,
     );
 
-    let run_b = engine.run(stage_b);
-    let (_, trace_b) = run_b.into_outputs()?;
-    trace.merge(trace_b);
+    GraftedDeploy {
+        stage_depth: artifact_depth + 2,
+    }
+}
+
+/// The finish phase: consume the plan after its subgraph ran, returning the
+/// [`IrDeployment`] carrying `trace` (the job's own trace — the full run for a
+/// standalone submission, the job's split of the wave trace for a union-graph
+/// fleet).
+pub(crate) fn finish_ir_deploy(
+    plan: DeployPlan<'_>,
+    trace: ActionTrace,
+) -> Result<IrDeployment, DeployError> {
     let Assembled {
         image,
         machine_modules,
         vectorization,
         stats,
-    } = assembled.into_inner().expect("link action ran");
+    } = plan.assembled.into_inner().expect("link action ran");
 
-    let threads = system.cpu.total_cores().min(36);
+    let threads = plan.system.cpu.total_cores().min(36);
     let mut build_profile = derive_build_profile(
-        format!("XaaS IR ({} {})", system.name, simd.gmx_name()),
-        &manifest.assignment,
-        system,
+        format!("XaaS IR ({} {})", plan.system.name, plan.simd.gmx_name()),
+        &plan.manifest.assignment,
+        plan.system,
         threads,
     )
     .with_container_overhead(1.01);
-    build_profile.simd = simd;
+    build_profile.simd = plan.simd;
 
     let actions = trace.summary();
     Ok(IrDeployment {
         image,
-        reference,
-        assignment: manifest.assignment.clone(),
-        simd,
+        reference: plan.reference,
+        assignment: plan.manifest.assignment.clone(),
+        simd: plan.simd,
         machine_modules,
         vectorization,
         stats,
@@ -490,6 +617,38 @@ pub(crate) fn run_ir_deploy(
         actions,
         trace,
     })
+}
+
+/// Run one already-validated plan through `engine` as its own single graph
+/// submission: graft ([`graft_ir_deploy`]), run, finish ([`finish_ir_deploy`]).
+/// The sequential fleet strategy calls this after planning so its
+/// [`FleetReport::submissions`](crate::orchestrator::FleetReport::submissions)
+/// counter counts only jobs that actually reached the engine.
+pub(crate) fn run_planned_ir_deploy(
+    plan: DeployPlan<'_>,
+    engine: &Engine,
+) -> Result<IrDeployment, DeployError> {
+    let mut graph: ActionGraph<'_, DeployError> = ActionGraph::new();
+    graft_ir_deploy(&plan, &mut graph, engine.store(), None);
+    let run = engine.run(graph);
+    let (_, trace) = run.into_outputs()?;
+    finish_ir_deploy(plan, trace)
+}
+
+/// Deploy an IR container through `engine` in **one** graph submission (the driver
+/// behind [`IrDeployRequest`](crate::orchestrator::IrDeployRequest)): plan
+/// ([`plan_ir_deploy`]), graft the subgraph onto a private graph
+/// ([`graft_ir_deploy`]), run it, finish ([`finish_ir_deploy`]).
+pub(crate) fn run_ir_deploy(
+    build: &IrContainerBuild,
+    project: &ProjectSpec,
+    system: &SystemModel,
+    selection: &OptionAssignment,
+    simd: SimdLevel,
+    engine: &Engine,
+) -> Result<IrDeployment, DeployError> {
+    let plan = plan_ir_deploy(build, project, system, selection, simd)?;
+    run_planned_ir_deploy(plan, engine)
 }
 
 /// Convenience: list the IR blob paths of an IR container image (used by examples/tests

@@ -19,7 +19,7 @@
 //! policy-dependent) through each record's `schedule_seq` and `queue_wait_micros`
 //! diagnostics, which are deliberately excluded from trace equality.
 
-use super::graph::{ActionFn, ActionGraph, ActionId, ActionInputs};
+use super::graph::{ActionFn, ActionGraph, ActionId, ActionInputs, KeySpec};
 use super::policy::SchedulingPolicy;
 use super::trace::{ActionKind, ActionRecord, ActionTrace};
 use parking_lot::Mutex;
@@ -67,6 +67,36 @@ impl<E> NodeOutcome<E> {
 /// The per-node output blobs of a completed run, in node order.
 pub type ActionOutputs = Vec<Arc<Vec<u8>>>;
 
+/// Static description of one node of a completed run: its stage, human-readable
+/// label, and the job tag it was grafted under (see
+/// [`ActionGraph::set_job`]). Available for *every* node — including failed and
+/// skipped ones, which leave no [`ActionRecord`] behind — so callers can attribute
+/// failures to the subgraph that planned them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeInfo {
+    /// The pipeline stage of the node.
+    pub kind: ActionKind,
+    /// Human-readable identity (usually the file or unit the action worked on).
+    pub label: String,
+    /// The job tag in effect when the node was added, if any.
+    pub job: Option<usize>,
+}
+
+/// The failure poisoning one job of a run: the root failing node (which may belong
+/// to *another* job when a shared artifact's compute node failed), its static
+/// description, and the typed error when the root carried one.
+#[derive(Debug)]
+pub struct JobFailure<'run, E> {
+    /// The failed node every affected node of the job transitively depends on.
+    pub node: ActionId,
+    /// Static description of the failing node (kind, label, owning job).
+    pub info: &'run NodeInfo,
+    /// The typed error the failing node returned. `None` only when the node was
+    /// itself skipped without a recorded failure (a cache-backend contract
+    /// violation — the executor panics on that path before a caller can see it).
+    pub error: Option<&'run E>,
+}
+
 /// The result of running one [`ActionGraph`] through the engine.
 #[derive(Debug)]
 pub struct GraphRun<E> {
@@ -74,12 +104,45 @@ pub struct GraphRun<E> {
     pub outcomes: Vec<NodeOutcome<E>>,
     /// Deterministic trace of the completed actions (node order).
     pub trace: ActionTrace,
+    /// Static per-node info (kind, label, job tag), indexed by [`ActionId`].
+    infos: Vec<NodeInfo>,
 }
 
 impl<E> GraphRun<E> {
     /// Whether every node completed.
     pub fn succeeded(&self) -> bool {
         self.outcomes.iter().all(NodeOutcome::is_ok)
+    }
+
+    /// Static description of one node (available even for failed/skipped nodes).
+    pub fn node_info(&self, id: ActionId) -> &NodeInfo {
+        &self.infos[id]
+    }
+
+    /// The failure poisoning `job`'s subgraph, if any: scans the job's nodes in
+    /// node order and resolves the first non-completed one to its root failing
+    /// node. The root may belong to a different job when the jobs share a keyed
+    /// artifact whose computation failed.
+    pub fn job_failure(&self, job: usize) -> Option<JobFailure<'_, E>> {
+        self.outcomes
+            .iter()
+            .enumerate()
+            .filter(|(id, _)| self.infos[*id].job == Some(job))
+            .find_map(|(id, outcome)| {
+                let root = match outcome {
+                    NodeOutcome::Output(_) => return None,
+                    NodeOutcome::Failed(_) => id,
+                    NodeOutcome::Skipped { root } => *root,
+                };
+                Some(JobFailure {
+                    node: root,
+                    info: &self.infos[root],
+                    error: match &self.outcomes[root] {
+                        NodeOutcome::Failed(error) => Some(error),
+                        _ => None,
+                    },
+                })
+            })
     }
 
     /// The output of one node, if it completed.
@@ -120,8 +183,15 @@ enum Slot<E> {
 struct NodeMeta {
     kind: ActionKind,
     label: String,
-    cache_key: Option<xaas_container::BuildKey>,
+    job: Option<usize>,
     deps: Vec<ActionId>,
+}
+
+/// A node's one-shot work: the run closure plus its cache-key specification
+/// (static, derived from inputs, or none). Taken exactly once at dispatch.
+struct NodeWork<'env, E> {
+    run: ActionFn<'env, E>,
+    key: KeySpec<'env>,
 }
 
 /// The ordering half of the ready queue: FIFO or priority-by-weight.
@@ -168,7 +238,7 @@ struct Ready {
 
 struct ExecState<'env, E> {
     metas: Vec<NodeMeta>,
-    tasks: Vec<Mutex<Option<ActionFn<'env, E>>>>,
+    tasks: Vec<Mutex<Option<NodeWork<'env, E>>>>,
     slots: Vec<Mutex<Slot<E>>>,
     records: Vec<Mutex<Option<ActionRecord>>>,
     dependents: Vec<Vec<ActionId>>,
@@ -296,6 +366,7 @@ pub(crate) fn run_graph<'env, E: Send>(
                 policy: policy.name().to_string(),
                 ..ActionTrace::default()
             },
+            infos: Vec::new(),
         };
     }
 
@@ -312,10 +383,13 @@ pub(crate) fn run_graph<'env, E: Send>(
         metas.push(NodeMeta {
             kind: node.kind,
             label: node.label,
-            cache_key: node.cache_key,
+            job: node.job,
             deps: node.deps,
         });
-        tasks.push(Mutex::new(Some(node.run)));
+        tasks.push(Mutex::new(Some(NodeWork {
+            run: node.run,
+            key: node.key,
+        })));
     }
 
     // Critical-path weights: the policy cost of the heaviest chain from each node to
@@ -393,6 +467,7 @@ pub(crate) fn run_graph<'env, E: Send>(
     }
 
     let ExecState {
+        metas,
         slots,
         records,
         panic_payload,
@@ -420,7 +495,19 @@ pub(crate) fn run_graph<'env, E: Send>(
         stage_depth,
         policy: policy.name().to_string(),
     };
-    GraphRun { outcomes, trace }
+    let infos = metas
+        .into_iter()
+        .map(|meta| NodeInfo {
+            kind: meta.kind,
+            label: meta.label,
+            job: meta.job,
+        })
+        .collect();
+    GraphRun {
+        outcomes,
+        trace,
+        infos,
+    }
 }
 
 fn worker_loop<E: Send>(state: &ExecState<'_, E>, cache: &dyn CacheBackend) {
@@ -477,20 +564,43 @@ fn execute_node<E: Send>(
         return;
     }
 
-    let task = state.tasks[id]
+    let NodeWork { run: task, key } = state.tasks[id]
         .lock()
         .take()
         .expect("every node executes exactly once");
     let inputs = ActionInputs::new(inputs);
     let started = Instant::now();
 
-    let (slot, completed): (Slot<E>, Option<bool>) = match &meta.cache_key {
+    // Resolve the cache key: static keys pass through; derived keys are computed
+    // from the dependency outputs now that they exist. A panicking key derivation
+    // behaves like a panicking action (payload recorded, dependents poisoned).
+    let key = match key {
+        KeySpec::None => None,
+        KeySpec::Static(key) => Some(key),
+        KeySpec::Derived(key_of) => {
+            match std::panic::catch_unwind(AssertUnwindSafe(|| key_of(&inputs))) {
+                Ok(key) => Some(key),
+                Err(payload) => {
+                    let mut slot = state.panic_payload.lock();
+                    if slot.is_none() {
+                        *slot = Some(payload);
+                    }
+                    state.finish(id, Slot::Skipped { root: id }, None);
+                    return;
+                }
+            }
+        }
+    };
+
+    let (slot, completed): (Slot<E>, Option<bool>) = match &key {
         Some(key) => {
             let mut task = Some(task);
             let mut captured: Option<E> = None;
             let result = cache.get_or_compute_action(key, &mut || {
-                // At most one node per key per graph (the ActionGraph contract), so
-                // the closure runs at most once even under single-flight coalescing.
+                // At most one in-flight node per key per graph (the ActionGraph
+                // contract — a repeated key must be ordered after the first by a
+                // dependency edge), so the closure runs at most once even under
+                // single-flight coalescing.
                 match task.take() {
                     Some(task) => match state.run_task(task, &inputs) {
                         Some(Ok(bytes)) => Ok(bytes),
@@ -523,14 +633,12 @@ fn execute_node<E: Send>(
     let record = completed.map(|cached| ActionRecord {
         kind: meta.kind,
         label: meta.label.clone(),
-        key_digest: meta
-            .cache_key
-            .as_ref()
-            .map(|k| k.digest().hex().to_string()),
+        key_digest: key.as_ref().map(|k| k.digest().hex().to_string()),
         cached,
         queue_wait_micros: wait_micros,
         exec_micros: started.elapsed().as_micros() as u64,
         schedule_seq: seq,
+        job: meta.job,
     });
     state.finish(id, slot, record);
 }

@@ -49,12 +49,27 @@ impl ActionInputs {
 pub(crate) type ActionFn<'env, E> =
     Box<dyn FnOnce(&ActionInputs) -> Result<Vec<u8>, E> + Send + 'env>;
 
+pub(crate) type KeyFn<'env> = Box<dyn FnOnce(&ActionInputs) -> BuildKey + Send + 'env>;
+
+/// How a node's cache identity is determined.
+pub(crate) enum KeySpec<'env> {
+    /// The node never touches the cache.
+    None,
+    /// The key is known at graph-construction time.
+    Static(BuildKey),
+    /// The key is derived from the node's dependency outputs at dispatch time
+    /// (e.g. an `sd-compile` keyed on the digest its preprocess dependency
+    /// produced — the whole deploy pipeline fits in one submission this way).
+    Derived(KeyFn<'env>),
+}
+
 pub(crate) struct ActionNode<'env, E> {
     pub(crate) kind: ActionKind,
     pub(crate) label: String,
-    pub(crate) cache_key: Option<BuildKey>,
+    pub(crate) key: KeySpec<'env>,
     pub(crate) deps: Vec<ActionId>,
     pub(crate) run: ActionFn<'env, E>,
+    pub(crate) job: Option<usize>,
 }
 
 /// A DAG of actions to submit to the [`Engine`](crate::engine::Engine).
@@ -63,12 +78,18 @@ pub(crate) struct ActionNode<'env, E> {
 /// compiler, manifest state); the executor runs the closures on scoped threads, so
 /// borrowing driver locals is free. `E` is the driver's typed error.
 ///
-/// At most one node per [`BuildKey`] may be added to a graph: the executor routes
-/// keyed nodes through the cache backend with single-flight semantics, and a second
-/// node with the same key inside one submission would make the hit/miss trace
-/// scheduling-dependent. Drivers deduplicate keys at plan time.
+/// At most one *unordered* node per [`BuildKey`] may be added to a graph: the
+/// executor routes keyed nodes through the cache backend with single-flight
+/// semantics, and two racing nodes with the same key inside one submission would
+/// make the hit/miss trace scheduling-dependent. A second node with an
+/// already-planned key is allowed only when a dependency edge orders it after the
+/// key's first node — the fleet grafter uses exactly this shape (a cache-probe
+/// "alias" that fans a shared artifact out into another job's subgraph as a
+/// deterministic hit). Drivers deduplicate unordered keys at plan time.
 pub struct ActionGraph<'env, E> {
     pub(crate) nodes: Vec<ActionNode<'env, E>>,
+    /// Job tag applied to subsequently added nodes (see [`ActionGraph::set_job`]).
+    current_job: Option<usize>,
 }
 
 impl<'env, E> Default for ActionGraph<'env, E> {
@@ -80,7 +101,21 @@ impl<'env, E> Default for ActionGraph<'env, E> {
 impl<'env, E> ActionGraph<'env, E> {
     /// An empty graph.
     pub fn new() -> Self {
-        Self { nodes: Vec::new() }
+        Self {
+            nodes: Vec::new(),
+            current_job: None,
+        }
+    }
+
+    /// Tag every subsequently added node with `job` (or clear the tag with `None`).
+    ///
+    /// Job tags let one graph carry several logical subgraphs — the fleet request
+    /// grafts every deployment job into one union graph per wave — and flow into
+    /// [`ActionRecord::job`](crate::engine::ActionRecord::job) and the per-node
+    /// [`NodeInfo`](crate::engine::NodeInfo) of the run, so failures and trace
+    /// records attribute back to the job that planned them.
+    pub fn set_job(&mut self, job: Option<usize>) {
+        self.current_job = job;
     }
 
     /// Add an uncached action: it always executes, and its record carries no key.
@@ -95,7 +130,7 @@ impl<'env, E> ActionGraph<'env, E> {
         deps: &[ActionId],
         run: impl FnOnce(&ActionInputs) -> Result<Vec<u8>, E> + Send + 'env,
     ) -> ActionId {
-        self.push(kind, label.into(), None, deps, Box::new(run))
+        self.push(kind, label.into(), KeySpec::None, deps, Box::new(run))
     }
 
     /// Add a cache-routed action: the executor consults the engine's cache backend
@@ -111,14 +146,48 @@ impl<'env, E> ActionGraph<'env, E> {
         deps: &[ActionId],
         run: impl FnOnce(&ActionInputs) -> Result<Vec<u8>, E> + Send + 'env,
     ) -> ActionId {
-        self.push(kind, label.into(), Some(key), deps, Box::new(run))
+        self.push(
+            kind,
+            label.into(),
+            KeySpec::Static(key),
+            deps,
+            Box::new(run),
+        )
+    }
+
+    /// Add a cache-routed action whose [`BuildKey`] is *derived from its dependency
+    /// outputs* when the node is dispatched, instead of being known up front.
+    ///
+    /// This is what lets a whole deployment pipeline run as one submission: an
+    /// `sd-compile` is keyed on the preprocessed-content digest its preprocess
+    /// dependency produces, so the key cannot exist at graph-construction time.
+    /// `key_of` must be deterministic in the dependency outputs — it becomes part
+    /// of the action's cache identity and recorded `key_digest`.
+    ///
+    /// # Panics
+    /// If a dependency refers to a node that has not been added yet.
+    pub fn add_cached_derived(
+        &mut self,
+        kind: ActionKind,
+        label: impl Into<String>,
+        key_of: impl FnOnce(&ActionInputs) -> BuildKey + Send + 'env,
+        deps: &[ActionId],
+        run: impl FnOnce(&ActionInputs) -> Result<Vec<u8>, E> + Send + 'env,
+    ) -> ActionId {
+        self.push(
+            kind,
+            label.into(),
+            KeySpec::Derived(Box::new(key_of)),
+            deps,
+            Box::new(run),
+        )
     }
 
     fn push(
         &mut self,
         kind: ActionKind,
         label: String,
-        cache_key: Option<BuildKey>,
+        key: KeySpec<'env>,
         deps: &[ActionId],
         run: ActionFn<'env, E>,
     ) -> ActionId {
@@ -132,9 +201,10 @@ impl<'env, E> ActionGraph<'env, E> {
         self.nodes.push(ActionNode {
             kind,
             label,
-            cache_key,
+            key,
             deps: deps.to_vec(),
             run,
+            job: self.current_job,
         });
         id
     }

@@ -48,7 +48,7 @@ pub mod plan;
 pub mod policy;
 pub mod trace;
 
-pub use executor::{ActionOutputs, GraphRun, NodeOutcome};
+pub use executor::{ActionOutputs, GraphRun, JobFailure, NodeInfo, NodeOutcome};
 pub use graph::{ActionGraph, ActionId, ActionInputs};
 pub use plan::{add_commit_action, KeyedActionPlanner, LinkSlot, PreprocessPlanner};
 pub use policy::{CriticalPathFirst, Fifo, PolicyError, SchedulingPolicy};

@@ -145,6 +145,47 @@ impl CriticalPathFirst {
         self
     }
 
+    /// Derive the cost table from *measured* behaviour: the per-kind mean of the
+    /// `exec_micros` recorded in `trace` (the ROADMAP refinement over the static
+    /// defaults). Cache-served records are excluded — a hit times the cache
+    /// probe, not the action, so a warm trace must not flatten the table. Means
+    /// are normalised so the cheapest measured *non-zero* kind costs 1 and
+    /// rounded to the nearest integer (never below 1); kinds with no executed
+    /// record — or whose measured mean is zero, i.e. below timer resolution —
+    /// keep their current cost, and a trace with no usable timings (all zeros,
+    /// or fully cache-served) leaves the table untouched.
+    pub fn with_measured_costs(mut self, trace: &super::trace::ActionTrace) -> Self {
+        let mut sums: BTreeMap<ActionKind, (u64, u64)> = BTreeMap::new();
+        for record in trace.records.iter().filter(|record| !record.cached) {
+            let entry = sums.entry(record.kind).or_insert((0, 0));
+            entry.0 += record.exec_micros;
+            entry.1 += 1;
+        }
+        let means: BTreeMap<ActionKind, f64> = sums
+            .into_iter()
+            .map(|(kind, (total, count))| (kind, total as f64 / count as f64))
+            .collect();
+        let Some(base) = means
+            .values()
+            .copied()
+            .filter(|&mean| mean > 0.0)
+            .fold(None, |min: Option<f64>, mean| {
+                Some(min.map_or(mean, |m| m.min(mean)))
+            })
+        else {
+            return self;
+        };
+        for (kind, mean) in means {
+            if mean <= 0.0 {
+                // Below timer resolution: no measurement, keep the current cost.
+                continue;
+            }
+            self.costs
+                .insert(kind, ((mean / base).round() as u64).max(1));
+        }
+        self
+    }
+
     /// Bound the number of in-flight actions of `kind` (e.g. limited `sd-compile`
     /// slots modelling a licensed toolchain). A cap of zero is rejected by
     /// [`SchedulingPolicy::validate`].
@@ -217,6 +258,97 @@ mod tests {
         assert_eq!(policy.action_cost(ActionKind::SdCompile), 99);
         assert_eq!(policy.concurrency_cap(ActionKind::SdCompile), Some(2));
         assert_eq!(policy.concurrency_cap(ActionKind::Link), None);
+    }
+
+    #[test]
+    fn measured_costs_derive_from_per_kind_exec_micros_means() {
+        use crate::engine::trace::{ActionRecord, ActionTrace};
+        let record = |kind: ActionKind, exec_micros: u64| ActionRecord {
+            kind,
+            label: "m".to_string(),
+            key_digest: None,
+            cached: false,
+            queue_wait_micros: 0,
+            exec_micros,
+            schedule_seq: 0,
+            job: None,
+        };
+        // Measured micros proportional to the default table (137 µs per cost
+        // unit): the derived costs must reproduce the default table exactly, so
+        // a measured policy schedules identically to the shipped defaults.
+        let defaults = CriticalPathFirst::new();
+        let trace = ActionTrace {
+            records: ActionKind::ALL
+                .iter()
+                .map(|&kind| record(kind, defaults.action_cost(kind) * 137))
+                .collect(),
+            stage_depth: 1,
+            policy: String::new(),
+        };
+        let measured = CriticalPathFirst::new()
+            .with_cost(ActionKind::IrLower, 1) // overwritten by the measurement
+            .with_measured_costs(&trace);
+        for kind in ActionKind::ALL {
+            assert_eq!(
+                measured.action_cost(kind),
+                defaults.action_cost(kind),
+                "{kind}"
+            );
+        }
+        // Multiple records of one kind average; absent kinds keep their cost,
+        // and an all-zero trace changes nothing.
+        let skewed = ActionTrace {
+            records: vec![
+                record(ActionKind::Preprocess, 100),
+                record(ActionKind::Preprocess, 300),
+                record(ActionKind::IrLower, 1000),
+            ],
+            stage_depth: 1,
+            policy: String::new(),
+        };
+        let derived = CriticalPathFirst::new().with_measured_costs(&skewed);
+        assert_eq!(derived.action_cost(ActionKind::Preprocess), 1);
+        assert_eq!(derived.action_cost(ActionKind::IrLower), 5, "1000/200");
+        assert_eq!(
+            derived.action_cost(ActionKind::Commit),
+            CriticalPathFirst::new().action_cost(ActionKind::Commit)
+        );
+        // A kind measured at 0 µs (below timer resolution) is no measurement:
+        // it keeps its configured cost instead of collapsing to 1.
+        let sub_resolution = ActionTrace {
+            records: vec![
+                record(ActionKind::SdCompile, 500),
+                record(ActionKind::Link, 0),
+            ],
+            stage_depth: 1,
+            policy: String::new(),
+        };
+        let kept = CriticalPathFirst::new()
+            .with_cost(ActionKind::Link, 4)
+            .with_measured_costs(&sub_resolution);
+        assert_eq!(kept.action_cost(ActionKind::Link), 4);
+        assert_eq!(
+            kept.action_cost(ActionKind::SdCompile),
+            1,
+            "only measured kind"
+        );
+        let empty = CriticalPathFirst::new().with_measured_costs(&ActionTrace::default());
+        for kind in ActionKind::ALL {
+            assert_eq!(empty.action_cost(kind), defaults.action_cost(kind));
+        }
+        // Cache-served records time the probe, not the action: a fully warm
+        // trace must leave the table untouched instead of flattening it.
+        let mut hit = record(ActionKind::IrLower, 3);
+        hit.cached = true;
+        let warm = ActionTrace {
+            records: vec![hit],
+            stage_depth: 1,
+            policy: String::new(),
+        };
+        let unchanged = CriticalPathFirst::new().with_measured_costs(&warm);
+        for kind in ActionKind::ALL {
+            assert_eq!(unchanged.action_cost(kind), defaults.action_cost(kind));
+        }
     }
 
     #[test]

@@ -109,6 +109,14 @@ pub struct ActionRecord {
     /// produced. Monotone across successive submissions to the same engine.
     #[serde(default)]
     pub schedule_seq: u64,
+    /// The fleet job (subgraph tag) the action was grafted under, when the graph
+    /// carried several logical subgraphs (see
+    /// [`ActionGraph::set_job`](crate::engine::ActionGraph::set_job)); `None` for
+    /// single-pipeline submissions. Attribution metadata — like the timing
+    /// diagnostics, it is excluded from equality so a job's slice of a union-graph
+    /// trace compares equal to the same job run standalone.
+    #[serde(default)]
+    pub job: Option<usize>,
 }
 
 impl PartialEq for ActionRecord {
@@ -229,6 +237,30 @@ impl ActionTrace {
         waits
     }
 
+    /// Split a union-graph trace into one trace per job tag, preserving node
+    /// order within each job. Records without a job tag are dropped (they belong
+    /// to no subgraph). The splits carry the parent's `policy`; their
+    /// `stage_depth` is left at zero because a subgraph's depth is not derivable
+    /// from records alone — the fleet driver sets it from the grafted subgraph.
+    ///
+    /// Together the splits *partition* the tagged records: per-kind counts summed
+    /// over all jobs equal the union trace's counts.
+    pub fn split_by_job(&self) -> BTreeMap<usize, ActionTrace> {
+        let mut splits: BTreeMap<usize, ActionTrace> = BTreeMap::new();
+        for record in &self.records {
+            let Some(job) = record.job else { continue };
+            splits
+                .entry(job)
+                .or_insert_with(|| ActionTrace {
+                    policy: self.policy.clone(),
+                    ..ActionTrace::default()
+                })
+                .records
+                .push(record.clone());
+        }
+        splits
+    }
+
     /// Action identities in the order the scheduling policy dispatched them
     /// (ascending [`ActionRecord::schedule_seq`]). Unlike [`records`](Self::records)
     /// — which are always in node order — this order *does* depend on the policy:
@@ -254,7 +286,47 @@ mod tests {
             queue_wait_micros: 0,
             exec_micros: 0,
             schedule_seq: 0,
+            job: None,
         }
+    }
+
+    #[test]
+    fn split_by_job_partitions_tagged_records_and_keeps_policy() {
+        let mut records = vec![
+            record(ActionKind::Preprocess, "a.ck", None, false),
+            record(ActionKind::IrLower, "a.ck", Some("ab12"), false),
+            record(ActionKind::IrLower, "b.ck", Some("cd34"), true),
+            record(ActionKind::Commit, "img", None, false),
+        ];
+        records[0].job = Some(0);
+        records[1].job = Some(0);
+        records[2].job = Some(1);
+        records[3].job = Some(1);
+        let trace = ActionTrace {
+            records,
+            stage_depth: 3,
+            policy: "fifo".to_string(),
+        };
+        let splits = trace.split_by_job();
+        assert_eq!(splits.len(), 2);
+        assert_eq!(splits[&0].len(), 2);
+        assert_eq!(splits[&1].len(), 2);
+        assert_eq!(splits[&0].policy, "fifo");
+        // The splits partition the union: per-kind counts sum to the union's.
+        let mut summed = BTreeMap::new();
+        for split in splits.values() {
+            for (kind, count) in split.by_kind() {
+                *summed.entry(kind).or_insert(0) += count;
+            }
+        }
+        assert_eq!(summed, trace.by_kind());
+        // Untagged records belong to no job and are dropped by the split.
+        let untagged = ActionTrace {
+            records: vec![record(ActionKind::Link, "img", None, false)],
+            stage_depth: 1,
+            policy: String::new(),
+        };
+        assert!(untagged.split_by_job().is_empty());
     }
 
     #[test]

@@ -89,8 +89,8 @@ pub mod prelude {
         IrUnit, PipelineStages, PipelineStats, UnitAssignment, IR_TARGET, TOOLCHAIN_ID,
     };
     pub use crate::orchestrator::{
-        FleetError, FleetOutcome, FleetReport, FleetRequest, FleetTarget, IrBuildRequest,
-        IrDeployRequest, Orchestrator, OrchestratorBuilder, SourceDeployRequest,
+        FleetError, FleetOutcome, FleetReport, FleetRequest, FleetStrategy, FleetTarget,
+        IrBuildRequest, IrDeployRequest, Orchestrator, OrchestratorBuilder, SourceDeployRequest,
     };
     pub use crate::portability::{table2, PortabilityEntry, PortabilityLevel};
     pub use crate::scheduler::FleetSpecializer;

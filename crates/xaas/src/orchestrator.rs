@@ -44,8 +44,8 @@
 //! `sd-compile` concurrency cap) surfaces as a typed error before any action runs
 //! — never as a panic or a deadlock.
 
-use crate::deploy::{DeployError, IrDeployment};
-use crate::engine::{ActionTrace, Engine, SchedulingPolicy};
+use crate::deploy::{DeployError, DeployPlan, GraftedDeploy, IrDeployment, SharedDeployArtifacts};
+use crate::engine::{ActionGraph, ActionTrace, Engine, SchedulingPolicy};
 use crate::ir_container::{IrContainerBuild, IrPipelineConfig, IrPipelineError};
 use crate::source_container::{SelectionPolicy, SourceContainerError, SourceDeployment};
 use std::collections::BTreeMap;
@@ -65,10 +65,12 @@ use xaas_hpcsim::{SimdLevel, SystemModel};
 #[derive(Debug, Clone)]
 pub struct Orchestrator {
     engine: Engine,
+    fleet_strategy: FleetStrategy,
 }
 
 impl Orchestrator {
-    /// A fully-configured builder (workers, cache choice, scheduling policy).
+    /// A fully-configured builder (workers, cache choice, scheduling policy,
+    /// fleet strategy).
     pub fn builder() -> OrchestratorBuilder {
         OrchestratorBuilder::default()
     }
@@ -93,9 +95,24 @@ impl Orchestrator {
     }
 
     /// Wrap an explicitly-configured [`Engine`] (worker count, cache backend,
-    /// scheduling policy are taken as-is).
+    /// scheduling policy are taken as-is; the fleet strategy stays the default).
     pub fn from_engine(engine: Engine) -> Self {
-        Self { engine }
+        Self {
+            engine,
+            fleet_strategy: FleetStrategy::default(),
+        }
+    }
+
+    /// Override how [`FleetRequest`]s execute (default:
+    /// [`FleetStrategy::UnionGraph`]).
+    pub fn with_fleet_strategy(mut self, strategy: FleetStrategy) -> Self {
+        self.fleet_strategy = strategy;
+        self
+    }
+
+    /// The strategy [`FleetRequest`]s execute under.
+    pub fn fleet_strategy(&self) -> FleetStrategy {
+        self.fleet_strategy
     }
 
     /// The engine requests execute on.
@@ -160,6 +177,7 @@ pub struct OrchestratorBuilder {
     workers: Option<usize>,
     policy: Option<Arc<dyn SchedulingPolicy>>,
     cache: CacheChoice,
+    fleet_strategy: FleetStrategy,
 }
 
 impl Default for OrchestratorBuilder {
@@ -168,6 +186,7 @@ impl Default for OrchestratorBuilder {
             workers: None,
             policy: None,
             cache: CacheChoice::FreshCached,
+            fleet_strategy: FleetStrategy::default(),
         }
     }
 }
@@ -206,6 +225,14 @@ impl OrchestratorBuilder {
         self
     }
 
+    /// How [`FleetRequest`]s execute (default: [`FleetStrategy::UnionGraph`] —
+    /// one union graph per wave; [`FleetStrategy::Sequential`] submits one graph
+    /// per job, kept for A/B benchmarking).
+    pub fn fleet_strategy(mut self, strategy: FleetStrategy) -> Self {
+        self.fleet_strategy = strategy;
+        self
+    }
+
     /// Build the orchestrator.
     pub fn build(self) -> Orchestrator {
         let mut engine = match self.cache {
@@ -220,7 +247,10 @@ impl OrchestratorBuilder {
         if let Some(policy) = self.policy {
             engine = engine.with_policy_arc(policy);
         }
-        Orchestrator { engine }
+        Orchestrator {
+            engine,
+            fleet_strategy: self.fleet_strategy,
+        }
     }
 }
 
@@ -232,7 +262,40 @@ impl fmt::Debug for OrchestratorBuilder {
                 "policy",
                 &self.policy.as_ref().map(|p| p.name().to_string()),
             )
+            .field("fleet_strategy", &self.fleet_strategy)
             .finish()
+    }
+}
+
+/// How a [`FleetRequest`] turns its deduplicated jobs into engine work.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum FleetStrategy {
+    /// One graph submission per distinct job, in job order — the historical
+    /// shape, kept for A/B benchmarking against the union graph. Parallelism is
+    /// intra-job only; cross-job reuse happens through the shared cache.
+    Sequential,
+    /// One union [`ActionGraph`] per wave, submitted to the engine exactly once:
+    /// every job's subgraph is grafted into it, keyed nodes shared across jobs
+    /// (same [`BuildKey`](xaas_container::BuildKey)) execute once and fan out to
+    /// all consuming jobs, and the executor interleaves actions *across* systems
+    /// instead of finishing one deployment before starting the next.
+    #[default]
+    UnionGraph,
+}
+
+impl FleetStrategy {
+    /// Stable lowercase name (used in reports and JSON).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            FleetStrategy::Sequential => "sequential",
+            FleetStrategy::UnionGraph => "union-graph",
+        }
+    }
+}
+
+impl fmt::Display for FleetStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
     }
 }
 
@@ -446,11 +509,20 @@ pub struct FleetError {
     pub system: String,
     /// Rendered deployment error.
     pub message: String,
+    /// Label of the failing action, when the failure happened inside the engine
+    /// (a union-graph wave attributes the poisoning node — possibly a shared
+    /// artifact another job planned). `None` for plan-time failures (unknown
+    /// configuration, unsupported SIMD, missing unit) and invalid policies.
+    pub action: Option<String>,
 }
 
 impl fmt::Display for FleetError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "specializing for {}: {}", self.system, self.message)
+        write!(f, "specializing for {}: {}", self.system, self.message)?;
+        if let Some(action) = &self.action {
+            write!(f, " (action `{action}`)")?;
+        }
+        Ok(())
     }
 }
 
@@ -487,7 +559,17 @@ pub struct FleetReport {
     /// live entry count after the run. `misses` is the number of compile/lower
     /// actions the fleet actually executed.
     pub cache: CacheStats,
-    /// The merged [`ActionTrace`] of every distinct job, in job order.
+    /// The strategy the wave executed under.
+    pub strategy: FleetStrategy,
+    /// Engine submissions the wave needed: one under
+    /// [`FleetStrategy::UnionGraph`], one per distinct job that passed
+    /// validation under [`FleetStrategy::Sequential`], zero when no job reached
+    /// the engine (an invalid policy, or every job failing at plan time).
+    pub submissions: usize,
+    /// The wave's [`ActionTrace`]: the single union-graph trace (records carry
+    /// their [`job`](crate::engine::ActionRecord::job) tag) or the merged
+    /// sequential traces in job order. Per-job traces live on each outcome's
+    /// [`IrDeployment::trace`].
     pub trace: ActionTrace,
 }
 
@@ -513,10 +595,13 @@ impl FleetReport {
 /// Typed request: specialize one IR container for a fleet of systems through the
 /// orchestrator's shared cache.
 ///
-/// Duplicate targets are deduplicated up front; each distinct job submits its
-/// deployment graph to the shared engine, so systems sharing an ISA share every
-/// lowered artifact and no [`BuildKey`](xaas_container::BuildKey) is ever built
-/// twice. A failed job fails only the targets that map to it.
+/// Duplicate targets are deduplicated up front; under the default
+/// [`FleetStrategy::UnionGraph`] every distinct job's deployment subgraph is
+/// grafted into **one union graph per wave** (a single engine submission, with
+/// cross-job shared [`BuildKey`](xaas_container::BuildKey)s executed once), so
+/// systems sharing an ISA share every lowered artifact and the executor
+/// interleaves actions across systems. A failed job fails only the targets that
+/// map to it.
 #[derive(Debug, Clone)]
 pub struct FleetRequest<'a> {
     build: &'a IrContainerBuild,
@@ -550,6 +635,14 @@ impl<'a> FleetRequest<'a> {
     /// request order; per-job failures (including an invalid scheduling policy,
     /// which fails every job before any action runs) are reported per outcome, so
     /// the report itself is always produced.
+    ///
+    /// Under the default [`FleetStrategy::UnionGraph`] every job's deployment
+    /// subgraph is grafted into **one** union graph and the engine is submitted
+    /// to exactly once per wave; under [`FleetStrategy::Sequential`] each job
+    /// submits its own graph in job order. Both strategies produce byte-identical
+    /// images, per-job traces, and cache deltas — the union graph only changes
+    /// *when* actions run (interleaved across jobs) and how often the engine is
+    /// entered.
     pub fn submit(self, orch: &Orchestrator) -> FleetReport {
         // Deduplicate identical targets up front: one job per distinct job key.
         let mut job_of_target: Vec<(usize, bool)> = Vec::with_capacity(self.targets.len());
@@ -568,36 +661,49 @@ impl<'a> FleetRequest<'a> {
             }
         }
 
+        let strategy = orch.fleet_strategy();
         let stats_before = orch.cache_stats();
         let mut trace = ActionTrace::default();
+        let mut submissions = 0usize;
         let results: Vec<Result<Arc<IrDeployment>, FleetError>> = match orch.checked_engine() {
-            Ok(engine) => jobs
-                .iter()
-                .map(|job| {
-                    crate::deploy::run_ir_deploy(
-                        self.build,
-                        self.project,
-                        &job.system,
-                        &job.selection,
-                        job.simd,
-                        engine,
-                    )
-                    .map(|deployment| {
-                        trace.merge(deployment.trace.clone());
-                        Arc::new(deployment)
+            Ok(engine) => match strategy {
+                FleetStrategy::Sequential => jobs
+                    .iter()
+                    .map(|job| {
+                        // One single-job wave per job: the same plan/graft/run/
+                        // finish machinery as the union strategy, so failure
+                        // attribution (the `action` field) and per-job traces
+                        // are strategy-independent; only the submission count
+                        // and cross-job interleaving differ.
+                        let (mut results, _, ran) = run_union_wave(
+                            self.build,
+                            self.project,
+                            std::slice::from_ref(job),
+                            engine,
+                        );
+                        submissions += usize::from(ran);
+                        let result = results.pop().expect("one result per job");
+                        if let Ok(deployment) = &result {
+                            trace.merge(deployment.trace.clone());
+                        }
+                        result
                     })
-                    .map_err(|error| FleetError {
-                        system: job.system.name.clone(),
-                        message: error.to_string(),
-                    })
-                })
-                .collect(),
+                    .collect(),
+                FleetStrategy::UnionGraph => {
+                    let (results, wave_trace, ran) =
+                        run_union_wave(self.build, self.project, &jobs, engine);
+                    trace = wave_trace;
+                    submissions = usize::from(ran);
+                    results
+                }
+            },
             Err(policy_error) => jobs
                 .iter()
                 .map(|job| {
                     Err(FleetError {
                         system: job.system.name.clone(),
                         message: policy_error.to_string(),
+                        action: None,
                     })
                 })
                 .collect(),
@@ -628,9 +734,93 @@ impl<'a> FleetRequest<'a> {
                 coalesced: stats_after.coalesced - stats_before.coalesced,
                 entries: stats_after.entries,
             },
+            strategy,
+            submissions,
             trace,
         }
     }
+}
+
+/// The union-graph wave: plan every job, graft all plans into one
+/// [`ActionGraph`] (keyed nodes shared across jobs appear once), submit it to the
+/// engine exactly once, then split the wave trace and outcomes back into per-job
+/// deployments. Returns `(per-job results, wave trace, whether the engine ran)`.
+#[allow(clippy::type_complexity)]
+fn run_union_wave(
+    build: &IrContainerBuild,
+    project: &ProjectSpec,
+    jobs: &[&FleetTarget],
+    engine: &Engine,
+) -> (
+    Vec<Result<Arc<IrDeployment>, FleetError>>,
+    ActionTrace,
+    bool,
+) {
+    // Plan phase: validate every job; plan-time failures claim no graph nodes.
+    let plans: Vec<Result<DeployPlan<'_>, FleetError>> = jobs
+        .iter()
+        .map(|job| {
+            crate::deploy::plan_ir_deploy(build, project, &job.system, &job.selection, job.simd)
+                .map_err(|error| FleetError {
+                    system: job.system.name.clone(),
+                    message: error.to_string(),
+                    action: None,
+                })
+        })
+        .collect();
+
+    // Graft phase: one union graph, every planned job a tagged subgraph sharing
+    // keyed artifacts through the wave index.
+    let mut graph: ActionGraph<'_, DeployError> = ActionGraph::new();
+    let mut shared = SharedDeployArtifacts::default();
+    let mut grafts: Vec<Option<GraftedDeploy>> = Vec::with_capacity(plans.len());
+    for (job_index, plan) in plans.iter().enumerate() {
+        grafts.push(plan.as_ref().ok().map(|plan| {
+            graph.set_job(Some(job_index));
+            crate::deploy::graft_ir_deploy(plan, &mut graph, engine.store(), Some(&mut shared))
+        }));
+    }
+    graph.set_job(None);
+
+    // Run phase: exactly one engine submission for the whole wave.
+    let ran = !graph.is_empty();
+    let run = engine.run(graph);
+    let wave_trace = run.trace.clone();
+    let mut splits = run.trace.split_by_job();
+
+    // Finish phase: attribute failures per job, finish the survivors with their
+    // slice of the wave trace.
+    let results = plans
+        .into_iter()
+        .enumerate()
+        .map(|(job_index, plan)| {
+            let plan = plan?;
+            if let Some(failure) = run.job_failure(job_index) {
+                return Err(FleetError {
+                    system: plan.system.name.clone(),
+                    message: match failure.error {
+                        Some(error) => error.to_string(),
+                        None => format!("action `{}` did not complete", failure.info.label),
+                    },
+                    action: Some(failure.info.label.clone()),
+                });
+            }
+            let mut job_trace = splits.remove(&job_index).unwrap_or_default();
+            job_trace.policy = wave_trace.policy.clone();
+            job_trace.stage_depth = grafts[job_index]
+                .as_ref()
+                .map(|graft| graft.stage_depth)
+                .unwrap_or_default();
+            crate::deploy::finish_ir_deploy(plan, job_trace)
+                .map(Arc::new)
+                .map_err(|error| FleetError {
+                    system: jobs[job_index].system.name.clone(),
+                    message: error.to_string(),
+                    action: None,
+                })
+        })
+        .collect();
+    (results, wave_trace, ran)
 }
 
 #[cfg(test)]

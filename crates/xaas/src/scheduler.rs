@@ -8,12 +8,12 @@
 //! `FleetRequest` submitted to an
 //! [`Orchestrator`] — and the
 //! [`FleetSpecializer`] kept here is a thin convenience wrapper binding one shared
-//! [`ActionCache`] and worker count to repeated fleet submissions: duplicate
-//! targets are deduplicated up front, each distinct job's deployment graph goes
-//! through the shared engine (parallelism is *intra-build*, at action
-//! granularity), systems that share an ISA share the lowered artifacts, and no
-//! [`BuildKey`](xaas_container::BuildKey) is ever built twice (the cache is
-//! single-flight even across racing workers).
+//! [`ActionCache`], worker count, and [`FleetStrategy`] to repeated fleet
+//! submissions: duplicate targets are deduplicated up front, every distinct job
+//! is grafted into one union graph per wave (the default strategy — parallelism
+//! crosses job boundaries at action granularity), systems that share an ISA
+//! share the lowered artifacts, and no [`BuildKey`](xaas_container::BuildKey) is
+//! ever built twice (the cache is single-flight even across racing workers).
 //!
 //! The result is deterministic: outcomes are reported in request order, and the
 //! cache's hit/miss totals depend only on the request set, not on scheduling.
@@ -24,7 +24,7 @@ use crate::orchestrator::Orchestrator;
 use xaas_buildsys::ProjectSpec;
 use xaas_container::ActionCache;
 
-pub use crate::orchestrator::{FleetError, FleetOutcome, FleetReport, FleetTarget};
+pub use crate::orchestrator::{FleetError, FleetOutcome, FleetReport, FleetStrategy, FleetTarget};
 
 /// Historical name of [`FleetTarget`]: one per-system specialization request.
 #[deprecated(since = "0.2.0", note = "use xaas::orchestrator::FleetTarget")]
@@ -41,22 +41,34 @@ pub type FleetRequest = FleetTarget;
 pub struct FleetSpecializer {
     cache: ActionCache,
     workers: usize,
+    strategy: FleetStrategy,
 }
 
 impl FleetSpecializer {
     /// A specializer over `cache` with a worker count derived from the host parallelism
-    /// (clamped to `[2, 8]`).
+    /// (clamped to `[2, 8]`) and the default [`FleetStrategy::UnionGraph`].
     pub fn new(cache: ActionCache) -> Self {
         let workers = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(4)
             .clamp(2, 8);
-        Self { cache, workers }
+        Self {
+            cache,
+            workers,
+            strategy: FleetStrategy::default(),
+        }
     }
 
     /// Override the engine worker count (at least 1).
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.workers = workers.max(1);
+        self
+    }
+
+    /// Override the fleet strategy (union graph vs per-job sequential
+    /// submissions — the A/B knob of the `fleet_specialization` bench).
+    pub fn with_strategy(mut self, strategy: FleetStrategy) -> Self {
+        self.strategy = strategy;
         self
     }
 
@@ -72,7 +84,7 @@ impl FleetSpecializer {
 
     /// The orchestrator session a fleet submission runs on.
     pub fn orchestrator(&self) -> Orchestrator {
-        Orchestrator::from_engine(self.engine())
+        Orchestrator::from_engine(self.engine()).with_fleet_strategy(self.strategy)
     }
 
     /// Deploy `build` for every target, deduplicating identical targets and
