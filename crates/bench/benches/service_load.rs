@@ -1,0 +1,82 @@
+//! Service-layer load benchmark: concurrent mixed build/deploy/fleet traffic
+//! from several tenant sessions multiplexed onto one `OrchestratorService`,
+//! measured against a single-session sequential baseline — plus the
+//! FIFO-vs-weighted-fair wall-clock comparison on a saturated single worker.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use xaas::prelude::*;
+use xaas_apps::lulesh;
+use xaas_bench::service_load;
+use xaas_hpcsim::SystemModel;
+
+fn bench_service(c: &mut Criterion) {
+    // The experiment JSON is the artifact the acceptance criteria ask for:
+    // throughput, p50/p95/p99 latency, interleaving depth, typed refusal
+    // counts, and the fairness spread under FIFO vs weighted fair queuing.
+    let experiment = service_load();
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&experiment).expect("service experiment serialises")
+    );
+
+    let project = lulesh::project();
+    let config = IrPipelineConfig::sweep_options(&project, &["WITH_MPI", "WITH_OPENMP"]);
+    let warmup = OrchestratorService::builder().workers(2).build();
+    let build = warmup
+        .session("warmup")
+        .submit_wait(IrBuildRequest::new(&project, &config).reference("bench:service:ir"))
+        .unwrap();
+
+    let mut group = c.benchmark_group("service/load");
+    // Steady-state mixed traffic: four tenants, shared warm cache, fair policy.
+    let service = OrchestratorService::builder()
+        .workers(4)
+        .policy(WeightedFair::new())
+        .build();
+    let system = SystemModel::ault23();
+    group.bench_function("four_tenant_deploy_wave_warm", |b| {
+        b.iter(|| {
+            std::thread::scope(|scope| {
+                for tenant in ["alice", "bob", "carol", "dave"] {
+                    let session = service.session(tenant);
+                    let (build, project, system) = (&build, &project, &system);
+                    scope.spawn(move || {
+                        black_box(
+                            session
+                                .submit_wait(
+                                    IrDeployRequest::new(build, project, system)
+                                        .select("WITH_MPI", "ON")
+                                        .select("WITH_OPENMP", "ON"),
+                                )
+                                .unwrap(),
+                        );
+                    });
+                }
+            });
+        });
+    });
+    // Admission + dispatch overhead alone: a single-tenant cached deploy.
+    group.bench_function("single_session_deploy_warm", |b| {
+        let session = service.session("solo");
+        b.iter(|| {
+            black_box(
+                session
+                    .submit_wait(
+                        IrDeployRequest::new(&build, &project, &system)
+                            .select("WITH_MPI", "ON")
+                            .select("WITH_OPENMP", "ON"),
+                    )
+                    .unwrap(),
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_service
+}
+criterion_main!(benches);

@@ -15,6 +15,8 @@
 //! reproduce tu-reduction        # Section 6.4 statistics + ablations
 //! reproduce fleet               # fleet specialization: cold vs shared-cache, union vs sequential (JSON)
 //! reproduce engine              # action-graph engine: parallel vs serial build (JSON)
+//! reproduce service             # multi-tenant service load: throughput, latency, fairness (JSON)
+//! reproduce snapshot            # write the per-PR BENCH_<pr>.json performance snapshot
 //! reproduce network             # Section 6.5 bandwidth
 //! reproduce gpu-compat          # Figure 9 compatibility rules
 //! reproduce intersection        # Figure 4(c) feature intersection
@@ -158,6 +160,24 @@ fn run(section: &str) {
                 serde_json::to_string_pretty(&experiment).expect("engine experiment serialises")
             );
         }
+        "service" => {
+            // Banner on stderr so stdout stays machine-readable JSON (`reproduce service | jq .`).
+            eprintln!("== Multi-tenant service: concurrent mixed load from 6 sessions ==");
+            let experiment = experiments::service_load();
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&experiment).expect("service experiment serialises")
+            );
+        }
+        "snapshot" => {
+            eprintln!("== Per-PR performance snapshot ==");
+            let snapshot = experiments::bench_snapshot();
+            let json = serde_json::to_string_pretty(&snapshot).expect("bench snapshot serialises");
+            let path = format!("BENCH_{}.json", snapshot.pr);
+            std::fs::write(&path, format!("{json}\n")).expect("snapshot file writes");
+            eprintln!("wrote {path}");
+            println!("{json}");
+        }
         "network" => print!("{}", render::render_network(&experiments::network())),
         "gpu-compat" => print!(
             "{}",
@@ -191,6 +211,7 @@ fn main() {
         "tu-reduction",
         "fleet",
         "engine",
+        "service",
         "network",
         "gpu-compat",
         "intersection",
@@ -199,7 +220,8 @@ fn main() {
     match args.first().map(String::as_str) {
         None | Some("--help") | Some("-h") => {
             println!("usage: reproduce <section>|all");
-            println!("sections: {}", sections.join(", "));
+            // `snapshot` is on demand only (writes BENCH_<pr>.json), not part of `all`.
+            println!("sections: {}, snapshot", sections.join(", "));
         }
         Some("all") => {
             for section in sections {

@@ -8,5 +8,7 @@
 
 pub mod experiments;
 pub mod render;
+pub mod service_load;
 
 pub use experiments::*;
+pub use service_load::*;

@@ -1,0 +1,674 @@
+//! The service-layer load generator: hundreds of concurrent mixed
+//! build/deploy/fleet requests from several tenants driven through one
+//! [`OrchestratorService`], measuring throughput, latency percentiles,
+//! cross-session interleaving, typed admission-control refusals, and the
+//! fairness effect of weighted fair queuing — all while checking that the
+//! artifacts stay byte-identical to a single-session sequential baseline.
+
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+use xaas::engine::ActionGraph;
+use xaas::prelude::*;
+use xaas::service::{AdmissionError, OrchestratorService, ServiceError, ServiceLimits, Session};
+use xaas_apps::{gromacs, lulesh};
+use xaas_buildsys::OptionAssignment;
+use xaas_container::{ActionCache, ImageStore};
+use xaas_hpcsim::{SimdLevel, SystemModel};
+
+/// Latency percentiles of one load phase, in milliseconds.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct LatencySummary {
+    /// Median request latency.
+    pub p50_ms: f64,
+    /// 95th-percentile request latency.
+    pub p95_ms: f64,
+    /// 99th-percentile request latency.
+    pub p99_ms: f64,
+    /// Slowest request.
+    pub max_ms: f64,
+}
+
+impl LatencySummary {
+    fn from_micros(mut micros: Vec<u64>) -> Self {
+        if micros.is_empty() {
+            return Self::default();
+        }
+        micros.sort_unstable();
+        let at = |q: f64| {
+            let index = ((micros.len() as f64 - 1.0) * q).round() as usize;
+            micros[index.min(micros.len() - 1)] as f64 / 1e3
+        };
+        Self {
+            p50_ms: at(0.50),
+            p95_ms: at(0.95),
+            p99_ms: at(0.99),
+            max_ms: *micros.last().expect("non-empty") as f64 / 1e3,
+        }
+    }
+}
+
+/// One policy's side of the fairness comparison: per-tenant completion times
+/// for the identical queued batch, and their spread.
+#[derive(Debug, Clone, Serialize)]
+pub struct FairnessRun {
+    /// Scheduling policy (`fifo` or `weighted-fair`).
+    pub policy: String,
+    /// Milliseconds from queue release until each tenant's *last* request
+    /// completed.
+    pub tenant_completion_ms: BTreeMap<String, f64>,
+    /// `max - min` of the per-tenant completion times: how far apart the first
+    /// and last tenant finish. FIFO drains whole submissions in arrival order
+    /// (first tenant finishes long before the last); fair queuing round-robins
+    /// the lanes so every tenant finishes near the end — a *smaller* spread.
+    pub completion_spread_ms: f64,
+}
+
+/// FIFO vs weighted-fair scheduling on the same per-tenant deploy batches.
+#[derive(Debug, Clone, Serialize)]
+pub struct FairnessComparison {
+    /// The FIFO run (arrival order, no lanes).
+    pub fifo: FairnessRun,
+    /// The weighted-fair run (equal weights, one lane per tenant).
+    pub weighted_fair: FairnessRun,
+    /// Whether fair queuing narrowed the per-tenant completion spread.
+    pub narrowed: bool,
+}
+
+/// The service-layer load experiment (see [`service_load`]).
+#[derive(Debug, Clone, Serialize)]
+pub struct ServiceLoadExperiment {
+    /// Concurrent tenants driving the mixed-load phase.
+    pub tenants: usize,
+    /// Total requests completed in the mixed-load phase.
+    pub requests: usize,
+    /// Breakdown: IR builds in the mix.
+    pub build_requests: usize,
+    /// Breakdown: IR deployments in the mix.
+    pub deploy_requests: usize,
+    /// Breakdown: fleet waves in the mix.
+    pub fleet_requests: usize,
+    /// Engine workers of the loaded service.
+    pub workers: usize,
+    /// Wall-clock of the mixed-load phase, in milliseconds.
+    pub wall_ms: f64,
+    /// Completed requests per second.
+    pub throughput_rps: f64,
+    /// Request latency percentiles.
+    pub latency: LatencySummary,
+    /// Highest number of distinct submissions with waiting actions observed at
+    /// any dispatch — the cross-session interleaving depth (> 1 means actions
+    /// from different sessions genuinely shared the ready queue).
+    pub max_ready_submissions: u64,
+    /// Shared-cache hit rate over the whole mixed phase.
+    pub cache_hit_rate: f64,
+    /// Whether every concurrent artifact was byte-identical to the sequential
+    /// single-session baseline.
+    pub byte_identical: bool,
+    /// Requests admitted by the service during the mixed phase.
+    pub admitted: u64,
+    /// Typed `Backpressure` refusals observed in the admission-control phase.
+    pub backpressure_errors: u64,
+    /// Typed `Rejected` refusals observed in the admission-control phase.
+    pub rejected_errors: u64,
+    /// FIFO vs weighted-fair completion spread on identical queued batches.
+    pub fairness: FairnessComparison,
+}
+
+/// Hold `slots` of the service's workers behind a gated no-op submission so
+/// queued work piles up deterministically; returns the release sender (send
+/// `slots` times to open) and the handle to drain afterwards.
+fn occupy_engine(
+    service: &OrchestratorService,
+    slots: usize,
+) -> (mpsc::Sender<()>, GraphHandle<std::convert::Infallible>) {
+    let (release, gate) = mpsc::channel::<()>();
+    let gate = Arc::new(Mutex::new(gate));
+    let mut graph: ActionGraph<'static, std::convert::Infallible> = ActionGraph::new();
+    for slot in 0..slots {
+        let gate = Arc::clone(&gate);
+        graph.add(
+            ActionKind::Preprocess,
+            format!("gate{slot}"),
+            &[],
+            move |_| {
+                gate.lock().unwrap().recv().ok();
+                Ok(vec![0])
+            },
+        );
+    }
+    let handle = service.orchestrator().engine().submit_graph(graph);
+    (release, handle)
+}
+
+/// Open a gate created by [`occupy_engine`] with `slots` slots.
+fn open_gate(release: &mpsc::Sender<()>, slots: usize) {
+    for _ in 0..slots {
+        release.send(()).expect("gate releases");
+    }
+}
+
+/// The shared request mix: every tenant replays this same stream, so BuildKeys
+/// overlap across sessions and the cache's cross-session single-flight is
+/// exercised on every request.
+enum MixedRequest {
+    LuleshBuild,
+    GromacsBuild,
+    LuleshDeploy { mpi: bool, omp: bool },
+    GromacsDeploy { avx: bool },
+    Fleet,
+}
+
+fn mixed_request(index: usize) -> MixedRequest {
+    match index % 8 {
+        0 => MixedRequest::LuleshBuild,
+        1 => MixedRequest::GromacsDeploy {
+            avx: index % 16 < 8,
+        },
+        2 => MixedRequest::LuleshDeploy {
+            mpi: index % 16 < 8,
+            omp: index % 32 < 16,
+        },
+        3 => MixedRequest::GromacsBuild,
+        4 => MixedRequest::LuleshDeploy {
+            mpi: index % 32 < 16,
+            omp: index % 16 < 8,
+        },
+        5 => MixedRequest::GromacsDeploy {
+            avx: index % 32 < 16,
+        },
+        6 => MixedRequest::Fleet,
+        _ => MixedRequest::LuleshDeploy {
+            mpi: index % 16 >= 8,
+            omp: index % 32 >= 16,
+        },
+    }
+}
+
+/// The artifacts of one replayed request stream, for byte-identity comparison.
+#[derive(Default)]
+struct StreamArtifacts {
+    /// Image layer sets in request order (builds, deploys, and fleet outcomes).
+    layers: Vec<Vec<xaas_container::Layer>>,
+    /// Per-request latencies in microseconds (unused for the baseline).
+    latency_micros: Vec<u64>,
+    /// Deepest cross-submission interleaving any of this stream's traces saw.
+    max_ready_submissions: u64,
+}
+
+/// The shared fixtures every stream replays against: the two projects, their
+/// sweep configurations, and the pre-built IR containers the deploys/fleets
+/// specialize.
+struct AppAssets {
+    lulesh_project: xaas_buildsys::ProjectSpec,
+    lulesh_config: IrPipelineConfig,
+    lulesh_build: IrContainerBuild,
+    gromacs_project: xaas_buildsys::ProjectSpec,
+    gromacs_config: IrPipelineConfig,
+    gromacs_build: IrContainerBuild,
+}
+
+/// Replay the mixed request stream on one session, recording artifacts,
+/// latencies, and interleaving depth.
+fn replay_stream(session: &Session, requests: usize, assets: &AppAssets) -> StreamArtifacts {
+    let AppAssets {
+        lulesh_project,
+        lulesh_config,
+        lulesh_build,
+        gromacs_project,
+        gromacs_config,
+        gromacs_build,
+    } = assets;
+    let tenant = session.tenant().to_string();
+    let mut artifacts = StreamArtifacts::default();
+    let on = |flag: bool| if flag { "ON" } else { "OFF" };
+    for index in 0..requests {
+        let started = Instant::now();
+        let (layers, depth) = match mixed_request(index) {
+            MixedRequest::LuleshBuild => {
+                let build = session
+                    .submit_wait(
+                        IrBuildRequest::new(lulesh_project, lulesh_config)
+                            .reference(format!("load:{tenant}:lulesh:{index}")),
+                    )
+                    .expect("lulesh build succeeds");
+                (build.image.layers, build.trace.max_ready_submissions())
+            }
+            MixedRequest::GromacsBuild => {
+                let build = session
+                    .submit_wait(
+                        IrBuildRequest::new(gromacs_project, gromacs_config)
+                            .reference(format!("load:{tenant}:gromacs:{index}")),
+                    )
+                    .expect("gromacs build succeeds");
+                (build.image.layers, build.trace.max_ready_submissions())
+            }
+            MixedRequest::LuleshDeploy { mpi, omp } => {
+                let deploy = session
+                    .submit_wait(
+                        IrDeployRequest::new(lulesh_build, lulesh_project, &SystemModel::ault23())
+                            .select("WITH_MPI", on(mpi))
+                            .select("WITH_OPENMP", on(omp)),
+                    )
+                    .expect("lulesh deploy succeeds");
+                (deploy.image.layers, deploy.trace.max_ready_submissions())
+            }
+            MixedRequest::GromacsDeploy { avx } => {
+                let (system, simd) = if avx {
+                    (SystemModel::ault23(), SimdLevel::Avx512)
+                } else {
+                    (SystemModel::ault25(), SimdLevel::Avx2_256)
+                };
+                let deploy = session
+                    .submit_wait(
+                        IrDeployRequest::new(gromacs_build, gromacs_project, &system)
+                            .selection(OptionAssignment::new().with("GMX_SIMD", simd.gmx_name()))
+                            .simd(simd),
+                    )
+                    .expect("gromacs deploy succeeds");
+                (deploy.image.layers, deploy.trace.max_ready_submissions())
+            }
+            MixedRequest::Fleet => {
+                let report = session
+                    .submit_wait(
+                        FleetRequest::new(gromacs_build, gromacs_project)
+                            .target(FleetTarget::new(
+                                SystemModel::ault23(),
+                                OptionAssignment::new()
+                                    .with("GMX_SIMD", SimdLevel::Avx512.gmx_name()),
+                                SimdLevel::Avx512,
+                            ))
+                            .target(FleetTarget::new(
+                                SystemModel::ault25(),
+                                OptionAssignment::new()
+                                    .with("GMX_SIMD", SimdLevel::Avx2_256.gmx_name()),
+                                SimdLevel::Avx2_256,
+                            )),
+                    )
+                    .expect("fleet wave is always reported");
+                assert!(report.all_succeeded(), "fleet wave succeeds");
+                let layers = report
+                    .deployments()
+                    .flat_map(|d| d.image.layers.clone())
+                    .collect();
+                (layers, report.trace.max_ready_submissions())
+            }
+        };
+        artifacts
+            .latency_micros
+            .push(started.elapsed().as_micros() as u64);
+        artifacts.layers.push(layers);
+        artifacts.max_ready_submissions = artifacts.max_ready_submissions.max(depth);
+    }
+    artifacts
+}
+
+/// The deterministic admission-control probe: with the pool gated and tight
+/// limits (1 per tenant, 2 global), one admitted request per tenant parks in
+/// the queue, the tenant's second request draws typed `Backpressure`, and a
+/// third tenant draws a typed `Rejected` — then the gate opens and everything
+/// completes. Returns `(backpressure_count, rejected_count)`.
+fn admission_probe(
+    lulesh_project: &xaas_buildsys::ProjectSpec,
+    lulesh_config: &IrPipelineConfig,
+) -> (u64, u64) {
+    let service = OrchestratorService::builder()
+        .workers(1)
+        .limits(ServiceLimits::default().per_tenant(1).global(2))
+        .build();
+    let (release, gate_handle) = occupy_engine(&service, 1);
+    let mut backpressure = 0u64;
+    let mut rejected = 0u64;
+    // Admission checks global saturation before the tenant lane, so the probe
+    // is staged: alice alone in flight → her second draws Backpressure; with
+    // bob also in flight the global limit is reached → carol draws Rejected.
+    std::thread::scope(|scope| {
+        let mut parked = Vec::new();
+        for (stage, tenant) in ["alice", "bob"].into_iter().enumerate() {
+            let session = service.session(tenant);
+            parked.push(scope.spawn(move || {
+                session
+                    .submit(
+                        IrBuildRequest::new(lulesh_project, lulesh_config)
+                            .reference(format!("probe:{tenant}")),
+                    )
+                    .expect("admitted probe build succeeds")
+            }));
+            while service.stats().in_flight < stage + 1 {
+                std::thread::yield_now();
+            }
+            if stage == 0 {
+                match service.session("alice").submit(
+                    IrBuildRequest::new(lulesh_project, lulesh_config).reference("probe:extra"),
+                ) {
+                    Err(ServiceError::Admission(AdmissionError::Backpressure { .. })) => {
+                        backpressure += 1
+                    }
+                    other => panic!(
+                        "expected Backpressure, got {:?}",
+                        other.err().map(|e| e.to_string())
+                    ),
+                }
+            }
+        }
+        match service
+            .session("carol")
+            .submit(IrBuildRequest::new(lulesh_project, lulesh_config).reference("probe:carol"))
+        {
+            Err(ServiceError::Admission(AdmissionError::Rejected { .. })) => rejected += 1,
+            other => panic!(
+                "expected Rejected, got {:?}",
+                other.err().map(|e| e.to_string())
+            ),
+        }
+        open_gate(&release, 1);
+        for handle in parked {
+            handle.join().expect("probe thread joins");
+        }
+    });
+    gate_handle.wait();
+    (backpressure, rejected)
+}
+
+/// The fairness phase: four tenants queue identical uncached deploy batches
+/// behind a gated single-worker pool, then the queue drains under the given
+/// policy. Returns per-tenant completion times measured from gate release.
+fn fairness_run(
+    policy_name: &str,
+    fair: bool,
+    gromacs_project: &xaas_buildsys::ProjectSpec,
+    gromacs_build: &IrContainerBuild,
+) -> FairnessRun {
+    const TENANTS: [&str; 4] = ["t0", "t1", "t2", "t3"];
+    const BATCH: usize = 3;
+    let builder = OrchestratorService::builder()
+        .uncached(ImageStore::new())
+        .workers(1)
+        .limits(ServiceLimits::default().per_tenant(BATCH).global(64));
+    let service = if fair {
+        builder.policy(WeightedFair::new()).build()
+    } else {
+        builder.build()
+    };
+    let (release, gate_handle) = occupy_engine(&service, 1);
+
+    // Tenant i deploys for "its" SIMD flavour so each lane has real, distinct,
+    // uncached work; each batch entry is a separate request.
+    let flavour = |tenant_index: usize| match tenant_index {
+        0 => (SystemModel::ault23(), SimdLevel::Avx512),
+        1 => (SystemModel::ault25(), SimdLevel::Avx2_256),
+        2 => (SystemModel::ault01_04(), SimdLevel::Avx512),
+        _ => (SystemModel::ault25(), SimdLevel::Sse41),
+    };
+
+    let mut completion_ms = BTreeMap::new();
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = TENANTS
+            .iter()
+            .enumerate()
+            .map(|(tenant_index, tenant)| {
+                // Stagger admission so submissions enqueue in tenant order and
+                // the FIFO drain order is deterministic.
+                while service.stats().admitted < (tenant_index * BATCH) as u64 {
+                    std::thread::yield_now();
+                }
+                let session = service.session(*tenant);
+                let (system, simd) = flavour(tenant_index);
+                scope.spawn(move || {
+                    let batch: Vec<_> = (0..BATCH)
+                        .map(|_| {
+                            let session = session.clone();
+                            let (system, simd) = (system.clone(), simd);
+                            scope.spawn(move || {
+                                session
+                                    .submit_wait(
+                                        IrDeployRequest::new(
+                                            gromacs_build,
+                                            gromacs_project,
+                                            &system,
+                                        )
+                                        .selection(
+                                            OptionAssignment::new()
+                                                .with("GMX_SIMD", simd.gmx_name()),
+                                        )
+                                        .simd(simd),
+                                    )
+                                    .expect("fairness deploy succeeds");
+                            })
+                        })
+                        .collect();
+                    for request in batch {
+                        request.join().expect("batch request joins");
+                    }
+                })
+            })
+            .collect();
+
+        // Every request admitted and its graph enqueued behind the gate; open
+        // the gate and time each tenant's last completion.
+        while service.stats().in_flight < TENANTS.len() * BATCH
+            || service
+                .orchestrator()
+                .engine()
+                .queue_stats()
+                .waiting_submissions
+                < TENANTS.len() * BATCH
+        {
+            std::thread::yield_now();
+        }
+        let released = Instant::now();
+        open_gate(&release, 1);
+        for (tenant, worker) in TENANTS.iter().zip(workers) {
+            worker.join().expect("tenant batch joins");
+            completion_ms.insert(tenant.to_string(), released.elapsed().as_secs_f64() * 1e3);
+        }
+    });
+    gate_handle.wait();
+
+    // Joins happen in tenant order, so a tenant's recorded time is max(its own
+    // completion, all earlier tenants' completions) — the per-tenant *last
+    // completion* once re-maximised below. For the spread that distinction is
+    // immaterial: max-min over the map is exactly first-finisher vs last.
+    let times: Vec<f64> = completion_ms.values().copied().collect();
+    let spread = times.iter().cloned().fold(f64::MIN, f64::max)
+        - times.iter().cloned().fold(f64::MAX, f64::min);
+    FairnessRun {
+        policy: policy_name.to_string(),
+        tenant_completion_ms: completion_ms,
+        completion_spread_ms: spread.max(0.0),
+    }
+}
+
+/// **Service load**: drive hundreds of concurrent mixed build/deploy/fleet
+/// requests from several tenants through one shared [`OrchestratorService`] and
+/// measure what the multi-tenant refactor claims — cross-session interleaving
+/// (ready-queue depth > 1), typed admission refusals, a fairness win for
+/// weighted fair queuing, and byte-identical artifacts vs a sequential
+/// single-session baseline.
+pub fn service_load() -> ServiceLoadExperiment {
+    const TENANTS: usize = 6;
+    const REQUESTS_PER_TENANT: usize = 34;
+    let lulesh_project = lulesh::project();
+    let lulesh_config =
+        IrPipelineConfig::sweep_options(&lulesh_project, &["WITH_MPI", "WITH_OPENMP"]);
+    let gromacs_project = gromacs::project();
+    let gromacs_config = IrPipelineConfig::sweep_options(&gromacs_project, &["GMX_SIMD"])
+        .with_values("GMX_SIMD", &["SSE4.1", "AVX2_256", "AVX_512"]);
+
+    // Shared IR containers the deploy/fleet requests specialize.
+    let warmup = Orchestrator::with_cache(&ActionCache::new(ImageStore::new()));
+    let lulesh_build = IrBuildRequest::new(&lulesh_project, &lulesh_config)
+        .reference("load:lulesh:ir")
+        .submit(&warmup)
+        .expect("lulesh IR container builds");
+    let gromacs_build = IrBuildRequest::new(&gromacs_project, &gromacs_config)
+        .reference("load:gromacs:ir")
+        .submit(&warmup)
+        .expect("gromacs IR container builds");
+    let assets = AppAssets {
+        lulesh_project,
+        lulesh_config,
+        lulesh_build,
+        gromacs_project,
+        gromacs_config,
+        gromacs_build,
+    };
+
+    // Sequential baseline: one session replays the stream once.
+    let baseline_service = OrchestratorService::builder().workers(2).build();
+    let baseline = replay_stream(
+        &baseline_service.session("baseline"),
+        REQUESTS_PER_TENANT,
+        &assets,
+    );
+
+    // Mixed-load phase: TENANTS sessions replay the same stream concurrently
+    // against one weighted-fair service. The gate holds the pool until every
+    // session has work queued, so cross-session interleaving is observed from
+    // the first dispatch.
+    let service = OrchestratorService::builder()
+        .workers(4)
+        .policy(WeightedFair::new())
+        .limits(ServiceLimits::default().per_tenant(16).global(128))
+        .build();
+    let (release, gate_handle) = occupy_engine(&service, 4);
+    let (wall_ms, streams): (f64, Vec<StreamArtifacts>) = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..TENANTS)
+            .map(|tenant_index| {
+                let session = service.session(format!("tenant{tenant_index}"));
+                let assets = &assets;
+                scope.spawn(move || replay_stream(&session, REQUESTS_PER_TENANT, assets))
+            })
+            .collect();
+        while service.stats().in_flight < TENANTS
+            || service
+                .orchestrator()
+                .engine()
+                .queue_stats()
+                .waiting_submissions
+                < TENANTS
+        {
+            std::thread::yield_now();
+        }
+        let started = Instant::now();
+        open_gate(&release, 4);
+        let streams = handles
+            .into_iter()
+            .map(|handle| handle.join().expect("tenant stream joins"))
+            .collect();
+        (started.elapsed().as_secs_f64() * 1e3, streams)
+    });
+    gate_handle.wait();
+
+    let requests = TENANTS * REQUESTS_PER_TENANT;
+    let byte_identical = streams
+        .iter()
+        .all(|stream| stream.layers == baseline.layers);
+    let max_ready_submissions = streams
+        .iter()
+        .map(|stream| stream.max_ready_submissions)
+        .max()
+        .unwrap_or(0);
+    let latencies: Vec<u64> = streams
+        .iter()
+        .flat_map(|stream| stream.latency_micros.iter().copied())
+        .collect();
+    let cache = service.cache_stats();
+    let admitted = service.stats().admitted;
+    service.drain_wait();
+
+    let (backpressure_errors, rejected_errors) =
+        admission_probe(&assets.lulesh_project, &assets.lulesh_config);
+    let fifo = fairness_run(
+        "fifo",
+        false,
+        &assets.gromacs_project,
+        &assets.gromacs_build,
+    );
+    let weighted_fair = fairness_run(
+        "weighted-fair",
+        true,
+        &assets.gromacs_project,
+        &assets.gromacs_build,
+    );
+    let narrowed = weighted_fair.completion_spread_ms < fifo.completion_spread_ms;
+
+    let mix_count = |matcher: fn(&MixedRequest) -> bool| {
+        (0..REQUESTS_PER_TENANT)
+            .filter(|&index| matcher(&mixed_request(index)))
+            .count()
+            * TENANTS
+    };
+    ServiceLoadExperiment {
+        tenants: TENANTS,
+        requests,
+        build_requests: mix_count(|r| {
+            matches!(r, MixedRequest::LuleshBuild | MixedRequest::GromacsBuild)
+        }),
+        deploy_requests: mix_count(|r| {
+            matches!(
+                r,
+                MixedRequest::LuleshDeploy { .. } | MixedRequest::GromacsDeploy { .. }
+            )
+        }),
+        fleet_requests: mix_count(|r| matches!(r, MixedRequest::Fleet)),
+        workers: 4,
+        wall_ms,
+        throughput_rps: requests as f64 / (wall_ms / 1e3),
+        latency: LatencySummary::from_micros(latencies),
+        max_ready_submissions,
+        cache_hit_rate: cache.hit_rate(),
+        byte_identical,
+        admitted,
+        backpressure_errors,
+        rejected_errors,
+        fairness: FairnessComparison {
+            fifo,
+            weighted_fair,
+            narrowed,
+        },
+    }
+}
+
+/// The per-PR performance snapshot `reproduce snapshot` writes to
+/// `BENCH_<pr>.json`: the headline throughput/latency/cache numbers whose
+/// trajectory the ROADMAP tracks across PRs.
+#[derive(Debug, Clone, Serialize)]
+pub struct BenchSnapshot {
+    /// The PR this snapshot belongs to.
+    pub pr: u32,
+    /// Service load: throughput, latency, interleaving, fairness.
+    pub service: ServiceLoadExperiment,
+    /// Fleet specialization cache effectiveness (hit rates, action counts).
+    pub fleet_hit_rate: f64,
+    /// Warm-rerun hit rate of the fleet cache (1.0 = fully absorbed).
+    pub fleet_warm_rerun_hit_rate: f64,
+    /// Actions the cold per-system deployments executed.
+    pub fleet_cold_actions: u64,
+    /// Actions the shared-cache fleet run executed.
+    pub fleet_actions: u64,
+    /// Engine-parallelism stage depths (serial vs DAG critical path).
+    pub engine_serial_stages: usize,
+    /// The engine DAG's critical-path depth with parallel workers.
+    pub engine_parallel_stage_depth: usize,
+}
+
+/// Assemble the PR-6 snapshot from the service-load, fleet, and engine
+/// experiments.
+pub fn bench_snapshot() -> BenchSnapshot {
+    let service = service_load();
+    let fleet = crate::experiments::fleet_specialization();
+    let engine = crate::experiments::engine_parallelism();
+    BenchSnapshot {
+        pr: 6,
+        service,
+        fleet_hit_rate: fleet.fleet_hit_rate,
+        fleet_warm_rerun_hit_rate: fleet.warm_rerun_hit_rate,
+        fleet_cold_actions: fleet.cold_actions,
+        fleet_actions: fleet.fleet_actions,
+        engine_serial_stages: engine.serial_stages,
+        engine_parallel_stage_depth: engine.parallel_stage_depth,
+    }
+}

@@ -1,36 +1,46 @@
-//! The executor: runs the ready frontier of an [`ActionGraph`] across worker
-//! threads, routing keyed nodes through the engine's cache backend.
+//! The executor: a persistent worker pool draining one shared, multi-graph ready
+//! queue, routing keyed nodes through the engine's cache backend.
 //!
-//! Scheduling goes through one shared, policy-driven ready queue: finished nodes
-//! push their newly-ready dependents, and free workers pop the next node the
-//! engine's [`SchedulingPolicy`] selects — readiness order under
+//! Submissions are *nonblocking*: [`Engine::submit_graph`](super::Engine::submit_graph)
+//! enqueues a graph and returns a [`GraphHandle`] (poll / wait / cancel / completion
+//! callback) immediately, and the pool interleaves actions from every in-flight
+//! submission at action granularity — the shape a multi-tenant orchestrator
+//! service needs. The blocking [`Engine::run`](super::Engine::run) is a thin
+//! wrapper that submits and waits, so single-caller pipelines share the same queue
+//! (and the same cache single-flight) as concurrent sessions.
+//!
+//! Scheduling goes through one policy-driven ready queue: finished nodes push
+//! their newly-ready dependents, and free workers pop the next node the engine's
+//! [`SchedulingPolicy`] selects — readiness order under
 //! [`Fifo`](super::policy::Fifo), descending critical-path weight under
-//! [`CriticalPathFirst`](super::policy::CriticalPathFirst) — subject to the
-//! policy's
-//! per-kind concurrency caps (a node whose kind is at its cap is parked and
-//! re-admitted when a slot frees). A failed node does **not** cancel the run —
-//! independent subgraphs keep executing and only the failed node's transitive
-//! dependents are skipped, which is what lets the fleet specializer isolate one
-//! system's failure from the rest of the fleet.
+//! [`CriticalPathFirst`](super::policy::CriticalPathFirst), weighted fair queuing
+//! across tenants under [`WeightedFair`](super::policy::WeightedFair) — subject to
+//! the policy's per-kind concurrency caps, both global and per tenant (a node
+//! whose kind is at a cap is parked and re-admitted when a slot frees). A failed
+//! node does **not** cancel its run — independent subgraphs keep executing and
+//! only the failed node's transitive dependents are skipped, which is what lets
+//! the fleet specializer isolate one system's failure from the rest of the fleet.
 //!
 //! Results are assembled in node order, so everything observable from a run —
 //! outputs, trace records, error attribution — is deterministic regardless of how
-//! the workers interleaved. The *schedule itself* is additionally observable (and
-//! policy-dependent) through each record's `schedule_seq` and `queue_wait_micros`
-//! diagnostics, which are deliberately excluded from trace equality.
+//! the workers interleaved submissions. The *schedule itself* is additionally
+//! observable (and policy-dependent) through each record's `schedule_seq`,
+//! `queue_wait_micros`, and `ready_submissions` diagnostics, which are
+//! deliberately excluded from trace equality.
 
-use super::graph::{ActionFn, ActionGraph, ActionId, ActionInputs, KeySpec};
+use super::graph::{ActionGraph, ActionId, ActionInputs, KeySpec};
 use super::policy::SchedulingPolicy;
 use super::trace::{ActionKind, ActionRecord, ActionTrace};
 use parking_lot::Mutex;
 use std::any::Any;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+use std::marker::PhantomData;
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex as StdMutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex as StdMutex, OnceLock};
 use std::time::Instant;
-use xaas_container::{CacheBackend, ComputeFailed};
+use xaas_container::{BuildKey, CacheBackend, ComputeFailed};
 
 /// Number of distinct [`ActionKind`]s (dense per-kind accounting arrays).
 const KINDS: usize = ActionKind::ALL.len();
@@ -47,6 +57,9 @@ pub enum NodeOutcome<E> {
         /// The failed ancestor that poisoned this node.
         root: ActionId,
     },
+    /// The submission was cancelled (via [`GraphHandle::cancel`]) before the node
+    /// could run.
+    Cancelled,
 }
 
 impl<E> NodeOutcome<E> {
@@ -93,7 +106,8 @@ pub struct JobFailure<'run, E> {
     pub info: &'run NodeInfo,
     /// The typed error the failing node returned. `None` only when the node was
     /// itself skipped without a recorded failure (a cache-backend contract
-    /// violation — the executor panics on that path before a caller can see it).
+    /// violation — the executor panics on that path before a caller can see it) or
+    /// when the submission was cancelled.
     pub error: Option<&'run E>,
 }
 
@@ -133,6 +147,7 @@ impl<E> GraphRun<E> {
                     NodeOutcome::Output(_) => return None,
                     NodeOutcome::Failed(_) => id,
                     NodeOutcome::Skipped { root } => *root,
+                    NodeOutcome::Cancelled => id,
                 };
                 Some(JobFailure {
                     node: root,
@@ -151,9 +166,13 @@ impl<E> GraphRun<E> {
     }
 
     /// All outputs in node order, or the first (lowest node id) error.
+    ///
+    /// # Panics
+    /// On a cancelled node — a cancelled submission has no typed error to return;
+    /// inspect [`GraphRun::outcomes`] instead.
     pub fn into_outputs(self) -> Result<(ActionOutputs, ActionTrace), E> {
         let mut outputs = Vec::with_capacity(self.outcomes.len());
-        for outcome in self.outcomes {
+        for (id, outcome) in self.outcomes.into_iter().enumerate() {
             match outcome {
                 NodeOutcome::Output(bytes) => outputs.push(bytes),
                 NodeOutcome::Failed(error) => return Err(error),
@@ -167,17 +186,96 @@ impl<E> GraphRun<E> {
                          the cache backend failed without running the action"
                     )
                 }
+                NodeOutcome::Cancelled => {
+                    panic!(
+                        "action {id} was cancelled before completion; a cancelled run \
+                         has no typed error — inspect GraphRun::outcomes instead"
+                    )
+                }
             }
         }
         Ok((outputs, self.trace))
     }
 }
 
-enum Slot<E> {
+/// A driver error, type-erased so submissions of every error type can share one
+/// worker pool; downcast back to `E` when the run is assembled.
+type ErasedError = Box<dyn Any + Send>;
+
+type ErasedRunFn<'env> =
+    Box<dyn FnOnce(&ActionInputs) -> Result<Vec<u8>, ErasedError> + Send + 'env>;
+type ErasedKeyFn<'env> = Box<dyn FnOnce(&ActionInputs) -> BuildKey + Send + 'env>;
+
+enum ErasedKeySpec<'env> {
+    None,
+    Static(BuildKey),
+    Derived(ErasedKeyFn<'env>),
+}
+
+/// A node's one-shot work: the run closure plus its cache-key specification
+/// (static, derived from inputs, or none). Taken exactly once at dispatch.
+struct ErasedWork<'env> {
+    run: ErasedRunFn<'env>,
+    key: ErasedKeySpec<'env>,
+}
+
+/// One node of a submission with its driver error type (and, for blocking runs,
+/// its borrow lifetime) erased.
+struct ErasedNode<'env> {
+    kind: ActionKind,
+    label: String,
+    job: Option<usize>,
+    deps: Vec<ActionId>,
+    work: ErasedWork<'env>,
+}
+
+/// Erase a typed graph's error type, keeping the borrow lifetime.
+fn erase_nodes<'env, E: Send + 'static>(graph: ActionGraph<'env, E>) -> Vec<ErasedNode<'env>> {
+    graph
+        .nodes
+        .into_iter()
+        .map(|node| {
+            let run = node.run;
+            ErasedNode {
+                kind: node.kind,
+                label: node.label,
+                job: node.job,
+                deps: node.deps,
+                work: ErasedWork {
+                    run: Box::new(move |inputs| {
+                        run(inputs).map_err(|error| Box::new(error) as ErasedError)
+                    }),
+                    key: match node.key {
+                        KeySpec::None => ErasedKeySpec::None,
+                        KeySpec::Static(key) => ErasedKeySpec::Static(key),
+                        KeySpec::Derived(key_of) => ErasedKeySpec::Derived(key_of),
+                    },
+                },
+            }
+        })
+        .collect()
+}
+
+/// Pretend a set of erased nodes borrows nothing.
+///
+/// # Safety
+/// The caller must guarantee every contained closure is **executed or dropped
+/// before `'env` ends**. The blocking-run path upholds this by (a) waiting for the
+/// submission to complete before returning — including on unwind, via
+/// [`WaitOnDrop`] — and (b) the completing worker draining every un-executed
+/// closure ([`Submission`] leftover tasks) *before* signalling completion.
+unsafe fn assume_static(nodes: Vec<ErasedNode<'_>>) -> Vec<ErasedNode<'static>> {
+    // SAFETY: `ErasedNode<'a>` and `ErasedNode<'static>` are the same type up to
+    // the trait-object lifetime bound; the caller upholds the outlives contract.
+    unsafe { std::mem::transmute(nodes) }
+}
+
+enum Slot {
     Pending,
     Output(Arc<Vec<u8>>),
-    Failed(E),
+    Failed(ErasedError),
     Skipped { root: ActionId },
+    Cancelled,
 }
 
 struct NodeMeta {
@@ -187,146 +285,539 @@ struct NodeMeta {
     deps: Vec<ActionId>,
 }
 
-/// A node's one-shot work: the run closure plus its cache-key specification
-/// (static, derived from inputs, or none). Taken exactly once at dispatch.
-struct NodeWork<'env, E> {
-    run: ActionFn<'env, E>,
-    key: KeySpec<'env>,
+/// One submitted graph: erased nodes plus all per-run execution state. Shared
+/// between the worker pool (via queue entries) and the submitter's
+/// [`GraphHandle`] / blocking waiter.
+struct Submission {
+    /// Engine-global submission id (heap tie-breaks, queue-depth accounting).
+    id: u64,
+    tenant: Option<String>,
+    /// Index of the tenant lane this submission dispatches through.
+    lane: usize,
+    policy_name: String,
+    stage_depth: usize,
+    metas: Vec<NodeMeta>,
+    /// Critical-path weight per node; all zeros unless the policy orders by weight.
+    weights: Vec<u64>,
+    tasks: Vec<Mutex<Option<ErasedWork<'static>>>>,
+    slots: Vec<Mutex<Slot>>,
+    records: Vec<Mutex<Option<ActionRecord>>>,
+    dependents: Vec<Vec<ActionId>>,
+    pending: Vec<AtomicUsize>,
+    /// Micros-since-core-epoch each node entered the ready queue (0 = not yet).
+    enqueued_at: Vec<AtomicU64>,
+    remaining: AtomicUsize,
+    cancelled: AtomicBool,
+    /// The first caught action panic; re-raised on the waiting thread, so a
+    /// panicking action behaves like it would on a serial executor instead of
+    /// killing a pool worker.
+    panic_payload: Mutex<Option<Box<dyn Any + Send>>>,
+    done: AtomicBool,
+    done_lock: StdMutex<bool>,
+    done_cv: Condvar,
+    /// Completion callback, invoked once by the worker that retires the last node.
+    callback: Mutex<Option<Box<dyn FnOnce() + Send>>>,
 }
 
-/// The ordering half of the ready queue: FIFO or priority-by-weight.
-enum ReadyOrder {
-    Fifo(VecDeque<ActionId>),
-    /// Max-heap on (critical-path weight, lowest node id wins ties).
-    Weighted(BinaryHeap<(u64, Reverse<ActionId>)>),
+impl Submission {
+    fn wait_done(&self) {
+        let mut done = self.done_lock.lock().unwrap_or_else(|e| e.into_inner());
+        while !*done {
+            done = self.done_cv.wait(done).unwrap_or_else(|e| e.into_inner());
+        }
+    }
 }
 
-impl ReadyOrder {
-    fn push(&mut self, id: ActionId, weight: u64) {
+/// Waits for a submission to complete when dropped: the unwind-safety net that
+/// keeps the blocking-run lifetime erasure sound (borrowed closures can never
+/// outlive the frame that submitted them).
+struct WaitOnDrop<'a>(&'a Submission);
+
+impl Drop for WaitOnDrop<'_> {
+    fn drop(&mut self) {
+        self.0.wait_done();
+    }
+}
+
+/// One ready-queue entry: a node of a specific submission.
+struct Queued {
+    sub: Arc<Submission>,
+    node: ActionId,
+}
+
+/// Max-heap entry: heaviest critical-path weight first, then oldest submission,
+/// then lowest node id — deterministic for a single-worker engine.
+struct WeightedEntry {
+    weight: u64,
+    sub_id: Reverse<u64>,
+    node: Reverse<ActionId>,
+    item: Queued,
+}
+
+impl PartialEq for WeightedEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.weight == other.weight && self.sub_id == other.sub_id && self.node == other.node
+    }
+}
+impl Eq for WeightedEntry {}
+impl PartialOrd for WeightedEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for WeightedEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.weight, self.sub_id, self.node).cmp(&(other.weight, other.sub_id, other.node))
+    }
+}
+
+/// The ordering half of one lane: FIFO or priority-by-weight.
+enum LaneOrder {
+    Fifo(VecDeque<Queued>),
+    Weighted(BinaryHeap<WeightedEntry>),
+}
+
+impl LaneOrder {
+    fn push(&mut self, item: Queued, weight: u64) {
         match self {
-            ReadyOrder::Fifo(queue) => queue.push_back(id),
-            ReadyOrder::Weighted(heap) => heap.push((weight, Reverse(id))),
+            LaneOrder::Fifo(queue) => queue.push_back(item),
+            LaneOrder::Weighted(heap) => heap.push(WeightedEntry {
+                weight,
+                sub_id: Reverse(item.sub.id),
+                node: Reverse(item.node),
+                item,
+            }),
         }
     }
 
-    fn pop(&mut self) -> Option<ActionId> {
+    fn pop(&mut self) -> Option<Queued> {
         match self {
-            ReadyOrder::Fifo(queue) => queue.pop_front(),
-            ReadyOrder::Weighted(heap) => heap.pop().map(|(_, Reverse(id))| id),
+            LaneOrder::Fifo(queue) => queue.pop_front(),
+            LaneOrder::Weighted(heap) => heap.pop().map(|entry| entry.item),
         }
     }
 
     fn is_empty(&self) -> bool {
         match self {
-            ReadyOrder::Fifo(queue) => queue.is_empty(),
-            ReadyOrder::Weighted(heap) => heap.is_empty(),
+            LaneOrder::Fifo(queue) => queue.is_empty(),
+            LaneOrder::Weighted(heap) => heap.is_empty(),
         }
     }
 }
 
-/// The shared ready queue: policy ordering, per-kind admission, queue-wait clocks.
-struct Ready {
-    order: ReadyOrder,
-    /// Nodes popped while their kind was at its concurrency cap; re-admitted when an
-    /// in-flight action of that kind finishes.
-    deferred: [Vec<ActionId>; KINDS],
-    /// In-flight actions per kind.
+/// One tenant's slice of the ready queue. Under a non-fair policy there is a
+/// single anonymous lane; under weighted fair queuing each tenant gets a lane and
+/// the scheduler dispatches from the lane with the lowest virtual time.
+struct TenantLane {
+    order: LaneOrder,
+    /// Weighted-fair virtual time: advanced by `cost * SCALE / weight` per
+    /// dispatched action, so heavier-weighted tenants accumulate time slower and
+    /// are dispatched from more often.
+    vtime: u64,
+    weight: u64,
+    /// Entries popped while this tenant's kind quota was exhausted; re-admitted
+    /// when one of the tenant's in-flight actions of that kind finishes.
+    deferred: [Vec<Queued>; KINDS],
     in_flight: [usize; KINDS],
-    /// When each node entered the ready queue (for `queue_wait_micros`).
-    enqueued_at: Vec<Option<Instant>>,
+    /// Per-tenant per-kind quota from the policy (`usize::MAX` = unbounded).
+    caps: [usize; KINDS],
 }
 
-struct ExecState<'env, E> {
-    metas: Vec<NodeMeta>,
-    tasks: Vec<Mutex<Option<NodeWork<'env, E>>>>,
-    slots: Vec<Mutex<Slot<E>>>,
-    records: Vec<Mutex<Option<ActionRecord>>>,
-    dependents: Vec<Vec<ActionId>>,
-    pending: Vec<AtomicUsize>,
-    ready: Mutex<Ready>,
-    /// Critical-path weight per node (policy cost of the heaviest chain to a sink);
-    /// all zeros under FIFO ordering.
-    weights: Vec<u64>,
-    /// Per-kind concurrency caps from the policy (`usize::MAX` = unbounded, zero
-    /// clamped to one — the executor refuses to deadlock; the orchestrator turns a
-    /// zero cap into a typed error before a graph ever gets here).
+/// Virtual-time scale factor (integer fair-queuing arithmetic).
+const VTIME_SCALE: u64 = 1_024;
+
+/// The shared multi-graph ready queue: tenant lanes, per-kind admission (global
+/// and per tenant), queue-wait clocks, and cross-submission depth accounting.
+struct Ready {
+    lanes: Vec<TenantLane>,
+    lane_of: BTreeMap<Option<String>, usize>,
+    /// Whether tenant lanes + virtual-time dispatch are active.
+    fair: bool,
+    critical_path: bool,
+    /// Virtual time of the most recent dispatch; newly active lanes start here so
+    /// an idle tenant cannot bank scheduling credit.
+    virtual_now: u64,
+    /// Entries popped while their kind was at the *global* concurrency cap.
+    deferred: [Vec<Queued>; KINDS],
+    in_flight: [usize; KINDS],
     caps: [usize; KINDS],
-    /// Engine-global dispatch counter; assigned under the ready lock so the relative
-    /// order of `schedule_seq` values equals the policy's pop order.
+    /// Entries waiting (queued or deferred), across all lanes.
+    queued_actions: usize,
+    /// Waiting entries per submission id — `len()` is the multi-graph queue depth
+    /// recorded in [`ActionRecord::ready_submissions`].
+    waiting: BTreeMap<u64, usize>,
+}
+
+impl Ready {
+    fn lane_for(&mut self, tenant: &Option<String>, policy: &dyn SchedulingPolicy) -> usize {
+        let key = if self.fair { tenant.clone() } else { None };
+        if let Some(&lane) = self.lane_of.get(&key) {
+            return lane;
+        }
+        let mut caps = [usize::MAX; KINDS];
+        if self.fair {
+            for kind in ActionKind::ALL {
+                if let Some(cap) = policy.tenant_concurrency_cap(key.as_deref(), kind) {
+                    // A zero quota would starve the tenant forever; validate()
+                    // rejects it, the executor clamps defensively.
+                    caps[kind.index()] = cap.max(1);
+                }
+            }
+        }
+        let order = if self.critical_path {
+            LaneOrder::Weighted(BinaryHeap::new())
+        } else {
+            LaneOrder::Fifo(VecDeque::new())
+        };
+        let lane = self.lanes.len();
+        self.lanes.push(TenantLane {
+            order,
+            vtime: self.virtual_now,
+            weight: policy.tenant_weight(key.as_deref()).max(1),
+            deferred: std::array::from_fn(|_| Vec::new()),
+            in_flight: [0; KINDS],
+            caps,
+        });
+        self.lane_of.insert(key, lane);
+        lane
+    }
+
+    /// Enqueue a node that just became ready (first time in the queue).
+    fn enqueue_new(&mut self, item: Queued, weight: u64) {
+        self.queued_actions += 1;
+        *self.waiting.entry(item.sub.id).or_insert(0) += 1;
+        let lane = &mut self.lanes[item.sub.lane];
+        if self.fair && lane.order.is_empty() {
+            // An idle tenant re-enters at the current virtual time instead of
+            // replaying the credit it banked while absent.
+            lane.vtime = lane.vtime.max(self.virtual_now);
+        }
+        lane.order.push(item, weight);
+    }
+
+    /// Put a previously deferred entry back in dispatch order (its waiting
+    /// accounting never stopped).
+    fn requeue(&mut self, item: Queued) {
+        let weight = item.sub.weights[item.node];
+        self.lanes[item.sub.lane].order.push(item, weight);
+    }
+
+    fn has_ready_work(&self) -> bool {
+        self.lanes.iter().any(|lane| !lane.order.is_empty())
+    }
+
+    /// The lane to dispatch from: lowest virtual time among non-empty lanes under
+    /// fair queuing, the single anonymous lane otherwise.
+    fn dispatch_lane(&self) -> Option<usize> {
+        if self.fair {
+            self.lanes
+                .iter()
+                .enumerate()
+                .filter(|(_, lane)| !lane.order.is_empty())
+                .min_by_key(|(index, lane)| (lane.vtime, *index))
+                .map(|(index, _)| index)
+        } else {
+            self.lanes
+                .first()
+                .filter(|lane| !lane.order.is_empty())
+                .map(|_| 0)
+        }
+    }
+}
+
+/// A dispatched node plus its scheduling diagnostics.
+struct Dispatch {
+    item: Queued,
+    wait_micros: u64,
+    seq: u64,
+    /// Distinct submissions with waiting actions at dispatch time (incl. this one).
+    ready_submissions: u64,
+}
+
+/// Point-in-time occupancy of the engine's shared ready queue (see
+/// [`Engine::queue_stats`](super::Engine::queue_stats)). The service layer's
+/// admission control uses `queued_actions` as its saturation signal.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Actions waiting in the ready queue (including cap-deferred ones).
+    pub queued_actions: usize,
+    /// Distinct submissions with at least one waiting action.
+    pub waiting_submissions: usize,
+    /// Submissions accepted but not yet completed (waiting or executing).
+    pub live_submissions: usize,
+}
+
+/// Everything the worker pool shares: the cache, the policy, and the ready queue.
+struct CoreShared {
+    cache: Arc<dyn CacheBackend>,
+    policy: Arc<dyn SchedulingPolicy>,
+    /// Clock origin for `enqueued_at` / queue-wait accounting.
+    epoch: Instant,
+    /// Engine-global dispatch counter; assigned under the ready lock so the
+    /// relative order of `schedule_seq` values equals the policy's pop order.
     seq: Arc<AtomicU64>,
-    remaining: AtomicUsize,
-    /// The first caught action panic; re-raised on the caller thread after the run
-    /// completes, so a panicking action behaves like it would on a serial executor
-    /// instead of hanging the worker pool.
-    panic_payload: Mutex<Option<Box<dyn Any + Send>>>,
+    submission_ids: AtomicU64,
+    ready: Mutex<Ready>,
     /// Idle workers park here instead of spinning; a finishing node wakes them.
     idle: StdMutex<()>,
     wakeup: Condvar,
+    shutdown: AtomicBool,
+    live_submissions: AtomicUsize,
 }
 
-impl<'env, E> ExecState<'env, E> {
-    /// Pop the next runnable node per the policy: skip (and defer) ready nodes whose
-    /// kind is at its concurrency cap. Returns the node, its queue wait, and its
-    /// dispatch sequence number.
-    fn pop_task(&self) -> Option<(ActionId, u64, u64)> {
-        let mut ready = self.ready.lock();
-        loop {
-            let id = ready.order.pop()?;
-            let kind = self.metas[id].kind.index();
-            if ready.in_flight[kind] < self.caps[kind] {
-                ready.in_flight[kind] += 1;
-                let wait_micros = ready.enqueued_at[id]
-                    .map(|t| t.elapsed().as_micros() as u64)
-                    .unwrap_or(0);
-                let seq = self.seq.fetch_add(1, Ordering::Relaxed);
-                return Some((id, wait_micros, seq));
-            }
-            ready.deferred[kind].push(id);
+impl CoreShared {
+    fn now_micros(&self) -> u64 {
+        (self.epoch.elapsed().as_micros() as u64).max(1)
+    }
+
+    fn notify_workers(&self, all: bool) {
+        let _guard = self.idle.lock().unwrap_or_else(|e| e.into_inner());
+        if all {
+            self.wakeup.notify_all();
+        } else {
+            self.wakeup.notify_one();
         }
     }
 
-    /// Whether any queue entry is currently poppable (deferred nodes only come back
-    /// through `finish`, which notifies, so checking the order queue suffices).
-    fn has_ready_work(&self) -> bool {
-        !self.ready.lock().order.is_empty()
+    /// Register and seed a submission. The whole initial frontier is seeded under
+    /// one ready-lock acquisition, so no worker can observe (and dispatch from) a
+    /// half-seeded frontier — this is what keeps single-worker dispatch order
+    /// deterministic for the policy tests.
+    fn submit(
+        self: &Arc<Self>,
+        nodes: Vec<ErasedNode<'static>>,
+        stage_depth: usize,
+        tenant: Option<String>,
+    ) -> Arc<Submission> {
+        let node_count = nodes.len();
+        let id = self.submission_ids.fetch_add(1, Ordering::Relaxed);
+        let mut metas = Vec::with_capacity(node_count);
+        let mut tasks = Vec::with_capacity(node_count);
+        let mut dependents: Vec<Vec<ActionId>> = vec![Vec::new(); node_count];
+        let mut pending = Vec::with_capacity(node_count);
+        for (node_id, node) in nodes.into_iter().enumerate() {
+            for &dep in &node.deps {
+                dependents[dep].push(node_id);
+            }
+            pending.push(AtomicUsize::new(node.deps.len()));
+            metas.push(NodeMeta {
+                kind: node.kind,
+                label: node.label,
+                job: node.job,
+                deps: node.deps,
+            });
+            tasks.push(Mutex::new(Some(node.work)));
+        }
+        // Critical-path weights: the policy cost of the heaviest chain from each
+        // node to a sink (bottom-up; dependents always have higher ids than deps).
+        let weights = if self.policy.critical_path_first() {
+            let mut weights = vec![0u64; node_count];
+            for node_id in (0..node_count).rev() {
+                let downstream = dependents[node_id]
+                    .iter()
+                    .map(|&d| weights[d])
+                    .max()
+                    .unwrap_or(0);
+                weights[node_id] = self.policy.action_cost(metas[node_id].kind) + downstream;
+            }
+            weights
+        } else {
+            vec![0u64; node_count]
+        };
+
+        let lane = self.ready.lock().lane_for(&tenant, self.policy.as_ref());
+        let sub = Arc::new(Submission {
+            id,
+            tenant,
+            lane,
+            policy_name: self.policy.name().to_string(),
+            stage_depth,
+            weights,
+            tasks,
+            slots: (0..node_count).map(|_| Mutex::new(Slot::Pending)).collect(),
+            records: (0..node_count).map(|_| Mutex::new(None)).collect(),
+            dependents,
+            pending,
+            enqueued_at: (0..node_count).map(|_| AtomicU64::new(0)).collect(),
+            remaining: AtomicUsize::new(node_count),
+            cancelled: AtomicBool::new(false),
+            panic_payload: Mutex::new(None),
+            done: AtomicBool::new(node_count == 0),
+            done_lock: StdMutex::new(node_count == 0),
+            done_cv: Condvar::new(),
+            callback: Mutex::new(None),
+            metas,
+        });
+        if node_count == 0 {
+            return sub;
+        }
+        self.live_submissions.fetch_add(1, Ordering::AcqRel);
+        {
+            let mut ready = self.ready.lock();
+            let now = self.now_micros();
+            for node_id in 0..node_count {
+                if sub.pending[node_id].load(Ordering::Relaxed) == 0 {
+                    sub.enqueued_at[node_id].store(now, Ordering::Relaxed);
+                    let weight = sub.weights[node_id];
+                    ready.enqueue_new(
+                        Queued {
+                            sub: sub.clone(),
+                            node: node_id,
+                        },
+                        weight,
+                    );
+                }
+            }
+        }
+        self.notify_workers(true);
+        sub
     }
 
-    fn finish(&self, id: ActionId, slot: Slot<E>, record: Option<ActionRecord>) {
-        *self.slots[id].lock() = slot;
+    /// Pop the next runnable node per the policy: pick the dispatch lane, skip
+    /// (and defer) entries whose kind is at a global or tenant cap, and charge the
+    /// lane's virtual time under fair queuing.
+    fn pop_task(&self) -> Option<Dispatch> {
+        let mut ready = self.ready.lock();
+        loop {
+            let lane_index = ready.dispatch_lane()?;
+            let item = ready.lanes[lane_index]
+                .order
+                .pop()
+                .expect("dispatch lane has a queued entry");
+            let kind = item.sub.metas[item.node].kind.index();
+            if ready.in_flight[kind] >= ready.caps[kind] {
+                ready.deferred[kind].push(item);
+                continue;
+            }
+            if ready.lanes[lane_index].in_flight[kind] >= ready.lanes[lane_index].caps[kind] {
+                ready.lanes[lane_index].deferred[kind].push(item);
+                continue;
+            }
+            // Admit.
+            ready.in_flight[kind] += 1;
+            let fair = ready.fair;
+            let ready_submissions = ready.waiting.len() as u64;
+            {
+                let lane = &mut ready.lanes[lane_index];
+                lane.in_flight[kind] += 1;
+                if fair {
+                    let cost = self
+                        .policy
+                        .action_cost(item.sub.metas[item.node].kind)
+                        .max(1);
+                    lane.vtime = lane
+                        .vtime
+                        .saturating_add(cost.saturating_mul(VTIME_SCALE) / lane.weight);
+                }
+            }
+            if fair {
+                ready.virtual_now = ready.lanes[lane_index].vtime;
+            }
+            ready.queued_actions -= 1;
+            match ready.waiting.get_mut(&item.sub.id) {
+                Some(count) if *count > 1 => *count -= 1,
+                _ => {
+                    ready.waiting.remove(&item.sub.id);
+                }
+            }
+            let enqueued = item.sub.enqueued_at[item.node].load(Ordering::Relaxed);
+            let wait_micros = self.now_micros().saturating_sub(enqueued);
+            let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+            return Some(Dispatch {
+                item,
+                wait_micros,
+                seq,
+                ready_submissions,
+            });
+        }
+    }
+
+    fn has_ready_work(&self) -> bool {
+        self.ready.lock().has_ready_work()
+    }
+
+    /// Retire one node: store its slot/record, free its concurrency slots,
+    /// re-admit deferred entries, enqueue newly-ready dependents, and — when it
+    /// was the submission's last node — complete the submission.
+    fn finish(
+        &self,
+        sub: &Arc<Submission>,
+        node: ActionId,
+        slot: Slot,
+        record: Option<ActionRecord>,
+    ) {
+        *sub.slots[node].lock() = slot;
         if let Some(record) = record {
-            *self.records[id].lock() = Some(record);
+            *sub.records[node].lock() = Some(record);
         }
         let mut made_ready = 0usize;
         {
             let mut ready = self.ready.lock();
-            let kind = self.metas[id].kind.index();
+            let kind = sub.metas[node].kind.index();
             ready.in_flight[kind] -= 1;
-            // A freed slot re-admits every deferred node of this kind; only one can
-            // claim the slot, the rest simply defer again on their next pop.
+            ready.lanes[sub.lane].in_flight[kind] -= 1;
+            // A freed slot re-admits every deferred entry of this kind; only one
+            // can claim the slot, the rest simply defer again on their next pop.
             let deferred = std::mem::take(&mut ready.deferred[kind]);
             made_ready += deferred.len();
-            for deferred_id in deferred {
-                ready.order.push(deferred_id, self.weights[deferred_id]);
+            for item in deferred {
+                ready.requeue(item);
             }
-            for &dependent in &self.dependents[id] {
-                if self.pending[dependent].fetch_sub(1, Ordering::AcqRel) == 1 {
-                    ready.enqueued_at[dependent] = Some(Instant::now());
-                    ready.order.push(dependent, self.weights[dependent]);
+            let tenant_deferred = std::mem::take(&mut ready.lanes[sub.lane].deferred[kind]);
+            made_ready += tenant_deferred.len();
+            for item in tenant_deferred {
+                ready.requeue(item);
+            }
+            let now = self.now_micros();
+            for &dependent in &sub.dependents[node] {
+                if sub.pending[dependent].fetch_sub(1, Ordering::AcqRel) == 1 {
+                    sub.enqueued_at[dependent].store(now, Ordering::Relaxed);
+                    let weight = sub.weights[dependent];
+                    ready.enqueue_new(
+                        Queued {
+                            sub: sub.clone(),
+                            node: dependent,
+                        },
+                        weight,
+                    );
                     made_ready += 1;
                 }
             }
         }
-        let last = self.remaining.fetch_sub(1, Ordering::AcqRel) == 1;
+        let last = sub.remaining.fetch_sub(1, Ordering::AcqRel) == 1;
+        if last {
+            self.complete(sub);
+        }
         if last || made_ready > 0 {
-            // Notify under the idle lock: a parking worker re-checks the queue after
-            // acquiring it, so the notification can never land in the window between
-            // a failed pop and the wait. The last node releases the whole pool.
-            let _guard = self.idle.lock().unwrap_or_else(|e| e.into_inner());
-            if last || made_ready > 1 {
-                self.wakeup.notify_all();
-            } else {
-                self.wakeup.notify_one();
-            }
+            // Notify under the idle lock: a parking worker re-checks the queue
+            // after acquiring it, so the notification can never land in the window
+            // between a failed pop and the wait.
+            self.notify_workers(last || made_ready > 1);
+        }
+    }
+
+    /// Complete a submission: drain leftover (skipped/cancelled) closures — the
+    /// step that lets blocking runs borrow caller state soundly — then signal
+    /// waiters and run the completion callback.
+    fn complete(&self, sub: &Arc<Submission>) {
+        for task in &sub.tasks {
+            drop(task.lock().take());
+        }
+        let callback = {
+            let mut callback = sub.callback.lock();
+            sub.done.store(true, Ordering::Release);
+            callback.take()
+        };
+        {
+            let mut done = sub.done_lock.lock().unwrap_or_else(|e| e.into_inner());
+            *done = true;
+        }
+        sub.done_cv.notify_all();
+        self.live_submissions.fetch_sub(1, Ordering::AcqRel);
+        // Wake the pool (and a core waiting to shut down in Drop).
+        self.notify_workers(true);
+        if let Some(callback) = callback {
+            callback();
         }
     }
 
@@ -334,13 +825,14 @@ impl<'env, E> ExecState<'env, E> {
     /// panic wins). Returns `None` when the closure panicked.
     fn run_task(
         &self,
-        task: ActionFn<'env, E>,
+        sub: &Submission,
+        task: ErasedRunFn<'static>,
         inputs: &ActionInputs,
-    ) -> Option<Result<Vec<u8>, E>> {
+    ) -> Option<Result<Vec<u8>, ErasedError>> {
         match std::panic::catch_unwind(AssertUnwindSafe(|| task(inputs))) {
             Ok(result) => Some(result),
             Err(payload) => {
-                let mut slot = self.panic_payload.lock();
+                let mut slot = sub.panic_payload.lock();
                 if slot.is_none() {
                     *slot = Some(payload);
                 }
@@ -348,158 +840,382 @@ impl<'env, E> ExecState<'env, E> {
             }
         }
     }
+
+    fn execute(&self, dispatch: Dispatch) {
+        let Dispatch {
+            item: Queued { sub, node },
+            wait_micros,
+            seq,
+            ready_submissions,
+        } = dispatch;
+        if sub.cancelled.load(Ordering::Relaxed) {
+            self.finish(&sub, node, Slot::Cancelled, None);
+            return;
+        }
+        let meta = &sub.metas[node];
+        // Gather dependency outputs; a poisoned dependency skips this node.
+        let mut inputs = Vec::with_capacity(meta.deps.len());
+        let mut poisoned: Option<Slot> = None;
+        for &dep in &meta.deps {
+            match &*sub.slots[dep].lock() {
+                Slot::Output(bytes) => inputs.push(bytes.clone()),
+                Slot::Failed(_) => {
+                    poisoned = Some(Slot::Skipped { root: dep });
+                    break;
+                }
+                Slot::Skipped { root } => {
+                    poisoned = Some(Slot::Skipped { root: *root });
+                    break;
+                }
+                Slot::Cancelled => {
+                    poisoned = Some(Slot::Cancelled);
+                    break;
+                }
+                Slot::Pending => unreachable!("node scheduled before dependency finished"),
+            }
+        }
+        if let Some(slot) = poisoned {
+            self.finish(&sub, node, slot, None);
+            return;
+        }
+
+        let ErasedWork { run: task, key } = sub.tasks[node]
+            .lock()
+            .take()
+            .expect("every node executes exactly once");
+        let inputs = ActionInputs::new(inputs);
+        let started = Instant::now();
+
+        // Resolve the cache key: static keys pass through; derived keys are
+        // computed from the dependency outputs now that they exist. A panicking
+        // key derivation behaves like a panicking action (payload recorded,
+        // dependents poisoned).
+        let key = match key {
+            ErasedKeySpec::None => None,
+            ErasedKeySpec::Static(key) => Some(key),
+            ErasedKeySpec::Derived(key_of) => {
+                match std::panic::catch_unwind(AssertUnwindSafe(|| key_of(&inputs))) {
+                    Ok(key) => Some(key),
+                    Err(payload) => {
+                        let mut slot = sub.panic_payload.lock();
+                        if slot.is_none() {
+                            *slot = Some(payload);
+                        }
+                        drop(slot);
+                        self.finish(&sub, node, Slot::Skipped { root: node }, None);
+                        return;
+                    }
+                }
+            }
+        };
+
+        let (slot, completed): (Slot, Option<bool>) = match &key {
+            Some(key) => {
+                let mut task = Some(task);
+                let mut captured: Option<ErasedError> = None;
+                let result = self.cache.get_or_compute_action(key, &mut || {
+                    // At most one in-flight node per key per graph (the ActionGraph
+                    // contract — a repeated key must be ordered after the first by a
+                    // dependency edge), so the closure runs at most once even under
+                    // single-flight coalescing.
+                    match task.take() {
+                        Some(task) => match self.run_task(&sub, task, &inputs) {
+                            Some(Ok(bytes)) => Ok(bytes),
+                            Some(Err(error)) => {
+                                captured = Some(error);
+                                Err(ComputeFailed)
+                            }
+                            // Panicked: the payload is recorded, re-raised at wait.
+                            None => Err(ComputeFailed),
+                        },
+                        None => Err(ComputeFailed),
+                    }
+                });
+                match result {
+                    Ok((bytes, hit)) => (Slot::Output(Arc::new(bytes)), Some(hit)),
+                    Err(ComputeFailed) => match captured {
+                        Some(error) => (Slot::Failed(error), None),
+                        // The action panicked, or the backend failed without running
+                        // it; the node poisons its dependents with itself as root.
+                        None => (Slot::Skipped { root: node }, None),
+                    },
+                }
+            }
+            None => match self.run_task(&sub, task, &inputs) {
+                Some(Ok(bytes)) => (Slot::Output(Arc::new(bytes)), Some(false)),
+                Some(Err(error)) => (Slot::Failed(error), None),
+                None => (Slot::Skipped { root: node }, None),
+            },
+        };
+        let record = completed.map(|cached| ActionRecord {
+            kind: meta.kind,
+            label: meta.label.clone(),
+            key_digest: key.as_ref().map(|k| k.digest().hex().to_string()),
+            cached,
+            queue_wait_micros: wait_micros,
+            exec_micros: started.elapsed().as_micros() as u64,
+            schedule_seq: seq,
+            job: meta.job,
+            tenant: sub.tenant.clone(),
+            ready_submissions,
+        });
+        self.finish(&sub, node, slot, record);
+    }
 }
 
-pub(crate) fn run_graph<'env, E: Send>(
-    graph: ActionGraph<'env, E>,
-    cache: &dyn CacheBackend,
-    workers: usize,
-    policy: &dyn SchedulingPolicy,
-    seq: Arc<AtomicU64>,
-) -> GraphRun<E> {
-    let node_count = graph.nodes.len();
-    let stage_depth = graph.depth();
-    if node_count == 0 {
-        return GraphRun {
-            outcomes: Vec::new(),
-            trace: ActionTrace {
-                policy: policy.name().to_string(),
-                ..ActionTrace::default()
-            },
-            infos: Vec::new(),
+fn worker_loop(shared: Arc<CoreShared>) {
+    loop {
+        match shared.pop_task() {
+            Some(dispatch) => shared.execute(dispatch),
+            None => {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    break;
+                }
+                // Nothing runnable right now: other workers hold the frontier (or
+                // every ready entry's kind is at a cap). Park until new work is
+                // admitted. Re-checking readiness under the idle lock pairs with
+                // finish()/submit() notifying under it, so wakeups are not lost;
+                // the timeout is only a backstop.
+                let guard = shared.idle.lock().unwrap_or_else(|e| e.into_inner());
+                if !shared.shutdown.load(Ordering::Acquire) && !shared.has_ready_work() {
+                    let _ = shared
+                        .wakeup
+                        .wait_timeout(guard, std::time::Duration::from_millis(10));
+                }
+            }
+        }
+    }
+}
+
+/// The engine's persistent execution core: a lazily spawned worker pool plus the
+/// shared ready queue. Owned (behind `Arc`) by the [`Engine`](super::Engine) and
+/// its clones; dropping the last owner waits for in-flight submissions to retire,
+/// then shuts the pool down and joins it.
+pub(crate) struct ExecutorCore {
+    shared: OnceLock<Arc<CoreShared>>,
+    threads: StdMutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl ExecutorCore {
+    pub(crate) fn new() -> Self {
+        Self {
+            shared: OnceLock::new(),
+            threads: StdMutex::new(Vec::new()),
+        }
+    }
+
+    /// The shared state, spawning the worker pool on first use (so merely
+    /// constructing an `Engine` costs no threads).
+    fn shared_or_init(
+        &self,
+        cache: &Arc<dyn CacheBackend>,
+        policy: &Arc<dyn SchedulingPolicy>,
+        seq: &Arc<AtomicU64>,
+        workers: usize,
+    ) -> &Arc<CoreShared> {
+        self.shared.get_or_init(|| {
+            let mut caps = [usize::MAX; KINDS];
+            for kind in ActionKind::ALL {
+                if let Some(cap) = policy.concurrency_cap(kind) {
+                    // A zero cap would deadlock; the Orchestrator rejects it as a
+                    // typed PolicyError, the raw executor clamps defensively.
+                    caps[kind.index()] = cap.max(1);
+                }
+            }
+            let fair = policy.fair_queuing();
+            let critical_path = policy.critical_path_first();
+            let order = if critical_path {
+                LaneOrder::Weighted(BinaryHeap::new())
+            } else {
+                LaneOrder::Fifo(VecDeque::new())
+            };
+            let mut ready = Ready {
+                lanes: Vec::new(),
+                lane_of: BTreeMap::new(),
+                fair,
+                critical_path,
+                virtual_now: 0,
+                deferred: std::array::from_fn(|_| Vec::new()),
+                in_flight: [0; KINDS],
+                caps,
+                queued_actions: 0,
+                waiting: BTreeMap::new(),
+            };
+            if !fair {
+                // The single anonymous lane every submission dispatches through.
+                ready.lanes.push(TenantLane {
+                    order,
+                    vtime: 0,
+                    weight: 1,
+                    deferred: std::array::from_fn(|_| Vec::new()),
+                    in_flight: [0; KINDS],
+                    caps: [usize::MAX; KINDS],
+                });
+                ready.lane_of.insert(None, 0);
+            }
+            let shared = Arc::new(CoreShared {
+                cache: cache.clone(),
+                policy: policy.clone(),
+                epoch: Instant::now(),
+                seq: seq.clone(),
+                submission_ids: AtomicU64::new(0),
+                ready: Mutex::new(ready),
+                idle: StdMutex::new(()),
+                wakeup: Condvar::new(),
+                shutdown: AtomicBool::new(false),
+                live_submissions: AtomicUsize::new(0),
+            });
+            let mut threads = self.threads.lock().unwrap_or_else(|e| e.into_inner());
+            for index in 0..workers.max(1) {
+                let shared = shared.clone();
+                let handle = std::thread::Builder::new()
+                    .name(format!("xaas-engine-{index}"))
+                    .spawn(move || worker_loop(shared))
+                    .expect("spawn engine worker");
+                threads.push(handle);
+            }
+            shared
+        })
+    }
+
+    pub(crate) fn queue_stats(&self) -> QueueStats {
+        match self.shared.get() {
+            Some(shared) => {
+                let ready = shared.ready.lock();
+                QueueStats {
+                    queued_actions: ready.queued_actions,
+                    waiting_submissions: ready.waiting.len(),
+                    live_submissions: shared.live_submissions.load(Ordering::Acquire),
+                }
+            }
+            None => QueueStats::default(),
+        }
+    }
+
+    /// Nonblocking submission of an owned (`'static`) graph.
+    pub(crate) fn submit_graph<E: Send + 'static>(
+        &self,
+        cache: &Arc<dyn CacheBackend>,
+        policy: &Arc<dyn SchedulingPolicy>,
+        seq: &Arc<AtomicU64>,
+        workers: usize,
+        graph: ActionGraph<'static, E>,
+        tenant: Option<String>,
+    ) -> GraphHandle<E> {
+        let shared = self.shared_or_init(cache, policy, seq, workers).clone();
+        let stage_depth = graph.depth();
+        let nodes = erase_nodes(graph);
+        // No `assume_static` needed: the graph really is 'static.
+        let nodes: Vec<ErasedNode<'static>> = nodes;
+        let sub = shared.submit(nodes, stage_depth, tenant);
+        GraphHandle {
+            sub,
+            _error: PhantomData,
+        }
+    }
+
+    /// Blocking execution of a graph whose closures may borrow the caller's frame.
+    pub(crate) fn run_blocking<'env, E: Send + 'static>(
+        &self,
+        cache: &Arc<dyn CacheBackend>,
+        policy: &Arc<dyn SchedulingPolicy>,
+        seq: &Arc<AtomicU64>,
+        workers: usize,
+        graph: ActionGraph<'env, E>,
+        tenant: Option<String>,
+    ) -> GraphRun<E> {
+        let shared = self.shared_or_init(cache, policy, seq, workers).clone();
+        let stage_depth = graph.depth();
+        let nodes = erase_nodes(graph);
+        // SAFETY: this frame waits for the submission to complete before
+        // returning (`wait_done`, backstopped by `WaitOnDrop` on unwind), and
+        // `complete()` drops every un-executed closure before signalling done —
+        // so no borrowed closure outlives `'env`.
+        let nodes = unsafe { assume_static(nodes) };
+        let sub = shared.submit(nodes, stage_depth, tenant);
+        let _wait_guard = WaitOnDrop(&sub);
+        sub.wait_done();
+        take_run::<E>(&sub)
+    }
+}
+
+impl Drop for ExecutorCore {
+    fn drop(&mut self) {
+        let Some(shared) = self.shared.get() else {
+            return;
         };
-    }
-
-    let workers = workers.clamp(1, node_count.max(1));
-    let mut metas = Vec::with_capacity(node_count);
-    let mut tasks = Vec::with_capacity(node_count);
-    let mut dependents: Vec<Vec<ActionId>> = vec![Vec::new(); node_count];
-    let mut pending = Vec::with_capacity(node_count);
-    for (id, node) in graph.nodes.into_iter().enumerate() {
-        for &dep in &node.deps {
-            dependents[dep].push(id);
-        }
-        pending.push(AtomicUsize::new(node.deps.len()));
-        metas.push(NodeMeta {
-            kind: node.kind,
-            label: node.label,
-            job: node.job,
-            deps: node.deps,
-        });
-        tasks.push(Mutex::new(Some(NodeWork {
-            run: node.run,
-            key: node.key,
-        })));
-    }
-
-    // Critical-path weights: the policy cost of the heaviest chain from each node to
-    // a sink (computed bottom-up; dependents always have higher ids than their deps).
-    let weights = if policy.critical_path_first() {
-        let mut weights = vec![0u64; node_count];
-        for id in (0..node_count).rev() {
-            let downstream = dependents[id]
-                .iter()
-                .map(|&d| weights[d])
-                .max()
-                .unwrap_or(0);
-            weights[id] = policy.action_cost(metas[id].kind) + downstream;
-        }
-        weights
-    } else {
-        vec![0u64; node_count]
-    };
-    let mut caps = [usize::MAX; KINDS];
-    for kind in ActionKind::ALL {
-        if let Some(cap) = policy.concurrency_cap(kind) {
-            // A zero cap would deadlock; the Orchestrator rejects it as a typed
-            // PolicyError before submission, the raw executor clamps defensively.
-            caps[kind.index()] = cap.max(1);
-        }
-    }
-
-    let order = if policy.critical_path_first() {
-        ReadyOrder::Weighted(BinaryHeap::with_capacity(node_count))
-    } else {
-        ReadyOrder::Fifo(VecDeque::with_capacity(node_count))
-    };
-    let state = ExecState {
-        metas,
-        tasks,
-        slots: (0..node_count).map(|_| Mutex::new(Slot::Pending)).collect(),
-        records: (0..node_count).map(|_| Mutex::new(None)).collect(),
-        dependents,
-        pending,
-        ready: Mutex::new(Ready {
-            order,
-            deferred: std::array::from_fn(|_| Vec::new()),
-            in_flight: [0; KINDS],
-            enqueued_at: vec![None; node_count],
-        }),
-        weights,
-        caps,
-        seq,
-        remaining: AtomicUsize::new(node_count),
-        panic_payload: Mutex::new(None),
-        idle: StdMutex::new(()),
-        wakeup: Condvar::new(),
-    };
-    // Seed the initial frontier in node order.
-    {
-        let mut ready = state.ready.lock();
-        let now = Instant::now();
-        for id in 0..node_count {
-            if state.pending[id].load(Ordering::Relaxed) == 0 {
-                ready.enqueued_at[id] = Some(now);
-                ready.order.push(id, state.weights[id]);
+        // Detached submissions (GraphHandles) finish on their own; wait for them
+        // so no accepted work is abandoned, then stop the pool.
+        {
+            let mut guard = shared.idle.lock().unwrap_or_else(|e| e.into_inner());
+            while shared.live_submissions.load(Ordering::Acquire) != 0 {
+                let (next, _) = shared
+                    .wakeup
+                    .wait_timeout(guard, std::time::Duration::from_millis(10))
+                    .unwrap_or_else(|e| e.into_inner());
+                guard = next;
             }
         }
-    }
-
-    if workers == 1 {
-        worker_loop(&state, cache);
-    } else {
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                let state = &state;
-                scope.spawn(move || worker_loop(state, cache));
+        shared.shutdown.store(true, Ordering::Release);
+        {
+            let _guard = shared.idle.lock().unwrap_or_else(|e| e.into_inner());
+            shared.wakeup.notify_all();
+        }
+        let threads = std::mem::take(&mut *self.threads.lock().unwrap_or_else(|e| e.into_inner()));
+        let current = std::thread::current().id();
+        for handle in threads {
+            // A completion callback can drop the last Engine clone *on* a pool
+            // thread; that thread detaches instead of joining itself.
+            if handle.thread().id() == current {
+                continue;
             }
-        });
+            let _ = handle.join();
+        }
     }
+}
 
-    let ExecState {
-        metas,
-        slots,
-        records,
-        panic_payload,
-        ..
-    } = state;
-    if let Some(payload) = panic_payload.into_inner() {
-        // Re-raise the first action panic on the caller thread, as a serial
+/// Assemble the typed [`GraphRun`] of a completed submission, re-raising the
+/// first action panic on the calling thread.
+fn take_run<E: Send + 'static>(sub: &Submission) -> GraphRun<E> {
+    debug_assert!(sub.done.load(Ordering::Acquire));
+    if let Some(payload) = sub.panic_payload.lock().take() {
+        // Re-raise the first action panic on the waiting thread, as a serial
         // executor would have.
         std::panic::resume_unwind(payload);
     }
-    let outcomes = slots
-        .into_iter()
-        .map(|slot| match slot.into_inner() {
-            Slot::Output(bytes) => NodeOutcome::Output(bytes),
-            Slot::Failed(error) => NodeOutcome::Failed(error),
-            Slot::Skipped { root } => NodeOutcome::Skipped { root },
-            Slot::Pending => unreachable!("executor drained every node"),
-        })
+    let outcomes = sub
+        .slots
+        .iter()
+        .map(
+            |slot| match std::mem::replace(&mut *slot.lock(), Slot::Pending) {
+                Slot::Output(bytes) => NodeOutcome::Output(bytes),
+                Slot::Failed(error) => NodeOutcome::Failed(
+                    *error
+                        .downcast::<E>()
+                        .expect("submission error type matches the graph's"),
+                ),
+                Slot::Skipped { root } => NodeOutcome::Skipped { root },
+                Slot::Cancelled => NodeOutcome::Cancelled,
+                Slot::Pending => unreachable!("executor drained every node"),
+            },
+        )
         .collect();
     let trace = ActionTrace {
-        records: records
-            .into_iter()
-            .filter_map(|record| record.into_inner())
+        records: sub
+            .records
+            .iter()
+            .filter_map(|record| record.lock().take())
             .collect(),
-        stage_depth,
-        policy: policy.name().to_string(),
+        stage_depth: sub.stage_depth,
+        policy: sub.policy_name.clone(),
+        tenant: sub.tenant.clone(),
     };
-    let infos = metas
-        .into_iter()
+    let infos = sub
+        .metas
+        .iter()
         .map(|meta| NodeInfo {
             kind: meta.kind,
-            label: meta.label,
+            label: meta.label.clone(),
             job: meta.job,
         })
         .collect();
@@ -510,135 +1226,93 @@ pub(crate) fn run_graph<'env, E: Send>(
     }
 }
 
-fn worker_loop<E: Send>(state: &ExecState<'_, E>, cache: &dyn CacheBackend) {
-    loop {
-        if state.remaining.load(Ordering::Acquire) == 0 {
-            break;
+/// Live progress of one submission (see [`GraphHandle::poll`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GraphStatus {
+    /// Total nodes in the submitted graph.
+    pub total: usize,
+    /// Nodes retired so far (completed, failed, skipped, or cancelled).
+    pub finished: usize,
+    /// Whether every node has retired.
+    pub done: bool,
+    /// Whether the submission was cancelled.
+    pub cancelled: bool,
+}
+
+/// A nonblocking handle to a submitted graph: poll progress, register a
+/// completion callback, cancel, or wait for the typed [`GraphRun`].
+///
+/// Dropping the handle does **not** cancel the submission — accepted work runs to
+/// completion (the engine waits for it on shutdown); call
+/// [`cancel`](Self::cancel) for early termination.
+pub struct GraphHandle<E> {
+    sub: Arc<Submission>,
+    _error: PhantomData<fn() -> E>,
+}
+
+impl<E: Send + 'static> GraphHandle<E> {
+    /// Current progress, without blocking.
+    pub fn poll(&self) -> GraphStatus {
+        let total = sub_total(&self.sub);
+        let remaining = self.sub.remaining.load(Ordering::Acquire);
+        GraphStatus {
+            total,
+            finished: total - remaining.min(total),
+            done: self.sub.done.load(Ordering::Acquire),
+            cancelled: self.sub.cancelled.load(Ordering::Relaxed),
         }
-        match state.pop_task() {
-            Some((id, wait_micros, seq)) => execute_node(state, cache, id, wait_micros, seq),
-            None => {
-                // Nothing runnable right now: other workers hold the frontier (or
-                // every ready node's kind is at its cap). Park until new work is
-                // admitted. Re-checking readiness under the idle lock pairs with
-                // finish() notifying under it, so wakeups are not lost; the timeout
-                // is only a backstop.
-                let guard = state.idle.lock().unwrap_or_else(|e| e.into_inner());
-                if state.remaining.load(Ordering::Acquire) != 0 && !state.has_ready_work() {
-                    let _ = state
-                        .wakeup
-                        .wait_timeout(guard, std::time::Duration::from_millis(10));
-                }
+    }
+
+    /// Whether every node has retired (the run can be [`wait`](Self::wait)ed
+    /// without blocking).
+    pub fn is_done(&self) -> bool {
+        self.sub.done.load(Ordering::Acquire)
+    }
+
+    /// Request cancellation: nodes not yet dispatched retire as
+    /// [`NodeOutcome::Cancelled`] instead of running. Actions already executing
+    /// finish normally (actions are small compile steps; there is no preemption).
+    pub fn cancel(&self) {
+        self.sub.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// Register a completion callback, invoked exactly once by the worker that
+    /// retires the submission's last node — or immediately, on the calling
+    /// thread, when the submission already completed. The callback is a
+    /// *notification* (wake a scheduler, send on a channel); fetch results with
+    /// [`wait`](Self::wait).
+    pub fn on_complete(&self, callback: impl FnOnce() + Send + 'static) {
+        {
+            let mut slot = self.sub.callback.lock();
+            if !self.sub.done.load(Ordering::Acquire) {
+                *slot = Some(Box::new(callback));
+                return;
             }
         }
+        callback();
+    }
+
+    /// Block until the submission completes and assemble its typed [`GraphRun`].
+    /// Re-raises the first action panic on this thread, like the blocking
+    /// [`Engine::run`](super::Engine::run) does.
+    pub fn wait(self) -> GraphRun<E> {
+        self.sub.wait_done();
+        take_run::<E>(&self.sub)
     }
 }
 
-fn execute_node<E: Send>(
-    state: &ExecState<'_, E>,
-    cache: &dyn CacheBackend,
-    id: ActionId,
-    wait_micros: u64,
-    seq: u64,
-) {
-    let meta = &state.metas[id];
-    // Gather dependency outputs; a poisoned dependency skips this node.
-    let mut inputs = Vec::with_capacity(meta.deps.len());
-    let mut poisoned: Option<ActionId> = None;
-    for &dep in &meta.deps {
-        match &*state.slots[dep].lock() {
-            Slot::Output(bytes) => inputs.push(bytes.clone()),
-            Slot::Failed(_) => {
-                poisoned = Some(dep);
-                break;
-            }
-            Slot::Skipped { root } => {
-                poisoned = Some(*root);
-                break;
-            }
-            Slot::Pending => unreachable!("node scheduled before dependency finished"),
-        }
+impl<E> std::fmt::Debug for GraphHandle<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GraphHandle")
+            .field("submission", &self.sub.id)
+            .field("tenant", &self.sub.tenant)
+            .field("total", &sub_total(&self.sub))
+            .field("remaining", &self.sub.remaining.load(Ordering::Relaxed))
+            .field("done", &self.sub.done.load(Ordering::Relaxed))
+            .finish()
     }
-    if let Some(root) = poisoned {
-        state.finish(id, Slot::Skipped { root }, None);
-        return;
-    }
+}
 
-    let NodeWork { run: task, key } = state.tasks[id]
-        .lock()
-        .take()
-        .expect("every node executes exactly once");
-    let inputs = ActionInputs::new(inputs);
-    let started = Instant::now();
-
-    // Resolve the cache key: static keys pass through; derived keys are computed
-    // from the dependency outputs now that they exist. A panicking key derivation
-    // behaves like a panicking action (payload recorded, dependents poisoned).
-    let key = match key {
-        KeySpec::None => None,
-        KeySpec::Static(key) => Some(key),
-        KeySpec::Derived(key_of) => {
-            match std::panic::catch_unwind(AssertUnwindSafe(|| key_of(&inputs))) {
-                Ok(key) => Some(key),
-                Err(payload) => {
-                    let mut slot = state.panic_payload.lock();
-                    if slot.is_none() {
-                        *slot = Some(payload);
-                    }
-                    state.finish(id, Slot::Skipped { root: id }, None);
-                    return;
-                }
-            }
-        }
-    };
-
-    let (slot, completed): (Slot<E>, Option<bool>) = match &key {
-        Some(key) => {
-            let mut task = Some(task);
-            let mut captured: Option<E> = None;
-            let result = cache.get_or_compute_action(key, &mut || {
-                // At most one in-flight node per key per graph (the ActionGraph
-                // contract — a repeated key must be ordered after the first by a
-                // dependency edge), so the closure runs at most once even under
-                // single-flight coalescing.
-                match task.take() {
-                    Some(task) => match state.run_task(task, &inputs) {
-                        Some(Ok(bytes)) => Ok(bytes),
-                        Some(Err(error)) => {
-                            captured = Some(error);
-                            Err(ComputeFailed)
-                        }
-                        // Panicked: the payload is recorded, re-raised after the run.
-                        None => Err(ComputeFailed),
-                    },
-                    None => Err(ComputeFailed),
-                }
-            });
-            match result {
-                Ok((bytes, hit)) => (Slot::Output(Arc::new(bytes)), Some(hit)),
-                Err(ComputeFailed) => match captured {
-                    Some(error) => (Slot::Failed(error), None),
-                    // The action panicked, or the backend failed without running
-                    // it; the node poisons its dependents with itself as the root.
-                    None => (Slot::Skipped { root: id }, None),
-                },
-            }
-        }
-        None => match state.run_task(task, &inputs) {
-            Some(Ok(bytes)) => (Slot::Output(Arc::new(bytes)), Some(false)),
-            Some(Err(error)) => (Slot::Failed(error), None),
-            None => (Slot::Skipped { root: id }, None),
-        },
-    };
-    let record = completed.map(|cached| ActionRecord {
-        kind: meta.kind,
-        label: meta.label.clone(),
-        key_digest: key.as_ref().map(|k| k.digest().hex().to_string()),
-        cached,
-        queue_wait_micros: wait_micros,
-        exec_micros: started.elapsed().as_micros() as u64,
-        schedule_seq: seq,
-        job: meta.job,
-    });
-    state.finish(id, slot, record);
+fn sub_total(sub: &Submission) -> usize {
+    sub.metas.len()
 }

@@ -48,21 +48,32 @@ pub mod plan;
 pub mod policy;
 pub mod trace;
 
-pub use executor::{ActionOutputs, GraphRun, JobFailure, NodeInfo, NodeOutcome};
+pub use executor::{
+    ActionOutputs, GraphHandle, GraphRun, GraphStatus, JobFailure, NodeInfo, NodeOutcome,
+    QueueStats,
+};
 pub use graph::{ActionGraph, ActionId, ActionInputs};
 pub use plan::{add_commit_action, KeyedActionPlanner, LinkSlot, PreprocessPlanner};
-pub use policy::{CriticalPathFirst, Fifo, PolicyError, SchedulingPolicy};
+pub use policy::{CriticalPathFirst, Fifo, PolicyError, SchedulingPolicy, WeightedFair};
 pub use trace::{ActionKind, ActionRecord, ActionSummary, ActionTrace};
 
 use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 use xaas_container::{ActionCache, CacheBackend, CacheStats, ImageStore, NoCache};
 
-/// The shared execution engine: a worker pool, a cache backend, and a
+/// The shared execution engine: a persistent worker pool, a cache backend, and a
 /// [`SchedulingPolicy`].
 ///
-/// Cloning is cheap (the backend, policy, and dispatch counter are shared); every
-/// pipeline entry point of the crate ultimately executes through an `Engine`.
+/// Cloning is cheap and clones **share the worker pool** (plus the backend,
+/// policy, and dispatch counter) — that is how one engine serves many sessions:
+/// the [`OrchestratorService`](crate::service::OrchestratorService) hands every
+/// session a tenant-tagged clone, and all their submissions interleave through
+/// the pool's single multi-graph ready queue. Configure (workers / policy /
+/// tenant) *before* submitting work: the builder methods that change execution
+/// semantics start a fresh pool, so clones made earlier keep the old one.
+///
+/// The pool is spawned lazily on first submission and torn down when the last
+/// clone drops (after waiting for in-flight submissions to retire).
 #[derive(Clone)]
 pub struct Engine {
     cache: Arc<dyn CacheBackend>,
@@ -71,6 +82,11 @@ pub struct Engine {
     /// Dispatch counter shared across runs (and clones), so `schedule_seq` values in
     /// merged traces preserve the global execution order.
     seq: Arc<AtomicU64>,
+    /// The tenant tag stamped on this clone's submissions (scheduling identity
+    /// under fair queuing, attribution in traces). Per-clone: tenant clones of one
+    /// engine still share the pool.
+    tenant: Option<String>,
+    core: Arc<executor::ExecutorCore>,
 }
 
 impl Engine {
@@ -87,6 +103,8 @@ impl Engine {
             workers,
             policy: Arc::new(Fifo),
             seq: Arc::new(AtomicU64::new(0)),
+            tenant: None,
+            core: Arc::new(executor::ExecutorCore::new()),
         }
     }
 
@@ -102,12 +120,14 @@ impl Engine {
         Self::new(Arc::new(NoCache::new(store.clone())))
     }
 
-    /// Override the worker count (at least 1). One worker executes the graph with no
-    /// concurrency — the reference schedule the property tests compare parallel runs
-    /// against. (Even then, execution order is dependency-driven, not node order;
-    /// outputs and traces are assembled in node order regardless of schedule.)
+    /// Override the worker count (at least 1). One worker executes submissions with
+    /// no concurrency — the reference schedule the property tests compare parallel
+    /// runs against. (Even then, execution order is dependency-driven, not node
+    /// order; outputs and traces are assembled in node order regardless of
+    /// schedule.) Starts a fresh pool: configure before submitting work.
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.workers = workers.max(1);
+        self.core = Arc::new(executor::ExecutorCore::new());
         self
     }
 
@@ -121,10 +141,29 @@ impl Engine {
         self.with_policy_arc(Arc::new(policy))
     }
 
-    /// [`with_policy`](Self::with_policy) for an already-shared policy.
+    /// [`with_policy`](Self::with_policy) for an already-shared policy. Starts a
+    /// fresh pool: configure before submitting work.
     pub fn with_policy_arc(mut self, policy: Arc<dyn SchedulingPolicy>) -> Self {
         self.policy = policy;
+        self.core = Arc::new(executor::ExecutorCore::new());
         self
+    }
+
+    /// Tag this engine clone's submissions with a tenant: the scheduling identity
+    /// fair-queuing policies lane by, and the `tenant` attribution recorded in
+    /// [`ActionRecord`]s and [`ActionTrace`]s. The clone **shares** the pool, the
+    /// cache, and the queue with its siblings — tenancy is submission metadata,
+    /// not isolation. This is how the
+    /// [`OrchestratorService`](crate::service::OrchestratorService) multiplexes
+    /// sessions onto one engine.
+    pub fn with_tenant(mut self, tenant: impl Into<String>) -> Self {
+        self.tenant = Some(tenant.into());
+        self
+    }
+
+    /// The tenant tag of this engine clone, if any.
+    pub fn tenant(&self) -> Option<&str> {
+        self.tenant.as_deref()
     }
 
     /// The configured worker count.
@@ -152,18 +191,52 @@ impl Engine {
         self.cache.store()
     }
 
-    /// Execute `graph`: run the ready frontier across the worker pool under the
-    /// engine's scheduling policy, route keyed nodes through the cache, record a
-    /// deterministic [`ActionTrace`], and isolate failures to their transitive
-    /// dependents.
-    pub fn run<'env, E: Send>(&self, graph: ActionGraph<'env, E>) -> GraphRun<E> {
-        executor::run_graph(
-            graph,
-            self.cache.as_ref(),
+    /// Execute `graph` to completion: enqueue its ready frontier on the shared
+    /// pool under the engine's scheduling policy, route keyed nodes through the
+    /// cache, record a deterministic [`ActionTrace`], isolate failures to their
+    /// transitive dependents, and block until every node has retired.
+    ///
+    /// This is the blocking convenience over [`submit_graph`](Self::submit_graph):
+    /// the same queue, the same workers, the same interleaving with concurrent
+    /// submissions — only the caller waits in place instead of holding a
+    /// [`GraphHandle`].
+    pub fn run<'env, E: Send + 'static>(&self, graph: ActionGraph<'env, E>) -> GraphRun<E> {
+        self.core.run_blocking(
+            &self.cache,
+            &self.policy,
+            &self.seq,
             self.workers,
-            self.policy.as_ref(),
-            self.seq.clone(),
+            graph,
+            self.tenant.clone(),
         )
+    }
+
+    /// Submit `graph` without blocking and get a [`GraphHandle`] back. The
+    /// graph's actions join the pool's shared ready queue, interleaving with
+    /// every other live submission at action granularity; the handle polls,
+    /// waits, cancels, or registers a completion callback. The graph must own
+    /// its environment (`'static`) because execution outlives this call — for
+    /// borrowed environments use the blocking [`run`](Self::run).
+    pub fn submit_graph<E: Send + 'static>(
+        &self,
+        graph: ActionGraph<'static, E>,
+    ) -> GraphHandle<E> {
+        self.core.submit_graph(
+            &self.cache,
+            &self.policy,
+            &self.seq,
+            self.workers,
+            graph,
+            self.tenant.clone(),
+        )
+    }
+
+    /// A snapshot of the shared ready queue: how many actions are queued, how
+    /// many submissions still have queued work, and how many submissions are
+    /// live (admitted but not yet complete). Admission control samples this to
+    /// decide when to push back.
+    pub fn queue_stats(&self) -> QueueStats {
+        self.core.queue_stats()
     }
 }
 
@@ -436,5 +509,247 @@ mod tests {
         assert_eq!(serial.output(24), parallel.output(24));
         assert_eq!(serial.trace.stage_depth, 2);
         assert_eq!(serial.trace.len(), 25);
+    }
+
+    /// A gate an action can block on until the test releases it, `'static` so
+    /// gated graphs can be `submit_graph`ed.
+    fn gate() -> (
+        std::sync::mpsc::Sender<()>,
+        std::sync::Arc<std::sync::Mutex<std::sync::mpsc::Receiver<()>>>,
+    ) {
+        let (tx, rx) = std::sync::mpsc::channel();
+        (tx, std::sync::Arc::new(std::sync::Mutex::new(rx)))
+    }
+
+    #[test]
+    fn submit_graph_handle_polls_waits_and_fires_completion_callback() {
+        let engine = Engine::uncached(&ImageStore::new()).with_workers(2);
+        let (release, blocked) = gate();
+        let mut graph: ActionGraph<'static, std::convert::Infallible> = ActionGraph::new();
+        let held = graph.add(ActionKind::Preprocess, "held", &[], move |_| {
+            blocked.lock().unwrap().recv().ok();
+            Ok(vec![1])
+        });
+        graph.add(ActionKind::Link, "tail", &[held], |inputs| {
+            Ok(inputs.iter().next().expect("held output").to_vec())
+        });
+        let handle = engine.submit_graph(graph);
+        let status = handle.poll();
+        assert_eq!(status.total, 2);
+        assert!(!status.done);
+        assert!(!status.cancelled);
+        let (done_tx, done_rx) = std::sync::mpsc::channel();
+        handle.on_complete(move || {
+            done_tx.send(()).ok();
+        });
+        release.send(()).unwrap();
+        done_rx
+            .recv_timeout(std::time::Duration::from_secs(30))
+            .expect("completion callback fires once the last node retires");
+        let run = handle.wait();
+        assert!(run.succeeded());
+        assert_eq!(run.output(1), Some(&[1][..]));
+        assert_eq!(run.trace.len(), 2);
+
+        // A handle to an already-finished submission reports done and invokes
+        // new callbacks immediately on the caller.
+        let mut done_graph: ActionGraph<'static, std::convert::Infallible> = ActionGraph::new();
+        done_graph.add(ActionKind::Preprocess, "p", &[], |_| Ok(vec![2]));
+        let handle = engine.submit_graph(done_graph);
+        while !handle.is_done() {
+            std::thread::yield_now();
+        }
+        let fired = std::sync::Arc::new(AtomicUsize::new(0));
+        let seen = fired.clone();
+        handle.on_complete(move || {
+            seen.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+        assert!(handle.poll().done);
+    }
+
+    #[test]
+    fn cancelled_submissions_retire_undispatched_nodes_as_cancelled() {
+        // One worker: the gated node of the first submission occupies it, so the
+        // second submission is still entirely queued when it is cancelled.
+        let engine = Engine::uncached(&ImageStore::new()).with_workers(1);
+        let (release, blocked) = gate();
+        let mut first: ActionGraph<'static, std::convert::Infallible> = ActionGraph::new();
+        first.add(ActionKind::Preprocess, "held", &[], move |_| {
+            blocked.lock().unwrap().recv().ok();
+            Ok(vec![1])
+        });
+        let first_handle = engine.submit_graph(first);
+
+        let mut second: ActionGraph<'static, std::convert::Infallible> = ActionGraph::new();
+        let a = second.add(ActionKind::Preprocess, "a", &[], |_| Ok(vec![2]));
+        second.add(ActionKind::Link, "b", &[a], |_| Ok(vec![3]));
+        let second_handle = engine.submit_graph(second);
+        second_handle.cancel();
+        release.send(()).unwrap();
+
+        let first_run = first_handle.wait();
+        assert!(first_run.succeeded(), "cancellation is per-submission");
+        let second_run = second_handle.wait();
+        assert!(!second_run.succeeded());
+        assert!(second_run
+            .outcomes
+            .iter()
+            .all(|outcome| matches!(outcome, NodeOutcome::Cancelled)));
+        // Cancelled nodes never executed, so the trace records nothing.
+        assert_eq!(second_run.trace.len(), 0);
+        let failure = second_run.job_failure(usize::MAX);
+        assert!(failure.is_none(), "cancellation is not a job failure");
+    }
+
+    #[test]
+    fn concurrent_submissions_interleave_on_the_shared_queue() {
+        // One worker, FIFO: the gated node of submission 1 occupies the worker
+        // while its sibling and all of submission 2 queue behind it — so when
+        // the gate opens, the queue holds waiting actions from two submissions
+        // and the dispatched records observe ready_submissions > 1.
+        let engine = Engine::uncached(&ImageStore::new()).with_workers(1);
+        let (release, blocked) = gate();
+        let mut first: ActionGraph<'static, std::convert::Infallible> = ActionGraph::new();
+        first.add(ActionKind::Preprocess, "held", &[], move |_| {
+            blocked.lock().unwrap().recv().ok();
+            Ok(vec![1])
+        });
+        first.add(ActionKind::Preprocess, "sibling", &[], |_| Ok(vec![2]));
+        let first_handle = engine.submit_graph(first);
+
+        let mut second: ActionGraph<'static, std::convert::Infallible> = ActionGraph::new();
+        second.add(ActionKind::Preprocess, "other", &[], |_| Ok(vec![3]));
+        let second_handle = engine.submit_graph(second);
+        // Both submissions now have queued work; release the worker.
+        while engine.queue_stats().waiting_submissions < 2 {
+            std::thread::yield_now();
+        }
+        release.send(()).unwrap();
+
+        let first_run = first_handle.wait();
+        let second_run = second_handle.wait();
+        assert!(first_run.succeeded() && second_run.succeeded());
+        let depth = first_run
+            .trace
+            .max_ready_submissions()
+            .max(second_run.trace.max_ready_submissions());
+        assert!(
+            depth > 1,
+            "actions from distinct submissions share the ready queue (depth {depth})"
+        );
+    }
+
+    #[test]
+    fn weighted_fair_gives_heavy_tenants_proportionally_earlier_dispatch() {
+        // One worker and a gate: both tenants' submissions queue fully before
+        // the first dispatch, then weighted fair queuing drains the heavy lane
+        // four times as often as the light one — so the heavy submission's last
+        // action is dispatched strictly before the light one's.
+        let base = Engine::uncached(&ImageStore::new())
+            .with_workers(1)
+            .with_policy(
+                WeightedFair::new()
+                    .with_weight("heavy", 4)
+                    .with_weight("light", 1),
+            );
+        let (release, blocked) = gate();
+        let mut gate_graph: ActionGraph<'static, std::convert::Infallible> = ActionGraph::new();
+        gate_graph.add(ActionKind::Preprocess, "gate", &[], move |_| {
+            blocked.lock().unwrap().recv().ok();
+            Ok(vec![0])
+        });
+        let gate_handle = base.submit_graph(gate_graph);
+
+        let tenant_graph = |name: &'static str| {
+            let mut graph: ActionGraph<'static, std::convert::Infallible> = ActionGraph::new();
+            for unit in 0..4 {
+                graph.add(
+                    ActionKind::Preprocess,
+                    format!("{name}{unit}"),
+                    &[],
+                    move |_| Ok(vec![unit as u8]),
+                );
+            }
+            graph
+        };
+        let heavy = base.clone().with_tenant("heavy");
+        let light = base.clone().with_tenant("light");
+        let heavy_handle = heavy.submit_graph(tenant_graph("h"));
+        let light_handle = light.submit_graph(tenant_graph("l"));
+        while base.queue_stats().waiting_submissions < 2 {
+            std::thread::yield_now();
+        }
+        release.send(()).unwrap();
+
+        let heavy_run = heavy_handle.wait();
+        let light_run = light_handle.wait();
+        gate_handle.wait();
+        assert!(heavy_run.succeeded() && light_run.succeeded());
+        assert_eq!(heavy_run.trace.tenant.as_deref(), Some("heavy"));
+        assert_eq!(light_run.trace.tenant.as_deref(), Some("light"));
+        let last_seq = |run: &GraphRun<std::convert::Infallible>| {
+            run.trace
+                .records
+                .iter()
+                .map(|r| r.schedule_seq)
+                .max()
+                .unwrap()
+        };
+        assert!(
+            last_seq(&heavy_run) < last_seq(&light_run),
+            "weight 4 lane drains before weight 1 lane (heavy {} vs light {})",
+            last_seq(&heavy_run),
+            last_seq(&light_run)
+        );
+        // Queue-wait accounting is attributed per tenant.
+        let waits = heavy_run.trace.queue_wait_micros_by_tenant();
+        assert!(waits.contains_key("heavy"));
+    }
+
+    #[test]
+    fn per_tenant_quota_caps_bound_a_tenants_in_flight_actions() {
+        let in_flight = std::sync::Arc::new(AtomicUsize::new(0));
+        let peak = std::sync::Arc::new(AtomicUsize::new(0));
+        let mut graph: ActionGraph<'static, std::convert::Infallible> = ActionGraph::new();
+        for unit in 0..8 {
+            let in_flight = in_flight.clone();
+            let peak = peak.clone();
+            graph.add(ActionKind::SdCompile, format!("sd{unit}"), &[], move |_| {
+                let now = in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+                peak.fetch_max(now, Ordering::SeqCst);
+                std::thread::sleep(std::time::Duration::from_millis(2));
+                in_flight.fetch_sub(1, Ordering::SeqCst);
+                Ok(vec![unit as u8])
+            });
+        }
+        let engine = Engine::uncached(&ImageStore::new())
+            .with_workers(6)
+            .with_policy(WeightedFair::new().with_tenant_cap(ActionKind::SdCompile, 2))
+            .with_tenant("quoted");
+        let run = engine.submit_graph(graph).wait();
+        assert!(run.succeeded());
+        assert!(
+            peak.load(Ordering::SeqCst) <= 2,
+            "tenant cap of 2 exceeded: {} in flight",
+            peak.load(Ordering::SeqCst)
+        );
+        assert_eq!(run.trace.len(), 8);
+        for record in &run.trace.records {
+            assert_eq!(record.tenant.as_deref(), Some("quoted"));
+        }
+    }
+
+    #[test]
+    fn blocking_run_is_tenant_tagged_like_submissions() {
+        let engine = Engine::uncached(&ImageStore::new())
+            .with_workers(2)
+            .with_tenant("acme");
+        let mut graph: ActionGraph<'_, std::convert::Infallible> = ActionGraph::new();
+        graph.add(ActionKind::Preprocess, "p", &[], |_| Ok(vec![1]));
+        let run = engine.run(graph);
+        assert!(run.succeeded());
+        assert_eq!(run.trace.tenant.as_deref(), Some("acme"));
+        assert_eq!(run.trace.records[0].tenant.as_deref(), Some("acme"));
     }
 }

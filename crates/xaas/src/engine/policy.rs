@@ -3,7 +3,7 @@
 //! The executor treats the ready frontier as a policy question. A
 //! [`SchedulingPolicy`] answers it twice per node: *ordering* (which ready action a
 //! free worker dispatches next) and *admission* (how many actions of one
-//! [`ActionKind`] may be in flight simultaneously). Two policies ship:
+//! [`ActionKind`] may be in flight simultaneously). Three policies ship:
 //!
 //! * [`Fifo`] — the default: dispatch in readiness order, no per-kind caps. This is
 //!   the schedule the engine has always produced.
@@ -12,11 +12,16 @@
 //!   economics) and dispatch the heaviest first, optionally bounding per-kind
 //!   concurrency — e.g. a small number of `sd-compile` slots to model a licensed
 //!   system toolchain that only admits N concurrent compiles.
+//! * [`WeightedFair`] — the multi-tenant policy: weighted fair queuing across
+//!   tenant lanes (each dispatch charges the tenant's virtual clock inversely to
+//!   its weight; the lane with the lowest clock dispatches next) plus per-tenant
+//!   [`ActionKind`] quota caps layered on the global bounded-slot machinery, so
+//!   one flooding tenant cannot monopolise the pool.
 //!
 //! Policies change *when* actions run, never *what* they produce: artifacts stay
 //! byte-identical under every policy (the schedule-independence property tests
 //! cover this), and the chosen policy plus its observable effects — dispatch order,
-//! per-kind queue-wait — are recorded in the run's
+//! per-kind and per-tenant queue-wait — are recorded in the run's
 //! [`ActionTrace`](crate::engine::ActionTrace).
 
 use super::trace::ActionKind;
@@ -53,8 +58,34 @@ pub trait SchedulingPolicy: Send + Sync + fmt::Debug {
         false
     }
 
+    /// Whether the executor should keep one ready-queue lane per tenant and
+    /// dispatch by weighted fair queuing across them (`true`), instead of one
+    /// shared lane in submission order (`false`).
+    fn fair_queuing(&self) -> bool {
+        false
+    }
+
+    /// Relative scheduling weight of `tenant` under fair queuing (a tenant with
+    /// weight 2 is dispatched from twice as often as one with weight 1 when both
+    /// have work queued). `tenant` is `None` for untenanted submissions. A weight
+    /// of **zero is invalid** ([`PolicyError::ZeroWeight`]); the executor clamps
+    /// it to one rather than starve the lane.
+    fn tenant_weight(&self, _tenant: Option<&str>) -> u64 {
+        1
+    }
+
+    /// Per-tenant quota on in-flight actions of `kind`; `None` means unbounded.
+    /// Layered *under* the global [`concurrency_cap`](Self::concurrency_cap):
+    /// an action dispatches only when both admit it. Only consulted when
+    /// [`fair_queuing`](Self::fair_queuing) is on. A quota of **zero is invalid**
+    /// ([`PolicyError::ZeroTenantCap`]); the executor clamps it to one.
+    fn tenant_concurrency_cap(&self, _tenant: Option<&str>, _kind: ActionKind) -> Option<usize> {
+        None
+    }
+
     /// Check the policy for configurations the executor cannot honor (currently:
-    /// zero concurrency caps, which would make nodes of that kind unrunnable).
+    /// zero concurrency caps or quotas, which would make nodes of that kind
+    /// unrunnable, and zero tenant weights, which would starve a lane).
     fn validate(&self) -> Result<(), PolicyError> {
         for kind in ActionKind::ALL {
             if self.concurrency_cap(kind) == Some(0) {
@@ -67,13 +98,27 @@ pub trait SchedulingPolicy: Send + Sync + fmt::Debug {
 
 /// An invalid scheduling-policy configuration, surfaced as a typed error by the
 /// orchestrator before any action runs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PolicyError {
     /// The policy caps `kind` at zero concurrent actions, which would leave every
     /// node of that kind unrunnable.
     ZeroCap {
         /// The action kind with the zero cap.
         kind: ActionKind,
+    },
+    /// The policy grants a tenant a per-kind quota of zero, which would leave
+    /// every node of that kind unrunnable for the tenant.
+    ZeroTenantCap {
+        /// The tenant with the zero quota (empty for the untenanted lane).
+        tenant: String,
+        /// The action kind with the zero quota.
+        kind: ActionKind,
+    },
+    /// The policy assigns a tenant a fair-queuing weight of zero, which would
+    /// starve the tenant's lane forever.
+    ZeroWeight {
+        /// The tenant with the zero weight.
+        tenant: String,
     },
 }
 
@@ -85,6 +130,20 @@ impl fmt::Display for PolicyError {
                     f,
                     "scheduling policy caps `{kind}` at zero concurrent actions; \
                      a cap must be at least 1"
+                )
+            }
+            PolicyError::ZeroTenantCap { tenant, kind } => {
+                write!(
+                    f,
+                    "scheduling policy grants tenant `{tenant}` a zero `{kind}` quota; \
+                     a quota must be at least 1"
+                )
+            }
+            PolicyError::ZeroWeight { tenant } => {
+                write!(
+                    f,
+                    "scheduling policy assigns tenant `{tenant}` a fair-queuing weight \
+                     of zero; a weight must be at least 1"
                 )
             }
         }
@@ -219,6 +278,128 @@ impl SchedulingPolicy for CriticalPathFirst {
     }
 }
 
+/// Weighted fair queuing across tenants, with optional per-tenant quotas.
+///
+/// The executor keeps one ready-queue lane per tenant and a virtual clock per
+/// lane: each dispatched action advances its lane's clock by
+/// `action_cost / weight`, and a free worker always dispatches from the lane with
+/// the lowest clock. A tenant with weight 2 therefore receives twice the dispatch
+/// share of a weight-1 tenant while both have work queued — and a tenant that
+/// floods the queue cannot starve the others, because its lane's clock races
+/// ahead. Idle tenants re-enter at the current clock instead of replaying banked
+/// credit.
+///
+/// Per-tenant [`ActionKind`] quotas (uniform across tenants) bound how many of a
+/// tenant's actions of one kind may be in flight at once, layered under the
+/// global per-kind caps — e.g. "at most 2 concurrent `sd-compile`s per tenant, 6
+/// globally".
+///
+/// Like every policy, fairness changes *when* actions run, never what they
+/// produce: images stay byte-identical under FIFO and fair scheduling.
+#[derive(Debug, Clone)]
+pub struct WeightedFair {
+    weights: BTreeMap<String, u64>,
+    default_weight: u64,
+    caps: BTreeMap<ActionKind, usize>,
+    tenant_caps: BTreeMap<ActionKind, usize>,
+}
+
+impl WeightedFair {
+    /// Fair queuing with every tenant at weight 1 and no caps.
+    pub fn new() -> Self {
+        Self {
+            weights: BTreeMap::new(),
+            default_weight: 1,
+            caps: BTreeMap::new(),
+            tenant_caps: BTreeMap::new(),
+        }
+    }
+
+    /// Give `tenant` a specific scheduling weight (higher = larger dispatch share).
+    pub fn with_weight(mut self, tenant: impl Into<String>, weight: u64) -> Self {
+        self.weights.insert(tenant.into(), weight);
+        self
+    }
+
+    /// The weight of tenants without a [`with_weight`](Self::with_weight) entry
+    /// (default 1).
+    pub fn with_default_weight(mut self, weight: u64) -> Self {
+        self.default_weight = weight;
+        self
+    }
+
+    /// Bound the number of in-flight actions of `kind` across *all* tenants
+    /// (the global cap, identical to [`CriticalPathFirst::with_cap`]).
+    pub fn with_cap(mut self, kind: ActionKind, cap: usize) -> Self {
+        self.caps.insert(kind, cap);
+        self
+    }
+
+    /// Bound the number of in-flight actions of `kind` *per tenant* (the quota
+    /// every tenant lane gets).
+    pub fn with_tenant_cap(mut self, kind: ActionKind, cap: usize) -> Self {
+        self.tenant_caps.insert(kind, cap);
+        self
+    }
+}
+
+impl Default for WeightedFair {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SchedulingPolicy for WeightedFair {
+    fn name(&self) -> &str {
+        "weighted-fair"
+    }
+
+    fn concurrency_cap(&self, kind: ActionKind) -> Option<usize> {
+        self.caps.get(&kind).copied()
+    }
+
+    fn fair_queuing(&self) -> bool {
+        true
+    }
+
+    fn tenant_weight(&self, tenant: Option<&str>) -> u64 {
+        tenant
+            .and_then(|tenant| self.weights.get(tenant).copied())
+            .unwrap_or(self.default_weight)
+    }
+
+    fn tenant_concurrency_cap(&self, _tenant: Option<&str>, kind: ActionKind) -> Option<usize> {
+        self.tenant_caps.get(&kind).copied()
+    }
+
+    fn validate(&self) -> Result<(), PolicyError> {
+        for kind in ActionKind::ALL {
+            if self.concurrency_cap(kind) == Some(0) {
+                return Err(PolicyError::ZeroCap { kind });
+            }
+            if self.tenant_caps.get(&kind) == Some(&0) {
+                return Err(PolicyError::ZeroTenantCap {
+                    tenant: String::new(),
+                    kind,
+                });
+            }
+        }
+        if self.default_weight == 0 {
+            return Err(PolicyError::ZeroWeight {
+                tenant: String::new(),
+            });
+        }
+        for (tenant, &weight) in &self.weights {
+            if weight == 0 {
+                return Err(PolicyError::ZeroWeight {
+                    tenant: tenant.clone(),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -272,6 +453,8 @@ mod tests {
             exec_micros,
             schedule_seq: 0,
             job: None,
+            tenant: None,
+            ready_submissions: 0,
         };
         // Measured micros proportional to the default table (137 µs per cost
         // unit): the derived costs must reproduce the default table exactly, so
@@ -284,6 +467,7 @@ mod tests {
                 .collect(),
             stage_depth: 1,
             policy: String::new(),
+            tenant: None,
         };
         let measured = CriticalPathFirst::new()
             .with_cost(ActionKind::IrLower, 1) // overwritten by the measurement
@@ -305,6 +489,7 @@ mod tests {
             ],
             stage_depth: 1,
             policy: String::new(),
+            tenant: None,
         };
         let derived = CriticalPathFirst::new().with_measured_costs(&skewed);
         assert_eq!(derived.action_cost(ActionKind::Preprocess), 1);
@@ -322,6 +507,7 @@ mod tests {
             ],
             stage_depth: 1,
             policy: String::new(),
+            tenant: None,
         };
         let kept = CriticalPathFirst::new()
             .with_cost(ActionKind::Link, 4)
@@ -344,6 +530,7 @@ mod tests {
             records: vec![hit],
             stage_depth: 1,
             policy: String::new(),
+            tenant: None,
         };
         let unchanged = CriticalPathFirst::new().with_measured_costs(&warm);
         for kind in ActionKind::ALL {
@@ -362,5 +549,75 @@ mod tests {
             }
         );
         assert!(error.to_string().contains("sd-compile"));
+    }
+
+    #[test]
+    fn weighted_fair_reports_tenant_weights_and_quotas() {
+        let policy = WeightedFair::new()
+            .with_weight("gold", 4)
+            .with_default_weight(2)
+            .with_cap(ActionKind::SdCompile, 6)
+            .with_tenant_cap(ActionKind::SdCompile, 2);
+        assert_eq!(policy.name(), "weighted-fair");
+        assert!(policy.fair_queuing());
+        assert!(!policy.critical_path_first());
+        assert_eq!(policy.tenant_weight(Some("gold")), 4);
+        assert_eq!(policy.tenant_weight(Some("anonymous")), 2);
+        assert_eq!(policy.tenant_weight(None), 2);
+        assert_eq!(policy.concurrency_cap(ActionKind::SdCompile), Some(6));
+        assert_eq!(
+            policy.tenant_concurrency_cap(Some("gold"), ActionKind::SdCompile),
+            Some(2)
+        );
+        assert_eq!(
+            policy.tenant_concurrency_cap(Some("gold"), ActionKind::Link),
+            None
+        );
+        assert!(policy.validate().is_ok());
+        // The single-tenant policies stay tenant-blind.
+        assert!(!Fifo.fair_queuing());
+        assert!(!CriticalPathFirst::new().fair_queuing());
+        assert_eq!(Fifo.tenant_weight(Some("anyone")), 1);
+    }
+
+    #[test]
+    fn weighted_fair_zero_configurations_fail_validation() {
+        let zero_weight = WeightedFair::new().with_weight("starved", 0);
+        assert_eq!(
+            zero_weight.validate().unwrap_err(),
+            PolicyError::ZeroWeight {
+                tenant: "starved".to_string()
+            }
+        );
+        assert!(zero_weight
+            .validate()
+            .unwrap_err()
+            .to_string()
+            .contains("starved"));
+        let zero_default = WeightedFair::new().with_default_weight(0);
+        assert!(matches!(
+            zero_default.validate().unwrap_err(),
+            PolicyError::ZeroWeight { .. }
+        ));
+        let zero_quota = WeightedFair::new().with_tenant_cap(ActionKind::IrLower, 0);
+        assert!(matches!(
+            zero_quota.validate().unwrap_err(),
+            PolicyError::ZeroTenantCap {
+                kind: ActionKind::IrLower,
+                ..
+            }
+        ));
+        assert!(zero_quota
+            .validate()
+            .unwrap_err()
+            .to_string()
+            .contains("ir-lower"));
+        let zero_cap = WeightedFair::new().with_cap(ActionKind::Commit, 0);
+        assert_eq!(
+            zero_cap.validate().unwrap_err(),
+            PolicyError::ZeroCap {
+                kind: ActionKind::Commit
+            }
+        );
     }
 }

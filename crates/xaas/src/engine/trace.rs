@@ -117,6 +117,19 @@ pub struct ActionRecord {
     /// trace compares equal to the same job run standalone.
     #[serde(default)]
     pub job: Option<usize>,
+    /// The tenant the submitting engine was tagged with (see
+    /// [`Engine::with_tenant`](crate::engine::Engine::with_tenant)); `None` for
+    /// untenanted submissions. Attribution metadata, excluded from equality so a
+    /// tenant's build compares equal to the same build run untenanted.
+    #[serde(default)]
+    pub tenant: Option<String>,
+    /// Number of distinct submissions with actions waiting in the engine's shared
+    /// ready queue at the moment this action was dispatched (including this
+    /// one). A value above 1 is the trace-level proof that the engine interleaved
+    /// actions from concurrent submissions. Scheduling diagnostic, excluded from
+    /// equality.
+    #[serde(default)]
+    pub ready_submissions: u64,
 }
 
 impl PartialEq for ActionRecord {
@@ -163,7 +176,12 @@ impl ActionSummary {
 }
 
 /// The complete, deterministic record of one build's trip through the engine.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+///
+/// Equality ignores the `tenant` tag (like the per-record attribution metadata),
+/// so a tenant session's trace compares equal to the same build run untenanted —
+/// which is how the multi-tenant determinism tests phrase "the service changes
+/// *who* ran it, never *what* ran".
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct ActionTrace {
     /// One record per completed action, in graph-node order (scheduling-independent).
     pub records: Vec<ActionRecord>,
@@ -175,6 +193,18 @@ pub struct ActionTrace {
     /// scheduled the run under (`"fifo"`, `"critical-path-first"`, …).
     #[serde(default)]
     pub policy: String,
+    /// The tenant the submitting engine was tagged with, if any (attribution
+    /// metadata, excluded from equality).
+    #[serde(default)]
+    pub tenant: Option<String>,
+}
+
+impl PartialEq for ActionTrace {
+    fn eq(&self, other: &Self) -> bool {
+        self.records == other.records
+            && self.stage_depth == other.stage_depth
+            && self.policy == other.policy
+    }
 }
 
 impl ActionTrace {
@@ -194,6 +224,9 @@ impl ActionTrace {
         self.stage_depth += other.stage_depth;
         if self.policy.is_empty() {
             self.policy = other.policy;
+        }
+        if self.tenant.is_none() {
+            self.tenant = other.tenant;
         }
     }
 
@@ -235,6 +268,32 @@ impl ActionTrace {
             *waits.entry(record.kind).or_insert(0) += record.queue_wait_micros;
         }
         waits
+    }
+
+    /// Total ready-queue wait per tenant, in microseconds (untenanted records
+    /// accumulate under `""`). The per-tenant view of scheduling fairness: under
+    /// weighted fair queuing a heavier-weighted tenant's share of the total wait
+    /// shrinks.
+    pub fn queue_wait_micros_by_tenant(&self) -> BTreeMap<String, u64> {
+        let mut waits = BTreeMap::new();
+        for record in &self.records {
+            *waits
+                .entry(record.tenant.clone().unwrap_or_default())
+                .or_insert(0) += record.queue_wait_micros;
+        }
+        waits
+    }
+
+    /// The largest multi-graph ready-queue depth any action of this trace
+    /// observed at dispatch ([`ActionRecord::ready_submissions`]). A value above
+    /// 1 proves actions from concurrent submissions interleaved through the
+    /// engine's shared queue.
+    pub fn max_ready_submissions(&self) -> u64 {
+        self.records
+            .iter()
+            .map(|record| record.ready_submissions)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Split a union-graph trace into one trace per job tag, preserving node
@@ -287,6 +346,8 @@ mod tests {
             exec_micros: 0,
             schedule_seq: 0,
             job: None,
+            tenant: None,
+            ready_submissions: 0,
         }
     }
 
@@ -306,6 +367,7 @@ mod tests {
             records,
             stage_depth: 3,
             policy: "fifo".to_string(),
+            tenant: None,
         };
         let splits = trace.split_by_job();
         assert_eq!(splits.len(), 2);
@@ -325,6 +387,7 @@ mod tests {
             records: vec![record(ActionKind::Link, "img", None, false)],
             stage_depth: 1,
             policy: String::new(),
+            tenant: None,
         };
         assert!(untagged.split_by_job().is_empty());
     }
@@ -340,6 +403,7 @@ mod tests {
             ],
             stage_depth: 3,
             policy: String::new(),
+            tenant: None,
         };
         assert_eq!(
             trace.summary(),
@@ -358,11 +422,13 @@ mod tests {
             records: vec![record(ActionKind::IrLower, "a.ck", Some("ab12"), false)],
             stage_depth: 1,
             policy: String::new(),
+            tenant: None,
         };
         let warm = ActionTrace {
             records: vec![record(ActionKind::IrLower, "a.ck", Some("ab12"), true)],
             stage_depth: 1,
             policy: String::new(),
+            tenant: None,
         };
         assert_ne!(cold, warm, "cached flags differ");
         assert_eq!(cold.action_set(), warm.action_set());
@@ -374,11 +440,13 @@ mod tests {
             records: vec![record(ActionKind::Preprocess, "a.ck", None, false)],
             stage_depth: 1,
             policy: String::new(),
+            tenant: None,
         };
         trace.merge(ActionTrace {
             records: vec![record(ActionKind::Link, "img", None, false)],
             stage_depth: 2,
             policy: String::new(),
+            tenant: None,
         });
         assert_eq!(trace.len(), 2);
         assert_eq!(trace.stage_depth, 3);

@@ -11,6 +11,10 @@
 //!   engine, cache, store, and scheduling policy, with typed request builders
 //!   ([`IrBuildRequest`], [`IrDeployRequest`], [`SourceDeployRequest`],
 //!   [`FleetRequest`]) for every pipeline;
+//! * [`service`] — the multi-tenant front door: an [`OrchestratorService`]
+//!   multiplexing per-tenant [`Session`]s onto one shared engine, with weighted
+//!   fair scheduling across tenants and typed admission control
+//!   (backpressure/reject/drain) in front;
 //! * [`source_container`] — build a source+toolchain image once per architecture, then
 //!   specialise it on the target system (discovery → intersection → selection → build),
 //!   Figure 6;
@@ -58,6 +62,7 @@ pub mod ir_container;
 pub mod orchestrator;
 pub mod portability;
 pub mod scheduler;
+pub mod service;
 pub mod source_container;
 pub mod targets;
 
@@ -75,7 +80,8 @@ pub mod prelude {
     pub use crate::deploy::{DeployError, DeploymentStats, IrDeployment};
     pub use crate::engine::{
         ActionGraph, ActionId, ActionInputs, ActionKind, ActionRecord, ActionTrace,
-        CriticalPathFirst, Engine, Fifo, GraphRun, NodeOutcome, PolicyError, SchedulingPolicy,
+        CriticalPathFirst, Engine, Fifo, GraphHandle, GraphRun, GraphStatus, NodeOutcome,
+        PolicyError, QueueStats, SchedulingPolicy, WeightedFair,
     };
     pub use crate::gpu_compat::{
         bundle_compatibility, detect_runtime_requirement, plan_bundle, DeviceCodeBundle,
@@ -94,6 +100,10 @@ pub mod prelude {
     };
     pub use crate::portability::{table2, PortabilityEntry, PortabilityLevel};
     pub use crate::scheduler::FleetSpecializer;
+    pub use crate::service::{
+        AdmissionError, OrchestratorService, ServiceError, ServiceLimits, ServiceRequest,
+        ServiceStats, Session,
+    };
     #[allow(deprecated)]
     pub use crate::source_container::deploy_source_container;
     pub use crate::source_container::{

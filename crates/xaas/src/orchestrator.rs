@@ -110,6 +110,24 @@ impl Orchestrator {
         self
     }
 
+    /// A tenant-tagged view of this orchestrator: the clone shares the whole
+    /// stack (engine pool, cache, store, policy, dispatch counter), but every
+    /// request it runs is submitted as `tenant` — laned by fair-queuing
+    /// policies and recorded in traces. This is how the
+    /// [`service layer`](crate::service) multiplexes sessions.
+    pub fn for_tenant(&self, tenant: impl Into<String>) -> Orchestrator {
+        Orchestrator {
+            engine: self.engine.clone().with_tenant(tenant),
+            fleet_strategy: self.fleet_strategy,
+        }
+    }
+
+    /// The tenant requests are submitted as, if this is a
+    /// [`for_tenant`](Self::for_tenant) view.
+    pub fn tenant(&self) -> Option<&str> {
+        self.engine.tenant()
+    }
+
     /// The strategy [`FleetRequest`]s execute under.
     pub fn fleet_strategy(&self) -> FleetStrategy {
         self.fleet_strategy

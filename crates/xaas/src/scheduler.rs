@@ -21,6 +21,7 @@
 use crate::engine::Engine;
 use crate::ir_container::IrContainerBuild;
 use crate::orchestrator::Orchestrator;
+use crate::service::{OrchestratorService, Session};
 use xaas_buildsys::ProjectSpec;
 use xaas_container::ActionCache;
 
@@ -30,18 +31,27 @@ pub use crate::orchestrator::{FleetError, FleetOutcome, FleetReport, FleetStrate
 #[deprecated(since = "0.2.0", note = "use xaas::orchestrator::FleetTarget")]
 pub type FleetRequest = FleetTarget;
 
+/// The tenant [`FleetSpecializer`] submissions run as on the service.
+const FLEET_TENANT: &str = "fleet";
+
 /// A specializer that deploys one IR container to a fleet of systems through one
 /// shared engine, with one [`ActionCache`] across all jobs.
 ///
-/// This is a thin wrapper over
-/// [`FleetRequest`](crate::orchestrator::FleetRequest): it owns the cache and
-/// worker count, builds the orchestrator, and submits. Use the request type
-/// directly when you already have an [`Orchestrator`] session.
+/// Since the service redesign this is a thin wrapper over a single-tenant
+/// [`OrchestratorService`] [`Session`]: the specializer holds one service (one
+/// engine, one worker pool, admission control in front) and every
+/// [`specialize_fleet`](Self::specialize_fleet) wave is a
+/// [`FleetRequest`](crate::orchestrator::FleetRequest) submitted through that
+/// session — it no longer re-wires a fresh engine per call. Use the request
+/// type directly when you already have an [`Orchestrator`] session, or open
+/// your own [`Session`]s on a shared [`OrchestratorService`] for multi-tenant
+/// traffic.
 #[derive(Debug, Clone)]
 pub struct FleetSpecializer {
     cache: ActionCache,
     workers: usize,
     strategy: FleetStrategy,
+    session: Session,
 }
 
 impl FleetSpecializer {
@@ -52,24 +62,36 @@ impl FleetSpecializer {
             .map(|n| n.get())
             .unwrap_or(4)
             .clamp(2, 8);
+        Self::assemble(cache, workers, FleetStrategy::default())
+    }
+
+    /// Build the backing service + session for the given knob settings.
+    fn assemble(cache: ActionCache, workers: usize, strategy: FleetStrategy) -> Self {
+        let service = OrchestratorService::builder()
+            .action_cache(cache.clone())
+            .workers(workers)
+            .fleet_strategy(strategy)
+            .build();
+        let session = service.session(FLEET_TENANT);
         Self {
             cache,
             workers,
-            strategy: FleetStrategy::default(),
+            strategy,
+            session,
         }
     }
 
-    /// Override the engine worker count (at least 1).
-    pub fn with_workers(mut self, workers: usize) -> Self {
-        self.workers = workers.max(1);
-        self
+    /// Override the engine worker count (at least 1). Rebuilds the backing
+    /// service (the shared cache carries over, the worker pool does not).
+    pub fn with_workers(self, workers: usize) -> Self {
+        Self::assemble(self.cache, workers.max(1), self.strategy)
     }
 
     /// Override the fleet strategy (union graph vs per-job sequential
     /// submissions — the A/B knob of the `fleet_specialization` bench).
-    pub fn with_strategy(mut self, strategy: FleetStrategy) -> Self {
-        self.strategy = strategy;
-        self
+    /// Rebuilds the backing service over the same cache.
+    pub fn with_strategy(self, strategy: FleetStrategy) -> Self {
+        Self::assemble(self.cache, self.workers, strategy)
     }
 
     /// The shared action cache.
@@ -77,29 +99,61 @@ impl FleetSpecializer {
         &self.cache
     }
 
+    /// The service fleet submissions are admitted through.
+    pub fn service(&self) -> OrchestratorService {
+        self.session.service()
+    }
+
+    /// The session fleet submissions run on (tenant `"fleet"`).
+    pub fn session(&self) -> &Session {
+        &self.session
+    }
+
     /// The engine the fleet's deployment graphs are submitted to.
+    #[deprecated(
+        since = "0.6.0",
+        note = "the specializer no longer wires a private engine per call; use \
+                service()/session() — this shim returns a detached engine over \
+                the same cache"
+    )]
     pub fn engine(&self) -> Engine {
         Engine::cached(&self.cache).with_workers(self.workers)
     }
 
     /// The orchestrator session a fleet submission runs on.
+    #[deprecated(
+        since = "0.6.0",
+        note = "use session() (admission-controlled) or service().orchestrator(); \
+                this shim returns the session's tenant-tagged orchestrator view"
+    )]
     pub fn orchestrator(&self) -> Orchestrator {
-        Orchestrator::from_engine(self.engine()).with_fleet_strategy(self.strategy)
+        self.session.orchestrator().clone()
     }
 
     /// Deploy `build` for every target, deduplicating identical targets and
     /// submitting each distinct job's deployment graph to the shared engine.
     /// Outcomes are returned in request order; a failed job fails only the targets
     /// that map to it.
+    ///
+    /// The wave is admitted through the backing service like any other session
+    /// traffic ([`Session::submit_wait`] semantics: a saturated service parks
+    /// the wave rather than refusing it, so this method keeps its historical
+    /// infallible signature).
     pub fn specialize_fleet(
         &self,
         build: &IrContainerBuild,
         project: &ProjectSpec,
         targets: &[FleetTarget],
     ) -> FleetReport {
-        crate::orchestrator::FleetRequest::new(build, project)
-            .targets(targets.iter().cloned())
-            .submit(&self.orchestrator())
+        let request =
+            crate::orchestrator::FleetRequest::new(build, project).targets(targets.iter().cloned());
+        match self.session.submit_wait(request) {
+            Ok(report) => report,
+            Err(crate::service::ServiceError::Admission(error)) => {
+                unreachable!("fleet session is never drained: {error}")
+            }
+            Err(crate::service::ServiceError::Request(impossible)) => match impossible {},
+        }
     }
 }
 

@@ -109,6 +109,16 @@ fn all_nine_legacy_entry_points_still_compile_and_match_the_orchestrator() {
     // The old scheduler::FleetRequest name still denotes a per-system target.
     let legacy: xaas::scheduler::FleetRequest =
         xaas::scheduler::FleetRequest::new(system, selection, SimdLevel::Avx512);
-    let report = FleetSpecializer::new(cache).specialize_fleet(&build, &project, &[legacy]);
+    let specializer = FleetSpecializer::new(cache);
+    let report = specializer.specialize_fleet(&build, &project, &[legacy]);
     assert!(report.all_succeeded());
+
+    // The specializer's pre-service accessors keep compiling: `engine()` hands
+    // back a detached engine over the same cache, `orchestrator()` the
+    // session's tenant-tagged view. Both are deprecated in favour of
+    // `service()`/`session()`.
+    let detached: Engine = specializer.engine();
+    assert_eq!(detached.workers(), specializer.orchestrator().workers());
+    assert_eq!(specializer.orchestrator().tenant(), Some("fleet"));
+    assert_eq!(specializer.session().tenant(), "fleet");
 }

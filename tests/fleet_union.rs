@@ -527,10 +527,13 @@ fn measured_costs_reproduce_the_default_ordering_on_the_gromacs_sweep() {
                 exec_micros: defaults.action_cost(kind) * 250,
                 schedule_seq: 0,
                 job: None,
+                tenant: None,
+                ready_submissions: 0,
             })
             .collect(),
         stage_depth: 1,
         policy: String::new(),
+        tenant: None,
     };
     let measured = CriticalPathFirst::new().with_measured_costs(&mirrored);
     for kind in ActionKind::ALL {
