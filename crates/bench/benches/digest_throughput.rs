@@ -1,0 +1,49 @@
+//! Scalar SHA-256 throughput on the store's hot loop: MB/s at the payload sizes
+//! the pipeline actually hashes — small manifests (1 KiB), typical layer blobs
+//! (64 KiB), and large IR/object payloads (1 MiB).
+//!
+//! The digest is the per-byte cost floor of the content-addressed store: every
+//! `put_blob` without a known digest pays it once. The MB/s lines printed here
+//! feed the `digest_mb_per_s` field of `BENCH_<pr>.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+use xaas_container::Digest;
+
+const SIZES: &[(&str, usize)] = &[("1KiB", 1 << 10), ("64KiB", 1 << 16), ("1MiB", 1 << 20)];
+
+/// Hash `buffer` repeatedly until ~0.25 s elapses and report MB/s.
+fn throughput_mb_per_s(buffer: &[u8]) -> f64 {
+    // Warm-up: fault in the buffer and warm the schedule before timing.
+    black_box(Digest::of_bytes(buffer));
+    let started = Instant::now();
+    let mut hashed = 0usize;
+    while started.elapsed().as_secs_f64() < 0.25 {
+        black_box(Digest::of_bytes(black_box(buffer)));
+        hashed += buffer.len();
+    }
+    hashed as f64 / started.elapsed().as_secs_f64() / 1e6
+}
+
+fn bench_digest(c: &mut Criterion) {
+    for &(label, size) in SIZES {
+        let buffer: Vec<u8> = (0..size).map(|i| (i % 251) as u8).collect();
+        println!(
+            "digest_throughput/{label}: {:.1} MB/s",
+            throughput_mb_per_s(&buffer)
+        );
+    }
+
+    let mut group = c.benchmark_group("digest/sha256");
+    for &(label, size) in SIZES {
+        let buffer: Vec<u8> = (0..size).map(|i| (i % 251) as u8).collect();
+        group.bench_function(label, |b| {
+            b.iter(|| black_box(Digest::of_bytes(black_box(&buffer))));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_digest);
+criterion_main!(benches);

@@ -653,16 +653,40 @@ pub struct BenchSnapshot {
     pub engine_serial_stages: usize,
     /// The engine DAG's critical-path depth with parallel workers.
     pub engine_parallel_stage_depth: usize,
+    /// Scalar SHA-256 throughput in MB/s over a 1 MiB buffer (see the
+    /// `digest_throughput` Criterion bench for the per-size breakdown).
+    pub digest_mb_per_s: f64,
+    /// Bytes the content-addressed store deduplicated across the fleet run
+    /// (stored once, referenced many times — never re-copied or re-hashed).
+    pub store_dedup_bytes_avoided: u64,
 }
 
-/// Assemble the PR-6 snapshot from the service-load, fleet, and engine
+/// Scalar SHA-256 throughput in MB/s over a 1 MiB buffer, amortised across
+/// enough passes to dominate timer noise.
+pub fn digest_throughput_mb_per_s() -> f64 {
+    const SIZE: usize = 1 << 20;
+    const PASSES: u32 = 32;
+    let buffer: Vec<u8> = (0..SIZE).map(|i| (i % 251) as u8).collect();
+    // Warm-up pass so page faults and cache misses stay out of the timing.
+    std::hint::black_box(xaas_container::Digest::of_bytes(&buffer));
+    let started = Instant::now();
+    for _ in 0..PASSES {
+        std::hint::black_box(xaas_container::Digest::of_bytes(std::hint::black_box(
+            &buffer,
+        )));
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    (SIZE as f64 * f64::from(PASSES)) / elapsed / 1e6
+}
+
+/// Assemble the PR-7 snapshot from the service-load, fleet, and engine
 /// experiments.
 pub fn bench_snapshot() -> BenchSnapshot {
     let service = service_load();
     let fleet = crate::experiments::fleet_specialization();
     let engine = crate::experiments::engine_parallelism();
     BenchSnapshot {
-        pr: 6,
+        pr: 7,
         service,
         fleet_hit_rate: fleet.fleet_hit_rate,
         fleet_warm_rerun_hit_rate: fleet.warm_rerun_hit_rate,
@@ -670,5 +694,7 @@ pub fn bench_snapshot() -> BenchSnapshot {
         fleet_actions: fleet.fleet_actions,
         engine_serial_stages: engine.serial_stages,
         engine_parallel_stage_depth: engine.parallel_stage_depth,
+        digest_mb_per_s: digest_throughput_mb_per_s(),
+        store_dedup_bytes_avoided: fleet.store_dedup_bytes,
     }
 }

@@ -1,0 +1,187 @@
+//! Cheaply-clonable, immutable blob handles.
+//!
+//! Artifact bytes flow through the whole pipeline — store, action cache, engine
+//! executor, build/deploy drivers — and used to be copied at every hand-off. A
+//! [`Blob`] wraps the bytes in an `Arc<[u8]>` so a clone is a reference-count bump:
+//! the store, a cache hit, and every graph node that consumes the output all share
+//! one allocation.
+
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// An immutable, reference-counted byte buffer.
+///
+/// Cloning is O(1) (an atomic increment); the payload is shared and can never be
+/// mutated, which is exactly the contract a content-addressed store needs — the
+/// bytes behind a digest must not change after insertion.
+#[derive(Clone)]
+pub struct Blob(Arc<[u8]>);
+
+impl Blob {
+    /// Wrap owned bytes. The `Vec`'s buffer is moved into the shared allocation.
+    pub fn new(bytes: Vec<u8>) -> Self {
+        Blob(Arc::from(bytes))
+    }
+
+    /// Copy a borrowed slice into a new blob.
+    pub fn copy_from_slice(bytes: &[u8]) -> Self {
+        Blob(Arc::from(bytes))
+    }
+
+    /// The payload as a slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Length of the payload in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Copy the payload out into an owned `Vec<u8>`.
+    ///
+    /// This is the explicit escape hatch for callers that genuinely need owned
+    /// bytes; everything on the hot path should pass the handle along instead.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.0.to_vec()
+    }
+
+    /// Whether two handles share the same allocation (not just equal bytes).
+    /// Used by tests to prove a path is zero-copy.
+    pub fn ptr_eq(a: &Blob, b: &Blob) -> bool {
+        Arc::ptr_eq(&a.0, &b.0)
+    }
+}
+
+impl Deref for Blob {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Blob {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for Blob {
+    fn from(bytes: Vec<u8>) -> Self {
+        Blob::new(bytes)
+    }
+}
+
+impl From<&[u8]> for Blob {
+    fn from(bytes: &[u8]) -> Self {
+        Blob::copy_from_slice(bytes)
+    }
+}
+
+impl From<String> for Blob {
+    fn from(text: String) -> Self {
+        Blob::new(text.into_bytes())
+    }
+}
+
+impl PartialEq for Blob {
+    fn eq(&self, other: &Self) -> bool {
+        Blob::ptr_eq(self, other) || self.0 == other.0
+    }
+}
+
+impl Eq for Blob {}
+
+impl PartialEq<[u8]> for Blob {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<&[u8]> for Blob {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Blob {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<const N: usize> PartialEq<[u8; N]> for Blob {
+    fn eq(&self, other: &[u8; N]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl<const N: usize> PartialEq<&[u8; N]> for Blob {
+    fn eq(&self, other: &&[u8; N]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl std::hash::Hash for Blob {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.0.hash(state)
+    }
+}
+
+impl fmt::Debug for Blob {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Blob({} bytes)", self.0.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clone_shares_the_allocation() {
+        let a = Blob::new(b"payload".to_vec());
+        let b = a.clone();
+        assert!(Blob::ptr_eq(&a, &b));
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 7);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn equal_bytes_in_distinct_allocations_compare_equal() {
+        let a = Blob::new(b"same".to_vec());
+        let b = Blob::copy_from_slice(b"same");
+        assert!(!Blob::ptr_eq(&a, &b));
+        assert_eq!(a, b);
+        assert_ne!(a, Blob::new(b"other".to_vec()));
+    }
+
+    #[test]
+    fn compares_against_slices_and_vectors() {
+        let blob = Blob::from(b"abc".to_vec());
+        assert_eq!(blob, b"abc");
+        assert_eq!(blob, *b"abc");
+        assert_eq!(blob, b"abc".to_vec());
+        assert_eq!(blob, b"abc".as_slice());
+        assert_eq!(&blob[..2], b"ab");
+    }
+
+    #[test]
+    fn deref_and_to_vec_roundtrip() {
+        let blob = Blob::from("text".to_string());
+        assert_eq!(&blob[..], b"text");
+        assert_eq!(blob.to_vec(), b"text".to_vec());
+        assert_eq!(blob.as_ref(), b"text");
+        let empty = Blob::new(Vec::new());
+        assert!(empty.is_empty());
+        assert_eq!(format!("{blob:?}"), "Blob(4 bytes)");
+    }
+}

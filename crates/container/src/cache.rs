@@ -34,6 +34,7 @@
 //! the action and the rest block and reuse its output, so no [`BuildKey`] is ever built
 //! twice.
 
+use crate::blob::Blob;
 use crate::digest::Digest;
 use crate::image::{ImageError, ImageStore};
 use parking_lot::Mutex;
@@ -161,6 +162,11 @@ pub trait CacheBackend: Send + Sync {
     /// Return the cached output for `key`, or run `compute` and (for memoizing
     /// backends) store its output. The boolean is `true` on a cache hit.
     ///
+    /// The output travels as a [`Blob`] handle: a hit hands back the store's own
+    /// allocation, and a computed `Vec<u8>` is converted exactly once — downstream
+    /// consumers (the engine executor, dependent graph nodes) clone the handle, not
+    /// the bytes.
+    ///
     /// **Contract:** `compute` is invoked at most once per call, and an
     /// implementation may only return `Err(ComputeFailed)` when `compute` itself
     /// returned it — backend-internal failures (a lost blob, a network error for a
@@ -172,7 +178,7 @@ pub trait CacheBackend: Send + Sync {
         &self,
         key: &BuildKey,
         compute: &mut dyn FnMut() -> Result<Vec<u8>, ComputeFailed>,
-    ) -> Result<(Vec<u8>, bool), ComputeFailed>;
+    ) -> Result<(Blob, bool), ComputeFailed>;
 
     /// A snapshot of the backend's counters (all zeros for backends that do not track).
     fn backend_stats(&self) -> CacheStats;
@@ -187,7 +193,7 @@ impl CacheBackend for ActionCache {
         &self,
         key: &BuildKey,
         compute: &mut dyn FnMut() -> Result<Vec<u8>, ComputeFailed>,
-    ) -> Result<(Vec<u8>, bool), ComputeFailed> {
+    ) -> Result<(Blob, bool), ComputeFailed> {
         self.get_or_compute(key, compute)
     }
 
@@ -231,10 +237,10 @@ impl CacheBackend for NoCache {
         &self,
         _key: &BuildKey,
         compute: &mut dyn FnMut() -> Result<Vec<u8>, ComputeFailed>,
-    ) -> Result<(Vec<u8>, bool), ComputeFailed> {
+    ) -> Result<(Blob, bool), ComputeFailed> {
         let bytes = compute()?;
         self.stats.lock().misses += 1;
-        Ok((bytes, false))
+        Ok((Blob::new(bytes), false))
     }
 
     fn backend_stats(&self) -> CacheStats {
@@ -300,11 +306,12 @@ impl ActionCache {
     }
 
     /// Look up an action output without running anything. Does not touch hit/miss
-    /// counters — use [`ActionCache::get_or_compute`] for the accounted path.
-    pub fn peek(&self, key: &BuildKey) -> Option<Vec<u8>> {
+    /// counters — use [`ActionCache::get_or_compute`] for the accounted path. The
+    /// returned handle shares the store's allocation.
+    pub fn peek(&self, key: &BuildKey) -> Option<Blob> {
         let digest = key.digest();
         let blob = self.inner.lock().entries.get(&digest).cloned()?;
-        self.store.get_blob(&blob).ok()
+        self.store.blob(&blob).ok()
     }
 
     /// Whether the cache currently holds an output for `key`.
@@ -317,18 +324,20 @@ impl ActionCache {
     ///
     /// Concurrent callers with the same key are single-flighted: one computes, the
     /// others block until the result is stored and then read it as a (coalesced) hit.
+    /// Every caller — the computing worker, each coalesced waiter, and later hits —
+    /// receives a [`Blob`] handle onto the *same* stored allocation.
     pub fn get_or_compute<E>(
         &self,
         key: &BuildKey,
         compute: impl FnOnce() -> Result<Vec<u8>, E>,
-    ) -> Result<(Vec<u8>, bool), E> {
+    ) -> Result<(Blob, bool), E> {
         let digest = key.digest();
         let flight: Arc<Mutex<()>>;
         let guard;
         loop {
             let mut inner = self.inner.lock();
             if let Some(blob) = inner.entries.get(&digest).cloned() {
-                if let Ok(bytes) = self.store.get_blob(&blob) {
+                if let Ok(bytes) = self.store.blob(&blob) {
                     inner.stats.hits += 1;
                     return Ok((bytes, true));
                 }
@@ -370,6 +379,9 @@ impl ActionCache {
             }
         };
         inner.stats.misses += 1;
+        // Convert the computed bytes into a shared handle once; the store keeps a
+        // clone of the handle (a refcount bump), not a copy of the payload.
+        let bytes = Blob::new(bytes);
         let blob = self.store.put_blob(bytes.clone());
         self.record_entry(&mut inner, digest, blob);
         drop(guard);
@@ -377,7 +389,7 @@ impl ActionCache {
     }
 
     /// Insert an action output directly (used when the output was produced elsewhere).
-    pub fn insert(&self, key: &BuildKey, bytes: Vec<u8>) -> Digest {
+    pub fn insert(&self, key: &BuildKey, bytes: impl Into<Blob>) -> Digest {
         let blob = self.store.put_blob(bytes);
         let mut inner = self.inner.lock();
         self.record_entry(&mut inner, key.digest(), blob.clone());
@@ -502,9 +514,34 @@ mod tests {
     }
 
     #[test]
+    fn hits_and_the_store_share_one_allocation() {
+        let cache = ActionCache::new(ImageStore::new());
+        let (first, _) = cache
+            .get_or_compute(&key(3), || -> Result<Vec<u8>, ()> {
+                Ok(b"shared".to_vec())
+            })
+            .unwrap();
+        let (second, hit) = cache
+            .get_or_compute(&key(3), || -> Result<Vec<u8>, ()> { unreachable!() })
+            .unwrap();
+        assert!(hit);
+        let stored = cache
+            .store()
+            .blob(&cache.action_blob(&key(3)).unwrap())
+            .unwrap();
+        assert!(Blob::ptr_eq(&first, &stored), "miss returns store's handle");
+        assert!(Blob::ptr_eq(&second, &stored), "hit returns store's handle");
+        let peeked = cache.peek(&key(3)).unwrap();
+        assert!(
+            Blob::ptr_eq(&peeked, &stored),
+            "peek returns store's handle"
+        );
+    }
+
+    #[test]
     fn errors_are_not_cached() {
         let cache = ActionCache::new(ImageStore::new());
-        let failed: Result<(Vec<u8>, bool), &str> = cache.get_or_compute(&key(2), || Err("boom"));
+        let failed: Result<(Blob, bool), &str> = cache.get_or_compute(&key(2), || Err("boom"));
         assert_eq!(failed.unwrap_err(), "boom");
         assert_eq!(cache.stats().entries, 0);
         let (bytes, hit) = cache

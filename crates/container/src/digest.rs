@@ -54,6 +54,9 @@ impl Sha256 {
     }
 
     /// Feed bytes into the hasher.
+    ///
+    /// Full 64-byte blocks are compressed straight from the input slice — only a
+    /// trailing partial block is staged in the internal buffer.
     pub fn update(&mut self, data: &[u8]) {
         self.length_bits = self.length_bits.wrapping_add((data.len() as u64) * 8);
         let mut input = data;
@@ -64,20 +67,18 @@ impl Sha256 {
             self.buffered += take;
             input = &input[take..];
             if self.buffered == 64 {
-                let block = self.buffer;
-                self.compress(&block);
+                compress(&mut self.state, &self.buffer);
                 self.buffered = 0;
             }
         }
-        while input.len() >= 64 {
-            let mut block = [0u8; 64];
-            block.copy_from_slice(&input[..64]);
-            self.compress(&block);
-            input = &input[64..];
+        let mut blocks = input.chunks_exact(64);
+        for block in &mut blocks {
+            compress(&mut self.state, block.try_into().expect("64-byte block"));
         }
-        if !input.is_empty() {
-            self.buffer[..input.len()].copy_from_slice(input);
-            self.buffered = input.len();
+        let rest = blocks.remainder();
+        if !rest.is_empty() {
+            self.buffer[..rest.len()].copy_from_slice(rest);
+            self.buffered = rest.len();
         }
     }
 
@@ -106,55 +107,98 @@ impl Sha256 {
         self.buffer[self.buffered] = byte;
         self.buffered += 1;
         if self.buffered == 64 {
-            let block = self.buffer;
-            self.compress(&block);
+            compress(&mut self.state, &self.buffer);
             self.buffered = 0;
         }
     }
+}
 
-    fn compress(&mut self, block: &[u8; 64]) {
-        let mut w = [0u32; 64];
-        for (i, chunk) in block.chunks_exact(4).enumerate() {
-            w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
-        }
-        for i in 16..64 {
-            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
-            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
-            w[i] = w[i - 16]
-                .wrapping_add(s0)
-                .wrapping_add(w[i - 7])
-                .wrapping_add(s1);
-        }
-        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
-        for i in 0..64 {
-            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
-            let ch = (e & f) ^ ((!e) & g);
-            let temp1 = h
-                .wrapping_add(s1)
-                .wrapping_add(ch)
-                .wrapping_add(K[i])
-                .wrapping_add(w[i]);
-            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
-            let maj = (a & b) ^ (a & c) ^ (b & c);
-            let temp2 = s0.wrapping_add(maj);
-            h = g;
-            g = f;
-            f = e;
-            e = d.wrapping_add(temp1);
-            d = c;
-            c = b;
-            b = a;
-            a = temp1.wrapping_add(temp2);
-        }
-        self.state[0] = self.state[0].wrapping_add(a);
-        self.state[1] = self.state[1].wrapping_add(b);
-        self.state[2] = self.state[2].wrapping_add(c);
-        self.state[3] = self.state[3].wrapping_add(d);
-        self.state[4] = self.state[4].wrapping_add(e);
-        self.state[5] = self.state[5].wrapping_add(f);
-        self.state[6] = self.state[6].wrapping_add(g);
-        self.state[7] = self.state[7].wrapping_add(h);
+/// `σ0` of the message schedule.
+#[inline(always)]
+fn small_sigma0(x: u32) -> u32 {
+    x.rotate_right(7) ^ x.rotate_right(18) ^ (x >> 3)
+}
+
+/// `σ1` of the message schedule.
+#[inline(always)]
+fn small_sigma1(x: u32) -> u32 {
+    x.rotate_right(17) ^ x.rotate_right(19) ^ (x >> 10)
+}
+
+/// One SHA-256 compression. A free function over disjoint `state`/`block` borrows so
+/// [`Sha256::update`] can feed full blocks straight from the input slice, and partial
+/// blocks from the internal buffer, without staging copies.
+///
+/// The 64 rounds are fully unrolled as eight 8-round groups whose working variables are
+/// rotated in the macro arguments, so the per-round eight-way shuffle of `a…h` costs
+/// nothing at runtime; the message schedule lives in a rolling 16-word window updated in
+/// place instead of a precomputed 64-word array.
+// The ring-buffer writes of rounds 62–63 have no later reader; keeping the round
+// macro uniform is worth the two dead stores (the optimizer drops them anyway).
+#[allow(unused_assignments)]
+fn compress(state: &mut [u32; 8], block: &[u8; 64]) {
+    let mut w = [0u32; 16];
+    for (word, chunk) in w.iter_mut().zip(block.chunks_exact(4)) {
+        *word = u32::from_be_bytes(chunk.try_into().expect("4-byte chunk"));
     }
+
+    let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = *state;
+
+    macro_rules! round {
+        ($a:ident, $b:ident, $c:ident, $d:ident, $e:ident, $f:ident, $g:ident, $h:ident, $t:expr) => {{
+            const T: usize = $t;
+            let wt = if T < 16 {
+                w[T & 15]
+            } else {
+                let next = w[T & 15]
+                    .wrapping_add(small_sigma0(w[(T + 1) & 15]))
+                    .wrapping_add(w[(T + 9) & 15])
+                    .wrapping_add(small_sigma1(w[(T + 14) & 15]));
+                w[T & 15] = next;
+                next
+            };
+            let t1 = $h
+                .wrapping_add($e.rotate_right(6) ^ $e.rotate_right(11) ^ $e.rotate_right(25))
+                .wrapping_add(($e & $f) ^ (!$e & $g))
+                .wrapping_add(K[T])
+                .wrapping_add(wt);
+            let t2 = ($a.rotate_right(2) ^ $a.rotate_right(13) ^ $a.rotate_right(22))
+                .wrapping_add(($a & $b) ^ ($a & $c) ^ ($b & $c));
+            $d = $d.wrapping_add(t1);
+            $h = t1.wrapping_add(t2);
+        }};
+    }
+
+    macro_rules! eight_rounds {
+        ($t:expr) => {{
+            round!(a, b, c, d, e, f, g, h, $t);
+            round!(h, a, b, c, d, e, f, g, $t + 1);
+            round!(g, h, a, b, c, d, e, f, $t + 2);
+            round!(f, g, h, a, b, c, d, e, $t + 3);
+            round!(e, f, g, h, a, b, c, d, $t + 4);
+            round!(d, e, f, g, h, a, b, c, $t + 5);
+            round!(c, d, e, f, g, h, a, b, $t + 6);
+            round!(b, c, d, e, f, g, h, a, $t + 7);
+        }};
+    }
+
+    eight_rounds!(0);
+    eight_rounds!(8);
+    eight_rounds!(16);
+    eight_rounds!(24);
+    eight_rounds!(32);
+    eight_rounds!(40);
+    eight_rounds!(48);
+    eight_rounds!(56);
+
+    state[0] = state[0].wrapping_add(a);
+    state[1] = state[1].wrapping_add(b);
+    state[2] = state[2].wrapping_add(c);
+    state[3] = state[3].wrapping_add(d);
+    state[4] = state[4].wrapping_add(e);
+    state[5] = state[5].wrapping_add(f);
+    state[6] = state[6].wrapping_add(g);
+    state[7] = state[7].wrapping_add(h);
 }
 
 /// Compute the SHA-256 digest of `data` in one call.
@@ -313,6 +357,19 @@ mod tests {
             h.update(&data[split..]);
             assert_eq!(h.finalize(), oneshot, "split at {split} diverged");
         }
+    }
+
+    #[test]
+    fn unaligned_and_odd_chunked_inputs_hash_identically() {
+        // Hash from an offset slice (unaligned start) in odd-sized chunks: the
+        // direct-from-input block path must agree with the one-shot result.
+        let data: Vec<u8> = (0..8192u32).map(|i| (i as u8).wrapping_mul(31)).collect();
+        let oneshot = sha256(&data[3..]);
+        let mut h = Sha256::new();
+        for chunk in data[3..].chunks(97) {
+            h.update(chunk);
+        }
+        assert_eq!(h.finalize(), oneshot);
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! the paper discusses when it points out that deployment-time rebuilds necessarily
 //! produce a *new* image with a new digest (Section 5.2).
 
+use crate::blob::Blob;
 use crate::digest::Digest;
 use crate::layer::{Layer, RootFs};
 use crate::oci::{
@@ -222,10 +223,11 @@ pub struct ImageStore {
 
 #[derive(Default)]
 struct StoreInner {
-    blobs: BTreeMap<Digest, Vec<u8>>,
+    blobs: BTreeMap<Digest, Blob>,
     tags: BTreeMap<String, Digest>,
     dedup_hits: u64,
     dedup_bytes: u64,
+    digests_computed: u64,
 }
 
 /// Blob-level statistics of an [`ImageStore`].
@@ -239,6 +241,9 @@ pub struct StoreStats {
     pub dedup_hits: u64,
     /// Bytes of those short-circuited puts — storage the content addressing saved.
     pub dedup_bytes: u64,
+    /// SHA-256 digests the store computed over full payloads. Insertions through
+    /// [`ImageStore::put_blob_with_digest`] skip the hash and do not count here.
+    pub digests_computed: u64,
 }
 
 impl ImageStore {
@@ -250,26 +255,65 @@ impl ImageStore {
     /// Insert a raw blob, returning its digest. Idempotent: a duplicate digest is
     /// short-circuited without storing (the bytes are dropped) and recorded in the
     /// dedup statistics.
-    pub fn put_blob(&self, bytes: Vec<u8>) -> Digest {
-        let digest = Digest::of_bytes(&bytes);
+    ///
+    /// Accepts anything convertible into a [`Blob`]; passing an existing handle
+    /// costs a reference-count bump, not a byte copy.
+    pub fn put_blob(&self, bytes: impl Into<Blob>) -> Digest {
+        let blob = bytes.into();
+        let digest = Digest::of_bytes(&blob);
         let mut inner = self.inner.write();
-        if inner.blobs.contains_key(&digest) {
-            inner.dedup_hits += 1;
-            inner.dedup_bytes += bytes.len() as u64;
-            return digest;
-        }
-        inner.blobs.insert(digest.clone(), bytes);
+        inner.digests_computed += 1;
+        Self::insert_locked(&mut inner, digest.clone(), blob);
         digest
     }
 
-    /// Fetch a blob by digest.
-    pub fn get_blob(&self, digest: &Digest) -> Result<Vec<u8>, ImageError> {
+    /// Insert a blob whose digest the caller already knows, skipping the hash.
+    ///
+    /// This is the fast path for dedup fan-out: a cache or registry that already
+    /// identified the content (the digest travels with the descriptor) must not pay
+    /// to re-hash the payload just to discover the store already holds it. The
+    /// digest/payload correspondence is the caller's contract; debug builds verify
+    /// it, release builds trust it.
+    pub fn put_blob_with_digest(&self, digest: Digest, bytes: impl Into<Blob>) -> Digest {
+        let blob = bytes.into();
+        debug_assert_eq!(
+            Digest::of_bytes(&blob),
+            digest,
+            "put_blob_with_digest called with a digest that does not match the payload"
+        );
+        let mut inner = self.inner.write();
+        Self::insert_locked(&mut inner, digest.clone(), blob);
+        digest
+    }
+
+    /// Shared insertion path: dedup bookkeeping plus the actual map insert.
+    fn insert_locked(inner: &mut StoreInner, digest: Digest, blob: Blob) {
+        if inner.blobs.contains_key(&digest) {
+            inner.dedup_hits += 1;
+            inner.dedup_bytes += blob.len() as u64;
+            return;
+        }
+        inner.blobs.insert(digest, blob);
+    }
+
+    /// Fetch a blob handle by digest. The returned [`Blob`] shares the store's
+    /// allocation — cloning or passing it on never copies the payload.
+    pub fn blob(&self, digest: &Digest) -> Result<Blob, ImageError> {
         self.inner
             .read()
             .blobs
             .get(digest)
             .cloned()
             .ok_or_else(|| ImageError::MissingBlob(digest.clone()))
+    }
+
+    /// Fetch a blob by digest as owned bytes.
+    #[deprecated(
+        since = "0.7.0",
+        note = "copies the payload; use `ImageStore::blob` for a zero-copy handle"
+    )]
+    pub fn get_blob(&self, digest: &Digest) -> Result<Vec<u8>, ImageError> {
+        self.blob(digest).map(|b| b.to_vec())
     }
 
     /// Whether the store holds a blob.
@@ -297,6 +341,11 @@ impl ImageStore {
         self.inner.read().dedup_bytes
     }
 
+    /// How many full-payload SHA-256 digests the store has computed.
+    pub fn digests_computed(&self) -> u64 {
+        self.inner.read().digests_computed
+    }
+
     /// A snapshot of the blob-level statistics.
     pub fn stats(&self) -> StoreStats {
         let inner = self.inner.read();
@@ -305,6 +354,7 @@ impl ImageStore {
             total_bytes: inner.blobs.values().map(|b| b.len() as u64).sum(),
             dedup_hits: inner.dedup_hits,
             dedup_bytes: inner.dedup_bytes,
+            digests_computed: inner.digests_computed,
         }
     }
 
@@ -373,13 +423,13 @@ impl ImageStore {
 
     /// Load a manifest blob.
     pub fn manifest(&self, digest: &Digest) -> Result<Manifest, ImageError> {
-        let bytes = self.get_blob(digest)?;
+        let bytes = self.blob(digest)?;
         serde_json::from_slice(&bytes).map_err(|e| ImageError::Corrupt(format!("manifest: {e}")))
     }
 
     /// Load a config blob.
     pub fn config(&self, digest: &Digest) -> Result<ImageConfig, ImageError> {
-        let bytes = self.get_blob(digest)?;
+        let bytes = self.blob(digest)?;
         serde_json::from_slice(&bytes).map_err(|e| ImageError::Corrupt(format!("config: {e}")))
     }
 
@@ -390,7 +440,7 @@ impl ImageStore {
         let config = self.config(&manifest.config.digest)?;
         let mut layers = Vec::with_capacity(manifest.layers.len());
         for desc in &manifest.layers {
-            let bytes = self.get_blob(&desc.digest)?;
+            let bytes = self.blob(&desc.digest)?;
             let layer = Layer::from_archive(&bytes)
                 .map_err(|e| ImageError::Corrupt(format!("layer {}: {e}", desc.digest)))?;
             layers.push(layer);
@@ -429,7 +479,7 @@ impl ImageStore {
     /// Load an image index by reference.
     pub fn load_index(&self, reference: &str) -> Result<ImageIndex, ImageError> {
         let digest = self.resolve(reference)?;
-        let bytes = self.get_blob(&digest)?;
+        let bytes = self.blob(&digest)?;
         serde_json::from_slice(&bytes).map_err(|e| ImageError::Corrupt(format!("index: {e}")))
     }
 }
@@ -488,6 +538,45 @@ mod tests {
         assert_eq!(stats.dedup_hits, 1);
         assert_eq!(stats.dedup_bytes, payload.len() as u64);
         assert_eq!(store.dedup_bytes(), payload.len() as u64);
+    }
+
+    #[test]
+    fn blob_handle_shares_the_stored_allocation() {
+        let store = ImageStore::new();
+        let digest = store.put_blob(b"zero-copy".to_vec());
+        let a = store.blob(&digest).unwrap();
+        let b = store.blob(&digest).unwrap();
+        assert!(Blob::ptr_eq(&a, &b), "handles share the store's allocation");
+        assert_eq!(a, b"zero-copy");
+        assert!(matches!(
+            store.blob(&Digest::of_str("missing")),
+            Err(ImageError::MissingBlob(_))
+        ));
+    }
+
+    #[test]
+    fn put_blob_with_digest_skips_hashing_and_still_dedups() {
+        let store = ImageStore::new();
+        let payload = Blob::new(b"known-content".to_vec());
+        let digest = Digest::of_bytes(&payload);
+        assert_eq!(store.digests_computed(), 0);
+        let d1 = store.put_blob_with_digest(digest.clone(), payload.clone());
+        assert_eq!(d1, digest);
+        assert_eq!(
+            store.digests_computed(),
+            0,
+            "caller-supplied digest trusted"
+        );
+        let d2 = store.put_blob_with_digest(digest.clone(), payload.clone());
+        assert_eq!(d2, digest);
+        let stats = store.stats();
+        assert_eq!(stats.blob_count, 1);
+        assert_eq!(stats.dedup_hits, 1);
+        assert_eq!(stats.dedup_bytes, payload.len() as u64);
+        assert_eq!(stats.digests_computed, 0);
+        // The regular path hashes exactly once per put.
+        store.put_blob(b"fresh".to_vec());
+        assert_eq!(store.digests_computed(), 1);
     }
 
     #[test]

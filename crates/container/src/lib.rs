@@ -28,6 +28,7 @@
 
 #![warn(missing_docs)]
 
+pub mod blob;
 pub mod cache;
 pub mod digest;
 pub mod image;
@@ -39,6 +40,7 @@ pub mod runtime;
 
 /// Commonly used types re-exported together.
 pub mod prelude {
+    pub use crate::blob::Blob;
     pub use crate::cache::{
         ActionCache, BuildKey, CacheBackend, CacheReport, CacheStats, ComputeFailed, NoCache,
     };

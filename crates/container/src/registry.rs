@@ -142,7 +142,7 @@ impl Registry {
         let config = self.store.config(&manifest.config.digest)?;
         let mut layers = Vec::new();
         for desc in &manifest.layers {
-            let bytes = local.get_blob(&desc.digest)?;
+            let bytes = local.blob(&desc.digest)?;
             layers.push(
                 crate::layer::Layer::from_archive(&bytes)
                     .map_err(|e| RegistryError::Store(ImageError::Corrupt(e.to_string())))?,
@@ -205,24 +205,26 @@ impl Registry {
         manifest_digest: &Digest,
     ) -> Result<TransferStats, RegistryError> {
         let mut stats = TransferStats::default();
-        let manifest_bytes = from.get_blob(manifest_digest)?;
+        let manifest_bytes = from.blob(manifest_digest)?;
         let manifest = from.manifest(manifest_digest)?;
         let mut referenced: Vec<Descriptor> = vec![manifest.config.clone()];
         referenced.extend(manifest.layers.iter().cloned());
+        // Every descriptor carries its digest, so the destination store never
+        // re-hashes the payload, and the transferred "bytes" are shared handles.
         for desc in referenced {
             if to.has_blob(&desc.digest) {
                 stats.blobs_reused += 1;
                 continue;
             }
-            let bytes = from.get_blob(&desc.digest)?;
+            let bytes = from.blob(&desc.digest)?;
             stats.bytes_transferred += bytes.len() as u64;
             stats.blobs_transferred += 1;
-            to.put_blob(bytes);
+            to.put_blob_with_digest(desc.digest, bytes);
         }
         if !to.has_blob(manifest_digest) {
             stats.bytes_transferred += manifest_bytes.len() as u64;
             stats.blobs_transferred += 1;
-            to.put_blob(manifest_bytes);
+            to.put_blob_with_digest(manifest_digest.clone(), manifest_bytes);
         } else {
             stats.blobs_reused += 1;
         }

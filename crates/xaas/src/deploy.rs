@@ -490,6 +490,10 @@ pub(crate) fn graft_ir_deploy<'env>(
             &artifact_actions,
             move |inputs| {
                 let mut machine_modules: BTreeMap<String, MachineModule> = BTreeMap::new();
+                // file → producing dependency output: the artifact actions emit exactly
+                // the serialised machine module, so the layer below reuses those bytes
+                // instead of re-serialising every module a second time.
+                let mut machine_bytes: BTreeMap<String, &xaas_container::Blob> = BTreeMap::new();
                 let mut vectorization = VectorizationReport::default();
                 let mut stats = DeploymentStats::default();
                 for (index, task) in plan.tasks.iter().enumerate() {
@@ -511,6 +515,7 @@ pub(crate) fn graft_ir_deploy<'env>(
                             stats.compiled_source_units += 1;
                         }
                         machine_modules.insert(file.to_string(), machine.clone());
+                        machine_bytes.insert(file.to_string(), inputs.dep_blob(index));
                     }
                 }
                 stats.vectorized_loops = vectorization.vectorized_count();
@@ -531,10 +536,10 @@ pub(crate) fn graft_ir_deploy<'env>(
 
                 let mut lowered =
                     Layer::new(format!("RUN xaas lower --target {}", plan.target.name));
-                for (file, machine) in &machine_modules {
+                for (file, bytes) in &machine_bytes {
                     lowered.add_file(
                         format!("/xaas/obj/{}.o", file.replace('/', "_")),
-                        serde_json::to_vec(machine).expect("machine module serialises"),
+                        bytes.to_vec(),
                     );
                 }
                 for target_spec in &plan.project.targets {

@@ -40,7 +40,7 @@ use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex as StdMutex, OnceLock};
 use std::time::Instant;
-use xaas_container::{BuildKey, CacheBackend, ComputeFailed};
+use xaas_container::{Blob, BuildKey, CacheBackend, ComputeFailed};
 
 /// Number of distinct [`ActionKind`]s (dense per-kind accounting arrays).
 const KINDS: usize = ActionKind::ALL.len();
@@ -48,8 +48,9 @@ const KINDS: usize = ActionKind::ALL.len();
 /// The terminal state of one node after a run.
 #[derive(Debug)]
 pub enum NodeOutcome<E> {
-    /// The node completed (executed or cache-served) with these output bytes.
-    Output(Arc<Vec<u8>>),
+    /// The node completed (executed or cache-served) with this output blob. The
+    /// handle shares its allocation with the cache/store and every dependent node.
+    Output(Blob),
     /// The node's closure returned this error.
     Failed(E),
     /// The node was skipped because `root` (a transitive dependency) failed.
@@ -77,8 +78,9 @@ impl<E> NodeOutcome<E> {
     }
 }
 
-/// The per-node output blobs of a completed run, in node order.
-pub type ActionOutputs = Vec<Arc<Vec<u8>>>;
+/// The per-node output blobs of a completed run, in node order. Each entry is a
+/// cheaply-clonable handle; taking one out of the run never copies the payload.
+pub type ActionOutputs = Vec<Blob>;
 
 /// Static description of one node of a completed run: its stage, human-readable
 /// label, and the job tag it was grafted under (see
@@ -272,7 +274,7 @@ unsafe fn assume_static(nodes: Vec<ErasedNode<'_>>) -> Vec<ErasedNode<'static>> 
 
 enum Slot {
     Pending,
-    Output(Arc<Vec<u8>>),
+    Output(Blob),
     Failed(ErasedError),
     Skipped { root: ActionId },
     Cancelled,
@@ -932,7 +934,9 @@ impl CoreShared {
                     }
                 });
                 match result {
-                    Ok((bytes, hit)) => (Slot::Output(Arc::new(bytes)), Some(hit)),
+                    // The backend's Blob handle goes straight into the slot: a hit
+                    // shares the store's allocation with every consumer.
+                    Ok((blob, hit)) => (Slot::Output(blob), Some(hit)),
                     Err(ComputeFailed) => match captured {
                         Some(error) => (Slot::Failed(error), None),
                         // The action panicked, or the backend failed without running
@@ -942,7 +946,7 @@ impl CoreShared {
                 }
             }
             None => match self.run_task(&sub, task, &inputs) {
-                Some(Ok(bytes)) => (Slot::Output(Arc::new(bytes)), Some(false)),
+                Some(Ok(bytes)) => (Slot::Output(Blob::new(bytes)), Some(false)),
                 Some(Err(error)) => (Slot::Failed(error), None),
                 None => (Slot::Skipped { root: node }, None),
             },

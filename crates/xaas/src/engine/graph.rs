@@ -8,8 +8,7 @@
 //! path.
 
 use super::trace::ActionKind;
-use std::sync::Arc;
-use xaas_container::BuildKey;
+use xaas_container::{Blob, BuildKey};
 
 /// Index of a node inside one [`ActionGraph`] (valid only for that graph).
 pub type ActionId = usize;
@@ -17,16 +16,22 @@ pub type ActionId = usize;
 /// The outputs of a node's dependencies, in the order the dependencies were declared.
 #[derive(Debug, Clone, Default)]
 pub struct ActionInputs {
-    outputs: Vec<Arc<Vec<u8>>>,
+    outputs: Vec<Blob>,
 }
 
 impl ActionInputs {
-    pub(crate) fn new(outputs: Vec<Arc<Vec<u8>>>) -> Self {
+    pub(crate) fn new(outputs: Vec<Blob>) -> Self {
         Self { outputs }
     }
 
     /// The output bytes of the `index`-th declared dependency.
     pub fn dep(&self, index: usize) -> &[u8] {
+        &self.outputs[index]
+    }
+
+    /// The `index`-th dependency output as a shared [`Blob`] handle — clone it to
+    /// reuse the dependency's bytes (e.g. as a layer payload) without copying.
+    pub fn dep_blob(&self, index: usize) -> &Blob {
         &self.outputs[index]
     }
 

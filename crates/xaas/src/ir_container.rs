@@ -717,6 +717,10 @@ pub(crate) fn run_ir_build(
             move |inputs| {
                 let mut manifests = manifests;
                 let mut units: BTreeMap<String, IrUnit> = BTreeMap::new();
+                // id → the producing action's output: the lower actions emit exactly
+                // `bitcode::encode(&module)`, so the IR layer below reuses those bytes
+                // instead of re-encoding every deduplicated unit.
+                let mut unit_bytes: BTreeMap<String, &xaas_container::Blob> = BTreeMap::new();
                 let mut key_to_id: BTreeMap<String, String> = BTreeMap::new();
                 for (index, key) in ordered_keys.iter().enumerate() {
                     let (file, ..) = &final_keys[*key];
@@ -724,6 +728,9 @@ pub(crate) fn run_ir_build(
                         .map_err(|e| IrPipelineError::Cache(format!("bitcode for {file}: {e}")))?;
                     let id = bitcode::content_id(&module);
                     key_to_id.insert((*key).clone(), id.clone());
+                    unit_bytes
+                        .entry(id.clone())
+                        .or_insert_with(|| inputs.dep_blob(key_positions[index]));
                     units.entry(id.clone()).or_insert(IrUnit {
                         id,
                         source_file: file.clone(),
@@ -781,11 +788,8 @@ pub(crate) fn run_ir_build(
                 image.push_layer(sources);
 
                 let mut ir_layer = Layer::new(format!("ADD {} deduplicated IR files", units.len()));
-                for unit in units.values() {
-                    ir_layer.add_file(
-                        format!("{}/{}.xbc", paths::IR_ROOT, unit.id),
-                        bitcode::encode(&unit.module),
-                    );
+                for (id, bytes) in &unit_bytes {
+                    ir_layer.add_file(format!("{}/{}.xbc", paths::IR_ROOT, id), bytes.to_vec());
                 }
                 image.push_layer(ir_layer);
 

@@ -7,6 +7,7 @@
 //! must be delayed until the target is known (Section 4.3).
 
 use crate::ast::{BinOp, Type};
+use crate::memo::DigestCell;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -366,6 +367,11 @@ pub struct IrModule {
     pub functions: Vec<IrFunction>,
     /// Compilation metadata.
     pub metadata: ModuleMetadata,
+    /// Memoized [`content_digest`](IrModule::content_digest) — an identity cache,
+    /// ignored by equality and serialization; cloning resets it (see
+    /// [`crate::memo::DigestCell`]).
+    #[serde(default, skip_serializing_if = "DigestCell::skip")]
+    pub digest_memo: DigestCell,
 }
 
 impl IrModule {
@@ -392,8 +398,12 @@ impl IrModule {
     /// A stable hexadecimal content digest of the module (identical to the bitcode
     /// content identity): same module → same digest, across processes and sessions.
     /// Build caches key lowered artifacts on this without re-encoding the module.
+    ///
+    /// The digest is computed once and memoized; mutate a *clone* (which resets the
+    /// memo), never a module whose digest was already observed.
     pub fn content_digest(&self) -> String {
-        crate::bitcode::content_id(self)
+        self.digest_memo
+            .get_or_init(|| crate::bitcode::content_id(self))
     }
 
     /// Render a readable textual form (useful in tests and debugging).
@@ -514,6 +524,7 @@ mod tests {
             name: "axpy".into(),
             source_file: "axpy.ck".into(),
             metadata: ModuleMetadata::default(),
+            digest_memo: crate::memo::DigestCell::new(),
             functions: vec![IrFunction {
                 name: "axpy".into(),
                 is_kernel: true,

@@ -39,6 +39,7 @@ pub mod interp;
 pub mod ir;
 pub mod lex;
 pub mod lower;
+pub mod memo;
 pub mod openmp;
 pub mod parse;
 pub mod passes;
@@ -51,6 +52,7 @@ use std::fmt;
 pub use ast::TranslationUnit;
 pub use interp::{Interpreter, RunResult, Value};
 pub use ir::{IrFunction, IrModule, IrOp, ModuleMetadata, Operand};
+pub use memo::DigestCell;
 pub use openmp::OpenMpReport;
 pub use passes::OptLevel;
 pub use preprocess::{Definitions, PreprocessedUnit};

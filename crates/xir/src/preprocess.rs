@@ -8,6 +8,7 @@
 //! object-like macros, conditional compilation, includes, and macro substitution — plus a
 //! stable content hash of the result.
 
+use crate::memo::DigestCell;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -125,6 +126,10 @@ pub struct PreprocessedUnit {
     pub used_definitions: Vec<String>,
     /// Headers that were included.
     pub included_headers: Vec<String>,
+    /// Memoized [`content_digest`](PreprocessedUnit::content_digest) — an identity
+    /// cache, ignored by equality and serialization (see [`crate::memo::DigestCell`]).
+    #[serde(default, skip_serializing_if = "DigestCell::skip")]
+    pub digest_memo: DigestCell,
 }
 
 impl PreprocessedUnit {
@@ -136,9 +141,11 @@ impl PreprocessedUnit {
 
     /// The content hash rendered as a stable hexadecimal digest, suitable as the
     /// `tu_digest` component of a build-cache key: derivable from the preprocessed text
-    /// alone, without parsing, lowering, or compiling anything.
+    /// alone, without parsing, lowering, or compiling anything. Computed once per
+    /// unit and memoized (units are frozen after construction).
     pub fn content_digest(&self) -> String {
-        format!("{:016x}", self.content_hash())
+        self.digest_memo
+            .get_or_init(|| format!("{:016x}", self.content_hash()))
     }
 }
 
@@ -188,6 +195,7 @@ pub fn preprocess(
         text: canonical,
         used_definitions: used,
         included_headers: included,
+        digest_memo: DigestCell::new(),
     })
 }
 

@@ -7,6 +7,7 @@
 
 use crate::ast::BinOp;
 use crate::ir::{IrFunction, IrModule, IrOp, Operand};
+use crate::memo::DigestCell;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
 use std::fmt;
@@ -282,6 +283,10 @@ pub struct MachineModule {
     pub functions: Vec<MachineFunction>,
     /// The vectorisation report produced during lowering.
     pub vectorization: VectorizationReport,
+    /// Memoized [`content_digest`](MachineModule::content_digest) — an identity
+    /// cache, ignored by equality and serialization (see [`crate::memo::DigestCell`]).
+    #[serde(default, skip_serializing_if = "DigestCell::skip")]
+    pub digest_memo: DigestCell,
 }
 
 impl MachineModule {
@@ -297,9 +302,12 @@ impl MachineModule {
 
     /// A stable hexadecimal content digest of the serialised machine module. The
     /// serialisation is deterministic, so equal modules always share a digest.
+    /// Computed once and memoized — machine modules are frozen artifacts.
     pub fn content_digest(&self) -> String {
-        let bytes = serde_json::to_vec(self).expect("machine modules always serialise");
-        format!("{:016x}", crate::preprocess::fnv1a(&bytes))
+        self.digest_memo.get_or_init(|| {
+            let bytes = serde_json::to_vec(self).expect("machine modules always serialise");
+            format!("{:016x}", crate::preprocess::fnv1a(&bytes))
+        })
     }
 }
 
@@ -332,6 +340,7 @@ pub fn lower_to_machine(module: &IrModule, target: &TargetIsa) -> MachineModule 
         target: target.clone(),
         functions,
         vectorization,
+        digest_memo: crate::memo::DigestCell::new(),
     }
 }
 

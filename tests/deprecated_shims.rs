@@ -121,4 +121,10 @@ fn all_nine_legacy_entry_points_still_compile_and_match_the_orchestrator() {
     assert_eq!(detached.workers(), specializer.orchestrator().workers());
     assert_eq!(specializer.orchestrator().tenant(), Some("fleet"));
     assert_eq!(specializer.session().tenant(), "fleet");
+
+    // The by-value `get_blob` keeps compiling with its historical signature and
+    // returns the same bytes the zero-copy `blob` handle exposes.
+    let digest = store.put_blob(b"shim payload".to_vec());
+    let copied: Vec<u8> = store.get_blob(&digest).unwrap();
+    assert_eq!(copied, store.blob(&digest).unwrap().as_slice());
 }
