@@ -162,7 +162,7 @@ fn run(section: &str) {
         }
         "service" => {
             // Banner on stderr so stdout stays machine-readable JSON (`reproduce service | jq .`).
-            eprintln!("== Multi-tenant service: concurrent mixed load from 6 sessions ==");
+            eprintln!("== Multi-tenant service: concurrent mixed load from 16 sessions ==");
             let experiment = experiments::service_load();
             println!(
                 "{}",

@@ -1,15 +1,17 @@
-//! The service-layer load generator: hundreds of concurrent mixed
-//! build/deploy/fleet requests from several tenants driven through one
-//! [`OrchestratorService`], measuring throughput, latency percentiles,
-//! cross-session interleaving, typed admission-control refusals, and the
-//! fairness effect of weighted fair queuing — all while checking that the
-//! artifacts stay byte-identical to a single-session sequential baseline.
+//! The service-layer load generator: thousands of concurrent mixed
+//! build/deploy/fleet requests from over a dozen tenants driven through one
+//! [`OrchestratorService`], measuring throughput, latency percentiles (up to
+//! p999), continuation park/wake traffic, cross-session interleaving, typed
+//! admission-control refusals, and the fairness effect of weighted fair
+//! queuing — all while checking that the artifacts stay byte-identical to a
+//! single-session sequential baseline.
 
 use serde::Serialize;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use xaas::engine::ActionGraph;
 use xaas::prelude::*;
 use xaas::service::{AdmissionError, OrchestratorService, ServiceError, ServiceLimits, Session};
@@ -27,6 +29,9 @@ pub struct LatencySummary {
     pub p95_ms: f64,
     /// 99th-percentile request latency.
     pub p99_ms: f64,
+    /// 99.9th-percentile request latency — the tail that matters once the load
+    /// phase runs thousands of requests.
+    pub p999_ms: f64,
     /// Slowest request.
     pub max_ms: f64,
 }
@@ -45,6 +50,7 @@ impl LatencySummary {
             p50_ms: at(0.50),
             p95_ms: at(0.95),
             p99_ms: at(0.99),
+            p999_ms: at(0.999),
             max_ms: *micros.last().expect("non-empty") as f64 / 1e3,
         }
     }
@@ -102,6 +108,18 @@ pub struct ServiceLoadExperiment {
     /// any dispatch — the cross-session interleaving depth (> 1 means actions
     /// from different sessions genuinely shared the ready queue).
     pub max_ready_submissions: u64,
+    /// Peak number of continuations parked at once, sampled from
+    /// [`QueueStats::parked_waiters`] across the mixed phase and the
+    /// deterministic contention probe. Parked waiters hold no worker, so this
+    /// is concurrency the pool absorbed beyond its thread count (the probe
+    /// alone parks more waiters than there are workers).
+    pub parked_waiters: usize,
+    /// Continuation parks (flight waits + cap deferrals) over the mixed phase
+    /// and the contention probe. Near zero from the mixed phase alone means
+    /// computes retired faster than duplicate keys could race them.
+    pub parks: u64,
+    /// Continuation wakes over the mixed phase and the contention probe.
+    pub wakeups: u64,
     /// Shared-cache hit rate over the whole mixed phase.
     pub cache_hit_rate: f64,
     /// Whether every concurrent artifact was byte-identical to the sequential
@@ -305,6 +323,47 @@ fn replay_stream(session: &Session, requests: usize, assets: &AppAssets) -> Stre
     artifacts
 }
 
+/// The deterministic contention probe: sixteen duplicate cold-keyed actions in
+/// one submission on the loaded service's worker pool. The first dispatched
+/// node owns the flight (its compute gated so the race window stays open);
+/// every other duplicate hits `InFlight` and parks as a continuation — far
+/// more parked waiters than worker threads, none of them holding one — and
+/// the owner's completion wakes them all with the same bytes. Returns the
+/// observed parked-waiter peak. A blocking executor could never reach it: with
+/// four workers at most three waiters could even be dispatched.
+fn park_probe(service: &OrchestratorService) -> usize {
+    const DUPLICATES: usize = 16;
+    let engine = service.orchestrator().engine();
+    let before = engine.queue_stats().parked_waiters;
+    let (release, gate) = mpsc::channel::<()>();
+    let gate = Arc::new(Mutex::new(gate));
+    let mut graph: ActionGraph<'static, std::convert::Infallible> = ActionGraph::new();
+    let key = BuildKey::new("bench-park-probe", "x86_64", "O2", "probe");
+    for duplicate in 0..DUPLICATES {
+        let gate = Arc::clone(&gate);
+        graph.add_cached(
+            ActionKind::IrLower,
+            format!("park-probe-{duplicate}"),
+            key.clone(),
+            &[],
+            move |_| {
+                // Only the flight owner runs this; it holds the flight open
+                // until the probe has watched every other duplicate park.
+                gate.lock().unwrap().recv().ok();
+                Ok(b"park probe".to_vec())
+            },
+        );
+    }
+    let handle = engine.submit_graph(graph);
+    while engine.queue_stats().parked_waiters < before + (DUPLICATES - 1) {
+        std::thread::yield_now();
+    }
+    let peak = engine.queue_stats().parked_waiters;
+    release.send(()).expect("probe gate opens");
+    handle.wait();
+    peak
+}
+
 /// The deterministic admission-control probe: with the pool gated and tight
 /// limits (1 per tenant, 2 global), one admitted request per tenant parks in
 /// the queue, the tenant's second request draws typed `Backpressure`, and a
@@ -481,15 +540,16 @@ fn fairness_run(
     }
 }
 
-/// **Service load**: drive hundreds of concurrent mixed build/deploy/fleet
-/// requests from several tenants through one shared [`OrchestratorService`] and
-/// measure what the multi-tenant refactor claims — cross-session interleaving
-/// (ready-queue depth > 1), typed admission refusals, a fairness win for
-/// weighted fair queuing, and byte-identical artifacts vs a sequential
-/// single-session baseline.
+/// **Service load**: drive thousands of concurrent mixed build/deploy/fleet
+/// requests from 16 tenants through one shared [`OrchestratorService`] on a
+/// small worker pool and measure what the nonblocking executor core claims —
+/// continuation park/wake traffic absorbing far more concurrency than there
+/// are workers, cross-session interleaving (ready-queue depth > 1), typed
+/// admission refusals, a fairness win for weighted fair queuing, and
+/// byte-identical artifacts vs a sequential single-session baseline.
 pub fn service_load() -> ServiceLoadExperiment {
-    const TENANTS: usize = 6;
-    const REQUESTS_PER_TENANT: usize = 34;
+    const TENANTS: usize = 16;
+    const REQUESTS_PER_TENANT: usize = 128;
     let lulesh_project = lulesh::project();
     let lulesh_config =
         IrPipelineConfig::sweep_options(&lulesh_project, &["WITH_MPI", "WITH_OPENMP"]);
@@ -534,32 +594,48 @@ pub fn service_load() -> ServiceLoadExperiment {
         .limits(ServiceLimits::default().per_tenant(16).global(128))
         .build();
     let (release, gate_handle) = occupy_engine(&service, 4);
-    let (wall_ms, streams): (f64, Vec<StreamArtifacts>) = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..TENANTS)
-            .map(|tenant_index| {
-                let session = service.session(format!("tenant{tenant_index}"));
-                let assets = &assets;
-                scope.spawn(move || replay_stream(&session, REQUESTS_PER_TENANT, assets))
-            })
-            .collect();
-        while service.stats().in_flight < TENANTS
-            || service
-                .orchestrator()
-                .engine()
-                .queue_stats()
-                .waiting_submissions
-                < TENANTS
-        {
-            std::thread::yield_now();
-        }
-        let started = Instant::now();
-        open_gate(&release, 4);
-        let streams = handles
-            .into_iter()
-            .map(|handle| handle.join().expect("tenant stream joins"))
-            .collect();
-        (started.elapsed().as_secs_f64() * 1e3, streams)
-    });
+    let stats_before = service.orchestrator().engine().queue_stats();
+    let sampling = AtomicBool::new(true);
+    let (wall_ms, streams, peak_parked): (f64, Vec<StreamArtifacts>, usize) =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..TENANTS)
+                .map(|tenant_index| {
+                    let session = service.session(format!("tenant{tenant_index}"));
+                    let assets = &assets;
+                    scope.spawn(move || replay_stream(&session, REQUESTS_PER_TENANT, assets))
+                })
+                .collect();
+            // Sample the peak number of simultaneously parked continuations —
+            // concurrency the pool carries without occupying a worker thread.
+            let sampler = scope.spawn(|| {
+                let mut peak = 0usize;
+                while sampling.load(Ordering::Relaxed) {
+                    peak = peak.max(service.orchestrator().engine().queue_stats().parked_waiters);
+                    std::thread::sleep(Duration::from_micros(500));
+                }
+                peak
+            });
+            while service.stats().in_flight < TENANTS
+                || service
+                    .orchestrator()
+                    .engine()
+                    .queue_stats()
+                    .waiting_submissions
+                    < TENANTS
+            {
+                std::thread::yield_now();
+            }
+            let started = Instant::now();
+            open_gate(&release, 4);
+            let streams = handles
+                .into_iter()
+                .map(|handle| handle.join().expect("tenant stream joins"))
+                .collect();
+            let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+            sampling.store(false, Ordering::Relaxed);
+            let peak_parked = sampler.join().expect("sampler joins");
+            (wall_ms, streams, peak_parked)
+        });
     gate_handle.wait();
 
     let requests = TENANTS * REQUESTS_PER_TENANT;
@@ -577,6 +653,11 @@ pub fn service_load() -> ServiceLoadExperiment {
         .collect();
     let cache = service.cache_stats();
     let admitted = service.stats().admitted;
+
+    // Deterministic contention on the still-loaded service: duplicates of one
+    // cold key park as continuations instead of blocking workers.
+    let probe_peak = park_probe(&service);
+    let stats_after = service.orchestrator().engine().queue_stats();
     service.drain_wait();
 
     let (backpressure_errors, rejected_errors) =
@@ -619,6 +700,9 @@ pub fn service_load() -> ServiceLoadExperiment {
         throughput_rps: requests as f64 / (wall_ms / 1e3),
         latency: LatencySummary::from_micros(latencies),
         max_ready_submissions,
+        parked_waiters: peak_parked.max(probe_peak),
+        parks: stats_after.parks - stats_before.parks,
+        wakeups: stats_after.wakeups - stats_before.wakeups,
         cache_hit_rate: cache.hit_rate(),
         byte_identical,
         admitted,
@@ -679,14 +763,14 @@ pub fn digest_throughput_mb_per_s() -> f64 {
     (SIZE as f64 * f64::from(PASSES)) / elapsed / 1e6
 }
 
-/// Assemble the PR-7 snapshot from the service-load, fleet, and engine
+/// Assemble the PR-8 snapshot from the service-load, fleet, and engine
 /// experiments.
 pub fn bench_snapshot() -> BenchSnapshot {
     let service = service_load();
     let fleet = crate::experiments::fleet_specialization();
     let engine = crate::experiments::engine_parallelism();
     BenchSnapshot {
-        pr: 7,
+        pr: 8,
         service,
         fleet_hit_rate: fleet.fleet_hit_rate,
         fleet_warm_rerun_hit_rate: fleet.warm_rerun_hit_rate,

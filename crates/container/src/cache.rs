@@ -31,8 +31,31 @@
 //!
 //! The cache is safe for concurrent use and *single-flight*: when several workers race
 //! on the same key (the fleet specializer does this deliberately), exactly one computes
-//! the action and the rest block and reuse its output, so no [`BuildKey`] is ever built
-//! twice.
+//! the action and the rest reuse its output, so no [`BuildKey`] is ever built twice.
+//!
+//! # The nonblocking flight protocol
+//!
+//! Single-flight is exposed as a *nonblocking* protocol so an executor thread never has
+//! to sleep on another worker's computation:
+//!
+//! ```text
+//! try_begin(key) ──► Hit(blob)            the output already exists
+//!                ──► Owner(ticket)        caller computes; complete(ticket, bytes)
+//!                │                        or fail(ticket, error) retires the flight
+//!                ──► InFlight(id)         someone else is computing; park(id, waker)
+//!                                         registers a continuation for the outcome
+//! ```
+//!
+//! A [`FlightTicket`] is proof of ownership and must be redeemed exactly once via
+//! [`CacheBackend::complete`] or [`CacheBackend::fail`]; *dropping* an unredeemed ticket
+//! (an owner that panicked and unwound) poisons the flight, waking every parked waiter
+//! with [`FlightError::Poisoned`] instead of stranding them. Waiters woken with a
+//! failure retry [`CacheBackend::try_begin`] and may become the next owner, so an
+//! error is never cached and progress is guaranteed.
+//!
+//! The blocking [`ActionCache::get_or_compute`] and the deprecated
+//! [`CacheBackend::get_or_compute_action`] are thin shims over this protocol: they park
+//! a channel-backed waker and block the *calling* thread only.
 
 use crate::blob::Blob;
 use crate::digest::Digest;
@@ -147,6 +170,124 @@ impl std::fmt::Display for ComputeFailed {
 
 impl std::error::Error for ComputeFailed {}
 
+/// Why a flight retired without producing an output. Parked waiters receive this
+/// through [`FlightOutcome::Failed`]; the correct response is to retry
+/// [`CacheBackend::try_begin`] (possibly becoming the next owner), so an error is
+/// never cached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlightError {
+    /// The owner's compute returned an error ([`CacheBackend::fail`]).
+    Failed,
+    /// The owner's [`FlightTicket`] was dropped unredeemed — the owner panicked (or
+    /// leaked the ticket) and its waiters were woken instead of stranded.
+    Poisoned,
+    /// The flight had already retired when the waiter tried to park and the backend
+    /// no longer holds its output (evicted, failed, or a backend without memoization).
+    Retired,
+}
+
+impl std::fmt::Display for FlightError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FlightError::Failed => write!(f, "flight owner's computation failed"),
+            FlightError::Poisoned => write!(f, "flight poisoned: owner dropped its ticket"),
+            FlightError::Retired => write!(f, "flight already retired without a held output"),
+        }
+    }
+}
+
+impl std::error::Error for FlightError {}
+
+/// Identity of one in-flight computation, as handed out by
+/// [`CacheBackend::try_begin`]. The nonce distinguishes successive flights for the
+/// same key digest, so a waker can never be parked on the wrong generation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlightId {
+    digest: Digest,
+    nonce: u64,
+}
+
+impl FlightId {
+    /// The key digest this flight is computing.
+    pub fn digest(&self) -> &Digest {
+        &self.digest
+    }
+}
+
+/// What a parked waiter is woken with when its flight retires.
+#[derive(Debug, Clone)]
+pub enum FlightOutcome {
+    /// The owner completed; the blob shares the store's allocation.
+    Completed(Blob),
+    /// The flight retired without an output; retry [`CacheBackend::try_begin`].
+    Failed(FlightError),
+}
+
+/// A continuation parked on a flight's outcome. Invoked exactly once, after the
+/// backend has released its internal locks — a waker may freely call back into the
+/// cache or an executor's queues.
+pub type FlightWaker = Box<dyn FnOnce(FlightOutcome) + Send>;
+
+/// Proof of flight ownership returned by [`CacheBackend::try_begin`]. Redeem it
+/// exactly once with [`CacheBackend::complete`] or [`CacheBackend::fail`]; dropping
+/// an unredeemed ticket poisons the flight, waking parked waiters with
+/// [`FlightError::Poisoned`].
+pub struct FlightTicket {
+    digest: Digest,
+    nonce: u64,
+    /// Flight state to poison if the ticket is dropped unredeemed; `None` for
+    /// backends without coalescing ([`NoCache`]) and after redemption.
+    inner: Option<Arc<Mutex<CacheInner>>>,
+}
+
+impl FlightTicket {
+    /// The identity of the owned flight.
+    pub fn id(&self) -> FlightId {
+        FlightId {
+            digest: self.digest.clone(),
+            nonce: self.nonce,
+        }
+    }
+
+    /// Detach the poison-on-drop guard (redemption disarms the ticket).
+    fn disarm(&mut self) {
+        self.inner = None;
+    }
+}
+
+impl Drop for FlightTicket {
+    fn drop(&mut self) {
+        if let Some(inner) = self.inner.take() {
+            let waiters = inner.lock().retire_flight(&self.digest, self.nonce);
+            // Wake outside the lock: wakers may re-enter the cache or an executor.
+            for waker in waiters {
+                waker(FlightOutcome::Failed(FlightError::Poisoned));
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for FlightTicket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlightTicket")
+            .field("digest", &self.digest)
+            .field("nonce", &self.nonce)
+            .field("armed", &self.inner.is_some())
+            .finish()
+    }
+}
+
+/// The three answers of [`CacheBackend::try_begin`].
+#[derive(Debug)]
+pub enum TryBegin {
+    /// The output is cached; the handle shares the store's allocation.
+    Hit(Blob),
+    /// The caller owns the flight: compute, then redeem the ticket.
+    Owner(FlightTicket),
+    /// Another owner is computing this key; park a continuation on the id.
+    InFlight(FlightId),
+}
+
 /// A pluggable action-cache backend: the seam between the `xaas::engine` executor and
 /// artifact storage.
 ///
@@ -155,33 +296,90 @@ impl std::error::Error for ComputeFailed {}
 /// honest replacement for the old "private empty cache" trick the uncached pipeline
 /// entry points used). Both are backed by an [`ImageStore`] so the executor can commit
 /// images through the same handle it routes actions through.
+///
+/// The backend's primary surface is the *nonblocking* flight protocol
+/// ([`try_begin`](Self::try_begin) / [`complete`](Self::complete) /
+/// [`fail`](Self::fail) / [`park`](Self::park) — see the module docs); the blocking
+/// [`get_or_compute_action`](Self::get_or_compute_action) survives as a deprecated
+/// shim over it.
 pub trait CacheBackend: Send + Sync {
     /// The content-addressed store backing this cache (also used to commit images).
     fn store(&self) -> &ImageStore;
 
+    /// Begin (or join) the single flight for `key` without blocking: a cached
+    /// output answers [`TryBegin::Hit`], an idle key makes the caller the owner
+    /// ([`TryBegin::Owner`]), and a key someone else is computing answers
+    /// [`TryBegin::InFlight`] for the caller to [`park`](Self::park) on.
+    fn try_begin(&self, key: &BuildKey) -> TryBegin;
+
+    /// Redeem an owned flight with its computed output: store the bytes (for
+    /// memoizing backends), retire the flight, and wake every parked waiter with
+    /// [`FlightOutcome::Completed`]. Returns the stored handle; the owner, each
+    /// waiter, and later hits all share one allocation.
+    fn complete(&self, ticket: FlightTicket, bytes: Vec<u8>) -> Blob;
+
+    /// Retire an owned flight without an output (the compute failed), waking every
+    /// parked waiter with [`FlightOutcome::Failed`]. Nothing is cached.
+    fn fail(&self, ticket: FlightTicket, error: FlightError);
+
+    /// Park a continuation on an in-flight computation. Returns `None` when the
+    /// waker was registered (it will be invoked exactly once, when the flight
+    /// retires), or `Some(outcome)` when the flight already retired between
+    /// [`try_begin`](Self::try_begin) and this call — the waker is dropped uncalled
+    /// and the caller handles the outcome inline.
+    fn park(&self, flight: &FlightId, waker: FlightWaker) -> Option<FlightOutcome>;
+
+    /// A snapshot of the backend's counters (all zeros for backends that do not track).
+    fn backend_stats(&self) -> CacheStats;
+
     /// Return the cached output for `key`, or run `compute` and (for memoizing
     /// backends) store its output. The boolean is `true` on a cache hit.
     ///
-    /// The output travels as a [`Blob`] handle: a hit hands back the store's own
-    /// allocation, and a computed `Vec<u8>` is converted exactly once — downstream
-    /// consumers (the engine executor, dependent graph nodes) clone the handle, not
-    /// the bytes.
-    ///
     /// **Contract:** `compute` is invoked at most once per call, and an
     /// implementation may only return `Err(ComputeFailed)` when `compute` itself
-    /// returned it — backend-internal failures (a lost blob, a network error for a
-    /// remote cache) must fall back to running `compute`, never fail the action.
-    /// The `xaas::engine` executor relies on this: it captures the typed error
-    /// inside the closure, and treats `Err` without a captured error as a backend
-    /// contract violation (a panic at result collection, not a typed error).
+    /// returned it — backend-internal failures (a lost blob, a poisoned flight)
+    /// fall back to running `compute`, never fail the action.
+    #[deprecated(
+        since = "0.8.0",
+        note = "blocks the calling thread on another worker's flight; use the \
+                nonblocking try_begin/complete/fail/park protocol instead"
+    )]
     fn get_or_compute_action(
         &self,
         key: &BuildKey,
         compute: &mut dyn FnMut() -> Result<Vec<u8>, ComputeFailed>,
-    ) -> Result<(Blob, bool), ComputeFailed>;
-
-    /// A snapshot of the backend's counters (all zeros for backends that do not track).
-    fn backend_stats(&self) -> CacheStats;
+    ) -> Result<(Blob, bool), ComputeFailed> {
+        loop {
+            match self.try_begin(key) {
+                TryBegin::Hit(blob) => return Ok((blob, true)),
+                TryBegin::Owner(ticket) => {
+                    return match compute() {
+                        Ok(bytes) => Ok((self.complete(ticket, bytes), false)),
+                        Err(error) => {
+                            self.fail(ticket, FlightError::Failed);
+                            Err(error)
+                        }
+                    };
+                }
+                TryBegin::InFlight(flight) => {
+                    let (sender, receiver) = std::sync::mpsc::channel();
+                    let outcome = self
+                        .park(
+                            &flight,
+                            Box::new(move |outcome| {
+                                let _ = sender.send(outcome);
+                            }),
+                        )
+                        .unwrap_or_else(|| receiver.recv().expect("a flight always retires"));
+                    if let FlightOutcome::Completed(blob) = outcome {
+                        return Ok((blob, true));
+                    }
+                    // The owner failed or poisoned the flight: retry, possibly
+                    // becoming the next owner (compute has not run yet).
+                }
+            }
+        }
+    }
 }
 
 impl CacheBackend for ActionCache {
@@ -189,12 +387,94 @@ impl CacheBackend for ActionCache {
         ActionCache::store(self)
     }
 
-    fn get_or_compute_action(
-        &self,
-        key: &BuildKey,
-        compute: &mut dyn FnMut() -> Result<Vec<u8>, ComputeFailed>,
-    ) -> Result<(Blob, bool), ComputeFailed> {
-        self.get_or_compute(key, compute)
+    fn try_begin(&self, key: &BuildKey) -> TryBegin {
+        let digest = key.digest();
+        let mut inner = self.inner.lock();
+        if let Some(blob) = inner.entries.get(&digest).cloned() {
+            if let Ok(bytes) = self.store.blob(&blob) {
+                inner.stats.hits += 1;
+                return TryBegin::Hit(bytes);
+            }
+            // The backing blob disappeared (store swapped/garbage-collected):
+            // drop the stale index entry and start a fresh flight.
+            inner.entries.remove(&digest);
+            inner.order.retain(|d| d != &digest);
+            inner.stats.entries = inner.entries.len();
+        }
+        if let Some(flight) = inner.in_flight.get(&digest) {
+            return TryBegin::InFlight(FlightId {
+                digest,
+                nonce: flight.nonce,
+            });
+        }
+        let nonce = inner.next_nonce;
+        inner.next_nonce += 1;
+        inner.in_flight.insert(
+            digest.clone(),
+            Flight {
+                nonce,
+                waiters: Vec::new(),
+            },
+        );
+        TryBegin::Owner(FlightTicket {
+            digest,
+            nonce,
+            inner: Some(self.inner.clone()),
+        })
+    }
+
+    fn complete(&self, mut ticket: FlightTicket, bytes: Vec<u8>) -> Blob {
+        ticket.disarm();
+        // Convert the computed bytes into a shared handle once; the store keeps a
+        // clone of the handle (a refcount bump), not a copy of the payload.
+        let bytes = Blob::new(bytes);
+        let blob = self.store.put_blob(bytes.clone());
+        let waiters = {
+            let mut inner = self.inner.lock();
+            let waiters = inner.retire_flight(&ticket.digest, ticket.nonce);
+            inner.stats.misses += 1;
+            // Each coalesced waiter reuses the just-stored output: a hit.
+            inner.stats.hits += waiters.len() as u64;
+            inner.stats.coalesced += waiters.len() as u64;
+            self.record_entry(&mut inner, ticket.digest.clone(), blob);
+            waiters
+        };
+        for waker in waiters {
+            waker(FlightOutcome::Completed(bytes.clone()));
+        }
+        bytes
+    }
+
+    fn fail(&self, mut ticket: FlightTicket, error: FlightError) {
+        ticket.disarm();
+        let waiters = self
+            .inner
+            .lock()
+            .retire_flight(&ticket.digest, ticket.nonce);
+        for waker in waiters {
+            waker(FlightOutcome::Failed(error));
+        }
+    }
+
+    fn park(&self, flight: &FlightId, waker: FlightWaker) -> Option<FlightOutcome> {
+        let mut inner = self.inner.lock();
+        if let Some(current) = inner.in_flight.get_mut(&flight.digest) {
+            if current.nonce == flight.nonce {
+                current.waiters.push(waker);
+                return None;
+            }
+        }
+        // The flight retired (or was superseded) before we parked: resolve from
+        // the current cache state instead of registering a waker that could never
+        // fire for this generation.
+        if let Some(blob) = inner.entries.get(&flight.digest).cloned() {
+            if let Ok(bytes) = self.store.blob(&blob) {
+                inner.stats.hits += 1;
+                inner.stats.coalesced += 1;
+                return Some(FlightOutcome::Completed(bytes));
+            }
+        }
+        Some(FlightOutcome::Failed(FlightError::Retired))
     }
 
     fn backend_stats(&self) -> CacheStats {
@@ -233,14 +513,27 @@ impl CacheBackend for NoCache {
         &self.store
     }
 
-    fn get_or_compute_action(
-        &self,
-        _key: &BuildKey,
-        compute: &mut dyn FnMut() -> Result<Vec<u8>, ComputeFailed>,
-    ) -> Result<(Blob, bool), ComputeFailed> {
-        let bytes = compute()?;
+    fn try_begin(&self, key: &BuildKey) -> TryBegin {
+        // Never a hit, never coalesced: every caller owns a private flight. The
+        // ticket is unarmed (no shared flight state to poison).
+        TryBegin::Owner(FlightTicket {
+            digest: key.digest(),
+            nonce: 0,
+            inner: None,
+        })
+    }
+
+    fn complete(&self, _ticket: FlightTicket, bytes: Vec<u8>) -> Blob {
         self.stats.lock().misses += 1;
-        Ok((Blob::new(bytes), false))
+        Blob::new(bytes)
+    }
+
+    fn fail(&self, _ticket: FlightTicket, _error: FlightError) {}
+
+    fn park(&self, _flight: &FlightId, _waker: FlightWaker) -> Option<FlightOutcome> {
+        // `try_begin` never answers `InFlight`, so no flight can be parked on;
+        // report it retired so a caller holding a stale id simply retries.
+        Some(FlightOutcome::Failed(FlightError::Retired))
     }
 
     fn backend_stats(&self) -> CacheStats {
@@ -256,13 +549,39 @@ impl std::fmt::Debug for NoCache {
     }
 }
 
+/// One in-flight computation: its generation nonce plus the continuations parked
+/// on its outcome.
+struct Flight {
+    nonce: u64,
+    waiters: Vec<FlightWaker>,
+}
+
 #[derive(Default)]
 struct CacheInner {
     entries: BTreeMap<Digest, Digest>,
     /// Insertion order for FIFO eviction under a capacity bound.
     order: VecDeque<Digest>,
-    in_flight: BTreeMap<Digest, Arc<Mutex<()>>>,
+    in_flight: BTreeMap<Digest, Flight>,
+    /// Generation counter for [`FlightId`] nonces.
+    next_nonce: u64,
     stats: CacheStats,
+}
+
+impl CacheInner {
+    /// Remove the flight for `digest` if its generation matches, returning its
+    /// parked waiters for the caller to wake *after* releasing the lock. A nonce
+    /// mismatch means the flight was already retired (redeem + poison racing):
+    /// nothing to do.
+    fn retire_flight(&mut self, digest: &Digest, nonce: u64) -> Vec<FlightWaker> {
+        match self.in_flight.get(digest) {
+            Some(flight) if flight.nonce == nonce => self
+                .in_flight
+                .remove(digest)
+                .map(|flight| flight.waiters)
+                .unwrap_or_default(),
+            _ => Vec::new(),
+        }
+    }
 }
 
 /// A digest-keyed action cache backed by a content-addressed [`ImageStore`].
@@ -323,69 +642,51 @@ impl ActionCache {
     /// and return it. The boolean is `true` on a cache hit.
     ///
     /// Concurrent callers with the same key are single-flighted: one computes, the
-    /// others block until the result is stored and then read it as a (coalesced) hit.
-    /// Every caller — the computing worker, each coalesced waiter, and later hits —
-    /// receives a [`Blob`] handle onto the *same* stored allocation.
+    /// others park on the flight until the result is stored and then reuse it as a
+    /// (coalesced) hit. Every caller — the computing worker, each coalesced waiter,
+    /// and later hits — receives a [`Blob`] handle onto the *same* stored allocation.
+    ///
+    /// This is the blocking convenience over the nonblocking flight protocol (see
+    /// the module docs): only the *calling* thread waits. A panicking `compute`
+    /// poisons the flight on unwind (its [`FlightTicket`] drops unredeemed), so
+    /// racing callers are woken to retry instead of stranded.
     pub fn get_or_compute<E>(
         &self,
         key: &BuildKey,
         compute: impl FnOnce() -> Result<Vec<u8>, E>,
     ) -> Result<(Blob, bool), E> {
-        let digest = key.digest();
-        let flight: Arc<Mutex<()>>;
-        let guard;
+        let mut compute = Some(compute);
         loop {
-            let mut inner = self.inner.lock();
-            if let Some(blob) = inner.entries.get(&digest).cloned() {
-                if let Ok(bytes) = self.store.blob(&blob) {
-                    inner.stats.hits += 1;
-                    return Ok((bytes, true));
+            match CacheBackend::try_begin(self, key) {
+                TryBegin::Hit(blob) => return Ok((blob, true)),
+                TryBegin::Owner(ticket) => {
+                    let compute = compute.take().expect("the owner branch returns");
+                    return match compute() {
+                        Ok(bytes) => Ok((CacheBackend::complete(self, ticket, bytes), false)),
+                        Err(error) => {
+                            CacheBackend::fail(self, ticket, FlightError::Failed);
+                            Err(error)
+                        }
+                    };
                 }
-                // The backing blob disappeared (store swapped/garbage-collected):
-                // fall through and recompute.
-                inner.entries.remove(&digest);
-                inner.order.retain(|d| d != &digest);
-                inner.stats.entries = inner.entries.len();
-            }
-            match inner.in_flight.get(&digest).cloned() {
-                Some(existing) => {
-                    // Another worker is computing this key right now. Release the cache
-                    // lock, wait for the computation by acquiring the flight lock, then
-                    // retry the lookup (which will hit).
-                    drop(inner);
-                    drop(existing.lock());
-                    self.inner.lock().stats.coalesced += 1;
-                }
-                None => {
-                    flight = Arc::new(Mutex::new(()));
-                    inner.in_flight.insert(digest.clone(), flight.clone());
-                    // Lock the flight before releasing the cache lock so no waiter can
-                    // acquire it ahead of the computation.
-                    guard = flight.lock();
-                    break;
+                TryBegin::InFlight(flight) => {
+                    let (sender, receiver) = std::sync::mpsc::channel();
+                    let outcome = CacheBackend::park(
+                        self,
+                        &flight,
+                        Box::new(move |outcome| {
+                            let _ = sender.send(outcome);
+                        }),
+                    )
+                    .unwrap_or_else(|| receiver.recv().expect("a flight always retires"));
+                    if let FlightOutcome::Completed(blob) = outcome {
+                        return Ok((blob, true));
+                    }
+                    // The owner failed or poisoned the flight: retry, possibly
+                    // becoming the next owner (compute has not run yet).
                 }
             }
         }
-
-        // We own the flight: compute while holding its lock so racers block above.
-        let result = compute();
-        let mut inner = self.inner.lock();
-        inner.in_flight.remove(&digest);
-        let bytes = match result {
-            Ok(bytes) => bytes,
-            Err(error) => {
-                drop(guard);
-                return Err(error);
-            }
-        };
-        inner.stats.misses += 1;
-        // Convert the computed bytes into a shared handle once; the store keeps a
-        // clone of the handle (a refcount bump), not a copy of the payload.
-        let bytes = Blob::new(bytes);
-        let blob = self.store.put_blob(bytes.clone());
-        self.record_entry(&mut inner, digest, blob);
-        drop(guard);
-        Ok((bytes, false))
     }
 
     /// Insert an action output directly (used when the output was produced elsewhere).
@@ -465,6 +766,7 @@ impl std::fmt::Debug for ActionCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::panic::AssertUnwindSafe;
     use std::sync::atomic::{AtomicUsize, Ordering};
 
     fn key(n: u32) -> BuildKey {
@@ -599,6 +901,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn nocache_always_computes_and_counts_misses() {
         let backend = NoCache::new(ImageStore::new());
         let calls = AtomicUsize::new(0);
@@ -619,6 +922,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn action_cache_and_nocache_agree_through_the_backend_trait() {
         let store = ImageStore::new();
         let cached: &dyn CacheBackend = &ActionCache::new(store.clone());
@@ -646,6 +950,175 @@ mod tests {
                 .unwrap_err(),
             ComputeFailed
         );
+    }
+
+    #[test]
+    fn try_begin_walks_hit_owner_inflight() {
+        let cache = ActionCache::new(ImageStore::new());
+        // Idle key: caller becomes the owner.
+        let ticket = match cache.try_begin(&key(1)) {
+            TryBegin::Owner(ticket) => ticket,
+            other => panic!("expected Owner, got {other:?}"),
+        };
+        // While the flight is open, racers see InFlight with the same identity.
+        let flight = match cache.try_begin(&key(1)) {
+            TryBegin::InFlight(flight) => flight,
+            other => panic!("expected InFlight, got {other:?}"),
+        };
+        assert_eq!(flight, ticket.id());
+        let blob = cache.complete(ticket, b"flown".to_vec());
+        assert_eq!(blob, b"flown");
+        // Retired flight: the key now hits.
+        match cache.try_begin(&key(1)) {
+            TryBegin::Hit(bytes) => assert!(Blob::ptr_eq(&bytes, &blob) || bytes == blob),
+            other => panic!("expected Hit, got {other:?}"),
+        }
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn parked_waker_fires_on_complete_with_the_stored_blob() {
+        let cache = ActionCache::new(ImageStore::new());
+        let ticket = match cache.try_begin(&key(2)) {
+            TryBegin::Owner(ticket) => ticket,
+            other => panic!("expected Owner, got {other:?}"),
+        };
+        let flight = ticket.id();
+        let woken = Arc::new(Mutex::new(None));
+        let sink = woken.clone();
+        let parked = cache.park(
+            &flight,
+            Box::new(move |outcome| {
+                *sink.lock() = Some(outcome);
+            }),
+        );
+        assert!(parked.is_none(), "open flight registers the waker");
+        assert!(woken.lock().is_none(), "waker must not fire before retire");
+        let blob = cache.complete(ticket, b"woken".to_vec());
+        match woken.lock().take() {
+            Some(FlightOutcome::Completed(bytes)) => assert_eq!(bytes, blob),
+            other => panic!("expected Completed wake, got {other:?}"),
+        }
+        // The waiter counted as a coalesced hit.
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.coalesced), (1, 1, 1));
+    }
+
+    #[test]
+    fn dropping_an_unredeemed_ticket_poisons_the_flight() {
+        let cache = ActionCache::new(ImageStore::new());
+        let ticket = match cache.try_begin(&key(3)) {
+            TryBegin::Owner(ticket) => ticket,
+            other => panic!("expected Owner, got {other:?}"),
+        };
+        let flight = ticket.id();
+        let woken = Arc::new(Mutex::new(None));
+        let sink = woken.clone();
+        assert!(cache
+            .park(
+                &flight,
+                Box::new(move |outcome| {
+                    *sink.lock() = Some(outcome);
+                })
+            )
+            .is_none());
+        drop(ticket); // The owner unwound without redeeming.
+        assert!(matches!(
+            woken.lock().take(),
+            Some(FlightOutcome::Failed(FlightError::Poisoned))
+        ));
+        // Nothing was cached and the key is free again: the waiter can own it.
+        assert!(!cache.contains(&key(3)));
+        assert!(matches!(cache.try_begin(&key(3)), TryBegin::Owner(_)));
+    }
+
+    #[test]
+    fn park_after_retire_resolves_inline() {
+        let cache = ActionCache::new(ImageStore::new());
+        let ticket = match cache.try_begin(&key(4)) {
+            TryBegin::Owner(ticket) => ticket,
+            other => panic!("expected Owner, got {other:?}"),
+        };
+        let flight = ticket.id();
+        let blob = cache.complete(ticket, b"late".to_vec());
+        // The flight retired before we parked: the outcome comes back inline.
+        match cache.park(&flight, Box::new(|_| panic!("waker must not run"))) {
+            Some(FlightOutcome::Completed(bytes)) => assert_eq!(bytes, blob),
+            other => panic!("expected inline Completed, got {other:?}"),
+        }
+        // A failed flight's late parker is told to retry.
+        let ticket = match cache.try_begin(&key(5)) {
+            TryBegin::Owner(ticket) => ticket,
+            other => panic!("expected Owner, got {other:?}"),
+        };
+        let flight = ticket.id();
+        cache.fail(ticket, FlightError::Failed);
+        assert!(matches!(
+            cache.park(&flight, Box::new(|_| panic!("waker must not run"))),
+            Some(FlightOutcome::Failed(FlightError::Retired))
+        ));
+    }
+
+    #[test]
+    fn panicking_owner_wakes_blocking_waiters_to_retry() {
+        // The historical stranding bug: an owner that unwound mid-compute left the
+        // flight entry behind and waiters spun forever. The ticket's poison-on-drop
+        // now wakes them to retry (and one becomes the next owner).
+        let cache = ActionCache::new(ImageStore::new());
+        let entered = Arc::new(std::sync::Barrier::new(2));
+        std::thread::scope(|scope| {
+            let owner_cache = cache.clone();
+            let owner_gate = entered.clone();
+            scope.spawn(move || {
+                let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    owner_cache.get_or_compute(&key(6), || -> Result<Vec<u8>, ()> {
+                        owner_gate.wait();
+                        // Give the waiter time to park on the open flight.
+                        std::thread::sleep(std::time::Duration::from_millis(20));
+                        panic!("owner dies mid-compute");
+                    })
+                }));
+                assert!(result.is_err(), "the owner's panic propagates");
+            });
+            entered.wait();
+            let (bytes, hit) = cache
+                .get_or_compute(&key(6), || -> Result<Vec<u8>, ()> {
+                    Ok(b"recovered".to_vec())
+                })
+                .unwrap();
+            assert_eq!(bytes, b"recovered");
+            assert!(!hit, "the waiter recomputed after the poison wake");
+        });
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn nocache_flights_are_private_and_unarmed() {
+        let backend = NoCache::new(ImageStore::new());
+        // Every try_begin owns a fresh private flight — racers never coalesce.
+        let first = match backend.try_begin(&key(1)) {
+            TryBegin::Owner(ticket) => ticket,
+            other => panic!("expected Owner, got {other:?}"),
+        };
+        let second = match backend.try_begin(&key(1)) {
+            TryBegin::Owner(ticket) => ticket,
+            other => panic!("expected Owner, got {other:?}"),
+        };
+        drop(second); // Unarmed: dropping poisons nothing.
+        let blob = backend.complete(first, b"fresh".to_vec());
+        assert_eq!(blob, b"fresh");
+        assert_eq!(backend.stats().misses, 1);
+        assert!(matches!(
+            backend.park(
+                &FlightId {
+                    digest: key(1).digest(),
+                    nonce: 0
+                },
+                Box::new(|_| panic!("waker must not run"))
+            ),
+            Some(FlightOutcome::Failed(FlightError::Retired))
+        ));
     }
 
     #[test]

@@ -42,7 +42,8 @@ pub mod runtime;
 pub mod prelude {
     pub use crate::blob::Blob;
     pub use crate::cache::{
-        ActionCache, BuildKey, CacheBackend, CacheReport, CacheStats, ComputeFailed, NoCache,
+        ActionCache, BuildKey, CacheBackend, CacheReport, CacheStats, ComputeFailed, FlightError,
+        FlightId, FlightOutcome, FlightTicket, FlightWaker, NoCache, TryBegin,
     };
     pub use crate::digest::{Digest, Sha256};
     pub use crate::image::{

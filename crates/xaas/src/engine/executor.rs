@@ -9,6 +9,17 @@
 //! wrapper that submits and waits, so single-caller pipelines share the same queue
 //! (and the same cache single-flight) as concurrent sessions.
 //!
+//! Workers **never block on another action's outcome**. A keyed node routes
+//! through the cache's nonblocking flight protocol
+//! ([`CacheBackend::try_begin`]): a hit finishes immediately, an owner computes,
+//! and a node that finds its key `InFlight` *parks as a continuation* on the
+//! flight — its work is put back, its concurrency slots are freed, and the worker
+//! pops the next ready action. Retiring the flight (complete, fail, or poison)
+//! re-enqueues every parked waiter through the normal ready queue: a completed
+//! flight finishes them as coalesced hits, a failed one lets them retry (and one
+//! becomes the next owner). Cap-deferred nodes ride the same park/wake path: a
+//! freed slot wakes exactly one deferred entry instead of churning the whole list.
+//!
 //! Scheduling goes through one policy-driven ready queue: finished nodes push
 //! their newly-ready dependents, and free workers pop the next node the engine's
 //! [`SchedulingPolicy`] selects — readiness order under
@@ -40,7 +51,9 @@ use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex as StdMutex, OnceLock};
 use std::time::Instant;
-use xaas_container::{Blob, BuildKey, CacheBackend, ComputeFailed};
+use xaas_container::{
+    Blob, BuildKey, CacheBackend, FlightError, FlightId, FlightOutcome, FlightWaker, TryBegin,
+};
 
 /// Number of distinct [`ActionKind`]s (dense per-kind accounting arrays).
 const KINDS: usize = ActionKind::ALL.len();
@@ -287,6 +300,24 @@ struct NodeMeta {
     deps: Vec<ActionId>,
 }
 
+/// Per-node park/wake state: the pending flight outcome a waker stored for the
+/// node's re-dispatch, plus the diagnostics clocks behind
+/// [`ActionRecord::parked_micros`] / [`ActionRecord::parks`].
+#[derive(Default)]
+struct ParkState {
+    /// Outcome stored by a flight waker, consumed by the node's next dispatch.
+    wake: Mutex<Option<FlightOutcome>>,
+    /// Queue-wait micros accrued by this node's earlier dispatches (a parked node
+    /// re-enters the queue; its final record reports the cumulative wait).
+    accrued_wait: AtomicU64,
+    /// When the current park began (micros since the core epoch; 0 = not parked).
+    parked_at: AtomicU64,
+    /// Total micros spent parked — as a single-flight waiter or cap-deferred.
+    parked_micros: AtomicU64,
+    /// Times this node parked.
+    parks: AtomicU64,
+}
+
 /// One submitted graph: erased nodes plus all per-run execution state. Shared
 /// between the worker pool (via queue entries) and the submitter's
 /// [`GraphHandle`] / blocking waiter.
@@ -304,6 +335,7 @@ struct Submission {
     tasks: Vec<Mutex<Option<ErasedWork<'static>>>>,
     slots: Vec<Mutex<Slot>>,
     records: Vec<Mutex<Option<ActionRecord>>>,
+    park_state: Vec<ParkState>,
     dependents: Vec<Vec<ActionId>>,
     pending: Vec<AtomicUsize>,
     /// Micros-since-core-epoch each node entered the ready queue (0 = not yet).
@@ -417,9 +449,9 @@ struct TenantLane {
     /// are dispatched from more often.
     vtime: u64,
     weight: u64,
-    /// Entries popped while this tenant's kind quota was exhausted; re-admitted
-    /// when one of the tenant's in-flight actions of that kind finishes.
-    deferred: [Vec<Queued>; KINDS],
+    /// Entries popped while this tenant's kind quota was exhausted, parked in
+    /// FIFO order; a finishing action of the kind wakes exactly one.
+    deferred: [VecDeque<Queued>; KINDS],
     in_flight: [usize; KINDS],
     /// Per-tenant per-kind quota from the policy (`usize::MAX` = unbounded).
     caps: [usize; KINDS],
@@ -439,8 +471,9 @@ struct Ready {
     /// Virtual time of the most recent dispatch; newly active lanes start here so
     /// an idle tenant cannot bank scheduling credit.
     virtual_now: u64,
-    /// Entries popped while their kind was at the *global* concurrency cap.
-    deferred: [Vec<Queued>; KINDS],
+    /// Entries popped while their kind was at the *global* concurrency cap,
+    /// parked in FIFO order; a finishing action of the kind wakes exactly one.
+    deferred: [VecDeque<Queued>; KINDS],
     in_flight: [usize; KINDS],
     caps: [usize; KINDS],
     /// Entries waiting (queued or deferred), across all lanes.
@@ -448,6 +481,13 @@ struct Ready {
     /// Waiting entries per submission id — `len()` is the multi-graph queue depth
     /// recorded in [`ActionRecord::ready_submissions`].
     waiting: BTreeMap<u64, usize>,
+    /// Continuations currently parked: single-flight waiters plus cap-deferred
+    /// entries (flight waiters are *not* in `queued_actions` while parked).
+    parked_waiters: usize,
+    /// Cumulative parks since the core started (flight waits + cap deferrals).
+    parks: u64,
+    /// Cumulative wakes since the core started.
+    wakeups: u64,
 }
 
 impl Ready {
@@ -476,7 +516,7 @@ impl Ready {
             order,
             vtime: self.virtual_now,
             weight: policy.tenant_weight(key.as_deref()).max(1),
-            deferred: std::array::from_fn(|_| Vec::new()),
+            deferred: std::array::from_fn(|_| VecDeque::new()),
             in_flight: [0; KINDS],
             caps,
         });
@@ -541,12 +581,21 @@ struct Dispatch {
 /// admission control uses `queued_actions` as its saturation signal.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct QueueStats {
-    /// Actions waiting in the ready queue (including cap-deferred ones).
+    /// Actions waiting in the ready queue (including cap-deferred ones; flight
+    /// waiters leave the queue while parked).
     pub queued_actions: usize,
     /// Distinct submissions with at least one waiting action.
     pub waiting_submissions: usize,
     /// Submissions accepted but not yet completed (waiting or executing).
     pub live_submissions: usize,
+    /// Continuations currently parked: single-flight waiters plus cap-deferred
+    /// entries.
+    pub parked_waiters: usize,
+    /// Cumulative parks since the engine core started (flight waits plus cap
+    /// deferrals).
+    pub parks: u64,
+    /// Cumulative wakes since the engine core started.
+    pub wakeups: u64,
 }
 
 /// Everything the worker pool shares: the cache, the policy, and the ready queue.
@@ -638,6 +687,7 @@ impl CoreShared {
             tasks,
             slots: (0..node_count).map(|_| Mutex::new(Slot::Pending)).collect(),
             records: (0..node_count).map(|_| Mutex::new(None)).collect(),
+            park_state: (0..node_count).map(|_| ParkState::default()).collect(),
             dependents,
             pending,
             enqueued_at: (0..node_count).map(|_| AtomicU64::new(0)).collect(),
@@ -675,8 +725,55 @@ impl CoreShared {
         sub
     }
 
-    /// Pop the next runnable node per the policy: pick the dispatch lane, skip
-    /// (and defer) entries whose kind is at a global or tenant cap, and charge the
+    /// Park a popped entry on a cap-deferral list (`lane: None` = the global
+    /// list), stamping the park clocks behind `parked_micros`.
+    fn park_deferred(&self, ready: &mut Ready, item: Queued, kind: usize, lane: Option<usize>) {
+        let state = &item.sub.park_state[item.node];
+        state.parked_at.store(self.now_micros(), Ordering::Relaxed);
+        state.parks.fetch_add(1, Ordering::Relaxed);
+        ready.parks += 1;
+        ready.parked_waiters += 1;
+        match lane {
+            Some(lane) => ready.lanes[lane].deferred[kind].push_back(item),
+            None => ready.deferred[kind].push_back(item),
+        }
+    }
+
+    /// Wake one cap-deferred entry: account its parked time and put it back in
+    /// dispatch order (its `waiting` accounting never stopped).
+    fn wake_deferred(&self, ready: &mut Ready, item: Queued) {
+        let state = &item.sub.park_state[item.node];
+        let parked_at = state.parked_at.swap(0, Ordering::Relaxed);
+        if parked_at != 0 {
+            let parked = self.now_micros().saturating_sub(parked_at);
+            state.parked_micros.fetch_add(parked, Ordering::Relaxed);
+        }
+        ready.wakeups += 1;
+        ready.parked_waiters -= 1;
+        ready.requeue(item);
+    }
+
+    /// Free the global + lane concurrency slots a dispatched `kind` action held
+    /// and wake at most one parked entry the freed slots can admit: the lane's
+    /// own deferred entry can use both, otherwise one globally-deferred entry
+    /// gets its chance (`pop_task` compensates when that entry's tenant turns out
+    /// to still be at its quota). Returns how many entries were made ready.
+    fn release_slots(&self, ready: &mut Ready, kind: usize, lane: usize) -> usize {
+        ready.in_flight[kind] -= 1;
+        ready.lanes[lane].in_flight[kind] -= 1;
+        if let Some(item) = ready.lanes[lane].deferred[kind].pop_front() {
+            self.wake_deferred(ready, item);
+            1
+        } else if let Some(item) = ready.deferred[kind].pop_front() {
+            self.wake_deferred(ready, item);
+            1
+        } else {
+            0
+        }
+    }
+
+    /// Pop the next runnable node per the policy: pick the dispatch lane, park
+    /// (defer) entries whose kind is at a global or tenant cap, and charge the
     /// lane's virtual time under fair queuing.
     fn pop_task(&self) -> Option<Dispatch> {
         let mut ready = self.ready.lock();
@@ -688,11 +785,17 @@ impl CoreShared {
                 .expect("dispatch lane has a queued entry");
             let kind = item.sub.metas[item.node].kind.index();
             if ready.in_flight[kind] >= ready.caps[kind] {
-                ready.deferred[kind].push(item);
+                self.park_deferred(&mut ready, item, kind, None);
                 continue;
             }
             if ready.lanes[lane_index].in_flight[kind] >= ready.lanes[lane_index].caps[kind] {
-                ready.lanes[lane_index].deferred[kind].push(item);
+                self.park_deferred(&mut ready, item, kind, Some(lane_index));
+                // The global slot this entry could have used stays free: give the
+                // next globally-deferred entry of the kind its chance now, so a
+                // tenant at its quota can never strand global capacity.
+                if let Some(next) = ready.deferred[kind].pop_front() {
+                    self.wake_deferred(&mut ready, next);
+                }
                 continue;
             }
             // Admit.
@@ -756,20 +859,7 @@ impl CoreShared {
         {
             let mut ready = self.ready.lock();
             let kind = sub.metas[node].kind.index();
-            ready.in_flight[kind] -= 1;
-            ready.lanes[sub.lane].in_flight[kind] -= 1;
-            // A freed slot re-admits every deferred entry of this kind; only one
-            // can claim the slot, the rest simply defer again on their next pop.
-            let deferred = std::mem::take(&mut ready.deferred[kind]);
-            made_ready += deferred.len();
-            for item in deferred {
-                ready.requeue(item);
-            }
-            let tenant_deferred = std::mem::take(&mut ready.lanes[sub.lane].deferred[kind]);
-            made_ready += tenant_deferred.len();
-            for item in tenant_deferred {
-                ready.requeue(item);
-            }
+            made_ready += self.release_slots(&mut ready, kind, sub.lane);
             let now = self.now_micros();
             for &dependent in &sub.dependents[node] {
                 if sub.pending[dependent].fetch_sub(1, Ordering::AcqRel) == 1 {
@@ -843,7 +933,93 @@ impl CoreShared {
         }
     }
 
-    fn execute(&self, dispatch: Dispatch) {
+    /// Park `node` as a continuation on `flight`: restore its one-shot work for
+    /// the wake-side retry, register a waker that re-enqueues the node when the
+    /// flight retires, and free this dispatch's concurrency slots so the worker
+    /// moves on to the next ready action immediately.
+    fn park_on_flight(
+        self: &Arc<Self>,
+        sub: &Arc<Submission>,
+        node: ActionId,
+        task: ErasedRunFn<'static>,
+        key: BuildKey,
+        flight: FlightId,
+        wait_micros: u64,
+    ) {
+        let state = &sub.park_state[node];
+        // Restore the work (key resolved to its static form) *before* the waker
+        // can fire: a woken re-dispatch takes it back out.
+        *sub.tasks[node].lock() = Some(ErasedWork {
+            run: task,
+            key: ErasedKeySpec::Static(key),
+        });
+        state.accrued_wait.fetch_add(wait_micros, Ordering::Relaxed);
+        state.parks.fetch_add(1, Ordering::Relaxed);
+        let parked_at = self.now_micros();
+        {
+            // Count the park before registering the waker, so a waker firing
+            // instantly on another thread can never underflow the counters.
+            let mut ready = self.ready.lock();
+            ready.parks += 1;
+            ready.parked_waiters += 1;
+        }
+        let waker: FlightWaker = {
+            let shared = self.clone();
+            let sub = sub.clone();
+            Box::new(move |outcome| shared.wake_parked(&sub, node, parked_at, outcome))
+        };
+        let kind = sub.metas[node].kind.index();
+        let inline = self.cache.park(&flight, waker);
+        let made_ready = {
+            // Whether parked or resolved inline, this dispatch's slots are free:
+            // the node re-enters through the queue, not this worker.
+            let mut ready = self.ready.lock();
+            self.release_slots(&mut ready, kind, sub.lane)
+        };
+        if let Some(outcome) = inline {
+            // The flight retired between try_begin and park (the waker was
+            // dropped unregistered): wake ourselves through the same path.
+            self.wake_parked(sub, node, parked_at, outcome);
+        }
+        if made_ready > 0 {
+            self.notify_workers(false);
+        }
+    }
+
+    /// Flight-waker body: account the parked time, store the outcome for the
+    /// node's re-dispatch, and re-enqueue the node. Runs on whichever thread
+    /// retires the flight — a pool worker or an external flight owner.
+    fn wake_parked(
+        &self,
+        sub: &Arc<Submission>,
+        node: ActionId,
+        parked_at: u64,
+        outcome: FlightOutcome,
+    ) {
+        let state = &sub.park_state[node];
+        let now = self.now_micros();
+        state
+            .parked_micros
+            .fetch_add(now.saturating_sub(parked_at), Ordering::Relaxed);
+        *state.wake.lock() = Some(outcome);
+        {
+            let mut ready = self.ready.lock();
+            ready.wakeups += 1;
+            ready.parked_waiters -= 1;
+            sub.enqueued_at[node].store(now, Ordering::Relaxed);
+            let weight = sub.weights[node];
+            ready.enqueue_new(
+                Queued {
+                    sub: sub.clone(),
+                    node,
+                },
+                weight,
+            );
+        }
+        self.notify_workers(false);
+    }
+
+    fn execute(self: &Arc<Self>, dispatch: Dispatch) {
         let Dispatch {
             item: Queued { sub, node },
             wait_micros,
@@ -852,6 +1028,37 @@ impl CoreShared {
         } = dispatch;
         if sub.cancelled.load(Ordering::Relaxed) {
             self.finish(&sub, node, Slot::Cancelled, None);
+            return;
+        }
+        // A parked node re-dispatched after its flight retired: a completed
+        // flight short-circuits to a coalesced hit; a failed or poisoned one
+        // falls through and retries the keyed path (possibly becoming the next
+        // owner), so an upstream failure never strands a waiter.
+        if let Some(FlightOutcome::Completed(blob)) = sub.park_state[node].wake.lock().take() {
+            let key_digest = sub.tasks[node]
+                .lock()
+                .take()
+                .and_then(|work| match work.key {
+                    ErasedKeySpec::Static(key) => Some(key.digest().hex().to_string()),
+                    _ => None,
+                });
+            let meta = &sub.metas[node];
+            let state = &sub.park_state[node];
+            let record = ActionRecord {
+                kind: meta.kind,
+                label: meta.label.clone(),
+                key_digest,
+                cached: true,
+                queue_wait_micros: wait_micros + state.accrued_wait.load(Ordering::Relaxed),
+                exec_micros: 0,
+                schedule_seq: seq,
+                job: meta.job,
+                tenant: sub.tenant.clone(),
+                ready_submissions,
+                parked_micros: state.parked_micros.load(Ordering::Relaxed),
+                parks: state.parks.load(Ordering::Relaxed),
+            };
+            self.finish(&sub, node, Slot::Output(blob), Some(record));
             return;
         }
         let meta = &sub.metas[node];
@@ -911,57 +1118,56 @@ impl CoreShared {
             }
         };
 
-        let (slot, completed): (Slot, Option<bool>) = match &key {
-            Some(key) => {
-                let mut task = Some(task);
-                let mut captured: Option<ErasedError> = None;
-                let result = self.cache.get_or_compute_action(key, &mut || {
-                    // At most one in-flight node per key per graph (the ActionGraph
-                    // contract — a repeated key must be ordered after the first by a
-                    // dependency edge), so the closure runs at most once even under
-                    // single-flight coalescing.
-                    match task.take() {
-                        Some(task) => match self.run_task(&sub, task, &inputs) {
-                            Some(Ok(bytes)) => Ok(bytes),
-                            Some(Err(error)) => {
-                                captured = Some(error);
-                                Err(ComputeFailed)
-                            }
-                            // Panicked: the payload is recorded, re-raised at wait.
-                            None => Err(ComputeFailed),
-                        },
-                        None => Err(ComputeFailed),
+        let key_digest = key.as_ref().map(|k| k.digest().hex().to_string());
+        let (slot, completed): (Slot, Option<bool>) = match key {
+            Some(build_key) => match self.cache.try_begin(&build_key) {
+                // The backend's Blob handle goes straight into the slot: a hit
+                // shares the store's allocation with every consumer.
+                TryBegin::Hit(blob) => (Slot::Output(blob), Some(true)),
+                TryBegin::Owner(ticket) => match self.run_task(&sub, task, &inputs) {
+                    Some(Ok(bytes)) => (
+                        Slot::Output(self.cache.complete(ticket, bytes)),
+                        Some(false),
+                    ),
+                    Some(Err(error)) => {
+                        self.cache.fail(ticket, FlightError::Failed);
+                        (Slot::Failed(error), None)
                     }
-                });
-                match result {
-                    // The backend's Blob handle goes straight into the slot: a hit
-                    // shares the store's allocation with every consumer.
-                    Ok((blob, hit)) => (Slot::Output(blob), Some(hit)),
-                    Err(ComputeFailed) => match captured {
-                        Some(error) => (Slot::Failed(error), None),
-                        // The action panicked, or the backend failed without running
-                        // it; the node poisons its dependents with itself as root.
-                        None => (Slot::Skipped { root: node }, None),
-                    },
+                    // Panicked: the payload is recorded, re-raised at wait. Failing
+                    // the ticket (it would poison on drop anyway) wakes parked
+                    // waiters deliberately; the node poisons its own dependents.
+                    None => {
+                        self.cache.fail(ticket, FlightError::Poisoned);
+                        (Slot::Skipped { root: node }, None)
+                    }
+                },
+                TryBegin::InFlight(flight) => {
+                    // Another owner is computing this key: park as a continuation
+                    // and hand the worker straight back to the queue.
+                    self.park_on_flight(&sub, node, task, build_key, flight, wait_micros);
+                    return;
                 }
-            }
+            },
             None => match self.run_task(&sub, task, &inputs) {
                 Some(Ok(bytes)) => (Slot::Output(Blob::new(bytes)), Some(false)),
                 Some(Err(error)) => (Slot::Failed(error), None),
                 None => (Slot::Skipped { root: node }, None),
             },
         };
+        let state = &sub.park_state[node];
         let record = completed.map(|cached| ActionRecord {
             kind: meta.kind,
             label: meta.label.clone(),
-            key_digest: key.as_ref().map(|k| k.digest().hex().to_string()),
+            key_digest,
             cached,
-            queue_wait_micros: wait_micros,
+            queue_wait_micros: wait_micros + state.accrued_wait.load(Ordering::Relaxed),
             exec_micros: started.elapsed().as_micros() as u64,
             schedule_seq: seq,
             job: meta.job,
             tenant: sub.tenant.clone(),
             ready_submissions,
+            parked_micros: state.parked_micros.load(Ordering::Relaxed),
+            parks: state.parks.load(Ordering::Relaxed),
         });
         self.finish(&sub, node, slot, record);
     }
@@ -1039,11 +1245,14 @@ impl ExecutorCore {
                 fair,
                 critical_path,
                 virtual_now: 0,
-                deferred: std::array::from_fn(|_| Vec::new()),
+                deferred: std::array::from_fn(|_| VecDeque::new()),
                 in_flight: [0; KINDS],
                 caps,
                 queued_actions: 0,
                 waiting: BTreeMap::new(),
+                parked_waiters: 0,
+                parks: 0,
+                wakeups: 0,
             };
             if !fair {
                 // The single anonymous lane every submission dispatches through.
@@ -1051,7 +1260,7 @@ impl ExecutorCore {
                     order,
                     vtime: 0,
                     weight: 1,
-                    deferred: std::array::from_fn(|_| Vec::new()),
+                    deferred: std::array::from_fn(|_| VecDeque::new()),
                     in_flight: [0; KINDS],
                     caps: [usize::MAX; KINDS],
                 });
@@ -1090,6 +1299,9 @@ impl ExecutorCore {
                     queued_actions: ready.queued_actions,
                     waiting_submissions: ready.waiting.len(),
                     live_submissions: shared.live_submissions.load(Ordering::Acquire),
+                    parked_waiters: ready.parked_waiters,
+                    parks: ready.parks,
+                    wakeups: ready.wakeups,
                 }
             }
             None => QueueStats::default(),

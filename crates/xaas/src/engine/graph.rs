@@ -83,14 +83,17 @@ pub(crate) struct ActionNode<'env, E> {
 /// compiler, manifest state); the executor runs the closures on scoped threads, so
 /// borrowing driver locals is free. `E` is the driver's typed error.
 ///
-/// At most one *unordered* node per [`BuildKey`] may be added to a graph: the
-/// executor routes keyed nodes through the cache backend with single-flight
-/// semantics, and two racing nodes with the same key inside one submission would
-/// make the hit/miss trace scheduling-dependent. A second node with an
-/// already-planned key is allowed only when a dependency edge orders it after the
-/// key's first node — the fleet grafter uses exactly this shape (a cache-probe
+/// Duplicate [`BuildKey`]s are safe, including *unordered* duplicates: the
+/// executor routes keyed nodes through the cache backend's nonblocking flight
+/// protocol, so one racing node becomes the flight owner and every other node
+/// with the same key parks as a continuation and is woken with the owner's
+/// bytes — no worker thread blocks and the compute runs once. The resulting
+/// bytes are identical regardless of scheduling; only *which* racing record
+/// carries `cached: false` is scheduling-dependent, so drivers that assert
+/// exact trace equality across runs should still order duplicates with a
+/// dependency edge — the fleet grafter uses exactly this shape (a cache-probe
 /// "alias" that fans a shared artifact out into another job's subgraph as a
-/// deterministic hit). Drivers deduplicate unordered keys at plan time.
+/// deterministic hit).
 pub struct ActionGraph<'env, E> {
     pub(crate) nodes: Vec<ActionNode<'env, E>>,
     /// Job tag applied to subsequently added nodes (see [`ActionGraph::set_job`]).

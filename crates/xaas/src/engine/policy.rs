@@ -455,6 +455,8 @@ mod tests {
             job: None,
             tenant: None,
             ready_submissions: 0,
+            parked_micros: 0,
+            parks: 0,
         };
         // Measured micros proportional to the default table (137 µs per cost
         // unit): the derived costs must reproduce the default table exactly, so

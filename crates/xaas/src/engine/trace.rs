@@ -130,6 +130,17 @@ pub struct ActionRecord {
     /// equality.
     #[serde(default)]
     pub ready_submissions: u64,
+    /// Microseconds this action spent *parked* — as a continuation on another
+    /// worker's single-flight computation, or cap-deferred waiting for a
+    /// concurrency slot. A subset of `queue_wait_micros`'s story told separately:
+    /// parked time is contention, plain queue wait is backlog. Scheduling
+    /// diagnostic, excluded from equality like the other clocks.
+    #[serde(default)]
+    pub parked_micros: u64,
+    /// How many times this action parked (flight waits plus cap deferrals)
+    /// before completing. Scheduling diagnostic, excluded from equality.
+    #[serde(default)]
+    pub parks: u64,
 }
 
 impl PartialEq for ActionRecord {
@@ -348,6 +359,8 @@ mod tests {
             job: None,
             tenant: None,
             ready_submissions: 0,
+            parked_micros: 0,
+            parks: 0,
         }
     }
 

@@ -128,3 +128,28 @@ fn all_nine_legacy_entry_points_still_compile_and_match_the_orchestrator() {
     let copied: Vec<u8> = store.get_blob(&digest).unwrap();
     assert_eq!(copied, store.blob(&digest).unwrap().as_slice());
 }
+
+/// The blocking `CacheBackend::get_or_compute_action` survives as a deprecated
+/// shim over the nonblocking flight protocol: its historical signature —
+/// `&BuildKey` plus `&mut dyn FnMut` compute, returning `(Blob, bool)` — must
+/// keep compiling and behaving (compute-on-miss, hit-on-repeat) even though no
+/// in-repo caller uses it anymore.
+#[test]
+fn blocking_get_or_compute_action_keeps_its_signature_and_semantics() {
+    let cache = ActionCache::new(ImageStore::new());
+    let backend: &dyn xaas_container::CacheBackend = &cache;
+    let key = xaas_container::BuildKey::new("shim-tu", "x86_64", "O2", "clang-17");
+
+    let mut compute = || Ok(b"shim bytes".to_vec());
+    let result: Result<(xaas_container::Blob, bool), xaas_container::ComputeFailed> =
+        backend.get_or_compute_action(&key, &mut compute);
+    let (blob, hit) = result.unwrap();
+    assert_eq!(blob.as_slice(), b"shim bytes");
+    assert!(!hit, "first call computes");
+
+    let (again, hit) = backend
+        .get_or_compute_action(&key, &mut || panic!("a hit must not invoke compute"))
+        .unwrap();
+    assert_eq!(again.as_slice(), b"shim bytes");
+    assert!(hit, "second call is served from the cache");
+}

@@ -1,0 +1,370 @@
+//! Nonblocking executor-core integration: workers never block on another
+//! action's outcome. A node that hits an in-flight key parks as a continuation
+//! and releases its worker; flight completion, failure, and poison all wake the
+//! parked waiter through the cache's flight protocol; and the continuation path
+//! stays byte-identical — and trace-equal — to the serial baseline. Each
+//! scenario holds flights *externally* via [`CacheBackend::try_begin`] so
+//! parking is deterministic even on a one-worker engine.
+
+use proptest::prelude::*;
+use std::convert::Infallible;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use xaas::prelude::*;
+use xaas_container::{
+    ActionCache, BuildKey, CacheBackend, FlightError, FlightTicket, ImageStore, TryBegin,
+};
+
+fn key(tag: &str) -> BuildKey {
+    BuildKey::new(tag, "x86_64", "O2", "clang-17")
+}
+
+/// Claim flight ownership of `key` directly on the cache, the way an
+/// out-of-engine builder would, so an engine node for the same key must park.
+fn hold_flight(cache: &ActionCache, key: &BuildKey) -> FlightTicket {
+    match CacheBackend::try_begin(cache, key) {
+        TryBegin::Owner(ticket) => ticket,
+        other => panic!("expected to own the flight, got {other:?}"),
+    }
+}
+
+/// Poll `done` until it holds, failing the test after `secs` — a parked waiter
+/// that never wakes must fail the suite fast instead of hanging CI.
+fn wait_until(secs: u64, mut done: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(secs);
+    while !done() {
+        assert!(
+            Instant::now() < deadline,
+            "condition not reached within {secs}s"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+/// The tentpole pin: with ONE worker and an externally held flight, the engine
+/// keeps executing other actions — the keyed node parks as a continuation
+/// instead of occupying the worker — and the external `complete` wakes it with
+/// the owner's bytes.
+#[test]
+fn one_worker_engine_keeps_executing_while_a_flight_is_held_externally() {
+    let cache = ActionCache::new(ImageStore::new());
+    let shared = key("held");
+    let ticket = hold_flight(&cache, &shared);
+
+    let engine = Engine::cached(&cache).with_workers(1);
+    let mut graph: ActionGraph<'static, Infallible> = ActionGraph::new();
+    let keyed = graph.add_cached(ActionKind::SdCompile, "parked", shared, &[], |_| {
+        panic!("the external owner completes this flight; the engine must not compute it")
+    });
+    let free = graph.add(
+        ActionKind::Preprocess,
+        "free",
+        &[],
+        |_| Ok(b"free".to_vec()),
+    );
+    let handle = engine.submit_graph(graph);
+
+    // The unkeyed node retires while the keyed node is still parked: the single
+    // worker was not blocked inside the cache waiting for the flight.
+    wait_until(30, || handle.poll().finished >= 1);
+    wait_until(30, || engine.queue_stats().parked_waiters == 1);
+    assert!(!handle.poll().done);
+    let mid = engine.queue_stats();
+    assert_eq!(mid.parked_waiters, 1);
+    assert!(mid.parks >= 1);
+    assert_eq!(mid.queued_actions, 0, "a parked waiter leaves the queue");
+
+    CacheBackend::complete(&cache, ticket, b"external bytes".to_vec());
+    let run = handle.wait();
+    assert!(run.succeeded());
+    assert_eq!(run.output(keyed), Some(&b"external bytes"[..]));
+    assert_eq!(run.output(free), Some(&b"free"[..]));
+
+    let record = &run.trace.records[keyed];
+    assert!(
+        record.cached,
+        "a flight resolved by its owner lands as a hit"
+    );
+    assert!(record.parks >= 1);
+    assert!(record.parked_micros > 0);
+    let after = engine.queue_stats();
+    assert_eq!(after.parked_waiters, 0);
+    assert!(after.wakeups >= 1);
+}
+
+/// Eight unordered nodes with one key on a one-worker engine: the first becomes
+/// the flight owner, computes once, and every other node is served the same
+/// bytes — no deadlock, no duplicate compute.
+#[test]
+fn duplicate_unordered_keys_on_one_worker_compute_once_and_complete() {
+    let cache = ActionCache::new(ImageStore::new());
+    let engine = Engine::cached(&cache).with_workers(1);
+    let runs = Arc::new(AtomicUsize::new(0));
+
+    let mut graph: ActionGraph<'static, Infallible> = ActionGraph::new();
+    let shared = key("dup");
+    let ids: Vec<ActionId> = (0..8)
+        .map(|i| {
+            let runs = runs.clone();
+            graph.add_cached(
+                ActionKind::IrLower,
+                format!("dup-{i}"),
+                shared.clone(),
+                &[],
+                move |_| {
+                    runs.fetch_add(1, Ordering::SeqCst);
+                    Ok(b"dup bytes".to_vec())
+                },
+            )
+        })
+        .collect();
+
+    let run = engine.run(graph);
+    assert!(run.succeeded());
+    for &id in &ids {
+        assert_eq!(run.output(id), Some(&b"dup bytes"[..]));
+    }
+    assert_eq!(
+        runs.load(Ordering::SeqCst),
+        1,
+        "single flight computes once"
+    );
+    assert_eq!(cache.stats().misses, 1);
+    let computed = run.trace.records.iter().filter(|r| !r.cached).count();
+    assert_eq!(computed, 1, "exactly one record carries the miss");
+}
+
+/// A flight that fails wakes its parked waiter with a typed error; the waiter
+/// retries `try_begin`, becomes the new owner, and computes its own closure.
+#[test]
+fn failed_flight_wakes_the_parked_waiter_which_retries_and_computes() {
+    let cache = ActionCache::new(ImageStore::new());
+    let shared = key("failing");
+    let ticket = hold_flight(&cache, &shared);
+
+    let engine = Engine::cached(&cache).with_workers(1);
+    let mut graph: ActionGraph<'static, Infallible> = ActionGraph::new();
+    let keyed = graph.add_cached(ActionKind::SdCompile, "retry", shared, &[], |_| {
+        Ok(b"retried".to_vec())
+    });
+    let handle = engine.submit_graph(graph);
+
+    wait_until(30, || engine.queue_stats().parked_waiters == 1);
+    CacheBackend::fail(&cache, ticket, FlightError::Failed);
+
+    let run = handle.wait();
+    assert!(run.succeeded());
+    assert_eq!(run.output(keyed), Some(&b"retried"[..]));
+    let record = &run.trace.records[keyed];
+    assert!(
+        !record.cached,
+        "the woken waiter recomputed the action itself"
+    );
+    assert!(record.parks >= 1);
+    assert_eq!(cache.stats().misses, 1);
+}
+
+/// Poisoned flights (owner dropped its ticket without redeeming it) wake — not
+/// strand — parked engine waiters, and the blast radius of a failed retry stays
+/// attributed to its own job via [`GraphRun::job_failure`].
+#[test]
+fn poisoned_flights_wake_parked_jobs_and_blast_radius_stays_per_job() {
+    let cache = ActionCache::new(ImageStore::new());
+    let key_a = key("poisoned-a");
+    let key_b = key("poisoned-b");
+    let ticket_a = hold_flight(&cache, &key_a);
+    let ticket_b = hold_flight(&cache, &key_b);
+
+    let engine = Engine::cached(&cache).with_workers(1);
+    let mut graph: ActionGraph<'static, String> = ActionGraph::new();
+    graph.set_job(Some(0));
+    let rejected = graph.add_cached(ActionKind::SdCompile, "job0-keyed", key_a, &[], |_| {
+        Err("job0 compute rejected".to_string())
+    });
+    let dependent = graph.add(ActionKind::Link, "job0-link", &[rejected], |_| Ok(vec![1]));
+    graph.set_job(Some(1));
+    let bystander = graph.add_cached(ActionKind::SdCompile, "job1-keyed", key_b, &[], |_| {
+        Ok(b"job1 bytes".to_vec())
+    });
+
+    let handle = engine.submit_graph(graph);
+    wait_until(30, || engine.queue_stats().parked_waiters == 2);
+
+    // Dropping the unredeemed tickets poisons both flights: each parked waiter
+    // wakes with a typed error and retries as the new owner.
+    drop(ticket_a);
+    drop(ticket_b);
+    let run = handle.wait();
+
+    match &run.outcomes[rejected] {
+        NodeOutcome::Failed(error) => assert_eq!(error, "job0 compute rejected"),
+        other => panic!("job0's retry must surface its typed error, got {other:?}"),
+    }
+    assert!(
+        matches!(run.outcomes[dependent], NodeOutcome::Skipped { root } if root == rejected),
+        "job0's dependent is skipped with the failing root"
+    );
+    assert_eq!(run.output(bystander), Some(&b"job1 bytes"[..]));
+
+    let failure = run.job_failure(0).expect("job 0 is poisoned by its retry");
+    assert_eq!(failure.node, rejected);
+    assert_eq!(failure.error, Some(&"job0 compute rejected".to_string()));
+    assert!(
+        run.job_failure(1).is_none(),
+        "job 1 recovered by computing its own closure after the poison wake"
+    );
+}
+
+/// One node of a small random DAG: stage, payload, whether it is cache-keyed,
+/// and raw dependency picks (each resolved modulo the node's id, so edges only
+/// ever point backwards).
+#[derive(Debug, Clone)]
+struct NodeSpec {
+    kind: usize,
+    payload: u8,
+    keyed: bool,
+    deps: Vec<usize>,
+}
+
+/// Maximum node count the DAG proptest draws per case.
+const MAX_NODES: usize = 10;
+
+/// Zip the independently drawn per-node vectors into the first `n` node specs.
+fn assemble_spec(
+    n: usize,
+    kinds: &[usize],
+    payloads: &[u8],
+    keyed: &[bool],
+    dep_picks: &[Vec<usize>],
+) -> Vec<NodeSpec> {
+    (0..n)
+        .map(|i| NodeSpec {
+            kind: kinds[i],
+            payload: payloads[i],
+            keyed: keyed[i],
+            deps: dep_picks[i].clone(),
+        })
+        .collect()
+}
+
+/// Build and run `spec` on a fresh cache with `workers` workers, returning the
+/// outputs and trace in node order.
+fn run_spec(spec: &[NodeSpec], workers: usize) -> (Vec<Vec<u8>>, ActionTrace) {
+    let cache = ActionCache::new(ImageStore::new());
+    let engine = Engine::cached(&cache).with_workers(workers);
+    let mut graph: ActionGraph<'_, Infallible> = ActionGraph::new();
+    for (i, node) in spec.iter().enumerate() {
+        let mut deps: Vec<ActionId> = node
+            .deps
+            .iter()
+            .filter(|_| i > 0)
+            .map(|pick| pick % i.max(1))
+            .collect();
+        deps.sort_unstable();
+        deps.dedup();
+        let payload = node.payload;
+        let run = move |inputs: &ActionInputs| {
+            let mut bytes: Vec<u8> = inputs.iter().flatten().copied().collect();
+            bytes.push(payload);
+            bytes.push(i as u8);
+            Ok(bytes)
+        };
+        let kind = ActionKind::ALL[node.kind];
+        if node.keyed {
+            // Keys are unique per node, so hit/miss flags are deterministic and
+            // full trace equality across worker counts is well-defined.
+            let unique = key(&format!("prop-{i}-{payload}"));
+            graph.add_cached(kind, format!("n{i}"), unique, &deps, run);
+        } else {
+            graph.add(kind, format!("n{i}"), &deps, run);
+        }
+    }
+    let (outputs, trace) = engine.run(graph).into_outputs().expect("infallible nodes");
+    (outputs.iter().map(|blob| blob.to_vec()).collect(), trace)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The continuation-parked executor yields byte-identical outputs and an
+    /// equal trace to the serial one-worker baseline on arbitrary small DAGs.
+    #[test]
+    fn parked_continuation_path_matches_the_serial_baseline(
+        n in 1usize..MAX_NODES,
+        kinds in proptest::collection::vec(0usize..ActionKind::ALL.len(), MAX_NODES),
+        payloads in proptest::collection::vec(any::<u8>(), MAX_NODES),
+        keyed in proptest::collection::vec(any::<bool>(), MAX_NODES),
+        dep_picks in proptest::collection::vec(
+            proptest::collection::vec(0usize..64, 0..3),
+            MAX_NODES,
+        ),
+    ) {
+        let spec = assemble_spec(n, &kinds, &payloads, &keyed, &dep_picks);
+        let (serial_out, serial_trace) = run_spec(&spec, 1);
+        let (parallel_out, parallel_trace) = run_spec(&spec, 4);
+        prop_assert_eq!(serial_out, parallel_out);
+        prop_assert_eq!(serial_trace, parallel_trace);
+    }
+
+    /// Two submissions racing the same keys through one engine stay
+    /// single-flight: each key computes exactly once, every node observes the
+    /// same bytes, and exactly one record per key carries the miss.
+    #[test]
+    fn racing_duplicate_key_submissions_stay_single_flight_and_byte_identical(
+        n_keys in 1usize..4,
+        dups in 2usize..5,
+    ) {
+        let cache = ActionCache::new(ImageStore::new());
+        let engine = Engine::cached(&cache).with_workers(4);
+        let computes: Vec<Arc<AtomicUsize>> =
+            (0..n_keys).map(|_| Arc::new(AtomicUsize::new(0))).collect();
+
+        let submit = |salt: &str| {
+            let mut graph: ActionGraph<'static, Infallible> = ActionGraph::new();
+            for (k, counter) in computes.iter().enumerate() {
+                for d in 0..dups {
+                    let runs = counter.clone();
+                    graph.add_cached(
+                        ActionKind::IrLower,
+                        format!("{salt}-k{k}-d{d}"),
+                        key(&format!("race-{k}")),
+                        &[],
+                        move |_| {
+                            runs.fetch_add(1, Ordering::SeqCst);
+                            // Widen the race window so waiters genuinely park.
+                            std::thread::sleep(Duration::from_micros(200));
+                            Ok(format!("race bytes {k}").into_bytes())
+                        },
+                    );
+                }
+            }
+            engine.submit_graph(graph)
+        };
+        let first = submit("a");
+        let second = submit("b");
+        let runs = [first.wait(), second.wait()];
+
+        for run in &runs {
+            prop_assert!(run.succeeded());
+            for k in 0..n_keys {
+                for d in 0..dups {
+                    let id = k * dups + d;
+                    prop_assert_eq!(run.output(id), Some(format!("race bytes {k}").as_bytes()));
+                }
+            }
+        }
+        for (k, counter) in computes.iter().enumerate() {
+            prop_assert_eq!(
+                counter.load(Ordering::SeqCst), 1,
+                "key {} must compute exactly once across both submissions", k
+            );
+        }
+        let missed: usize = runs
+            .iter()
+            .flat_map(|run| run.trace.records.iter())
+            .filter(|record| !record.cached)
+            .count();
+        prop_assert_eq!(missed, n_keys, "one miss record per key across both runs");
+    }
+}

@@ -524,6 +524,8 @@ fn measured_costs_reproduce_the_default_ordering_on_the_gromacs_sweep() {
                 key_digest: None,
                 cached: false,
                 queue_wait_micros: 0,
+                parked_micros: 0,
+                parks: 0,
                 exec_micros: defaults.action_cost(kind) * 250,
                 schedule_seq: 0,
                 job: None,
