@@ -16,6 +16,7 @@
 //! reproduce fleet               # fleet specialization: cold vs shared-cache, union vs sequential (JSON)
 //! reproduce engine              # action-graph engine: parallel vs serial build (JSON)
 //! reproduce service             # multi-tenant service load: throughput, latency, fairness (JSON)
+//! reproduce analyze             # static analysis of the driver graphs; exits nonzero on any deny (JSON)
 //! reproduce snapshot            # write the per-PR BENCH_<pr>.json performance snapshot
 //! reproduce network             # Section 6.5 bandwidth
 //! reproduce gpu-compat          # Figure 9 compatibility rules
@@ -169,6 +170,22 @@ fn run(section: &str) {
                 serde_json::to_string_pretty(&experiment).expect("service experiment serialises")
             );
         }
+        "analyze" => {
+            // Banner on stderr so stdout stays machine-readable JSON (`reproduce analyze | jq .`).
+            eprintln!("== Static analysis: GROMACS/LULESH build, deploy, and fleet graphs ==");
+            let section = experiments::analyze_driver_graphs();
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&section).expect("analyze section serialises")
+            );
+            if !section.clean {
+                eprintln!(
+                    "{} deny-level diagnostic(s) in the driver graphs",
+                    section.total_denies
+                );
+                std::process::exit(1);
+            }
+        }
         "snapshot" => {
             eprintln!("== Per-PR performance snapshot ==");
             let snapshot = experiments::bench_snapshot();
@@ -212,6 +229,7 @@ fn main() {
         "fleet",
         "engine",
         "service",
+        "analyze",
         "network",
         "gpu-compat",
         "intersection",

@@ -6,9 +6,11 @@
 //! computations. See `EXPERIMENTS.md` at the repository root for the paper-vs-measured
 //! comparison.
 
+pub mod analysis;
 pub mod experiments;
 pub mod render;
 pub mod service_load;
 
+pub use analysis::*;
 pub use experiments::*;
 pub use service_load::*;

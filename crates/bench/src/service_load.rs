@@ -157,7 +157,11 @@ fn occupy_engine(
             },
         );
     }
-    let handle = service.orchestrator().engine().submit_graph(graph);
+    let handle = service
+        .orchestrator()
+        .engine()
+        .submit_graph(graph)
+        .expect("analysis-clean graph");
     (release, handle)
 }
 
@@ -354,7 +358,7 @@ fn park_probe(service: &OrchestratorService) -> usize {
             },
         );
     }
-    let handle = engine.submit_graph(graph);
+    let handle = engine.submit_graph(graph).expect("analysis-clean graph");
     while engine.queue_stats().parked_waiters < before + (DUPLICATES - 1) {
         std::thread::yield_now();
     }
@@ -743,6 +747,12 @@ pub struct BenchSnapshot {
     /// Bytes the content-addressed store deduplicated across the fleet run
     /// (stored once, referenced many times — never re-copied or re-hashed).
     pub store_dedup_bytes_avoided: u64,
+    /// Pre-submission analyzer cost in nanoseconds per graph node, measured
+    /// over a union graph shaped like the 2,048-request mixed load (see
+    /// [`analysis_overhead`](crate::analysis::analysis_overhead)).
+    pub analysis_ns_per_node: f64,
+    /// Nodes in the analyzer-overhead probe graph.
+    pub analysis_nodes: usize,
 }
 
 /// Scalar SHA-256 throughput in MB/s over a 1 MiB buffer, amortised across
@@ -763,14 +773,15 @@ pub fn digest_throughput_mb_per_s() -> f64 {
     (SIZE as f64 * f64::from(PASSES)) / elapsed / 1e6
 }
 
-/// Assemble the PR-8 snapshot from the service-load, fleet, and engine
-/// experiments.
+/// Assemble the PR-9 snapshot from the service-load, fleet, engine, and
+/// analyzer-overhead experiments.
 pub fn bench_snapshot() -> BenchSnapshot {
     let service = service_load();
     let fleet = crate::experiments::fleet_specialization();
     let engine = crate::experiments::engine_parallelism();
+    let analysis = crate::analysis::analysis_overhead();
     BenchSnapshot {
-        pr: 8,
+        pr: 9,
         service,
         fleet_hit_rate: fleet.fleet_hit_rate,
         fleet_warm_rerun_hit_rate: fleet.warm_rerun_hit_rate,
@@ -780,5 +791,7 @@ pub fn bench_snapshot() -> BenchSnapshot {
         engine_parallel_stage_depth: engine.parallel_stage_depth,
         digest_mb_per_s: digest_throughput_mb_per_s(),
         store_dedup_bytes_avoided: fleet.store_dedup_bytes,
+        analysis_ns_per_node: analysis.ns_per_node,
+        analysis_nodes: analysis.nodes,
     }
 }

@@ -46,6 +46,13 @@ pub enum DeployError {
     Cache(String),
     /// The orchestrator's scheduling policy is invalid (e.g. a zero concurrency cap).
     Policy(crate::engine::PolicyError),
+    /// The pre-submission static analyzer rejected the deployment graph
+    /// (deny-level diagnostics under
+    /// [`AnalysisMode::Strict`](crate::engine::AnalysisMode)); nothing executed.
+    Analysis(Box<crate::engine::AnalysisReport>),
+    /// The executor broke its scheduling contract (a node skipped without a
+    /// failure, or cancelled mid-run) — not a deployment error.
+    Engine(crate::engine::GraphFault),
 }
 
 impl fmt::Display for DeployError {
@@ -61,11 +68,28 @@ impl fmt::Display for DeployError {
             DeployError::Compile { file, error } => write!(f, "compiling {file}: {error}"),
             DeployError::Cache(detail) => write!(f, "action cache: {detail}"),
             DeployError::Policy(error) => write!(f, "{error}"),
+            DeployError::Analysis(report) => write!(f, "graph rejected by analysis: {report}"),
+            DeployError::Engine(fault) => write!(f, "executor fault: {fault}"),
         }
     }
 }
 
 impl std::error::Error for DeployError {}
+
+impl From<crate::engine::GraphRunError<DeployError>> for DeployError {
+    fn from(value: crate::engine::GraphRunError<DeployError>) -> Self {
+        match value.into_action() {
+            Ok(error) => error,
+            Err(fault) => DeployError::Engine(fault),
+        }
+    }
+}
+
+impl From<Box<crate::engine::AnalysisReport>> for DeployError {
+    fn from(value: Box<crate::engine::AnalysisReport>) -> Self {
+        DeployError::Analysis(value)
+    }
+}
 
 /// Statistics of one deployment.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -635,6 +659,7 @@ pub(crate) fn run_planned_ir_deploy(
 ) -> Result<IrDeployment, DeployError> {
     let mut graph: ActionGraph<'_, DeployError> = ActionGraph::new();
     graft_ir_deploy(&plan, &mut graph, engine.store(), None);
+    engine.preflight(&graph)?;
     let run = engine.run(graph);
     let (_, trace) = run.into_outputs()?;
     finish_ir_deploy(plan, trace)
@@ -654,6 +679,23 @@ pub(crate) fn run_ir_deploy(
 ) -> Result<IrDeployment, DeployError> {
     let plan = plan_ir_deploy(build, project, system, selection, simd)?;
     run_planned_ir_deploy(plan, engine)
+}
+
+/// Run the pre-submission static analyzer over the exact graph one deployment
+/// would submit — plan ([`plan_ir_deploy`]) and graft ([`graft_ir_deploy`])
+/// onto a private graph, then lint it — without executing a single node.
+pub(crate) fn analyze_ir_deploy(
+    build: &IrContainerBuild,
+    project: &ProjectSpec,
+    system: &SystemModel,
+    selection: &OptionAssignment,
+    simd: SimdLevel,
+    engine: &Engine,
+) -> Result<crate::engine::AnalysisReport, DeployError> {
+    let plan = plan_ir_deploy(build, project, system, selection, simd)?;
+    let mut graph: ActionGraph<'_, DeployError> = ActionGraph::new();
+    graft_ir_deploy(&plan, &mut graph, engine.store(), None);
+    Ok(engine.analyze(&graph))
 }
 
 /// Convenience: list the IR blob paths of an IR container image (used by examples/tests

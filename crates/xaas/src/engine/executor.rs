@@ -39,6 +39,7 @@
 //! `queue_wait_micros`, and `ready_submissions` diagnostics, which are
 //! deliberately excluded from trace equality.
 
+#![deny(clippy::unwrap_used, clippy::dbg_macro)]
 use super::graph::{ActionGraph, ActionId, ActionInputs, KeySpec};
 use super::policy::SchedulingPolicy;
 use super::trace::{ActionKind, ActionRecord, ActionTrace};
@@ -121,8 +122,8 @@ pub struct JobFailure<'run, E> {
     pub info: &'run NodeInfo,
     /// The typed error the failing node returned. `None` only when the node was
     /// itself skipped without a recorded failure (a cache-backend contract
-    /// violation — the executor panics on that path before a caller can see it) or
-    /// when the submission was cancelled.
+    /// violation, surfaced as [`GraphRunError::ContractViolation`] by
+    /// [`GraphRun::into_outputs`]) or when the submission was cancelled.
     pub error: Option<&'run E>,
 }
 
@@ -180,38 +181,98 @@ impl<E> GraphRun<E> {
         self.outcomes.get(id).and_then(NodeOutcome::output)
     }
 
-    /// All outputs in node order, or the first (lowest node id) error.
-    ///
-    /// # Panics
-    /// On a cancelled node — a cancelled submission has no typed error to return;
-    /// inspect [`GraphRun::outcomes`] instead.
-    pub fn into_outputs(self) -> Result<(ActionOutputs, ActionTrace), E> {
+    /// All outputs in node order, or the first (lowest node id) error as a typed
+    /// [`GraphRunError`]: the failing node's own error
+    /// ([`GraphRunError::Action`]), a cache-backend contract violation
+    /// ([`GraphRunError::ContractViolation`]), or a cancelled submission
+    /// ([`GraphRunError::Cancelled`]). The non-action cases were historically
+    /// `panic!` escape hatches; they now surface through the orchestrator's
+    /// driver errors instead of tearing the caller down.
+    pub fn into_outputs(self) -> Result<(ActionOutputs, ActionTrace), GraphRunError<E>> {
         let mut outputs = Vec::with_capacity(self.outcomes.len());
         for (id, outcome) in self.outcomes.into_iter().enumerate() {
             match outcome {
                 NodeOutcome::Output(bytes) => outputs.push(bytes),
-                NodeOutcome::Failed(error) => return Err(error),
+                NodeOutcome::Failed(error) => return Err(GraphRunError::Action(error)),
                 NodeOutcome::Skipped { root } => {
                     // Dependencies precede dependents in node order, so a skip's root
                     // failure is normally returned above. Reaching this arm means a
                     // cache backend failed a keyed action without invoking its compute
                     // closure, breaking the CacheBackend contract.
-                    panic!(
-                        "action {root} was skipped without a preceding failure: \
-                         the cache backend failed without running the action"
-                    )
+                    return Err(GraphRunError::ContractViolation { node: root });
                 }
                 NodeOutcome::Cancelled => {
-                    panic!(
-                        "action {id} was cancelled before completion; a cancelled run \
-                         has no typed error — inspect GraphRun::outcomes instead"
-                    )
+                    return Err(GraphRunError::Cancelled { node: id });
                 }
             }
         }
         Ok((outputs, self.trace))
     }
 }
+
+/// Why [`GraphRun::into_outputs`] could not produce the run's outputs.
+///
+/// `Action` carries the driver's own typed error; the other two variants are
+/// *engine-level faults* that carry no driver error — a cache backend breaking
+/// its contract, or a submission cancelled via
+/// [`GraphHandle::cancel`]. Use [`into_action`](Self::into_action) to split the
+/// two classes; [`GraphFault`] is the fault-only shape the orchestrator's driver
+/// errors embed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GraphRunError<E> {
+    /// The first failing node's own typed error.
+    Action(E),
+    /// A node retired as skipped with no preceding failure: the cache backend
+    /// failed a keyed action without invoking its compute closure, breaking the
+    /// [`CacheBackend`] contract.
+    ContractViolation {
+        /// The node the backend skipped.
+        node: ActionId,
+    },
+    /// The submission was cancelled before this node completed; a cancelled run
+    /// has no typed error — inspect [`GraphRun::outcomes`] for partial results.
+    Cancelled {
+        /// The first cancelled node.
+        node: ActionId,
+    },
+}
+
+/// An engine-level run fault with the action-error case ruled out — the shape
+/// driver error enums embed (their own error fills the `Action` role).
+pub type GraphFault = GraphRunError<std::convert::Infallible>;
+
+impl<E> GraphRunError<E> {
+    /// Split into the action's own error or the engine-level [`GraphFault`].
+    pub fn into_action(self) -> Result<E, GraphFault> {
+        match self {
+            GraphRunError::Action(error) => Ok(error),
+            GraphRunError::ContractViolation { node } => {
+                Err(GraphRunError::ContractViolation { node })
+            }
+            GraphRunError::Cancelled { node } => Err(GraphRunError::Cancelled { node }),
+        }
+    }
+}
+
+impl<E: std::fmt::Display> std::fmt::Display for GraphRunError<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphRunError::Action(error) => error.fmt(f),
+            GraphRunError::ContractViolation { node } => write!(
+                f,
+                "action {node} was skipped without a preceding failure: \
+                 the cache backend failed without running the action"
+            ),
+            GraphRunError::Cancelled { node } => write!(
+                f,
+                "action {node} was cancelled before completion; \
+                 inspect GraphRun::outcomes for partial results"
+            ),
+        }
+    }
+}
+
+impl<E: std::fmt::Debug + std::fmt::Display> std::error::Error for GraphRunError<E> {}
 
 /// A driver error, type-erased so submissions of every error type can share one
 /// worker pool; downcast back to `E` when the run is assembled.
@@ -1531,4 +1592,67 @@ impl<E> std::fmt::Debug for GraphHandle<E> {
 
 fn sub_total(sub: &Submission) -> usize {
     sub.metas.len()
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    fn run_with_outcomes(outcomes: Vec<NodeOutcome<String>>) -> GraphRun<String> {
+        let infos = outcomes
+            .iter()
+            .enumerate()
+            .map(|(id, _)| NodeInfo {
+                kind: ActionKind::Preprocess,
+                label: format!("node{id}"),
+                job: None,
+            })
+            .collect();
+        GraphRun {
+            outcomes,
+            trace: ActionTrace::default(),
+            infos,
+        }
+    }
+
+    #[test]
+    fn skipped_without_failure_is_a_typed_contract_violation_not_a_panic() {
+        // A cache backend that fails a keyed action without running its compute
+        // closure leaves a skip whose root never failed. Historically this path
+        // was a panic!; it must now surface as a typed GraphRunError.
+        let run = run_with_outcomes(vec![
+            NodeOutcome::Output(Blob::from(vec![1u8])),
+            NodeOutcome::Skipped { root: 0 },
+        ]);
+        let error = run.into_outputs().unwrap_err();
+        assert_eq!(error, GraphRunError::ContractViolation { node: 0 });
+        assert!(
+            error.to_string().contains("cache backend failed"),
+            "display names the broken contract: {error}"
+        );
+    }
+
+    #[test]
+    fn cancelled_nodes_surface_as_typed_cancellation_not_a_panic() {
+        let run = run_with_outcomes(vec![
+            NodeOutcome::Output(Blob::from(vec![1u8])),
+            NodeOutcome::Cancelled,
+        ]);
+        let error = run.into_outputs().unwrap_err();
+        assert_eq!(error, GraphRunError::Cancelled { node: 1 });
+        assert!(error.to_string().contains("cancelled before completion"));
+    }
+
+    #[test]
+    fn action_errors_pass_through_and_split_from_engine_faults() {
+        let run = run_with_outcomes(vec![NodeOutcome::Failed("boom".to_string())]);
+        let error = run.into_outputs().unwrap_err();
+        assert_eq!(error.into_action(), Ok("boom".to_string()));
+
+        let fault: GraphFault = GraphRunError::<String>::Cancelled { node: 3 }
+            .into_action()
+            .unwrap_err();
+        assert_eq!(fault, GraphRunError::Cancelled { node: 3 });
+    }
 }

@@ -7,6 +7,7 @@
 //! which keeps cycle detection trivial and the executor allocation-free on the hot
 //! path.
 
+#![deny(clippy::unwrap_used, clippy::dbg_macro)]
 use super::trace::ActionKind;
 use xaas_container::{Blob, BuildKey};
 
@@ -248,6 +249,7 @@ impl<E> std::fmt::Debug for ActionGraph<'_, E> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -17,7 +17,11 @@
 //!   nodes by per-kind cost, optionally bound e.g. `sd-compile` slots);
 //! * [`trace`] — [`ActionTrace`]: a deterministic, node-ordered record of what ran
 //!   and what the cache absorbed, from which the historical [`ActionSummary`]
-//!   counters are derived.
+//!   counters are derived;
+//! * [`analysis`] — [`GraphAnalyzer`]: the pre-submission static verifier that
+//!   lints a graph against the active policy and rejects structurally broken or
+//!   unrunnable submissions before any worker executes a node (see
+//!   [`AnalysisMode`]).
 //!
 //! The drivers behind [`ir_container`](crate::ir_container),
 //! [`deploy`](crate::deploy), [`source_container`](crate::source_container), and
@@ -42,15 +46,20 @@
 //! assert_eq!(run.output(shout), Some(&b"HI"[..]));
 //! ```
 
+#![deny(clippy::unwrap_used, clippy::dbg_macro)]
+pub mod analysis;
 pub mod executor;
 pub mod graph;
 pub mod plan;
 pub mod policy;
 pub mod trace;
 
+pub use analysis::{
+    AnalysisMode, AnalysisReport, Diagnostic, DiagnosticCode, GraphAnalyzer, Severity,
+};
 pub use executor::{
-    ActionOutputs, GraphHandle, GraphRun, GraphStatus, JobFailure, NodeInfo, NodeOutcome,
-    QueueStats,
+    ActionOutputs, GraphFault, GraphHandle, GraphRun, GraphRunError, GraphStatus, JobFailure,
+    NodeInfo, NodeOutcome, QueueStats,
 };
 pub use graph::{ActionGraph, ActionId, ActionInputs};
 pub use plan::{add_commit_action, KeyedActionPlanner, LinkSlot, PreprocessPlanner};
@@ -87,6 +96,14 @@ pub struct Engine {
     /// engine still share the pool.
     tenant: Option<String>,
     core: Arc<executor::ExecutorCore>,
+    /// What [`submit_graph`](Self::submit_graph) does with the static analyzer.
+    analysis: AnalysisMode,
+    /// The service's queued-action bound, if one applies (the analyzer's
+    /// `XA-SVC-001` check). Purely advisory — enforcement stays in admission.
+    queue_bound: Option<usize>,
+    /// The most recent analyzer report, kept for observability (shared across
+    /// clones, like the pool).
+    last_report: Arc<std::sync::Mutex<Option<AnalysisReport>>>,
 }
 
 impl Engine {
@@ -105,6 +122,9 @@ impl Engine {
             seq: Arc::new(AtomicU64::new(0)),
             tenant: None,
             core: Arc::new(executor::ExecutorCore::new()),
+            analysis: AnalysisMode::default(),
+            queue_bound: None,
+            last_report: Arc::new(std::sync::Mutex::new(None)),
         }
     }
 
@@ -166,6 +186,68 @@ impl Engine {
         self.tenant.as_deref()
     }
 
+    /// Set what [`submit_graph`](Self::submit_graph) (and the orchestrator's
+    /// pipeline drivers) do with the static analyzer: reject deny-level reports
+    /// ([`AnalysisMode::Strict`], the default), record them without rejecting
+    /// ([`AnalysisMode::WarnOnly`]), or skip analysis ([`AnalysisMode::Off`]).
+    /// Does not restart the pool — safe to change on a live engine clone.
+    pub fn with_analysis(mut self, mode: AnalysisMode) -> Self {
+        self.analysis = mode;
+        self
+    }
+
+    /// The configured [`AnalysisMode`].
+    pub fn analysis_mode(&self) -> AnalysisMode {
+        self.analysis
+    }
+
+    /// Tell the analyzer about a service-level queued-action bound so reports
+    /// include the `XA-SVC-001` queue-saturation check. Advisory only — the
+    /// service still enforces the bound at admission. Does not restart the pool.
+    pub fn with_queue_bound(mut self, bound: Option<usize>) -> Self {
+        self.queue_bound = bound;
+        self
+    }
+
+    /// Run the static analyzer over `graph` against this engine's policy,
+    /// tenant tag, and queue bound, regardless of [`AnalysisMode`]. Read-only:
+    /// nothing is scheduled and the report is not recorded.
+    pub fn analyze<E>(&self, graph: &ActionGraph<'_, E>) -> AnalysisReport {
+        GraphAnalyzer::new(self.policy.as_ref())
+            .tenant(self.tenant.as_deref())
+            .queue_bound(self.queue_bound)
+            .analyze(graph)
+    }
+
+    /// The analyzer's verdict on `graph` under the configured [`AnalysisMode`]:
+    /// `Ok` to proceed, `Err(report)` when the mode is
+    /// [`Strict`](AnalysisMode::Strict) and the report carries deny-level
+    /// findings. Runs (and records) the analysis the mode calls for — the
+    /// pipeline drivers call this before every `engine.run`.
+    pub fn preflight<E>(&self, graph: &ActionGraph<'_, E>) -> Result<(), Box<AnalysisReport>> {
+        if self.analysis == AnalysisMode::Off {
+            return Ok(());
+        }
+        let report = self.analyze(graph);
+        let rejected = self.analysis == AnalysisMode::Strict && report.is_rejected();
+        let verdict = if rejected {
+            Err(Box::new(report.clone()))
+        } else {
+            Ok(())
+        };
+        if let Ok(mut slot) = self.last_report.lock() {
+            *slot = Some(report);
+        }
+        verdict
+    }
+
+    /// The most recent report [`preflight`](Self::preflight) produced on this
+    /// engine (shared across clones), if analysis has run. This is how
+    /// [`WarnOnly`](AnalysisMode::WarnOnly) findings stay observable.
+    pub fn last_analysis(&self) -> Option<AnalysisReport> {
+        self.last_report.lock().ok().and_then(|slot| slot.clone())
+    }
+
     /// The configured worker count.
     pub fn workers(&self) -> usize {
         self.workers
@@ -217,18 +299,24 @@ impl Engine {
     /// waits, cancels, or registers a completion callback. The graph must own
     /// its environment (`'static`) because execution outlives this call — for
     /// borrowed environments use the blocking [`run`](Self::run).
+    ///
+    /// The submission is [`preflight`](Self::preflight)ed first: under
+    /// [`AnalysisMode::Strict`] (the default) a graph with deny-level findings
+    /// is rejected with its [`AnalysisReport`] before any node is enqueued —
+    /// no worker executes, no cache entry is touched, no queue slot is taken.
     pub fn submit_graph<E: Send + 'static>(
         &self,
         graph: ActionGraph<'static, E>,
-    ) -> GraphHandle<E> {
-        self.core.submit_graph(
+    ) -> Result<GraphHandle<E>, Box<AnalysisReport>> {
+        self.preflight(&graph)?;
+        Ok(self.core.submit_graph(
             &self.cache,
             &self.policy,
             &self.seq,
             self.workers,
             graph,
             self.tenant.clone(),
-        )
+        ))
     }
 
     /// A snapshot of the shared ready queue: how many actions are queued, how
@@ -251,6 +339,7 @@ impl std::fmt::Debug for Engine {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};
@@ -312,7 +401,10 @@ mod tests {
         ));
         assert_eq!(run.output(independent), Some(&b"fine"[..]));
         // into_outputs surfaces the typed error of the failing node.
-        assert_eq!(run.into_outputs().unwrap_err(), "boom");
+        assert_eq!(
+            run.into_outputs().unwrap_err(),
+            GraphRunError::Action("boom".to_string())
+        );
     }
 
     #[test]
@@ -533,7 +625,7 @@ mod tests {
         graph.add(ActionKind::Link, "tail", &[held], |inputs| {
             Ok(inputs.iter().next().expect("held output").to_vec())
         });
-        let handle = engine.submit_graph(graph);
+        let handle = engine.submit_graph(graph).expect("analysis-clean graph");
         let status = handle.poll();
         assert_eq!(status.total, 2);
         assert!(!status.done);
@@ -555,7 +647,9 @@ mod tests {
         // new callbacks immediately on the caller.
         let mut done_graph: ActionGraph<'static, std::convert::Infallible> = ActionGraph::new();
         done_graph.add(ActionKind::Preprocess, "p", &[], |_| Ok(vec![2]));
-        let handle = engine.submit_graph(done_graph);
+        let handle = engine
+            .submit_graph(done_graph)
+            .expect("analysis-clean graph");
         while !handle.is_done() {
             std::thread::yield_now();
         }
@@ -579,12 +673,12 @@ mod tests {
             blocked.lock().unwrap().recv().ok();
             Ok(vec![1])
         });
-        let first_handle = engine.submit_graph(first);
+        let first_handle = engine.submit_graph(first).expect("analysis-clean graph");
 
         let mut second: ActionGraph<'static, std::convert::Infallible> = ActionGraph::new();
         let a = second.add(ActionKind::Preprocess, "a", &[], |_| Ok(vec![2]));
         second.add(ActionKind::Link, "b", &[a], |_| Ok(vec![3]));
-        let second_handle = engine.submit_graph(second);
+        let second_handle = engine.submit_graph(second).expect("analysis-clean graph");
         second_handle.cancel();
         release.send(()).unwrap();
 
@@ -616,11 +710,11 @@ mod tests {
             Ok(vec![1])
         });
         first.add(ActionKind::Preprocess, "sibling", &[], |_| Ok(vec![2]));
-        let first_handle = engine.submit_graph(first);
+        let first_handle = engine.submit_graph(first).expect("analysis-clean graph");
 
         let mut second: ActionGraph<'static, std::convert::Infallible> = ActionGraph::new();
         second.add(ActionKind::Preprocess, "other", &[], |_| Ok(vec![3]));
-        let second_handle = engine.submit_graph(second);
+        let second_handle = engine.submit_graph(second).expect("analysis-clean graph");
         // Both submissions now have queued work; release the worker.
         while engine.queue_stats().waiting_submissions < 2 {
             std::thread::yield_now();
@@ -659,7 +753,7 @@ mod tests {
             blocked.lock().unwrap().recv().ok();
             Ok(vec![0])
         });
-        let gate_handle = base.submit_graph(gate_graph);
+        let gate_handle = base.submit_graph(gate_graph).expect("analysis-clean graph");
 
         let tenant_graph = |name: &'static str| {
             let mut graph: ActionGraph<'static, std::convert::Infallible> = ActionGraph::new();
@@ -675,8 +769,12 @@ mod tests {
         };
         let heavy = base.clone().with_tenant("heavy");
         let light = base.clone().with_tenant("light");
-        let heavy_handle = heavy.submit_graph(tenant_graph("h"));
-        let light_handle = light.submit_graph(tenant_graph("l"));
+        let heavy_handle = heavy
+            .submit_graph(tenant_graph("h"))
+            .expect("analysis-clean");
+        let light_handle = light
+            .submit_graph(tenant_graph("l"))
+            .expect("analysis-clean");
         while base.queue_stats().waiting_submissions < 2 {
             std::thread::yield_now();
         }
@@ -727,7 +825,10 @@ mod tests {
             .with_workers(6)
             .with_policy(WeightedFair::new().with_tenant_cap(ActionKind::SdCompile, 2))
             .with_tenant("quoted");
-        let run = engine.submit_graph(graph).wait();
+        let run = engine
+            .submit_graph(graph)
+            .expect("analysis-clean graph")
+            .wait();
         assert!(run.succeeded());
         assert!(
             peak.load(Ordering::SeqCst) <= 2,

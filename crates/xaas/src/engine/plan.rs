@@ -8,6 +8,7 @@
 //! image to the engine's store). This module hosts both so a change to commit
 //! semantics — e.g. the ROADMAP's registry-streaming follow-on — lands in one place.
 
+#![deny(clippy::unwrap_used, clippy::dbg_macro)]
 use super::graph::{ActionGraph, ActionId};
 use super::trace::ActionKind;
 use parking_lot::Mutex;
@@ -180,6 +181,7 @@ pub fn add_commit_action<'env, T: Send, E>(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::engine::Engine;

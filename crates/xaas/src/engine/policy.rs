@@ -24,6 +24,7 @@
 //! per-kind and per-tenant queue-wait — are recorded in the run's
 //! [`ActionTrace`](crate::engine::ActionTrace).
 
+#![deny(clippy::unwrap_used, clippy::dbg_macro)]
 use super::trace::ActionKind;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -401,6 +402,7 @@ impl SchedulingPolicy for WeightedFair {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -8,6 +8,7 @@
 //! property tests lean on this to prove that parallel and serial builds execute the
 //! same action set.
 
+#![deny(clippy::unwrap_used, clippy::dbg_macro)]
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::collections::BTreeSet;
@@ -344,6 +345,7 @@ impl ActionTrace {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -263,6 +263,13 @@ pub enum IrPipelineError {
     Cache(String),
     /// The orchestrator's scheduling policy is invalid (e.g. a zero concurrency cap).
     Policy(crate::engine::PolicyError),
+    /// The pre-submission static analyzer rejected the build graph (deny-level
+    /// diagnostics under [`AnalysisMode::Strict`](crate::engine::AnalysisMode));
+    /// nothing executed.
+    Analysis(Box<crate::engine::AnalysisReport>),
+    /// The executor broke its scheduling contract (a node skipped without a
+    /// failure, or cancelled mid-run) — not a pipeline error.
+    Engine(crate::engine::GraphFault),
 }
 
 impl fmt::Display for IrPipelineError {
@@ -281,6 +288,8 @@ impl fmt::Display for IrPipelineError {
             }
             IrPipelineError::Cache(detail) => write!(f, "action cache: {detail}"),
             IrPipelineError::Policy(error) => write!(f, "{error}"),
+            IrPipelineError::Analysis(report) => write!(f, "graph rejected by analysis: {report}"),
+            IrPipelineError::Engine(fault) => write!(f, "executor fault: {fault}"),
         }
     }
 }
@@ -290,6 +299,21 @@ impl std::error::Error for IrPipelineError {}
 impl From<ConfigureError> for IrPipelineError {
     fn from(value: ConfigureError) -> Self {
         IrPipelineError::Configure(value)
+    }
+}
+
+impl From<crate::engine::GraphRunError<IrPipelineError>> for IrPipelineError {
+    fn from(value: crate::engine::GraphRunError<IrPipelineError>) -> Self {
+        match value.into_action() {
+            Ok(error) => error,
+            Err(fault) => IrPipelineError::Engine(fault),
+        }
+    }
+}
+
+impl From<Box<crate::engine::AnalysisReport>> for IrPipelineError {
+    fn from(value: Box<crate::engine::AnalysisReport>) -> Self {
+        IrPipelineError::Analysis(value)
     }
 }
 
@@ -413,40 +437,45 @@ pub(crate) fn unknown_target_source(project: &ProjectSpec) -> Option<String> {
         .cloned()
 }
 
-/// Build an IR container by constructing staged action graphs and submitting them to
-/// `engine` (the driver behind
-/// [`IrBuildRequest`](crate::orchestrator::IrBuildRequest)).
-///
-/// The build runs as an explicit pipeline over the engine's worker pool:
-///
-/// 1. **configure** (driver, serial — cheap): enumerate the sweep, emit compile DBs,
-///    split system-dependent from system-independent units;
-/// 2. **preprocess + openmp-detect** (graph A, parallel): one deduplicated action per
-///    distinct (file, definitions) pair;
-/// 3. **ir-lower** (graph B, parallel, cache-routed): one action per deduplicated
-///    translation unit, keyed by the preprocessed-content digest;
-/// 4. **link + commit** (graph B tail): assemble the image layers from the lowered
-///    units and commit it to the engine's store.
-///
-/// The resulting image is byte-identical for any worker count, scheduling policy,
-/// and whether actions hit or miss the cache; only
-/// [`IrContainerBuild::actions`]/[`IrContainerBuild::trace`] differ in their
-/// `cached` flags.
-pub(crate) fn run_ir_build(
-    project: &ProjectSpec,
-    config: &IrPipelineConfig,
-    engine: &Engine,
-    reference: &str,
-) -> Result<IrContainerBuild, IrPipelineError> {
-    if let Some(file) = unknown_target_source(project) {
-        return Err(IrPipelineError::UnknownSource { file });
-    }
-    let assignments = enumerate_assignments(project, config)?;
+/// One (target, source file, dedup key) triple per translation unit of a
+/// configuration.
+type UnitKeys = Vec<(String, String, String)>;
+
+/// The serial stage-1 plan: the stage-A action graph (preprocess + OpenMP
+/// detection, deduplicated across configurations) plus the bookkeeping the
+/// later serial stages fold over. Building it runs no actions — this is the
+/// graph [`analyze_ir_build`] lints without executing anything.
+pub(crate) struct IrBuildStageA<'env> {
+    pub(crate) graph: ActionGraph<'env, IrPipelineError>,
+    stats: PipelineStats,
+    manifests: Vec<ConfigurationManifest>,
+    sd_files: BTreeSet<String>,
+    si_files: BTreeSet<String>,
+    unit_key_by_config: Vec<UnitKeys>,
+    occurrences: Vec<TuOccurrence>,
+}
+
+/// The compiler every stage-A/B action closes over (project headers loaded).
+pub(crate) fn ir_build_compiler(project: &ProjectSpec) -> Compiler {
     let mut compiler = Compiler::new();
     for (name, content) in &project.headers {
         compiler.add_header(name.clone(), content.clone());
     }
-    let compiler = compiler; // frozen: shared immutably by the graph actions
+    compiler
+}
+
+/// Stage 1 (driver, serial): configure every assignment, classify its units,
+/// and plan the deduplicated stage-A graph. `compiler` must outlive the graph —
+/// the planned preprocess/OpenMP actions borrow it.
+pub(crate) fn plan_ir_build_stage_a<'env>(
+    project: &ProjectSpec,
+    config: &IrPipelineConfig,
+    compiler: &'env Compiler,
+) -> Result<IrBuildStageA<'env>, IrPipelineError> {
+    if let Some(file) = unknown_target_source(project) {
+        return Err(IrPipelineError::UnknownSource { file });
+    }
+    let assignments = enumerate_assignments(project, config)?;
 
     let mut stats = PipelineStats {
         configurations: assignments.len(),
@@ -455,15 +484,12 @@ pub(crate) fn run_ir_build(
     let mut manifests: Vec<ConfigurationManifest> = Vec::new();
     let mut sd_files: BTreeSet<String> = BTreeSet::new();
     let mut si_files: BTreeSet<String> = BTreeSet::new();
-    // One (target, source file, dedup key) triple per translation unit of a configuration.
-    type UnitKeys = Vec<(String, String, String)>;
     let mut unit_key_by_config: Vec<UnitKeys> = Vec::new();
     let mut occurrences: Vec<TuOccurrence> = Vec::new();
     // Source text shared per file: every configuration re-lists the same content.
     let mut content_by_file: BTreeMap<String, std::sync::Arc<str>> = BTreeMap::new();
 
-    // ---- Stage 1 (driver, serial): configure every assignment and classify units ----
-    let mut stage_a: ActionGraph<'_, IrPipelineError> = ActionGraph::new();
+    let mut stage_a: ActionGraph<'env, IrPipelineError> = ActionGraph::new();
     // Preprocessing and OpenMP detection depend only on (file, definition set):
     // deduplicate the actions across configurations so the graph does each distinct
     // piece of work once.
@@ -504,7 +530,7 @@ pub(crate) fn run_ir_build(
 
             let preprocess_action = preprocess.action_for(
                 &mut stage_a,
-                &compiler,
+                compiler,
                 &command.file,
                 &content,
                 &flags,
@@ -516,7 +542,6 @@ pub(crate) fn run_ir_build(
                 Some(match openmp_actions.get(&dedup_key) {
                     Some(&id) => id,
                     None => {
-                        let compiler = &compiler;
                         let file = command.file.clone();
                         let content = content.clone();
                         let flags = flags.clone();
@@ -569,7 +594,72 @@ pub(crate) fn run_ir_build(
         });
     }
 
+    Ok(IrBuildStageA {
+        graph: stage_a,
+        stats,
+        manifests,
+        sd_files,
+        si_files,
+        unit_key_by_config,
+        occurrences,
+    })
+}
+
+/// Run the pre-submission static analyzer over the build's stage-A graph
+/// (preprocess + OpenMP detection) without executing anything. The stage-B
+/// graph (ir-lower/link/commit) is derived from stage-A *outputs*, so it
+/// cannot be constructed statically; its shape is a planner-generated
+/// fan-in the same passes vet on submission.
+pub(crate) fn analyze_ir_build(
+    project: &ProjectSpec,
+    config: &IrPipelineConfig,
+    engine: &Engine,
+) -> Result<crate::engine::AnalysisReport, IrPipelineError> {
+    let compiler = ir_build_compiler(project);
+    let planned = plan_ir_build_stage_a(project, config, &compiler)?;
+    Ok(engine.analyze(&planned.graph))
+}
+
+/// Build an IR container by constructing staged action graphs and submitting them to
+/// `engine` (the driver behind
+/// [`IrBuildRequest`](crate::orchestrator::IrBuildRequest)).
+///
+/// The build runs as an explicit pipeline over the engine's worker pool:
+///
+/// 1. **configure** (driver, serial — cheap): enumerate the sweep, emit compile DBs,
+///    split system-dependent from system-independent units;
+/// 2. **preprocess + openmp-detect** (graph A, parallel): one deduplicated action per
+///    distinct (file, definitions) pair;
+/// 3. **ir-lower** (graph B, parallel, cache-routed): one action per deduplicated
+///    translation unit, keyed by the preprocessed-content digest;
+/// 4. **link + commit** (graph B tail): assemble the image layers from the lowered
+///    units and commit it to the engine's store.
+///
+/// The resulting image is byte-identical for any worker count, scheduling policy,
+/// and whether actions hit or miss the cache; only
+/// [`IrContainerBuild::actions`]/[`IrContainerBuild::trace`] differ in their
+/// `cached` flags.
+pub(crate) fn run_ir_build(
+    project: &ProjectSpec,
+    config: &IrPipelineConfig,
+    engine: &Engine,
+    reference: &str,
+) -> Result<IrContainerBuild, IrPipelineError> {
+    let compiler = ir_build_compiler(project);
+    // ---- Stage 1 (driver, serial): configure and plan the stage-A graph ----
+    let IrBuildStageA {
+        graph: stage_a,
+        mut stats,
+        manifests,
+        sd_files,
+        si_files,
+        mut unit_key_by_config,
+        occurrences,
+    } = plan_ir_build_stage_a(project, config, &compiler)?;
+    let _ = (&sd_files, &si_files);
+
     // ---- Stage 2+3 (graph A): preprocess and OpenMP-detect, in parallel ----
+    engine.preflight(&stage_a)?;
     let run_a = engine.run(stage_a);
     let (outputs_a, mut trace) = run_a.into_outputs()?;
     let digest_of =
@@ -825,6 +915,7 @@ pub(crate) fn run_ir_build(
         link_action,
     );
 
+    engine.preflight(&stage_b)?;
     let run_b = engine.run(stage_b);
     let (_, trace_b) = run_b.into_outputs()?;
     trace.merge(trace_b);

@@ -79,9 +79,10 @@ pub mod prelude {
     pub use crate::deploy::deploy_ir_container;
     pub use crate::deploy::{DeployError, DeploymentStats, IrDeployment};
     pub use crate::engine::{
-        ActionGraph, ActionId, ActionInputs, ActionKind, ActionRecord, ActionTrace,
-        CriticalPathFirst, Engine, Fifo, GraphHandle, GraphRun, GraphStatus, NodeOutcome,
-        PolicyError, QueueStats, SchedulingPolicy, WeightedFair,
+        ActionGraph, ActionId, ActionInputs, ActionKind, ActionRecord, ActionTrace, AnalysisMode,
+        AnalysisReport, CriticalPathFirst, Diagnostic, DiagnosticCode, Engine, Fifo, GraphAnalyzer,
+        GraphFault, GraphHandle, GraphRun, GraphRunError, GraphStatus, NodeOutcome, PolicyError,
+        QueueStats, SchedulingPolicy, Severity, WeightedFair,
     };
     pub use crate::gpu_compat::{
         bundle_compatibility, detect_runtime_requirement, plan_bundle, DeviceCodeBundle,

@@ -110,6 +110,21 @@ impl Orchestrator {
         self
     }
 
+    /// Override what the engine does with the pre-submission static analyzer
+    /// (see [`AnalysisMode`](crate::engine::AnalysisMode)).
+    pub fn with_analysis(mut self, mode: crate::engine::AnalysisMode) -> Self {
+        self.engine = self.engine.with_analysis(mode);
+        self
+    }
+
+    /// Tell the analyzer about a service-level queued-action bound (the
+    /// `XA-SVC-001` check); the service layer wires its
+    /// [`ServiceLimits`](crate::service::ServiceLimits) through here.
+    pub(crate) fn with_queue_bound(mut self, bound: Option<usize>) -> Self {
+        self.engine = self.engine.with_queue_bound(bound);
+        self
+    }
+
     /// A tenant-tagged view of this orchestrator: the clone shares the whole
     /// stack (engine pool, cache, store, policy, dispatch counter), but every
     /// request it runs is submitted as `tenant` — laned by fair-queuing
@@ -196,6 +211,7 @@ pub struct OrchestratorBuilder {
     policy: Option<Arc<dyn SchedulingPolicy>>,
     cache: CacheChoice,
     fleet_strategy: FleetStrategy,
+    analysis: Option<crate::engine::AnalysisMode>,
 }
 
 impl Default for OrchestratorBuilder {
@@ -205,6 +221,7 @@ impl Default for OrchestratorBuilder {
             policy: None,
             cache: CacheChoice::FreshCached,
             fleet_strategy: FleetStrategy::default(),
+            analysis: None,
         }
     }
 }
@@ -251,6 +268,17 @@ impl OrchestratorBuilder {
         self
     }
 
+    /// What the engine does with the pre-submission static analyzer (default:
+    /// [`AnalysisMode::Strict`](crate::engine::AnalysisMode::Strict) — reject
+    /// graphs with deny-level diagnostics before any node executes;
+    /// [`WarnOnly`](crate::engine::AnalysisMode::WarnOnly) records reports
+    /// without rejecting, [`Off`](crate::engine::AnalysisMode::Off) skips
+    /// analysis).
+    pub fn analysis(mut self, mode: crate::engine::AnalysisMode) -> Self {
+        self.analysis = Some(mode);
+        self
+    }
+
     /// Build the orchestrator.
     pub fn build(self) -> Orchestrator {
         let mut engine = match self.cache {
@@ -264,6 +292,9 @@ impl OrchestratorBuilder {
         }
         if let Some(policy) = self.policy {
             engine = engine.with_policy_arc(policy);
+        }
+        if let Some(mode) = self.analysis {
+            engine = engine.with_analysis(mode);
         }
         Orchestrator {
             engine,
@@ -281,6 +312,7 @@ impl fmt::Debug for OrchestratorBuilder {
                 &self.policy.as_ref().map(|p| p.name().to_string()),
             )
             .field("fleet_strategy", &self.fleet_strategy)
+            .field("analysis", &self.analysis)
             .finish()
     }
 }
@@ -350,6 +382,21 @@ impl<'a> IrBuildRequest<'a> {
         let engine = orch.checked_engine().map_err(IrPipelineError::Policy)?;
         crate::ir_container::run_ir_build(self.project, self.config, engine, &self.reference)
     }
+
+    /// Lint the build's stage-A action graph (preprocess + OpenMP detection)
+    /// under the orchestrator's scheduling policy without executing anything.
+    ///
+    /// Unlike [`submit`](Self::submit), this does **not** pre-reject an invalid
+    /// policy: policy defects surface as diagnostics in the returned
+    /// [`AnalysisReport`](crate::engine::AnalysisReport) instead. The build's
+    /// stage-B graph is derived from stage-A outputs, so it cannot be linted
+    /// ahead of time; it is still analyzed on submission.
+    pub fn analyze(
+        self,
+        orch: &Orchestrator,
+    ) -> Result<crate::engine::AnalysisReport, IrPipelineError> {
+        crate::ir_container::analyze_ir_build(self.project, self.config, orch.engine())
+    }
 }
 
 /// Typed request: deploy (specialize) an IR container onto one system (Figure 8).
@@ -412,6 +459,26 @@ impl<'a> IrDeployRequest<'a> {
             &self.selection,
             simd,
             engine,
+        )
+    }
+
+    /// Lint the exact action graph this deployment would submit, without
+    /// executing anything. Policy defects surface as diagnostics in the
+    /// returned [`AnalysisReport`](crate::engine::AnalysisReport) rather than
+    /// as a pre-rejection, so the report covers them alongside the graph's own
+    /// findings.
+    pub fn analyze(
+        self,
+        orch: &Orchestrator,
+    ) -> Result<crate::engine::AnalysisReport, DeployError> {
+        let simd = self.simd.unwrap_or_else(|| self.system.cpu.best_simd());
+        crate::deploy::analyze_ir_deploy(
+            self.build,
+            self.project,
+            self.system,
+            &self.selection,
+            simd,
+            orch.engine(),
         )
     }
 }
@@ -649,6 +716,48 @@ impl<'a> FleetRequest<'a> {
         self
     }
 
+    /// Lint the union graph one wave of this fleet would submit — every
+    /// deduplicated job grafted as a tagged subgraph sharing keyed artifacts —
+    /// without executing anything. The first plan-time failure is returned as
+    /// a [`FleetError`]; policy defects surface as diagnostics in the returned
+    /// [`AnalysisReport`](crate::engine::AnalysisReport).
+    pub fn analyze(self, orch: &Orchestrator) -> Result<crate::engine::AnalysisReport, FleetError> {
+        let mut seen_job_keys: std::collections::BTreeSet<String> =
+            std::collections::BTreeSet::new();
+        let mut jobs: Vec<&FleetTarget> = Vec::new();
+        for target in &self.targets {
+            if seen_job_keys.insert(target.job_key()) {
+                jobs.push(target);
+            }
+        }
+        let engine = orch.engine();
+        let plans: Vec<DeployPlan<'_>> = jobs
+            .iter()
+            .map(|job| {
+                crate::deploy::plan_ir_deploy(
+                    self.build,
+                    self.project,
+                    &job.system,
+                    &job.selection,
+                    job.simd,
+                )
+                .map_err(|error| FleetError {
+                    system: job.system.name.clone(),
+                    message: error.to_string(),
+                    action: None,
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        let mut graph: ActionGraph<'_, DeployError> = ActionGraph::new();
+        let mut shared = SharedDeployArtifacts::default();
+        for (job_index, plan) in plans.iter().enumerate() {
+            graph.set_job(Some(job_index));
+            crate::deploy::graft_ir_deploy(plan, &mut graph, engine.store(), Some(&mut shared));
+        }
+        graph.set_job(None);
+        Ok(engine.analyze(&graph))
+    }
+
     /// Execute the fleet on the orchestrator's engine. Outcomes are returned in
     /// request order; per-job failures (including an invalid scheduling policy,
     /// which fails every job before any action runs) are reported per outcome, so
@@ -799,6 +908,24 @@ fn run_union_wave(
         }));
     }
     graph.set_job(None);
+
+    // Preflight phase: a deny-level analysis verdict fails every planned job
+    // before any node executes (plan-time failures already claimed theirs).
+    if let Err(report) = engine.preflight(&graph) {
+        drop(graph); // the grafted closures borrow the plans consumed below
+        let results = plans
+            .into_iter()
+            .map(|plan| {
+                let plan = plan?;
+                Err(FleetError {
+                    system: plan.system.name.clone(),
+                    message: format!("graph rejected by analysis: {report}"),
+                    action: None,
+                })
+            })
+            .collect();
+        return (results, ActionTrace::default(), false);
+    }
 
     // Run phase: exactly one engine submission for the whole wave.
     let ran = !graph.is_empty();

@@ -39,6 +39,7 @@
 //! give the service a graceful shutdown: stop admitting, let in-flight requests
 //! finish.
 
+#![deny(clippy::unwrap_used, clippy::dbg_macro)]
 use crate::engine::QueueStats;
 use crate::orchestrator::{
     FleetReport, FleetRequest, IrBuildRequest, IrDeployRequest, Orchestrator, SourceDeployRequest,
@@ -122,6 +123,12 @@ pub enum AdmissionError {
     /// The service is draining: no new requests are admitted, in-flight
     /// requests are finishing.
     Draining,
+    /// The engine's pre-submission static analyzer rejected the request's
+    /// action graph with deny-level diagnostics before any of its actions ran
+    /// (see [`GraphAnalyzer`](crate::engine::GraphAnalyzer)). The report lists
+    /// every finding; resubmitting the same graph under the same policy will
+    /// fail the same way.
+    Invalid(Box<crate::engine::AnalysisReport>),
 }
 
 impl fmt::Display for AdmissionError {
@@ -144,6 +151,9 @@ impl fmt::Display for AdmissionError {
                 "service saturated ({in_flight} requests in flight, {queued_actions} actions queued, limit {limit})"
             ),
             AdmissionError::Draining => f.write_str("service is draining; no new requests admitted"),
+            AdmissionError::Invalid(report) => {
+                write!(f, "request graph rejected by pre-submission analysis: {report}")
+            }
         }
     }
 }
@@ -210,6 +220,17 @@ pub trait ServiceRequest {
     /// Execute on the session's tenant-tagged orchestrator. Called only after
     /// admission succeeded.
     fn execute(self, orch: &Orchestrator) -> Result<Self::Output, Self::Error>;
+
+    /// If `error` is the engine's pre-submission analyzer rejecting the
+    /// request's graph, extract the report so the service surfaces it as
+    /// [`AdmissionError::Invalid`] — the refusal happened before any of the
+    /// request's actions ran, exactly like the other admission errors.
+    /// Default: not an analysis rejection.
+    fn analysis_rejection(
+        error: Self::Error,
+    ) -> Result<Box<crate::engine::AnalysisReport>, Self::Error> {
+        Err(error)
+    }
 }
 
 impl ServiceRequest for IrBuildRequest<'_> {
@@ -218,6 +239,15 @@ impl ServiceRequest for IrBuildRequest<'_> {
 
     fn execute(self, orch: &Orchestrator) -> Result<Self::Output, Self::Error> {
         self.submit(orch)
+    }
+
+    fn analysis_rejection(
+        error: Self::Error,
+    ) -> Result<Box<crate::engine::AnalysisReport>, Self::Error> {
+        match error {
+            crate::ir_container::IrPipelineError::Analysis(report) => Ok(report),
+            other => Err(other),
+        }
     }
 }
 
@@ -228,6 +258,15 @@ impl ServiceRequest for IrDeployRequest<'_> {
     fn execute(self, orch: &Orchestrator) -> Result<Self::Output, Self::Error> {
         self.submit(orch)
     }
+
+    fn analysis_rejection(
+        error: Self::Error,
+    ) -> Result<Box<crate::engine::AnalysisReport>, Self::Error> {
+        match error {
+            crate::deploy::DeployError::Analysis(report) => Ok(report),
+            other => Err(other),
+        }
+    }
 }
 
 impl ServiceRequest for SourceDeployRequest<'_> {
@@ -236,6 +275,15 @@ impl ServiceRequest for SourceDeployRequest<'_> {
 
     fn execute(self, orch: &Orchestrator) -> Result<Self::Output, Self::Error> {
         self.submit(orch)
+    }
+
+    fn analysis_rejection(
+        error: Self::Error,
+    ) -> Result<Box<crate::engine::AnalysisReport>, Self::Error> {
+        match error {
+            crate::source_container::SourceContainerError::Analysis(report) => Ok(report),
+            other => Err(other),
+        }
     }
 }
 
@@ -440,8 +488,12 @@ impl OrchestratorService {
         Self::with_limits(orch, ServiceLimits::default())
     }
 
-    /// A service over `orch` with explicit limits.
+    /// A service over `orch` with explicit limits. The engine's pre-submission
+    /// analyzer is told the queued-action bound, so graphs that alone would
+    /// overflow it are flagged ([`DiagnosticCode::QueueOverflow`](crate::engine::DiagnosticCode))
+    /// at analysis time instead of only tripping admission at run time.
     pub fn with_limits(orch: Orchestrator, limits: ServiceLimits) -> Self {
+        let orch = orch.with_queue_bound(Some(limits.max_queued_actions));
         Self {
             inner: Arc::new(ServiceInner {
                 orch,
@@ -606,6 +658,15 @@ impl OrchestratorServiceBuilder {
         self
     }
 
+    /// Set the engine's pre-submission analysis mode (default:
+    /// [`AnalysisMode::Strict`](crate::engine::AnalysisMode)). Under `Strict`,
+    /// deny-level diagnostics refuse the request as
+    /// [`AdmissionError::Invalid`] before any of its actions run.
+    pub fn analysis(mut self, mode: crate::engine::AnalysisMode) -> Self {
+        self.orch = self.orch.analysis(mode);
+        self
+    }
+
     /// Build the service.
     pub fn build(self) -> OrchestratorService {
         OrchestratorService::with_limits(self.orch.build(), self.limits)
@@ -657,9 +718,9 @@ impl Session {
             .inner
             .admit(&self.tenant)
             .map_err(ServiceError::Admission)?;
-        let result = request.execute(&self.orch).map_err(ServiceError::Request);
+        let result = request.execute(&self.orch);
         drop(permit);
-        result
+        result.map_err(Self::classify::<R>)
     }
 
     /// Like [`submit`](Self::submit), but blocks through backpressure and
@@ -673,9 +734,20 @@ impl Session {
             .inner
             .admit_wait(&self.tenant)
             .map_err(ServiceError::Admission)?;
-        let result = request.execute(&self.orch).map_err(ServiceError::Request);
+        let result = request.execute(&self.orch);
         drop(permit);
-        result
+        result.map_err(Self::classify::<R>)
+    }
+
+    /// Fold a pipeline error back into the service's error taxonomy: a
+    /// pre-submission analysis rejection is an *admission* refusal
+    /// ([`AdmissionError::Invalid`] — no action of the request ran), anything
+    /// else a pipeline failure.
+    fn classify<R: ServiceRequest>(error: R::Error) -> ServiceError<R::Error> {
+        match R::analysis_rejection(error) {
+            Ok(report) => ServiceError::Admission(AdmissionError::Invalid(report)),
+            Err(error) => ServiceError::Request(error),
+        }
     }
 
     /// Convenience for fleet requests, whose reports are always produced (per-
@@ -697,6 +769,7 @@ impl fmt::Debug for Session {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::ir_container::IrPipelineConfig;

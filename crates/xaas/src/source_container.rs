@@ -51,6 +51,13 @@ pub enum SourceContainerError {
     Cache(String),
     /// The orchestrator's scheduling policy is invalid (e.g. a zero concurrency cap).
     Policy(crate::engine::PolicyError),
+    /// The pre-submission static analyzer rejected the build graph (deny-level
+    /// diagnostics under [`AnalysisMode::Strict`](crate::engine::AnalysisMode));
+    /// nothing executed.
+    Analysis(Box<crate::engine::AnalysisReport>),
+    /// The executor broke its scheduling contract (a node skipped without a
+    /// failure, or cancelled mid-run) — not a pipeline error.
+    Engine(crate::engine::GraphFault),
 }
 
 impl fmt::Display for SourceContainerError {
@@ -74,11 +81,30 @@ impl fmt::Display for SourceContainerError {
             }
             SourceContainerError::Cache(detail) => write!(f, "action cache: {detail}"),
             SourceContainerError::Policy(error) => write!(f, "{error}"),
+            SourceContainerError::Analysis(report) => {
+                write!(f, "graph rejected by analysis: {report}")
+            }
+            SourceContainerError::Engine(fault) => write!(f, "executor fault: {fault}"),
         }
     }
 }
 
 impl std::error::Error for SourceContainerError {}
+
+impl From<crate::engine::GraphRunError<SourceContainerError>> for SourceContainerError {
+    fn from(value: crate::engine::GraphRunError<SourceContainerError>) -> Self {
+        match value.into_action() {
+            Ok(error) => error,
+            Err(fault) => SourceContainerError::Engine(fault),
+        }
+    }
+}
+
+impl From<Box<crate::engine::AnalysisReport>> for SourceContainerError {
+    fn from(value: Box<crate::engine::AnalysisReport>) -> Self {
+        SourceContainerError::Analysis(value)
+    }
+}
 
 impl From<ConfigureError> for SourceContainerError {
     fn from(value: ConfigureError) -> Self {
@@ -401,6 +427,7 @@ pub(crate) fn run_source_deploy(
             preprocess_action,
         });
     }
+    engine.preflight(&stage_a)?;
     let run_a = engine.run(stage_a);
     let (outputs_a, mut trace) = run_a.into_outputs()?;
 
@@ -512,6 +539,7 @@ pub(crate) fn run_source_deploy(
         link_action,
     );
 
+    engine.preflight(&stage_b)?;
     let run_b = engine.run(stage_b);
     let (_, trace_b) = run_b.into_outputs()?;
     trace.merge(trace_b);

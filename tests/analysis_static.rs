@@ -1,0 +1,284 @@
+//! Pre-submission static analyzer integration: graphs that pass `Strict`
+//! analysis execute without structural runtime faults; each injectable defect
+//! class is flagged with its specific diagnostic code; and a deny-level
+//! verdict rejects the submission *before any node executes* — no partial
+//! side effects, pinned by an action-side counter and the cache counters.
+//! (Dangling-dependency injection is impossible through the public
+//! [`ActionGraph`] API — `add` panics on forward edges — so `XA-STR-001` is
+//! pinned by the in-crate unit tests instead.)
+
+use proptest::prelude::*;
+use std::convert::Infallible;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use xaas::engine::AnalysisMode;
+use xaas::prelude::*;
+use xaas::service::{AdmissionError, OrchestratorService, ServiceError};
+use xaas_apps::lulesh;
+use xaas_container::{ActionCache, BuildKey, ImageStore};
+
+fn key(tag: &str) -> BuildKey {
+    BuildKey::new(tag, "x86_64", "O2", "clang-17")
+}
+
+fn engine() -> Engine {
+    Engine::cached(&ActionCache::new(ImageStore::new())).with_workers(2)
+}
+
+/// A policy whose `validate` lies (reports itself healthy) while starving a
+/// kind with a zero concurrency cap — the only way a zero cap can get past
+/// the orchestrator's up-front policy check and reach the analyzer.
+#[derive(Debug)]
+struct LyingZeroCap(ActionKind);
+
+impl SchedulingPolicy for LyingZeroCap {
+    fn name(&self) -> &'static str {
+        "lying-zero-cap"
+    }
+
+    fn concurrency_cap(&self, kind: ActionKind) -> Option<usize> {
+        (kind == self.0).then_some(0)
+    }
+
+    fn validate(&self) -> Result<(), PolicyError> {
+        Ok(())
+    }
+}
+
+/// The non-`Commit` kinds, for cycling labels over generated nodes.
+const WORK_KINDS: [ActionKind; 6] = [
+    ActionKind::Preprocess,
+    ActionKind::OpenMpDetect,
+    ActionKind::IrLower,
+    ActionKind::MachineLower,
+    ActionKind::SdCompile,
+    ActionKind::Link,
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any random DAG that passes `Strict` analysis executes to completion
+    /// with every node producing an output — no structural runtime faults.
+    #[test]
+    fn strict_clean_graphs_execute_without_structural_faults(
+        n in 1usize..14,
+        seed in any::<u64>(),
+    ) {
+        let engine = engine();
+        let mut graph: ActionGraph<'static, Infallible> = ActionGraph::new();
+        let mut rng = seed | 1;
+        let mut next = move || {
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            rng >> 33
+        };
+        for id in 0..n {
+            // Every node depends on a random subset of its predecessors —
+            // backward edges only, so the graph is structurally valid by
+            // construction and `Strict` must admit it.
+            let mut deps: Vec<ActionId> = (0..id).filter(|_| next() % 3 == 0).collect();
+            deps.dedup();
+            let kind = WORK_KINDS[id % WORK_KINDS.len()];
+            graph.add(kind, format!("n{id}"), &deps, move |_| Ok(vec![id as u8]));
+        }
+        let report = engine.analyze(&graph);
+        prop_assert!(!report.is_rejected(), "clean-by-construction graph denied: {report}");
+        let run = engine.submit_graph(graph).expect("strict admits it").wait();
+        prop_assert!(run.succeeded());
+        let (outputs, _) = run.into_outputs().expect("no faults");
+        prop_assert_eq!(outputs.len(), n);
+    }
+}
+
+#[test]
+fn cross_job_edge_is_flagged_but_admitted_under_strict() {
+    let engine = engine();
+    let mut graph: ActionGraph<'static, Infallible> = ActionGraph::new();
+    graph.set_job(Some(0));
+    let a = graph.add(ActionKind::IrLower, "job0", &[], |_| Ok(vec![0]));
+    graph.set_job(Some(1));
+    graph.add(ActionKind::Link, "job1", &[a], |_| Ok(vec![1]));
+    let report = engine.analyze(&graph);
+    assert!(report.has_code(DiagnosticCode::CrossJobEdge));
+    assert!(
+        !report.is_rejected(),
+        "warnings must not reject a submission"
+    );
+    assert!(engine.submit_graph(graph).is_ok());
+}
+
+#[test]
+fn cap_starved_kind_is_denied_with_sch_001() {
+    let engine = engine().with_policy(LyingZeroCap(ActionKind::SdCompile));
+    let mut graph: ActionGraph<'static, Infallible> = ActionGraph::new();
+    graph.add(ActionKind::SdCompile, "starved", &[], |_| Ok(vec![0]));
+    let report = engine
+        .submit_graph(graph)
+        .expect_err("a zero cap on a demanded kind can never execute");
+    assert!(report.has_code(DiagnosticCode::ZeroCapKind));
+    assert_eq!(report.denies(), 1);
+    assert_eq!(
+        engine.last_analysis().as_ref(),
+        Some(report.as_ref()),
+        "the engine records the verdict it rejected with"
+    );
+}
+
+#[test]
+fn unordered_duplicate_key_is_flagged_with_che_001_once() {
+    let engine = engine();
+    let mut graph: ActionGraph<'static, Infallible> = ActionGraph::new();
+    graph.add_cached(ActionKind::SdCompile, "first", key("dup"), &[], |_| {
+        Ok(vec![0])
+    });
+    graph.add_cached(ActionKind::SdCompile, "second", key("dup"), &[], |_| {
+        Ok(vec![0])
+    });
+    let report = engine.analyze(&graph);
+    assert_eq!(
+        report
+            .with_code(DiagnosticCode::UnorderedDuplicateKey)
+            .count(),
+        1
+    );
+    assert!(!report.is_rejected());
+}
+
+#[test]
+fn ordered_duplicate_key_is_clean() {
+    let engine = engine();
+    let mut graph: ActionGraph<'static, Infallible> = ActionGraph::new();
+    let first = graph.add_cached(ActionKind::SdCompile, "first", key("dup"), &[], |_| {
+        Ok(vec![0])
+    });
+    graph.add_cached(ActionKind::SdCompile, "alias", key("dup"), &[first], |_| {
+        Ok(vec![0])
+    });
+    let report = engine.analyze(&graph);
+    assert!(!report.has_code(DiagnosticCode::UnorderedDuplicateKey));
+}
+
+#[test]
+fn commit_without_dependencies_is_denied_with_str_005() {
+    let engine = engine();
+    let mut graph: ActionGraph<'static, Infallible> = ActionGraph::new();
+    graph.add(ActionKind::Commit, "empty commit", &[], |_| Ok(vec![]));
+    let report = engine.submit_graph(graph).expect_err("nothing to commit");
+    assert!(report.has_code(DiagnosticCode::CommitNoDeps));
+}
+
+#[test]
+fn derived_key_without_dependencies_is_denied_with_str_006() {
+    let engine = engine();
+    let mut graph: ActionGraph<'static, Infallible> = ActionGraph::new();
+    graph.add_cached_derived(
+        ActionKind::SdCompile,
+        "keyless",
+        |_| key("derived"),
+        &[],
+        |_| Ok(vec![0]),
+    );
+    let report = engine
+        .submit_graph(graph)
+        .expect_err("no inputs to derive from");
+    assert!(report.has_code(DiagnosticCode::DerivedKeyNoDeps));
+}
+
+/// The deny-before-execution pin: a rejected submission runs *zero* actions —
+/// the side-effect counter stays at zero and the shared cache observes no
+/// lookups, no entries, and no flights.
+#[test]
+fn denied_graphs_execute_nothing_and_touch_no_state() {
+    let cache = ActionCache::new(ImageStore::new());
+    let engine = Engine::cached(&cache)
+        .with_workers(2)
+        .with_policy(LyingZeroCap(ActionKind::Link));
+    let ran = Arc::new(AtomicUsize::new(0));
+    let mut graph: ActionGraph<'static, Infallible> = ActionGraph::new();
+    let before = engine.cache_stats();
+    for i in 0..4 {
+        let ran = Arc::clone(&ran);
+        graph.add_cached(
+            ActionKind::Link,
+            format!("link{i}"),
+            key(&format!("side-effect-{i}")),
+            &[],
+            move |_| {
+                ran.fetch_add(1, Ordering::SeqCst);
+                Ok(vec![i])
+            },
+        );
+    }
+    let report = engine.submit_graph(graph).expect_err("zero cap denies");
+    assert!(report.is_rejected());
+    assert_eq!(ran.load(Ordering::SeqCst), 0, "no action may have run");
+    let after = engine.cache_stats();
+    assert_eq!(
+        (after.hits, after.misses, after.entries),
+        (before.hits, before.misses, before.entries)
+    );
+    assert_eq!(engine.queue_stats().queued_actions, 0);
+}
+
+#[test]
+fn warn_only_mode_admits_a_deny_graph_but_records_the_report() {
+    let engine = engine().with_analysis(AnalysisMode::WarnOnly);
+    let mut graph: ActionGraph<'static, Infallible> = ActionGraph::new();
+    graph.add(ActionKind::Commit, "empty commit", &[], |_| Ok(vec![]));
+    let run = engine.submit_graph(graph).expect("warn-only admits").wait();
+    assert!(run.succeeded());
+    let report = engine.last_analysis().expect("analysis still ran");
+    assert!(report.has_code(DiagnosticCode::CommitNoDeps));
+}
+
+#[test]
+fn off_mode_skips_analysis_entirely() {
+    let engine = engine().with_analysis(AnalysisMode::Off);
+    let mut graph: ActionGraph<'static, Infallible> = ActionGraph::new();
+    graph.add(ActionKind::Commit, "empty commit", &[], |_| Ok(vec![]));
+    assert!(engine.submit_graph(graph).is_ok());
+    assert_eq!(engine.last_analysis(), None);
+}
+
+/// Through the service, a deny-level verdict surfaces as a typed *admission*
+/// refusal — [`AdmissionError::Invalid`] carrying the full report — because
+/// the request was refused before any of its actions ran.
+#[test]
+fn service_surfaces_analysis_rejection_as_admission_invalid() {
+    let service = OrchestratorService::builder()
+        .workers(2)
+        .policy(LyingZeroCap(ActionKind::Preprocess))
+        .build();
+    let session = service.session("tenant-a");
+    let project = lulesh::project();
+    let config = IrPipelineConfig::sweep_options(&project, &["WITH_MPI", "WITH_OPENMP"]);
+    let error = session
+        .submit(IrBuildRequest::new(&project, &config))
+        .expect_err("the stage-A graph demands the starved kind");
+    match error {
+        ServiceError::Admission(AdmissionError::Invalid(report)) => {
+            assert!(report.has_code(DiagnosticCode::ZeroCapKind));
+            assert!(report.is_rejected());
+        }
+        other => panic!("expected AdmissionError::Invalid, got {other:?}"),
+    }
+}
+
+/// The request-level lint reports the same defect without submitting at all.
+#[test]
+fn request_analyze_reports_policy_defects_without_executing() {
+    let orch = Orchestrator::builder()
+        .workers(2)
+        .policy(LyingZeroCap(ActionKind::Preprocess))
+        .build();
+    let project = lulesh::project();
+    let config = IrPipelineConfig::sweep_options(&project, &["WITH_MPI", "WITH_OPENMP"]);
+    let before = orch.cache_stats();
+    let report = IrBuildRequest::new(&project, &config)
+        .analyze(&orch)
+        .expect("planning succeeds; the verdict is the report");
+    assert!(report.has_code(DiagnosticCode::ZeroCapKind));
+    assert!(report.nodes > 0, "the stage-A graph was actually planned");
+    let after = orch.cache_stats();
+    assert_eq!(after.misses, before.misses, "analyze must not execute");
+}

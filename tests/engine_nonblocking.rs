@@ -63,7 +63,7 @@ fn one_worker_engine_keeps_executing_while_a_flight_is_held_externally() {
         &[],
         |_| Ok(b"free".to_vec()),
     );
-    let handle = engine.submit_graph(graph);
+    let handle = engine.submit_graph(graph).expect("analysis-clean graph");
 
     // The unkeyed node retires while the keyed node is still parked: the single
     // worker was not blocked inside the cache waiting for the flight.
@@ -148,7 +148,7 @@ fn failed_flight_wakes_the_parked_waiter_which_retries_and_computes() {
     let keyed = graph.add_cached(ActionKind::SdCompile, "retry", shared, &[], |_| {
         Ok(b"retried".to_vec())
     });
-    let handle = engine.submit_graph(graph);
+    let handle = engine.submit_graph(graph).expect("analysis-clean graph");
 
     wait_until(30, || engine.queue_stats().parked_waiters == 1);
     CacheBackend::fail(&cache, ticket, FlightError::Failed);
@@ -188,7 +188,7 @@ fn poisoned_flights_wake_parked_jobs_and_blast_radius_stays_per_job() {
         Ok(b"job1 bytes".to_vec())
     });
 
-    let handle = engine.submit_graph(graph);
+    let handle = engine.submit_graph(graph).expect("analysis-clean graph");
     wait_until(30, || engine.queue_stats().parked_waiters == 2);
 
     // Dropping the unredeemed tickets poisons both flights: each parked waiter
@@ -339,7 +339,9 @@ proptest! {
                     );
                 }
             }
-            engine.submit_graph(graph)
+            engine
+                .submit_graph(graph)
+                .expect("analysis-clean graph")
         };
         let first = submit("a");
         let second = submit("b");

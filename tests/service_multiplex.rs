@@ -47,7 +47,11 @@ fn occupy_engine(
         gate.lock().unwrap().recv().ok();
         Ok(vec![0])
     });
-    let handle = service.orchestrator().engine().submit_graph(graph);
+    let handle = service
+        .orchestrator()
+        .engine()
+        .submit_graph(graph)
+        .expect("analysis-clean graph");
     (release, handle)
 }
 
