@@ -16,6 +16,7 @@
 //! reproduce fleet               # fleet specialization: cold vs shared-cache, union vs sequential (JSON)
 //! reproduce engine              # action-graph engine: parallel vs serial build (JSON)
 //! reproduce service             # multi-tenant service load: throughput, latency, fairness (JSON)
+//! reproduce restart             # warm restart over the persistent disk tier (JSON)
 //! reproduce analyze             # static analysis of the driver graphs; exits nonzero on any deny (JSON)
 //! reproduce snapshot            # write the per-PR BENCH_<pr>.json performance snapshot
 //! reproduce network             # Section 6.5 bandwidth
@@ -170,6 +171,15 @@ fn run(section: &str) {
                 serde_json::to_string_pretty(&experiment).expect("service experiment serialises")
             );
         }
+        "restart" => {
+            // Banner on stderr so stdout stays machine-readable JSON (`reproduce restart | jq .`).
+            eprintln!("== Warm restart: GROMACS fleet replayed from the disk tier ==");
+            let experiment = experiments::warm_restart();
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&experiment).expect("restart experiment serialises")
+            );
+        }
         "analyze" => {
             // Banner on stderr so stdout stays machine-readable JSON (`reproduce analyze | jq .`).
             eprintln!("== Static analysis: GROMACS/LULESH build, deploy, and fleet graphs ==");
@@ -229,6 +239,7 @@ fn main() {
         "fleet",
         "engine",
         "service",
+        "restart",
         "analyze",
         "network",
         "gpu-compat",

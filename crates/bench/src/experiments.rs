@@ -697,6 +697,129 @@ pub fn fleet_specialization() -> FleetExperiment {
     }
 }
 
+/// A unique scratch directory under the OS temp dir (no `tempfile` dependency:
+/// pid + process-local counter keep concurrent bench invocations apart).
+fn scratch_root(tag: &str) -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("xaas-bench-{tag}-{}-{n}", std::process::id()))
+}
+
+/// The warm-restart experiment: what the persistent disk tier buys across an
+/// orchestrator's death and rebirth.
+#[derive(Debug, Clone, Serialize)]
+pub struct WarmRestartExperiment {
+    /// Wall-clock of the cold session (IR build + fleet specialization), ms.
+    pub cold_wall_ms: f64,
+    /// Compile/lower actions the cold session executed (cache misses).
+    pub cold_actions: u64,
+    /// Wall-clock of the warm-restarted session replaying the same work, ms.
+    pub warm_wall_ms: f64,
+    /// Compile/lower actions the warm session re-executed — the headline claim
+    /// is that this is **zero**: every keyed action is served from disk.
+    pub warm_recomputes: u64,
+    /// Warm-session hits served by the disk tier (first touch of each key).
+    pub warm_disk_hits: u64,
+    /// Warm-session hits served from memory (keys already promoted from disk).
+    pub warm_memory_hits: u64,
+    /// Disk-tier share of all warm-session lookups.
+    pub disk_hit_ratio: f64,
+    /// Whether every per-target image matched the cold session's byte for byte.
+    pub byte_identical: bool,
+    /// Keys the disk tier held when the cold session exited.
+    pub disk_entries: usize,
+    /// Blob bytes the disk tier held when the cold session exited.
+    pub disk_bytes: u64,
+}
+
+/// **Warm restart** (the tiered-cache claim): specialize the GROMACS fleet on an
+/// orchestrator whose action cache persists through an on-disk CAS tier, *kill*
+/// the orchestrator (drop it — the in-memory L1 dies with it), recreate one over
+/// the same cache root, and replay the identical IR build + fleet. The replay
+/// must produce byte-identical images with zero compile/lower actions
+/// re-executed, every keyed action read through the disk tier.
+pub fn warm_restart() -> WarmRestartExperiment {
+    let root = scratch_root("warm-restart");
+    let project = gromacs::project();
+    let pipeline = IrPipelineConfig::sweep_options(&project, &["GMX_SIMD"]).with_values(
+        "GMX_SIMD",
+        &["SSE4.1", "AVX2_256", "AVX_512", "ARM_NEON_ASIMD"],
+    );
+    let fleet_systems = [
+        SystemModel::ault23(),
+        SystemModel::ault25(),
+        SystemModel::ault01_04(),
+        SystemModel::clariden(),
+    ];
+    let targets = || -> Vec<FleetTarget> {
+        fleet_systems
+            .iter()
+            .map(|system| {
+                let simd = system.cpu.best_simd();
+                FleetTarget::new(
+                    system.clone(),
+                    OptionAssignment::new().with("GMX_SIMD", simd.gmx_name()),
+                    simd,
+                )
+            })
+            .collect()
+    };
+
+    // One full session: fresh orchestrator over the shared disk root, IR build,
+    // fleet wave. Returns the per-target images and the session's orchestrator
+    // so the caller can read tier stats before dropping it.
+    let session = |label: &str| {
+        let orch = Orchestrator::builder()
+            .workers(4)
+            .cache_tiers(xaas_container::TierConfig::new().disk_root(&root))
+            .expect("tier stack initializes")
+            .build();
+        let started = std::time::Instant::now();
+        let build = IrBuildRequest::new(&project, &pipeline)
+            .reference("spcl/mini-gromacs:ir-restart")
+            .submit(&orch)
+            .expect("IR container builds");
+        let report = FleetRequest::new(&build, &project)
+            .targets(targets())
+            .submit(&orch);
+        let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+        assert!(report.all_succeeded(), "{label} fleet succeeds");
+        let images: Vec<_> = report.deployments().map(|d| d.image.clone()).collect();
+        (orch, images, wall_ms)
+    };
+
+    let (cold_orch, cold_images, cold_wall_ms) = session("cold");
+    let cold_stats = cold_orch.cache_stats();
+    let (disk_entries, disk_bytes) = cold_orch
+        .tiered_cache()
+        .and_then(|t| t.disk_stats())
+        .map(|d| (d.entries, d.bytes))
+        .unwrap_or_default();
+    // Kill the orchestrator: the in-memory L1 and store die with it. Only the
+    // disk tier under `root` survives.
+    drop(cold_orch);
+
+    let (warm_orch, warm_images, warm_wall_ms) = session("warm");
+    let warm_stats = warm_orch.cache_stats();
+    let byte_identical = cold_images == warm_images;
+    drop(warm_orch);
+    let _ = std::fs::remove_dir_all(&root);
+
+    WarmRestartExperiment {
+        cold_wall_ms,
+        cold_actions: cold_stats.misses,
+        warm_wall_ms,
+        warm_recomputes: warm_stats.misses,
+        warm_disk_hits: warm_stats.disk_hits,
+        warm_memory_hits: warm_stats.memory_hits(),
+        disk_hit_ratio: warm_stats.tier_hit_ratio(xaas_container::CacheTier::Disk),
+        byte_identical,
+        disk_entries,
+        disk_bytes,
+    }
+}
+
 /// The engine-parallelism experiment: the same multi-configuration IR build executed
 /// by the staged action-graph engine serially (1 worker — the seed path's schedule)
 /// and in parallel.

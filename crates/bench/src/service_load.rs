@@ -753,6 +753,10 @@ pub struct BenchSnapshot {
     pub analysis_ns_per_node: f64,
     /// Nodes in the analyzer-overhead probe graph.
     pub analysis_nodes: usize,
+    /// Warm-restart over the persistent disk tier: wall times, per-tier hit
+    /// ratios, and the zero-recompute claim (see
+    /// [`warm_restart`](crate::experiments::warm_restart)).
+    pub warm_restart: crate::experiments::WarmRestartExperiment,
 }
 
 /// Scalar SHA-256 throughput in MB/s over a 1 MiB buffer, amortised across
@@ -773,15 +777,16 @@ pub fn digest_throughput_mb_per_s() -> f64 {
     (SIZE as f64 * f64::from(PASSES)) / elapsed / 1e6
 }
 
-/// Assemble the PR-9 snapshot from the service-load, fleet, engine, and
-/// analyzer-overhead experiments.
+/// Assemble the PR-10 snapshot from the service-load, fleet, engine,
+/// analyzer-overhead, and warm-restart experiments.
 pub fn bench_snapshot() -> BenchSnapshot {
     let service = service_load();
     let fleet = crate::experiments::fleet_specialization();
     let engine = crate::experiments::engine_parallelism();
     let analysis = crate::analysis::analysis_overhead();
+    let warm_restart = crate::experiments::warm_restart();
     BenchSnapshot {
-        pr: 9,
+        pr: 10,
         service,
         fleet_hit_rate: fleet.fleet_hit_rate,
         fleet_warm_rerun_hit_rate: fleet.warm_rerun_hit_rate,
@@ -793,5 +798,6 @@ pub fn bench_snapshot() -> BenchSnapshot {
         store_dedup_bytes_avoided: fleet.store_dedup_bytes,
         analysis_ns_per_node: analysis.ns_per_node,
         analysis_nodes: analysis.nodes,
+        warm_restart,
     }
 }

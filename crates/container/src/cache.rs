@@ -57,6 +57,8 @@
 //! [`CacheBackend::get_or_compute_action`] are thin shims over this protocol: they park
 //! a channel-backed waker and block the *calling* thread only.
 
+pub mod tier;
+
 use crate::blob::Blob;
 use crate::digest::Digest;
 use crate::image::{ImageError, ImageStore};
@@ -110,9 +112,14 @@ impl BuildKey {
 }
 
 /// Counters describing cache effectiveness. Snapshots are cheap copies.
+///
+/// The per-tier counters (`disk_hits`, `remote_hits`, `promotions`, `writebacks`)
+/// stay zero for single-tier backends; [`tier::TieredCache`] populates them. All are
+/// `#[serde(default)]` so snapshots serialized before the tiered cache existed still
+/// deserialize.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CacheStats {
-    /// Lookups answered from the cache.
+    /// Lookups answered from the cache (any tier).
     pub hits: u64,
     /// Lookups that had to run the action.
     pub misses: u64,
@@ -123,6 +130,24 @@ pub struct CacheStats {
     pub coalesced: u64,
     /// Live entries currently in the cache.
     pub entries: usize,
+    /// Hits served by the persistent disk tier (counted in `hits` as well).
+    #[serde(default)]
+    pub disk_hits: u64,
+    /// Hits served by the remote tier (counted in `hits` as well).
+    #[serde(default)]
+    pub remote_hits: u64,
+    /// Outputs copied *up* the tier stack on a lower-tier hit (remote→disk,
+    /// disk/remote→memory), one count per tier written.
+    #[serde(default)]
+    pub promotions: u64,
+    /// Outputs written *down* the tier stack after a miss computed them, one count
+    /// per tier written.
+    #[serde(default)]
+    pub writebacks: u64,
+    /// Index entries evicted because the backing store no longer held their blob
+    /// (stale entries surfaced by store-level GC or a swapped store).
+    #[serde(default)]
+    pub stale_evictions: u64,
 }
 
 impl CacheStats {
@@ -139,7 +164,77 @@ impl CacheStats {
         }
         self.hits as f64 / total as f64
     }
+
+    /// Hits served by the in-memory tier: total hits minus the lower-tier hits.
+    pub fn memory_hits(&self) -> u64 {
+        self.hits.saturating_sub(self.disk_hits + self.remote_hits)
+    }
+
+    /// Fraction of all lookups answered by `tier`, in `[0, 1]`.
+    pub fn tier_hit_ratio(&self, tier: CacheTier) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            return 0.0;
+        }
+        let hits = match tier {
+            CacheTier::Memory => self.memory_hits(),
+            CacheTier::Disk => self.disk_hits,
+            CacheTier::Remote => self.remote_hits,
+        };
+        hits as f64 / total as f64
+    }
 }
+
+/// Which tier of a cache stack served a hit. Single-tier backends only ever report
+/// [`CacheTier::Memory`]; [`tier::TieredCache`] reports the tier that actually held
+/// the output before promotion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum CacheTier {
+    /// The in-memory [`ActionCache`] index (L1).
+    Memory,
+    /// The persistent on-disk CAS tier (L2).
+    Disk,
+    /// The (simulated) remote cache service (L3).
+    Remote,
+}
+
+impl CacheTier {
+    /// Stable lowercase label, used in traces and JSON snapshots.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CacheTier::Memory => "memory",
+            CacheTier::Disk => "disk",
+            CacheTier::Remote => "remote",
+        }
+    }
+}
+
+impl std::fmt::Display for CacheTier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Rejected cache configuration. Returned by [`ActionCache::with_capacity`] instead
+/// of silently "fixing" a caller bug.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheConfigError {
+    /// A capacity bound of zero entries: such a cache could never hold an output,
+    /// so every insert would evict itself — reject instead of clamping.
+    ZeroCapacity,
+}
+
+impl std::fmt::Display for CacheConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CacheConfigError::ZeroCapacity => {
+                write!(f, "cache capacity must be at least 1 entry (got 0)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CacheConfigError {}
 
 /// A cache report combining action-cache counters with the backing store's blob-level
 /// deduplication statistics.
@@ -312,6 +407,17 @@ pub trait CacheBackend: Send + Sync {
     /// [`TryBegin::InFlight`] for the caller to [`park`](Self::park) on.
     fn try_begin(&self, key: &BuildKey) -> TryBegin;
 
+    /// [`try_begin`](Self::try_begin) plus *tier attribution*: which tier of the
+    /// backend's stack served a [`TryBegin::Hit`] (`None` for `Owner`/`InFlight`).
+    /// Single-tier backends attribute every hit to [`CacheTier::Memory`];
+    /// [`tier::TieredCache`] overrides this to report the tier that actually held
+    /// the output. Executors that record per-action provenance call this variant.
+    fn try_begin_traced(&self, key: &BuildKey) -> (TryBegin, Option<CacheTier>) {
+        let begin = self.try_begin(key);
+        let tier = matches!(begin, TryBegin::Hit(_)).then_some(CacheTier::Memory);
+        (begin, tier)
+    }
+
     /// Redeem an owned flight with its computed output: store the bytes (for
     /// memoizing backends), retire the flight, and wake every parked waiter with
     /// [`FlightOutcome::Completed`]. Returns the stored handle; the owner, each
@@ -397,9 +503,7 @@ impl CacheBackend for ActionCache {
             }
             // The backing blob disappeared (store swapped/garbage-collected):
             // drop the stale index entry and start a fresh flight.
-            inner.entries.remove(&digest);
-            inner.order.retain(|d| d != &digest);
-            inner.stats.entries = inner.entries.len();
+            inner.evict_stale(&digest);
         }
         if let Some(flight) = inner.in_flight.get(&digest) {
             return TryBegin::InFlight(FlightId {
@@ -582,6 +686,16 @@ impl CacheInner {
             _ => Vec::new(),
         }
     }
+
+    /// Drop an index entry whose backing blob disappeared from the store, keeping
+    /// `entries`, the FIFO `order` queue, and the stale-eviction counter consistent.
+    fn evict_stale(&mut self, digest: &Digest) {
+        if self.entries.remove(digest).is_some() {
+            self.order.retain(|d| d != digest);
+            self.stats.stale_evictions += 1;
+            self.stats.entries = self.entries.len();
+        }
+    }
 }
 
 /// A digest-keyed action cache backed by a content-addressed [`ImageStore`].
@@ -610,13 +724,23 @@ impl ActionCache {
     ///
     /// The bound applies to the key→blob *index* only: eviction drops the memoization
     /// entry, not the output blob, because the backing store is a shared CAS whose
-    /// blobs may also be referenced by committed image layers. Reclaiming unreferenced
-    /// blobs is a store-level garbage-collection concern, not a cache one.
-    pub fn with_capacity(store: ImageStore, capacity: usize) -> Self {
-        Self {
-            capacity: Some(capacity.max(1)),
-            ..Self::new(store)
+    /// blobs may also be referenced by committed image layers. Unreferenced blobs are
+    /// reclaimed by store-level garbage collection
+    /// ([`ImageStore::collect_garbage`](crate::image::ImageStore::collect_garbage)),
+    /// with the cache's live outputs ([`ActionCache::indexed_blobs`]) pinned.
+    ///
+    /// # Errors
+    ///
+    /// A `capacity` of zero is a caller bug (such a cache could never hold an entry)
+    /// and answers [`CacheConfigError::ZeroCapacity`] instead of being clamped.
+    pub fn with_capacity(store: ImageStore, capacity: usize) -> Result<Self, CacheConfigError> {
+        if capacity == 0 {
+            return Err(CacheConfigError::ZeroCapacity);
         }
+        Ok(Self {
+            capacity: Some(capacity),
+            ..Self::new(store)
+        })
     }
 
     /// The backing content-addressed store.
@@ -627,10 +751,22 @@ impl ActionCache {
     /// Look up an action output without running anything. Does not touch hit/miss
     /// counters — use [`ActionCache::get_or_compute`] for the accounted path. The
     /// returned handle shares the store's allocation.
+    ///
+    /// An index entry whose blob the store no longer holds (store-level GC ran, or
+    /// the store was swapped) is evicted here — counted in
+    /// [`CacheStats::stale_evictions`] — instead of lingering as a dead digest that
+    /// inflates `entries` and clogs the FIFO order queue.
     pub fn peek(&self, key: &BuildKey) -> Option<Blob> {
         let digest = key.digest();
-        let blob = self.inner.lock().entries.get(&digest).cloned()?;
-        self.store.blob(&blob).ok()
+        let mut inner = self.inner.lock();
+        let blob = inner.entries.get(&digest).cloned()?;
+        match self.store.blob(&blob) {
+            Ok(bytes) => Some(bytes),
+            Err(_) => {
+                inner.evict_stale(&digest);
+                None
+            }
+        }
     }
 
     /// Whether the cache currently holds an output for `key`.
@@ -740,6 +876,13 @@ impl ActionCache {
             stored_bytes: store_stats.total_bytes,
             dedup_bytes: store_stats.dedup_bytes,
         }
+    }
+
+    /// The content digests of every blob the index currently references — the pin
+    /// set store-level garbage collection must not reclaim (see
+    /// [`ImageStore::collect_garbage`](crate::image::ImageStore::collect_garbage)).
+    pub fn indexed_blobs(&self) -> Vec<Digest> {
+        self.inner.lock().entries.values().cloned().collect()
     }
 
     /// Convenience for callers that want the raw blob digest of a cached action.
@@ -855,7 +998,7 @@ mod tests {
 
     #[test]
     fn capacity_bound_evicts_fifo() {
-        let cache = ActionCache::with_capacity(ImageStore::new(), 2);
+        let cache = ActionCache::with_capacity(ImageStore::new(), 2).unwrap();
         for n in 0..3 {
             cache
                 .get_or_compute(&key(n), || -> Result<Vec<u8>, ()> { Ok(vec![n as u8]) })
@@ -871,6 +1014,69 @@ mod tests {
             .get_or_compute(&key(0), || -> Result<Vec<u8>, ()> { Ok(vec![0]) })
             .unwrap();
         assert!(!hit);
+    }
+
+    #[test]
+    fn zero_capacity_is_a_typed_error() {
+        // Historically `with_capacity(store, 0)` silently clamped to 1, masking a
+        // caller bug; it is now rejected outright.
+        assert_eq!(
+            ActionCache::with_capacity(ImageStore::new(), 0).unwrap_err(),
+            CacheConfigError::ZeroCapacity
+        );
+        assert!(ActionCache::with_capacity(ImageStore::new(), 1).is_ok());
+    }
+
+    #[test]
+    fn reinsert_does_not_duplicate_order_entries() {
+        // Pin the FIFO invariant: re-inserting a present key must not push a second
+        // order entry. With duplicates, the repeated key would occupy two FIFO slots
+        // and its first eviction would decrement `entries` without freeing a slot,
+        // prematurely evicting live keys and inflating `evictions`.
+        let cache = ActionCache::with_capacity(ImageStore::new(), 2).unwrap();
+        for round in 0..4u8 {
+            cache.insert(&key(0), vec![round]);
+        }
+        cache.insert(&key(1), vec![1]);
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 2, "both keys fit the capacity bound");
+        assert_eq!(stats.evictions, 0, "re-inserts must not consume FIFO slots");
+        assert!(cache.contains(&key(0)) && cache.contains(&key(1)));
+        // A genuinely new third key evicts exactly the oldest (key 0), not more.
+        cache.insert(&key(2), vec![2]);
+        let stats = cache.stats();
+        assert_eq!((stats.entries, stats.evictions), (2, 1));
+        assert!(!cache.contains(&key(0)), "oldest key evicted once");
+        assert!(cache.contains(&key(1)) && cache.contains(&key(2)));
+    }
+
+    #[test]
+    fn stale_entries_are_evicted_and_counted() {
+        // When store-level GC reclaims a blob out from under the index, both `peek`
+        // and `try_begin` must drop the dead entry (keeping `entries` and the FIFO
+        // queue consistent) and count it in `stale_evictions`.
+        let store = ImageStore::new();
+        let cache = ActionCache::new(store.clone());
+        cache.insert(&key(1), b"doomed".to_vec());
+        cache.insert(&key(2), b"doomed-too".to_vec());
+        assert_eq!(cache.stats().entries, 2);
+        // Reclaim every unpinned blob: both index entries are now stale.
+        let report = store.collect_garbage(&[]);
+        assert_eq!(report.blobs_removed, 2);
+        assert!(cache.peek(&key(1)).is_none());
+        let stats = cache.stats();
+        assert_eq!(stats.stale_evictions, 1, "peek evicted the stale entry");
+        assert_eq!(stats.entries, 1, "entries tracks reality");
+        assert!(matches!(cache.try_begin(&key(2)), TryBegin::Owner(_)));
+        let stats = cache.stats();
+        assert_eq!(
+            stats.stale_evictions, 2,
+            "try_begin evicted the stale entry"
+        );
+        assert_eq!(stats.entries, 0);
+        // A fresh insert after the evictions behaves normally.
+        cache.insert(&key(1), b"reborn".to_vec());
+        assert!(cache.peek(&key(1)).is_some());
     }
 
     #[test]

@@ -14,7 +14,7 @@ use crate::oci::{
 };
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::sync::Arc;
 
@@ -228,6 +228,8 @@ struct StoreInner {
     dedup_hits: u64,
     dedup_bytes: u64,
     digests_computed: u64,
+    gc_blobs_removed: u64,
+    gc_bytes_reclaimed: u64,
 }
 
 /// Blob-level statistics of an [`ImageStore`].
@@ -244,6 +246,23 @@ pub struct StoreStats {
     /// SHA-256 digests the store computed over full payloads. Insertions through
     /// [`ImageStore::put_blob_with_digest`] skip the hash and do not count here.
     pub digests_computed: u64,
+    /// Blobs reclaimed by [`ImageStore::collect_garbage`] over the store's lifetime.
+    #[serde(default)]
+    pub gc_blobs_removed: u64,
+    /// Bytes reclaimed by [`ImageStore::collect_garbage`] over the store's lifetime.
+    #[serde(default)]
+    pub gc_bytes_reclaimed: u64,
+}
+
+/// The result of one [`ImageStore::collect_garbage`] sweep.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StoreGcReport {
+    /// Unreachable blobs removed by this sweep.
+    pub blobs_removed: usize,
+    /// Bytes those blobs occupied.
+    pub bytes_reclaimed: u64,
+    /// Blobs that survived (tag-reachable or pinned).
+    pub blobs_live: usize,
 }
 
 impl ImageStore {
@@ -355,6 +374,69 @@ impl ImageStore {
             dedup_hits: inner.dedup_hits,
             dedup_bytes: inner.dedup_bytes,
             digests_computed: inner.digests_computed,
+            gc_blobs_removed: inner.gc_blobs_removed,
+            gc_bytes_reclaimed: inner.gc_bytes_reclaimed,
+        }
+    }
+
+    /// Reclaim every blob that is neither reachable from a tag nor in `pinned`.
+    ///
+    /// Reachability starts at the tag table: each tagged digest is walked as a
+    /// manifest (config + layer blobs) or an image index (member manifests,
+    /// transitively). `pinned` carries roots the store cannot see — typically the
+    /// action outputs an [`ActionCache`](crate::cache::ActionCache) index still
+    /// references ([`indexed_blobs`](crate::cache::ActionCache::indexed_blobs)).
+    ///
+    /// This is the store-level blob GC the action cache's capacity bound defers to:
+    /// index eviction drops memoization entries, this sweep reclaims the bytes.
+    /// Cache indexes that still point at a reclaimed blob self-heal on the next
+    /// lookup (counted as [`stale_evictions`](crate::cache::CacheStats::stale_evictions)).
+    pub fn collect_garbage(&self, pinned: &[Digest]) -> StoreGcReport {
+        let mut inner = self.inner.write();
+        let mut live: BTreeSet<Digest> = BTreeSet::new();
+        let mut stack: Vec<Digest> = pinned.to_vec();
+        stack.extend(inner.tags.values().cloned());
+        while let Some(digest) = stack.pop() {
+            if !live.insert(digest.clone()) {
+                continue;
+            }
+            let Some(blob) = inner.blobs.get(&digest) else {
+                continue;
+            };
+            // A reachable blob may itself be a manifest or an index whose children
+            // are live too. Layer archives and action outputs fail both decodes and
+            // simply terminate the walk.
+            if let Ok(manifest) = serde_json::from_slice::<Manifest>(blob) {
+                if manifest.media_type == MediaType::ImageManifest {
+                    stack.push(manifest.config.digest.clone());
+                    stack.extend(manifest.layers.iter().map(|d| d.digest.clone()));
+                    continue;
+                }
+            }
+            if let Ok(index) = serde_json::from_slice::<ImageIndex>(blob) {
+                if index.media_type == MediaType::ImageIndex {
+                    stack.extend(index.manifests.iter().map(|d| d.digest.clone()));
+                }
+            }
+        }
+        let doomed: Vec<Digest> = inner
+            .blobs
+            .keys()
+            .filter(|d| !live.contains(*d))
+            .cloned()
+            .collect();
+        let mut bytes_reclaimed = 0u64;
+        for digest in &doomed {
+            if let Some(blob) = inner.blobs.remove(digest) {
+                bytes_reclaimed += blob.len() as u64;
+            }
+        }
+        inner.gc_blobs_removed += doomed.len() as u64;
+        inner.gc_bytes_reclaimed += bytes_reclaimed;
+        StoreGcReport {
+            blobs_removed: doomed.len(),
+            bytes_reclaimed,
+            blobs_live: inner.blobs.len(),
         }
     }
 
@@ -654,6 +736,50 @@ mod tests {
             index.select(Architecture::Ppc64le).unwrap().digest,
             ir_desc.digest
         );
+    }
+
+    #[test]
+    fn collect_garbage_keeps_tagged_chains_and_pins() {
+        let store = ImageStore::new();
+        let img = toolchain_image();
+        store.commit(&img); // manifest + config + 2 layers, all tag-reachable
+        let orphan = store.put_blob(b"orphaned action output".to_vec());
+        let pinned = store.put_blob(b"pinned action output".to_vec());
+        let before = store.blob_count();
+        let report = store.collect_garbage(std::slice::from_ref(&pinned));
+        assert_eq!(report.blobs_removed, 1, "only the orphan is reclaimed");
+        assert_eq!(
+            report.bytes_reclaimed,
+            b"orphaned action output".len() as u64
+        );
+        assert_eq!(report.blobs_live, before - 1);
+        assert!(!store.has_blob(&orphan));
+        assert!(store.has_blob(&pinned), "pinned blob survives");
+        // The tagged image still loads in full after the sweep.
+        assert_eq!(store.load("xaas/toolchain:19").unwrap().layer_count(), 2);
+        let stats = store.stats();
+        assert_eq!(stats.gc_blobs_removed, 1);
+        assert!(stats.gc_bytes_reclaimed > 0);
+    }
+
+    #[test]
+    fn collect_garbage_walks_image_indexes() {
+        let store = ImageStore::new();
+        let amd = toolchain_image();
+        let amd_desc = store.commit(&amd);
+        let mut ir = toolchain_image();
+        ir.reference = "xaas/toolchain:19-ir".into();
+        ir.platform = Platform::linux(Architecture::XirIr);
+        let ir_desc = store.commit(&ir);
+        store.commit_index(
+            "xaas/toolchain:multi",
+            vec![amd_desc, ir_desc],
+            BTreeMap::new(),
+        );
+        let report = store.collect_garbage(&[]);
+        assert_eq!(report.blobs_removed, 0, "index members are reachable");
+        assert!(store.load_index("xaas/toolchain:multi").is_ok());
+        assert_eq!(store.load("xaas/toolchain:19").unwrap().layer_count(), 2);
     }
 
     #[test]

@@ -41,13 +41,18 @@ pub mod runtime;
 /// Commonly used types re-exported together.
 pub mod prelude {
     pub use crate::blob::Blob;
+    pub use crate::cache::tier::{
+        DiskTier, DiskTierConfig, DiskTierStats, RemoteCache, RemoteModel, RemoteStats, TierConfig,
+        TierError, TierGcReport, TieredCache,
+    };
     pub use crate::cache::{
-        ActionCache, BuildKey, CacheBackend, CacheReport, CacheStats, ComputeFailed, FlightError,
-        FlightId, FlightOutcome, FlightTicket, FlightWaker, NoCache, TryBegin,
+        ActionCache, BuildKey, CacheBackend, CacheConfigError, CacheReport, CacheStats, CacheTier,
+        ComputeFailed, FlightError, FlightId, FlightOutcome, FlightTicket, FlightWaker, NoCache,
+        TryBegin,
     };
     pub use crate::digest::{Digest, Sha256};
     pub use crate::image::{
-        Image, ImageConfig, ImageError, ImageIndex, ImageStore, Manifest, StoreStats,
+        Image, ImageConfig, ImageError, ImageIndex, ImageStore, Manifest, StoreGcReport, StoreStats,
     };
     pub use crate::layer::{Layer, LayerEntry, RootFs};
     pub use crate::oci::{

@@ -53,7 +53,8 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex as StdMutex, OnceLock};
 use std::time::Instant;
 use xaas_container::{
-    Blob, BuildKey, CacheBackend, FlightError, FlightId, FlightOutcome, FlightWaker, TryBegin,
+    Blob, BuildKey, CacheBackend, CacheTier, FlightError, FlightId, FlightOutcome, FlightWaker,
+    TryBegin,
 };
 
 /// Number of distinct [`ActionKind`]s (dense per-kind accounting arrays).
@@ -1110,6 +1111,10 @@ impl CoreShared {
                 label: meta.label.clone(),
                 key_digest,
                 cached: true,
+                // A coalesced waiter is served from the retired flight — the
+                // blob is resident in memory by the time the waker fires.
+                hit_tier: Some(CacheTier::Memory),
+                coalesced: true,
                 queue_wait_micros: wait_micros + state.accrued_wait.load(Ordering::Relaxed),
                 exec_micros: 0,
                 schedule_seq: seq,
@@ -1180,47 +1185,54 @@ impl CoreShared {
         };
 
         let key_digest = key.as_ref().map(|k| k.digest().hex().to_string());
-        let (slot, completed): (Slot, Option<bool>) = match key {
-            Some(build_key) => match self.cache.try_begin(&build_key) {
-                // The backend's Blob handle goes straight into the slot: a hit
-                // shares the store's allocation with every consumer.
-                TryBegin::Hit(blob) => (Slot::Output(blob), Some(true)),
-                TryBegin::Owner(ticket) => match self.run_task(&sub, task, &inputs) {
-                    Some(Ok(bytes)) => (
-                        Slot::Output(self.cache.complete(ticket, bytes)),
-                        Some(false),
-                    ),
-                    Some(Err(error)) => {
-                        self.cache.fail(ticket, FlightError::Failed);
-                        (Slot::Failed(error), None)
+        let (slot, completed): (Slot, Option<(bool, Option<CacheTier>)>) = match key {
+            Some(build_key) => {
+                // `try_begin_traced` also reports *which tier* served a hit, so
+                // a tiered backend's disk/remote promotions show up in the trace.
+                let (begin, hit_tier) = self.cache.try_begin_traced(&build_key);
+                match begin {
+                    // The backend's Blob handle goes straight into the slot: a hit
+                    // shares the store's allocation with every consumer.
+                    TryBegin::Hit(blob) => (Slot::Output(blob), Some((true, hit_tier))),
+                    TryBegin::Owner(ticket) => match self.run_task(&sub, task, &inputs) {
+                        Some(Ok(bytes)) => (
+                            Slot::Output(self.cache.complete(ticket, bytes)),
+                            Some((false, None)),
+                        ),
+                        Some(Err(error)) => {
+                            self.cache.fail(ticket, FlightError::Failed);
+                            (Slot::Failed(error), None)
+                        }
+                        // Panicked: the payload is recorded, re-raised at wait. Failing
+                        // the ticket (it would poison on drop anyway) wakes parked
+                        // waiters deliberately; the node poisons its own dependents.
+                        None => {
+                            self.cache.fail(ticket, FlightError::Poisoned);
+                            (Slot::Skipped { root: node }, None)
+                        }
+                    },
+                    TryBegin::InFlight(flight) => {
+                        // Another owner is computing this key: park as a continuation
+                        // and hand the worker straight back to the queue.
+                        self.park_on_flight(&sub, node, task, build_key, flight, wait_micros);
+                        return;
                     }
-                    // Panicked: the payload is recorded, re-raised at wait. Failing
-                    // the ticket (it would poison on drop anyway) wakes parked
-                    // waiters deliberately; the node poisons its own dependents.
-                    None => {
-                        self.cache.fail(ticket, FlightError::Poisoned);
-                        (Slot::Skipped { root: node }, None)
-                    }
-                },
-                TryBegin::InFlight(flight) => {
-                    // Another owner is computing this key: park as a continuation
-                    // and hand the worker straight back to the queue.
-                    self.park_on_flight(&sub, node, task, build_key, flight, wait_micros);
-                    return;
                 }
-            },
+            }
             None => match self.run_task(&sub, task, &inputs) {
-                Some(Ok(bytes)) => (Slot::Output(Blob::new(bytes)), Some(false)),
+                Some(Ok(bytes)) => (Slot::Output(Blob::new(bytes)), Some((false, None))),
                 Some(Err(error)) => (Slot::Failed(error), None),
                 None => (Slot::Skipped { root: node }, None),
             },
         };
         let state = &sub.park_state[node];
-        let record = completed.map(|cached| ActionRecord {
+        let record = completed.map(|(cached, hit_tier)| ActionRecord {
             kind: meta.kind,
             label: meta.label.clone(),
             key_digest,
             cached,
+            hit_tier,
+            coalesced: false,
             queue_wait_micros: wait_micros + state.accrued_wait.load(Ordering::Relaxed),
             exec_micros: started.elapsed().as_micros() as u64,
             schedule_seq: seq,

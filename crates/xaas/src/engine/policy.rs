@@ -451,6 +451,8 @@ mod tests {
             label: "m".to_string(),
             key_digest: None,
             cached: false,
+            hit_tier: None,
+            coalesced: false,
             queue_wait_micros: 0,
             exec_micros,
             schedule_seq: 0,

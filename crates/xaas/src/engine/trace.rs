@@ -12,6 +12,7 @@
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::collections::BTreeSet;
+use xaas_container::{CacheStats, CacheTier};
 
 /// The pipeline stage an action belongs to. One variant per stage of the paper's
 /// build/deploy pipeline (Figures 7–8), plus the image-assembly tail.
@@ -97,6 +98,20 @@ pub struct ActionRecord {
     pub key_digest: Option<String>,
     /// Whether the action was served from the cache instead of executing.
     pub cached: bool,
+    /// Which tier of the cache served the hit ([`CacheTier::Memory`] for plain
+    /// in-memory hits; `Disk`/`Remote` when a
+    /// [`TieredCache`](xaas_container::TieredCache) promoted the blob from a
+    /// lower tier). `None` for executed or cache-exempt actions. Like the
+    /// clocks, excluded from equality: *which* tier answers depends on the
+    /// cache's starting state, not on what the build ran.
+    #[serde(default)]
+    pub hit_tier: Option<CacheTier>,
+    /// Whether the hit was *coalesced*: the action parked as a continuation on
+    /// another worker's in-flight computation of the same key and reused its
+    /// result, rather than finding the value already resident. Scheduling
+    /// diagnostic, excluded from equality.
+    #[serde(default)]
+    pub coalesced: bool,
     /// Microseconds the action spent in the ready queue (from becoming runnable —
     /// dependencies satisfied — to a worker dispatching it). Scheduling-policy
     /// effects (priorities, per-kind concurrency caps) show up here.
@@ -256,6 +271,35 @@ impl ActionTrace {
         summary
     }
 
+    /// The cache activity *this trace's actions* generated, independent of any
+    /// other request sharing the cache: hits/misses/coalesced counts and
+    /// per-tier hit attribution accumulated from the records' own flags, never
+    /// by before/after subtraction on the shared backend's counters (which
+    /// silently attributes concurrent tenants' traffic to this request).
+    ///
+    /// `entries` and `evictions` are backend-global quantities with no
+    /// per-request meaning, so they are left at zero — callers that want them
+    /// read the live backend stats separately.
+    pub fn cache_delta(&self) -> CacheStats {
+        let mut stats = CacheStats::default();
+        for record in self.records.iter().filter(|r| r.key_digest.is_some()) {
+            if record.cached {
+                stats.hits += 1;
+                if record.coalesced {
+                    stats.coalesced += 1;
+                }
+                match record.hit_tier {
+                    Some(CacheTier::Disk) => stats.disk_hits += 1,
+                    Some(CacheTier::Remote) => stats.remote_hits += 1,
+                    Some(CacheTier::Memory) | None => {}
+                }
+            } else {
+                stats.misses += 1;
+            }
+        }
+        stats
+    }
+
     /// The cache-independent action identities. Equal for warm and cold runs of the
     /// same build, and for serial and parallel runs — the property tests assert both.
     pub fn action_set(&self) -> BTreeSet<String> {
@@ -355,6 +399,8 @@ mod tests {
             label: label.to_string(),
             key_digest: key.map(str::to_string),
             cached,
+            hit_tier: cached.then_some(CacheTier::Memory),
+            coalesced: false,
             queue_wait_micros: 0,
             exec_micros: 0,
             schedule_seq: 0,
@@ -429,6 +475,36 @@ mod tests {
         );
         assert_eq!(trace.summary().total(), 2);
         assert_eq!(trace.len(), 4);
+    }
+
+    #[test]
+    fn cache_delta_counts_only_this_traces_records() {
+        let mut records = vec![
+            record(ActionKind::Preprocess, "a.ck", None, false),
+            record(ActionKind::IrLower, "a.ck", Some("ab12"), false),
+            record(ActionKind::IrLower, "b.ck", Some("cd34"), true),
+            record(ActionKind::MachineLower, "b.ck", Some("ef56"), true),
+            record(ActionKind::SdCompile, "c.ck", Some("0078"), true),
+        ];
+        records[3].hit_tier = Some(CacheTier::Disk);
+        records[4].hit_tier = Some(CacheTier::Remote);
+        records[4].coalesced = true;
+        let trace = ActionTrace {
+            records,
+            stage_depth: 3,
+            policy: String::new(),
+            tenant: None,
+        };
+        let delta = trace.cache_delta();
+        assert_eq!(delta.hits, 3);
+        assert_eq!(delta.misses, 1, "keyless actions are not cache misses");
+        assert_eq!(delta.coalesced, 1);
+        assert_eq!(delta.disk_hits, 1);
+        assert_eq!(delta.remote_hits, 1);
+        assert_eq!(delta.memory_hits(), 1);
+        // Backend-global quantities have no per-request meaning.
+        assert_eq!(delta.entries, 0);
+        assert_eq!(delta.evictions, 0);
     }
 
     #[test]

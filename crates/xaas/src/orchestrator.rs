@@ -52,7 +52,10 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
 use xaas_buildsys::{OptionAssignment, ProjectSpec};
-use xaas_container::{ActionCache, CacheBackend, CacheStats, Digest, Image, ImageStore, NoCache};
+use xaas_container::{
+    ActionCache, CacheBackend, CacheStats, Digest, Image, ImageStore, NoCache, TierConfig,
+    TierError, TieredCache,
+};
 use xaas_hpcsim::{SimdLevel, SystemModel};
 
 /// The session object every pipeline goes through: one engine, one cache backend,
@@ -66,6 +69,10 @@ use xaas_hpcsim::{SimdLevel, SystemModel};
 pub struct Orchestrator {
     engine: Engine,
     fleet_strategy: FleetStrategy,
+    /// The tiered backend, when the orchestrator was built with
+    /// [`OrchestratorBuilder::cache_tiers`] — kept so callers can reach
+    /// per-tier stats and GC without downcasting the engine's backend.
+    tiers: Option<Arc<TieredCache>>,
 }
 
 impl Orchestrator {
@@ -100,6 +107,7 @@ impl Orchestrator {
         Self {
             engine,
             fleet_strategy: FleetStrategy::default(),
+            tiers: None,
         }
     }
 
@@ -134,6 +142,7 @@ impl Orchestrator {
         Orchestrator {
             engine: self.engine.clone().with_tenant(tenant),
             fleet_strategy: self.fleet_strategy,
+            tiers: self.tiers.clone(),
         }
     }
 
@@ -163,6 +172,15 @@ impl Orchestrator {
         self.engine.cache_stats()
     }
 
+    /// The persistent tiered backend, when this orchestrator was built with
+    /// [`OrchestratorBuilder::cache_tiers`] — exposes per-tier stats
+    /// ([`TieredCache::disk_stats`], [`TieredCache::remote_stats`]) and
+    /// store-level GC ([`TieredCache::collect_garbage`]). `None` for every
+    /// other cache choice.
+    pub fn tiered_cache(&self) -> Option<&Arc<TieredCache>> {
+        self.tiers.as_ref()
+    }
+
     /// The scheduling policy requests run under.
     pub fn policy(&self) -> &dyn SchedulingPolicy {
         self.engine.policy()
@@ -190,6 +208,9 @@ enum CacheChoice {
     Uncached(ImageStore),
     /// An arbitrary backend (e.g. a future distributed cache).
     Custom(Arc<dyn CacheBackend>),
+    /// A persistent tiered stack (memory L1 + optional disk CAS + optional
+    /// simulated remote), kept typed so the orchestrator can expose it.
+    Tiered(Arc<TieredCache>),
 }
 
 /// Fluent construction of an [`Orchestrator`]: worker count, cache choice, and
@@ -252,6 +273,17 @@ impl OrchestratorBuilder {
         self
     }
 
+    /// Route every keyed action through a persistent [`TieredCache`] built over
+    /// a fresh store from `config`: an in-memory L1, an optional on-disk CAS
+    /// tier that survives restarts (set [`TierConfig::disk_root`]), and an
+    /// optional simulated remote tier (set [`TierConfig::remote`]). Tier
+    /// construction is fallible — an unwritable disk root or a zero L1
+    /// capacity is rejected here, not deferred to [`build`](Self::build).
+    pub fn cache_tiers(mut self, config: TierConfig) -> Result<Self, TierError> {
+        self.cache = CacheChoice::Tiered(Arc::new(TieredCache::new(ImageStore::new(), config)?));
+        Ok(self)
+    }
+
     /// Set the scheduling policy (default: [`Fifo`](crate::engine::Fifo)). Invalid
     /// policies are accepted here and rejected with a typed error when a request is
     /// submitted.
@@ -281,11 +313,16 @@ impl OrchestratorBuilder {
 
     /// Build the orchestrator.
     pub fn build(self) -> Orchestrator {
+        let mut tiers = None;
         let mut engine = match self.cache {
             CacheChoice::FreshCached => Engine::cached(&ActionCache::new(ImageStore::new())),
             CacheChoice::Cached(cache) => Engine::cached(&cache),
             CacheChoice::Uncached(store) => Engine::new(Arc::new(NoCache::new(store))),
             CacheChoice::Custom(backend) => Engine::new(backend),
+            CacheChoice::Tiered(tiered) => {
+                tiers = Some(Arc::clone(&tiered));
+                Engine::new(tiered)
+            }
         };
         if let Some(workers) = self.workers {
             engine = engine.with_workers(workers);
@@ -299,6 +336,7 @@ impl OrchestratorBuilder {
         Orchestrator {
             engine,
             fleet_strategy: self.fleet_strategy,
+            tiers,
         }
     }
 }
@@ -639,10 +677,14 @@ pub struct FleetReport {
     pub jobs_deduplicated: usize,
     /// Engine worker threads the deployments' actions fanned out across.
     pub workers: usize,
-    /// Action-cache counters for *this run only* (deltas over the fleet submission,
-    /// so earlier use of the shared cache never inflates them); `entries` is the
-    /// live entry count after the run. `misses` is the number of compile/lower
-    /// actions the fleet actually executed.
+    /// Action-cache counters for *this run only*, accumulated from the run's own
+    /// [`ActionTrace`] records (never by before/after subtraction on the shared
+    /// backend, so concurrent tenants' traffic is never attributed to this
+    /// request); `entries` is the live backend entry count after the run.
+    /// `misses` is the number of compile/lower actions the fleet actually
+    /// executed; `evictions` is a backend-global quantity with no per-request
+    /// meaning and stays zero — read
+    /// [`Orchestrator::cache_stats`] for the backend view.
     pub cache: CacheStats,
     /// The strategy the wave executed under.
     pub strategy: FleetStrategy,
@@ -789,7 +831,6 @@ impl<'a> FleetRequest<'a> {
         }
 
         let strategy = orch.fleet_strategy();
-        let stats_before = orch.cache_stats();
         let mut trace = ActionTrace::default();
         let mut submissions = 0usize;
         let results: Vec<Result<Arc<IrDeployment>, FleetError>> = match orch.checked_engine() {
@@ -848,19 +889,20 @@ impl<'a> FleetRequest<'a> {
                 deduplicated,
             })
             .collect();
-        let stats_after = orch.cache_stats();
+        // Per-request counters come from *this request's own trace records*, not
+        // from before/after subtraction on the shared backend: under service
+        // multiplexing concurrent tenants mutate the backend counters between
+        // our two reads, and their hits/misses would be attributed to us.
+        let cache = CacheStats {
+            entries: orch.cache_stats().entries,
+            ..trace.cache_delta()
+        };
         FleetReport {
             outcomes,
             jobs_executed: jobs.len(),
             jobs_deduplicated: self.targets.len() - jobs.len(),
             workers: orch.workers(),
-            cache: CacheStats {
-                hits: stats_after.hits - stats_before.hits,
-                misses: stats_after.misses - stats_before.misses,
-                evictions: stats_after.evictions - stats_before.evictions,
-                coalesced: stats_after.coalesced - stats_before.coalesced,
-                entries: stats_after.entries,
-            },
+            cache,
             strategy,
             submissions,
             trace,

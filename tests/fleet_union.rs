@@ -523,6 +523,8 @@ fn measured_costs_reproduce_the_default_ordering_on_the_gromacs_sweep() {
                 label: "measured".into(),
                 key_digest: None,
                 cached: false,
+                hit_tier: None,
+                coalesced: false,
                 queue_wait_micros: 0,
                 parked_micros: 0,
                 parks: 0,

@@ -404,3 +404,104 @@ proptest! {
         prop_assert!(service.cache_stats().misses <= sequential.cache_stats().misses);
     }
 }
+
+/// Per-request cache deltas are scoped to the request. Two sessions interleave
+/// fleets with *disjoint* keyed actions (different ISAs) through one shared
+/// service; each [`FleetReport`]'s cache counters must equal both the counts
+/// derived from its own trace and the counts the same request produces when it
+/// runs alone. The historical implementation subtracted before/after snapshots
+/// of the *shared* backend's counters, silently attributing the other tenant's
+/// hits and misses to this request whenever the two overlapped in time.
+#[test]
+fn per_request_cache_deltas_are_scoped_under_two_session_interleaving() {
+    with_timeout(120, || {
+        let project = xaas_apps::gromacs::project();
+        let config = IrPipelineConfig::sweep_options(&project, &["GMX_SIMD"]).with_values(
+            "GMX_SIMD",
+            &["SSE4.1", "AVX2_256", "AVX_512", "ARM_NEON_ASIMD"],
+        );
+        let target_for = |system: SystemModel| {
+            let simd = system.cpu.best_simd();
+            FleetTarget::new(
+                system,
+                OptionAssignment::new().with("GMX_SIMD", simd.gmx_name()),
+                simd,
+            )
+        };
+        // Disjoint keyed work: an x86 system for tenant A, an ARM system for
+        // tenant B — no machine-lower or sd-compile key is shared, so each
+        // request's standalone counts are its exact expectation regardless of
+        // how the two interleave.
+        let system_a = SystemModel::ault23;
+        let system_b = SystemModel::clariden;
+
+        // Standalone expectations: each fleet alone on an identically warmed
+        // (IR build only) service.
+        let standalone = |system: fn() -> SystemModel| {
+            let service = OrchestratorService::builder().workers(4).build();
+            let build = service
+                .session("warmup")
+                .submit(IrBuildRequest::new(&project, &config).reference("scoped:ir"))
+                .unwrap();
+            service
+                .session("solo")
+                .submit_fleet(FleetRequest::new(&build, &project).target(target_for(system())))
+                .unwrap()
+                .cache
+        };
+        let expect_a = standalone(system_a);
+        let expect_b = standalone(system_b);
+        assert!(expect_a.misses > 0 && expect_b.misses > 0);
+
+        // Several rounds of a fresh shared service with both fleets racing:
+        // under the old shared-backend subtraction any temporal overlap leaks
+        // the other tenant's counters into this report.
+        for round in 0..4 {
+            let service = OrchestratorService::builder().workers(4).build();
+            let build = service
+                .session("warmup")
+                .submit(IrBuildRequest::new(&project, &config).reference("scoped:ir"))
+                .unwrap();
+            let barrier = std::sync::Barrier::new(2);
+            let (report_a, report_b) = std::thread::scope(|scope| {
+                let run = |tenant: &'static str, system: fn() -> SystemModel| {
+                    let session = service.session(tenant);
+                    let (build, project, barrier) = (&build, &project, &barrier);
+                    scope.spawn(move || {
+                        barrier.wait();
+                        session
+                            .submit_fleet(
+                                FleetRequest::new(build, project).target(target_for(system())),
+                            )
+                            .unwrap()
+                    })
+                };
+                let a = run("tenant-a", system_a);
+                let b = run("tenant-b", system_b);
+                (a.join().unwrap(), b.join().unwrap())
+            });
+
+            for (tenant, report, expect) in [("a", &report_a, expect_a), ("b", &report_b, expect_b)]
+            {
+                // Internal consistency: the delta is derived from this
+                // request's own trace records, nothing else.
+                let summary = report.trace.summary();
+                assert_eq!(
+                    report.cache.hits, summary.cached as u64,
+                    "round {round} tenant {tenant}: hits beyond own trace"
+                );
+                assert_eq!(
+                    report.cache.misses, summary.executed as u64,
+                    "round {round} tenant {tenant}: misses beyond own trace"
+                );
+                // Cross-run determinism: interleaving with the other tenant
+                // never changes this request's own counts.
+                assert_eq!(
+                    (report.cache.hits, report.cache.misses),
+                    (expect.hits, expect.misses),
+                    "round {round} tenant {tenant}: concurrent counts diverge from standalone"
+                );
+            }
+        }
+    });
+}
